@@ -1,0 +1,130 @@
+// Ablation: tree construction method. Compares STR bulk loading, Hilbert
+// bulk loading and one-by-one R* insertion on build cost, tree shape and
+// downstream work (range query node accesses, AM-KDJ join work).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace amdj::bench {
+namespace {
+
+struct Built {
+  std::unique_ptr<storage::InMemoryDiskManager> disk;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<rtree::RTree> r;
+  std::unique_ptr<rtree::RTree> s;
+  double build_seconds = 0.0;
+};
+
+Built Build(const workload::Dataset& r_data, const workload::Dataset& s_data,
+            int method, size_t buffer_pages) {
+  Built b;
+  b.disk = std::make_unique<storage::InMemoryDiskManager>();
+  b.pool = std::make_unique<storage::BufferPool>(b.disk.get(), buffer_pages);
+  b.r = rtree::RTree::Create(b.pool.get(), {}).value();
+  b.s = rtree::RTree::Create(b.pool.get(), {}).value();
+  Timer timer;
+  auto load = [&](rtree::RTree& tree, const workload::Dataset& data) {
+    Status st;
+    switch (method) {
+      case 0:
+        st = tree.BulkLoad(data.ToEntries());
+        break;
+      case 1:
+        st = tree.BulkLoadHilbert(data.ToEntries());
+        break;
+      default: {
+        uint32_t id = 0;
+        for (const geom::Rect& rect : data.objects) {
+          st = tree.Insert(rect, id++);
+          if (!st.ok()) break;
+        }
+        break;
+      }
+    }
+    AMDJ_CHECK(st.ok()) << st.ToString();
+  };
+  load(*b.r, r_data);
+  load(*b.s, s_data);
+  b.build_seconds = timer.ElapsedSeconds();
+  return b;
+}
+
+void Run(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  workload::TigerSynthOptions wopts;
+  wopts.street_segments = config.streets / 2;
+  wopts.hydro_objects = config.hydro / 2;
+  wopts.seed = config.seed;
+  const auto r_data = workload::TigerStreets(wopts);
+  const auto s_data = workload::TigerHydro(wopts);
+  const size_t buffer_pages =
+      std::max<size_t>(8, config.buffer_bytes / storage::kPageSize);
+
+  std::printf("# Ablation: STR vs Hilbert vs R* insertion build\n");
+  std::printf("workload: tiger-synth %llu x %llu\n\n",
+              (unsigned long long)wopts.street_segments,
+              (unsigned long long)wopts.hydro_objects);
+  const std::vector<int> widths = {12, 12, 10, 16, 16, 14};
+  PrintRow({"method", "build (s)", "nodes", "range acc/query",
+            "join dist comp", "join resp(s)"},
+           widths);
+
+  const char* names[] = {"STR", "Hilbert", "R*-insert"};
+  for (int method = 0; method < 3; ++method) {
+    Built b = Build(r_data, s_data, method, buffer_pages);
+
+    // Range-query node accesses: 200 random 1% window queries, cold cache.
+    AMDJ_CHECK(b.pool->Clear().ok());
+    JoinStats qstats;
+    b.pool->SetStatsSink(&qstats);
+    Random rng(99);
+    for (int q = 0; q < 200; ++q) {
+      const double w = workload::kUniverseSize * 0.01;
+      const double x = rng.Uniform(0, workload::kUniverseSize - w);
+      const double y = rng.Uniform(0, workload::kUniverseSize - w);
+      auto hits = b.r->RangeQuery(geom::Rect(x, y, x + w, y + w));
+      AMDJ_CHECK(hits.ok());
+    }
+    b.pool->SetStatsSink(nullptr);
+
+    // Join work.
+    AMDJ_CHECK(b.pool->Clear().ok());
+    const storage::DiskStats before = b.disk->stats();
+    JoinStats jstats;
+    core::JoinOptions options;
+    options.queue_memory_bytes = config.memory_bytes;
+    Timer timer;
+    auto result = core::RunKDistanceJoin(*b.r, *b.s, 10000,
+                                         core::KdjAlgorithm::kAmKdj, options,
+                                         &jstats);
+    AMDJ_CHECK(result.ok());
+    const core::CostModel model;
+    const double resp =
+        timer.ElapsedSeconds() +
+        model.Seconds(core::CostModel::Delta(before, b.disk->stats()));
+
+    char build[32], accq[32];
+    std::snprintf(build, sizeof(build), "%.3f", b.build_seconds);
+    std::snprintf(accq, sizeof(accq), "%.1f",
+                  static_cast<double>(qstats.node_accesses) / 200.0);
+    PrintRow({names[method], build,
+              FormatCount(b.r->node_count() + b.s->node_count()), accq,
+              FormatCount(jstats.real_distance_computations),
+              FormatSeconds(resp)},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: distance-queue content policy (footnote 1). Option (2),
+// object pairs only, is the paper's choice; option (1) additionally feeds
+// node-pair max-distances, which warms the cutoff before any object pair
+// is seen but tends to keep it looser afterwards.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Ablation: distance-queue policy (footnote 1)", env);
+
+  const std::vector<uint64_t> ks = {10, 1000, 100000};
+  const std::vector<int> widths = {10, 26, 26};
+  PrintRow({"k", "objects-only (paper)", "all-pairs (maxdist)"}, widths);
+  std::printf("(distance computations / queue insertions, B-KDJ)\n");
+  for (uint64_t k : ks) {
+    std::vector<std::string> row = {"k=" + FormatCount(k)};
+    for (const auto policy : {core::DistanceQueuePolicy::kObjectPairsOnly,
+                              core::DistanceQueuePolicy::kAllPairs}) {
+      core::JoinOptions options = env.MakeJoinOptions();
+      options.distance_queue_policy = policy;
+      const RunResult run =
+          RunKdjCold(env, core::KdjAlgorithm::kBKdj, k, options);
+      row.push_back(FormatCount(run.stats.real_distance_computations) +
+                    " / " + FormatCount(run.stats.main_queue_insertions));
+    }
+    PrintRow(row, widths);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: hybrid-queue boundary policy (Section 4.4). With the Eq.-3
+// predetermined segment boundaries, distant insertions are routed straight
+// to their pile and the expensive O(n log n) heap splits mostly disappear;
+// without them the queue falls back to adaptive median splits.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Ablation: predetermined queue boundaries (Section 4.4)", env);
+
+  const std::vector<uint64_t> ks = {10000, 100000};
+  const std::vector<int> widths = {10, 34, 34};
+  PrintRow({"k", "Eq.-3 boundaries (paper)", "median splits only"}, widths);
+  std::printf("(splits / swap-ins / queue page I/O, B-KDJ)\n");
+  for (uint64_t k : ks) {
+    std::vector<std::string> row = {"k=" + FormatCount(k)};
+    for (const bool predetermined : {true, false}) {
+      core::JoinOptions options = env.MakeJoinOptions();
+      options.predetermined_queue_boundaries = predetermined;
+      const RunResult run =
+          RunKdjCold(env, core::KdjAlgorithm::kBKdj, k, options);
+      row.push_back(FormatCount(run.stats.queue_splits) + " / " +
+                    FormatCount(run.stats.queue_swapins) + " / " +
+                    FormatCount(run.stats.queue_page_reads +
+                                run.stats.queue_page_writes));
+    }
+    PrintRow(row, widths);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: decompose the optimized plane sweep into its two ingredients
+// (Sections 3.2 and 3.3). Runs B-KDJ under all four sweep strategies and
+// reports distance computations and response time, isolating how much of
+// Figure 11's gain comes from axis selection vs direction selection.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Ablation: sweeping axis vs direction selection (B-KDJ)",
+              env);
+
+  const std::vector<uint64_t> ks = {1000, 10000, 100000};
+  const std::vector<std::pair<core::SweepStrategy, const char*>> strategies =
+      {{core::SweepStrategy::kFixedXForward, "fixed x / forward"},
+       {core::SweepStrategy::kAxisOnly, "axis only"},
+       {core::SweepStrategy::kDirectionOnly, "direction only"},
+       {core::SweepStrategy::kOptimized, "axis + direction"}};
+
+  const std::vector<int> widths = {20, 18, 18, 18};
+  std::vector<std::string> header = {"strategy"};
+  for (uint64_t k : ks) header.push_back("k=" + FormatCount(k));
+  PrintRow(header, widths);
+  std::printf("(total distance computations: axis + real)\n");
+  for (const auto& [strategy, name] : strategies) {
+    std::vector<std::string> row = {name};
+    for (uint64_t k : ks) {
+      core::JoinOptions options = env.MakeJoinOptions();
+      options.sweep = strategy;
+      const RunResult run =
+          RunKdjCold(env, core::KdjAlgorithm::kBKdj, k, options);
+      row.push_back(FormatCount(run.stats.total_distance_computations()));
+    }
+    PrintRow(row, widths);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "bench_common.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "rtree/entry.h"
+
+namespace amdj::bench {
+
+BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t v = 0;
+    if (std::sscanf(arg, "--streets=%" SCNu64, &v) == 1) {
+      config.streets = v;
+    } else if (std::sscanf(arg, "--hydro=%" SCNu64, &v) == 1) {
+      config.hydro = v;
+    } else if (std::sscanf(arg, "--buffer=%" SCNu64, &v) == 1) {
+      config.buffer_bytes = v;
+    } else if (std::sscanf(arg, "--memory=%" SCNu64, &v) == 1) {
+      config.memory_bytes = v;
+    } else if (std::sscanf(arg, "--seed=%" SCNu64, &v) == 1) {
+      config.seed = v;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      config.streets /= 10;
+      config.hydro /= 10;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+core::JoinOptions BenchEnv::MakeJoinOptions() const {
+  core::JoinOptions options;
+  options.queue_memory_bytes = config.memory_bytes;
+  options.queue_disk = queue_disk.get();
+  return options;
+}
+
+BenchEnv MakeTigerEnv(const BenchConfig& config) {
+  BenchEnv env;
+  env.config = config;
+  env.tree_disk = std::make_unique<storage::InMemoryDiskManager>();
+  env.queue_disk = std::make_unique<storage::InMemoryDiskManager>();
+  env.pool = std::make_unique<storage::BufferPool>(
+      env.tree_disk.get(),
+      std::max<size_t>(8, config.buffer_bytes / storage::kPageSize));
+
+  workload::TigerSynthOptions wopts;
+  wopts.street_segments = config.streets;
+  wopts.hydro_objects = config.hydro;
+  wopts.seed = config.seed;
+  const workload::Dataset streets = workload::TigerStreets(wopts);
+  const workload::Dataset hydro = workload::TigerHydro(wopts);
+
+  rtree::RTree::Options topts;
+  auto streets_tree = rtree::RTree::Create(env.pool.get(), topts);
+  AMDJ_CHECK(streets_tree.ok()) << streets_tree.status().ToString();
+  env.streets = std::move(*streets_tree);
+  auto hydro_tree = rtree::RTree::Create(env.pool.get(), topts);
+  AMDJ_CHECK(hydro_tree.ok()) << hydro_tree.status().ToString();
+  env.hydro = std::move(*hydro_tree);
+
+  Status s = env.streets->BulkLoad(streets.ToEntries());
+  AMDJ_CHECK(s.ok()) << s.ToString();
+  s = env.hydro->BulkLoad(hydro.ToEntries());
+  AMDJ_CHECK(s.ok()) << s.ToString();
+  return env;
+}
+
+namespace {
+
+/// Snapshot + cold-start shared by the Run*Cold helpers.
+struct ColdRun {
+  storage::DiskStats tree_before;
+  storage::DiskStats queue_before;
+
+  explicit ColdRun(BenchEnv& env) {
+    const Status s = env.pool->Clear();
+    AMDJ_CHECK(s.ok()) << s.ToString();
+    tree_before = env.tree_disk->stats();
+    queue_before = env.queue_disk->stats();
+  }
+
+  void Finish(BenchEnv& env, JoinStats* stats) const {
+    const core::CostModel model;
+    stats->simulated_io_seconds =
+        model.Seconds(core::CostModel::Delta(tree_before,
+                                             env.tree_disk->stats())) +
+        model.Seconds(core::CostModel::Delta(queue_before,
+                                             env.queue_disk->stats()));
+  }
+};
+
+}  // namespace
+
+RunResult RunKdjCold(BenchEnv& env, core::KdjAlgorithm algorithm, uint64_t k,
+                     const core::JoinOptions& options) {
+  RunResult run;
+  ColdRun cold(env);
+  auto result = core::RunKDistanceJoin(*env.streets, *env.hydro, k,
+                                       algorithm, options, &run.stats);
+  AMDJ_CHECK(result.ok()) << result.status().ToString();
+  run.results = std::move(*result);
+  cold.Finish(env, &run.stats);
+  return run;
+}
+
+RunResult RunIdjCold(BenchEnv& env, core::IdjAlgorithm algorithm, uint64_t k,
+                     const core::JoinOptions& options) {
+  RunResult run;
+  ColdRun cold(env);
+  auto cursor = core::OpenIncrementalJoin(*env.streets, *env.hydro,
+                                          algorithm, options, &run.stats);
+  AMDJ_CHECK(cursor.ok()) << cursor.status().ToString();
+  core::ResultPair pair;
+  bool done = false;
+  for (uint64_t i = 0; i < k; ++i) {
+    const Status s = (*cursor)->Next(&pair, &done);
+    AMDJ_CHECK(s.ok()) << s.ToString();
+    if (done) break;
+    run.results.push_back(pair);
+  }
+  cold.Finish(env, &run.stats);
+  return run;
+}
+
+void PrintHeader(const std::string& title, const BenchEnv& env) {
+  std::printf("# %s\n", title.c_str());
+  std::printf(
+      "workload: tiger-synth streets=%" PRIu64 " hydro=%" PRIu64
+      " seed=%" PRIu64 "\n",
+      env.config.streets, env.config.hydro, env.config.seed);
+  std::printf("buffer=%zuKB queue-memory=%zuKB page=4KB\n\n",
+              env.config.buffer_bytes / 1024, env.config.memory_bytes / 1024);
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", w, cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FormatCount(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+}  // namespace amdj::bench

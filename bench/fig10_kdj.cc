@@ -1,0 +1,74 @@
+// Figure 10: performance of k-distance joins. Reproduces all three panels
+// as one table per metric — (a) number of distance computations, (b) number
+// of queue insertions, (c) response time (CPU + simulated 1999-disk I/O) —
+// for HS-KDJ, B-KDJ, AM-KDJ and SJ-SORT with k from 10 to 100,000.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Figure 10: k-distance join performance", env);
+
+  const std::vector<uint64_t> ks = {10, 100, 1000, 10000, 100000};
+  const std::vector<core::KdjAlgorithm> algorithms = {
+      core::KdjAlgorithm::kHsKdj, core::KdjAlgorithm::kBKdj,
+      core::KdjAlgorithm::kAmKdj, core::KdjAlgorithm::kSjSort};
+
+  struct Cell {
+    JoinStats stats;
+  };
+  std::vector<std::vector<Cell>> grid(algorithms.size(),
+                                      std::vector<Cell>(ks.size()));
+  for (size_t ai = 0; ai < algorithms.size(); ++ai) {
+    for (size_t ki = 0; ki < ks.size(); ++ki) {
+      RunResult run = RunKdjCold(env, algorithms[ai], ks[ki],
+                                 env.MakeJoinOptions());
+      grid[ai][ki].stats = run.stats;
+    }
+  }
+
+  const std::vector<int> widths = {10, 14, 14, 14, 14, 14};
+  auto print_metric = [&](const char* title,
+                          const std::function<std::string(const JoinStats&)>&
+                              fmt) {
+    std::printf("## %s\n", title);
+    std::vector<std::string> header = {"algorithm"};
+    for (uint64_t k : ks) header.push_back("k=" + FormatCount(k));
+    PrintRow(header, widths);
+    for (size_t ai = 0; ai < algorithms.size(); ++ai) {
+      std::vector<std::string> row = {core::ToString(algorithms[ai])};
+      for (size_t ki = 0; ki < ks.size(); ++ki) {
+        row.push_back(fmt(grid[ai][ki].stats));
+      }
+      PrintRow(row, widths);
+    }
+    std::printf("\n");
+  };
+
+  print_metric("(a) number of distance computations",
+               [](const JoinStats& s) {
+                 return FormatCount(s.real_distance_computations);
+               });
+  print_metric("(b) number of queue insertions", [](const JoinStats& s) {
+    return FormatCount(s.main_queue_insertions);
+  });
+  print_metric("(c) response time (seconds, CPU + simulated I/O)",
+               [](const JoinStats& s) {
+                 return FormatSeconds(s.response_seconds());
+               });
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

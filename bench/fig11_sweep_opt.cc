@@ -1,0 +1,46 @@
+// Figure 11: improvement from the optimized plane sweep. Runs B-KDJ with
+// the sweeping-axis/direction optimization on vs. pinned to x-axis/forward
+// and reports axis + real distance computations (the paper's metric) plus
+// the percentage saved.
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Figure 11: improvements by the optimized plane sweep", env);
+
+  const std::vector<uint64_t> ks = {10, 100, 1000, 10000, 100000};
+  const std::vector<int> widths = {10, 16, 16, 16, 12};
+  PrintRow({"k", "optimized", "fixed x/fwd", "saved", "saved%"}, widths);
+  for (uint64_t k : ks) {
+    core::JoinOptions opt = env.MakeJoinOptions();
+    opt.sweep = core::SweepStrategy::kOptimized;
+    const RunResult optimized =
+        RunKdjCold(env, core::KdjAlgorithm::kBKdj, k, opt);
+    opt.sweep = core::SweepStrategy::kFixedXForward;
+    const RunResult fixed = RunKdjCold(env, core::KdjAlgorithm::kBKdj, k, opt);
+    const uint64_t a = optimized.stats.total_distance_computations();
+    const uint64_t b = fixed.stats.total_distance_computations();
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.1f%%",
+                  b == 0 ? 0.0 : 100.0 * (double(b) - double(a)) / double(b));
+    PrintRow({"k=" + FormatCount(k), FormatCount(a), FormatCount(b),
+              FormatCount(b > a ? b - a : 0), pct},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 13: performance impact of memory size. Response time of the four
+// KDJ algorithms at k = 100,000 while the in-memory portion of the main
+// queue and the R-tree buffer sweep 64 KB .. 1024 KB.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const BenchConfig base = BenchConfig::FromArgs(argc, argv);
+  const uint64_t k = 100000;
+
+  const std::vector<size_t> memories = {64 * 1024, 128 * 1024, 256 * 1024,
+                                        512 * 1024, 1024 * 1024};
+  const std::vector<core::KdjAlgorithm> algorithms = {
+      core::KdjAlgorithm::kHsKdj, core::KdjAlgorithm::kBKdj,
+      core::KdjAlgorithm::kAmKdj, core::KdjAlgorithm::kSjSort};
+
+  // Header printed with the base env (rebuilt per memory size below).
+  {
+    BenchEnv env = MakeTigerEnv(base);
+    PrintHeader("Figure 13: response time vs memory size (k=100000)", env);
+  }
+
+  const std::vector<int> widths = {10, 12, 12, 12, 12, 12};
+  std::vector<std::string> header = {"algorithm"};
+  for (size_t m : memories) {
+    header.push_back(std::to_string(m / 1024) + "KB");
+  }
+  PrintRow(header, widths);
+
+  std::vector<std::vector<std::string>> rows(algorithms.size());
+  for (size_t ai = 0; ai < algorithms.size(); ++ai) {
+    rows[ai].push_back(core::ToString(algorithms[ai]));
+  }
+  for (size_t m : memories) {
+    BenchConfig config = base;
+    config.buffer_bytes = m;
+    config.memory_bytes = m;
+    BenchEnv env = MakeTigerEnv(config);
+    for (size_t ai = 0; ai < algorithms.size(); ++ai) {
+      const RunResult run =
+          RunKdjCold(env, algorithms[ai], k, env.MakeJoinOptions());
+      rows[ai].push_back(FormatSeconds(run.stats.response_seconds()));
+    }
+  }
+  for (const auto& row : rows) PrintRow(row, widths);
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

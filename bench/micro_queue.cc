@@ -1,0 +1,106 @@
+// Microbenchmarks for the queue substrate: distance-queue inserts, hybrid
+// main-queue push/pop in memory and with disk spilling.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/hs_join.h"
+#include "core/pair_entry.h"
+#include "queue/distance_queue.h"
+#include "queue/hybrid_queue.h"
+#include "storage/disk_manager.h"
+
+namespace amdj {
+namespace {
+
+void BM_DistanceQueueInsert(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Random rng(1);
+  std::vector<double> values(1 << 16);
+  for (auto& v : values) v = rng.NextDouble();
+  size_t i = 0;
+  queue::DistanceQueue q(k);
+  for (auto _ : state) {
+    q.Insert(values[i++ & (values.size() - 1)]);
+    benchmark::DoNotOptimize(q.CutoffDistance());
+  }
+}
+BENCHMARK(BM_DistanceQueueInsert)->Arg(10)->Arg(1000)->Arg(100000);
+
+core::PairEntry MakeEntry(double distance) {
+  core::PairEntry e;
+  e.distance = distance;
+  return e;
+}
+
+void BM_HybridQueueInMemory(benchmark::State& state) {
+  Random rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::MainQueue q(core::MainQueue::Options{}, nullptr);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
+    }
+    core::PairEntry out;
+    while (!q.Empty()) {
+      benchmark::DoNotOptimize(q.Pop(&out));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_HybridQueueInMemory)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HybridQueueSpilling(benchmark::State& state) {
+  Random rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::InMemoryDiskManager disk;
+    core::MainQueue::Options options;
+    options.disk = &disk;
+    options.memory_bytes = 64 * 1024;
+    core::MainQueue q(options, nullptr);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
+    }
+    core::PairEntry out;
+    while (!q.Empty()) {
+      benchmark::DoNotOptimize(q.Pop(&out));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_HybridQueueSpilling)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HybridQueueSpillingWithBoundaries(benchmark::State& state) {
+  Random rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::InMemoryDiskManager disk;
+    core::MainQueue::Options options;
+    options.disk = &disk;
+    options.memory_bytes = 64 * 1024;
+    const double n = static_cast<double>(state.range(0));
+    options.boundary_fn = [n](uint64_t c) {
+      return static_cast<double>(c) / n;
+    };
+    core::MainQueue q(options, nullptr);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
+    }
+    // Distance-join access pattern: only the closest tenth is consumed.
+    core::PairEntry out;
+    for (int i = 0; i < state.range(0) / 10; ++i) {
+      benchmark::DoNotOptimize(q.Pop(&out));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HybridQueueSpillingWithBoundaries)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+}  // namespace amdj
+
+BENCHMARK_MAIN();

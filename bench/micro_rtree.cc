@@ -1,0 +1,80 @@
+// Microbenchmarks for the R*-tree substrate: insertion, bulk loading and
+// range queries through the buffer pool.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj {
+namespace {
+
+std::vector<rtree::Entry> MakeEntries(uint64_t n, uint64_t seed) {
+  return workload::UniformRects(n, 50.0, seed).ToEntries();
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<uint64_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::InMemoryDiskManager disk;
+    storage::BufferPool pool(&disk, 1024);
+    auto tree = rtree::RTree::Create(&pool, {}).value();
+    state.ResumeTiming();
+    for (const auto& e : entries) {
+      benchmark::DoNotOptimize(tree->Insert(e.rect, e.id));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<uint64_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::InMemoryDiskManager disk;
+    storage::BufferPool pool(&disk, 1024);
+    auto tree = rtree::RTree::Create(&pool, {}).value();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree->BulkLoad(entries));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 4096);
+  auto tree = rtree::RTree::Create(&pool, {}).value();
+  benchmark::DoNotOptimize(tree->BulkLoad(MakeEntries(100000, 3)));
+  Random rng(4);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, workload::kUniverseSize);
+    const double y = rng.Uniform(0, workload::kUniverseSize);
+    const double w = workload::kUniverseSize * 0.01;
+    auto hits = tree->RangeQuery(geom::Rect(x, y, x + w, y + w));
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreeRangeQuery);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  storage::PageId id;
+  pool.NewPage(&id)->Release();
+  for (auto _ : state) {
+    auto guard = pool.FetchPage(id);
+    benchmark::DoNotOptimize(guard);
+  }
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+}  // namespace
+}  // namespace amdj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Microbenchmarks for the sweep machinery: sweeping-index evaluation (the
+// paper argues it is "a trivial cost"; verify) and one full plane sweep
+// versus the Cartesian product it replaces.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/plane_sweeper.h"
+#include "core/sweep_plan.h"
+#include "geom/sweep_geometry.h"
+
+namespace amdj {
+namespace {
+
+void BM_SweepingIndex(benchmark::State& state) {
+  Random rng(1);
+  std::vector<std::pair<geom::Rect, geom::Rect>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    auto rect = [&] {
+      const double x = rng.Uniform(0, 1000);
+      const double y = rng.Uniform(0, 1000);
+      return geom::Rect(x, y, x + rng.Uniform(1, 100),
+                        y + rng.Uniform(1, 100));
+    };
+    pairs.emplace_back(rect(), rect());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [r, s] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(geom::SweepingIndex(r, s, 25.0, 0));
+    benchmark::DoNotOptimize(geom::SweepingIndex(r, s, 25.0, 1));
+  }
+}
+BENCHMARK(BM_SweepingIndex);
+
+void BM_ChooseSweepPlan(benchmark::State& state) {
+  Random rng(2);
+  const geom::Rect r(0, 0, 120, 400);
+  const geom::Rect s(100, 50, 260, 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ChooseSweepPlan(
+        r, s, 20.0, core::SweepStrategy::kOptimized));
+  }
+}
+BENCHMARK(BM_ChooseSweepPlan);
+
+std::vector<core::PairRef> MakeRefs(uint64_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<core::PairRef> refs(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 10000);
+    const double y = rng.Uniform(0, 10000);
+    refs[i].rect = geom::Rect(x, y, x + 10, y + 10);
+    refs[i].id = static_cast<uint32_t>(i);
+  }
+  return refs;
+}
+
+void BM_PlaneSweep(benchmark::State& state) {
+  const auto left = MakeRefs(static_cast<uint64_t>(state.range(0)), 3);
+  const auto right = MakeRefs(static_cast<uint64_t>(state.range(0)), 4);
+  const double cutoff = static_cast<double>(state.range(1));
+  const core::SweepPlan plan{0, geom::SweepDirection::kForward};
+  for (auto _ : state) {
+    uint64_t emitted = 0;
+    core::PlaneSweep(left, right, plan, &cutoff, nullptr,
+                     [&](const core::PairRef&, const core::PairRef&,
+                         double) { ++emitted; });
+    benchmark::DoNotOptimize(emitted);
+  }
+}
+BENCHMARK(BM_PlaneSweep)
+    ->Args({113, 50})      // typical node pair, tight cutoff
+    ->Args({113, 10000});  // loose cutoff: degenerates toward Cartesian
+
+void BM_CartesianBaseline(benchmark::State& state) {
+  const auto left = MakeRefs(113, 3);
+  const auto right = MakeRefs(113, 4);
+  for (auto _ : state) {
+    double sum = 0;
+    for (const auto& l : left) {
+      for (const auto& r : right) {
+        sum += geom::MinDistance(l.rect, r.rect);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CartesianBaseline);
+
+}  // namespace
+}  // namespace amdj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Extra experiment: distance semi-join / kNN join strategy crossover.
+// The incremental-join strategy shares one traversal across all R objects
+// but must surface pairs globally by distance; the per-object-NN strategy
+// re-queries S once per R object. Which wins depends on |R| and on how
+// far the partners are.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/semi_join.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  // The incremental-join strategy materializes ~|R| * neighbors pairs, so
+  // this bench runs on a 1/10th sub-workload to stay minutes-free even at
+  // paper scale.
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  config.streets = std::max<uint64_t>(1000, config.streets / 10);
+  config.hydro = std::max<uint64_t>(300, config.hydro / 10);
+  BenchEnv env = MakeTigerEnv(config);
+  PrintHeader("Extra: semi-join / kNN-join strategy comparison", env);
+
+  const std::vector<int> widths = {12, 26, 26};
+  PrintRow({"neighbors", "incremental join", "per-object NN"}, widths);
+  std::printf("(cpu seconds / distance computations; streets -> hydro)\n");
+  for (const uint64_t neighbors : {1ull, 4ull, 16ull}) {
+    std::vector<std::string> row = {FormatCount(neighbors)};
+    for (const auto strategy : {core::SemiJoinStrategy::kIncrementalJoin,
+                                core::SemiJoinStrategy::kPerObjectNn}) {
+      const Status cleared = env.pool->Clear();
+      AMDJ_CHECK(cleared.ok()) << cleared.ToString();
+      JoinStats stats;
+      env.pool->SetStatsSink(&stats);
+      Timer timer;
+      auto result = core::KnnJoin(*env.streets, *env.hydro, neighbors,
+                                  env.MakeJoinOptions(), strategy, &stats);
+      const double seconds = timer.ElapsedSeconds();
+      env.pool->SetStatsSink(nullptr);
+      AMDJ_CHECK(result.ok()) << result.status().ToString();
+      AMDJ_CHECK(result->size() >= env.streets->size());
+      row.push_back(FormatSeconds(seconds) + " / " +
+                    FormatCount(stats.real_distance_computations));
+    }
+    PrintRow(row, widths);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

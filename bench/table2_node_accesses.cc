@@ -1,0 +1,47 @@
+// Table 2: number of R-tree nodes fetched from disk per k-distance join,
+// with the paper's 512 KB R-tree buffer, and (in parentheses) the logical
+// node accesses a bufferless run would pay.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Table 2: R-tree node accesses for k-distance joins", env);
+
+  const std::vector<uint64_t> ks = {100, 1000, 10000, 100000};
+  const std::vector<core::KdjAlgorithm> algorithms = {
+      core::KdjAlgorithm::kHsKdj, core::KdjAlgorithm::kBKdj,
+      core::KdjAlgorithm::kAmKdj, core::KdjAlgorithm::kSjSort};
+
+  const std::vector<int> widths = {10, 20, 20, 20, 20};
+  std::vector<std::string> header = {"algorithm"};
+  for (uint64_t k : ks) header.push_back("k=" + FormatCount(k));
+  PrintRow(header, widths);
+  std::printf("%s\n",
+              "(buffered disk fetches, with unbuffered accesses in "
+              "parentheses)");
+
+  for (const auto algorithm : algorithms) {
+    std::vector<std::string> row = {core::ToString(algorithm)};
+    for (uint64_t k : ks) {
+      RunResult run = RunKdjCold(env, algorithm, k, env.MakeJoinOptions());
+      row.push_back(FormatCount(run.stats.node_disk_reads) + " (" +
+                    FormatCount(run.stats.node_accesses) + ")");
+    }
+    PrintRow(row, widths);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of EXPERIMENTS.md. Usage:
+#   scripts/run_all_benches.sh [build-dir] [out-dir] [extra bench flags...]
+# e.g. a paper-scale run:
+#   scripts/run_all_benches.sh build results --streets=633461 --hydro=189642
+set -u
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench_results}
+shift 2 2>/dev/null || shift $# 2>/dev/null || true
+EXTRA_FLAGS=("$@")
+
+mkdir -p "$OUT_DIR"
+status=0
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  case "$name" in
+    *.a|*.txt|CMakeFiles|cmake_install.cmake|CTestTestfile.cmake) continue ;;
+  esac
+  echo "=== $name ${EXTRA_FLAGS[*]:-}"
+  if [[ "$name" == micro_* ]]; then
+    # google-benchmark binaries take their own flags.
+    "$bench" --benchmark_min_time=0.05 >"$OUT_DIR/$name.txt" 2>&1
+  else
+    "$bench" "${EXTRA_FLAGS[@]}" >"$OUT_DIR/$name.txt" 2>&1
+  fi
+  rc=$?
+  if [ $rc -ne 0 ]; then
+    echo "FAILED ($rc): $name" >&2
+    status=1
+  fi
+done
+echo "outputs in $OUT_DIR/"
+exit $status

@@ -1,0 +1,68 @@
+#ifndef AMDJ_COMMON_LOGGING_H_
+#define AMDJ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace amdj {
+
+/// Log severity levels, lowest to highest. kFatal messages abort the process
+/// after printing (used by AMDJ_CHECK for broken internal invariants).
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+  kOff = 5,
+};
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn so
+/// library users and tests are quiet unless they opt in. kFatal cannot be
+/// suppressed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message collector; emits on destruction (and aborts if the
+/// level is kFatal).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace amdj
+
+#define AMDJ_LOG(level)                                           \
+  if (::amdj::LogLevel::level < ::amdj::GetLogLevel()) {          \
+  } else                                                          \
+    ::amdj::internal_logging::LogMessage(::amdj::LogLevel::level, \
+                                         __FILE__, __LINE__)
+
+/// Invariant check that survives in release builds; aborts with a message on
+/// failure. Use for internal invariants, not for user-input validation
+/// (which returns Status).
+#define AMDJ_CHECK(cond)                                                 \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::amdj::internal_logging::LogMessage(::amdj::LogLevel::kFatal,       \
+                                         __FILE__, __LINE__)             \
+        << "CHECK failed: " #cond " "
+
+#endif  // AMDJ_COMMON_LOGGING_H_

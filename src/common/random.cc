@@ -1,0 +1,115 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace amdj {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // Avoid the all-zero state, which is a fixed point of xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Random::UniformInt(uint64_t n) {
+  // Lemire's multiply-shift rejection-free mapping is fine here; slight bias
+  // for huge n is irrelevant for workload generation.
+  return static_cast<uint64_t>(NextDouble() * static_cast<double>(n)) %
+         (n == 0 ? 1 : n);
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Random::Gaussian() {
+  if (has_gaussian_spare_) {
+    has_gaussian_spare_ = false;
+    return gaussian_spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  gaussian_spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_gaussian_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Random::Exponential(double lambda) {
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  // "Quickly generating billion-record synthetic databases", Gray et al.
+  // theta in (0,1]; theta -> 0 approaches uniform.
+  if (n <= 1) return 0;
+  const double alpha = 1.0 / (1.0 - theta);
+  // zeta(n, theta) computed incrementally would be O(n); approximate with
+  // the standard zeta(2) trick.
+  double zeta2 = 0.0;
+  for (int i = 1; i <= 2; ++i) zeta2 += 1.0 / std::pow(i, theta);
+  // Approximate zeta_n via integral bound; adequate for workload skew.
+  const double zetan = zeta2 + (std::pow(static_cast<double>(n), 1 - theta) -
+                                std::pow(2.0, 1 - theta)) /
+                                   (1 - theta);
+  const double eta =
+      (1 - std::pow(2.0 / static_cast<double>(n), 1 - theta)) /
+      (1 - zeta2 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  return static_cast<uint64_t>(static_cast<double>(n) *
+                               std::pow(eta * u - eta + 1.0, alpha)) %
+         n;
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace amdj

@@ -1,0 +1,57 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace amdj {
+
+void JoinStats::Add(const JoinStats& other) {
+  real_distance_computations += other.real_distance_computations;
+  axis_distance_computations += other.axis_distance_computations;
+  main_queue_insertions += other.main_queue_insertions;
+  distance_queue_insertions += other.distance_queue_insertions;
+  compensation_queue_insertions += other.compensation_queue_insertions;
+  main_queue_peak_size =
+      main_queue_peak_size > other.main_queue_peak_size
+          ? main_queue_peak_size
+          : other.main_queue_peak_size;
+  queue_splits += other.queue_splits;
+  queue_swapins += other.queue_swapins;
+  node_buffer_hits += other.node_buffer_hits;
+  node_disk_reads += other.node_disk_reads;
+  node_accesses += other.node_accesses;
+  queue_page_reads += other.queue_page_reads;
+  queue_page_writes += other.queue_page_writes;
+  pairs_produced += other.pairs_produced;
+  node_expansions += other.node_expansions;
+  cpu_seconds += other.cpu_seconds;
+  simulated_io_seconds += other.simulated_io_seconds;
+}
+
+void JoinStats::Reset() { *this = JoinStats(); }
+
+std::string JoinStats::ToString() const {
+  std::ostringstream os;
+  os << "JoinStats{\n"
+     << "  real_distance_computations: " << real_distance_computations << "\n"
+     << "  axis_distance_computations: " << axis_distance_computations << "\n"
+     << "  main_queue_insertions:      " << main_queue_insertions << "\n"
+     << "  distance_queue_insertions:  " << distance_queue_insertions << "\n"
+     << "  compensation_queue_ins.:    " << compensation_queue_insertions
+     << "\n"
+     << "  main_queue_peak_size:       " << main_queue_peak_size << "\n"
+     << "  queue_splits/swapins:       " << queue_splits << "/" << queue_swapins
+     << "\n"
+     << "  node_accesses (logical):    " << node_accesses << "\n"
+     << "  node_disk_reads (buffered): " << node_disk_reads << "\n"
+     << "  node_buffer_hits:           " << node_buffer_hits << "\n"
+     << "  queue_page_reads/writes:    " << queue_page_reads << "/"
+     << queue_page_writes << "\n"
+     << "  pairs_produced:             " << pairs_produced << "\n"
+     << "  node_expansions:            " << node_expansions << "\n"
+     << "  cpu_seconds:                " << cpu_seconds << "\n"
+     << "  simulated_io_seconds:       " << simulated_io_seconds << "\n"
+     << "}";
+  return os.str();
+}
+
+}  // namespace amdj

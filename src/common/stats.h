@@ -1,0 +1,86 @@
+#ifndef AMDJ_COMMON_STATS_H_
+#define AMDJ_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace amdj {
+
+/// Counters collected while executing a distance join. These are the three
+/// metrics the paper's evaluation reports (Section 5.1) plus a few extras
+/// used by the ablation benches.
+///
+/// A JoinStats instance is owned by the caller and passed (by pointer) into
+/// the storage, queue and core layers, which increment the counters they are
+/// responsible for:
+///   - real/axis distance computations: core (plane sweeper, HS expansion)
+///   - queue insertions:                queue (main queue)
+///   - node accesses / page I/O:        storage (buffer pool, disk manager)
+struct JoinStats {
+  // --- computational cost (Figure 10(a), 11, 12(a), 14(a)) ---
+  /// Number of real (Euclidean MBR) distance computations.
+  uint64_t real_distance_computations = 0;
+  /// Number of axis (1-d projected) distance computations done by sweeps.
+  uint64_t axis_distance_computations = 0;
+
+  // --- queue cost (Figure 10(b), 12(b), 14(b)) ---
+  /// Insertions into the main queue.
+  uint64_t main_queue_insertions = 0;
+  /// Insertions into the distance queue.
+  uint64_t distance_queue_insertions = 0;
+  /// Insertions into the compensation queue (AM-KDJ / AM-IDJ only).
+  uint64_t compensation_queue_insertions = 0;
+  /// Peak number of live entries in the main queue.
+  uint64_t main_queue_peak_size = 0;
+  /// Main-queue heap split operations (in-memory heap overflow -> disk).
+  uint64_t queue_splits = 0;
+  /// Main-queue segment swap-ins (disk segment -> in-memory heap).
+  uint64_t queue_swapins = 0;
+
+  // --- I/O cost (Table 2, Figure 10(c), 12(c), 13, 15) ---
+  /// R-tree node fetches that were served by the buffer pool.
+  uint64_t node_buffer_hits = 0;
+  /// R-tree node fetches that went to disk (buffer misses). The paper's
+  /// Table 2 reports this as "nodes fetched from disk".
+  uint64_t node_disk_reads = 0;
+  /// Logical node accesses (hits + misses). The paper's Table 2 reports this
+  /// in parentheses as accesses without any buffer.
+  uint64_t node_accesses = 0;
+  /// Queue-related page reads/writes (hybrid queue disk segments, external
+  /// sort runs).
+  uint64_t queue_page_reads = 0;
+  uint64_t queue_page_writes = 0;
+
+  // --- results ---
+  /// Number of object pairs produced.
+  uint64_t pairs_produced = 0;
+  /// Number of node-pair expansions performed.
+  uint64_t node_expansions = 0;
+
+  // --- time ---
+  /// Measured wall-clock CPU time, seconds.
+  double cpu_seconds = 0.0;
+  /// Simulated I/O time, seconds (see core::CostModel).
+  double simulated_io_seconds = 0.0;
+
+  /// Total "response time" in the paper's sense: CPU + simulated I/O.
+  double response_seconds() const { return cpu_seconds + simulated_io_seconds; }
+
+  /// Total distance computations (real + axis), as Figure 11 plots.
+  uint64_t total_distance_computations() const {
+    return real_distance_computations + axis_distance_computations;
+  }
+
+  /// Adds all counters of `other` into this (times included).
+  void Add(const JoinStats& other);
+
+  /// Resets every counter to zero.
+  void Reset();
+
+  /// Multi-line human readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace amdj
+
+#endif  // AMDJ_COMMON_STATS_H_

@@ -1,0 +1,28 @@
+#ifndef AMDJ_COMMON_TIMER_H_
+#define AMDJ_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace amdj {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace amdj
+
+#endif  // AMDJ_COMMON_TIMER_H_

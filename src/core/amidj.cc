@@ -1,0 +1,203 @@
+#include "core/amidj.h"
+
+#include <algorithm>
+
+#include "core/expansion.h"
+#include "core/plane_sweeper.h"
+
+namespace amdj::core {
+
+AmIdjCursor::AmIdjCursor(const rtree::RTree& r, const rtree::RTree& s,
+                         const JoinOptions& options, JoinStats* stats)
+    : r_(r),
+      s_(s),
+      options_(options),
+      stats_(stats != nullptr ? stats : &local_stats_),
+      fallback_estimator_(r.bounds(), r.size(), s.bounds(), s.size(),
+                          options.metric),
+      estimator_(options_.estimator != nullptr ? options_.estimator
+                                                : &fallback_estimator_),
+      queue_(MakeMainQueueOptions(r, s, options), stats_,
+             MakeMainQueueCompare(options)) {}
+
+void AmIdjCursor::PrefetchHint(uint64_t k) {
+  target_hint_ = std::max(target_hint_, k);
+}
+
+void AmIdjCursor::ForceNextStageEdmax(double edmax) {
+  forced_next_edmax_ = edmax;
+}
+
+Status AmIdjCursor::Prime() {
+  primed_ = true;
+  if (r_.size() == 0 || s_.size() == 0) {
+    exhausted_ = true;
+    return Status::OK();
+  }
+  stage_count_ = 1;
+  const uint64_t k1 = std::max(options_.idj_initial_k, target_hint_);
+  if (forced_next_edmax_.has_value()) {
+    edmax_ = *forced_next_edmax_;
+    forced_next_edmax_.reset();
+  } else if (options_.forced_edmax.has_value()) {
+    edmax_ = *options_.forced_edmax;
+  } else {
+    edmax_ = estimator_->EstimateDmax(k1);
+  }
+  return queue_.Push(MakePair(RootRef(r_), RootRef(s_), options_.metric));
+}
+
+Status AmIdjCursor::StartNewStage() {
+  ++stage_count_;
+  double next = 0.0;
+  if (forced_next_edmax_.has_value()) {
+    next = *forced_next_edmax_;
+    forced_next_edmax_.reset();
+  } else {
+    // Target roughly double the pairs produced so far (at least the hint
+    // and at least one more initial batch), then re-estimate the cutoff
+    // from the freshest ground truth: the produced_-th distance.
+    const uint64_t k_next = std::max<uint64_t>(
+        {target_hint_, produced_ * 2, produced_ + options_.idj_initial_k});
+    const bool aggressive =
+        options_.correction == CorrectionPolicy::kAggressive;
+    if (options_.estimator != nullptr || produced_ == 0) {
+      // Custom estimators define their own correction; the Eq.-4/5 policy
+      // split below is specific to the uniform estimator.
+      next = produced_ == 0 ? estimator_->EstimateDmax(k_next)
+                            : estimator_->Correct(k_next, produced_,
+                                                  last_distance_, aggressive);
+    } else {
+      switch (options_.correction) {
+        case CorrectionPolicy::kArithmeticOnly:
+          next = fallback_estimator_.ArithmeticCorrection(k_next, produced_,
+                                                          last_distance_);
+          break;
+        case CorrectionPolicy::kGeometricOnly:
+          next = fallback_estimator_.GeometricCorrection(k_next, produced_,
+                                                         last_distance_);
+          break;
+        default:
+          next = fallback_estimator_.Correct(k_next, produced_,
+                                             last_distance_, aggressive);
+          break;
+      }
+    }
+  }
+  // Safeguard: the cutoff must strictly grow or the stage cannot make
+  // progress (e.g. heavily skewed data keeps the correction below the old
+  // estimate).
+  if (next <= edmax_) {
+    next = edmax_ > 0.0 ? edmax_ * 1.5
+                        : std::max(estimator_->EstimateDmax(1), 1e-12);
+  }
+  edmax_ = next;
+  for (const PairEntry& e : compensation_) {
+    AMDJ_RETURN_IF_ERROR(queue_.Push(e));
+  }
+  compensation_.clear();
+  return Status::OK();
+}
+
+Status AmIdjCursor::Expand(PairEntry c) {
+  ++stats_->node_expansions;
+  AMDJ_RETURN_IF_ERROR(ChildList(r_, c.r, options_.r_window, &left_));
+  AMDJ_RETURN_IF_ERROR(ChildList(s_, c.s, options_.s_window, &right_));
+
+  SweepPlan plan;
+  double prior = -1.0;
+  if (c.WasExpanded()) {
+    // Resume the earlier sweep: same axis and direction reproduce the
+    // earlier enumeration order, so the examined region is exactly
+    // { axis <= prior, real <= prior }.
+    plan.axis = c.prior_axis;
+    plan.dir = c.prior_dir == 0 ? geom::SweepDirection::kForward
+                                : geom::SweepDirection::kBackward;
+    prior = c.prior_cutoff;
+  } else {
+    plan = ChooseSweepPlan(c.r.rect, c.s.rect, edmax_, options_.sweep);
+  }
+
+  Status sweep_status;
+  bool dropped_real = false;  // a child with real > eDmax was pruned
+  double axis_cutoff = edmax_;
+  const bool covered = PlaneSweep(
+      left_, right_, plan, &axis_cutoff, stats_,
+      [&](const PairRef& lref, const PairRef& rref, double axis_dist) {
+        if (!sweep_status.ok()) return;
+        ++stats_->real_distance_computations;
+        const double real =
+            geom::MinDistance(lref.rect, rref.rect, options_.metric);
+        // Pairs in the previously examined region were already inserted
+        // (or emitted) by the earlier stage; in the prefix axis_dist <=
+        // prior, exactly those with real <= prior. (In the suffix
+        // real >= axis_dist > prior, so the test never misfires.)
+        if (real <= prior) return;
+        if (real > edmax_) {
+          dropped_real = true;  // recoverable in a later stage
+          return;
+        }
+        if (options_.exclude_same_id && IsSelfPair(lref, rref)) return;
+        PairEntry e;
+        e.r = lref;
+        e.s = rref;
+        e.distance = real;
+        sweep_status = queue_.Push(e);
+        if (!sweep_status.ok()) axis_cutoff = -1.0;  // abort the sweep
+      });
+  AMDJ_RETURN_IF_ERROR(sweep_status);
+
+  if (!covered || dropped_real) {
+    // The expansion skipped children that a later, larger cutoff could
+    // admit: record it (with the cutoff that bounds the examined region)
+    // for compensation. Fully covered pairs never re-enter — this is what
+    // guarantees termination once eDmax exceeds the data diameter. The max
+    // keeps the bookkeeping exact if a forced cutoff ever shrinks.
+    c.prior_cutoff = std::max(edmax_, prior);
+    c.prior_axis = static_cast<int8_t>(plan.axis);
+    c.prior_dir =
+        plan.dir == geom::SweepDirection::kForward ? int8_t{0} : int8_t{1};
+    compensation_.push_back(c);
+    ++stats_->compensation_queue_insertions;
+  }
+  return Status::OK();
+}
+
+Status AmIdjCursor::Next(ResultPair* out, bool* done) {
+  *done = false;
+  if (!primed_) AMDJ_RETURN_IF_ERROR(Prime());
+  PairEntry c;
+  while (!exhausted_) {
+    if (queue_.Empty()) {
+      if (compensation_.empty()) {
+        exhausted_ = true;
+        break;
+      }
+      AMDJ_RETURN_IF_ERROR(StartNewStage());
+      continue;
+    }
+    AMDJ_RETURN_IF_ERROR(queue_.Pop(&c));
+    if (c.distance > edmax_) {
+      // Everything within the current cutoff has been surfaced; grow it
+      // and recover the aggressively pruned children before going deeper.
+      // Checked before emission: an object pair beyond the cutoff must not
+      // overtake pruned-but-closer pairs (can only arise under a forced,
+      // shrinking cutoff schedule, but order is sacred).
+      AMDJ_RETURN_IF_ERROR(queue_.Push(c));
+      AMDJ_RETURN_IF_ERROR(StartNewStage());
+      continue;
+    }
+    if (c.IsObjectPair()) {
+      *out = {c.distance, c.r.id, c.s.id};
+      last_distance_ = c.distance;
+      ++produced_;
+      ++stats_->pairs_produced;
+      return Status::OK();
+    }
+    AMDJ_RETURN_IF_ERROR(Expand(c));
+  }
+  *done = true;
+  return Status::OK();
+}
+
+}  // namespace amdj::core

@@ -1,0 +1,328 @@
+#include "core/amkdj.h"
+
+#include "core/dmax_estimator.h"
+#include "core/expansion.h"
+#include "core/plane_sweeper.h"
+#include "core/qdmax_tracker.h"
+
+#include <limits>
+
+namespace amdj::core {
+
+namespace {
+
+/// Section 4.3.2 variant: one unified loop whose cutoff grows through
+/// runtime corrections, interleaving recovery rounds (merge the
+/// compensation queue back) until the exact qDmax takes over. Used when
+/// JoinOptions::kdj_adaptive_correction is set; the default Run() below
+/// keeps the paper's two-stage structure (initial estimate only).
+StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
+                                              const rtree::RTree& s,
+                                              uint64_t k,
+                                              const JoinOptions& options,
+                                              JoinStats* stats) {
+  std::vector<ResultPair> results;
+  const DmaxEstimator fallback_estimator(r.bounds(), r.size(), s.bounds(),
+                                         s.size(), options.metric);
+  const CutoffEstimator* estimator = options.estimator != nullptr
+                                         ? options.estimator
+                                         : &fallback_estimator;
+  double edmax = options.forced_edmax.value_or(estimator->EstimateDmax(k));
+
+  MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
+                  MakeMainQueueCompare(options));
+  QdmaxTracker tracker(k, options, stats);
+  std::vector<PairEntry> compensation;
+  // Smallest cutoff under which a queued compensation pair was examined:
+  // emitting beyond it could overtake a recoverable pruned child.
+  double barrier = std::numeric_limits<double>::infinity();
+  double last_emitted = 0.0;
+  {
+    const PairEntry root = MakePair(RootRef(r), RootRef(s), options.metric);
+    AMDJ_RETURN_IF_ERROR(queue.Push(root));
+    tracker.OnPush(root);
+  }
+
+  std::vector<PairRef> left;
+  std::vector<PairRef> right;
+  PairEntry c;
+  while (results.size() < k && !queue.Empty()) {
+    AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+    if (!c.IsObjectPair()) tracker.OnNodePairLeave(c);
+    double qdmax = tracker.Cutoff();
+    if (qdmax <= edmax) edmax = qdmax;  // overestimate clamp (line 8)
+
+    if (c.distance > std::min(edmax, barrier)) {
+      if (compensation.empty() && c.distance > qdmax) {
+        continue;  // beyond the exact cutoff: can never contribute
+      }
+      // Frontier left the safe radius: grow the estimate (Eq. 4/5 /
+      // custom correction) if it still helps, else adopt qDmax, then
+      // recover the compensation queue and resume.
+      AMDJ_RETURN_IF_ERROR(queue.Push(c));
+      if (!c.IsObjectPair()) tracker.OnPush(c);
+      double next = qdmax;
+      if (!results.empty() && results.size() < k) {
+        const double corrected = estimator->Correct(
+            k, results.size(), last_emitted,
+            options.correction == CorrectionPolicy::kAggressive);
+        if (corrected > edmax && corrected < qdmax) next = corrected;
+      }
+      edmax = next;  // strictly above the old value, or the exact qDmax
+      for (const PairEntry& e : compensation) {
+        AMDJ_RETURN_IF_ERROR(queue.Push(e));
+        tracker.OnPush(e);  // no-op: expanded pairs carry no certificate
+      }
+      compensation.clear();
+      barrier = std::numeric_limits<double>::infinity();
+      continue;
+    }
+
+    if (c.IsObjectPair()) {
+      results.push_back({c.distance, c.r.id, c.s.id});
+      last_emitted = c.distance;
+      ++stats->pairs_produced;
+      continue;
+    }
+
+    ++stats->node_expansions;
+    AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
+    AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
+    SweepPlan plan;
+    double prior = -1.0;
+    if (c.WasExpanded()) {
+      plan.axis = c.prior_axis;
+      plan.dir = c.prior_dir == 0 ? geom::SweepDirection::kForward
+                                  : geom::SweepDirection::kBackward;
+      prior = c.prior_cutoff;
+    } else {
+      plan = ChooseSweepPlan(c.r.rect, c.s.rect, edmax, options.sweep);
+    }
+
+    Status sweep_status;
+    // Static axis cutoff: it defines the examined prefix the recorded
+    // bookkeeping must describe exactly.
+    double axis_cutoff = edmax;
+    const bool covered = PlaneSweep(
+        left, right, plan, &axis_cutoff, stats,
+        [&](const PairRef& lref, const PairRef& rref, double axis_dist) {
+          if (!sweep_status.ok()) return;
+          if (axis_dist <= prior) return;  // examined in an earlier round
+          ++stats->real_distance_computations;
+          const double real =
+              geom::MinDistance(lref.rect, rref.rect, options.metric);
+          if (real > qdmax) return;  // permanent under the exact cutoff
+          if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
+          PairEntry e;
+          e.r = lref;
+          e.s = rref;
+          e.distance = real;
+          sweep_status = queue.Push(e);
+          if (!sweep_status.ok()) {
+            axis_cutoff = -1.0;
+            return;
+          }
+          tracker.OnPush(e);
+          qdmax = tracker.Cutoff();
+        });
+    AMDJ_RETURN_IF_ERROR(sweep_status);
+
+    if (!covered) {
+      c.prior_cutoff = std::max(edmax, prior);
+      c.prior_axis = static_cast<int8_t>(plan.axis);
+      c.prior_dir =
+          plan.dir == geom::SweepDirection::kForward ? int8_t{0} : int8_t{1};
+      compensation.push_back(c);
+      barrier = std::min(barrier, c.prior_cutoff);
+      ++stats->compensation_queue_insertions;
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
+                                             const rtree::RTree& s,
+                                             uint64_t k,
+                                             const JoinOptions& options,
+                                             JoinStats* stats) {
+  std::vector<ResultPair> results;
+  if (k == 0 || r.size() == 0 || s.size() == 0) return results;
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+  if (options.kdj_adaptive_correction) {
+    return RunAdaptive(r, s, k, options, stats);
+  }
+
+  const DmaxEstimator fallback_estimator(r.bounds(), r.size(), s.bounds(),
+                                         s.size(), options.metric);
+  const CutoffEstimator* estimator = options.estimator != nullptr
+                                         ? options.estimator
+                                         : &fallback_estimator;
+  double edmax = options.forced_edmax.value_or(estimator->EstimateDmax(k));
+
+  MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
+                  MakeMainQueueCompare(options));
+  QdmaxTracker tracker(k, options, stats);
+  std::vector<PairEntry> compensation;  // Qc: node pairs only, stays small
+  {
+    const PairEntry root = MakePair(RootRef(r), RootRef(s), options.metric);
+    AMDJ_RETURN_IF_ERROR(queue.Push(root));
+    tracker.OnPush(root);
+  }
+
+  std::vector<PairRef> left;
+  std::vector<PairRef> right;
+  PairEntry c;
+
+  // ------------------------------------------------------------------
+  // Stage one: aggressive pruning (Algorithm 2).
+  bool compensate = false;
+  while (results.size() < k && !queue.Empty()) {
+    AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+    if (!c.IsObjectPair()) tracker.OnNodePairLeave(c);
+    double qdmax = tracker.Cutoff();
+    // Line 8: an overestimated eDmax is clamped to qDmax, after which the
+    // stage behaves exactly like B-KDJ.
+    if (qdmax <= edmax) edmax = qdmax;
+    if (c.distance > edmax) {
+      // Line 9 (with the obvious reading of the garbled comparison): the
+      // frontier left the eDmax radius with fewer than k results, so eDmax
+      // was an underestimate. This check must precede emission — an
+      // *object* pair beyond eDmax must wait for the compensation stage,
+      // which first recovers the aggressively pruned closer pairs; emitting
+      // it here would break the non-decreasing output order.
+      AMDJ_RETURN_IF_ERROR(queue.Push(c));
+      if (!c.IsObjectPair()) tracker.OnPush(c);  // restore its certificate
+      compensate = true;
+      break;
+    }
+    if (c.IsObjectPair()) {
+      results.push_back({c.distance, c.r.id, c.s.id});
+      ++stats->pairs_produced;
+      continue;
+    }
+
+    ++stats->node_expansions;
+    AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
+    AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
+    const SweepPlan plan =
+        ChooseSweepPlan(c.r.rect, c.s.rect, edmax, options.sweep);
+
+    Status sweep_status;
+    double axis_cutoff = edmax;  // line 22: aggressive axis pruning
+    const bool covered = PlaneSweep(
+        left, right, plan, &axis_cutoff, stats,
+        [&](const PairRef& lref, const PairRef& rref, double /*axis_dist*/) {
+          if (!sweep_status.ok()) return;
+          ++stats->real_distance_computations;
+          const double real =
+              geom::MinDistance(lref.rect, rref.rect, options.metric);
+          if (real > qdmax) return;  // exact filter: permanent under qDmax
+          if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
+          PairEntry e;
+          e.r = lref;
+          e.s = rref;
+          e.distance = real;
+          sweep_status = queue.Push(e);
+          if (!sweep_status.ok()) {
+            axis_cutoff = -1.0;  // abort the sweep
+            return;
+          }
+          tracker.OnPush(e);
+          qdmax = tracker.Cutoff();
+        });
+    AMDJ_RETURN_IF_ERROR(sweep_status);
+
+    if (!covered) {
+      // Some sweep suffix was skipped under eDmax: remember the pair and
+      // the cutoff so compensation can examine exactly the remainder.
+      // (Fully covered pairs can never yield new children; keeping them out
+      // of Qc is what keeps it orders of magnitude smaller than Qm.)
+      c.prior_cutoff = edmax;
+      c.prior_axis = static_cast<int8_t>(plan.axis);
+      c.prior_dir =
+          plan.dir == geom::SweepDirection::kForward ? int8_t{0} : int8_t{1};
+      compensation.push_back(c);
+      ++stats->compensation_queue_insertions;
+    }
+  }
+
+  if (!compensate && results.size() < k && !compensation.empty()) {
+    // Stage one drained the main queue without reaching k (aggressively
+    // pruned pairs are still recoverable).
+    compensate = true;
+  }
+  if (results.size() >= k || !compensate) return results;
+
+  // ------------------------------------------------------------------
+  // Compensation stage (Algorithm 3).
+  for (const PairEntry& e : compensation) {
+    AMDJ_RETURN_IF_ERROR(queue.Push(e));
+  }
+  compensation.clear();
+
+  while (results.size() < k && !queue.Empty()) {
+    AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+    if (c.IsObjectPair()) {
+      results.push_back({c.distance, c.r.id, c.s.id});
+      ++stats->pairs_produced;
+      continue;
+    }
+    tracker.OnNodePairLeave(c);
+    double cutoff = tracker.Cutoff();
+    if (c.distance > cutoff) continue;
+
+    ++stats->node_expansions;
+    AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
+    AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
+    // Pairs expanded in stage one re-sweep with the *same* axis and
+    // direction (their children's sweep order is reproduced), skipping the
+    // already-examined prefix; fresh pairs get a full B-KDJ sweep.
+    SweepPlan plan;
+    double skip_below = -1.0;
+    if (c.WasExpanded()) {
+      plan.axis = c.prior_axis;
+      plan.dir = c.prior_dir == 0 ? geom::SweepDirection::kForward
+                                  : geom::SweepDirection::kBackward;
+      skip_below = c.prior_cutoff;
+    } else {
+      plan = ChooseSweepPlan(c.r.rect, c.s.rect, cutoff, options.sweep);
+    }
+
+    Status sweep_status;
+    PlaneSweep(left, right, plan, &cutoff, stats,
+               [&](const PairRef& lref, const PairRef& rref,
+                   double axis_dist) {
+                 if (!sweep_status.ok()) return;
+                 // Skip the stage-one prefix: those pairs were examined
+                 // under a qDmax no smaller than today's, so any that were
+                 // dropped stay dropped and any that qualified are already
+                 // in the main queue.
+                 if (axis_dist <= skip_below) return;
+                 ++stats->real_distance_computations;
+                 const double real = geom::MinDistance(lref.rect, rref.rect,
+                                                       options.metric);
+                 if (real > cutoff) return;
+                 if (options.exclude_same_id && IsSelfPair(lref, rref)) {
+                   return;
+                 }
+                 PairEntry e;
+                 e.r = lref;
+                 e.s = rref;
+                 e.distance = real;
+                 sweep_status = queue.Push(e);
+                 if (!sweep_status.ok()) {
+                   cutoff = -1.0;
+                   return;
+                 }
+                 tracker.OnPush(e);
+                 cutoff = tracker.Cutoff();
+               });
+    AMDJ_RETURN_IF_ERROR(sweep_status);
+  }
+  return results;
+}
+
+}  // namespace amdj::core

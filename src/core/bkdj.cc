@@ -1,0 +1,79 @@
+#include "core/bkdj.h"
+
+#include "core/expansion.h"
+#include "core/plane_sweeper.h"
+#include "core/qdmax_tracker.h"
+
+namespace amdj::core {
+
+StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
+                                            const rtree::RTree& s,
+                                            uint64_t k,
+                                            const JoinOptions& options,
+                                            JoinStats* stats) {
+  std::vector<ResultPair> results;
+  if (k == 0 || r.size() == 0 || s.size() == 0) return results;
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+
+  MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
+                  MakeMainQueueCompare(options));
+  QdmaxTracker tracker(k, options, stats);
+  {
+    const PairEntry root = MakePair(RootRef(r), RootRef(s), options.metric);
+    AMDJ_RETURN_IF_ERROR(queue.Push(root));
+    tracker.OnPush(root);
+  }
+
+  std::vector<PairRef> left;
+  std::vector<PairRef> right;
+  PairEntry c;
+  while (results.size() < k && !queue.Empty()) {
+    AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+    if (c.IsObjectPair()) {
+      results.push_back({c.distance, c.r.id, c.s.id});
+      ++stats->pairs_produced;
+      continue;
+    }
+    tracker.OnNodePairLeave(c);
+    // qDmax upper-bounds the final k-th distance at all times, so a pair
+    // whose minimum distance exceeds it can never contribute.
+    double cutoff = tracker.Cutoff();
+    if (c.distance > cutoff) continue;
+
+    ++stats->node_expansions;
+    AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
+    AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
+    const SweepPlan plan =
+        ChooseSweepPlan(c.r.rect, c.s.rect, cutoff, options.sweep);
+
+    Status sweep_status;
+    PlaneSweep(left, right, plan, &cutoff, stats,
+               [&](const PairRef& lref, const PairRef& rref,
+                   double /*axis_dist*/) {
+                 if (!sweep_status.ok()) return;
+                 ++stats->real_distance_computations;
+                 const double real =
+                     geom::MinDistance(lref.rect, rref.rect, options.metric);
+                 if (real > cutoff) return;  // Algorithm 1, line 17
+                 if (options.exclude_same_id && IsSelfPair(lref, rref)) {
+                   return;
+                 }
+                 PairEntry e;
+                 e.r = lref;
+                 e.s = rref;
+                 e.distance = real;
+                 sweep_status = queue.Push(e);
+                 if (!sweep_status.ok()) {
+                   cutoff = -1.0;  // abort the sweep
+                   return;
+                 }
+                 tracker.OnPush(e);  // line 19: qDmax may shrink
+                 cutoff = tracker.Cutoff();
+               });
+    AMDJ_RETURN_IF_ERROR(sweep_status);
+  }
+  return results;
+}
+
+}  // namespace amdj::core

@@ -1,0 +1,31 @@
+#include "core/cost_model.h"
+
+#include "storage/page.h"
+
+namespace amdj::core {
+
+double CostModel::Seconds(const storage::DiskStats& delta) const {
+  const double page_mb =
+      static_cast<double>(storage::kPageSize) / (1024.0 * 1024.0);
+  const double random_ops = static_cast<double>(delta.random_reads) +
+                            static_cast<double>(delta.random_writes);
+  const double seq_ops = static_cast<double>(delta.sequential_reads) +
+                         static_cast<double>(delta.sequential_writes);
+  return random_ops * page_mb / options_.random_mb_per_sec +
+         seq_ops * page_mb / options_.sequential_mb_per_sec;
+}
+
+storage::DiskStats CostModel::Delta(const storage::DiskStats& before,
+                                    const storage::DiskStats& after) {
+  storage::DiskStats d;
+  d.page_reads = after.page_reads - before.page_reads;
+  d.page_writes = after.page_writes - before.page_writes;
+  d.sequential_reads = after.sequential_reads - before.sequential_reads;
+  d.random_reads = after.random_reads - before.random_reads;
+  d.sequential_writes = after.sequential_writes - before.sequential_writes;
+  d.random_writes = after.random_writes - before.random_writes;
+  d.pages_allocated = after.pages_allocated - before.pages_allocated;
+  return d;
+}
+
+}  // namespace amdj::core

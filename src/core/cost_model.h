@@ -1,0 +1,38 @@
+#ifndef AMDJ_CORE_COST_MODEL_H_
+#define AMDJ_CORE_COST_MODEL_H_
+
+#include "storage/disk_manager.h"
+
+namespace amdj::core {
+
+/// Simulated I/O cost model reproducing the paper's testbed (Section 5.1):
+/// a locally attached 1999 EIDE disk accessed with direct I/O at roughly
+/// 0.5 MB/s for random and 5 MB/s for sequential page accesses. Response
+/// times in EXPERIMENTS.md are CPU time + this model applied to observed
+/// page I/O counts; absolute numbers differ from the paper's hardware but
+/// the shapes are governed by the same I/O counts.
+class CostModel {
+ public:
+  struct Options {
+    double random_mb_per_sec = 0.5;
+    double sequential_mb_per_sec = 5.0;
+  };
+
+  CostModel() : CostModel(Options{}) {}
+  explicit CostModel(const Options& options) : options_(options) {}
+
+  /// Seconds charged for the I/O recorded in `delta` (a DiskStats
+  /// difference between the end and start of a run).
+  double Seconds(const storage::DiskStats& delta) const;
+
+  /// after - before, counter-wise.
+  static storage::DiskStats Delta(const storage::DiskStats& before,
+                                  const storage::DiskStats& after);
+
+ private:
+  Options options_;
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_COST_MODEL_H_

@@ -1,0 +1,33 @@
+#ifndef AMDJ_CORE_CURSOR_H_
+#define AMDJ_CORE_CURSOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/pair_entry.h"
+
+namespace amdj::core {
+
+/// Pull-based incremental distance join (IDJ): each Next() yields the next
+/// object pair in non-decreasing distance order, with no preset stopping
+/// cardinality — the caller simply stops calling ("enough already").
+class DistanceJoinCursor {
+ public:
+  virtual ~DistanceJoinCursor() = default;
+
+  /// Produces the next pair into `*out`. Sets `*done` to true (leaving
+  /// `*out` untouched) when the join is exhausted.
+  virtual Status Next(ResultPair* out, bool* done) = 0;
+
+  /// Number of pairs produced so far.
+  virtual uint64_t produced() const = 0;
+
+  /// Optional hint that the caller will consume results up to cardinality
+  /// `k`; adaptive algorithms use it to pick eDmax for the next stage.
+  /// Default implementation ignores it.
+  virtual void PrefetchHint(uint64_t k) { (void)k; }
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_CURSOR_H_

@@ -1,0 +1,37 @@
+#ifndef AMDJ_CORE_CUTOFF_ESTIMATOR_H_
+#define AMDJ_CORE_CUTOFF_ESTIMATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace amdj::core {
+
+/// Strategy interface for estimating the maximum distance eDmax of a
+/// stopping cardinality k (Section 4.3). The paper ships the uniform
+/// assumption (DmaxEstimator, Eq. 3/4/5) and names non-uniform estimation
+/// as future work — HistogramEstimator implements that extension. Pass an
+/// instance via JoinOptions::estimator; it must outlive the join.
+class CutoffEstimator {
+ public:
+  virtual ~CutoffEstimator() = default;
+
+  /// Estimated distance of the k-th closest pair.
+  virtual double EstimateDmax(uint64_t k) const = 0;
+
+  /// Re-estimates for target k after k0 <= k pairs have been produced and
+  /// the k0-th distance is known to be dmax_k0 (Section 4.3.2).
+  /// `aggressive` errs low (risking compensation), otherwise high.
+  virtual double Correct(uint64_t k, uint64_t k0, double dmax_k0,
+                         bool aggressive) const = 0;
+
+  /// c -> estimated distance of the c-th closest pair, used as hybrid-queue
+  /// segment boundaries (Section 4.4). The default adapter captures `this`:
+  /// the estimator must outlive the returned function.
+  virtual std::function<double(uint64_t)> BoundaryFn() const {
+    return [this](uint64_t c) { return EstimateDmax(c); };
+  }
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_CUTOFF_ESTIMATOR_H_

@@ -1,0 +1,152 @@
+#include "core/distance_join.h"
+
+#include "common/timer.h"
+#include "core/amidj.h"
+#include "core/amkdj.h"
+#include "core/bkdj.h"
+#include "core/hs_join.h"
+#include "core/sj_sort.h"
+
+namespace amdj::core {
+
+namespace {
+
+/// Attaches a JoinStats sink to both trees' buffer pools for a scope.
+class StatsSinkGuard {
+ public:
+  StatsSinkGuard(const rtree::RTree& r, const rtree::RTree& s,
+                 JoinStats* stats)
+      : r_pool_(r.buffer_pool()), s_pool_(s.buffer_pool()) {
+    r_pool_->SetStatsSink(stats);
+    s_pool_->SetStatsSink(stats);
+  }
+  ~StatsSinkGuard() {
+    r_pool_->SetStatsSink(nullptr);
+    s_pool_->SetStatsSink(nullptr);
+  }
+
+  StatsSinkGuard(const StatsSinkGuard&) = delete;
+  StatsSinkGuard& operator=(const StatsSinkGuard&) = delete;
+
+ private:
+  storage::BufferPool* r_pool_;
+  storage::BufferPool* s_pool_;
+};
+
+/// Wraps an IDJ cursor: keeps the stats sink attached and measures CPU
+/// time around every Next().
+class TimedCursor : public DistanceJoinCursor {
+ public:
+  TimedCursor(const rtree::RTree& r, const rtree::RTree& s, JoinStats* stats,
+              std::unique_ptr<DistanceJoinCursor> inner)
+      : guard_(r, s, stats), stats_(stats), inner_(std::move(inner)) {}
+
+  Status Next(ResultPair* out, bool* done) override {
+    Timer timer;
+    const Status status = inner_->Next(out, done);
+    if (stats_ != nullptr) stats_->cpu_seconds += timer.ElapsedSeconds();
+    return status;
+  }
+
+  uint64_t produced() const override { return inner_->produced(); }
+  void PrefetchHint(uint64_t k) override { inner_->PrefetchHint(k); }
+
+  /// The wrapped cursor (for algorithm-specific knobs like
+  /// AmIdjCursor::ForceNextStageEdmax).
+  DistanceJoinCursor* inner() { return inner_.get(); }
+
+ private:
+  StatsSinkGuard guard_;
+  JoinStats* stats_;
+  std::unique_ptr<DistanceJoinCursor> inner_;
+};
+
+}  // namespace
+
+const char* ToString(KdjAlgorithm a) {
+  switch (a) {
+    case KdjAlgorithm::kHsKdj:
+      return "HS-KDJ";
+    case KdjAlgorithm::kBKdj:
+      return "B-KDJ";
+    case KdjAlgorithm::kAmKdj:
+      return "AM-KDJ";
+    case KdjAlgorithm::kSjSort:
+      return "SJ-SORT";
+  }
+  return "?";
+}
+
+const char* ToString(IdjAlgorithm a) {
+  switch (a) {
+    case IdjAlgorithm::kHsIdj:
+      return "HS-IDJ";
+    case IdjAlgorithm::kAmIdj:
+      return "AM-IDJ";
+  }
+  return "?";
+}
+
+StatusOr<double> ComputeTrueDmax(const rtree::RTree& r, const rtree::RTree& s,
+                                 uint64_t k, const JoinOptions& options) {
+  JoinOptions oracle_options = options;
+  oracle_options.forced_edmax.reset();
+  auto pairs = AmKdj::Run(r, s, k, oracle_options, nullptr);
+  if (!pairs.ok()) return pairs.status();
+  if (pairs->empty()) return 0.0;
+  return pairs->back().distance;
+}
+
+StatusOr<std::vector<ResultPair>> RunKDistanceJoin(const rtree::RTree& r,
+                                                   const rtree::RTree& s,
+                                                   uint64_t k,
+                                                   KdjAlgorithm algorithm,
+                                                   const JoinOptions& options,
+                                                   JoinStats* stats) {
+  double dmax = 0.0;
+  if (algorithm == KdjAlgorithm::kSjSort) {
+    // Oracle pre-pass, not charged to `stats` (favorable assumption).
+    auto oracle = ComputeTrueDmax(r, s, k, options);
+    if (!oracle.ok()) return oracle.status();
+    dmax = *oracle;
+  }
+
+  StatsSinkGuard guard(r, s, stats);
+  Timer timer;
+  StatusOr<std::vector<ResultPair>> result =
+      std::vector<ResultPair>();  // overwritten below
+  switch (algorithm) {
+    case KdjAlgorithm::kHsKdj:
+      result = HsKdj::Run(r, s, k, options, stats);
+      break;
+    case KdjAlgorithm::kBKdj:
+      result = BKdj::Run(r, s, k, options, stats);
+      break;
+    case KdjAlgorithm::kAmKdj:
+      result = AmKdj::Run(r, s, k, options, stats);
+      break;
+    case KdjAlgorithm::kSjSort:
+      result = SjSort::Run(r, s, k, dmax, options, stats);
+      break;
+  }
+  if (stats != nullptr) stats->cpu_seconds += timer.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<std::unique_ptr<DistanceJoinCursor>> OpenIncrementalJoin(
+    const rtree::RTree& r, const rtree::RTree& s, IdjAlgorithm algorithm,
+    const JoinOptions& options, JoinStats* stats) {
+  std::unique_ptr<DistanceJoinCursor> inner;
+  switch (algorithm) {
+    case IdjAlgorithm::kHsIdj:
+      inner = std::make_unique<HsIdjCursor>(r, s, options, stats);
+      break;
+    case IdjAlgorithm::kAmIdj:
+      inner = std::make_unique<AmIdjCursor>(r, s, options, stats);
+      break;
+  }
+  return std::unique_ptr<DistanceJoinCursor>(
+      new TimedCursor(r, s, stats, std::move(inner)));
+}
+
+}  // namespace amdj::core

@@ -1,0 +1,71 @@
+#ifndef AMDJ_CORE_DISTANCE_JOIN_H_
+#define AMDJ_CORE_DISTANCE_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/cursor.h"
+#include "core/options.h"
+#include "core/pair_entry.h"
+#include "rtree/rtree.h"
+
+/// \file
+/// Umbrella API for the library: run a k-distance join (KDJ) with any of
+/// the paper's algorithms, or open an incremental distance join (IDJ)
+/// cursor. These entry points also take care of the bookkeeping the raw
+/// algorithm classes leave to the caller: attaching the JoinStats sink to
+/// the trees' buffer pools and measuring CPU time.
+
+namespace amdj::core {
+
+/// k-distance-join algorithm selector.
+enum class KdjAlgorithm {
+  kHsKdj,   ///< Hjaltason-Samet baseline (uni-directional expansion).
+  kBKdj,    ///< Bidirectional expansion + optimized plane sweep (Sec. 3).
+  kAmKdj,   ///< Adaptive multi-stage (Sec. 4.1).
+  kSjSort,  ///< Spatial join within true Dmax + external sort.
+};
+
+/// Incremental-distance-join algorithm selector.
+enum class IdjAlgorithm {
+  kHsIdj,  ///< Hjaltason-Samet incremental baseline.
+  kAmIdj,  ///< Adaptive multi-stage incremental (Sec. 4.2).
+};
+
+/// Stable display name ("HS-KDJ", "B-KDJ", ...).
+const char* ToString(KdjAlgorithm a);
+const char* ToString(IdjAlgorithm a);
+
+/// Runs a k-distance join: the k pairs (r, s), r in `r`, s in `s`, with the
+/// smallest MinDistance(r, s), in non-decreasing order. For kSjSort the
+/// true Dmax is first computed with an exact AM-KDJ pre-pass whose cost is
+/// *not* charged to `stats` (the paper's "favorable assumption"); use
+/// SjSort::Run directly if you already know Dmax.
+///
+/// `stats` may be null. On success stats->cpu_seconds holds the measured
+/// wall time of the join itself.
+StatusOr<std::vector<ResultPair>> RunKDistanceJoin(const rtree::RTree& r,
+                                                   const rtree::RTree& s,
+                                                   uint64_t k,
+                                                   KdjAlgorithm algorithm,
+                                                   const JoinOptions& options,
+                                                   JoinStats* stats);
+
+/// Opens an incremental join cursor. The returned cursor keeps the trees'
+/// buffer-pool stats sinks attached for its lifetime and accumulates
+/// per-Next() CPU time into `stats`.
+StatusOr<std::unique_ptr<DistanceJoinCursor>> OpenIncrementalJoin(
+    const rtree::RTree& r, const rtree::RTree& s, IdjAlgorithm algorithm,
+    const JoinOptions& options, JoinStats* stats);
+
+/// The true Dmax oracle: distance of the k-th nearest pair (0 when the
+/// Cartesian product has fewer than k pairs... then the largest available
+/// distance; 0 if there are no pairs at all). Computed with AM-KDJ.
+StatusOr<double> ComputeTrueDmax(const rtree::RTree& r, const rtree::RTree& s,
+                                 uint64_t k, const JoinOptions& options);
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_DISTANCE_JOIN_H_

@@ -1,0 +1,59 @@
+#include "core/dmax_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amdj::core {
+
+DmaxEstimator::DmaxEstimator(const geom::Rect& r_bounds, uint64_t r_count,
+                             const geom::Rect& s_bounds, uint64_t s_count,
+                             geom::Metric metric) {
+  const double nr = static_cast<double>(std::max<uint64_t>(1, r_count));
+  const double ns = static_cast<double>(std::max<uint64_t>(1, s_count));
+  double area = geom::IntersectionArea(r_bounds, s_bounds);
+  if (area <= 0.0) {
+    // Disjoint data sets: Eq. 3's derivation assumes a shared region. Use
+    // the union area as the effective region and remember the gap, which
+    // lower-bounds every pair distance.
+    area = geom::Union(r_bounds, s_bounds).Area();
+    gap_ = geom::MinDistance(r_bounds, s_bounds, metric);
+  }
+  if (area <= 0.0) area = 1.0;  // both data sets degenerate to a point/line
+  rho_ = area / (geom::UnitBallAreaCoefficient(metric) * nr * ns);
+}
+
+double DmaxEstimator::InitialEstimate(uint64_t k) const {
+  return gap_ + std::sqrt(static_cast<double>(k) * rho_);
+}
+
+double DmaxEstimator::ArithmeticCorrection(uint64_t k, uint64_t k0,
+                                           double dmax_k0) const {
+  if (k0 >= k) return dmax_k0;
+  return std::sqrt(dmax_k0 * dmax_k0 +
+                   static_cast<double>(k - k0) * rho_);
+}
+
+double DmaxEstimator::GeometricCorrection(uint64_t k, uint64_t k0,
+                                          double dmax_k0) const {
+  if (k0 == 0 || dmax_k0 <= 0.0) return ArithmeticCorrection(k, k0, dmax_k0);
+  if (k0 >= k) return dmax_k0;
+  return dmax_k0 * std::sqrt(static_cast<double>(k) /
+                             static_cast<double>(k0));
+}
+
+double DmaxEstimator::Correct(uint64_t k, uint64_t k0, double dmax_k0,
+                              bool aggressive) const {
+  const double a = ArithmeticCorrection(k, k0, dmax_k0);
+  const double g = GeometricCorrection(k, k0, dmax_k0);
+  return aggressive ? std::min(a, g) : std::max(a, g);
+}
+
+std::function<double(uint64_t)> DmaxEstimator::BoundaryFn() const {
+  const double rho = rho_;
+  const double gap = gap_;
+  return [rho, gap](uint64_t c) {
+    return gap + std::sqrt(static_cast<double>(c) * rho);
+  };
+}
+
+}  // namespace amdj::core

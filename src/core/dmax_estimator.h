@@ -1,0 +1,70 @@
+#ifndef AMDJ_CORE_DMAX_ESTIMATOR_H_
+#define AMDJ_CORE_DMAX_ESTIMATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/cutoff_estimator.h"
+#include "geom/metric.h"
+#include "geom/rect.h"
+
+namespace amdj::core {
+
+/// Estimates the cutoff distance Dmax for a stopping cardinality k
+/// (Section 4.3), assuming uniformly distributed data: the expected number
+/// of object pairs within distance d is |R||S| * C d^2 / area(R cap S)
+/// (C = the metric's unit-ball area coefficient, pi for L2), so
+///
+///   eDmax(k)   = sqrt(k * rho),   rho = area(R cap S) / (C |R| |S|)  (Eq 3)
+///
+/// with runtime corrections once k0 < k pairs and the k0-th distance
+/// Dmax(k0) are known:
+///
+///   arithmetic: sqrt(Dmax(k0)^2 + (k - k0) * rho)                     (Eq 4)
+///   geometric:  Dmax(k0) * sqrt(k / k0)                               (Eq 5)
+///
+/// For skewed data these overestimate (close pairs concentrate in dense
+/// regions), which the paper observes as well; overestimates are the safe
+/// direction for AM-KDJ (it degrades to B-KDJ). For a skew-aware
+/// alternative see HistogramEstimator.
+class DmaxEstimator : public CutoffEstimator {
+ public:
+  /// `r_bounds`/`s_bounds` are the MBRs of the two data sets and
+  /// `r_count`/`s_count` their cardinalities (>= 1 for meaningful output).
+  DmaxEstimator(const geom::Rect& r_bounds, uint64_t r_count,
+                const geom::Rect& s_bounds, uint64_t s_count,
+                geom::Metric metric = geom::Metric::kL2);
+
+  /// The density constant rho of Eq. 3.
+  double rho() const { return rho_; }
+
+  /// Eq. 3. If the data sets' MBRs are disjoint, the gap between them is
+  /// added (no pair can be closer than the gap).
+  double InitialEstimate(uint64_t k) const;
+
+  /// Eq. 4.
+  double ArithmeticCorrection(uint64_t k, uint64_t k0, double dmax_k0) const;
+
+  /// Eq. 5 (falls back to the arithmetic correction when dmax_k0 == 0).
+  double GeometricCorrection(uint64_t k, uint64_t k0, double dmax_k0) const;
+
+  // CutoffEstimator:
+  double EstimateDmax(uint64_t k) const override {
+    return InitialEstimate(k);
+  }
+  /// Combined correction: aggressive takes the min of Eq. 4/5,
+  /// conservative the max.
+  double Correct(uint64_t k, uint64_t k0, double dmax_k0,
+                 bool aggressive) const override;
+  /// Self-contained closed form (captures rho by value; no lifetime tie to
+  /// this object).
+  std::function<double(uint64_t)> BoundaryFn() const override;
+
+ private:
+  double rho_ = 0.0;
+  double gap_ = 0.0;  // min distance between the two data-set MBRs
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_DMAX_ESTIMATOR_H_

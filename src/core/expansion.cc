@@ -1,0 +1,65 @@
+#include "core/expansion.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "rtree/node.h"
+
+namespace amdj::core {
+
+PairRef RootRef(const rtree::RTree& tree) {
+  PairRef ref;
+  ref.rect = tree.size() > 0 ? tree.bounds() : geom::Rect();
+  ref.id = tree.root();
+  ref.kind = RefKind::kNode;
+  ref.level = static_cast<uint8_t>(tree.height() - 1);
+  return ref;
+}
+
+Status FetchChildren(const rtree::RTree& tree, const PairRef& ref,
+                     std::vector<PairRef>* out) {
+  AMDJ_CHECK(!ref.IsObject()) << "cannot expand an object ref";
+  rtree::Node node;
+  AMDJ_RETURN_IF_ERROR(tree.ReadNode(ref.id, &node));
+  out->clear();
+  out->reserve(node.entries.size());
+  for (const rtree::Entry& e : node.entries) {
+    PairRef child;
+    child.rect = e.rect;
+    child.id = e.id;
+    if (node.IsLeaf()) {
+      child.kind = RefKind::kObject;
+      child.level = 0;
+    } else {
+      child.kind = RefKind::kNode;
+      child.level = static_cast<uint8_t>(node.level - 1);
+    }
+    out->push_back(child);
+  }
+  return Status::OK();
+}
+
+Status ChildList(const rtree::RTree& tree, const PairRef& ref,
+                 std::vector<PairRef>* out) {
+  if (ref.IsObject()) {
+    out->assign(1, ref);
+    return Status::OK();
+  }
+  return FetchChildren(tree, ref, out);
+}
+
+Status ChildList(const rtree::RTree& tree, const PairRef& ref,
+                 const std::optional<geom::Rect>& window,
+                 std::vector<PairRef>* out) {
+  AMDJ_RETURN_IF_ERROR(ChildList(tree, ref, out));
+  if (window.has_value()) {
+    out->erase(std::remove_if(out->begin(), out->end(),
+                              [&](const PairRef& child) {
+                                return !child.rect.Intersects(*window);
+                              }),
+               out->end());
+  }
+  return Status::OK();
+}
+
+}  // namespace amdj::core

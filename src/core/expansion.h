@@ -1,0 +1,37 @@
+#ifndef AMDJ_CORE_EXPANSION_H_
+#define AMDJ_CORE_EXPANSION_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pair_entry.h"
+#include "rtree/rtree.h"
+
+namespace amdj::core {
+
+/// The PairRef designating `tree`'s root node (level = height - 1).
+PairRef RootRef(const rtree::RTree& tree);
+
+/// Loads the children of a node ref as PairRefs: objects if the node is a
+/// leaf, nodes one level down otherwise. Counts one node access on the
+/// tree's buffer pool. `ref` must be a node ref.
+Status FetchChildren(const rtree::RTree& tree, const PairRef& ref,
+                     std::vector<PairRef>* out);
+
+/// Children of a pair side: FetchChildren for a node, the ref itself for an
+/// object (so object/node mixed pairs expand uniformly, degenerating to a
+/// one-sided sweep).
+Status ChildList(const rtree::RTree& tree, const PairRef& ref,
+                 std::vector<PairRef>* out);
+
+/// ChildList restricted to refs intersecting `window` (pass std::nullopt
+/// for no restriction). Because a node MBR disjoint from the window cannot
+/// contain an intersecting object, pruning at every level is exact.
+Status ChildList(const rtree::RTree& tree, const PairRef& ref,
+                 const std::optional<geom::Rect>& window,
+                 std::vector<PairRef>* out);
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_EXPANSION_H_

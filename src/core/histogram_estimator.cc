@@ -1,0 +1,217 @@
+#include "core/histogram_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amdj::core {
+
+namespace {
+
+/// Degenerate (zero-area) bounds are inflated so cells have usable area.
+geom::Rect InflateIfDegenerate(geom::Rect bounds) {
+  if (bounds.IsEmpty()) return geom::Rect(0, 0, 1, 1);
+  const double pad_x = bounds.Side(0) > 0 ? 0.0 : 0.5;
+  const double pad_y = bounds.Side(1) > 0 ? 0.0 : 0.5;
+  bounds.lo.x -= pad_x;
+  bounds.hi.x += pad_x;
+  bounds.lo.y -= pad_y;
+  bounds.hi.y += pad_y;
+  return bounds;
+}
+
+}  // namespace
+
+HistogramEstimator::HistogramEstimator(
+    const std::vector<geom::Rect>& r_objects,
+    const std::vector<geom::Rect>& s_objects, const Options& options)
+    : options_(options) {
+  for (const geom::Rect& r : r_objects) bounds_.Extend(r);
+  for (const geom::Rect& s : s_objects) bounds_.Extend(s);
+  Finalize();
+  AddObjects(r_objects, &r_counts_);
+  AddObjects(s_objects, &s_counts_);
+  total_r_ = static_cast<double>(r_objects.size());
+  total_s_ = static_cast<double>(s_objects.size());
+}
+
+StatusOr<HistogramEstimator> HistogramEstimator::FromTrees(
+    const rtree::RTree& r, const rtree::RTree& s, const Options& options) {
+  HistogramEstimator est(options);
+  est.bounds_ = geom::Union(r.size() > 0 ? r.bounds() : geom::Rect::Empty(),
+                            s.size() > 0 ? s.bounds()
+                                         : geom::Rect::Empty());
+  est.Finalize();
+  std::vector<geom::Rect> batch;
+  auto add_tree = [&](const rtree::RTree& tree,
+                      std::vector<double>* counts) -> Status {
+    batch.clear();
+    AMDJ_RETURN_IF_ERROR(tree.ForEachObject(
+        [&](const rtree::Entry& e) { batch.push_back(e.rect); }));
+    est.AddObjects(batch, counts);
+    return Status::OK();
+  };
+  AMDJ_RETURN_IF_ERROR(add_tree(r, &est.r_counts_));
+  est.total_r_ = static_cast<double>(r.size());
+  AMDJ_RETURN_IF_ERROR(add_tree(s, &est.s_counts_));
+  est.total_s_ = static_cast<double>(s.size());
+  return est;
+}
+
+void HistogramEstimator::Finalize() {
+  grid_ = std::max<uint32_t>(1, options_.grid);
+  bounds_ = InflateIfDegenerate(bounds_);
+  diameter_ = geom::MaxDistance(bounds_, bounds_, options_.metric);
+  if (diameter_ <= 0) diameter_ = 1.0;
+  r_counts_.assign(static_cast<size_t>(grid_) * grid_, 0.0);
+  s_counts_.assign(static_cast<size_t>(grid_) * grid_, 0.0);
+}
+
+void HistogramEstimator::AddObjects(const std::vector<geom::Rect>& objects,
+                                    std::vector<double>* counts) {
+  const double inv_w = grid_ / std::max(bounds_.Side(0), 1e-300);
+  const double inv_h = grid_ / std::max(bounds_.Side(1), 1e-300);
+  for (const geom::Rect& r : objects) {
+    const geom::Point c = r.Center();
+    const uint32_t cx = std::min<uint32_t>(
+        grid_ - 1, static_cast<uint32_t>(
+                       std::max(0.0, (c.x - bounds_.lo.x) * inv_w)));
+    const uint32_t cy = std::min<uint32_t>(
+        grid_ - 1, static_cast<uint32_t>(
+                       std::max(0.0, (c.y - bounds_.lo.y) * inv_h)));
+    (*counts)[static_cast<size_t>(cy) * grid_ + cx] += 1.0;
+  }
+}
+
+geom::Rect HistogramEstimator::CellRect(uint32_t cx, uint32_t cy) const {
+  const double w = bounds_.Side(0) / grid_;
+  const double h = bounds_.Side(1) / grid_;
+  return geom::Rect(bounds_.lo.x + cx * w, bounds_.lo.y + cy * h,
+                    bounds_.lo.x + (cx + 1) * w,
+                    bounds_.lo.y + (cy + 1) * h);
+}
+
+double HistogramEstimator::ExpectedPairsWithin(double d) const {
+  if (d < 0 || total_r_ == 0 || total_s_ == 0) return 0.0;
+  const double cell_w = bounds_.Side(0) / grid_;
+  const double cell_h = bounds_.Side(1) / grid_;
+  const double cell_area = std::max(cell_w * cell_h, 1e-300);
+  const double coeff = geom::UnitBallAreaCoefficient(options_.metric);
+
+  double expected = 0.0;
+  for (uint32_t ry = 0; ry < grid_; ++ry) {
+    for (uint32_t rx = 0; rx < grid_; ++rx) {
+      const double rc = r_counts_[static_cast<size_t>(ry) * grid_ + rx];
+      if (rc == 0.0) continue;
+      const geom::Rect r_cell = CellRect(rx, ry);
+      // Only s-cells whose separation can be <= d.
+      const auto lo_idx = [&](double v, double origin, double inv) {
+        return static_cast<uint32_t>(
+            std::clamp((v - origin) * inv, 0.0, double(grid_ - 1)));
+      };
+      const double inv_w = 1.0 / std::max(cell_w, 1e-300);
+      const double inv_h = 1.0 / std::max(cell_h, 1e-300);
+      const uint32_t sx0 =
+          lo_idx(r_cell.lo.x - d, bounds_.lo.x, inv_w);
+      const uint32_t sx1 =
+          lo_idx(r_cell.hi.x + d, bounds_.lo.x, inv_w);
+      const uint32_t sy0 =
+          lo_idx(r_cell.lo.y - d, bounds_.lo.y, inv_h);
+      const uint32_t sy1 =
+          lo_idx(r_cell.hi.y + d, bounds_.lo.y, inv_h);
+      // Model: an object of this r-cell sees the S objects inside the
+      // distance-d ball around it; approximate the ball by the equal-area
+      // square window centered on the cell center and intersect it with
+      // each s-cell (whose objects are treated as uniformly spread). For
+      // uniform data the sum telescopes to |R||S| * C d^2 / A — exactly
+      // Eq. 3 — while for skewed data dense cells weigh in quadratically.
+      const geom::Point center = r_cell.Center();
+      const double half = 0.5 * std::sqrt(coeff) * d;
+      const geom::Rect window(center.x - half, center.y - half,
+                              center.x + half, center.y + half);
+      for (uint32_t sy = sy0; sy <= sy1; ++sy) {
+        for (uint32_t sx = sx0; sx <= sx1; ++sx) {
+          const double sc = s_counts_[static_cast<size_t>(sy) * grid_ + sx];
+          if (sc == 0.0) continue;
+          const geom::Rect s_cell = CellRect(sx, sy);
+          const double frac =
+              geom::IntersectionArea(window, s_cell) / cell_area;
+          expected += rc * sc * std::min(1.0, frac);
+        }
+      }
+    }
+  }
+  return expected;
+}
+
+double HistogramEstimator::InvertExpectedPairs(double target) const {
+  if (target <= 0) return 0.0;
+  if (ExpectedPairsWithin(diameter_) <= target) return diameter_;
+  double lo = 0.0;
+  double hi = diameter_;
+  for (int iter = 0; iter < 40 && hi - lo > 1e-9 * diameter_; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedPairsWithin(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double HistogramEstimator::EstimateDmax(uint64_t k) const {
+  return InvertExpectedPairs(static_cast<double>(k));
+}
+
+double HistogramEstimator::Correct(uint64_t k, uint64_t k0, double dmax_k0,
+                                   bool aggressive) const {
+  if (k0 >= k) return std::max(dmax_k0, 0.0);
+  // Calibrate the histogram prediction against the observed ground truth.
+  double scale = 1.0;
+  if (k0 > 0 && dmax_k0 > 0) {
+    const double predicted = ExpectedPairsWithin(dmax_k0);
+    if (predicted > 0) {
+      scale = static_cast<double>(k0) / predicted;
+    }
+  }
+  const double calibrated =
+      InvertExpectedPairs(static_cast<double>(k) / scale);
+  double geometric = calibrated;
+  if (k0 > 0 && dmax_k0 > 0) {
+    geometric = dmax_k0 * std::sqrt(static_cast<double>(k) /
+                                    static_cast<double>(k0));
+  }
+  const double combined =
+      aggressive ? std::min(calibrated, geometric)
+                 : std::max(calibrated, geometric);
+  return std::max(combined, dmax_k0);
+}
+
+std::function<double(uint64_t)> HistogramEstimator::BoundaryFn() const {
+  // Sample the monotone pair-count curve at quadratically spaced distances
+  // (denser near 0, where the queue's boundaries live) and interpolate its
+  // inverse.
+  constexpr int kSamples = 128;
+  std::vector<double> distances(kSamples + 1);
+  std::vector<double> counts(kSamples + 1);
+  for (int i = 0; i <= kSamples; ++i) {
+    const double frac = static_cast<double>(i) / kSamples;
+    distances[i] = diameter_ * frac * frac;
+    counts[i] = ExpectedPairsWithin(distances[i]);
+  }
+  return [distances = std::move(distances),
+          counts = std::move(counts)](uint64_t c) {
+    const double target = static_cast<double>(c);
+    if (target <= counts.front()) return distances.front();
+    if (target >= counts.back()) return distances.back();
+    // First sample with count >= target.
+    const auto it = std::lower_bound(counts.begin(), counts.end(), target);
+    const size_t hi = static_cast<size_t>(it - counts.begin());
+    const size_t lo = hi - 1;
+    const double span = counts[hi] - counts[lo];
+    const double t = span > 0 ? (target - counts[lo]) / span : 1.0;
+    return distances[lo] + t * (distances[hi] - distances[lo]);
+  };
+}
+
+}  // namespace amdj::core

@@ -1,0 +1,139 @@
+#include "core/hs_join.h"
+
+#include "core/dmax_estimator.h"
+#include "core/expansion.h"
+
+namespace amdj::core {
+
+MainQueue::Options MakeMainQueueOptions(const rtree::RTree& r,
+                                        const rtree::RTree& s,
+                                        const JoinOptions& options) {
+  MainQueue::Options qopts;
+  qopts.memory_bytes = options.queue_memory_bytes;
+  qopts.disk = options.queue_disk;
+  if (options.queue_disk != nullptr &&
+      options.predetermined_queue_boundaries && r.size() > 0 &&
+      s.size() > 0) {
+    if (options.estimator != nullptr) {
+      qopts.boundary_fn = options.estimator->BoundaryFn();
+    } else {
+      DmaxEstimator estimator(r.bounds(), r.size(), s.bounds(), s.size(),
+                              options.metric);
+      qopts.boundary_fn = estimator.BoundaryFn();
+    }
+  }
+  return qopts;
+}
+
+namespace internal_hs {
+
+Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
+                            const PairEntry& pair, double cutoff,
+                            const JoinOptions& options, MainQueue* queue,
+                            QdmaxTracker* tracker, JoinStats* stats) {
+  ++stats->node_expansions;
+  // Pick the side to expand: a node over an object; the higher level over
+  // the lower; ties by larger area (the node more in need of refinement).
+  bool expand_r;
+  if (pair.r.IsObject()) {
+    expand_r = false;
+  } else if (pair.s.IsObject()) {
+    expand_r = true;
+  } else if (pair.r.level != pair.s.level) {
+    expand_r = pair.r.level > pair.s.level;
+  } else {
+    expand_r = pair.r.rect.Area() >= pair.s.rect.Area();
+  }
+
+  std::vector<PairRef> children;
+  AMDJ_RETURN_IF_ERROR(ChildList(expand_r ? r : s,
+                                 expand_r ? pair.r : pair.s,
+                                 expand_r ? options.r_window
+                                          : options.s_window,
+                                 &children));
+  const PairRef& other = expand_r ? pair.s : pair.r;
+  for (const PairRef& child : children) {
+    ++stats->real_distance_computations;
+    PairEntry e = expand_r ? MakePair(child, other, options.metric)
+                           : MakePair(other, child, options.metric);
+    if (e.distance > cutoff) continue;
+    if (options.exclude_same_id && IsSelfPair(e.r, e.s)) continue;
+    AMDJ_RETURN_IF_ERROR(queue->Push(e));
+    if (tracker != nullptr) tracker->OnPush(e);
+  }
+  return Status::OK();
+}
+
+}  // namespace internal_hs
+
+StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
+                                             const rtree::RTree& s,
+                                             uint64_t k,
+                                             const JoinOptions& options,
+                                             JoinStats* stats) {
+  std::vector<ResultPair> results;
+  if (k == 0 || r.size() == 0 || s.size() == 0) return results;
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+
+  MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
+                  MakeMainQueueCompare(options));
+  QdmaxTracker tracker(k, options, stats);
+  {
+    const PairEntry root = MakePair(RootRef(r), RootRef(s), options.metric);
+    AMDJ_RETURN_IF_ERROR(queue.Push(root));
+    tracker.OnPush(root);
+  }
+
+  PairEntry c;
+  while (results.size() < k && !queue.Empty()) {
+    AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+    if (c.IsObjectPair()) {
+      results.push_back({c.distance, c.r.id, c.s.id});
+      ++stats->pairs_produced;
+      continue;
+    }
+    tracker.OnNodePairLeave(c);
+    if (c.distance > tracker.Cutoff()) continue;
+    AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
+        r, s, c, tracker.Cutoff(), options, &queue, &tracker, stats));
+  }
+  return results;
+}
+
+HsIdjCursor::HsIdjCursor(const rtree::RTree& r, const rtree::RTree& s,
+                         const JoinOptions& options, JoinStats* stats)
+    : r_(r),
+      s_(s),
+      options_(options),
+      stats_(stats != nullptr ? stats : &local_stats_),
+      queue_(MakeMainQueueOptions(r, s, options), stats_,
+             MakeMainQueueCompare(options)) {}
+
+Status HsIdjCursor::Next(ResultPair* out, bool* done) {
+  *done = false;
+  if (!primed_) {
+    primed_ = true;
+    if (r_.size() > 0 && s_.size() > 0) {
+      AMDJ_RETURN_IF_ERROR(queue_.Push(
+          MakePair(RootRef(r_), RootRef(s_), options_.metric)));
+    }
+  }
+  PairEntry c;
+  const double kNoCutoff = std::numeric_limits<double>::infinity();
+  while (!queue_.Empty()) {
+    AMDJ_RETURN_IF_ERROR(queue_.Pop(&c));
+    if (c.IsObjectPair()) {
+      *out = {c.distance, c.r.id, c.s.id};
+      ++produced_;
+      ++stats_->pairs_produced;
+      return Status::OK();
+    }
+    AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
+        r_, s_, c, kNoCutoff, options_, &queue_, nullptr, stats_));
+  }
+  *done = true;
+  return Status::OK();
+}
+
+}  // namespace amdj::core

@@ -1,0 +1,126 @@
+#ifndef AMDJ_CORE_OPTIONS_H_
+#define AMDJ_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/cutoff_estimator.h"
+#include "geom/metric.h"
+#include "storage/disk_manager.h"
+
+namespace amdj::core {
+
+/// Plane-sweep optimization level (Sections 3.2/3.3). The ablation benches
+/// compare these; production use is kOptimized.
+enum class SweepStrategy : uint8_t {
+  /// Choose sweeping axis by minimum sweeping index and direction by
+  /// projected-interval comparison (the paper's full optimization).
+  kOptimized = 0,
+  /// Fixed x-axis, forward direction (the paper's Figure 11 baseline).
+  kFixedXForward = 1,
+  /// Optimized axis, fixed forward direction.
+  kAxisOnly = 2,
+  /// Fixed x-axis, optimized direction.
+  kDirectionOnly = 3,
+};
+
+/// What enters the distance queue (footnote 1 of the paper).
+enum class DistanceQueuePolicy : uint8_t {
+  /// Insert real distances of object pairs only (the paper's choice).
+  kObjectPairsOnly = 0,
+  /// Additionally insert max-distances of node pairs (the alternative the
+  /// footnote argues against; kept for the ablation bench).
+  kAllPairs = 1,
+};
+
+/// Main-queue tie handling for equal-distance entries. Spatial data has
+/// huge zero-distance plateaus (every intersecting pair), so this choice
+/// dominates small-k behaviour: kObjectsFirst surfaces results without
+/// expanding the whole plateau; kDistanceOnly (ids decide, kind-blind)
+/// models a 1998-era implementation and reproduces the paper's far more
+/// expensive HS baseline (bench/ablation_tie_break).
+enum class TieBreak : uint8_t {
+  kObjectsFirst = 0,
+  kDistanceOnly = 1,
+};
+
+/// How the two runtime eDmax corrections (Eq. 4 arithmetic, Eq. 5
+/// geometric) are combined (Section 4.3.2).
+enum class CorrectionPolicy : uint8_t {
+  /// min(arithmetic, geometric): "err on the aggressive side".
+  kAggressive = 0,
+  /// max(arithmetic, geometric): conservative.
+  kConservative = 1,
+  kArithmeticOnly = 2,
+  kGeometricOnly = 3,
+};
+
+/// Knobs shared by every distance-join algorithm.
+struct JoinOptions {
+  /// In-memory budget of the main queue (the paper's "in-memory portion of
+  /// a main queue", 512 KB in most experiments).
+  size_t queue_memory_bytes = 512 * 1024;
+
+  /// Spill target for the main queue's disk segments and the external
+  /// sorter. nullptr keeps queues entirely in memory (useful for tests).
+  storage::DiskManager* queue_disk = nullptr;
+
+  /// Plane-sweep optimization level.
+  SweepStrategy sweep = SweepStrategy::kOptimized;
+
+  /// Distance-queue content policy (KDJ algorithms only).
+  DistanceQueuePolicy distance_queue_policy =
+      DistanceQueuePolicy::kObjectPairsOnly;
+
+  /// Overrides the Eq.-3 initial eDmax estimate (Figure 14 forces
+  /// multiples of the true Dmax through this).
+  std::optional<double> forced_edmax;
+
+  /// First-stage target cardinality for AM-IDJ when no hint is given.
+  uint64_t idj_initial_k = 4096;
+
+  /// How runtime corrections combine (AM-IDJ stage transitions).
+  CorrectionPolicy correction = CorrectionPolicy::kConservative;
+
+  /// Use the Eq.-3 boundary formula to predetermine hybrid-queue segment
+  /// boundaries (Section 4.4). Disabled = adaptive median splits only.
+  bool predetermined_queue_boundaries = true;
+
+  /// Distance metric for pair ranking. Axis-distance pruning and Lemma 1
+  /// are exact under every supported Lp metric.
+  geom::Metric metric = geom::Metric::kL2;
+
+  /// Self-join mode: suppress pairs whose two sides are the same object id
+  /// (useful when joining a tree with itself — otherwise the k results are
+  /// dominated by the zero-distance diagonal).
+  bool exclude_same_id = false;
+
+  /// Custom eDmax estimator for the adaptive algorithms (e.g.
+  /// HistogramEstimator for skewed data). Not owned; must outlive the
+  /// join. nullptr = the paper's uniform Eq.-3 estimator.
+  const CutoffEstimator* estimator = nullptr;
+
+  /// Main-queue tie handling (see TieBreak).
+  TieBreak tie_break = TieBreak::kObjectsFirst;
+
+  /// AM-KDJ only: apply Section 4.3.2's runtime correction. When the
+  /// aggressive stage exhausts its cutoff with fewer than k results, the
+  /// estimate is re-corrected from the results so far (Eq. 4/5 or the
+  /// custom estimator) and the stage *resumes* under the grown cutoff
+  /// (recovering the compensation queue first), instead of falling
+  /// straight back to qDmax-only processing. Off by default — the paper's
+  /// AM-KDJ experiments use the initial estimate alone (Section 5.2).
+  bool kdj_adaptive_correction = false;
+
+  /// Spatial restriction: only R objects intersecting r_window (and S
+  /// objects intersecting s_window) participate. Unset = no restriction.
+  /// Filtering happens during node expansion, so subtrees outside a
+  /// window are never visited ("find the nearest hotel-restaurant pairs
+  /// downtown").
+  std::optional<geom::Rect> r_window;
+  std::optional<geom::Rect> s_window;
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_OPTIONS_H_

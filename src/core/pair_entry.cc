@@ -1,0 +1,25 @@
+#include "core/pair_entry.h"
+
+#include <sstream>
+
+namespace amdj::core {
+
+PairEntry MakePair(const PairRef& r, const PairRef& s,
+                   geom::Metric metric) {
+  PairEntry e;
+  e.r = r;
+  e.s = s;
+  e.distance = geom::MinDistance(r.rect, s.rect, metric);
+  return e;
+}
+
+std::string PairEntry::ToString() const {
+  std::ostringstream os;
+  os << "<" << (r.IsObject() ? "obj " : "node ") << r.id << " @L"
+     << static_cast<int>(r.level) << ", " << (s.IsObject() ? "obj " : "node ")
+     << s.id << " @L" << static_cast<int>(s.level) << "> dist=" << distance;
+  if (WasExpanded()) os << " prior_cutoff=" << prior_cutoff;
+  return os.str();
+}
+
+}  // namespace amdj::core

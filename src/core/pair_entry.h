@@ -1,0 +1,99 @@
+#ifndef AMDJ_CORE_PAIR_ENTRY_H_
+#define AMDJ_CORE_PAIR_ENTRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/metric.h"
+#include "geom/rect.h"
+
+namespace amdj::core {
+
+/// What one side of a queued pair refers to.
+enum class RefKind : uint8_t {
+  kNode = 0,    ///< An R-tree node; `id` is its page id.
+  kObject = 1,  ///< A data object; `id` is the caller-assigned object id.
+};
+
+/// One side of a pair: an R-tree node or an object, with its MBR.
+struct PairRef {
+  geom::Rect rect;
+  uint32_t id = 0;
+  RefKind kind = RefKind::kNode;
+  /// Node level (0 = leaf); 0 for objects.
+  uint8_t level = 0;
+
+  bool IsObject() const { return kind == RefKind::kObject; }
+};
+
+/// An element of the main queue: a pair of refs plus bookkeeping for the
+/// adaptive multi-stage algorithms. Trivially copyable so the hybrid queue
+/// can spill it to disk bytewise.
+struct PairEntry {
+  /// MinDistance(r.rect, s.rect); the priority.
+  double distance = 0.0;
+  PairRef r;
+  PairRef s;
+
+  /// Cutoff (eDmax) in effect when this pair was partially expanded in an
+  /// earlier aggressive stage; kNeverExpanded if it has not been expanded.
+  /// Compensation sweeps use it to skip the already-examined sweep prefix.
+  double prior_cutoff = kNeverExpanded;
+  /// Sweep axis used by that earlier expansion (-1 = none).
+  int8_t prior_axis = -1;
+  /// Sweep direction used by that earlier expansion (0 fwd, 1 bwd).
+  int8_t prior_dir = 0;
+
+  static constexpr double kNeverExpanded = -1.0;
+
+  bool IsObjectPair() const { return r.IsObject() && s.IsObject(); }
+  bool WasExpanded() const { return prior_cutoff >= 0.0; }
+
+  std::string ToString() const;
+};
+
+/// Main-queue order: ascending distance; with objects_first (the default)
+/// ties pop object pairs before node pairs (equal-distance results surface
+/// without extra expansions), then ids for determinism. objects_first =
+/// false is kind-blind, modelling a tie-naive implementation (see
+/// JoinOptions::tie_break).
+struct PairEntryCompare {
+  bool objects_first = true;
+
+  bool operator()(const PairEntry& a, const PairEntry& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    if (objects_first) {
+      const bool ao = a.IsObjectPair();
+      const bool bo = b.IsObjectPair();
+      if (ao != bo) return ao;
+    }
+    if (a.r.id != b.r.id) return a.r.id < b.r.id;
+    return a.s.id < b.s.id;
+  }
+};
+
+/// Builds a pair entry (computing its distance under `metric`) from two
+/// refs.
+PairEntry MakePair(const PairRef& r, const PairRef& s,
+                   geom::Metric metric = geom::Metric::kL2);
+
+/// True if the pair should be suppressed in self-join mode: both sides are
+/// objects carrying the same id.
+inline bool IsSelfPair(const PairRef& r, const PairRef& s) {
+  return r.IsObject() && s.IsObject() && r.id == s.id;
+}
+
+/// One produced join result.
+struct ResultPair {
+  double distance = 0.0;
+  uint32_t r_id = 0;
+  uint32_t s_id = 0;
+
+  bool operator==(const ResultPair& o) const {
+    return distance == o.distance && r_id == o.r_id && s_id == o.s_id;
+  }
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_PAIR_ENTRY_H_

@@ -1,0 +1,92 @@
+#ifndef AMDJ_CORE_PLANE_SWEEPER_H_
+#define AMDJ_CORE_PLANE_SWEEPER_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/pair_entry.h"
+#include "core/sweep_plan.h"
+#include "geom/sweep_geometry.h"
+
+namespace amdj::core {
+
+/// Bidirectional plane sweep over two child lists (the heart of Algorithm 1
+/// and its aggressive/compensating variants): repeatedly take the not-yet-
+/// processed item with the minimum sweep coordinate as the *anchor* and scan
+/// the remaining items of the *other* list in sweep order, stopping as soon
+/// as the axis separation exceeds `*cutoff` — so only O(|L| + |R|) pairs are
+/// touched for a tight cutoff instead of the full Cartesian product.
+///
+/// `*cutoff` is re-read before every comparison, so a callback that shrinks
+/// the cutoff (e.g. B-KDJ inserting an object-pair distance into the
+/// distance queue) immediately tightens the remaining sweep.
+///
+/// The callback is invoked as cb(left_ref, right_ref, axis_distance) with
+/// axis_distance non-decreasing per anchor; it computes the real distance
+/// and applies the algorithm-specific filters. Every unordered pair within
+/// the cutoff is reported exactly once.
+///
+/// Axis-distance computations are counted into `stats` (Figure 11's metric).
+///
+/// Returns true if the sweep *axis-covered* every pair: no anchor's scan was
+/// cut short by the cutoff while candidates remained. The adaptive
+/// algorithms use a false return ("this expansion may have pruned pairs")
+/// to decide whether the pair must enter the compensation queue.
+template <typename Callback>
+bool PlaneSweep(const std::vector<PairRef>& left,
+                const std::vector<PairRef>& right, const SweepPlan& plan,
+                const double* cutoff, JoinStats* stats, Callback&& cb) {
+  struct Item {
+    const PairRef* ref;
+    double key_lo;
+    double key_hi;
+  };
+  const bool forward = plan.dir == geom::SweepDirection::kForward;
+  const int axis = plan.axis;
+  auto build = [&](const std::vector<PairRef>& refs) {
+    std::vector<Item> items;
+    items.reserve(refs.size());
+    for (const PairRef& r : refs) {
+      // Backward sweeps are forward sweeps in negated coordinates.
+      const double lo = r.rect.lo.Coord(axis);
+      const double hi = r.rect.hi.Coord(axis);
+      items.push_back(forward ? Item{&r, lo, hi} : Item{&r, -hi, -lo});
+    }
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      if (a.key_lo != b.key_lo) return a.key_lo < b.key_lo;
+      return a.ref->id < b.ref->id;
+    });
+    return items;
+  };
+  const std::vector<Item> lhs = build(left);
+  const std::vector<Item> rhs = build(right);
+
+  size_t il = 0;
+  size_t ir = 0;
+  bool covered = true;
+  while (il < lhs.size() && ir < rhs.size()) {
+    const bool anchor_is_left = lhs[il].key_lo <= rhs[ir].key_lo;
+    const Item& anchor = anchor_is_left ? lhs[il++] : rhs[ir++];
+    const std::vector<Item>& other = anchor_is_left ? rhs : lhs;
+    for (size_t j = anchor_is_left ? ir : il; j < other.size(); ++j) {
+      if (stats != nullptr) ++stats->axis_distance_computations;
+      const double axis_dist =
+          std::max(0.0, other[j].key_lo - anchor.key_hi);
+      if (axis_dist > *cutoff) {
+        covered = false;
+        break;  // keys ascend: nothing further fits this anchor
+      }
+      if (anchor_is_left) {
+        cb(*anchor.ref, *other[j].ref, axis_dist);
+      } else {
+        cb(*other[j].ref, *anchor.ref, axis_dist);
+      }
+    }
+  }
+  return covered;
+}
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_PLANE_SWEEPER_H_

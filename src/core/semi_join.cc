@@ -1,0 +1,96 @@
+#include "core/semi_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/amidj.h"
+#include "rtree/knn.h"
+
+namespace amdj::core {
+
+namespace {
+
+StatusOr<std::vector<SemiJoinResult>> ViaIncrementalJoin(
+    const rtree::RTree& r, const rtree::RTree& s, uint64_t neighbors,
+    const JoinOptions& options, JoinStats* stats) {
+  std::vector<SemiJoinResult> results;
+  results.reserve(r.size() * neighbors);
+  AmIdjCursor cursor(r, s, options, stats);
+  // At least |R| * neighbors pairs will be consumed.
+  cursor.PrefetchHint(r.size() * neighbors);
+  std::unordered_map<uint32_t, uint64_t> taken;  // r_id -> partners so far
+  taken.reserve(r.size());
+  uint64_t satisfied = 0;  // R objects that reached `neighbors` partners
+  ResultPair pair;
+  bool done = false;
+  while (satisfied < r.size()) {
+    AMDJ_RETURN_IF_ERROR(cursor.Next(&pair, &done));
+    if (done) break;  // exclude_same_id / small S can starve objects
+    uint64_t& count = taken[pair.r_id];
+    if (count >= neighbors) continue;
+    ++count;
+    if (count == neighbors) ++satisfied;
+    results.push_back({pair.r_id, pair.s_id, pair.distance});
+  }
+  return results;
+}
+
+StatusOr<std::vector<SemiJoinResult>> ViaPerObjectNn(
+    const rtree::RTree& r, const rtree::RTree& s, uint64_t neighbors,
+    const JoinOptions& options, JoinStats* stats) {
+  std::vector<SemiJoinResult> results;
+  results.reserve(r.size());
+  std::vector<rtree::Entry> r_objects;
+  r_objects.reserve(r.size());
+  AMDJ_RETURN_IF_ERROR(r.ForEachObject(
+      [&](const rtree::Entry& e) { r_objects.push_back(e); }));
+  for (const rtree::Entry& obj : r_objects) {
+    rtree::NearestNeighborCursor nn(s, obj.rect, options.metric);
+    rtree::Entry partner;
+    double distance = 0.0;
+    bool done = false;
+    uint64_t taken = 0;
+    while (taken < neighbors) {
+      AMDJ_RETURN_IF_ERROR(nn.Next(&partner, &distance, &done));
+      if (done) break;
+      if (options.exclude_same_id && partner.id == obj.id) continue;
+      if (stats != nullptr) ++stats->real_distance_computations;
+      results.push_back({obj.id, partner.id, distance});
+      ++taken;
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const SemiJoinResult& a, const SemiJoinResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.r_id < b.r_id;
+            });
+  if (stats != nullptr) stats->pairs_produced += results.size();
+  return results;
+}
+
+}  // namespace
+
+StatusOr<std::vector<SemiJoinResult>> KnnJoin(
+    const rtree::RTree& r, const rtree::RTree& s, uint64_t neighbors,
+    const JoinOptions& options, SemiJoinStrategy strategy,
+    JoinStats* stats) {
+  if (neighbors == 0) {
+    return Status::InvalidArgument("neighbors must be >= 1");
+  }
+  if (r.size() == 0 || s.size() == 0) return std::vector<SemiJoinResult>();
+  switch (strategy) {
+    case SemiJoinStrategy::kIncrementalJoin:
+      return ViaIncrementalJoin(r, s, neighbors, options, stats);
+    case SemiJoinStrategy::kPerObjectNn:
+      return ViaPerObjectNn(r, s, neighbors, options, stats);
+  }
+  return Status::InvalidArgument("unknown semi-join strategy");
+}
+
+StatusOr<std::vector<SemiJoinResult>> DistanceSemiJoin(
+    const rtree::RTree& r, const rtree::RTree& s, const JoinOptions& options,
+    SemiJoinStrategy strategy, JoinStats* stats) {
+  return KnnJoin(r, s, 1, options, strategy, stats);
+}
+
+}  // namespace amdj::core

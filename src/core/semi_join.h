@@ -1,0 +1,58 @@
+#ifndef AMDJ_CORE_SEMI_JOIN_H_
+#define AMDJ_CORE_SEMI_JOIN_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "core/pair_entry.h"
+#include "rtree/rtree.h"
+
+namespace amdj::core {
+
+/// Strategy for the distance semi-join.
+enum class SemiJoinStrategy : uint8_t {
+  /// Drive the adaptive incremental distance join (AM-IDJ) and keep the
+  /// first-seen partner per R object. Excellent when nearest partners are
+  /// close relative to data spread (results also arrive in global distance
+  /// order); degrades when a few isolated R objects force the cutoff wide.
+  kIncrementalJoin = 0,
+  /// One best-first nearest-neighbor search in S per R object. Cost is
+  /// |R| independent searches: robust, embarrassingly simple, but re-reads
+  /// S's upper levels once per object (the buffer pool absorbs most of
+  /// it).
+  kPerObjectNn = 1,
+};
+
+/// One semi-join result: an R object with its nearest S partner.
+struct SemiJoinResult {
+  uint32_t r_id = 0;
+  uint32_t s_id = 0;
+  double distance = 0.0;
+};
+
+/// The *distance semi-join* of Hjaltason & Samet (SIGMOD'98, the paper's
+/// baseline reference [13]): for every object of R, its nearest object in
+/// S, reported in non-decreasing distance order. Requires R's object ids
+/// to be unique (S ids may repeat freely).
+///
+/// `options.metric` and `options.exclude_same_id` apply (the latter makes
+/// this an all-nearest-*other*-neighbor query for self semi-joins).
+StatusOr<std::vector<SemiJoinResult>> DistanceSemiJoin(
+    const rtree::RTree& r, const rtree::RTree& s,
+    const JoinOptions& options, SemiJoinStrategy strategy,
+    JoinStats* stats);
+
+/// k-nearest-neighbors join: for every object of R, its `neighbors`
+/// nearest objects in S (fewer if |S| is smaller), reported in
+/// non-decreasing distance order overall. DistanceSemiJoin is the
+/// neighbors = 1 case.
+StatusOr<std::vector<SemiJoinResult>> KnnJoin(
+    const rtree::RTree& r, const rtree::RTree& s, uint64_t neighbors,
+    const JoinOptions& options, SemiJoinStrategy strategy,
+    JoinStats* stats);
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_SEMI_JOIN_H_

@@ -1,0 +1,40 @@
+#include "core/sj_sort.h"
+
+#include "spatialjoin/external_sorter.h"
+#include "spatialjoin/spatial_join.h"
+
+namespace amdj::core {
+
+StatusOr<std::vector<ResultPair>> SjSort::Run(const rtree::RTree& r,
+                                              const rtree::RTree& s,
+                                              uint64_t k, double dmax,
+                                              const JoinOptions& options,
+                                              JoinStats* stats) {
+  std::vector<ResultPair> results;
+  if (k == 0 || r.size() == 0 || s.size() == 0) return results;
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+
+  spatialjoin::ExternalSorter sorter(options.queue_disk,
+                                     options.queue_memory_bytes, stats);
+  AMDJ_RETURN_IF_ERROR(spatialjoin::SpatialJoin::Within(
+      r, s, dmax, options, stats,
+      [&](const ResultPair& pair) -> Status {
+        ++stats->main_queue_insertions;
+        return sorter.Add(pair);
+      }));
+  AMDJ_RETURN_IF_ERROR(sorter.Finish());
+
+  results.reserve(k);
+  ResultPair rec;
+  bool done = false;
+  while (results.size() < k) {
+    AMDJ_RETURN_IF_ERROR(sorter.Next(&rec, &done));
+    if (done) break;
+    results.push_back(rec);
+    ++stats->pairs_produced;
+  }
+  return results;
+}
+
+}  // namespace amdj::core

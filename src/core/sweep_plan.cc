@@ -1,0 +1,48 @@
+#include "core/sweep_plan.h"
+
+#include <cmath>
+
+namespace amdj::core {
+
+namespace {
+
+int WiderUnionAxis(const geom::Rect& r, const geom::Rect& s) {
+  const geom::Rect u = geom::Union(r, s);
+  return u.Side(0) >= u.Side(1) ? 0 : 1;
+}
+
+int ChooseAxis(const geom::Rect& r, const geom::Rect& s, double cutoff) {
+  if (!std::isfinite(cutoff)) return WiderUnionAxis(r, s);
+  const double ix = geom::SweepingIndex(r, s, cutoff, 0);
+  const double iy = geom::SweepingIndex(r, s, cutoff, 1);
+  if (ix == iy) return WiderUnionAxis(r, s);
+  return ix < iy ? 0 : 1;
+}
+
+}  // namespace
+
+SweepPlan ChooseSweepPlan(const geom::Rect& r, const geom::Rect& s,
+                          double cutoff, SweepStrategy strategy) {
+  SweepPlan plan;
+  switch (strategy) {
+    case SweepStrategy::kOptimized:
+      plan.axis = ChooseAxis(r, s, cutoff);
+      plan.dir = geom::ChooseSweepDirection(r, s, plan.axis);
+      break;
+    case SweepStrategy::kFixedXForward:
+      plan.axis = 0;
+      plan.dir = geom::SweepDirection::kForward;
+      break;
+    case SweepStrategy::kAxisOnly:
+      plan.axis = ChooseAxis(r, s, cutoff);
+      plan.dir = geom::SweepDirection::kForward;
+      break;
+    case SweepStrategy::kDirectionOnly:
+      plan.axis = 0;
+      plan.dir = geom::ChooseSweepDirection(r, s, 0);
+      break;
+  }
+  return plan;
+}
+
+}  // namespace amdj::core

@@ -1,0 +1,27 @@
+#ifndef AMDJ_CORE_SWEEP_PLAN_H_
+#define AMDJ_CORE_SWEEP_PLAN_H_
+
+#include "core/options.h"
+#include "geom/sweep_geometry.h"
+
+namespace amdj::core {
+
+/// A plane sweep's axis and direction for one node-pair expansion.
+struct SweepPlan {
+  int axis = 0;
+  geom::SweepDirection dir = geom::SweepDirection::kForward;
+};
+
+/// Chooses a sweep plan for expanding pair (r, s) under pruning cutoff
+/// `cutoff`, per `strategy`:
+///   - axis: the dimension with the smaller sweeping index (Section 3.2);
+///     with an infinite cutoff (no pruning information yet) the dimension
+///     with the wider combined extent is used, as every finite-index
+///     argument degenerates.
+///   - direction: Section 3.3's projected-interval rule.
+SweepPlan ChooseSweepPlan(const geom::Rect& r, const geom::Rect& s,
+                          double cutoff, SweepStrategy strategy);
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_SWEEP_PLAN_H_

@@ -1,0 +1,17 @@
+#include "geom/metric.h"
+
+namespace amdj::geom {
+
+const char* ToString(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "L2";
+    case Metric::kL1:
+      return "L1";
+    case Metric::kLInf:
+      return "Linf";
+  }
+  return "?";
+}
+
+}  // namespace amdj::geom

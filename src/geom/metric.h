@@ -1,0 +1,77 @@
+#ifndef AMDJ_GEOM_METRIC_H_
+#define AMDJ_GEOM_METRIC_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/rect.h"
+
+namespace amdj::geom {
+
+/// Distance metric for join processing. The paper notes that "a distance
+/// ... can be defined in many different ways according to various
+/// application specific requirements" (Section 1); all algorithms here work
+/// for any metric whose per-axis separation lower-bounds the full distance,
+/// which holds for every Lp norm — so the plane-sweep pruning and Lemma 1
+/// remain exact under each of these.
+enum class Metric : uint8_t {
+  kL2 = 0,    ///< Euclidean (the paper's evaluation metric).
+  kL1 = 1,    ///< Manhattan.
+  kLInf = 2,  ///< Chebyshev.
+};
+
+/// Stable display name ("L2", "L1", "Linf").
+const char* ToString(Metric metric);
+
+/// Minimum distance between two MBRs under `metric` (0 when intersecting).
+inline double MinDistance(const Rect& a, const Rect& b, Metric metric) {
+  const double dx = AxisDistance(a, b, 0);
+  const double dy = AxisDistance(a, b, 1);
+  switch (metric) {
+    case Metric::kL2:
+      return std::sqrt(dx * dx + dy * dy);
+    case Metric::kL1:
+      return dx + dy;
+    case Metric::kLInf:
+      return std::max(dx, dy);
+  }
+  return 0.0;
+}
+
+/// Maximum distance between any point of `a` and any point of `b` under
+/// `metric`.
+inline double MaxDistance(const Rect& a, const Rect& b, Metric metric) {
+  const double dx =
+      std::max(std::abs(a.hi.x - b.lo.x), std::abs(b.hi.x - a.lo.x));
+  const double dy =
+      std::max(std::abs(a.hi.y - b.lo.y), std::abs(b.hi.y - a.lo.y));
+  switch (metric) {
+    case Metric::kL2:
+      return std::sqrt(dx * dx + dy * dy);
+    case Metric::kL1:
+      return dx + dy;
+    case Metric::kLInf:
+      return std::max(dx, dy);
+  }
+  return 0.0;
+}
+
+/// Area of the "ball" of radius d under `metric` divided by d^2: pi for
+/// L2, 2 for L1 (a diamond), 4 for Linf (a square). Used by the Eq.-3
+/// estimator, whose derivation counts expected neighbors in a radius-d
+/// ball.
+inline double UnitBallAreaCoefficient(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return M_PI;
+    case Metric::kL1:
+      return 2.0;
+    case Metric::kLInf:
+      return 4.0;
+  }
+  return M_PI;
+}
+
+}  // namespace amdj::geom
+
+#endif  // AMDJ_GEOM_METRIC_H_

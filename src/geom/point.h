@@ -1,0 +1,53 @@
+#ifndef AMDJ_GEOM_POINT_H_
+#define AMDJ_GEOM_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace amdj::geom {
+
+/// A 2-dimensional point. The paper (and the TIGER evaluation data) is
+/// two-dimensional; the sweeping-axis machinery generalizes to any dimension
+/// but the library fixes kDims = 2 for a compact on-page representation.
+struct Point {
+  static constexpr int kDims = 2;
+
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  /// Coordinate along `axis` (0 = x, 1 = y).
+  double Coord(int axis) const { return axis == 0 ? x : y; }
+
+  /// Mutable coordinate along `axis`.
+  void SetCoord(int axis, double v) {
+    if (axis == 0) {
+      x = v;
+    } else {
+      y = v;
+    }
+  }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (cheaper; monotone in Distance).
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace amdj::geom
+
+#endif  // AMDJ_GEOM_POINT_H_

@@ -1,0 +1,85 @@
+#include "geom/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace amdj::geom {
+
+Rect Rect::Empty() {
+  const double inf = std::numeric_limits<double>::infinity();
+  return Rect(Point(inf, inf), Point(-inf, -inf));
+}
+
+void Rect::Extend(const Rect& r) {
+  lo.x = std::min(lo.x, r.lo.x);
+  lo.y = std::min(lo.y, r.lo.y);
+  hi.x = std::max(hi.x, r.hi.x);
+  hi.y = std::max(hi.y, r.hi.y);
+}
+
+void Rect::Extend(const Point& p) {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  os << "[(" << lo.x << "," << lo.y << "),(" << hi.x << "," << hi.y << ")]";
+  return os.str();
+}
+
+Rect Union(const Rect& a, const Rect& b) {
+  Rect r = a;
+  r.Extend(b);
+  return r;
+}
+
+Rect Intersection(const Rect& a, const Rect& b) {
+  Rect r(std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y),
+         std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y));
+  if (r.lo.x > r.hi.x || r.lo.y > r.hi.y) return Rect::Empty();
+  return r;
+}
+
+double IntersectionArea(const Rect& a, const Rect& b) {
+  const double w =
+      std::min(a.hi.x, b.hi.x) - std::max(a.lo.x, b.lo.x);
+  if (w <= 0) return 0.0;
+  const double h =
+      std::min(a.hi.y, b.hi.y) - std::max(a.lo.y, b.lo.y);
+  if (h <= 0) return 0.0;
+  return w * h;
+}
+
+double AxisDistance(const Rect& a, const Rect& b, int axis) {
+  const double alo = a.lo.Coord(axis);
+  const double ahi = a.hi.Coord(axis);
+  const double blo = b.lo.Coord(axis);
+  const double bhi = b.hi.Coord(axis);
+  if (blo > ahi) return blo - ahi;
+  if (alo > bhi) return alo - bhi;
+  return 0.0;
+}
+
+double MinDistanceSquared(const Rect& a, const Rect& b) {
+  const double dx = AxisDistance(a, b, 0);
+  const double dy = AxisDistance(a, b, 1);
+  return dx * dx + dy * dy;
+}
+
+double MinDistance(const Rect& a, const Rect& b) {
+  return std::sqrt(MinDistanceSquared(a, b));
+}
+
+double MaxDistance(const Rect& a, const Rect& b) {
+  const double dx =
+      std::max(std::abs(a.hi.x - b.lo.x), std::abs(b.hi.x - a.lo.x));
+  const double dy =
+      std::max(std::abs(a.hi.y - b.lo.y), std::abs(b.hi.y - a.lo.y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace amdj::geom

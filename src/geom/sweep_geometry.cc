@@ -1,0 +1,118 @@
+#include "geom/sweep_geometry.h"
+
+#include <algorithm>
+#include <array>
+
+namespace amdj::geom {
+
+namespace {
+
+/// Overlap length of [t, t + window] with [b_lo, b_hi].
+double OverlapAt(double t, double window, double b_lo, double b_hi) {
+  const double lo = std::max(t, b_lo);
+  const double hi = std::min(t + window, b_hi);
+  return std::max(0.0, hi - lo);
+}
+
+}  // namespace
+
+double IntegrateWindowOverlap(double a_lo, double a_hi, double window,
+                              double b_lo, double b_hi) {
+  if (a_hi <= a_lo || b_hi < b_lo || window < 0) return 0.0;
+  // Slope of the integrand changes only where an endpoint of the moving
+  // window crosses an endpoint of [b_lo, b_hi].
+  std::array<double, 6> cuts = {a_lo,        a_hi,        b_lo - window,
+                                b_hi - window, b_lo,        b_hi};
+  std::sort(cuts.begin(), cuts.end());
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double t0 = std::max(cuts[i], a_lo);
+    const double t1 = std::min(cuts[i + 1], a_hi);
+    if (t1 <= t0) continue;
+    // Linear on [t0, t1] -> trapezoid is exact.
+    total += 0.5 * (OverlapAt(t0, window, b_lo, b_hi) +
+                    OverlapAt(t1, window, b_lo, b_hi)) *
+             (t1 - t0);
+  }
+  return total;
+}
+
+double SweepingIndexTerm(double a_lo, double a_hi, double window, double b_lo,
+                         double b_hi) {
+  const double a_len = a_hi - a_lo;
+  const double b_len = b_hi - b_lo;
+  if (a_len < 0 || window < 0) return 0.0;
+  if (b_len > 0) {
+    if (a_len == 0) {
+      // Single anchor position: fraction of the target interval covered by
+      // its window (the integral average degenerates to a point value).
+      return OverlapAt(a_lo, window, b_lo, b_hi) / b_len;
+    }
+    return IntegrateWindowOverlap(a_lo, a_hi, window, b_lo, b_hi) /
+           (a_len * b_len);
+  }
+  // Degenerate target interval: Overlap/|s| becomes the indicator
+  // "b position inside [t, t + window]"; averaged over anchors it is the
+  // measure of { t : b in [t, t + window] } within the anchor interval,
+  // divided by the anchor length.
+  if (a_len == 0) {
+    return (b_lo >= a_lo && b_lo <= a_lo + window) ? 1.0 : 0.0;
+  }
+  const double lo = std::max(a_lo, b_lo - window);
+  const double hi = std::min(a_hi, b_lo);
+  return std::max(0.0, hi - lo) / a_len;
+}
+
+double SweepingIndex(const Rect& r, const Rect& s, double window, int axis) {
+  const double r_lo = r.lo.Coord(axis);
+  const double r_hi = r.hi.Coord(axis);
+  const double s_lo = s.lo.Coord(axis);
+  const double s_hi = s.hi.Coord(axis);
+  return SweepingIndexTerm(r_lo, r_hi, window, s_lo, s_hi) +
+         SweepingIndexTerm(s_lo, s_hi, window, r_lo, r_hi);
+}
+
+double SweepingIndexTermSeparated(double len_r, double len_s, double alpha,
+                                  double window) {
+  // r = [0, R], s = [R + alpha, R + alpha + S]; anchors sweep forward.
+  // The unnormalized integral is divided by R at the end (see
+  // SweepingIndexTerm for the normalization rationale).
+  const double R = len_r;
+  const double S = len_s;
+  if (window <= alpha) return 0.0;
+  if (R <= 0.0) {
+    // Single anchor at 0; its window [0, window] overlaps s by
+    // min(window, S + alpha) - alpha.
+    if (S <= 0.0) return window >= alpha ? 1.0 : 0.0;
+    return (std::min(window, S + alpha) - alpha) / S;
+  }
+  if (S <= 0.0) {
+    // Indicator form: measure of t in [0, R] with s's position inside
+    // [t, t + window]; position = R + alpha.
+    const double lo = std::max(0.0, R + alpha - window);
+    const double hi = std::min(R, R + alpha);
+    return std::max(0.0, hi - lo) / R;
+  }
+  if (window <= R + alpha) {
+    const double w = window - alpha;  // in (0, R]
+    if (w <= S) return w * w / (2.0 * S) / R;
+    return (w - S / 2.0) / R;
+  }
+  // window >= R + alpha: every anchor's window reaches s.
+  const double a = window - R - alpha;  // >= 0
+  const double b = window - alpha;      // = a + R
+  if (b <= S) return (a + b) / (2.0 * S);
+  if (a >= S) return 1.0;
+  return (b - S / 2.0 - a * a / (2.0 * S)) / R;
+}
+
+SweepDirection ChooseSweepDirection(const Rect& r, const Rect& s, int axis) {
+  std::array<double, 4> e = {r.lo.Coord(axis), r.hi.Coord(axis),
+                             s.lo.Coord(axis), s.hi.Coord(axis)};
+  std::sort(e.begin(), e.end());
+  const double left = e[1] - e[0];
+  const double right = e[3] - e[2];
+  return left < right ? SweepDirection::kForward : SweepDirection::kBackward;
+}
+
+}  // namespace amdj::geom

@@ -1,0 +1,67 @@
+#ifndef AMDJ_QUEUE_BINARY_HEAP_H_
+#define AMDJ_QUEUE_BINARY_HEAP_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace amdj::queue {
+
+/// Binary min-heap (for the supplied strict-weak-order "less") with access
+/// to the underlying storage, which HybridQueue needs for its split and
+/// swap-in operations. `Compare(a, b)` returning true means `a` pops first.
+template <typename T, typename Compare>
+class BinaryHeap {
+ public:
+  explicit BinaryHeap(Compare cmp = Compare()) : cmp_(std::move(cmp)) {}
+
+  bool Empty() const { return items_.empty(); }
+  size_t Size() const { return items_.size(); }
+
+  void Push(const T& item) {
+    items_.push_back(item);
+    std::push_heap(items_.begin(), items_.end(), Inverted{cmp_});
+  }
+
+  /// Minimum element; heap must be non-empty.
+  const T& Top() const { return items_.front(); }
+
+  /// Removes and returns the minimum element; heap must be non-empty.
+  T Pop() {
+    std::pop_heap(items_.begin(), items_.end(), Inverted{cmp_});
+    T item = std::move(items_.back());
+    items_.pop_back();
+    return item;
+  }
+
+  /// Moves out every element (unsorted) and empties the heap.
+  std::vector<T> TakeAll() {
+    std::vector<T> out = std::move(items_);
+    items_.clear();
+    return out;
+  }
+
+  /// Replaces the content with `items` and heapifies, O(n).
+  void Assign(std::vector<T> items) {
+    items_ = std::move(items);
+    std::make_heap(items_.begin(), items_.end(), Inverted{cmp_});
+  }
+
+  /// Read-only view of the raw storage (heap order, not sorted).
+  const std::vector<T>& Items() const { return items_; }
+
+  void Clear() { items_.clear(); }
+
+ private:
+  // std:: heap functions build a max-heap; invert the order for a min-heap.
+  struct Inverted {
+    Compare cmp;
+    bool operator()(const T& a, const T& b) const { return cmp(b, a); }
+  };
+
+  Compare cmp_;
+  std::vector<T> items_;
+};
+
+}  // namespace amdj::queue
+
+#endif  // AMDJ_QUEUE_BINARY_HEAP_H_

@@ -1,0 +1,39 @@
+#include "queue/cutoff_tracker.h"
+
+namespace amdj::queue {
+
+void TrackedDistanceQueue::Add(double value) {
+  if (lower_.size() < k_ || value < *lower_.rbegin()) {
+    lower_.insert(value);
+  } else {
+    upper_.insert(value);
+  }
+  Rebalance();
+}
+
+void TrackedDistanceQueue::Revoke(double value) {
+  auto it = lower_.find(value);
+  if (it != lower_.end()) {
+    lower_.erase(it);
+    Rebalance();
+    return;
+  }
+  it = upper_.find(value);
+  if (it != upper_.end()) upper_.erase(it);
+}
+
+void TrackedDistanceQueue::Rebalance() {
+  while (lower_.size() > k_) {
+    // Move the largest of the lower set up.
+    auto last = std::prev(lower_.end());
+    upper_.insert(*last);
+    lower_.erase(last);
+  }
+  while (lower_.size() < k_ && !upper_.empty()) {
+    auto first = upper_.begin();
+    lower_.insert(*first);
+    upper_.erase(first);
+  }
+}
+
+}  // namespace amdj::queue

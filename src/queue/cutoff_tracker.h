@@ -1,0 +1,74 @@
+#ifndef AMDJ_QUEUE_CUTOFF_TRACKER_H_
+#define AMDJ_QUEUE_CUTOFF_TRACKER_H_
+
+#include <cstdint>
+#include <limits>
+#include <set>
+
+#include "common/stats.h"
+
+namespace amdj::queue {
+
+/// The revocable counterpart of DistanceQueue, needed to make the
+/// "all pairs" distance-queue policy (paper footnote 1, option 1) *sound*.
+///
+/// Rationale: the cutoff qDmax must upper-bound the true k-th smallest
+/// object-pair distance. Counting object-pair distances alone (option 2)
+/// is trivially sound. Counting node-pair *max*-distances as well warms
+/// the cutoff before any object pair exists — but a node pair's
+/// certificate ("my subtree product contains >= 1 object pair within my
+/// maxdist") overlaps the certificates of its own descendants, so naively
+/// mixing them under-estimates the cutoff. The fix: certificates of node
+/// pairs are *revoked* the moment the pair leaves the main queue (its
+/// children's certificates take over). The main queue's live node pairs
+/// always have pairwise-disjoint subtree products, and emitted/queued
+/// object pairs are distinct, so at any instant the alive values certify
+/// k *distinct* object pairs — hence the k-th smallest alive value is a
+/// sound cutoff.
+///
+/// Keeps the k smallest alive values in `lower_` and the rest in `upper_`
+/// (both multisets), giving O(log n) insert/revoke and O(1) cutoff.
+class TrackedDistanceQueue {
+ public:
+  /// `k` must be >= 1. `stats` (optional) receives insertion counts.
+  explicit TrackedDistanceQueue(size_t k, JoinStats* stats = nullptr)
+      : k_(k == 0 ? 1 : k), stats_(stats) {}
+
+  /// Permanent insertion (an object pair's real distance).
+  void Insert(double value) {
+    if (stats_ != nullptr) ++stats_->distance_queue_insertions;
+    Add(value);
+  }
+
+  /// Revocable insertion (a node pair's max-distance certificate). The
+  /// same value must later be passed to Revoke when the pair leaves the
+  /// main queue.
+  void InsertRevocable(double value) { Insert(value); }
+
+  /// Removes one alive instance of `value` (no-op if none exists, which
+  /// can only happen through caller misuse).
+  void Revoke(double value);
+
+  /// The k-th smallest alive value; +infinity while fewer than k values
+  /// are alive.
+  double CutoffDistance() const {
+    return lower_.size() < k_ ? std::numeric_limits<double>::infinity()
+                              : *lower_.rbegin();
+  }
+
+  size_t alive() const { return lower_.size() + upper_.size(); }
+
+ private:
+  void Add(double value);
+  /// Restores |lower_| == min(k, alive) after a mutation.
+  void Rebalance();
+
+  size_t k_;
+  JoinStats* stats_;
+  std::multiset<double> lower_;  // the k smallest alive values
+  std::multiset<double> upper_;  // everything else
+};
+
+}  // namespace amdj::queue
+
+#endif  // AMDJ_QUEUE_CUTOFF_TRACKER_H_

@@ -1,0 +1,26 @@
+#include "queue/distance_queue.h"
+
+#include <algorithm>
+
+namespace amdj::queue {
+
+DistanceQueue::DistanceQueue(size_t k, JoinStats* stats)
+    : k_(k == 0 ? 1 : k), stats_(stats) {
+  heap_.reserve(k_);
+}
+
+void DistanceQueue::Insert(double distance) {
+  if (heap_.size() < k_) {
+    if (stats_ != nullptr) ++stats_->distance_queue_insertions;
+    heap_.push_back(distance);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  if (distance >= heap_.front()) return;  // not among the k smallest
+  if (stats_ != nullptr) ++stats_->distance_queue_insertions;
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.back() = distance;
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+}  // namespace amdj::queue

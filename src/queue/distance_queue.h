@@ -1,0 +1,46 @@
+#ifndef AMDJ_QUEUE_DISTANCE_QUEUE_H_
+#define AMDJ_QUEUE_DISTANCE_QUEUE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace amdj::queue {
+
+/// The paper's *distance queue* (Section 2.1): a max-heap holding the k
+/// smallest object-pair distances seen so far. Its maximum is the pruning
+/// cutoff qDmax; until k distances have been collected the cutoff is
+/// +infinity.
+///
+/// Following the paper's footnote 1, only *object* pair distances are
+/// inserted (node pairs would have to contribute their max-distance, which
+/// rarely lowers the cutoff). An ablation bench flips this policy.
+class DistanceQueue {
+ public:
+  /// `k` must be >= 1. `stats` (optional) receives insertion counts.
+  explicit DistanceQueue(size_t k, JoinStats* stats = nullptr);
+
+  /// Offers a distance; keeps only the k smallest.
+  void Insert(double distance);
+
+  /// Current pruning cutoff qDmax: the k-th smallest distance seen, or
+  /// +infinity while fewer than k distances have been inserted.
+  double CutoffDistance() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front();
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return k_; }
+
+ private:
+  size_t k_;
+  JoinStats* stats_;
+  std::vector<double> heap_;  // max-heap via std::push_heap default order
+};
+
+}  // namespace amdj::queue
+
+#endif  // AMDJ_QUEUE_DISTANCE_QUEUE_H_

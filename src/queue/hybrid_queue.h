@@ -1,0 +1,223 @@
+#ifndef AMDJ_QUEUE_HYBRID_QUEUE_H_
+#define AMDJ_QUEUE_HYBRID_QUEUE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "queue/binary_heap.h"
+#include "queue/segment_file.h"
+#include "storage/disk_manager.h"
+
+namespace amdj::queue {
+
+/// The paper's memory-parameterized *main queue* (Section 4.4): a priority
+/// queue range-partitioned by distance. The partition covering the shortest
+/// distances is an in-memory heap; every other partition is an unsorted
+/// on-disk pile (SegmentFile). When the heap overflows it is *split* (the
+/// longer-distance half spills to a new shortest-range segment); when it
+/// empties, the shortest-range segment is *swapped in* (re-spilling its
+/// excess if it exceeds the heap capacity).
+///
+/// If `Options::boundary_fn` is provided (the paper derives it from Eq. 3:
+/// boundary_fn(c) = sqrt(c * rho), the estimated distance of the c-th
+/// closest pair), segment boundaries are predetermined at construction as
+/// boundary_fn(i * n) for heap capacity n, which routes distant insertions
+/// straight to the right pile and minimizes split/swap operations. Without
+/// it the queue degrades to adaptive median splits.
+///
+/// Correctness invariant: every entry in a disk segment has
+/// distance >= the segment's lower_bound, and the heap only accepts entries
+/// below the front segment's lower_bound — hence the global minimum is
+/// always in the heap (after swap-in when the heap runs dry).
+///
+/// T must be trivially copyable with a public `double distance` member.
+/// Compare orders the heap and must be consistent with ascending distance.
+template <typename T, typename Compare>
+class HybridQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "queue entries are spilled to disk by memcpy");
+
+ public:
+  struct Options {
+    /// Bytes of memory for the in-memory heap. The paper's experiments use
+    /// 64 KB - 1024 KB (Figure 13), default 512 KB.
+    size_t memory_bytes = 512 * 1024;
+    /// Backing store for disk segments. nullptr disables spilling: the
+    /// queue stays entirely in memory regardless of memory_bytes.
+    storage::DiskManager* disk = nullptr;
+    /// Estimated distance of the c-th closest pair (Eq. 3); see above.
+    std::function<double(uint64_t)> boundary_fn;
+    /// Number of predetermined segments created when boundary_fn is set.
+    /// Each covers ~one heap capacity of entries under an accurate Eq.-3
+    /// estimate; entries beyond the last boundary pile into the final
+    /// segment, so this should comfortably exceed (expected insertions /
+    /// heap capacity). Empty segments cost almost nothing.
+    size_t predetermined_segments = 1024;
+  };
+
+  HybridQueue(const Options& options, JoinStats* stats,
+              Compare cmp = Compare())
+      : options_(options), stats_(stats), heap_(cmp) {
+    if (options_.disk == nullptr) {
+      capacity_ = std::numeric_limits<size_t>::max();
+      return;
+    }
+    capacity_ = std::max<size_t>(16, options_.memory_bytes / sizeof(T));
+    if (options_.boundary_fn) {
+      double prev = 0.0;
+      for (size_t j = 1; j <= options_.predetermined_segments; ++j) {
+        const double b = options_.boundary_fn(j * capacity_);
+        if (!(b > prev)) continue;  // boundaries must strictly increase
+        auto seg =
+            std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
+        seg->lower_bound = b;
+        segments_.push_back(std::move(seg));
+        prev = b;
+      }
+    }
+  }
+
+  /// Inserts an entry.
+  Status Push(const T& item) {
+    if (stats_ != nullptr) {
+      ++stats_->main_queue_insertions;
+      stats_->main_queue_peak_size =
+          std::max<uint64_t>(stats_->main_queue_peak_size, TotalSize() + 1);
+    }
+    if (item.distance < HeapUpperBound()) {
+      heap_.Push(item);
+      if (heap_.Size() > capacity_) AMDJ_RETURN_IF_ERROR(Split());
+      return Status::OK();
+    }
+    return RouteToSegment(item.distance)->Append(&item);
+  }
+
+  /// True when no entries remain anywhere.
+  bool Empty() const { return TotalSize() == 0; }
+
+  /// Entries in memory + on disk.
+  uint64_t TotalSize() const {
+    uint64_t total = heap_.Size();
+    for (const auto& seg : segments_) total += seg->count();
+    return total;
+  }
+
+  /// Removes the minimum entry into `*out`; OutOfRange when empty.
+  Status Pop(T* out) {
+    while (heap_.Empty() && !segments_.empty()) {
+      AMDJ_RETURN_IF_ERROR(SwapIn());
+    }
+    if (heap_.Empty()) return Status::OutOfRange("queue is empty");
+    *out = heap_.Pop();
+    return Status::OK();
+  }
+
+  /// Number of heap->disk splits performed.
+  uint64_t split_count() const { return splits_; }
+  /// Number of non-empty disk->heap swap-ins performed.
+  uint64_t swapin_count() const { return swapins_; }
+  /// Heap capacity in entries (n in the paper's boundary formula).
+  size_t heap_capacity() const { return capacity_; }
+  /// Current number of disk segments (including empty predetermined ones).
+  size_t segment_count() const { return segments_.size(); }
+  /// Current number of entries in the in-memory heap.
+  size_t heap_size() const { return heap_.Size(); }
+
+ private:
+  double HeapUpperBound() const {
+    return segments_.empty() ? std::numeric_limits<double>::infinity()
+                             : segments_.front()->lower_bound;
+  }
+
+  /// Last segment with lower_bound <= distance. Only called when
+  /// distance >= HeapUpperBound(), so a match always exists.
+  SegmentFile* RouteToSegment(double distance) {
+    size_t lo = 0;
+    size_t hi = segments_.size();  // invariant: segments_[lo].lb <= distance
+    while (lo + 1 < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (segments_[mid]->lower_bound <= distance) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return segments_[lo].get();
+  }
+
+  void InsertSegmentFront(std::unique_ptr<SegmentFile> seg) {
+    segments_.insert(segments_.begin(), std::move(seg));
+  }
+
+  /// Heap overflow: keep the closer half in memory, spill the rest as a
+  /// new shortest-range segment.
+  Status Split() {
+    ++splits_;
+    if (stats_ != nullptr) ++stats_->queue_splits;
+    std::vector<T> items = heap_.TakeAll();
+    std::sort(items.begin(), items.end(), [](const T& a, const T& b) {
+      return a.distance < b.distance;
+    });
+    const size_t keep = capacity_ / 2;
+    auto seg =
+        std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
+    seg->lower_bound = items[keep].distance;
+    for (size_t i = keep; i < items.size(); ++i) {
+      AMDJ_RETURN_IF_ERROR(seg->Append(&items[i]));
+    }
+    items.resize(keep);
+    heap_.Assign(std::move(items));
+    InsertSegmentFront(std::move(seg));
+    return Status::OK();
+  }
+
+  /// Heap underflow: load the shortest-range segment; if it exceeds the
+  /// heap capacity, re-spill its farther part.
+  Status SwapIn() {
+    std::unique_ptr<SegmentFile> seg = std::move(segments_.front());
+    segments_.erase(segments_.begin());
+    if (seg->count() == 0) return Status::OK();  // empty predetermined range
+    ++swapins_;
+    if (stats_ != nullptr) ++stats_->queue_swapins;
+    std::vector<char> bytes;
+    AMDJ_RETURN_IF_ERROR(seg->ReadAll(&bytes));
+    const size_t n = bytes.size() / sizeof(T);
+    std::vector<T> items(n);
+    std::memcpy(items.data(), bytes.data(), n * sizeof(T));
+    seg->Drop();
+    if (items.size() > capacity_) {
+      std::sort(items.begin(), items.end(), [](const T& a, const T& b) {
+        return a.distance < b.distance;
+      });
+      auto respill =
+          std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
+      respill->lower_bound = items[capacity_].distance;
+      for (size_t i = capacity_; i < items.size(); ++i) {
+        AMDJ_RETURN_IF_ERROR(respill->Append(&items[i]));
+      }
+      items.resize(capacity_);
+      InsertSegmentFront(std::move(respill));
+    }
+    heap_.Assign(std::move(items));
+    return Status::OK();
+  }
+
+  Options options_;
+  JoinStats* stats_;
+  size_t capacity_;
+  BinaryHeap<T, Compare> heap_;
+  std::vector<std::unique_ptr<SegmentFile>> segments_;  // by lower_bound asc
+  uint64_t splits_ = 0;
+  uint64_t swapins_ = 0;
+};
+
+}  // namespace amdj::queue
+
+#endif  // AMDJ_QUEUE_HYBRID_QUEUE_H_

@@ -1,0 +1,98 @@
+#include "queue/segment_file.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace amdj::queue {
+
+SegmentFile::SegmentFile(storage::DiskManager* disk, size_t record_size,
+                         JoinStats* stats)
+    : disk_(disk), record_size_(record_size), stats_(stats) {
+  AMDJ_CHECK(record_size_ >= 1 && record_size_ <= storage::kPageSize);
+  // The write buffer grows on first Append; empty segments (predetermined
+  // hybrid-queue ranges that never receive an entry) stay tiny.
+}
+
+SegmentFile::~SegmentFile() {
+  if (disk_ != nullptr) {
+    for (storage::PageId id : pages_) disk_->FreePage(id);
+  }
+}
+
+SegmentFile::SegmentFile(SegmentFile&& other) noexcept
+    : lower_bound(other.lower_bound),
+      disk_(other.disk_),
+      record_size_(other.record_size_),
+      stats_(other.stats_),
+      count_(other.count_),
+      pages_(std::move(other.pages_)),
+      write_buffer_(std::move(other.write_buffer_)) {
+  other.disk_ = nullptr;
+  other.pages_.clear();
+  other.count_ = 0;
+}
+
+SegmentFile& SegmentFile::operator=(SegmentFile&& other) noexcept {
+  if (this != &other) {
+    if (disk_ != nullptr) {
+      for (storage::PageId id : pages_) disk_->FreePage(id);
+    }
+    lower_bound = other.lower_bound;
+    disk_ = other.disk_;
+    record_size_ = other.record_size_;
+    stats_ = other.stats_;
+    count_ = other.count_;
+    pages_ = std::move(other.pages_);
+    write_buffer_ = std::move(other.write_buffer_);
+    other.disk_ = nullptr;
+    other.pages_.clear();
+    other.count_ = 0;
+  }
+  return *this;
+}
+
+Status SegmentFile::Append(const void* record) {
+  const char* bytes = static_cast<const char*>(record);
+  write_buffer_.insert(write_buffer_.end(), bytes, bytes + record_size_);
+  ++count_;
+  if (write_buffer_.size() + record_size_ > storage::kPageSize) {
+    // Buffer cannot take another record: flush it as a full page.
+    char page[storage::kPageSize];
+    std::memset(page, 0, sizeof(page));
+    std::memcpy(page, write_buffer_.data(), write_buffer_.size());
+    const storage::PageId id = disk_->AllocatePage();
+    AMDJ_RETURN_IF_ERROR(disk_->WritePage(id, page));
+    if (stats_ != nullptr) ++stats_->queue_page_writes;
+    pages_.push_back(id);
+    write_buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status SegmentFile::ReadAll(std::vector<char>* out) {
+  out->clear();
+  out->reserve(count_ * record_size_);
+  const size_t per_page = RecordsPerPage();
+  char page[storage::kPageSize];
+  uint64_t remaining = count_ - write_buffer_.size() / record_size_;
+  for (storage::PageId id : pages_) {
+    AMDJ_RETURN_IF_ERROR(disk_->ReadPage(id, page));
+    if (stats_ != nullptr) ++stats_->queue_page_reads;
+    const size_t records =
+        static_cast<size_t>(std::min<uint64_t>(per_page, remaining));
+    out->insert(out->end(), page, page + records * record_size_);
+    remaining -= records;
+  }
+  out->insert(out->end(), write_buffer_.begin(), write_buffer_.end());
+  return Status::OK();
+}
+
+void SegmentFile::Drop() {
+  for (storage::PageId id : pages_) disk_->FreePage(id);
+  pages_.clear();
+  write_buffer_.clear();
+  count_ = 0;
+}
+
+}  // namespace amdj::queue

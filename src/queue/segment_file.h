@@ -1,0 +1,66 @@
+#ifndef AMDJ_QUEUE_SEGMENT_FILE_H_
+#define AMDJ_QUEUE_SEGMENT_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace amdj::queue {
+
+/// An unsorted on-disk pile of fixed-size records, the backing store of one
+/// hybrid-queue partition (the paper stores every partition beyond the
+/// in-memory heap "on disk as merely unsorted piles", Section 4.4).
+///
+/// Records are appended through a one-page write buffer; ReadAll streams
+/// every record back. Page reads/writes are counted into the optional
+/// JoinStats sink (queue_page_reads / queue_page_writes).
+class SegmentFile {
+ public:
+  /// `record_size` must be in [1, kPageSize]. Does not take ownership of
+  /// `disk`.
+  SegmentFile(storage::DiskManager* disk, size_t record_size,
+              JoinStats* stats);
+  ~SegmentFile();
+
+  SegmentFile(SegmentFile&& other) noexcept;
+  SegmentFile& operator=(SegmentFile&& other) noexcept;
+  SegmentFile(const SegmentFile&) = delete;
+  SegmentFile& operator=(const SegmentFile&) = delete;
+
+  /// Appends one record of record_size bytes.
+  Status Append(const void* record);
+
+  /// Copies all records (buffered + on disk) into `out`, packed
+  /// back-to-back; `out` is resized to count() * record_size bytes.
+  Status ReadAll(std::vector<char>* out);
+
+  /// Releases all pages back to the disk manager and empties the pile.
+  void Drop();
+
+  uint64_t count() const { return count_; }
+  size_t record_size() const { return record_size_; }
+
+  /// Inclusive lower bound of the distance range this segment holds; used
+  /// by HybridQueue to route insertions and order swap-ins.
+  double lower_bound = 0.0;
+
+ private:
+  size_t RecordsPerPage() const {
+    return storage::kPageSize / record_size_;
+  }
+
+  storage::DiskManager* disk_;
+  size_t record_size_;
+  JoinStats* stats_;
+  uint64_t count_ = 0;
+  std::vector<storage::PageId> pages_;
+  std::vector<char> write_buffer_;  // < one page of pending records
+};
+
+}  // namespace amdj::queue
+
+#endif  // AMDJ_QUEUE_SEGMENT_FILE_H_

@@ -1,0 +1,37 @@
+#ifndef AMDJ_RTREE_ENTRY_H_
+#define AMDJ_RTREE_ENTRY_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+#include "storage/page.h"
+
+namespace amdj::rtree {
+
+/// One slot of an R-tree node: an MBR plus either the page id of a child
+/// node (internal nodes) or a caller-assigned object id (leaf nodes).
+struct Entry {
+  geom::Rect rect;
+  uint32_t id = 0;
+
+  Entry() = default;
+  Entry(const geom::Rect& r, uint32_t i) : rect(r), id(i) {}
+};
+
+/// On-page size of a serialized entry: 4 coordinates + id, packed.
+inline constexpr size_t kEntryBytes = 4 * sizeof(double) + sizeof(uint32_t);
+
+/// On-page node header: level + entry count (+ alignment padding).
+inline constexpr size_t kNodeHeaderBytes = 8;
+
+/// Hard upper bound on entries per 4 KB node ("fanout"). The paper's trees
+/// have node capacities in the low hundreds ("each R-tree node may contain
+/// hundreds of child nodes", Section 3.2); with 4 KB pages and 36-byte
+/// entries this gives 113.
+inline constexpr uint32_t kMaxEntriesPerPage =
+    static_cast<uint32_t>((storage::kPageSize - kNodeHeaderBytes) /
+                          kEntryBytes);
+
+}  // namespace amdj::rtree
+
+#endif  // AMDJ_RTREE_ENTRY_H_

@@ -1,0 +1,113 @@
+#include "rtree/hilbert_bulk_loader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+
+namespace amdj::rtree {
+
+uint64_t HilbertBulkLoader::HilbertIndex(uint32_t order, uint32_t x,
+                                         uint32_t y) {
+  // Classic xy -> d conversion (Hilbert curve, iterative quadrant fold).
+  uint64_t d = 0;
+  for (uint32_t s = (order == 0 ? 0 : 1u << (order - 1)); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+Status HilbertBulkLoader::Load(std::vector<Entry> objects, double fill) {
+  if (fill <= 0.0 || fill > 1.0) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  const uint32_t capacity = std::max<uint32_t>(
+      2, static_cast<uint32_t>(tree_->options_.max_entries * fill));
+
+  tree_->size_ = objects.size();
+  tree_->node_count_ = 0;
+  tree_->bounds_ = geom::Rect::Empty();
+  for (const Entry& e : objects) tree_->bounds_.Extend(e.rect);
+
+  if (objects.empty()) {
+    Node root;
+    root.level = 0;
+    auto id = tree_->AllocNode(root);
+    if (!id.ok()) return id.status();
+    tree_->root_ = *id;
+    tree_->height_ = 1;
+    tree_->node_count_ = 1;
+    return Status::OK();
+  }
+
+  // Sort by Hilbert index of the MBR center on a 2^16 grid over the data
+  // bounds (ties by id for determinism).
+  constexpr uint32_t kOrder = 16;
+  constexpr double kGrid = 65536.0;
+  const geom::Rect bounds = tree_->bounds_;
+  const double inv_w = bounds.Side(0) > 0 ? (kGrid - 1) / bounds.Side(0) : 0;
+  const double inv_h = bounds.Side(1) > 0 ? (kGrid - 1) / bounds.Side(1) : 0;
+  std::vector<std::pair<uint64_t, Entry>> keyed;
+  keyed.reserve(objects.size());
+  for (const Entry& e : objects) {
+    const geom::Point c = e.rect.Center();
+    const uint32_t gx =
+        static_cast<uint32_t>((c.x - bounds.lo.x) * inv_w);
+    const uint32_t gy =
+        static_cast<uint32_t>((c.y - bounds.lo.y) * inv_h);
+    keyed.emplace_back(HilbertIndex(kOrder, gx, gy), e);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.id < b.second.id;
+            });
+
+  // Pack nodes bottom-up in curve order.
+  std::vector<Entry> level_entries;
+  level_entries.reserve(keyed.size());
+  for (auto& [key, entry] : keyed) level_entries.push_back(entry);
+  uint16_t level = 0;
+  while (true) {
+    const size_t n = level_entries.size();
+    if (n <= capacity) {
+      Node root;
+      root.level = level;
+      root.entries = std::move(level_entries);
+      auto id = tree_->AllocNode(root);
+      if (!id.ok()) return id.status();
+      ++tree_->node_count_;
+      tree_->root_ = *id;
+      tree_->height_ = static_cast<uint16_t>(level + 1);
+      return Status::OK();
+    }
+    std::vector<Entry> next_level;
+    next_level.reserve((n + capacity - 1) / capacity);
+    for (size_t i = 0; i < n; i += capacity) {
+      const size_t end = std::min(n, i + capacity);
+      Node node;
+      node.level = level;
+      node.entries.assign(level_entries.begin() + i,
+                          level_entries.begin() + end);
+      auto id = tree_->AllocNode(node);
+      if (!id.ok()) return id.status();
+      ++tree_->node_count_;
+      next_level.emplace_back(node.ComputeMbr(), *id);
+    }
+    level_entries = std::move(next_level);
+    ++level;
+  }
+}
+
+}  // namespace amdj::rtree

@@ -1,0 +1,68 @@
+#include "rtree/knn.h"
+
+#include "rtree/node.h"
+
+namespace amdj::rtree {
+
+NearestNeighborCursor::NearestNeighborCursor(const RTree& tree,
+                                             const geom::Rect& query,
+                                             geom::Metric metric)
+    : tree_(tree), query_(query), metric_(metric) {}
+
+NearestNeighborCursor::NearestNeighborCursor(const RTree& tree,
+                                             const geom::Point& query,
+                                             geom::Metric metric)
+    : NearestNeighborCursor(tree, geom::Rect::FromPoint(query), metric) {}
+
+Status NearestNeighborCursor::Next(Entry* out, double* distance,
+                                   bool* done) {
+  *done = false;
+  if (!primed_) {
+    primed_ = true;
+    if (tree_.size() > 0) {
+      heap_.push(Item{geom::MinDistance(query_, tree_.bounds(), metric_),
+                      false, Entry(tree_.bounds(), tree_.root())});
+    }
+  }
+  Node node;
+  while (!heap_.empty()) {
+    const Item item = heap_.top();
+    heap_.pop();
+    if (item.is_object) {
+      *out = item.entry;
+      *distance = item.distance;
+      return Status::OK();
+    }
+    AMDJ_RETURN_IF_ERROR(tree_.ReadNode(item.entry.id, &node));
+    for (const Entry& e : node.entries) {
+      heap_.push(
+          Item{geom::MinDistance(query_, e.rect, metric_), node.IsLeaf(), e});
+    }
+  }
+  *done = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<Entry>> NearestNeighbors(const RTree& tree,
+                                              const geom::Point& query,
+                                              size_t k, geom::Metric metric) {
+  return NearestNeighbors(tree, geom::Rect::FromPoint(query), k, metric);
+}
+
+StatusOr<std::vector<Entry>> NearestNeighbors(const RTree& tree,
+                                              const geom::Rect& query,
+                                              size_t k, geom::Metric metric) {
+  std::vector<Entry> results;
+  NearestNeighborCursor cursor(tree, query, metric);
+  Entry entry;
+  double distance = 0.0;
+  bool done = false;
+  while (results.size() < k) {
+    AMDJ_RETURN_IF_ERROR(cursor.Next(&entry, &distance, &done));
+    if (done) break;
+    results.push_back(entry);
+  }
+  return results;
+}
+
+}  // namespace amdj::rtree

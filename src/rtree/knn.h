@@ -1,0 +1,61 @@
+#ifndef AMDJ_RTREE_KNN_H_
+#define AMDJ_RTREE_KNN_H_
+
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/metric.h"
+#include "geom/point.h"
+#include "rtree/entry.h"
+#include "rtree/rtree.h"
+
+namespace amdj::rtree {
+
+/// The k objects nearest to `query` in non-decreasing distance order
+/// (fewer if the tree is smaller), via best-first search (Hjaltason &
+/// Samet's ranking algorithm [SSD'95] — the single-tree sibling of the
+/// incremental distance join). Rect queries measure MBR-to-MBR distance.
+StatusOr<std::vector<Entry>> NearestNeighbors(
+    const RTree& tree, const geom::Rect& query, size_t k,
+    geom::Metric metric = geom::Metric::kL2);
+StatusOr<std::vector<Entry>> NearestNeighbors(
+    const RTree& tree, const geom::Point& query, size_t k,
+    geom::Metric metric = geom::Metric::kL2);
+
+/// Incremental nearest-neighbor ranking: objects stream out one at a time
+/// in non-decreasing distance from `query`, with no preset k.
+class NearestNeighborCursor {
+ public:
+  /// The tree must outlive the cursor.
+  NearestNeighborCursor(const RTree& tree, const geom::Rect& query,
+                        geom::Metric metric = geom::Metric::kL2);
+  NearestNeighborCursor(const RTree& tree, const geom::Point& query,
+                        geom::Metric metric = geom::Metric::kL2);
+
+  /// Produces the next object and its distance; sets *done when the tree
+  /// is exhausted.
+  Status Next(Entry* out, double* distance, bool* done);
+
+ private:
+  struct Item {
+    double distance;
+    bool is_object;
+    Entry entry;
+    bool operator>(const Item& o) const {
+      if (distance != o.distance) return distance > o.distance;
+      // Objects first on ties, so results surface without extra expansion.
+      return !is_object && o.is_object;
+    }
+  };
+
+  const RTree& tree_;
+  geom::Rect query_;
+  geom::Metric metric_;
+  bool primed_ = false;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+};
+
+}  // namespace amdj::rtree
+
+#endif  // AMDJ_RTREE_KNN_H_

@@ -1,0 +1,57 @@
+#include "rtree/node.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/page.h"
+
+namespace amdj::rtree {
+
+geom::Rect Node::ComputeMbr() const {
+  geom::Rect mbr = geom::Rect::Empty();
+  for (const Entry& e : entries) mbr.Extend(e.rect);
+  return mbr;
+}
+
+void Node::Serialize(char* page) const {
+  AMDJ_CHECK(entries.size() <= kMaxEntriesPerPage)
+      << "node has " << entries.size() << " entries";
+  std::memset(page, 0, storage::kPageSize);
+  const uint16_t count = static_cast<uint16_t>(entries.size());
+  std::memcpy(page, &level, sizeof(level));
+  std::memcpy(page + 2, &count, sizeof(count));
+  char* p = page + kNodeHeaderBytes;
+  for (const Entry& e : entries) {
+    std::memcpy(p, &e.rect.lo.x, sizeof(double));
+    std::memcpy(p + 8, &e.rect.lo.y, sizeof(double));
+    std::memcpy(p + 16, &e.rect.hi.x, sizeof(double));
+    std::memcpy(p + 24, &e.rect.hi.y, sizeof(double));
+    std::memcpy(p + 32, &e.id, sizeof(uint32_t));
+    p += kEntryBytes;
+  }
+}
+
+Status Node::Deserialize(const char* page, Node* out) {
+  uint16_t count = 0;
+  std::memcpy(&out->level, page, sizeof(out->level));
+  std::memcpy(&count, page + 2, sizeof(count));
+  if (count > kMaxEntriesPerPage) {
+    return Status::Corruption("node entry count " + std::to_string(count) +
+                              " exceeds page capacity");
+  }
+  out->entries.clear();
+  out->entries.resize(count);
+  const char* p = page + kNodeHeaderBytes;
+  for (uint16_t i = 0; i < count; ++i) {
+    Entry& e = out->entries[i];
+    std::memcpy(&e.rect.lo.x, p, sizeof(double));
+    std::memcpy(&e.rect.lo.y, p + 8, sizeof(double));
+    std::memcpy(&e.rect.hi.x, p + 16, sizeof(double));
+    std::memcpy(&e.rect.hi.y, p + 24, sizeof(double));
+    std::memcpy(&e.id, p + 32, sizeof(uint32_t));
+    p += kEntryBytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace amdj::rtree

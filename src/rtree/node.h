@@ -1,0 +1,37 @@
+#ifndef AMDJ_RTREE_NODE_H_
+#define AMDJ_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+
+namespace amdj::rtree {
+
+/// In-memory image of one R-tree node. Nodes are deserialized from 4 KB
+/// pages, mutated, and serialized back; the page layout is
+///   [uint16 level][uint16 count][4 bytes pad][count x packed Entry].
+struct Node {
+  /// 0 for leaves; increases toward the root.
+  uint16_t level = 0;
+  std::vector<Entry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  /// Union of all entry rectangles (Rect::Empty() if the node is empty).
+  geom::Rect ComputeMbr() const;
+
+  /// Writes this node into a kPageSize buffer. The entry count must not
+  /// exceed kMaxEntriesPerPage.
+  void Serialize(char* page) const;
+
+  /// Parses a node from a kPageSize buffer; fails with Corruption on an
+  /// impossible entry count.
+  static Status Deserialize(const char* page, Node* out);
+};
+
+}  // namespace amdj::rtree
+
+#endif  // AMDJ_RTREE_NODE_H_

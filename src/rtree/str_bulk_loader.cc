@@ -1,0 +1,90 @@
+#include "rtree/str_bulk_loader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+
+namespace amdj::rtree {
+
+Status StrBulkLoader::Load(std::vector<Entry> objects, double fill) {
+  if (fill <= 0.0 || fill > 1.0) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  const uint32_t capacity = std::max<uint32_t>(
+      2, static_cast<uint32_t>(tree_->options_.max_entries * fill));
+
+  tree_->size_ = objects.size();
+  tree_->node_count_ = 0;
+  tree_->bounds_ = geom::Rect::Empty();
+  for (const Entry& e : objects) tree_->bounds_.Extend(e.rect);
+
+  if (objects.empty()) {
+    Node root;
+    root.level = 0;
+    auto id = tree_->AllocNode(root);
+    if (!id.ok()) return id.status();
+    tree_->root_ = *id;
+    tree_->height_ = 1;
+    tree_->node_count_ = 1;
+    return Status::OK();
+  }
+
+  std::vector<Entry> level_entries = std::move(objects);
+  uint16_t level = 0;
+  while (true) {
+    const size_t n = level_entries.size();
+    if (n <= capacity) {
+      // This level fits into a single node: the root.
+      Node root;
+      root.level = level;
+      root.entries = std::move(level_entries);
+      auto id = tree_->AllocNode(root);
+      if (!id.ok()) return id.status();
+      ++tree_->node_count_;
+      tree_->root_ = *id;
+      tree_->height_ = static_cast<uint16_t>(level + 1);
+      return Status::OK();
+    }
+
+    // Tile: sort by x-center into ceil(sqrt(P)) slabs, then pack each slab
+    // in y order.
+    const size_t num_nodes = (n + capacity - 1) / capacity;
+    const size_t num_slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    const size_t slab_size =
+        ((num_nodes + num_slabs - 1) / num_slabs) * capacity;
+
+    std::sort(level_entries.begin(), level_entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.rect.Center().x < b.rect.Center().x;
+              });
+
+    std::vector<Entry> next_level;
+    next_level.reserve(num_nodes);
+    for (size_t slab_begin = 0; slab_begin < n; slab_begin += slab_size) {
+      const size_t slab_end = std::min(n, slab_begin + slab_size);
+      std::sort(level_entries.begin() + slab_begin,
+                level_entries.begin() + slab_end,
+                [](const Entry& a, const Entry& b) {
+                  return a.rect.Center().y < b.rect.Center().y;
+                });
+      for (size_t i = slab_begin; i < slab_end; i += capacity) {
+        const size_t end = std::min(slab_end, i + capacity);
+        Node node;
+        node.level = level;
+        node.entries.assign(level_entries.begin() + i,
+                            level_entries.begin() + end);
+        auto id = tree_->AllocNode(node);
+        if (!id.ok()) return id.status();
+        ++tree_->node_count_;
+        next_level.emplace_back(node.ComputeMbr(), *id);
+      }
+    }
+    level_entries = std::move(next_level);
+    ++level;
+  }
+}
+
+}  // namespace amdj::rtree

@@ -1,0 +1,36 @@
+#ifndef AMDJ_RTREE_STR_BULK_LOADER_H_
+#define AMDJ_RTREE_STR_BULK_LOADER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/entry.h"
+
+namespace amdj::rtree {
+
+class RTree;
+
+/// Sort-Tile-Recursive bulk loading (Leutenegger et al., ICDE'97): sorts
+/// objects by x-center into vertical slabs, each slab by y-center, and packs
+/// nodes bottom-up. Produces well-clustered trees comparable to an R*-tree
+/// built by repeated insertion, in O(n log n).
+///
+/// Note: loading *replaces* the tree's contents; pages of any previous
+/// contents are abandoned (the library never reuses a tree after reloading,
+/// so this simply wastes file space rather than risking stale buffer-pool
+/// frames).
+class StrBulkLoader {
+ public:
+  /// Does not take ownership.
+  explicit StrBulkLoader(RTree* tree) : tree_(tree) {}
+
+  /// Bulk loads `objects`. `fill` in (0, 1] scales node occupancy.
+  Status Load(std::vector<Entry> objects, double fill);
+
+ private:
+  RTree* tree_;
+};
+
+}  // namespace amdj::rtree
+
+#endif  // AMDJ_RTREE_STR_BULK_LOADER_H_

@@ -1,0 +1,137 @@
+#include "spatialjoin/external_sorter.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace amdj::spatialjoin {
+
+ExternalSorter::ExternalSorter(storage::DiskManager* disk,
+                               size_t memory_bytes, JoinStats* stats)
+    : disk_(disk),
+      buffer_capacity_(std::max<size_t>(64, memory_bytes / kRecordSize)),
+      stats_(stats) {
+  if (disk_ == nullptr) {
+    buffer_capacity_ = std::numeric_limits<size_t>::max();
+  }
+}
+
+ExternalSorter::~ExternalSorter() {
+  if (disk_ != nullptr) {
+    for (const Run& run : runs_) {
+      for (storage::PageId id : run.pages) disk_->FreePage(id);
+    }
+  }
+}
+
+Status ExternalSorter::Add(const core::ResultPair& record) {
+  if (finished_) {
+    return Status::FailedPrecondition("Add after Finish");
+  }
+  buffer_.push_back(record);
+  ++count_;
+  if (buffer_.size() >= buffer_capacity_) {
+    AMDJ_RETURN_IF_ERROR(FlushRun());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::FlushRun() {
+  if (buffer_.empty()) return Status::OK();
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const core::ResultPair& a, const core::ResultPair& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.r_id != b.r_id) return a.r_id < b.r_id;
+              return a.s_id < b.s_id;
+            });
+  Run run;
+  run.records = buffer_.size();
+  char page[storage::kPageSize];
+  for (size_t i = 0; i < buffer_.size(); i += kRecordsPerPage) {
+    const size_t n = std::min(kRecordsPerPage, buffer_.size() - i);
+    std::memset(page, 0, sizeof(page));
+    std::memcpy(page, buffer_.data() + i, n * kRecordSize);
+    const storage::PageId id = disk_->AllocatePage();
+    AMDJ_RETURN_IF_ERROR(disk_->WritePage(id, page));
+    if (stats_ != nullptr) ++stats_->queue_page_writes;
+    run.pages.push_back(id);
+  }
+  runs_.push_back(std::move(run));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ExternalSorter::LoadPage(RunReader* reader) {
+  AMDJ_RETURN_IF_ERROR(
+      disk_->ReadPage(reader->run->pages[reader->page_index],
+                      reader->buffer));
+  if (stats_ != nullptr) ++stats_->queue_page_reads;
+  reader->record_in_page = 0;
+  return Status::OK();
+}
+
+Status ExternalSorter::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (runs_.empty()) {
+    // Pure in-memory: sort the buffer and stream from it.
+    std::sort(buffer_.begin(), buffer_.end(),
+              [](const core::ResultPair& a, const core::ResultPair& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                if (a.r_id != b.r_id) return a.r_id < b.r_id;
+                return a.s_id < b.s_id;
+              });
+    buffer_cursor_ = 0;
+    return Status::OK();
+  }
+  AMDJ_RETURN_IF_ERROR(FlushRun());  // spill the final partial run
+  readers_.resize(runs_.size());
+  heads_.resize(runs_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    readers_[i].run = &runs_[i];
+    if (runs_[i].records == 0) continue;
+    AMDJ_RETURN_IF_ERROR(LoadPage(&readers_[i]));
+    std::memcpy(&heads_[i], readers_[i].buffer, kRecordSize);
+    readers_[i].record_in_page = 1;
+    readers_[i].consumed = 1;
+    merge_heap_.emplace(heads_[i].distance, i);
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::Next(core::ResultPair* out, bool* done) {
+  if (!finished_) return Status::FailedPrecondition("Next before Finish");
+  *done = false;
+  if (runs_.empty()) {
+    if (buffer_cursor_ >= buffer_.size()) {
+      *done = true;
+      return Status::OK();
+    }
+    *out = buffer_[buffer_cursor_++];
+    return Status::OK();
+  }
+  if (merge_heap_.empty()) {
+    *done = true;
+    return Status::OK();
+  }
+  const size_t i = merge_heap_.top().second;
+  merge_heap_.pop();
+  *out = heads_[i];
+  RunReader& reader = readers_[i];
+  if (reader.consumed < reader.run->records) {
+    if (reader.record_in_page >= kRecordsPerPage) {
+      ++reader.page_index;
+      AMDJ_RETURN_IF_ERROR(LoadPage(&reader));
+    }
+    std::memcpy(&heads_[i],
+                reader.buffer + reader.record_in_page * kRecordSize,
+                kRecordSize);
+    ++reader.record_in_page;
+    ++reader.consumed;
+    merge_heap_.emplace(heads_[i].distance, i);
+  }
+  return Status::OK();
+}
+
+}  // namespace amdj::spatialjoin

@@ -1,0 +1,88 @@
+#ifndef AMDJ_SPATIALJOIN_EXTERNAL_SORTER_H_
+#define AMDJ_SPATIALJOIN_EXTERNAL_SORTER_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/pair_entry.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace amdj::spatialjoin {
+
+/// External merge sort of join results by ascending distance: the sort half
+/// of the paper's SJ-SORT baseline. Records accumulate in a memory buffer;
+/// full buffers are sorted and written to disk as runs; Finish() prepares a
+/// k-way streaming merge holding one page per run.
+///
+/// With a null disk manager the sorter degrades to a plain in-memory sort.
+class ExternalSorter {
+ public:
+  /// `memory_bytes` bounds the in-memory run buffer. `stats` (optional)
+  /// receives queue_page_reads/writes for run I/O.
+  ExternalSorter(storage::DiskManager* disk, size_t memory_bytes,
+                 JoinStats* stats);
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Adds one record. Must not be called after Finish().
+  Status Add(const core::ResultPair& record);
+
+  /// Seals the input and prepares the merge. Idempotent.
+  Status Finish();
+
+  /// Streams records in ascending distance order. Sets `*done` when the
+  /// stream is exhausted. Requires Finish().
+  Status Next(core::ResultPair* out, bool* done);
+
+  /// Records added.
+  uint64_t count() const { return count_; }
+  /// Number of on-disk runs produced (0 when everything fit in memory).
+  size_t run_count() const { return runs_.size(); }
+
+ private:
+  struct Run {
+    std::vector<storage::PageId> pages;
+    uint64_t records = 0;
+  };
+
+  /// Sequential reader over one run, one page buffered.
+  struct RunReader {
+    const Run* run = nullptr;
+    size_t page_index = 0;
+    size_t record_in_page = 0;
+    uint64_t consumed = 0;
+    char buffer[storage::kPageSize];
+  };
+
+  static constexpr size_t kRecordSize = sizeof(core::ResultPair);
+  static constexpr size_t kRecordsPerPage = storage::kPageSize / kRecordSize;
+
+  Status FlushRun();
+  Status LoadPage(RunReader* reader);
+
+  storage::DiskManager* disk_;
+  size_t buffer_capacity_;  // records
+  JoinStats* stats_;
+  std::vector<core::ResultPair> buffer_;
+  std::vector<Run> runs_;
+  std::vector<RunReader> readers_;
+  // Merge heap of (distance, reader index).
+  std::priority_queue<std::pair<double, size_t>,
+                      std::vector<std::pair<double, size_t>>,
+                      std::greater<>>
+      merge_heap_;
+  std::vector<core::ResultPair> heads_;  // current record per reader
+  uint64_t count_ = 0;
+  size_t buffer_cursor_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace amdj::spatialjoin
+
+#endif  // AMDJ_SPATIALJOIN_EXTERNAL_SORTER_H_

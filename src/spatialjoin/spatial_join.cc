@@ -1,0 +1,74 @@
+#include "spatialjoin/spatial_join.h"
+
+#include <vector>
+
+#include "core/expansion.h"
+#include "core/plane_sweeper.h"
+#include "core/sweep_plan.h"
+
+namespace amdj::spatialjoin {
+
+using core::ChildList;
+using core::PairEntry;
+using core::PairRef;
+using core::ResultPair;
+using core::RootRef;
+
+Status SpatialJoin::Within(
+    const rtree::RTree& r, const rtree::RTree& s, double dmax,
+    const core::JoinOptions& options, JoinStats* stats,
+    const std::function<Status(const ResultPair&)>& emit) {
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+  if (r.size() == 0 || s.size() == 0) return Status::OK();
+
+  std::vector<PairEntry> stack;
+  {
+    PairEntry root = core::MakePair(RootRef(r), RootRef(s), options.metric);
+    ++stats->real_distance_computations;
+    if (root.distance > dmax) return Status::OK();
+    stack.push_back(root);
+  }
+
+  std::vector<PairRef> left;
+  std::vector<PairRef> right;
+  while (!stack.empty()) {
+    const PairEntry c = stack.back();
+    stack.pop_back();
+    if (c.IsObjectPair()) {
+      // pairs_produced is reserved for end results (SJ-SORT counts the
+      // post-sort output); callers wanting the raw join cardinality can
+      // count in `emit`.
+      AMDJ_RETURN_IF_ERROR(emit({c.distance, c.r.id, c.s.id}));
+      continue;
+    }
+    ++stats->node_expansions;
+    AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
+    AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
+    const core::SweepPlan plan =
+        core::ChooseSweepPlan(c.r.rect, c.s.rect, dmax, options.sweep);
+    Status sweep_status;
+    const double cutoff = dmax;
+    core::PlaneSweep(
+        left, right, plan, &cutoff, stats,
+        [&](const PairRef& lref, const PairRef& rref, double /*axis_dist*/) {
+          if (!sweep_status.ok()) return;
+          ++stats->real_distance_computations;
+          const double real =
+              geom::MinDistance(lref.rect, rref.rect, options.metric);
+          if (real > dmax) return;
+          if (options.exclude_same_id && core::IsSelfPair(lref, rref)) {
+            return;
+          }
+          PairEntry e;
+          e.r = lref;
+          e.s = rref;
+          e.distance = real;
+          stack.push_back(e);
+        });
+    AMDJ_RETURN_IF_ERROR(sweep_status);
+  }
+  return Status::OK();
+}
+
+}  // namespace amdj::spatialjoin

@@ -1,0 +1,33 @@
+#ifndef AMDJ_SPATIALJOIN_SPATIAL_JOIN_H_
+#define AMDJ_SPATIALJOIN_SPATIAL_JOIN_H_
+
+#include <functional>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "core/pair_entry.h"
+#include "rtree/rtree.h"
+
+namespace amdj::spatialjoin {
+
+/// R-tree spatial join (Brinkhoff, Kriegel & Seeger, SIGMOD'93) adapted
+/// from the `intersect` to a `within(d)` predicate: synchronized top-down
+/// traversal of both trees, with child-pair matching restricted by a plane
+/// sweep so only pairs within axis distance d are considered. This is the
+/// join half of the paper's SJ-SORT baseline.
+class SpatialJoin {
+ public:
+  /// Invokes `emit` for every object pair with MinDistance <= dmax (under
+  /// options.metric; options.sweep and options.exclude_same_id are also
+  /// honored), in traversal (unsorted) order. A non-OK status from `emit`
+  /// aborts the join and is returned. `stats` may be null.
+  static Status Within(
+      const rtree::RTree& r, const rtree::RTree& s, double dmax,
+      const core::JoinOptions& options, JoinStats* stats,
+      const std::function<Status(const core::ResultPair&)>& emit);
+};
+
+}  // namespace amdj::spatialjoin
+
+#endif  // AMDJ_SPATIALJOIN_SPATIAL_JOIN_H_

@@ -1,0 +1,148 @@
+#ifndef AMDJ_STORAGE_BUFFER_POOL_H_
+#define AMDJ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace amdj::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins (and marks dirty if requested) on
+/// destruction. Move-only.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId page_id, char* data);
+  ~PageGuard();
+
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  /// True if this guard holds a page.
+  bool Valid() const { return pool_ != nullptr; }
+
+  PageId page_id() const { return page_id_; }
+  const char* data() const { return data_; }
+
+  /// Mutable access; marks the page dirty.
+  char* MutableData() {
+    dirty_ = true;
+    return data_;
+  }
+
+  /// Explicitly releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId page_id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// Fixed-capacity LRU page cache over a DiskManager.
+///
+/// The R-tree buffer of the paper's experiments is an instance of this class
+/// with capacity = bytes / 4 KB. Buffer hits/misses and logical accesses are
+/// accumulated into an optional JoinStats sink so each join run can report
+/// the paper's Table 2 numbers.
+///
+/// Thread-safety: all operations are internally locked, so concurrent
+/// read-only queries may share one pool (frame payloads are stable while
+/// pinned). The stats sink is a single pool-wide pointer, so per-query
+/// node-access attribution is only meaningful while one query runs at a
+/// time; concurrent queries should leave the sink detached.
+class BufferPool {
+ public:
+  /// `capacity_pages` must be >= 1. Does not take ownership of `disk`.
+  BufferPool(DiskManager* disk, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Directs per-access counters (node_accesses, node_buffer_hits,
+  /// node_disk_reads) into `stats`; pass nullptr to detach. See the class
+  /// comment for the concurrency caveat.
+  void SetStatsSink(JoinStats* stats) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = stats;
+  }
+
+  /// Fetches (pinning) an existing page.
+  StatusOr<PageGuard> FetchPage(PageId page_id);
+
+  /// Allocates a fresh zeroed page and pins it. On success `*page_id` holds
+  /// the new id.
+  StatusOr<PageGuard> NewPage(PageId* page_id);
+
+  /// Unpins a page previously pinned by FetchPage/NewPage. Called by
+  /// PageGuard; rarely needed directly.
+  void UnpinPage(PageId page_id, bool dirty);
+
+  /// Drops a cached page *without* writing it back — for pages whose
+  /// contents are dead (about to be freed). Required before
+  /// DiskManager::FreePage of a page that may be cached: otherwise a later
+  /// reuse of the page id would alias a stale frame. No-op when the page
+  /// is not cached; fails if it is pinned.
+  Status Discard(PageId page_id);
+
+  /// Writes back all dirty pages.
+  Status FlushAll();
+
+  /// Drops every unpinned page (flushing dirty ones). Returns non-OK if any
+  /// page is still pinned or a flush fails.
+  Status Clear();
+
+  /// The backing disk manager (for page allocation bookkeeping by owners
+  /// of pooled structures, e.g. freeing R-tree nodes).
+  DiskManager* disk() const { return disk_; }
+
+  size_t capacity_pages() const { return capacity_; }
+  /// Number of distinct pages currently cached.
+  size_t cached_pages() const { return table_.size(); }
+
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+  };
+
+  /// Returns a free frame index, evicting the LRU unpinned page if needed;
+  /// -1 if every frame is pinned.
+  int FindVictim(Status* status);
+  void TouchLru(size_t frame_idx);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
+  std::list<size_t> lru_;                     // front = most recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  mutable std::mutex mutex_;
+  JoinStats* stats_ = nullptr;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace amdj::storage
+
+#endif  // AMDJ_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,182 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace amdj::storage {
+
+void DiskManager::CountRead(PageId page_id) {
+  ++stats_.page_reads;
+  if (last_read_ != kInvalidPageId && page_id == last_read_ + 1) {
+    ++stats_.sequential_reads;
+  } else {
+    ++stats_.random_reads;
+  }
+  last_read_ = page_id;
+}
+
+void DiskManager::CountWrite(PageId page_id) {
+  ++stats_.page_writes;
+  if (last_write_ != kInvalidPageId && page_id == last_write_ + 1) {
+    ++stats_.sequential_writes;
+  } else {
+    ++stats_.random_writes;
+  }
+  last_write_ = page_id;
+}
+
+// ---------------------------------------------------------------------------
+// InMemoryDiskManager
+
+PageId InMemoryDiskManager::AllocatePage() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.pages_allocated;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  pages_.push_back(std::make_unique<char[]>(kPageSize));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void InMemoryDiskManager::FreePage(PageId page_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (page_id < pages_.size()) free_list_.push_back(page_id);
+}
+
+Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(page_id));
+  }
+  CountRead(page_id);
+  std::memcpy(out, pages_[page_id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(page_id));
+  }
+  CountWrite(page_id);
+  std::memcpy(pages_[page_id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+uint32_t InMemoryDiskManager::PageCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<uint32_t>(pages_.size());
+}
+
+// ---------------------------------------------------------------------------
+// FileDiskManager
+
+FileDiskManager::FileDiskManager(const std::string& path, bool persistent)
+    : path_(path), persistent_(persistent) {
+  if (persistent_) {
+    // Keep existing pages; create the file if it does not exist yet.
+    file_ = std::fopen(path.c_str(), "r+b");
+    if (file_ == nullptr) file_ = std::fopen(path.c_str(), "w+b");
+    if (file_ != nullptr && std::fseek(file_, 0, SEEK_END) == 0) {
+      const long bytes = std::ftell(file_);
+      if (bytes > 0) {
+        page_count_ = static_cast<uint32_t>(
+            static_cast<unsigned long>(bytes) / kPageSize);
+      }
+    }
+  } else {
+    file_ = std::fopen(path.c_str(), "w+b");
+  }
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    if (!persistent_) std::remove(path_.c_str());
+  }
+}
+
+PageId FileDiskManager::AllocatePage() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.pages_allocated;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  return page_count_++;
+}
+
+void FileDiskManager::FreePage(PageId page_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (page_id < page_count_) free_list_.push_back(page_id);
+}
+
+Status FileDiskManager::ReadPage(PageId page_id, char* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::IOError("backing file not open");
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(page_id));
+  }
+  CountRead(page_id);
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  const size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n < kPageSize) {
+    // Pages allocated but never written read back as zeros.
+    std::memset(out + n, 0, kPageSize - n);
+    std::clearerr(file_);
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId page_id, const char* data) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::IOError("backing file not open");
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(page_id));
+  }
+  CountWrite(page_id);
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+uint32_t FileDiskManager::PageCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return page_count_;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionDiskManager
+
+Status FaultInjectionDiskManager::ReadPage(PageId page_id, char* out) {
+  if (reads_until_failure_ == 0) {
+    return Status::IOError("injected read failure");
+  }
+  if (reads_until_failure_ != kNever) --reads_until_failure_;
+  return base_->ReadPage(page_id, out);
+}
+
+Status FaultInjectionDiskManager::WritePage(PageId page_id,
+                                            const char* data) {
+  if (writes_until_failure_ == 0) {
+    return Status::IOError("injected write failure");
+  }
+  if (writes_until_failure_ != kNever) --writes_until_failure_;
+  return base_->WritePage(page_id, data);
+}
+
+}  // namespace amdj::storage

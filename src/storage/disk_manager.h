@@ -1,0 +1,149 @@
+#ifndef AMDJ_STORAGE_DISK_MANAGER_H_
+#define AMDJ_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace amdj::storage {
+
+/// I/O counters kept by every DiskManager. "Sequential" accesses are those
+/// whose page id immediately follows the previously accessed page; the
+/// simulated cost model (core::CostModel) charges them at the paper's
+/// sequential bandwidth and everything else at random bandwidth.
+struct DiskStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+  uint64_t sequential_writes = 0;
+  uint64_t random_writes = 0;
+  uint64_t pages_allocated = 0;
+
+  void Reset() { *this = DiskStats(); }
+};
+
+/// Page-granular storage abstraction. The bundled implementations are
+/// thread-safe (internally locked), so multiple concurrent queries may
+/// share one page file; note that DiskStats are then aggregated across
+/// all of them.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a new page (possibly reusing a freed one) and returns its id.
+  virtual PageId AllocatePage() = 0;
+
+  /// Returns a page to the allocator's free list.
+  virtual void FreePage(PageId page_id) = 0;
+
+  /// Reads page `page_id` into `out` (kPageSize bytes).
+  virtual Status ReadPage(PageId page_id, char* out) = 0;
+
+  /// Writes kPageSize bytes from `data` to page `page_id`.
+  virtual Status WritePage(PageId page_id, const char* data) = 0;
+
+  /// Number of pages ever allocated (high-water mark, including freed).
+  virtual uint32_t PageCount() const = 0;
+
+  const DiskStats& stats() const { return stats_; }
+  DiskStats* mutable_stats() { return &stats_; }
+
+ protected:
+  /// Classifies and counts one read/write for the stats.
+  void CountRead(PageId page_id);
+  void CountWrite(PageId page_id);
+
+  DiskStats stats_;
+
+ private:
+  PageId last_read_ = kInvalidPageId;
+  PageId last_write_ = kInvalidPageId;
+};
+
+/// Heap-backed DiskManager. Used by tests and by benches that only care
+/// about I/O *counts* (the simulated cost model turns counts into time).
+class InMemoryDiskManager : public DiskManager {
+ public:
+  InMemoryDiskManager() = default;
+
+  PageId AllocatePage() override;
+  void FreePage(PageId page_id) override;
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  uint32_t PageCount() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+/// File-backed DiskManager (one flat file of 4 KB pages).
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens the backing file. By default the file is treated as scratch:
+  /// truncated on open and removed on destruction. With
+  /// `persistent = true` an existing file is reopened with its pages
+  /// intact (page_count restored from the file size) and kept on close —
+  /// the mode to use with RTree::WriteMetaPage / OpenFromMetaPage.
+  /// Check Ok() before use.
+  explicit FileDiskManager(const std::string& path, bool persistent = false);
+  ~FileDiskManager() override;
+
+  FileDiskManager(const FileDiskManager&) = delete;
+  FileDiskManager& operator=(const FileDiskManager&) = delete;
+
+  /// True if the backing file opened successfully.
+  bool Ok() const { return file_ != nullptr; }
+
+  PageId AllocatePage() override;
+  void FreePage(PageId page_id) override;
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  uint32_t PageCount() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string path_;
+  bool persistent_ = false;
+  std::FILE* file_ = nullptr;
+  uint32_t page_count_ = 0;
+  std::vector<PageId> free_list_;
+};
+
+/// Wraps another DiskManager and injects failures, for testing error paths.
+class FaultInjectionDiskManager : public DiskManager {
+ public:
+  /// Does not take ownership of `base`.
+  explicit FaultInjectionDiskManager(DiskManager* base) : base_(base) {}
+
+  /// After `n` more successful reads, every read fails with IOError.
+  void FailReadsAfter(uint64_t n) { reads_until_failure_ = n; }
+  /// After `n` more successful writes, every write fails with IOError.
+  void FailWritesAfter(uint64_t n) { writes_until_failure_ = n; }
+  /// Clears injected failures.
+  void Heal() { reads_until_failure_ = writes_until_failure_ = kNever; }
+
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  void FreePage(PageId page_id) override { base_->FreePage(page_id); }
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  uint32_t PageCount() const override { return base_->PageCount(); }
+
+ private:
+  static constexpr uint64_t kNever = UINT64_MAX;
+
+  DiskManager* base_;
+  uint64_t reads_until_failure_ = kNever;
+  uint64_t writes_until_failure_ = kNever;
+};
+
+}  // namespace amdj::storage
+
+#endif  // AMDJ_STORAGE_DISK_MANAGER_H_

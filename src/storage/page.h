@@ -1,0 +1,21 @@
+#ifndef AMDJ_STORAGE_PAGE_H_
+#define AMDJ_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace amdj::storage {
+
+/// Identifier of a fixed-size page within a DiskManager.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Page size used throughout the library. The paper's evaluation uses 4 KB
+/// pages for both disk I/O and R*-tree nodes (Section 5.1).
+inline constexpr size_t kPageSize = 4096;
+
+}  // namespace amdj::storage
+
+#endif  // AMDJ_STORAGE_PAGE_H_

@@ -1,0 +1,242 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace amdj::workload {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+geom::Rect ClampedSegmentMbr(double x0, double y0, double x1, double y1,
+                             const geom::Rect& universe) {
+  geom::Rect r(Clamp(std::min(x0, x1), universe.lo.x, universe.hi.x),
+               Clamp(std::min(y0, y1), universe.lo.y, universe.hi.y),
+               Clamp(std::max(x0, x1), universe.lo.x, universe.hi.x),
+               Clamp(std::max(y0, y1), universe.lo.y, universe.hi.y));
+  return r;
+}
+
+/// Appends per-segment MBRs of a random-walk polyline starting at (x, y)
+/// with initial heading `angle`; the walk meanders by small heading
+/// perturbations. Returns the number of segments emitted.
+uint64_t EmitPolyline(Random& rng, double x, double y, double angle,
+                      uint64_t segments, double mean_len, double wiggle,
+                      const geom::Rect& universe,
+                      std::vector<geom::Rect>* out) {
+  uint64_t emitted = 0;
+  for (uint64_t i = 0; i < segments; ++i) {
+    const double len = rng.Exponential(1.0 / mean_len);
+    const double nx = x + len * std::cos(angle);
+    const double ny = y + len * std::sin(angle);
+    out->push_back(ClampedSegmentMbr(x, y, nx, ny, universe));
+    ++emitted;
+    x = Clamp(nx, universe.lo.x, universe.hi.x);
+    y = Clamp(ny, universe.lo.y, universe.hi.y);
+    angle += rng.Gaussian(0.0, wiggle);
+  }
+  return emitted;
+}
+
+struct Town {
+  double x;
+  double y;
+  double weight;  // population share
+};
+
+std::vector<Town> MakeTowns(Random& rng, uint32_t count,
+                            const geom::Rect& universe) {
+  std::vector<Town> towns(count);
+  double total = 0.0;
+  for (Town& t : towns) {
+    t.x = rng.Uniform(universe.lo.x, universe.hi.x);
+    t.y = rng.Uniform(universe.lo.y, universe.hi.y);
+    // Pareto-ish population weights: a few big cities, many hamlets.
+    t.weight = std::pow(rng.NextDouble(), 3.0) + 0.02;
+    total += t.weight;
+  }
+  for (Town& t : towns) t.weight /= total;
+  return towns;
+}
+
+const Town& PickTown(Random& rng, const std::vector<Town>& towns) {
+  double u = rng.NextDouble();
+  for (const Town& t : towns) {
+    if (u < t.weight) return t;
+    u -= t.weight;
+  }
+  return towns.back();
+}
+
+}  // namespace
+
+Dataset UniformPoints(uint64_t n, uint64_t seed, const geom::Rect& universe) {
+  Random rng(seed);
+  Dataset ds;
+  ds.name = "uniform-points";
+  ds.objects.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const geom::Point p(rng.Uniform(universe.lo.x, universe.hi.x),
+                        rng.Uniform(universe.lo.y, universe.hi.y));
+    ds.objects.push_back(geom::Rect::FromPoint(p));
+  }
+  return ds;
+}
+
+Dataset UniformRects(uint64_t n, double mean_side, uint64_t seed,
+                     const geom::Rect& universe) {
+  Random rng(seed);
+  Dataset ds;
+  ds.name = "uniform-rects";
+  ds.objects.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double cx = rng.Uniform(universe.lo.x, universe.hi.x);
+    const double cy = rng.Uniform(universe.lo.y, universe.hi.y);
+    const double w = rng.Exponential(1.0 / mean_side) * 0.5;
+    const double h = rng.Exponential(1.0 / mean_side) * 0.5;
+    ds.objects.push_back(ClampedSegmentMbr(cx - w, cy - h, cx + w, cy + h,
+                                           universe));
+  }
+  return ds;
+}
+
+Dataset GaussianClusters(uint64_t n, uint32_t clusters, double sigma_frac,
+                         uint64_t seed, const geom::Rect& universe) {
+  Random rng(seed);
+  Dataset ds;
+  ds.name = "gaussian-clusters";
+  ds.objects.reserve(n);
+  std::vector<geom::Point> centers(std::max<uint32_t>(1, clusters));
+  for (auto& c : centers) {
+    c = geom::Point(rng.Uniform(universe.lo.x, universe.hi.x),
+                    rng.Uniform(universe.lo.y, universe.hi.y));
+  }
+  const double sigma = sigma_frac * universe.Side(0);
+  for (uint64_t i = 0; i < n; ++i) {
+    const geom::Point& c = centers[rng.UniformInt(centers.size())];
+    const double x = Clamp(rng.Gaussian(c.x, sigma), universe.lo.x,
+                           universe.hi.x);
+    const double y = Clamp(rng.Gaussian(c.y, sigma), universe.lo.y,
+                           universe.hi.y);
+    ds.objects.push_back(geom::Rect::FromPoint(geom::Point(x, y)));
+  }
+  return ds;
+}
+
+Dataset ZipfSkewedPoints(uint64_t n, double theta, uint64_t seed,
+                         const geom::Rect& universe) {
+  Random rng(seed);
+  Dataset ds;
+  ds.name = "zipf-points";
+  ds.objects.reserve(n);
+  constexpr uint64_t kGrid = 4096;
+  for (uint64_t i = 0; i < n; ++i) {
+    // Zipf-distributed grid cell + uniform jitter inside the cell.
+    const double gx = static_cast<double>(rng.Zipf(kGrid, theta));
+    const double gy = static_cast<double>(rng.Zipf(kGrid, theta));
+    const double x = universe.lo.x + (gx + rng.NextDouble()) / kGrid *
+                                         universe.Side(0);
+    const double y = universe.lo.y + (gy + rng.NextDouble()) / kGrid *
+                                         universe.Side(1);
+    ds.objects.push_back(geom::Rect::FromPoint(
+        geom::Point(Clamp(x, universe.lo.x, universe.hi.x),
+                    Clamp(y, universe.lo.y, universe.hi.y))));
+  }
+  return ds;
+}
+
+Dataset TigerStreets(const TigerSynthOptions& options) {
+  const geom::Rect universe(0, 0, kUniverseSize, kUniverseSize);
+  Random rng(options.seed);
+  Dataset ds;
+  ds.name = "tiger-streets";
+  ds.objects.reserve(options.street_segments);
+  const std::vector<Town> towns = MakeTowns(rng, options.towns, universe);
+
+  const uint64_t rural_target = static_cast<uint64_t>(
+      options.rural_fraction * static_cast<double>(options.street_segments));
+  // Urban roads: polylines radiating from towns, denser in heavy towns.
+  while (ds.objects.size() <
+         options.street_segments - rural_target) {
+    const Town& t = PickTown(rng, towns);
+    // Start near the town center; big towns spread wider.
+    const double spread =
+        (0.01 + 0.08 * t.weight * towns.size()) * kUniverseSize;
+    const double x = rng.Gaussian(t.x, spread);
+    const double y = rng.Gaussian(t.y, spread);
+    const uint64_t segs = 4 + rng.UniformInt(uint64_t{28});
+    EmitPolyline(rng, Clamp(x, 0, kUniverseSize), Clamp(y, 0, kUniverseSize),
+                 rng.Uniform(0, 2 * M_PI), segs,
+                 options.mean_segment_length, 0.35, universe, &ds.objects);
+  }
+  // Rural mesh: long straight-ish highways crossing the universe.
+  while (ds.objects.size() < options.street_segments) {
+    const double x = rng.Uniform(0, kUniverseSize);
+    const double y = rng.Uniform(0, kUniverseSize);
+    const uint64_t segs = 8 + rng.UniformInt(uint64_t{56});
+    EmitPolyline(rng, x, y, rng.Uniform(0, 2 * M_PI), segs,
+                 options.mean_segment_length * 2.5, 0.08, universe,
+                 &ds.objects);
+  }
+  ds.objects.resize(options.street_segments);  // trim polyline overshoot
+  return ds;
+}
+
+Dataset TigerHydro(const TigerSynthOptions& options) {
+  const geom::Rect universe(0, 0, kUniverseSize, kUniverseSize);
+  // Offset seed: hydro correlates with the towns (same layout) but has its
+  // own object stream.
+  Random town_rng(options.seed);
+  const std::vector<Town> towns = MakeTowns(town_rng, options.towns,
+                                            universe);
+  Random rng(options.seed ^ 0xA5A5A5A5ull);
+  Dataset ds;
+  ds.name = "tiger-hydro";
+  ds.objects.reserve(options.hydro_objects);
+
+  // Rivers: long meanders passing near towns (settlements grow on rivers).
+  const uint64_t river_target = options.hydro_objects * 6 / 10;
+  while (ds.objects.size() < river_target) {
+    const Town& t = PickTown(rng, towns);
+    const double x = rng.Gaussian(t.x, 0.05 * kUniverseSize);
+    const double y = rng.Gaussian(t.y, 0.05 * kUniverseSize);
+    const uint64_t segs = 30 + rng.UniformInt(uint64_t{170});
+    EmitPolyline(rng, Clamp(x, 0, kUniverseSize), Clamp(y, 0, kUniverseSize),
+                 rng.Uniform(0, 2 * M_PI), segs,
+                 options.mean_segment_length * 1.8, 0.15, universe,
+                 &ds.objects);
+  }
+  // Lakes and ponds: compact blobs of small rectangles.
+  while (ds.objects.size() < options.hydro_objects) {
+    const bool near_town = rng.Bernoulli(0.5);
+    double cx, cy;
+    if (near_town) {
+      const Town& t = PickTown(rng, towns);
+      cx = rng.Gaussian(t.x, 0.04 * kUniverseSize);
+      cy = rng.Gaussian(t.y, 0.04 * kUniverseSize);
+    } else {
+      cx = rng.Uniform(0, kUniverseSize);
+      cy = rng.Uniform(0, kUniverseSize);
+    }
+    const uint64_t pieces = 1 + rng.UniformInt(uint64_t{12});
+    const double lake_radius = rng.Exponential(1.0 / 1500.0);
+    for (uint64_t p = 0;
+         p < pieces && ds.objects.size() < options.hydro_objects; ++p) {
+      const double px = rng.Gaussian(cx, lake_radius);
+      const double py = rng.Gaussian(cy, lake_radius);
+      const double w = rng.Exponential(1.0 / 400.0) * 0.5;
+      const double h = rng.Exponential(1.0 / 400.0) * 0.5;
+      ds.objects.push_back(
+          ClampedSegmentMbr(px - w, py - h, px + w, py + h, universe));
+    }
+  }
+  ds.objects.resize(options.hydro_objects);
+  return ds;
+}
+
+}  // namespace amdj::workload

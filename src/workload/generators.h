@@ -1,0 +1,70 @@
+#ifndef AMDJ_WORKLOAD_GENERATORS_H_
+#define AMDJ_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+#include "workload/dataset.h"
+
+namespace amdj::workload {
+
+/// Workspace within which all generators place objects.
+inline constexpr double kUniverseSize = 1'000'000.0;  // 1M x 1M units
+
+/// n points (degenerate rectangles) uniformly distributed over `universe`.
+Dataset UniformPoints(uint64_t n, uint64_t seed,
+                      const geom::Rect& universe = geom::Rect(
+                          0, 0, kUniverseSize, kUniverseSize));
+
+/// n small rectangles with uniformly distributed centers and exponentially
+/// distributed side lengths (mean `mean_side`).
+Dataset UniformRects(uint64_t n, double mean_side, uint64_t seed,
+                     const geom::Rect& universe = geom::Rect(
+                         0, 0, kUniverseSize, kUniverseSize));
+
+/// n points drawn from `clusters` Gaussian blobs with random centers and
+/// the given standard deviation (as a fraction of the universe side).
+Dataset GaussianClusters(uint64_t n, uint32_t clusters, double sigma_frac,
+                         uint64_t seed,
+                         const geom::Rect& universe = geom::Rect(
+                             0, 0, kUniverseSize, kUniverseSize));
+
+/// n points with Zipf-skewed coordinates (theta in (0,1)); models the
+/// heavily skewed distributions the paper's Section 4.3 worries about.
+Dataset ZipfSkewedPoints(uint64_t n, double theta, uint64_t seed,
+                         const geom::Rect& universe = geom::Rect(
+                             0, 0, kUniverseSize, kUniverseSize));
+
+/// Options for the synthetic TIGER-like generator (the stand-in for the
+/// paper's TIGER/Line97 Arizona data; see DESIGN.md).
+struct TigerSynthOptions {
+  /// Number of street-segment MBRs ("streets" dataset).
+  uint64_t street_segments = 120'000;
+  /// Number of hydrographic objects ("hydro" dataset). The paper's ratio is
+  /// 633,461 : 189,642 ~ 3.3 : 1.
+  uint64_t hydro_objects = 36'000;
+  /// Population centers around which road networks concentrate.
+  uint32_t towns = 40;
+  /// Average road-segment length in universe units.
+  double mean_segment_length = 600.0;
+  /// Fraction of streets forming a sparse rural background grid rather
+  /// than clustering in towns.
+  double rural_fraction = 0.25;
+  uint64_t seed = 20000'05'15;  // SIGMOD 2000 :-)
+};
+
+/// Street segments: random-walk polylines ("roads") emanating from town
+/// centers plus a sparse rural mesh, each polyline chopped into per-segment
+/// MBRs — thin, elongated, locally clustered rectangles like real street
+/// data.
+Dataset TigerStreets(const TigerSynthOptions& options);
+
+/// Hydrographic objects: meandering "rivers" (chains of segment MBRs) plus
+/// compact "lakes" (blobs of small rectangles), correlated with the same
+/// town layout so the two data sets overlap the way streets and hydrography
+/// do in census data.
+Dataset TigerHydro(const TigerSynthOptions& options);
+
+}  // namespace amdj::workload
+
+#endif  // AMDJ_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,89 @@
+#include "queue/binary_heap.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace amdj::queue {
+namespace {
+
+struct Less {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+TEST(BinaryHeapTest, PopsInOrder) {
+  BinaryHeap<int, Less> heap;
+  EXPECT_TRUE(heap.Empty());
+  for (int v : {5, 1, 4, 1, 3}) heap.Push(v);
+  EXPECT_EQ(heap.Size(), 5u);
+  EXPECT_EQ(heap.Top(), 1);
+  std::vector<int> out;
+  while (!heap.Empty()) out.push_back(heap.Pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 3, 4, 5}));
+}
+
+TEST(BinaryHeapTest, AssignHeapifies) {
+  BinaryHeap<int, Less> heap;
+  heap.Assign({9, 2, 7, 4});
+  EXPECT_EQ(heap.Top(), 2);
+  heap.Push(1);
+  EXPECT_EQ(heap.Pop(), 1);
+  EXPECT_EQ(heap.Pop(), 2);
+}
+
+TEST(BinaryHeapTest, TakeAllEmptiesTheHeap) {
+  BinaryHeap<int, Less> heap;
+  for (int i = 0; i < 10; ++i) heap.Push(i);
+  auto all = heap.TakeAll();
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_TRUE(heap.Empty());
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(BinaryHeapTest, ClearAndReuse) {
+  BinaryHeap<int, Less> heap;
+  heap.Push(3);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  heap.Push(2);
+  EXPECT_EQ(heap.Top(), 2);
+}
+
+TEST(BinaryHeapTest, RandomizedAgainstSort) {
+  Random rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    BinaryHeap<int, Less> heap;
+    std::vector<int> reference;
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{500}));
+    for (int i = 0; i < n; ++i) {
+      const int v = static_cast<int>(rng.UniformInt(uint64_t{1000}));
+      heap.Push(v);
+      reference.push_back(v);
+    }
+    std::sort(reference.begin(), reference.end());
+    for (int expected : reference) {
+      ASSERT_EQ(heap.Pop(), expected);
+    }
+  }
+}
+
+TEST(BinaryHeapTest, CustomComparatorState) {
+  // A comparator carrying state (like PairEntryCompare's tie-break mode).
+  struct ModalLess {
+    bool reversed;
+    bool operator()(int a, int b) const {
+      return reversed ? a > b : a < b;
+    }
+  };
+  BinaryHeap<int, ModalLess> max_heap(ModalLess{true});
+  for (int v : {1, 5, 3}) max_heap.Push(v);
+  EXPECT_EQ(max_heap.Pop(), 5);
+  EXPECT_EQ(max_heap.Pop(), 3);
+  EXPECT_EQ(max_heap.Pop(), 1);
+}
+
+}  // namespace
+}  // namespace amdj::queue

@@ -1,0 +1,89 @@
+// Model-based torture test: a long random sequence of page operations is
+// applied both to the BufferPool (over a real DiskManager) and to a simple
+// in-memory shadow model; contents must agree at every step, for several
+// pool sizes including pathologically small ones.
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace amdj::storage {
+namespace {
+
+class BufferPoolModelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BufferPoolModelTest, RandomOpsMatchShadowModel) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, GetParam());
+  std::map<PageId, std::vector<char>> shadow;  // page id -> full content
+  std::vector<PageId> live;
+  Random rng(GetParam() * 7919 + 1);
+
+  for (int step = 0; step < 20000; ++step) {
+    const double roll = rng.NextDouble();
+    if (live.empty() || roll < 0.15) {
+      // Allocate a new page and stamp it.
+      PageId id = kInvalidPageId;
+      auto guard = pool.NewPage(&id);
+      ASSERT_TRUE(guard.ok()) << guard.status().ToString();
+      std::vector<char> content(kPageSize, 0);
+      for (size_t i = 0; i < 16; ++i) {
+        content[i * 64] = static_cast<char>(rng.Next() & 0xFF);
+      }
+      std::memcpy(guard->MutableData(), content.data(), kPageSize);
+      shadow[id] = std::move(content);
+      live.push_back(id);
+    } else if (roll < 0.55) {
+      // Read a random page and compare against the model.
+      const PageId id = live[rng.UniformInt(live.size())];
+      auto guard = pool.FetchPage(id);
+      ASSERT_TRUE(guard.ok()) << guard.status().ToString();
+      ASSERT_EQ(std::memcmp(guard->data(), shadow[id].data(), kPageSize), 0)
+          << "content mismatch on page " << id << " at step " << step;
+    } else if (roll < 0.9) {
+      // Mutate a random page through the pool.
+      const PageId id = live[rng.UniformInt(live.size())];
+      auto guard = pool.FetchPage(id);
+      ASSERT_TRUE(guard.ok()) << guard.status().ToString();
+      const size_t offset = rng.UniformInt(uint64_t{kPageSize});
+      const char value = static_cast<char>(rng.Next() & 0xFF);
+      guard->MutableData()[offset] = value;
+      shadow[id][offset] = value;
+    } else if (roll < 0.95) {
+      // Flush everything; disk must now equal the model exactly.
+      ASSERT_TRUE(pool.FlushAll().ok());
+      const PageId id = live[rng.UniformInt(live.size())];
+      char buf[kPageSize];
+      ASSERT_TRUE(disk.ReadPage(id, buf).ok());
+      ASSERT_EQ(std::memcmp(buf, shadow[id].data(), kPageSize), 0)
+          << "disk mismatch on page " << id << " after flush";
+    } else {
+      // Clear the cache entirely (cold restart mid-run).
+      ASSERT_TRUE(pool.Clear().ok());
+    }
+  }
+
+  // Final audit of every page via the pool.
+  for (const auto& [id, content] : shadow) {
+    auto guard = pool.FetchPage(id);
+    ASSERT_TRUE(guard.ok());
+    ASSERT_EQ(std::memcmp(guard->data(), content.data(), kPageSize), 0)
+        << "final mismatch on page " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, BufferPoolModelTest,
+                         ::testing::Values(size_t{1}, size_t{2}, size_t{3},
+                                           size_t{8}, size_t{64}),
+                         [](const auto& info) {
+                           return "frames_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace amdj::storage

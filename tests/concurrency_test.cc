@@ -1,0 +1,135 @@
+// Concurrent read-only queries over shared trees: N threads run different
+// joins / kNN searches against the same BufferPool + DiskManager; every
+// thread's results must equal its own single-threaded reference. (Stats
+// sinks stay detached — per-query attribution is documented as
+// single-query-at-a-time.)
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "rtree/knn.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj {
+namespace {
+
+TEST(ConcurrencyTest, ParallelJoinsMatchSerialResults) {
+  const geom::Rect uni(0, 0, 50000, 50000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::TigerStreets({.street_segments = 6000, .seed = 90}),
+      workload::TigerHydro({.hydro_objects = 2000, .seed = 90}),
+      /*fanout=*/32, /*buffer_pages=*/64);  // small pool: heavy contention
+
+  struct Task {
+    core::KdjAlgorithm algorithm;
+    uint64_t k;
+    std::vector<core::ResultPair> expected;
+  };
+  std::vector<Task> tasks = {
+      {core::KdjAlgorithm::kHsKdj, 500, {}},
+      {core::KdjAlgorithm::kBKdj, 1500, {}},
+      {core::KdjAlgorithm::kAmKdj, 3000, {}},
+      {core::KdjAlgorithm::kHsKdj, 2500, {}},
+      {core::KdjAlgorithm::kAmKdj, 100, {}},
+      {core::KdjAlgorithm::kBKdj, 50, {}},
+  };
+  // Serial references.
+  for (Task& t : tasks) {
+    auto result = core::RunKDistanceJoin(*f.r, *f.s, t.k, t.algorithm,
+                                         core::JoinOptions{}, nullptr);
+    ASSERT_TRUE(result.ok());
+    t.expected = std::move(*result);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int round = 0; round < 2; ++round) {
+    for (const Task& t : tasks) {
+      threads.emplace_back([&f, &t, &failures] {
+        auto result = core::RunKDistanceJoin(*f.r, *f.s, t.k, t.algorithm,
+                                             core::JoinOptions{}, nullptr);
+        if (!result.ok() || result->size() != t.expected.size()) {
+          ++failures;
+          return;
+        }
+        for (size_t i = 0; i < result->size(); ++i) {
+          if (std::abs((*result)[i].distance - t.expected[i].distance) >
+              1e-9) {
+            ++failures;
+            return;
+          }
+        }
+      });
+    }
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelKnnAndCursors) {
+  const geom::Rect uni(0, 0, 10000, 10000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::GaussianClusters(3000, 6, 0.05, 91, uni),
+      workload::UniformRects(2000, 30.0, 92, uni), 32, 32);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Half the threads stream IDJ cursors, half run kNN queries.
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&f, &failures, i] {
+      auto cursor = core::OpenIncrementalJoin(
+          *f.r, *f.s,
+          i % 2 == 0 ? core::IdjAlgorithm::kHsIdj
+                     : core::IdjAlgorithm::kAmIdj,
+          core::JoinOptions{}, nullptr);
+      if (!cursor.ok()) {
+        ++failures;
+        return;
+      }
+      core::ResultPair p;
+      bool done = false;
+      double prev = -1.0;
+      for (int n = 0; n < 800; ++n) {
+        if (!(*cursor)->Next(&p, &done).ok() || done ||
+            p.distance < prev - 1e-12) {
+          ++failures;
+          return;
+        }
+        prev = p.distance;
+      }
+    });
+    threads.emplace_back([&f, &failures, i] {
+      Random rng(1000 + i);
+      for (int q = 0; q < 50; ++q) {
+        const geom::Point query(rng.Uniform(0, 10000),
+                                rng.Uniform(0, 10000));
+        auto knn = rtree::NearestNeighbors(*f.r, query, 10);
+        if (!knn.ok() || knn->size() != 10) {
+          ++failures;
+          return;
+        }
+        double prev = -1.0;
+        for (const auto& e : *knn) {
+          const double d = geom::MinDistance(
+              geom::Rect::FromPoint(query), e.rect);
+          if (d < prev - 1e-12) {
+            ++failures;
+            return;
+          }
+          prev = d;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace amdj

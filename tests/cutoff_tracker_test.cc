@@ -1,0 +1,160 @@
+#include "queue/cutoff_tracker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/distance_join.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(TrackedDistanceQueueTest, CutoffInfinityUntilKAlive) {
+  queue::TrackedDistanceQueue q(3);
+  q.Insert(1.0);
+  q.InsertRevocable(2.0);
+  EXPECT_EQ(q.CutoffDistance(), kInf);
+  q.Insert(3.0);
+  EXPECT_EQ(q.CutoffDistance(), 3.0);
+}
+
+TEST(TrackedDistanceQueueTest, RevokeRaisesTheCutoff) {
+  queue::TrackedDistanceQueue q(2);
+  q.Insert(10.0);
+  q.InsertRevocable(1.0);
+  q.Insert(5.0);
+  EXPECT_EQ(q.CutoffDistance(), 5.0);  // alive: {1, 5, 10}
+  q.Revoke(1.0);
+  EXPECT_EQ(q.CutoffDistance(), 10.0);  // alive: {5, 10}
+  q.Revoke(5.0);  // revoking a permanent value is the caller's business;
+                  // the structure just removes one instance
+  EXPECT_EQ(q.CutoffDistance(), kInf);  // alive: {10}
+}
+
+TEST(TrackedDistanceQueueTest, RevokeOfAbsentValueIsNoOp) {
+  queue::TrackedDistanceQueue q(1);
+  q.Insert(2.0);
+  q.Revoke(99.0);
+  EXPECT_EQ(q.CutoffDistance(), 2.0);
+}
+
+TEST(TrackedDistanceQueueTest, DuplicateValuesCountSeparately) {
+  queue::TrackedDistanceQueue q(2);
+  q.InsertRevocable(4.0);
+  q.InsertRevocable(4.0);
+  EXPECT_EQ(q.CutoffDistance(), 4.0);
+  q.Revoke(4.0);
+  EXPECT_EQ(q.CutoffDistance(), kInf);  // one instance left
+  EXPECT_EQ(q.alive(), 1u);
+}
+
+TEST(TrackedDistanceQueueTest, RandomizedAgainstMultisetReference) {
+  Random rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t k = 1 + rng.UniformInt(uint64_t{20});
+    queue::TrackedDistanceQueue q(k);
+    std::vector<double> alive;
+    for (int step = 0; step < 2000; ++step) {
+      if (alive.empty() || rng.Bernoulli(0.65)) {
+        const double v = rng.Uniform(0, 100);
+        q.InsertRevocable(v);
+        alive.push_back(v);
+      } else {
+        const size_t i = rng.UniformInt(alive.size());
+        q.Revoke(alive[i]);
+        alive.erase(alive.begin() + i);
+      }
+      std::vector<double> sorted = alive;
+      std::sort(sorted.begin(), sorted.end());
+      const double expected = sorted.size() >= k ? sorted[k - 1] : kInf;
+      ASSERT_EQ(q.CutoffDistance(), expected) << "step " << step;
+      ASSERT_EQ(q.alive(), alive.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial soundness of the kAllPairs policy: a dense cluster provides
+// many small node-pair certificates that overlap their own realized object
+// pairs; counted naively they would push qDmax below the distance of the
+// one extra pair the query still needs, pruning it. The revocation scheme
+// must keep every result.
+
+TEST(AllPairsPolicySoundnessTest, DenseClusterPlusOneFarPair) {
+  workload::Dataset r_data, s_data;
+  // 30 x 30 near-coincident pairs at the origin...
+
+  for (int i = 0; i < 30; ++i) {
+    const double x = 0.001 * i;
+    r_data.objects.push_back(geom::Rect(x, 0, x, 0));
+    s_data.objects.push_back(geom::Rect(x, 0.0001, x, 0.0001));
+  }
+  // ...and one isolated pair at distance 1, far away.
+  r_data.objects.push_back(geom::Rect(1000, 1000, 1000, 1000));
+  s_data.objects.push_back(geom::Rect(1000, 1001, 1000, 1001));
+
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, /*fanout=*/4);
+  const auto brute = test::BruteForceDistances(f.r_objects, f.s_objects);
+  core::JoinOptions options;
+  options.distance_queue_policy = core::DistanceQueuePolicy::kAllPairs;
+  // k = all cluster-internal pairs + 1: the far pair must be the last
+  // result, and any unsound cutoff below 1.0 would lose it.
+  const uint64_t k = 30ull * 30ull + 1;
+  for (const auto algorithm :
+       {core::KdjAlgorithm::kHsKdj, core::KdjAlgorithm::kBKdj,
+        core::KdjAlgorithm::kAmKdj}) {
+    auto result =
+        core::RunKDistanceJoin(*f.r, *f.s, k, algorithm, options, nullptr);
+    ASSERT_TRUE(result.ok()) << core::ToString(algorithm);
+    ASSERT_EQ(result->size(), k) << core::ToString(algorithm);
+    EXPECT_NEAR(result->back().distance, 1.0, 1e-9);
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_NEAR((*result)[i].distance, brute[i], 1e-9)
+          << core::ToString(algorithm) << " rank " << i;
+    }
+  }
+}
+
+TEST(AllPairsPolicySoundnessTest, PoliciesAgreeOnRandomWorkloads) {
+  Random rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const geom::Rect uni(0, 0, 2000, 2000);
+    test::JoinFixture f = test::MakeFixture(
+        workload::GaussianClusters(60 + rng.UniformInt(uint64_t{100}),
+                                   1 + rng.UniformInt(uint64_t{4}), 0.01,
+                                   trial * 13 + 1, uni),
+        workload::UniformPoints(60 + rng.UniformInt(uint64_t{100}),
+                                trial * 17 + 2, uni),
+        4 + static_cast<uint32_t>(rng.UniformInt(uint64_t{8})));
+    const uint64_t k = 1 + rng.UniformInt(
+        uint64_t{f.r_objects.size() * f.s_objects.size()});
+    core::JoinOptions objects_only;
+    core::JoinOptions all_pairs;
+    all_pairs.distance_queue_policy = core::DistanceQueuePolicy::kAllPairs;
+    for (const auto algorithm :
+         {core::KdjAlgorithm::kHsKdj, core::KdjAlgorithm::kBKdj,
+          core::KdjAlgorithm::kAmKdj}) {
+      auto a = core::RunKDistanceJoin(*f.r, *f.s, k, algorithm,
+                                      objects_only, nullptr);
+      auto b = core::RunKDistanceJoin(*f.r, *f.s, k, algorithm, all_pairs,
+                                      nullptr);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->size(), b->size())
+          << core::ToString(algorithm) << " trial " << trial << " k=" << k;
+      for (size_t i = 0; i < a->size(); ++i) {
+        ASSERT_NEAR((*a)[i].distance, (*b)[i].distance, 1e-9)
+            << core::ToString(algorithm) << " trial " << trial << " rank "
+            << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amdj

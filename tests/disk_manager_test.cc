@@ -1,0 +1,147 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/page.h"
+
+namespace amdj::storage {
+namespace {
+
+void FillPage(char* page, char value) { std::memset(page, value, kPageSize); }
+
+template <typename T>
+class DiskManagerTest : public ::testing::Test {
+ protected:
+  DiskManagerTest() : disk_(Make()) {}
+
+  static std::unique_ptr<T> Make();
+
+  std::unique_ptr<T> disk_;
+};
+
+template <>
+std::unique_ptr<InMemoryDiskManager> DiskManagerTest<
+    InMemoryDiskManager>::Make() {
+  return std::make_unique<InMemoryDiskManager>();
+}
+
+template <>
+std::unique_ptr<FileDiskManager> DiskManagerTest<FileDiskManager>::Make() {
+  const std::string path =
+      ::testing::TempDir() + "/amdj_disk_test_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&path)) + ".db";
+  auto dm = std::make_unique<FileDiskManager>(path);
+  EXPECT_TRUE(dm->Ok());
+  return dm;
+}
+
+using Implementations =
+    ::testing::Types<InMemoryDiskManager, FileDiskManager>;
+TYPED_TEST_SUITE(DiskManagerTest, Implementations);
+
+TYPED_TEST(DiskManagerTest, RoundTripsPages) {
+  const PageId a = this->disk_->AllocatePage();
+  const PageId b = this->disk_->AllocatePage();
+  EXPECT_NE(a, b);
+  char w[kPageSize];
+  char r[kPageSize];
+  FillPage(w, 'A');
+  ASSERT_TRUE(this->disk_->WritePage(a, w).ok());
+  FillPage(w, 'B');
+  ASSERT_TRUE(this->disk_->WritePage(b, w).ok());
+  ASSERT_TRUE(this->disk_->ReadPage(a, r).ok());
+  EXPECT_EQ(r[0], 'A');
+  EXPECT_EQ(r[kPageSize - 1], 'A');
+  ASSERT_TRUE(this->disk_->ReadPage(b, r).ok());
+  EXPECT_EQ(r[100], 'B');
+}
+
+TYPED_TEST(DiskManagerTest, RejectsUnallocatedPages) {
+  char buf[kPageSize];
+  EXPECT_EQ(this->disk_->ReadPage(99, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(this->disk_->WritePage(99, buf).code(), StatusCode::kOutOfRange);
+}
+
+TYPED_TEST(DiskManagerTest, FreeListReusesPages) {
+  const PageId a = this->disk_->AllocatePage();
+  this->disk_->FreePage(a);
+  const PageId b = this->disk_->AllocatePage();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(this->disk_->stats().pages_allocated, 2u);
+}
+
+TYPED_TEST(DiskManagerTest, CountsReadsAndWrites) {
+  char buf[kPageSize];
+  FillPage(buf, 'x');
+  const PageId a = this->disk_->AllocatePage();
+  const PageId b = this->disk_->AllocatePage();
+  ASSERT_TRUE(this->disk_->WritePage(a, buf).ok());
+  ASSERT_TRUE(this->disk_->WritePage(b, buf).ok());
+  ASSERT_TRUE(this->disk_->ReadPage(a, buf).ok());
+  ASSERT_TRUE(this->disk_->ReadPage(b, buf).ok());
+  ASSERT_TRUE(this->disk_->ReadPage(a, buf).ok());
+  EXPECT_EQ(this->disk_->stats().page_writes, 2u);
+  EXPECT_EQ(this->disk_->stats().page_reads, 3u);
+}
+
+TYPED_TEST(DiskManagerTest, ClassifiesSequentialVsRandom) {
+  char buf[kPageSize];
+  FillPage(buf, 'x');
+  for (int i = 0; i < 8; ++i) this->disk_->AllocatePage();
+  for (PageId p = 0; p < 8; ++p) {
+    ASSERT_TRUE(this->disk_->WritePage(p, buf).ok());
+  }
+  // First write of a stream is "random", the following 7 sequential.
+  EXPECT_EQ(this->disk_->stats().sequential_writes, 7u);
+  EXPECT_EQ(this->disk_->stats().random_writes, 1u);
+  ASSERT_TRUE(this->disk_->ReadPage(5, buf).ok());
+  ASSERT_TRUE(this->disk_->ReadPage(6, buf).ok());
+  ASSERT_TRUE(this->disk_->ReadPage(2, buf).ok());
+  EXPECT_EQ(this->disk_->stats().sequential_reads, 1u);
+  EXPECT_EQ(this->disk_->stats().random_reads, 2u);
+}
+
+TEST(FileDiskManagerTest, UnwrittenAllocatedPageReadsAsZeros) {
+  const std::string path = ::testing::TempDir() + "/amdj_zero_test.db";
+  FileDiskManager disk(path);
+  ASSERT_TRUE(disk.Ok());
+  const PageId p = disk.AllocatePage();
+  char buf[kPageSize];
+  FillPage(buf, 'z');
+  ASSERT_TRUE(disk.ReadPage(p, buf).ok());
+  for (size_t i = 0; i < kPageSize; i += 512) EXPECT_EQ(buf[i], 0);
+}
+
+TEST(FaultInjectionTest, FailsReadsAfterBudget) {
+  InMemoryDiskManager base;
+  FaultInjectionDiskManager faulty(&base);
+  char buf[kPageSize];
+  FillPage(buf, 'q');
+  const PageId p = faulty.AllocatePage();
+  ASSERT_TRUE(faulty.WritePage(p, buf).ok());
+  faulty.FailReadsAfter(2);
+  EXPECT_TRUE(faulty.ReadPage(p, buf).ok());
+  EXPECT_TRUE(faulty.ReadPage(p, buf).ok());
+  EXPECT_EQ(faulty.ReadPage(p, buf).code(), StatusCode::kIOError);
+  EXPECT_EQ(faulty.ReadPage(p, buf).code(), StatusCode::kIOError);
+  faulty.Heal();
+  EXPECT_TRUE(faulty.ReadPage(p, buf).ok());
+}
+
+TEST(FaultInjectionTest, FailsWritesAfterBudget) {
+  InMemoryDiskManager base;
+  FaultInjectionDiskManager faulty(&base);
+  char buf[kPageSize];
+  FillPage(buf, 'q');
+  const PageId p = faulty.AllocatePage();
+  faulty.FailWritesAfter(0);
+  EXPECT_EQ(faulty.WritePage(p, buf).code(), StatusCode::kIOError);
+  faulty.Heal();
+  EXPECT_TRUE(faulty.WritePage(p, buf).ok());
+}
+
+}  // namespace
+}  // namespace amdj::storage

@@ -1,0 +1,91 @@
+#include "queue/distance_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace amdj::queue {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(DistanceQueueTest, CutoffIsInfinityUntilFull) {
+  DistanceQueue q(3);
+  EXPECT_EQ(q.CutoffDistance(), kInf);
+  q.Insert(5.0);
+  q.Insert(1.0);
+  EXPECT_EQ(q.CutoffDistance(), kInf);
+  q.Insert(3.0);
+  EXPECT_EQ(q.CutoffDistance(), 5.0);
+}
+
+TEST(DistanceQueueTest, KeepsKSmallest) {
+  DistanceQueue q(3);
+  for (double d : {9.0, 7.0, 5.0, 3.0, 1.0, 8.0}) q.Insert(d);
+  // Smallest three: 1, 3, 5 -> cutoff 5.
+  EXPECT_EQ(q.CutoffDistance(), 5.0);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(DistanceQueueTest, IgnoresDistancesBeyondCutoff) {
+  DistanceQueue q(2);
+  q.Insert(1.0);
+  q.Insert(2.0);
+  q.Insert(10.0);
+  EXPECT_EQ(q.CutoffDistance(), 2.0);
+  q.Insert(2.0);  // equal to cutoff: not an improvement
+  EXPECT_EQ(q.CutoffDistance(), 2.0);
+  q.Insert(1.5);
+  EXPECT_EQ(q.CutoffDistance(), 1.5);
+}
+
+TEST(DistanceQueueTest, KOfOneTracksMinimum) {
+  DistanceQueue q(1);
+  EXPECT_EQ(q.CutoffDistance(), kInf);
+  q.Insert(4.0);
+  EXPECT_EQ(q.CutoffDistance(), 4.0);
+  q.Insert(6.0);
+  EXPECT_EQ(q.CutoffDistance(), 4.0);
+  q.Insert(2.0);
+  EXPECT_EQ(q.CutoffDistance(), 2.0);
+}
+
+TEST(DistanceQueueTest, ZeroKIsTreatedAsOne) {
+  DistanceQueue q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(DistanceQueueTest, CountsInsertionsInStats) {
+  JoinStats stats;
+  DistanceQueue q(2, &stats);
+  q.Insert(5.0);
+  q.Insert(3.0);
+  q.Insert(10.0);  // rejected: no insertion counted
+  q.Insert(1.0);   // accepted
+  EXPECT_EQ(stats.distance_queue_insertions, 3u);
+}
+
+TEST(DistanceQueueTest, MatchesSortReferenceRandomized) {
+  Random rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t k = 1 + rng.UniformInt(uint64_t{50});
+    DistanceQueue q(k);
+    std::vector<double> all;
+    const size_t n = 1 + rng.UniformInt(uint64_t{500});
+    for (size_t i = 0; i < n; ++i) {
+      const double d = rng.Uniform(0, 1000);
+      all.push_back(d);
+      q.Insert(d);
+    }
+    std::sort(all.begin(), all.end());
+    const double expected = all.size() >= k ? all[k - 1] : kInf;
+    EXPECT_EQ(q.CutoffDistance(), expected) << "k=" << k << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace amdj::queue

@@ -1,0 +1,123 @@
+#include "core/dmax_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/rect.h"
+#include "workload/generators.h"
+
+namespace amdj::core {
+namespace {
+
+using geom::Rect;
+
+TEST(DmaxEstimatorTest, RhoMatchesEquation3) {
+  // area(R cap S) = 100x100, |R| = 50, |S| = 20.
+  DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
+  EXPECT_NEAR(e.rho(), 10000.0 / (M_PI * 50 * 20), 1e-12);
+}
+
+TEST(DmaxEstimatorTest, InitialEstimateScalesWithSqrtK) {
+  DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
+  const double d1 = e.InitialEstimate(1);
+  const double d4 = e.InitialEstimate(4);
+  const double d100 = e.InitialEstimate(100);
+  EXPECT_NEAR(d4, 2.0 * d1, 1e-9);
+  EXPECT_NEAR(d100, 10.0 * d1, 1e-9);
+  EXPECT_NEAR(d1, std::sqrt(e.rho()), 1e-12);
+}
+
+TEST(DmaxEstimatorTest, PartialOverlapUsesIntersectionArea) {
+  // R = [0,100]^2, S = [50,150]x[0,100]: intersection 50x100.
+  DmaxEstimator e(Rect(0, 0, 100, 100), 10, Rect(50, 0, 150, 100), 10);
+  EXPECT_NEAR(e.rho(), 5000.0 / (M_PI * 100), 1e-12);
+}
+
+TEST(DmaxEstimatorTest, DisjointBoundsAddTheGap) {
+  // Gap of 300 between the two squares: no pair can be closer.
+  DmaxEstimator e(Rect(0, 0, 100, 100), 10, Rect(400, 0, 500, 100), 10);
+  EXPECT_GE(e.InitialEstimate(1), 300.0);
+}
+
+TEST(DmaxEstimatorTest, DegenerateInputsStayFinite) {
+  // Both datasets a single point: area 0 fallback.
+  DmaxEstimator e(Rect(5, 5, 5, 5), 1, Rect(5, 5, 5, 5), 1);
+  EXPECT_TRUE(std::isfinite(e.InitialEstimate(100)));
+  EXPECT_GT(e.rho(), 0.0);
+}
+
+TEST(DmaxEstimatorTest, ArithmeticCorrectionEquation4) {
+  DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
+  const double d = e.ArithmeticCorrection(100, 40, 3.0);
+  EXPECT_NEAR(d, std::sqrt(9.0 + 60 * e.rho()), 1e-12);
+  // k0 >= k: nothing to extrapolate.
+  EXPECT_EQ(e.ArithmeticCorrection(100, 100, 3.0), 3.0);
+}
+
+TEST(DmaxEstimatorTest, GeometricCorrectionEquation5) {
+  DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
+  EXPECT_NEAR(e.GeometricCorrection(100, 25, 3.0), 3.0 * 2.0, 1e-12);
+  // Zero observed distance falls back to the arithmetic form.
+  EXPECT_NEAR(e.GeometricCorrection(100, 25, 0.0),
+              e.ArithmeticCorrection(100, 25, 0.0), 1e-12);
+}
+
+TEST(DmaxEstimatorTest, CombinedCorrectionPolicies) {
+  DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
+  const double a = e.ArithmeticCorrection(1000, 10, 2.0);
+  const double g = e.GeometricCorrection(1000, 10, 2.0);
+  EXPECT_EQ(e.Correct(1000, 10, 2.0, /*aggressive=*/true), std::min(a, g));
+  EXPECT_EQ(e.Correct(1000, 10, 2.0, /*aggressive=*/false), std::max(a, g));
+}
+
+TEST(DmaxEstimatorTest, BoundaryFnMatchesInitialEstimate) {
+  DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
+  const auto fn = e.BoundaryFn();
+  for (uint64_t c : {1ull, 10ull, 1000ull}) {
+    EXPECT_NEAR(fn(c), e.InitialEstimate(c), 1e-12);
+  }
+  // Monotone increasing.
+  EXPECT_LT(fn(10), fn(20));
+}
+
+TEST(DmaxEstimatorTest, UniformDataEstimateIsAccurate) {
+  // The estimator's core assumption: for uniform data the k-th pair
+  // distance is close to sqrt(k * rho). Validate within a factor of 2.
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::UniformPoints(300, 91, uni);
+  const auto s = workload::UniformPoints(300, 92, uni);
+  std::vector<double> d;
+  for (const auto& a : r.objects) {
+    for (const auto& b : s.objects) d.push_back(geom::MinDistance(a, b));
+  }
+  std::sort(d.begin(), d.end());
+  DmaxEstimator e(r.Bounds(), r.objects.size(), s.Bounds(),
+                  s.objects.size());
+  for (uint64_t k : {100ull, 1000ull, 10000ull}) {
+    const double est = e.InitialEstimate(k);
+    const double real = d[k - 1];
+    EXPECT_GT(est, real * 0.5) << "k=" << k;
+    EXPECT_LT(est, real * 2.0) << "k=" << k;
+  }
+}
+
+TEST(DmaxEstimatorTest, SkewedDataIsOverestimated) {
+  // Section 4.3: for skewed data the estimate tends to overestimate (the
+  // close pairs crowd into dense regions).
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::GaussianClusters(300, 3, 0.01, 93, uni);
+  const auto s = workload::GaussianClusters(300, 3, 0.01, 93, uni);
+  std::vector<double> d;
+  for (const auto& a : r.objects) {
+    for (const auto& b : s.objects) d.push_back(geom::MinDistance(a, b));
+  }
+  std::sort(d.begin(), d.end());
+  DmaxEstimator e(r.Bounds(), r.objects.size(), s.Bounds(),
+                  s.objects.size());
+  EXPECT_GT(e.InitialEstimate(100), d[99]);
+}
+
+}  // namespace
+}  // namespace amdj::core

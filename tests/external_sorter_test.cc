@@ -1,0 +1,135 @@
+#include "spatialjoin/external_sorter.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace amdj::spatialjoin {
+namespace {
+
+using core::ResultPair;
+
+std::vector<ResultPair> DrainSorted(ExternalSorter& sorter) {
+  std::vector<ResultPair> out;
+  ResultPair rec;
+  bool done = false;
+  while (true) {
+    EXPECT_TRUE(sorter.Next(&rec, &done).ok());
+    if (done) break;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+TEST(ExternalSorterTest, InMemorySortWithoutDisk) {
+  ExternalSorter sorter(nullptr, 1024, nullptr);
+  Random rng(1);
+  std::vector<double> expected;
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(0, 100);
+    expected.push_back(d);
+    ASSERT_TRUE(sorter.Add({d, static_cast<uint32_t>(i), 0}).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  EXPECT_EQ(sorter.run_count(), 0u);
+  std::sort(expected.begin(), expected.end());
+  const auto out = DrainSorted(sorter);
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].distance, expected[i]);
+  }
+}
+
+TEST(ExternalSorterTest, MultiRunMergeProducesGlobalOrder) {
+  storage::InMemoryDiskManager disk;
+  JoinStats stats;
+  // 2 KB buffer -> 128 records per run; 10k records -> ~79 runs.
+  ExternalSorter sorter(&disk, 2048, &stats);
+  Random rng(2);
+  std::vector<double> expected;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.Uniform(0, 1e6);
+    expected.push_back(d);
+    ASSERT_TRUE(sorter.Add({d, static_cast<uint32_t>(i), 0}).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  EXPECT_GT(sorter.run_count(), 10u);
+  EXPECT_GT(stats.queue_page_writes, 0u);
+  std::sort(expected.begin(), expected.end());
+  const auto out = DrainSorted(sorter);
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].distance, expected[i]) << "at " << i;
+  }
+  EXPECT_GT(stats.queue_page_reads, 0u);
+}
+
+TEST(ExternalSorterTest, EmptyInput) {
+  storage::InMemoryDiskManager disk;
+  ExternalSorter sorter(&disk, 4096, nullptr);
+  ASSERT_TRUE(sorter.Finish().ok());
+  const auto out = DrainSorted(sorter);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(sorter.count(), 0u);
+}
+
+TEST(ExternalSorterTest, ExactlyOneFullRun) {
+  storage::InMemoryDiskManager disk;
+  ExternalSorter sorter(&disk, 64 * sizeof(core::ResultPair), nullptr);
+  for (int i = 64; i > 0; --i) {
+    ASSERT_TRUE(
+        sorter.Add({static_cast<double>(i), static_cast<uint32_t>(i), 0})
+            .ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  const auto out = DrainSorted(sorter);
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out.front().distance, 1.0);
+  EXPECT_EQ(out.back().distance, 64.0);
+}
+
+TEST(ExternalSorterTest, DuplicateDistancesKeepAllRecords) {
+  storage::InMemoryDiskManager disk;
+  ExternalSorter sorter(&disk, 1024, nullptr);
+  for (uint32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(sorter.Add({3.25, i, i + 1}).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  const auto out = DrainSorted(sorter);
+  ASSERT_EQ(out.size(), 500u);
+  std::set<uint32_t> ids;
+  for (const auto& rec : out) {
+    EXPECT_EQ(rec.distance, 3.25);
+    ids.insert(rec.r_id);
+  }
+  EXPECT_EQ(ids.size(), 500u);
+}
+
+TEST(ExternalSorterTest, ApiMisuseIsRejected) {
+  ExternalSorter sorter(nullptr, 1024, nullptr);
+  ResultPair rec;
+  bool done = false;
+  EXPECT_EQ(sorter.Next(&rec, &done).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(sorter.Finish().ok());
+  EXPECT_EQ(sorter.Add({1.0, 0, 0}).code(), StatusCode::kFailedPrecondition);
+  // Finish is idempotent.
+  EXPECT_TRUE(sorter.Finish().ok());
+}
+
+TEST(ExternalSorterTest, DiskFailurePropagates) {
+  storage::InMemoryDiskManager base;
+  storage::FaultInjectionDiskManager faulty(&base);
+  ExternalSorter sorter(&faulty, 1024, nullptr);
+  faulty.FailWritesAfter(0);
+  Status status = Status::OK();
+  for (int i = 0; i < 200 && status.ok(); ++i) {
+    status = sorter.Add({static_cast<double>(i), 0, 0});
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace amdj::spatialjoin

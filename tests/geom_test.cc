@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace amdj::geom {
+namespace {
+
+TEST(PointTest, CoordAccess) {
+  Point p(3.0, -4.0);
+  EXPECT_EQ(p.Coord(0), 3.0);
+  EXPECT_EQ(p.Coord(1), -4.0);
+  p.SetCoord(0, 1.0);
+  p.SetCoord(1, 2.0);
+  EXPECT_EQ(p, Point(1.0, 2.0));
+}
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared(Point(0, 0), Point(3, 4)), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(Point(1, 1), Point(1, 1)), 0.0);
+}
+
+TEST(RectTest, EmptyAndValidity) {
+  const Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.IsValid());
+  EXPECT_EQ(e.Area(), 0.0);
+  const Rect r(0, 0, 2, 3);
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.IsValid());
+}
+
+TEST(RectTest, PointRectIsValidWithZeroArea) {
+  const Rect p = Rect::FromPoint(Point(5, 5));
+  EXPECT_TRUE(p.IsValid());
+  EXPECT_EQ(p.Area(), 0.0);
+  EXPECT_TRUE(p.Contains(Point(5, 5)));
+}
+
+TEST(RectTest, Measures) {
+  const Rect r(1, 2, 4, 6);
+  EXPECT_DOUBLE_EQ(r.Side(0), 3.0);
+  EXPECT_DOUBLE_EQ(r.Side(1), 4.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  EXPECT_EQ(r.Center(), Point(2.5, 4.0));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect a(0, 0, 10, 10);
+  EXPECT_TRUE(a.Contains(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(a.Contains(Rect(1, 1, 11, 9)));
+  EXPECT_TRUE(a.Intersects(Rect(9, 9, 20, 20)));
+  EXPECT_TRUE(a.Intersects(Rect(10, 10, 20, 20)));  // touching counts
+  EXPECT_FALSE(a.Intersects(Rect(10.1, 0, 20, 10)));
+}
+
+TEST(RectTest, ExtendGrowsToCover) {
+  Rect r = Rect::Empty();
+  r.Extend(Point(1, 2));
+  EXPECT_EQ(r, Rect(1, 2, 1, 2));
+  r.Extend(Rect(-1, 0, 0, 5));
+  EXPECT_EQ(r, Rect(-1, 0, 1, 5));
+}
+
+TEST(RectTest, UnionAndIntersection) {
+  const Rect a(0, 0, 4, 4);
+  const Rect b(2, 2, 6, 6);
+  EXPECT_EQ(Union(a, b), Rect(0, 0, 6, 6));
+  EXPECT_EQ(Intersection(a, b), Rect(2, 2, 4, 4));
+  EXPECT_DOUBLE_EQ(IntersectionArea(a, b), 4.0);
+  EXPECT_TRUE(Intersection(a, Rect(5, 5, 6, 6)).IsEmpty());
+  EXPECT_EQ(IntersectionArea(a, Rect(5, 5, 6, 6)), 0.0);
+}
+
+TEST(RectTest, AxisDistance) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(5, 0, 6, 2);
+  EXPECT_DOUBLE_EQ(AxisDistance(a, b, 0), 3.0);
+  EXPECT_DOUBLE_EQ(AxisDistance(b, a, 0), 3.0);  // symmetric
+  EXPECT_DOUBLE_EQ(AxisDistance(a, b, 1), 0.0);  // overlapping projections
+}
+
+TEST(RectTest, MinDistanceDisjoint) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(4, 5, 6, 7);
+  EXPECT_DOUBLE_EQ(MinDistance(a, b), 5.0);  // 3-4-5 corner-to-corner
+  EXPECT_DOUBLE_EQ(MinDistanceSquared(a, b), 25.0);
+}
+
+TEST(RectTest, MinDistanceZeroWhenIntersecting) {
+  EXPECT_EQ(MinDistance(Rect(0, 0, 5, 5), Rect(3, 3, 8, 8)), 0.0);
+  EXPECT_EQ(MinDistance(Rect(0, 0, 5, 5), Rect(5, 5, 8, 8)), 0.0);
+}
+
+TEST(RectTest, MaxDistance) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(2, 0, 3, 1);
+  // Farthest corners: (0,0)-(3,1) or (0,1)-(3,0): sqrt(9+1).
+  EXPECT_DOUBLE_EQ(MaxDistance(a, b), std::sqrt(10.0));
+  // Of a rect with itself: the diagonal.
+  EXPECT_DOUBLE_EQ(MaxDistance(a, a), std::sqrt(2.0));
+}
+
+TEST(RectTest, MinMaxDistanceOrderingProperty) {
+  Random rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    auto rect = [&] {
+      const double x0 = rng.Uniform(-50, 50);
+      const double y0 = rng.Uniform(-50, 50);
+      return Rect(x0, y0, x0 + rng.Uniform(0, 20), y0 + rng.Uniform(0, 20));
+    };
+    const Rect a = rect();
+    const Rect b = rect();
+    const double axis_x = AxisDistance(a, b, 0);
+    const double axis_y = AxisDistance(a, b, 1);
+    const double mind = MinDistance(a, b);
+    const double maxd = MaxDistance(a, b);
+    // axis distance <= real min distance <= max distance (the inequality
+    // the plane-sweep pruning relies on).
+    EXPECT_LE(axis_x, mind + 1e-12);
+    EXPECT_LE(axis_y, mind + 1e-12);
+    EXPECT_LE(mind, maxd + 1e-12);
+    // Min distance is realized between contained points.
+    EXPECT_DOUBLE_EQ(MinDistance(a, a), 0.0);
+  }
+}
+
+TEST(RectTest, MinDistanceMatchesBruteForceOnGrid) {
+  // Compare against a dense point-sampled approximation.
+  const Rect a(0, 0, 2, 1);
+  const Rect b(5, 3, 6, 6);
+  double best = 1e18;
+  for (double ax = 0; ax <= 2.0; ax += 0.125) {
+    for (double ay = 0; ay <= 1.0; ay += 0.125) {
+      for (double bx = 5; bx <= 6.0; bx += 0.125) {
+        for (double by = 3; by <= 6.0; by += 0.125) {
+          best = std::min(best, Distance(Point(ax, ay), Point(bx, by)));
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(MinDistance(a, b), best, 1e-9);
+}
+
+}  // namespace
+}  // namespace amdj::geom

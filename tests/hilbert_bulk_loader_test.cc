@@ -1,0 +1,149 @@
+#include "rtree/hilbert_bulk_loader.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/distance_join.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj::rtree {
+namespace {
+
+using geom::Rect;
+
+TEST(HilbertIndexTest, FirstOrderCurve) {
+  // Order 1: the four quadrants in curve order (0,0)->(0,1)->(1,1)->(1,0).
+  EXPECT_EQ(HilbertBulkLoader::HilbertIndex(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertBulkLoader::HilbertIndex(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertBulkLoader::HilbertIndex(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertBulkLoader::HilbertIndex(1, 1, 0), 3u);
+}
+
+TEST(HilbertIndexTest, IsABijectionOnSmallGrid) {
+  constexpr uint32_t kOrder = 4;  // 16 x 16
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const uint64_t d = HilbertBulkLoader::HilbertIndex(kOrder, x, y);
+      EXPECT_LT(d, 256u);
+      EXPECT_TRUE(seen.insert(d).second) << "collision at " << x << "," << y;
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(HilbertIndexTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive cells along the
+  // curve are orthogonal neighbors.
+  constexpr uint32_t kOrder = 5;  // 32 x 32
+  std::vector<std::pair<uint32_t, uint32_t>> by_index(32 * 32);
+  for (uint32_t x = 0; x < 32; ++x) {
+    for (uint32_t y = 0; y < 32; ++y) {
+      by_index[HilbertBulkLoader::HilbertIndex(kOrder, x, y)] = {x, y};
+    }
+  }
+  for (size_t i = 1; i < by_index.size(); ++i) {
+    const auto [x0, y0] = by_index[i - 1];
+    const auto [x1, y1] = by_index[i];
+    const uint32_t manhattan = (x0 > x1 ? x0 - x1 : x1 - x0) +
+                               (y0 > y1 ? y0 - y1 : y1 - y0);
+    ASSERT_EQ(manhattan, 1u) << "jump at curve position " << i;
+  }
+}
+
+class HilbertLoadTest : public ::testing::Test {
+ protected:
+  HilbertLoadTest() : pool_(&disk_, 512) {}
+  storage::InMemoryDiskManager disk_;
+  storage::BufferPool pool_;
+};
+
+TEST_F(HilbertLoadTest, LoadedTreeIsValidAndComplete) {
+  RTree::Options opts;
+  opts.max_entries = 16;
+  auto tree = RTree::Create(&pool_, opts).value();
+  const auto data = workload::GaussianClusters(
+      3000, 6, 0.05, 81, Rect(0, 0, 10000, 10000));
+  ASSERT_TRUE(tree->BulkLoadHilbert(data.ToEntries()).ok());
+  EXPECT_EQ(tree->size(), 3000u);
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+  std::set<uint32_t> ids;
+  ASSERT_TRUE(
+      tree->ForEachObject([&](const Entry& e) { ids.insert(e.id); }).ok());
+  EXPECT_EQ(ids.size(), 3000u);
+}
+
+TEST_F(HilbertLoadTest, RangeQueriesMatchBruteForce) {
+  RTree::Options opts;
+  opts.max_entries = 12;
+  auto tree = RTree::Create(&pool_, opts).value();
+  const auto data =
+      workload::UniformRects(2000, 20.0, 82, Rect(0, 0, 1000, 1000));
+  ASSERT_TRUE(tree->BulkLoadHilbert(data.ToEntries()).ok());
+  Random rng(5);
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.Uniform(0, 1000);
+    const double y = rng.Uniform(0, 1000);
+    const Rect query(x, y, x + rng.Uniform(0, 150), y + rng.Uniform(0, 150));
+    std::set<uint32_t> expected;
+    for (uint32_t i = 0; i < data.objects.size(); ++i) {
+      if (data.objects[i].Intersects(query)) expected.insert(i);
+    }
+    auto hits = tree->RangeQuery(query);
+    ASSERT_TRUE(hits.ok());
+    std::set<uint32_t> actual;
+    for (const Entry& e : *hits) actual.insert(e.id);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_F(HilbertLoadTest, EmptyAndDegenerate) {
+  auto tree = RTree::Create(&pool_, {}).value();
+  ASSERT_TRUE(tree->BulkLoadHilbert({}).ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_TRUE(tree->Validate().ok());
+  // All objects at the same point (zero-extent bounds).
+  std::vector<Entry> same;
+  for (uint32_t i = 0; i < 500; ++i) {
+    same.emplace_back(Rect(7, 7, 7, 7), i);
+  }
+  ASSERT_TRUE(tree->BulkLoadHilbert(same).ok());
+  EXPECT_EQ(tree->size(), 500u);
+  EXPECT_TRUE(tree->Validate().ok());
+  EXPECT_FALSE(tree->BulkLoadHilbert(same, 0.0).ok());
+}
+
+TEST_F(HilbertLoadTest, JoinOverHilbertTreesMatchesStr) {
+  const Rect uni(0, 0, 20000, 20000);
+  const auto r_data = workload::GaussianClusters(800, 5, 0.04, 83, uni);
+  const auto s_data = workload::UniformRects(600, 30.0, 84, uni);
+  RTree::Options opts;
+  opts.max_entries = 32;
+  auto str_r = RTree::Create(&pool_, opts).value();
+  auto str_s = RTree::Create(&pool_, opts).value();
+  auto hil_r = RTree::Create(&pool_, opts).value();
+  auto hil_s = RTree::Create(&pool_, opts).value();
+  ASSERT_TRUE(str_r->BulkLoad(r_data.ToEntries()).ok());
+  ASSERT_TRUE(str_s->BulkLoad(s_data.ToEntries()).ok());
+  ASSERT_TRUE(hil_r->BulkLoadHilbert(r_data.ToEntries()).ok());
+  ASSERT_TRUE(hil_s->BulkLoadHilbert(s_data.ToEntries()).ok());
+  auto a = core::RunKDistanceJoin(*str_r, *str_s, 500,
+                                  core::KdjAlgorithm::kAmKdj,
+                                  core::JoinOptions{}, nullptr);
+  auto b = core::RunKDistanceJoin(*hil_r, *hil_s, 500,
+                                  core::KdjAlgorithm::kAmKdj,
+                                  core::JoinOptions{}, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    ASSERT_NEAR((*a)[i].distance, (*b)[i].distance, 1e-9) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace amdj::rtree

@@ -1,0 +1,228 @@
+#include "core/histogram_estimator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "common/random.h"
+#include "core/dmax_estimator.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj::core {
+namespace {
+
+using geom::Rect;
+
+std::vector<double> AllDistances(const std::vector<Rect>& r,
+                                 const std::vector<Rect>& s) {
+  std::vector<double> d;
+  for (const auto& a : r) {
+    for (const auto& b : s) d.push_back(geom::MinDistance(a, b));
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+TEST(HistogramEstimatorTest, ExpectedPairsIsMonotone) {
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::GaussianClusters(500, 4, 0.03, 1, uni);
+  const auto s = workload::GaussianClusters(500, 4, 0.03, 1, uni);
+  HistogramEstimator est(r.objects, s.objects);
+  double prev = -1.0;
+  for (double d : {0.0, 1.0, 5.0, 20.0, 100.0, 500.0, 2000.0}) {
+    const double k = est.ExpectedPairsWithin(d);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+  // Saturation: at the diameter every pair counts.
+  EXPECT_NEAR(est.ExpectedPairsWithin(2000.0), 500.0 * 500.0, 1.0);
+}
+
+TEST(HistogramEstimatorTest, EstimateIsWithinSmallFactorOnUniformData) {
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::UniformPoints(400, 2, uni);
+  const auto s = workload::UniformPoints(400, 3, uni);
+  const auto truth = AllDistances(r.objects, s.objects);
+  HistogramEstimator est(r.objects, s.objects);
+  for (uint64_t k : {100ull, 1000ull, 10000ull}) {
+    const double estimate = est.EstimateDmax(k);
+    EXPECT_GT(estimate, truth[k - 1] * 0.4) << "k=" << k;
+    EXPECT_LT(estimate, truth[k - 1] * 2.5) << "k=" << k;
+  }
+}
+
+TEST(HistogramEstimatorTest, BeatsUniformEstimatorOnSkewedData) {
+  // The whole point of the extension: Eq. 3 heavily overestimates on
+  // clustered data; the histogram must land much closer to the truth.
+  const Rect uni(0, 0, 10000, 10000);
+  const auto r = workload::GaussianClusters(600, 3, 0.008, 4, uni);
+  // Same clusters, different points: jitter each r object slightly so the
+  // sets overlap densely without identical (distance-0) duplicates.
+  auto s = r;
+  Random jitter(5);
+  for (auto& rect : s.objects) {
+    const double dx = jitter.Uniform(0.5, 3.0);
+    const double dy = jitter.Uniform(0.5, 3.0);
+    rect = Rect(rect.lo.x + dx, rect.lo.y + dy, rect.hi.x + dx,
+                rect.hi.y + dy);
+  }
+  const auto truth = AllDistances(r.objects, s.objects);
+  HistogramEstimator histogram(r.objects, s.objects);
+  DmaxEstimator uniform(Rect(0, 0, 10000, 10000), 600,
+                        Rect(0, 0, 10000, 10000), 600);
+  for (uint64_t k : {100ull, 1000ull}) {
+    const double real = truth[k - 1];
+    const double h = histogram.EstimateDmax(k);
+    const double u = uniform.InitialEstimate(k);
+    // Histogram is closer to the truth than the uniform estimate (in
+    // log-ratio terms, since both sides can over/under-shoot).
+    const double h_err = std::abs(std::log(std::max(h, 1e-9) / real));
+    const double u_err = std::abs(std::log(u / real));
+    EXPECT_LT(h_err, u_err) << "k=" << k << " real=" << real << " h=" << h
+                            << " u=" << u;
+    EXPECT_LT(h_err, std::log(4.0)) << "within 4x of truth, k=" << k;
+  }
+}
+
+TEST(HistogramEstimatorTest, FromTreesMatchesFromObjects) {
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::GaussianClusters(300, 4, 0.05, 5, uni);
+  const auto s = workload::UniformPoints(300, 6, uni);
+  test::JoinFixture f = test::MakeFixture(r, s, 16);
+  auto from_trees = HistogramEstimator::FromTrees(*f.r, *f.s);
+  ASSERT_TRUE(from_trees.ok());
+  HistogramEstimator from_objects(r.objects, s.objects);
+  for (uint64_t k : {10ull, 1000ull}) {
+    EXPECT_NEAR(from_trees->EstimateDmax(k), from_objects.EstimateDmax(k),
+                1e-6 * from_objects.EstimateDmax(k) + 1e-9);
+  }
+}
+
+TEST(HistogramEstimatorTest, CorrectionCalibratesToObservedTruth) {
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::GaussianClusters(400, 4, 0.02, 7, uni);
+  const auto s = workload::GaussianClusters(400, 4, 0.02, 7, uni);
+  const auto truth = AllDistances(r.objects, s.objects);
+  HistogramEstimator est(r.objects, s.objects);
+  // Having seen 100 pairs end at the true d_100, the corrected estimate
+  // for k=1000 should be closer to d_1000 than the raw estimate... and
+  // never below the observed distance.
+  const double corrected = est.Correct(1000, 100, truth[99], false);
+  EXPECT_GE(corrected, truth[99]);
+  const double raw_err =
+      std::abs(std::log(est.EstimateDmax(1000) / truth[999]));
+  const double corr_err = std::abs(std::log(corrected / truth[999]));
+  EXPECT_LE(corr_err, raw_err + 0.7);  // never dramatically worse
+  // Aggressive <= conservative.
+  EXPECT_LE(est.Correct(1000, 100, truth[99], true), corrected + 1e-12);
+}
+
+TEST(HistogramEstimatorTest, DegenerateInputsStayFinite) {
+  std::vector<Rect> single = {Rect(5, 5, 5, 5)};
+  HistogramEstimator est(single, single);
+  EXPECT_GE(est.EstimateDmax(10), 0.0);
+  EXPECT_TRUE(std::isfinite(est.EstimateDmax(10)));
+  std::vector<Rect> empty;
+  HistogramEstimator est2(empty, single);
+  EXPECT_EQ(est2.ExpectedPairsWithin(100.0), 0.0);
+}
+
+TEST(HistogramEstimatorTest, BoundaryFnIsMonotone) {
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::UniformPoints(200, 8, uni);
+  HistogramEstimator est(r.objects, r.objects);
+  const auto fn = est.BoundaryFn();
+  EXPECT_LE(fn(10), fn(100));
+  EXPECT_LE(fn(100), fn(10000));
+}
+
+TEST(HistogramEstimatorTest, BoundaryFnTracksEstimateDmax) {
+  const Rect uni(0, 0, 1000, 1000);
+  const auto r = workload::GaussianClusters(400, 4, 0.05, 12, uni);
+  const auto s = workload::UniformPoints(300, 13, uni);
+  HistogramEstimator est(r.objects, s.objects);
+  const auto fn = est.BoundaryFn();  // interpolation table
+  for (uint64_t c : {50ull, 500ull, 5000ull, 50000ull}) {
+    const double exact = est.EstimateDmax(c);
+    const double interpolated = fn(c);
+    // Interpolation error should be small relative to the exact inverse.
+    EXPECT_NEAR(interpolated, exact, 0.15 * exact + 1e-9) << "c=" << c;
+  }
+  // Beyond every pair: clamps at the data diameter, stays finite.
+  EXPECT_TRUE(std::isfinite(fn(1ull << 40)));
+}
+
+// ---------------------------------------------------------------------------
+// Plugged into the adaptive algorithms: identical results, less
+// compensation / overshoot on skewed data.
+
+TEST(HistogramEstimatorTest, AmKdjWithHistogramEstimatorIsCorrect) {
+  const Rect uni(0, 0, 10000, 10000);
+  const auto r = workload::GaussianClusters(300, 3, 0.01, 9, uni);
+  const auto s = workload::GaussianClusters(250, 3, 0.01, 9, uni);
+  test::JoinFixture f = test::MakeFixture(r, s, 8);
+  const auto brute = test::BruteForceDistances(f.r_objects, f.s_objects);
+  HistogramEstimator est(r.objects, s.objects);
+  JoinOptions options;
+  options.estimator = &est;
+  for (const auto algorithm :
+       {KdjAlgorithm::kBKdj, KdjAlgorithm::kAmKdj}) {
+    auto result =
+        RunKDistanceJoin(*f.r, *f.s, 500, algorithm, options, nullptr);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 500u);
+    for (size_t i = 0; i < result->size(); ++i) {
+      ASSERT_NEAR((*result)[i].distance, brute[i], 1e-9) << "rank " << i;
+    }
+  }
+}
+
+TEST(HistogramEstimatorTest, AmIdjWithHistogramEstimatorIsCorrect) {
+  const Rect uni(0, 0, 10000, 10000);
+  const auto r = workload::ZipfSkewedPoints(250, 0.9, 10, uni);
+  const auto s = workload::ZipfSkewedPoints(200, 0.9, 11, uni);
+  test::JoinFixture f = test::MakeFixture(r, s, 8);
+  const auto brute = test::BruteForceDistances(f.r_objects, f.s_objects);
+  HistogramEstimator est(r.objects, s.objects);
+  JoinOptions options;
+  options.estimator = &est;
+  options.idj_initial_k = 64;
+  auto cursor = OpenIncrementalJoin(*f.r, *f.s, IdjAlgorithm::kAmIdj,
+                                    options, nullptr);
+  ASSERT_TRUE(cursor.ok());
+  ResultPair p;
+  bool done = false;
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*cursor)->Next(&p, &done).ok());
+    ASSERT_FALSE(done);
+    ASSERT_NEAR(p.distance, brute[i], 1e-9) << "rank " << i;
+  }
+}
+
+TEST(HistogramEstimatorTest, ReducesOvershootOnSkewedData) {
+  // On clustered data the uniform estimate overshoots, which makes AM-KDJ
+  // degenerate toward B-KDJ (weak aggressive pruning). The histogram
+  // estimate should prune more: fewer queue insertions.
+  const Rect uni(0, 0, 50000, 50000);
+  const auto r = workload::GaussianClusters(3000, 4, 0.005, 12, uni);
+  const auto s = workload::GaussianClusters(2500, 4, 0.005, 12, uni);
+  test::JoinFixture f = test::MakeFixture(r, s, 32, 512);
+  HistogramEstimator est(r.objects, s.objects);
+  JoinOptions uniform_options;
+  JoinOptions histogram_options;
+  histogram_options.estimator = &est;
+  JoinStats uniform_stats, histogram_stats;
+  ASSERT_TRUE(RunKDistanceJoin(*f.r, *f.s, 2000, KdjAlgorithm::kAmKdj,
+                               uniform_options, &uniform_stats)
+                  .ok());
+  ASSERT_TRUE(RunKDistanceJoin(*f.r, *f.s, 2000, KdjAlgorithm::kAmKdj,
+                               histogram_options, &histogram_stats)
+                  .ok());
+  EXPECT_LE(histogram_stats.main_queue_insertions,
+            uniform_stats.main_queue_insertions);
+}
+
+}  // namespace
+}  // namespace amdj::core

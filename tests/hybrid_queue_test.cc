@@ -1,0 +1,216 @@
+#include "queue/hybrid_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/disk_manager.h"
+
+namespace amdj::queue {
+namespace {
+
+struct Item {
+  double distance;
+  uint64_t tag;
+};
+
+struct ItemCompare {
+  bool operator()(const Item& a, const Item& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.tag < b.tag;
+  }
+};
+
+using Queue = HybridQueue<Item, ItemCompare>;
+
+Queue::Options SmallMemory(storage::DiskManager* disk, size_t bytes = 1024) {
+  Queue::Options o;
+  o.memory_bytes = bytes;  // 1024 / 16 = 64 in-memory entries
+  o.disk = disk;
+  return o;
+}
+
+TEST(HybridQueueTest, InMemoryBasicOrdering) {
+  Queue q(Queue::Options{}, nullptr);  // no disk: unbounded memory
+  EXPECT_TRUE(q.Empty());
+  for (double d : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    ASSERT_TRUE(q.Push({d, 0}).ok());
+  }
+  Item it;
+  for (double expected : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    ASSERT_TRUE(q.Pop(&it).ok());
+    EXPECT_EQ(it.distance, expected);
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Pop(&it).code(), StatusCode::kOutOfRange);
+}
+
+TEST(HybridQueueTest, SpillsAndRecoversInOrder) {
+  storage::InMemoryDiskManager disk;
+  JoinStats stats;
+  Queue q(SmallMemory(&disk), &stats);
+  Random rng(7);
+  std::vector<double> inserted;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = rng.Uniform(0, 1e6);
+    inserted.push_back(d);
+    ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(i)}).ok());
+  }
+  EXPECT_GT(q.split_count(), 0u);  // memory was 64 entries: must spill
+  std::sort(inserted.begin(), inserted.end());
+  Item it;
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    ASSERT_TRUE(q.Pop(&it).ok());
+    ASSERT_EQ(it.distance, inserted[i]) << "at pop " << i;
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_GT(q.swapin_count(), 0u);
+  EXPECT_GT(stats.queue_page_writes, 0u);
+  EXPECT_GT(stats.queue_page_reads, 0u);
+  EXPECT_EQ(stats.main_queue_insertions, 5000u);
+}
+
+TEST(HybridQueueTest, InterleavedPushPopMatchesReference) {
+  storage::InMemoryDiskManager disk;
+  Queue q(SmallMemory(&disk), nullptr);
+  Random rng(13);
+  std::vector<double> reference;  // multiset of live distances
+  Item it;
+  for (int step = 0; step < 20000; ++step) {
+    if (reference.empty() || rng.Bernoulli(0.6)) {
+      const double d = rng.Uniform(0, 1000);
+      reference.push_back(d);
+      ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(step)}).ok());
+    } else {
+      auto min_it = std::min_element(reference.begin(), reference.end());
+      ASSERT_TRUE(q.Pop(&it).ok());
+      ASSERT_EQ(it.distance, *min_it) << "step " << step;
+      reference.erase(min_it);
+    }
+  }
+  // Drain.
+  std::sort(reference.begin(), reference.end());
+  for (double expected : reference) {
+    ASSERT_TRUE(q.Pop(&it).ok());
+    ASSERT_EQ(it.distance, expected);
+  }
+}
+
+TEST(HybridQueueTest, PredeterminedBoundariesReduceSplits) {
+  // Uniform distances in [0, 1000]: boundary_fn(c) ~ the c-th smallest
+  // distance = 1000 * c / N.
+  constexpr int kN = 20000;
+  auto run = [&](bool with_boundaries) {
+    storage::InMemoryDiskManager disk;
+    Queue::Options o = SmallMemory(&disk, 4096);  // 256 entries in memory
+    if (with_boundaries) {
+      o.boundary_fn = [](uint64_t c) {
+        return 1000.0 * static_cast<double>(c) / kN;
+      };
+    }
+    Queue q(o, nullptr);
+    Random rng(99);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_TRUE(q.Push({rng.Uniform(0, 1000), uint64_t(i)}).ok());
+    }
+    // Consume the closest 10% (the typical distance-join access pattern).
+    Item it;
+    for (int i = 0; i < kN / 10; ++i) EXPECT_TRUE(q.Pop(&it).ok());
+    return q.split_count();
+  };
+  const uint64_t splits_without = run(false);
+  const uint64_t splits_with = run(true);
+  EXPECT_LT(splits_with, splits_without);
+  // With accurate boundaries almost everything routes straight to its
+  // segment; at most a borderline split can happen (the heap range holds
+  // ~capacity items by construction).
+  EXPECT_LE(splits_with, 1u);
+}
+
+TEST(HybridQueueTest, PredeterminedBoundariesKeepOrder) {
+  storage::InMemoryDiskManager disk;
+  Queue::Options o = SmallMemory(&disk, 1024);
+  o.boundary_fn = [](uint64_t c) { return std::sqrt(static_cast<double>(c)); };
+  Queue q(o, nullptr);
+  Random rng(31);
+  std::vector<double> inserted;
+  for (int i = 0; i < 3000; ++i) {
+    // Heavy-tailed distances stress multiple segments.
+    const double d = std::pow(rng.Uniform(0, 40), 2.0);
+    inserted.push_back(d);
+    ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(i)}).ok());
+  }
+  std::sort(inserted.begin(), inserted.end());
+  Item it;
+  for (double expected : inserted) {
+    ASSERT_TRUE(q.Pop(&it).ok());
+    ASSERT_EQ(it.distance, expected);
+  }
+}
+
+TEST(HybridQueueTest, TiesPreserveAllItems) {
+  storage::InMemoryDiskManager disk;
+  Queue q(SmallMemory(&disk), nullptr);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(q.Push({42.0, static_cast<uint64_t>(i)}).ok());
+  }
+  std::vector<bool> seen(500, false);
+  Item it;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(q.Pop(&it).ok());
+    EXPECT_EQ(it.distance, 42.0);
+    EXPECT_FALSE(seen[it.tag]);
+    seen[it.tag] = true;
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(HybridQueueTest, TotalSizeTracksBothTiers) {
+  storage::InMemoryDiskManager disk;
+  Queue q(SmallMemory(&disk), nullptr);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+  }
+  EXPECT_EQ(q.TotalSize(), 200u);
+  Item it;
+  for (int i = 0; i < 60; ++i) ASSERT_TRUE(q.Pop(&it).ok());
+  EXPECT_EQ(q.TotalSize(), 140u);
+}
+
+TEST(HybridQueueTest, PropagatesDiskWriteFailure) {
+  storage::InMemoryDiskManager base;
+  storage::FaultInjectionDiskManager faulty(&base);
+  Queue::Options o;
+  o.memory_bytes = 1024;
+  o.disk = &faulty;
+  Queue q(o, nullptr);
+  faulty.FailWritesAfter(0);
+  Status status = Status::OK();
+  // Push until the overflow spill fills a whole segment write-buffer page
+  // (records are buffered one page at a time) and hits the injected
+  // failure.
+  for (int i = 0; i < 5000 && status.ok(); ++i) {
+    status = q.Push({static_cast<double>(i), 0});
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+TEST(HybridQueueTest, PeakSizeStatIsTracked) {
+  JoinStats stats;
+  Queue q(Queue::Options{}, &stats);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+  }
+  Item it;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Pop(&it).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+  }
+  EXPECT_EQ(stats.main_queue_peak_size, 10u);
+}
+
+}  // namespace
+}  // namespace amdj::queue

@@ -1,0 +1,134 @@
+#include "rtree/knn.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj::rtree {
+namespace {
+
+using geom::Metric;
+using geom::Point;
+using geom::Rect;
+
+struct KnnFixture {
+  storage::InMemoryDiskManager disk;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<RTree> tree;
+  std::vector<Rect> objects;
+
+  explicit KnnFixture(uint64_t n, uint64_t seed, uint32_t fanout = 8) {
+    pool = std::make_unique<storage::BufferPool>(&disk, 128);
+    RTree::Options opts;
+    opts.max_entries = fanout;
+    tree = std::move(*RTree::Create(pool.get(), opts));
+    const auto data = workload::UniformRects(
+        n, 30.0, seed, Rect(0, 0, 1000, 1000));
+    objects = data.objects;
+    EXPECT_TRUE(tree->BulkLoad(data.ToEntries()).ok());
+  }
+
+  std::vector<std::pair<double, uint32_t>> BruteKnn(const Point& q, size_t k,
+                                                    Metric m) const {
+    std::vector<std::pair<double, uint32_t>> d;
+    for (uint32_t i = 0; i < objects.size(); ++i) {
+      d.push_back({geom::MinDistance(Rect::FromPoint(q), objects[i], m), i});
+    }
+    std::sort(d.begin(), d.end());
+    d.resize(std::min(d.size(), k));
+    return d;
+  }
+};
+
+TEST(KnnTest, MatchesBruteForceRandomQueries) {
+  KnnFixture f(800, 21);
+  Random rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q(rng.Uniform(-100, 1100), rng.Uniform(-100, 1100));
+    const size_t k = 1 + rng.UniformInt(uint64_t{50});
+    auto result = NearestNeighbors(*f.tree, q, k);
+    ASSERT_TRUE(result.ok());
+    const auto brute = f.BruteKnn(q, k, Metric::kL2);
+    ASSERT_EQ(result->size(), brute.size());
+    for (size_t i = 0; i < brute.size(); ++i) {
+      const double got =
+          geom::MinDistance(Rect::FromPoint(q), (*result)[i].rect);
+      ASSERT_NEAR(got, brute[i].first, 1e-9) << "rank " << i;
+    }
+  }
+}
+
+TEST(KnnTest, WorksUnderEveryMetric) {
+  KnnFixture f(500, 22);
+  const Point q(333, 667);
+  for (const Metric m : {Metric::kL2, Metric::kL1, Metric::kLInf}) {
+    auto result = NearestNeighbors(*f.tree, q, 25, m);
+    ASSERT_TRUE(result.ok());
+    const auto brute = f.BruteKnn(q, 25, m);
+    for (size_t i = 0; i < brute.size(); ++i) {
+      ASSERT_NEAR(geom::MinDistance(Rect::FromPoint(q), (*result)[i].rect, m),
+                  brute[i].first, 1e-9)
+          << geom::ToString(m) << " rank " << i;
+    }
+  }
+}
+
+TEST(KnnTest, KLargerThanTreeReturnsEverything) {
+  KnnFixture f(37, 23);
+  auto result = NearestNeighbors(*f.tree, Point(0, 0), 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 37u);
+}
+
+TEST(KnnTest, EmptyTree) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 16);
+  auto tree = RTree::Create(&pool, {}).value();
+  auto result = NearestNeighbors(*tree, Point(1, 2), 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(KnnTest, CursorStreamsInNonDecreasingOrder) {
+  KnnFixture f(600, 24);
+  NearestNeighborCursor cursor(*f.tree, Point(500, 500));
+  Entry entry;
+  double distance = 0.0;
+  double prev = -1.0;
+  bool done = false;
+  size_t count = 0;
+  while (true) {
+    ASSERT_TRUE(cursor.Next(&entry, &distance, &done).ok());
+    if (done) break;
+    EXPECT_GE(distance, prev);
+    prev = distance;
+    ++count;
+  }
+  EXPECT_EQ(count, 600u);
+}
+
+TEST(KnnTest, CursorMatchesBatchApi) {
+  KnnFixture f(300, 25);
+  const Point q(10, 990);
+  auto batch = NearestNeighbors(*f.tree, q, 40);
+  ASSERT_TRUE(batch.ok());
+  NearestNeighborCursor cursor(*f.tree, q);
+  Entry entry;
+  double distance = 0.0;
+  bool done = false;
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cursor.Next(&entry, &distance, &done).ok());
+    ASSERT_FALSE(done);
+    EXPECT_NEAR(distance,
+                geom::MinDistance(Rect::FromPoint(q), (*batch)[i].rect),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace amdj::rtree

@@ -1,0 +1,152 @@
+#include "geom/metric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/distance_join.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj {
+namespace {
+
+using geom::Metric;
+using geom::Rect;
+
+TEST(MetricTest, MinDistanceKnownValues) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(4, 5, 6, 7);  // gaps: dx = 3, dy = 4
+  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kL1), 7.0);
+  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kLInf), 4.0);
+}
+
+TEST(MetricTest, IntersectingRectsAreZeroUnderEveryMetric) {
+  const Rect a(0, 0, 5, 5);
+  const Rect b(4, 4, 9, 9);
+  for (const Metric m : {Metric::kL2, Metric::kL1, Metric::kLInf}) {
+    EXPECT_EQ(geom::MinDistance(a, b, m), 0.0);
+  }
+}
+
+TEST(MetricTest, NormOrderingHolds) {
+  // Linf <= L2 <= L1 for every pair.
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto rect = [&] {
+      const double x = rng.Uniform(-50, 50);
+      const double y = rng.Uniform(-50, 50);
+      return Rect(x, y, x + rng.Uniform(0, 10), y + rng.Uniform(0, 10));
+    };
+    const Rect a = rect();
+    const Rect b = rect();
+    const double l1 = geom::MinDistance(a, b, Metric::kL1);
+    const double l2 = geom::MinDistance(a, b, Metric::kL2);
+    const double li = geom::MinDistance(a, b, Metric::kLInf);
+    EXPECT_LE(li, l2 + 1e-12);
+    EXPECT_LE(l2, l1 + 1e-12);
+    // The per-axis separations lower-bound every metric (the plane-sweep
+    // pruning requirement).
+    for (int axis = 0; axis < 2; ++axis) {
+      const double ad = geom::AxisDistance(a, b, axis);
+      EXPECT_LE(ad, li + 1e-12);
+    }
+    // And max distance dominates min distance per metric.
+    for (const Metric m : {Metric::kL2, Metric::kL1, Metric::kLInf}) {
+      EXPECT_LE(geom::MinDistance(a, b, m),
+                geom::MaxDistance(a, b, m) + 1e-12);
+    }
+  }
+}
+
+TEST(MetricTest, L2MatchesLegacyFunctions) {
+  Random rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a(rng.Uniform(0, 50), rng.Uniform(0, 50),
+                 rng.Uniform(50, 100), rng.Uniform(50, 100));
+    const Rect b(rng.Uniform(0, 50), rng.Uniform(0, 50),
+                 rng.Uniform(50, 100), rng.Uniform(50, 100));
+    EXPECT_EQ(geom::MinDistance(a, b, Metric::kL2), geom::MinDistance(a, b));
+    EXPECT_EQ(geom::MaxDistance(a, b, Metric::kL2), geom::MaxDistance(a, b));
+  }
+}
+
+TEST(MetricTest, UnitBallCoefficients) {
+  EXPECT_DOUBLE_EQ(geom::UnitBallAreaCoefficient(Metric::kL2), M_PI);
+  EXPECT_DOUBLE_EQ(geom::UnitBallAreaCoefficient(Metric::kL1), 2.0);
+  EXPECT_DOUBLE_EQ(geom::UnitBallAreaCoefficient(Metric::kLInf), 4.0);
+  EXPECT_STREQ(geom::ToString(Metric::kL1), "L1");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: every algorithm ranks correctly under every metric.
+
+std::vector<double> BruteMetric(const std::vector<Rect>& r,
+                                const std::vector<Rect>& s, Metric m) {
+  std::vector<double> d;
+  for (const auto& a : r) {
+    for (const auto& b : s) d.push_back(geom::MinDistance(a, b, m));
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+class MetricJoinTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricJoinTest, KdjAlgorithmsRankUnderMetric) {
+  const Rect uni(0, 0, 5000, 5000);
+  test::JoinFixture f =
+      test::MakeFixture(workload::GaussianClusters(250, 5, 0.05, 91, uni),
+                        workload::UniformRects(180, 40.0, 92, uni), 8);
+  const auto brute = BruteMetric(f.r_objects, f.s_objects, GetParam());
+  core::JoinOptions options;
+  options.metric = GetParam();
+  for (const auto algorithm :
+       {core::KdjAlgorithm::kHsKdj, core::KdjAlgorithm::kBKdj,
+        core::KdjAlgorithm::kAmKdj, core::KdjAlgorithm::kSjSort}) {
+    auto result =
+        core::RunKDistanceJoin(*f.r, *f.s, 400, algorithm, options, nullptr);
+    ASSERT_TRUE(result.ok()) << core::ToString(algorithm);
+    ASSERT_EQ(result->size(), 400u);
+    for (size_t i = 0; i < result->size(); ++i) {
+      ASSERT_NEAR((*result)[i].distance, brute[i], 1e-9)
+          << core::ToString(algorithm) << " rank " << i << " metric "
+          << geom::ToString(GetParam());
+    }
+  }
+}
+
+TEST_P(MetricJoinTest, IdjCursorsRankUnderMetric) {
+  const Rect uni(0, 0, 5000, 5000);
+  test::JoinFixture f =
+      test::MakeFixture(workload::GaussianClusters(120, 5, 0.05, 93, uni),
+                        workload::UniformRects(100, 40.0, 94, uni), 8);
+  const auto brute = BruteMetric(f.r_objects, f.s_objects, GetParam());
+  core::JoinOptions options;
+  options.metric = GetParam();
+  options.idj_initial_k = 32;
+  for (const auto algorithm :
+       {core::IdjAlgorithm::kHsIdj, core::IdjAlgorithm::kAmIdj}) {
+    auto cursor =
+        core::OpenIncrementalJoin(*f.r, *f.s, algorithm, options, nullptr);
+    ASSERT_TRUE(cursor.ok());
+    core::ResultPair p;
+    bool done = false;
+    for (size_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE((*cursor)->Next(&p, &done).ok());
+      ASSERT_FALSE(done);
+      ASSERT_NEAR(p.distance, brute[i], 1e-9)
+          << core::ToString(algorithm) << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricJoinTest,
+                         ::testing::Values(Metric::kL2, Metric::kL1,
+                                           Metric::kLInf),
+                         [](const auto& info) {
+                           return geom::ToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace amdj

@@ -1,0 +1,105 @@
+// Differential testing of index mutation + join interplay: random
+// insert/delete workloads applied to the trees, with the k-distance join
+// checked against a brute-force shadow after every epoch.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/distance_join.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace amdj::core {
+namespace {
+
+using geom::Rect;
+
+struct Shadow {
+  std::map<uint32_t, Rect> objects;  // id -> rect
+};
+
+class MutationJoinTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationJoinTest, JoinStaysCorrectAcrossInsertDeleteEpochs) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 128);
+  rtree::RTree::Options opts;
+  opts.max_entries = 8;
+  auto r_tree = rtree::RTree::Create(&pool, opts).value();
+  auto s_tree = rtree::RTree::Create(&pool, opts).value();
+  Shadow r_shadow, s_shadow;
+  Random rng(GetParam());
+  uint32_t next_id = 0;
+
+  auto mutate = [&](rtree::RTree& tree, Shadow& shadow, int ops) {
+    for (int i = 0; i < ops; ++i) {
+      if (shadow.objects.empty() || rng.Bernoulli(0.65)) {
+        const double x = rng.Uniform(0, 1000);
+        const double y = rng.Uniform(0, 1000);
+        const Rect rect(x, y, x + rng.Uniform(0, 10), y + rng.Uniform(0, 10));
+        const uint32_t id = next_id++;
+        ASSERT_TRUE(tree.Insert(rect, id).ok());
+        shadow.objects[id] = rect;
+      } else {
+        auto it = shadow.objects.begin();
+        std::advance(it, rng.UniformInt(shadow.objects.size()));
+        bool found = false;
+        ASSERT_TRUE(tree.Delete(it->second, it->first, &found).ok());
+        ASSERT_TRUE(found) << "id " << it->first;
+        shadow.objects.erase(it);
+      }
+    }
+  };
+
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    mutate(*r_tree, r_shadow, 120);
+    mutate(*s_tree, s_shadow, 90);
+    ASSERT_TRUE(r_tree->Validate().ok()) << r_tree->Validate().ToString();
+    ASSERT_TRUE(s_tree->Validate().ok()) << s_tree->Validate().ToString();
+    ASSERT_EQ(r_tree->size(), r_shadow.objects.size());
+    ASSERT_EQ(s_tree->size(), s_shadow.objects.size());
+
+    // Brute-force reference over the shadows.
+    std::vector<double> brute;
+    for (const auto& [ri, rr] : r_shadow.objects) {
+      for (const auto& [si, sr] : s_shadow.objects) {
+        brute.push_back(geom::MinDistance(rr, sr));
+      }
+    }
+    std::sort(brute.begin(), brute.end());
+
+    const uint64_t k = 1 + rng.UniformInt(uint64_t{200});
+    for (const auto algorithm :
+         {KdjAlgorithm::kBKdj, KdjAlgorithm::kAmKdj}) {
+      auto result =
+          RunKDistanceJoin(*r_tree, *s_tree, k, algorithm, JoinOptions{},
+                           nullptr);
+      ASSERT_TRUE(result.ok());
+      const size_t expected = std::min<uint64_t>(k, brute.size());
+      ASSERT_EQ(result->size(), expected)
+          << ToString(algorithm) << " epoch " << epoch;
+      for (size_t i = 0; i < expected; ++i) {
+        ASSERT_NEAR((*result)[i].distance, brute[i], 1e-9)
+            << ToString(algorithm) << " epoch " << epoch << " rank " << i;
+        // The reported pair is live in both shadows and realizes the
+        // distance.
+        const auto rit = r_shadow.objects.find((*result)[i].r_id);
+        const auto sit = s_shadow.objects.find((*result)[i].s_id);
+        ASSERT_NE(rit, r_shadow.objects.end());
+        ASSERT_NE(sit, s_shadow.objects.end());
+        ASSERT_NEAR(geom::MinDistance(rit->second, sit->second),
+                    (*result)[i].distance, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationJoinTest,
+                         ::testing::Values(uint64_t{1}, uint64_t{2},
+                                           uint64_t{3}));
+
+}  // namespace
+}  // namespace amdj::core

@@ -1,0 +1,153 @@
+// Persistence round trips: a tree built in one "session" (disk manager +
+// buffer pool instance) reopens intact in another, including across real
+// files on disk.
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj::rtree {
+namespace {
+
+using geom::Rect;
+
+TEST(PersistenceTest, MetaRoundTripSameDisk) {
+  storage::InMemoryDiskManager disk;
+  RTree::Meta meta;
+  std::vector<Entry> entries;
+  {
+    storage::BufferPool pool(&disk, 64);
+    RTree::Options opts;
+    opts.max_entries = 8;
+    auto tree = RTree::Create(&pool, opts).value();
+    const auto data =
+        workload::UniformRects(500, 10.0, 51, Rect(0, 0, 1000, 1000));
+    entries = data.ToEntries();
+    ASSERT_TRUE(tree->BulkLoad(entries).ok());
+    meta = tree->ToMeta();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  // New pool over the same pages.
+  storage::BufferPool pool(&disk, 64);
+  auto reopened = RTree::Open(&pool, meta, RTree::Options{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 500u);
+  EXPECT_TRUE((*reopened)->Validate().ok())
+      << (*reopened)->Validate().ToString();
+  auto hits = (*reopened)->RangeQuery(Rect(0, 0, 1000, 1000));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 500u);
+}
+
+TEST(PersistenceTest, MetaPageRoundTripAcrossFileSessions) {
+  const std::string path = ::testing::TempDir() + "/amdj_persist.db";
+  std::remove(path.c_str());
+  const auto data =
+      workload::GaussianClusters(800, 4, 0.05, 52, Rect(0, 0, 5000, 5000));
+
+  storage::PageId meta_page = storage::kInvalidPageId;
+  {
+    storage::FileDiskManager disk(path, /*persistent=*/true);
+    ASSERT_TRUE(disk.Ok());
+    storage::BufferPool pool(&disk, 64);
+    // Reserve page 0 as the meta page by allocating it first.
+    auto guard = pool.NewPage(&meta_page);
+    ASSERT_TRUE(guard.ok());
+    guard->Release();
+    ASSERT_EQ(meta_page, 0u);
+    RTree::Options opts;
+    opts.max_entries = 16;
+    auto tree = RTree::Create(&pool, opts).value();
+    ASSERT_TRUE(tree->BulkLoad(data.ToEntries()).ok());
+    ASSERT_TRUE(tree->WriteMetaPage(meta_page).ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+
+  // Completely fresh process-like session.
+  {
+    storage::FileDiskManager disk(path, /*persistent=*/true);
+    ASSERT_TRUE(disk.Ok());
+    EXPECT_GT(disk.PageCount(), 1u);
+    storage::BufferPool pool(&disk, 64);
+    auto tree = RTree::OpenFromMetaPage(&pool, 0);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ((*tree)->size(), 800u);
+    EXPECT_EQ((*tree)->options().max_entries, 16u);
+    EXPECT_TRUE((*tree)->Validate().ok())
+        << (*tree)->Validate().ToString();
+    // The reopened tree is usable for joins and updates.
+    ASSERT_TRUE((*tree)->Insert(Rect(1, 1, 2, 2), 9999).ok());
+    EXPECT_EQ((*tree)->size(), 801u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, JoinOverReopenedTreesMatchesOriginal) {
+  storage::InMemoryDiskManager disk;
+  RTree::Meta r_meta, s_meta;
+  std::vector<core::ResultPair> original;
+  const auto r_data =
+      workload::GaussianClusters(300, 5, 0.04, 53, Rect(0, 0, 2000, 2000));
+  const auto s_data =
+      workload::UniformRects(250, 30.0, 54, Rect(0, 0, 2000, 2000));
+  {
+    storage::BufferPool pool(&disk, 64);
+    RTree::Options opts;
+    opts.max_entries = 8;
+    auto r = RTree::Create(&pool, opts).value();
+    auto s = RTree::Create(&pool, opts).value();
+    ASSERT_TRUE(r->BulkLoad(r_data.ToEntries()).ok());
+    ASSERT_TRUE(s->BulkLoad(s_data.ToEntries()).ok());
+    auto result = core::RunKDistanceJoin(*r, *s, 200,
+                                         core::KdjAlgorithm::kAmKdj,
+                                         core::JoinOptions{}, nullptr);
+    ASSERT_TRUE(result.ok());
+    original = std::move(*result);
+    r_meta = r->ToMeta();
+    s_meta = s->ToMeta();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  storage::BufferPool pool(&disk, 64);
+  auto r = RTree::Open(&pool, r_meta, RTree::Options{});
+  auto s = RTree::Open(&pool, s_meta, RTree::Options{});
+  ASSERT_TRUE(r.ok() && s.ok());
+  auto result = core::RunKDistanceJoin(**r, **s, 200,
+                                       core::KdjAlgorithm::kAmKdj,
+                                       core::JoinOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*result)[i], original[i]) << "rank " << i;
+  }
+}
+
+TEST(PersistenceTest, OpenRejectsCorruptMeta) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 16);
+  storage::PageId page = storage::kInvalidPageId;
+  pool.NewPage(&page)->Release();  // zeroed page: no magic
+  auto tree = RTree::OpenFromMetaPage(&pool, page);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PersistenceTest, OpenRejectsInconsistentHeight) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 16);
+  RTree::Options opts;
+  opts.max_entries = 8;
+  auto tree = RTree::Create(&pool, opts).value();
+  ASSERT_TRUE(tree->Insert(Rect(0, 0, 1, 1), 1).ok());
+  RTree::Meta meta = tree->ToMeta();
+  meta.height = 5;  // lie about the height
+  auto reopened = RTree::Open(&pool, meta, RTree::Options{});
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace amdj::rtree

@@ -1,0 +1,138 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace amdj {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(-5.0, 12.5);
+    EXPECT_GE(d, -5.0);
+    EXPECT_LT(d, 12.5);
+  }
+}
+
+TEST(RandomTest, UniformIntRespectsBounds) {
+  Random rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{3}, int64_t{9});
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, UniformMeanIsCentered) {
+  Random rng(99);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RandomTest, GaussianMomentsAreSane) {
+  Random rng(5);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RandomTest, GaussianWithParams) {
+  Random rng(5);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(RandomTest, ExponentialMeanMatchesRate) {
+  Random rng(11);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double e = rng.Exponential(0.25);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(RandomTest, ZipfInRangeAndSkewed) {
+  Random rng(13);
+  constexpr uint64_t kN = 1000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t z = rng.Zipf(kN, 0.8);
+    ASSERT_LT(z, kN);
+    ++counts[z];
+  }
+  // Rank 0 must dominate the tail decisively.
+  const int tail =
+      std::accumulate(counts.begin() + 500, counts.end(), 0) / 500;
+  EXPECT_GT(counts[0], 20 * std::max(tail, 1));
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(17);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace amdj

@@ -1,0 +1,185 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj::rtree {
+namespace {
+
+using geom::Rect;
+
+class RTreeDeleteTest : public ::testing::Test {
+ protected:
+  RTreeDeleteTest() : pool_(&disk_, 256) {}
+
+  std::unique_ptr<RTree> MakeTree(uint32_t fanout = 8) {
+    RTree::Options opts;
+    opts.max_entries = fanout;
+    return std::move(*RTree::Create(&pool_, opts));
+  }
+
+  storage::InMemoryDiskManager disk_;
+  storage::BufferPool pool_;
+};
+
+TEST_F(RTreeDeleteTest, DeleteMissingObjectReportsNotFound) {
+  auto tree = MakeTree();
+  ASSERT_TRUE(tree->Insert(Rect(1, 1, 2, 2), 7).ok());
+  bool found = true;
+  ASSERT_TRUE(tree->Delete(Rect(5, 5, 6, 6), 7, &found).ok());
+  EXPECT_FALSE(found);
+  // Same rect, wrong id.
+  ASSERT_TRUE(tree->Delete(Rect(1, 1, 2, 2), 8, &found).ok());
+  EXPECT_FALSE(found);
+  EXPECT_EQ(tree->size(), 1u);
+}
+
+TEST_F(RTreeDeleteTest, InsertDeleteRoundTrip) {
+  auto tree = MakeTree();
+  ASSERT_TRUE(tree->Insert(Rect(1, 1, 2, 2), 7).ok());
+  bool found = false;
+  ASSERT_TRUE(tree->Delete(Rect(1, 1, 2, 2), 7, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_TRUE(tree->Validate().ok());
+  auto hits = tree->RangeQuery(Rect(0, 0, 10, 10));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(RTreeDeleteTest, DeleteHalfOfDeepTreeKeepsInvariants) {
+  auto tree = MakeTree(8);
+  const auto data =
+      workload::UniformRects(1500, 10.0, 31, Rect(0, 0, 1000, 1000));
+  const auto entries = data.ToEntries();
+  for (const auto& e : entries) ASSERT_TRUE(tree->Insert(e.rect, e.id).ok());
+  ASSERT_GE(tree->height(), 3u);
+
+  Random rng(5);
+  std::vector<uint32_t> order(entries.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+
+  std::set<uint32_t> deleted;
+  for (size_t i = 0; i < entries.size() / 2; ++i) {
+    const uint32_t id = order[i];
+    bool found = false;
+    ASSERT_TRUE(tree->Delete(entries[id].rect, id, &found).ok());
+    ASSERT_TRUE(found) << "id " << id;
+    deleted.insert(id);
+    if (i % 100 == 0) {
+      ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+    }
+  }
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+  EXPECT_EQ(tree->size(), entries.size() - deleted.size());
+
+  // Every survivor is still reachable, every deleted object is gone.
+  std::set<uint32_t> remaining;
+  ASSERT_TRUE(
+      tree->ForEachObject([&](const Entry& e) { remaining.insert(e.id); })
+          .ok());
+  EXPECT_EQ(remaining.size(), entries.size() - deleted.size());
+  for (uint32_t id : deleted) EXPECT_EQ(remaining.count(id), 0u);
+}
+
+TEST_F(RTreeDeleteTest, DeleteEverythingShrinksToEmptyRoot) {
+  auto tree = MakeTree(6);
+  const auto data =
+      workload::UniformPoints(300, 32, Rect(0, 0, 100, 100));
+  const auto entries = data.ToEntries();
+  for (const auto& e : entries) ASSERT_TRUE(tree->Insert(e.rect, e.id).ok());
+  const uint64_t peak_nodes = tree->node_count();
+  for (const auto& e : entries) {
+    bool found = false;
+    ASSERT_TRUE(tree->Delete(e.rect, e.id, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_EQ(tree->height(), 1u);
+  EXPECT_EQ(tree->node_count(), 1u);
+  EXPECT_LT(tree->node_count(), peak_nodes);
+  EXPECT_TRUE(tree->Validate().ok());
+  // The tree is fully reusable afterwards.
+  ASSERT_TRUE(tree->Insert(Rect(5, 5, 6, 6), 999).ok());
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST_F(RTreeDeleteTest, FreedPagesAreReusedSafely) {
+  // Regression guard for the stale-buffer-frame hazard: delete enough to
+  // dissolve nodes, then insert enough to reuse the freed page ids; the
+  // tree must stay structurally valid and queryable.
+  auto tree = MakeTree(6);
+  const auto first =
+      workload::UniformPoints(400, 33, Rect(0, 0, 100, 100)).ToEntries();
+  for (const auto& e : first) ASSERT_TRUE(tree->Insert(e.rect, e.id).ok());
+  for (size_t i = 0; i < 300; ++i) {
+    bool found = false;
+    ASSERT_TRUE(tree->Delete(first[i].rect, first[i].id, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  const auto second =
+      workload::UniformPoints(400, 34, Rect(200, 200, 300, 300)).ToEntries();
+  for (const auto& e : second) {
+    ASSERT_TRUE(tree->Insert(e.rect, e.id + 1000).ok());
+  }
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+  auto hits = tree->RangeQuery(Rect(200, 200, 300, 300));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 400u);
+}
+
+TEST_F(RTreeDeleteTest, DeleteFromBulkLoadedTree) {
+  auto tree = MakeTree(16);
+  const auto data =
+      workload::UniformRects(2000, 5.0, 35, Rect(0, 0, 1000, 1000));
+  const auto entries = data.ToEntries();
+  ASSERT_TRUE(tree->BulkLoad(entries).ok());
+  for (uint32_t id = 0; id < 500; ++id) {
+    bool found = false;
+    ASSERT_TRUE(tree->Delete(entries[id].rect, id, &found).ok());
+    ASSERT_TRUE(found);
+  }
+  EXPECT_EQ(tree->size(), 1500u);
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+}
+
+TEST_F(RTreeDeleteTest, DuplicateRectsDeleteOneAtATime) {
+  auto tree = MakeTree(6);
+  const Rect r(5, 5, 6, 6);
+  for (uint32_t i = 0; i < 50; ++i) ASSERT_TRUE(tree->Insert(r, i).ok());
+  bool found = false;
+  ASSERT_TRUE(tree->Delete(r, 25, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(tree->size(), 49u);
+  // Deleting the same id again fails; all others remain.
+  ASSERT_TRUE(tree->Delete(r, 25, &found).ok());
+  EXPECT_FALSE(found);
+  std::set<uint32_t> ids;
+  ASSERT_TRUE(
+      tree->ForEachObject([&](const Entry& e) { ids.insert(e.id); }).ok());
+  EXPECT_EQ(ids.size(), 49u);
+  EXPECT_EQ(ids.count(25), 0u);
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST_F(RTreeDeleteTest, BoundsShrinkAfterDeletingExtremes) {
+  auto tree = MakeTree();
+  ASSERT_TRUE(tree->Insert(Rect(0, 0, 1, 1), 0).ok());
+  ASSERT_TRUE(tree->Insert(Rect(10, 10, 11, 11), 1).ok());
+  ASSERT_TRUE(tree->Insert(Rect(100, 100, 101, 101), 2).ok());
+  bool found = false;
+  ASSERT_TRUE(tree->Delete(Rect(100, 100, 101, 101), 2, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(tree->bounds(), Rect(0, 0, 11, 11));
+}
+
+}  // namespace
+}  // namespace amdj::rtree

@@ -1,0 +1,320 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rtree/node.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace amdj::rtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+class RTreeTest : public ::testing::Test {
+ protected:
+  RTreeTest() : pool_(&disk_, 256) {}
+
+  std::unique_ptr<RTree> MakeTree(uint32_t max_entries = 16) {
+    RTree::Options opts;
+    opts.max_entries = max_entries;
+    auto tree = RTree::Create(&pool_, opts);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return std::move(*tree);
+  }
+
+  static std::vector<Entry> RandomRects(uint64_t n, uint64_t seed,
+                                        double extent = 1000.0,
+                                        double max_side = 10.0) {
+    Random rng(seed);
+    std::vector<Entry> entries;
+    entries.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const double x = rng.Uniform(0, extent);
+      const double y = rng.Uniform(0, extent);
+      const double w = rng.Uniform(0, max_side);
+      const double h = rng.Uniform(0, max_side);
+      entries.emplace_back(Rect(x, y, x + w, y + h),
+                           static_cast<uint32_t>(i));
+    }
+    return entries;
+  }
+
+  storage::InMemoryDiskManager disk_;
+  storage::BufferPool pool_;
+};
+
+TEST_F(RTreeTest, NodeSerializationRoundTrip) {
+  Node node;
+  node.level = 3;
+  for (uint32_t i = 0; i < kMaxEntriesPerPage; ++i) {
+    node.entries.emplace_back(Rect(i, i * 2.0, i + 1.0, i * 2.0 + 1.0), i);
+  }
+  char page[storage::kPageSize];
+  node.Serialize(page);
+  Node decoded;
+  ASSERT_TRUE(Node::Deserialize(page, &decoded).ok());
+  EXPECT_EQ(decoded.level, 3);
+  ASSERT_EQ(decoded.entries.size(), node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    EXPECT_EQ(decoded.entries[i].rect, node.entries[i].rect);
+    EXPECT_EQ(decoded.entries[i].id, node.entries[i].id);
+  }
+}
+
+TEST_F(RTreeTest, DeserializeRejectsImpossibleCount) {
+  char page[storage::kPageSize] = {};
+  const uint16_t bogus = kMaxEntriesPerPage + 1;
+  std::memcpy(page + 2, &bogus, sizeof(bogus));
+  Node node;
+  EXPECT_EQ(Node::Deserialize(page, &node).code(), StatusCode::kCorruption);
+}
+
+TEST_F(RTreeTest, PageCapacityMatchesLayout) {
+  // 4 KB page, 8-byte header, 36-byte entries -> 113.
+  EXPECT_EQ(kMaxEntriesPerPage, 113u);
+}
+
+TEST_F(RTreeTest, EmptyTreeBasics) {
+  auto tree = MakeTree();
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_EQ(tree->height(), 1u);
+  EXPECT_TRUE(tree->Validate().ok());
+  auto hits = tree->RangeQuery(Rect(0, 0, 100, 100));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(RTreeTest, InsertRejectsInvalidRect) {
+  auto tree = MakeTree();
+  Rect bad(5, 5, 1, 1);
+  EXPECT_EQ(tree->Insert(bad, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RTreeTest, SingleInsertIsQueryable) {
+  auto tree = MakeTree();
+  ASSERT_TRUE(tree->Insert(Rect(5, 5, 6, 6), 42).ok());
+  EXPECT_EQ(tree->size(), 1u);
+  auto hits = tree->RangeQuery(Rect(0, 0, 10, 10));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].id, 42u);
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST_F(RTreeTest, ManyInsertsStayValidAndComplete) {
+  auto tree = MakeTree(8);  // tiny fanout -> deep tree, many splits
+  const auto entries = RandomRects(2000, 7);
+  for (const Entry& e : entries) {
+    ASSERT_TRUE(tree->Insert(e.rect, e.id).ok());
+  }
+  EXPECT_EQ(tree->size(), 2000u);
+  EXPECT_GE(tree->height(), 3u);
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+
+  // Every object is reachable.
+  std::set<uint32_t> seen;
+  ASSERT_TRUE(
+      tree->ForEachObject([&](const Entry& e) { seen.insert(e.id); }).ok());
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST_F(RTreeTest, RangeQueryMatchesBruteForce) {
+  auto tree = MakeTree(12);
+  const auto entries = RandomRects(1500, 99);
+  for (const Entry& e : entries) ASSERT_TRUE(tree->Insert(e.rect, e.id).ok());
+  Random rng(5);
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.Uniform(0, 1000);
+    const double y = rng.Uniform(0, 1000);
+    const Rect query(x, y, x + rng.Uniform(0, 200), y + rng.Uniform(0, 200));
+    std::set<uint32_t> expected;
+    for (const Entry& e : entries) {
+      if (e.rect.Intersects(query)) expected.insert(e.id);
+    }
+    auto hits = tree->RangeQuery(query);
+    ASSERT_TRUE(hits.ok());
+    std::set<uint32_t> actual;
+    for (const Entry& e : *hits) actual.insert(e.id);
+    EXPECT_EQ(actual, expected) << "query " << query.ToString();
+  }
+}
+
+TEST_F(RTreeTest, BulkLoadMatchesBruteForce) {
+  auto tree = MakeTree(16);
+  const auto entries = RandomRects(3000, 123);
+  ASSERT_TRUE(tree->BulkLoad(entries).ok());
+  EXPECT_EQ(tree->size(), 3000u);
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+  Random rng(6);
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.Uniform(0, 1000);
+    const double y = rng.Uniform(0, 1000);
+    const Rect query(x, y, x + rng.Uniform(0, 150), y + rng.Uniform(0, 150));
+    std::set<uint32_t> expected;
+    for (const Entry& e : entries) {
+      if (e.rect.Intersects(query)) expected.insert(e.id);
+    }
+    auto hits = tree->RangeQuery(query);
+    ASSERT_TRUE(hits.ok());
+    std::set<uint32_t> actual;
+    for (const Entry& e : *hits) actual.insert(e.id);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_F(RTreeTest, BulkLoadEmptyAndTiny) {
+  auto tree = MakeTree();
+  ASSERT_TRUE(tree->BulkLoad({}).ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_TRUE(tree->Validate().ok());
+
+  auto tree2 = MakeTree();
+  ASSERT_TRUE(tree2->BulkLoad({Entry(Rect(1, 1, 2, 2), 7)}).ok());
+  EXPECT_EQ(tree2->size(), 1u);
+  EXPECT_EQ(tree2->height(), 1u);
+  EXPECT_TRUE(tree2->Validate().ok());
+}
+
+TEST_F(RTreeTest, BulkLoadRejectsBadFill) {
+  auto tree = MakeTree();
+  EXPECT_EQ(tree->BulkLoad(RandomRects(10, 1), 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree->BulkLoad(RandomRects(10, 1), 1.5).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RTreeTest, BulkLoadProducesCompactTree) {
+  auto tree_bulk = MakeTree(64);
+  auto tree_insert = MakeTree(64);
+  const auto entries = RandomRects(5000, 77);
+  ASSERT_TRUE(tree_bulk->BulkLoad(entries, 0.9).ok());
+  for (const Entry& e : entries) {
+    ASSERT_TRUE(tree_insert->Insert(e.rect, e.id).ok());
+  }
+  // STR packs tighter than repeated insertion.
+  EXPECT_LE(tree_bulk->node_count(), tree_insert->node_count());
+  EXPECT_LE(tree_bulk->height(), tree_insert->height());
+}
+
+TEST_F(RTreeTest, BoundsTrackInsertions) {
+  auto tree = MakeTree();
+  ASSERT_TRUE(tree->Insert(Rect(10, 10, 20, 20), 0).ok());
+  ASSERT_TRUE(tree->Insert(Rect(-5, 30, 0, 40), 1).ok());
+  EXPECT_EQ(tree->bounds(), Rect(-5, 10, 20, 40));
+}
+
+TEST_F(RTreeTest, OptionsValidation) {
+  RTree::Options opts;
+  opts.max_entries = 2;  // too small
+  EXPECT_FALSE(RTree::Create(&pool_, opts).ok());
+  opts.max_entries = kMaxEntriesPerPage + 1;  // does not fit a page
+  EXPECT_FALSE(RTree::Create(&pool_, opts).ok());
+  opts.max_entries = 16;
+  opts.min_entries = 9;  // > max/2
+  EXPECT_FALSE(RTree::Create(&pool_, opts).ok());
+  opts.min_entries = 0;
+  opts.reinsert_fraction = 0.7;
+  EXPECT_FALSE(RTree::Create(&pool_, opts).ok());
+}
+
+TEST_F(RTreeTest, ForcedReinsertOffStillValid) {
+  RTree::Options opts;
+  opts.max_entries = 10;
+  opts.forced_reinsert = false;
+  auto tree = RTree::Create(&pool_, opts);
+  ASSERT_TRUE(tree.ok());
+  const auto entries = RandomRects(800, 11);
+  for (const Entry& e : entries) {
+    ASSERT_TRUE((*tree)->Insert(e.rect, e.id).ok());
+  }
+  EXPECT_TRUE((*tree)->Validate().ok());
+  EXPECT_EQ((*tree)->size(), 800u);
+}
+
+TEST_F(RTreeTest, DuplicateRectsAreAllRetained) {
+  auto tree = MakeTree(8);
+  const Rect r(5, 5, 6, 6);
+  for (uint32_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree->Insert(r, i).ok());
+  }
+  EXPECT_TRUE(tree->Validate().ok());
+  auto hits = tree->RangeQuery(r);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 200u);
+}
+
+TEST_F(RTreeTest, PointDataWorks) {
+  auto tree = MakeTree(10);
+  Random rng(3);
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const Point p(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    entries.emplace_back(Rect::FromPoint(p), i);
+    ASSERT_TRUE(tree->Insert(entries.back().rect, i).ok());
+  }
+  EXPECT_TRUE(tree->Validate().ok());
+  const Rect q(25, 25, 75, 75);
+  size_t expected = 0;
+  for (const Entry& e : entries) expected += e.rect.Intersects(q);
+  auto hits = tree->RangeQuery(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), expected);
+}
+
+TEST_F(RTreeTest, ReadNodeExposesStructure) {
+  auto tree = MakeTree(8);
+  const auto entries = RandomRects(300, 42);
+  ASSERT_TRUE(tree->BulkLoad(entries).ok());
+  Node root;
+  ASSERT_TRUE(tree->ReadNode(tree->root(), &root).ok());
+  EXPECT_EQ(root.level, tree->height() - 1);
+  EXPECT_FALSE(root.entries.empty());
+  // Every child MBR is contained in the root MBR.
+  const Rect root_mbr = root.ComputeMbr();
+  for (const Entry& e : root.entries) {
+    EXPECT_TRUE(root_mbr.Contains(e.rect));
+  }
+  EXPECT_EQ(root_mbr, tree->bounds());
+}
+
+// Parameterized sweep: structural invariants hold across fanouts and sizes.
+class RTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(RTreeParamTest, InsertBuildInvariants) {
+  const auto [fanout, n] = GetParam();
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 128);
+  RTree::Options opts;
+  opts.max_entries = fanout;
+  auto tree = RTree::Create(&pool, opts);
+  ASSERT_TRUE(tree.ok());
+  Random rng(fanout * 1000 + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 500);
+    const double y = rng.Uniform(0, 500);
+    ASSERT_TRUE((*tree)
+                    ->Insert(Rect(x, y, x + rng.Uniform(0, 5),
+                                  y + rng.Uniform(0, 5)),
+                             static_cast<uint32_t>(i))
+                    .ok());
+  }
+  EXPECT_TRUE((*tree)->Validate().ok()) << (*tree)->Validate().ToString();
+  EXPECT_EQ((*tree)->size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSizes, RTreeParamTest,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u, 50u, 113u),
+                       ::testing::Values(uint64_t{1}, uint64_t{50},
+                                         uint64_t{500})));
+
+}  // namespace
+}  // namespace amdj::rtree

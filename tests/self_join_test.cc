@@ -1,0 +1,107 @@
+// Self-join mode: joining a data set with itself while suppressing the
+// zero-distance identical-id diagonal (JoinOptions::exclude_same_id).
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj::core {
+namespace {
+
+/// Brute-force distances of the self-join without the diagonal. Both
+/// (i, j) and (j, i) are reported, matching the join semantics.
+std::vector<double> BruteSelfJoin(const std::vector<geom::Rect>& objects) {
+  std::vector<double> d;
+  for (uint32_t i = 0; i < objects.size(); ++i) {
+    for (uint32_t j = 0; j < objects.size(); ++j) {
+      if (i == j) continue;
+      d.push_back(geom::MinDistance(objects[i], objects[j]));
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+class SelfJoinTest : public ::testing::TestWithParam<KdjAlgorithm> {};
+
+TEST_P(SelfJoinTest, ExcludesDiagonalAndMatchesBruteForce) {
+  const geom::Rect uni(0, 0, 2000, 2000);
+  const auto data = workload::GaussianClusters(200, 4, 0.05, 111, uni);
+  test::JoinFixture f = test::MakeFixture(data, data, 8);
+  const auto brute = BruteSelfJoin(f.r_objects);
+
+  JoinOptions options;
+  options.exclude_same_id = true;
+  auto result =
+      RunKDistanceJoin(*f.r, *f.s, 300, GetParam(), options, nullptr);
+  ASSERT_TRUE(result.ok()) << ToString(GetParam());
+  ASSERT_EQ(result->size(), 300u);
+  for (size_t i = 0; i < result->size(); ++i) {
+    EXPECT_NE((*result)[i].r_id, (*result)[i].s_id);
+    ASSERT_NEAR((*result)[i].distance, brute[i], 1e-9) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKdj, SelfJoinTest,
+                         ::testing::Values(KdjAlgorithm::kHsKdj,
+                                           KdjAlgorithm::kBKdj,
+                                           KdjAlgorithm::kAmKdj),
+                         [](const auto& info) {
+                           std::string n = ToString(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(SelfJoinTest, IdjCursorsExcludeDiagonal) {
+  const geom::Rect uni(0, 0, 1000, 1000);
+  const auto data = workload::UniformPoints(100, 112, uni);
+  test::JoinFixture f = test::MakeFixture(data, data, 6);
+  const auto brute = BruteSelfJoin(f.r_objects);
+  JoinOptions options;
+  options.exclude_same_id = true;
+  options.idj_initial_k = 16;
+  for (const auto algorithm :
+       {IdjAlgorithm::kHsIdj, IdjAlgorithm::kAmIdj}) {
+    auto cursor =
+        OpenIncrementalJoin(*f.r, *f.s, algorithm, options, nullptr);
+    ASSERT_TRUE(cursor.ok());
+    ResultPair p;
+    bool done = false;
+    for (size_t i = 0; i < 400; ++i) {
+      ASSERT_TRUE((*cursor)->Next(&p, &done).ok());
+      ASSERT_FALSE(done);
+      EXPECT_NE(p.r_id, p.s_id);
+      ASSERT_NEAR(p.distance, brute[i], 1e-9)
+          << ToString(algorithm) << " rank " << i;
+    }
+  }
+}
+
+TEST(SelfJoinTest, WithoutExclusionDiagonalDominates) {
+  const geom::Rect uni(0, 0, 1000, 1000);
+  const auto data = workload::UniformPoints(60, 113, uni);
+  test::JoinFixture f = test::MakeFixture(data, data, 6);
+  auto result = RunKDistanceJoin(*f.r, *f.s, 60, KdjAlgorithm::kAmKdj,
+                                 JoinOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  // All 60 diagonal pairs have distance 0 and fill the result.
+  for (const auto& p : *result) EXPECT_EQ(p.distance, 0.0);
+}
+
+TEST(SelfJoinTest, ExhaustionExcludesExactlyTheDiagonal) {
+  const geom::Rect uni(0, 0, 500, 500);
+  const auto data = workload::UniformPoints(40, 114, uni);
+  test::JoinFixture f = test::MakeFixture(data, data, 5);
+  JoinOptions options;
+  options.exclude_same_id = true;
+  auto result = RunKDistanceJoin(*f.r, *f.s, 10000, KdjAlgorithm::kBKdj,
+                                 options, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 40u * 40u - 40u);
+}
+
+}  // namespace
+}  // namespace amdj::core

@@ -1,0 +1,111 @@
+#include "spatialjoin/spatial_join.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj::spatialjoin {
+namespace {
+
+using core::ResultPair;
+using test::JoinFixture;
+using test::MakeFixture;
+
+std::set<std::pair<uint32_t, uint32_t>> BruteWithin(
+    const std::vector<geom::Rect>& r, const std::vector<geom::Rect>& s,
+    double dmax) {
+  std::set<std::pair<uint32_t, uint32_t>> out;
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    for (uint32_t j = 0; j < s.size(); ++j) {
+      if (geom::MinDistance(r[i], s[j]) <= dmax) out.insert({i, j});
+    }
+  }
+  return out;
+}
+
+StatusOr<std::set<std::pair<uint32_t, uint32_t>>> RunWithin(
+    const JoinFixture& f, double dmax, JoinStats* stats = nullptr) {
+  std::set<std::pair<uint32_t, uint32_t>> out;
+  Status s = SpatialJoin::Within(
+      *f.r, *f.s, dmax, core::JoinOptions{}, stats,
+      [&](const ResultPair& p) -> Status {
+        EXPECT_LE(p.distance, dmax);
+        EXPECT_TRUE(out.insert({p.r_id, p.s_id}).second)
+            << "pair emitted twice";
+        return Status::OK();
+      });
+  if (!s.ok()) return s;
+  return out;
+}
+
+TEST(SpatialJoinTest, MatchesBruteForceAcrossRadii) {
+  const geom::Rect uni(0, 0, 5000, 5000);
+  JoinFixture f =
+      MakeFixture(workload::GaussianClusters(300, 6, 0.05, 61, uni),
+                  workload::UniformRects(250, 40.0, 62, uni), 8);
+  for (double dmax : {0.0, 5.0, 50.0, 500.0, 10000.0}) {
+    auto got = RunWithin(f, dmax);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, BruteWithin(f.r_objects, f.s_objects, dmax))
+        << "dmax=" << dmax;
+  }
+}
+
+TEST(SpatialJoinTest, ZeroRadiusIsIntersectionJoin) {
+  // dmax = 0 degenerates to the classic intersect-predicate spatial join.
+  const geom::Rect uni(0, 0, 500, 500);
+  JoinFixture f = MakeFixture(workload::UniformRects(200, 30.0, 63, uni),
+                              workload::UniformRects(200, 30.0, 64, uni), 8);
+  auto got = RunWithin(f, 0.0);
+  ASSERT_TRUE(got.ok());
+  std::set<std::pair<uint32_t, uint32_t>> expected;
+  for (uint32_t i = 0; i < f.r_objects.size(); ++i) {
+    for (uint32_t j = 0; j < f.s_objects.size(); ++j) {
+      if (f.r_objects[i].Intersects(f.s_objects[j])) expected.insert({i, j});
+    }
+  }
+  EXPECT_EQ(*got, expected);
+  EXPECT_FALSE(expected.empty());  // sanity: the workload does intersect
+}
+
+TEST(SpatialJoinTest, EmptyTreesEmitNothing) {
+  workload::Dataset empty;
+  workload::Dataset one;
+  one.objects = {geom::Rect(0, 0, 1, 1)};
+  JoinFixture f = MakeFixture(empty, one);
+  auto got = RunWithin(f, 100.0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(SpatialJoinTest, EmitErrorAbortsJoin) {
+  const geom::Rect uni(0, 0, 100, 100);
+  JoinFixture f = MakeFixture(workload::UniformPoints(50, 65, uni),
+                              workload::UniformPoints(50, 66, uni), 8);
+  int emitted = 0;
+  const Status s = SpatialJoin::Within(
+      *f.r, *f.s, 1000.0, core::JoinOptions{}, nullptr,
+      [&](const ResultPair&) -> Status {
+        if (++emitted >= 5) return Status::Internal("stop");
+        return Status::OK();
+      });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(emitted, 5);
+}
+
+TEST(SpatialJoinTest, StatsCountWork) {
+  const geom::Rect uni(0, 0, 1000, 1000);
+  JoinFixture f = MakeFixture(workload::UniformPoints(200, 67, uni),
+                              workload::UniformPoints(200, 68, uni), 8);
+  JoinStats stats;
+  auto got = RunWithin(f, 30.0, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(stats.real_distance_computations, got->size());
+  EXPECT_GT(stats.node_expansions, 0u);
+}
+
+}  // namespace
+}  // namespace amdj::spatialjoin

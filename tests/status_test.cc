@@ -1,0 +1,81 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace amdj {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_FALSE(Status::Internal("x").ok());
+  EXPECT_EQ(Status::IOError("disk on fire").message(), "disk on fire");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::IOError("short read").ToString(), "IOError: short read");
+  EXPECT_EQ(Status(StatusCode::kCorruption, "").ToString(), "Corruption");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+Status FailingHelper() { return Status::IOError("inner"); }
+
+Status Propagates() {
+  AMDJ_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kIOError);
+}
+
+TEST(StatusCodeTest, AllNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace amdj

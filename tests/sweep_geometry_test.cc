@@ -1,0 +1,171 @@
+#include "geom/sweep_geometry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace amdj::geom {
+namespace {
+
+/// Numeric reference for IntegrateWindowOverlap (midpoint rule).
+double NumericIntegral(double a_lo, double a_hi, double window, double b_lo,
+                       double b_hi, int steps = 200000) {
+  if (a_hi <= a_lo) return 0.0;
+  const double h = (a_hi - a_lo) / steps;
+  double total = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t = a_lo + (i + 0.5) * h;
+    const double lo = std::max(t, b_lo);
+    const double hi = std::min(t + window, b_hi);
+    total += std::max(0.0, hi - lo) * h;
+  }
+  return total;
+}
+
+TEST(WindowOverlapTest, ZeroWhenWindowNeverReaches) {
+  // Window of length 1 sweeping [0,2]; target [10,11] unreachable.
+  EXPECT_EQ(IntegrateWindowOverlap(0, 2, 1, 10, 11), 0.0);
+}
+
+TEST(WindowOverlapTest, FullOverlapWhenTargetInsideEveryWindow) {
+  // Target [1,2] always fully inside window [t, t+10] for t in [0, 1]:
+  // wait, at t=1 window=[1,11] covers [1,2] fully; at t=0 covers fully.
+  EXPECT_DOUBLE_EQ(IntegrateWindowOverlap(0, 1, 10, 1, 2), 1.0);
+}
+
+TEST(WindowOverlapTest, SimpleTriangleCase) {
+  // Window [t,t+1], t in [0,2], target [2,3]: overlap = max(0, t-1) for
+  // t<=2 (window right end t+1 reaches 2 at t=1, overlap t+1-2 = t-1).
+  // Integral over t in [1,2] of (t-1) dt = 1/2.
+  EXPECT_DOUBLE_EQ(IntegrateWindowOverlap(0, 2, 1, 2, 3), 0.5);
+}
+
+TEST(WindowOverlapTest, MatchesNumericIntegralRandomized) {
+  Random rng(314);
+  for (int i = 0; i < 200; ++i) {
+    const double a_lo = rng.Uniform(-10, 10);
+    const double a_hi = a_lo + rng.Uniform(0, 20);
+    const double b_lo = rng.Uniform(-10, 10);
+    const double b_hi = b_lo + rng.Uniform(0, 20);
+    const double window = rng.Uniform(0, 15);
+    const double exact =
+        IntegrateWindowOverlap(a_lo, a_hi, window, b_lo, b_hi);
+    const double numeric =
+        NumericIntegral(a_lo, a_hi, window, b_lo, b_hi, 20000);
+    EXPECT_NEAR(exact, numeric, 1e-2 + 1e-3 * std::abs(exact))
+        << "a=[" << a_lo << "," << a_hi << "] b=[" << b_lo << "," << b_hi
+        << "] w=" << window;
+  }
+}
+
+TEST(SweepingIndexTermTest, DegenerateTargetIsIndicatorAverage) {
+  // Target collapsed at position 5, window 2, anchors in [0, 10]: the
+  // indicator {5 in [t, t+2]} holds for t in [3, 5] -> measure 2 of 10.
+  EXPECT_DOUBLE_EQ(SweepingIndexTerm(0, 10, 2, 5, 5), 0.2);
+  // Anchors in [0, 4]: t in [3, 4] -> measure 1 of 4.
+  EXPECT_DOUBLE_EQ(SweepingIndexTerm(0, 4, 2, 5, 5), 0.25);
+}
+
+TEST(SweepingIndexTermTest, DegenerateAnchorIsPointEvaluation) {
+  // Single anchor at 0 with window 3 over target [1, 5]: overlap 2 of 4.
+  EXPECT_DOUBLE_EQ(SweepingIndexTerm(0, 0, 3, 1, 5), 0.5);
+}
+
+TEST(SweepingIndexClosedFormTest, MatchesGenericIntegralSeparatedCase) {
+  Random rng(2718);
+  for (int i = 0; i < 500; ++i) {
+    const double len_r = rng.Uniform(0, 10);
+    const double len_s = rng.Uniform(0, 10);
+    const double alpha = rng.Uniform(0, 5);
+    const double window = rng.Uniform(0, 25);
+    const double closed =
+        SweepingIndexTermSeparated(len_r, len_s, alpha, window);
+    // Generic: r = [0, len_r], s = [len_r + alpha, len_r + alpha + len_s].
+    const double generic = SweepingIndexTerm(0, len_r, window, len_r + alpha,
+                                             len_r + alpha + len_s);
+    EXPECT_NEAR(closed, generic, 1e-9 + 1e-9 * std::abs(closed))
+        << "R=" << len_r << " S=" << len_s << " alpha=" << alpha
+        << " w=" << window;
+  }
+}
+
+TEST(SweepingIndexClosedFormTest, ZeroWhenWindowWithinGap) {
+  EXPECT_EQ(SweepingIndexTermSeparated(5, 5, 3, 2.9), 0.0);
+  EXPECT_EQ(SweepingIndexTermSeparated(5, 5, 3, 3.0), 0.0);
+}
+
+TEST(SweepingIndexClosedFormTest, SaturatesAtFullFraction) {
+  // Enormous window: every anchor sees the whole target -> fraction 1.
+  EXPECT_DOUBLE_EQ(SweepingIndexTermSeparated(5, 2, 1, 1000), 1.0);
+}
+
+TEST(SweepingIndexTermTest, IsAFractionInUnitInterval) {
+  Random rng(555);
+  for (int i = 0; i < 300; ++i) {
+    const double a_lo = rng.Uniform(-10, 10);
+    const double a_hi = a_lo + rng.Uniform(0, 20);
+    const double b_lo = rng.Uniform(-10, 10);
+    const double b_hi = b_lo + rng.Uniform(0, 20);
+    const double w = rng.Uniform(0, 30);
+    const double term = SweepingIndexTerm(a_lo, a_hi, w, b_lo, b_hi);
+    EXPECT_GE(term, 0.0);
+    EXPECT_LE(term, 1.0 + 1e-12);
+  }
+}
+
+TEST(SweepingIndexTest, PrefersSpreadAxis) {
+  // Children spread along y (tall thin nodes side by side): sweeping along
+  // y must have the smaller index (Figure 5's scenario).
+  const Rect r(0, 0, 2, 100);
+  const Rect s(3, 0, 5, 100);
+  const double window = 4.0;
+  const double ix = SweepingIndex(r, s, window, 0);
+  const double iy = SweepingIndex(r, s, window, 1);
+  EXPECT_LT(iy, ix);
+}
+
+TEST(SweepingIndexTest, SymmetricInArguments) {
+  const Rect r(0, 0, 7, 3);
+  const Rect s(5, 1, 12, 9);
+  for (int axis = 0; axis < 2; ++axis) {
+    EXPECT_NEAR(SweepingIndex(r, s, 2.5, axis),
+                SweepingIndex(s, r, 2.5, axis), 1e-12);
+  }
+}
+
+TEST(SweepingIndexTest, GrowsWithWindow) {
+  const Rect r(0, 0, 10, 10);
+  const Rect s(12, 0, 20, 10);
+  double prev = -1.0;
+  for (double w : {1.0, 3.0, 5.0, 9.0, 15.0}) {
+    const double idx = SweepingIndex(r, s, w, 0);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(SweepDirectionTest, ForwardWhenLeftIntervalShorter) {
+  // r = [0, 2], s = [1, 10] on x: endpoints 0,1,2,10; left = 1, right = 8.
+  EXPECT_EQ(ChooseSweepDirection(Rect(0, 0, 2, 1), Rect(1, 0, 10, 1), 0),
+            SweepDirection::kForward);
+}
+
+TEST(SweepDirectionTest, BackwardWhenRightIntervalShorter) {
+  // endpoints 0,8,9,10: left = 8, right = 1.
+  EXPECT_EQ(ChooseSweepDirection(Rect(0, 0, 9, 1), Rect(8, 0, 10, 1), 0),
+            SweepDirection::kBackward);
+}
+
+TEST(SweepDirectionTest, ContainmentUsesOuterIntervals) {
+  // s inside r: endpoints 0,4,6,10 -> left 4, right 4 -> backward (ties).
+  EXPECT_EQ(ChooseSweepDirection(Rect(0, 0, 10, 1), Rect(4, 0, 6, 1), 0),
+            SweepDirection::kBackward);
+  // Skewed containment: endpoints 0,1,3,10 -> left 1 < right 7 -> forward.
+  EXPECT_EQ(ChooseSweepDirection(Rect(0, 0, 10, 1), Rect(1, 0, 3, 1), 0),
+            SweepDirection::kForward);
+}
+
+}  // namespace
+}  // namespace amdj::geom

@@ -1,0 +1,82 @@
+#include "core/sweep_plan.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace amdj::core {
+namespace {
+
+using geom::Rect;
+using geom::SweepDirection;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SweepPlanTest, FixedStrategyAlwaysXForward) {
+  const Rect r(0, 0, 2, 100);
+  const Rect s(3, 0, 5, 100);
+  const SweepPlan plan =
+      ChooseSweepPlan(r, s, 4.0, SweepStrategy::kFixedXForward);
+  EXPECT_EQ(plan.axis, 0);
+  EXPECT_EQ(plan.dir, SweepDirection::kForward);
+}
+
+TEST(SweepPlanTest, OptimizedPicksSpreadAxis) {
+  // Figure 5: children spread along y -> sweep along y.
+  const Rect r(0, 0, 2, 100);
+  const Rect s(3, 0, 5, 100);
+  const SweepPlan plan = ChooseSweepPlan(r, s, 4.0, SweepStrategy::kOptimized);
+  EXPECT_EQ(plan.axis, 1);
+}
+
+TEST(SweepPlanTest, OptimizedPicksXWhenSpreadAlongX) {
+  const Rect r(0, 0, 100, 2);
+  const Rect s(0, 3, 100, 5);
+  const SweepPlan plan = ChooseSweepPlan(r, s, 4.0, SweepStrategy::kOptimized);
+  EXPECT_EQ(plan.axis, 0);
+}
+
+TEST(SweepPlanTest, InfiniteCutoffFallsBackToWiderExtent) {
+  const Rect r(0, 0, 10, 500);
+  const Rect s(5, 100, 15, 600);
+  const SweepPlan plan = ChooseSweepPlan(r, s, kInf, SweepStrategy::kOptimized);
+  EXPECT_EQ(plan.axis, 1);  // union is 15 wide, 600 tall
+}
+
+TEST(SweepPlanTest, AxisOnlyKeepsForwardDirection) {
+  const Rect r(0, 0, 2, 100);
+  const Rect s(3, 0, 5, 100);
+  const SweepPlan plan = ChooseSweepPlan(r, s, 4.0, SweepStrategy::kAxisOnly);
+  EXPECT_EQ(plan.axis, 1);
+  EXPECT_EQ(plan.dir, SweepDirection::kForward);
+}
+
+TEST(SweepPlanTest, DirectionOnlyKeepsXAxis) {
+  // Along x: endpoints 0,9,10,12 -> left 9 > right 2 -> backward.
+  const Rect r(0, 0, 10, 1);
+  const Rect s(9, 0, 12, 1);
+  const SweepPlan plan =
+      ChooseSweepPlan(r, s, 5.0, SweepStrategy::kDirectionOnly);
+  EXPECT_EQ(plan.axis, 0);
+  EXPECT_EQ(plan.dir, SweepDirection::kBackward);
+}
+
+TEST(SweepPlanTest, DirectionFollowsProjectedIntervals) {
+  // Left interval shorter on the chosen (x) axis -> forward.
+  const Rect r(0, 0, 2, 1);
+  const Rect s(1, 0, 10, 1);
+  const SweepPlan forward =
+      ChooseSweepPlan(r, s, 3.0, SweepStrategy::kDirectionOnly);
+  EXPECT_EQ(forward.dir, SweepDirection::kForward);
+}
+
+TEST(SweepPlanTest, SymmetricArgumentsGiveSameAxis) {
+  const Rect r(0, 0, 30, 4);
+  const Rect s(10, 2, 50, 9);
+  const SweepPlan a = ChooseSweepPlan(r, s, 2.0, SweepStrategy::kOptimized);
+  const SweepPlan b = ChooseSweepPlan(s, r, 2.0, SweepStrategy::kOptimized);
+  EXPECT_EQ(a.axis, b.axis);
+}
+
+}  // namespace
+}  // namespace amdj::core

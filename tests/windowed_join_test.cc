@@ -1,0 +1,153 @@
+// Windowed joins: JoinOptions::r_window / s_window restrict which objects
+// participate; subtrees outside a window are pruned during expansion.
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj::core {
+namespace {
+
+using geom::Rect;
+
+std::vector<double> BruteWindowed(const std::vector<Rect>& r,
+                                  const std::vector<Rect>& s,
+                                  const std::optional<Rect>& rw,
+                                  const std::optional<Rect>& sw) {
+  std::vector<double> d;
+  for (const auto& a : r) {
+    if (rw && !a.Intersects(*rw)) continue;
+    for (const auto& b : s) {
+      if (sw && !b.Intersects(*sw)) continue;
+      d.push_back(geom::MinDistance(a, b));
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+class WindowedJoinTest : public ::testing::TestWithParam<KdjAlgorithm> {};
+
+TEST_P(WindowedJoinTest, BothWindowsMatchBruteForce) {
+  const Rect uni(0, 0, 10000, 10000);
+  test::JoinFixture f =
+      test::MakeFixture(workload::GaussianClusters(300, 6, 0.06, 121, uni),
+                        workload::UniformRects(250, 40.0, 122, uni), 8);
+  const Rect rw(1000, 1000, 7000, 7000);
+  const Rect sw(3000, 0, 10000, 6000);
+  const auto brute = BruteWindowed(f.r_objects, f.s_objects, rw, sw);
+  JoinOptions options;
+  options.r_window = rw;
+  options.s_window = sw;
+  auto result =
+      RunKDistanceJoin(*f.r, *f.s, 300, GetParam(), options, nullptr);
+  ASSERT_TRUE(result.ok()) << ToString(GetParam());
+  const size_t expected = std::min<size_t>(300, brute.size());
+  ASSERT_EQ(result->size(), expected);
+  for (size_t i = 0; i < result->size(); ++i) {
+    ASSERT_NEAR((*result)[i].distance, brute[i], 1e-9) << "rank " << i;
+    // Every reported object really intersects its window.
+    EXPECT_TRUE(f.r_objects[(*result)[i].r_id].Intersects(rw));
+    EXPECT_TRUE(f.s_objects[(*result)[i].s_id].Intersects(sw));
+  }
+}
+
+TEST_P(WindowedJoinTest, OneSidedWindow) {
+  const Rect uni(0, 0, 5000, 5000);
+  test::JoinFixture f =
+      test::MakeFixture(workload::UniformPoints(200, 123, uni),
+                        workload::UniformPoints(150, 124, uni), 8);
+  const Rect rw(0, 0, 1000, 1000);
+  const auto brute =
+      BruteWindowed(f.r_objects, f.s_objects, rw, std::nullopt);
+  JoinOptions options;
+  options.r_window = rw;
+  auto result =
+      RunKDistanceJoin(*f.r, *f.s, 200, GetParam(), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), std::min<size_t>(200, brute.size()));
+  for (size_t i = 0; i < result->size(); ++i) {
+    ASSERT_NEAR((*result)[i].distance, brute[i], 1e-9) << "rank " << i;
+  }
+}
+
+TEST_P(WindowedJoinTest, DisjointWindowYieldsNothing) {
+  const Rect uni(0, 0, 1000, 1000);
+  test::JoinFixture f =
+      test::MakeFixture(workload::UniformPoints(100, 125, uni),
+                        workload::UniformPoints(100, 126, uni), 8);
+  JoinOptions options;
+  options.r_window = Rect(5000, 5000, 6000, 6000);  // outside the universe
+  auto result =
+      RunKDistanceJoin(*f.r, *f.s, 50, GetParam(), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKdj, WindowedJoinTest,
+                         ::testing::Values(KdjAlgorithm::kHsKdj,
+                                           KdjAlgorithm::kBKdj,
+                                           KdjAlgorithm::kAmKdj,
+                                           KdjAlgorithm::kSjSort),
+                         [](const auto& info) {
+                           std::string n = ToString(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(WindowedJoinTest, IncrementalCursorsHonorWindows) {
+  const Rect uni(0, 0, 5000, 5000);
+  test::JoinFixture f =
+      test::MakeFixture(workload::GaussianClusters(150, 4, 0.06, 127, uni),
+                        workload::UniformRects(120, 30.0, 128, uni), 8);
+  const Rect rw(500, 500, 4000, 4000);
+  const auto brute =
+      BruteWindowed(f.r_objects, f.s_objects, rw, std::nullopt);
+  JoinOptions options;
+  options.r_window = rw;
+  options.idj_initial_k = 32;
+  for (const auto algorithm :
+       {IdjAlgorithm::kHsIdj, IdjAlgorithm::kAmIdj}) {
+    auto cursor =
+        OpenIncrementalJoin(*f.r, *f.s, algorithm, options, nullptr);
+    ASSERT_TRUE(cursor.ok());
+    ResultPair p;
+    bool done = false;
+    const size_t limit = std::min<size_t>(500, brute.size());
+    for (size_t i = 0; i < limit; ++i) {
+      ASSERT_TRUE((*cursor)->Next(&p, &done).ok());
+      ASSERT_FALSE(done) << ToString(algorithm) << " at " << i;
+      ASSERT_NEAR(p.distance, brute[i], 1e-9)
+          << ToString(algorithm) << " rank " << i;
+    }
+  }
+}
+
+// Window pruning actually skips work, not just filters results.
+TEST(WindowedJoinTest, WindowReducesNodeAccesses) {
+  const Rect uni(0, 0, 50000, 50000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::TigerStreets({.street_segments = 5000, .seed = 129}),
+      workload::TigerHydro({.hydro_objects = 1500, .seed = 129}), 32, 512);
+  JoinOptions unrestricted;
+  JoinStats full_stats;
+  ASSERT_TRUE(RunKDistanceJoin(*f.r, *f.s, 500, KdjAlgorithm::kBKdj,
+                               unrestricted, &full_stats)
+                  .ok());
+  JoinOptions windowed = unrestricted;
+  windowed.r_window = Rect(0, 0, 200000, 200000);
+  windowed.s_window = windowed.r_window;
+  // Window covers ~1/25 of the universe: far fewer distance computations.
+  JoinStats window_stats;
+  ASSERT_TRUE(RunKDistanceJoin(*f.r, *f.s, 500, KdjAlgorithm::kBKdj,
+                               windowed, &window_stats)
+                  .ok());
+  EXPECT_LT(window_stats.real_distance_computations,
+            full_stats.real_distance_computations);
+}
+
+}  // namespace
+}  // namespace amdj::core

@@ -1,0 +1,357 @@
+// amdj_cli — command-line front end for the distance-join library.
+//
+//   amdj_cli generate --kind=KIND --n=N --out=FILE [--seed=S]
+//       KIND: uniform | rects | clusters | zipf | tiger-streets | tiger-hydro
+//   amdj_cli info     --data=FILE
+//   amdj_cli join     --r=FILE --s=FILE --k=K [--algo=hs|b|am|sj]
+//                     [--metric=l2|l1|linf] [--estimator=uniform|histogram]
+//                     [--self] [--limit=N] [--stats]
+//   amdj_cli stream   --r=FILE --s=FILE [--batch=N] [--batches=N]
+//                     [--algo=hs|am]
+//   amdj_cli semijoin --r=FILE --s=FILE [--strategy=idj|nn] [--self]
+//                     [--metric=l2|l1|linf] [--limit=N]
+//   amdj_cli knn      --data=FILE --x=X --y=Y --k=K [--metric=l2|l1|linf]
+//   amdj_cli estimate --r=FILE --s=FILE --k=K
+//
+// Dataset files are produced by `generate` (workload::Dataset binary
+// format); files ending in .csv are parsed as x,y or x0,y0,x1,y1 rows
+// (see workload::Dataset::FromCsv). Trees are bulk-loaded in memory per
+// invocation.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/amidj.h"
+#include "core/distance_join.h"
+#include "core/dmax_estimator.h"
+#include "core/histogram_estimator.h"
+#include "core/semi_join.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj::cli {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        Fail("unexpected argument: " + arg);
+      }
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) Fail("missing required --" + key);
+    return it->second;
+  }
+
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr,
+                                               10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+  [[noreturn]] static void Fail(const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void CheckOk(const Status& status) {
+  if (!status.ok()) Args::Fail(status.ToString());
+}
+
+geom::Metric ParseMetric(const std::string& name) {
+  if (name == "l2" || name.empty()) return geom::Metric::kL2;
+  if (name == "l1") return geom::Metric::kL1;
+  if (name == "linf") return geom::Metric::kLInf;
+  Args::Fail("unknown metric " + name + " (l2|l1|linf)");
+}
+
+workload::Dataset LoadDataset(const std::string& path) {
+  const bool csv = path.size() > 4 &&
+                   path.compare(path.size() - 4, 4, ".csv") == 0;
+  auto ds = csv ? workload::Dataset::FromCsv(path)
+                : workload::Dataset::LoadFrom(path);
+  if (!ds.ok()) Args::Fail(ds.status().ToString());
+  return std::move(*ds);
+}
+
+/// In-memory join session over two datasets.
+struct Session {
+  storage::InMemoryDiskManager disk;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<rtree::RTree> r;
+  std::unique_ptr<rtree::RTree> s;
+  workload::Dataset r_data;
+  workload::Dataset s_data;
+
+  Session(const std::string& r_path, const std::string& s_path) {
+    r_data = LoadDataset(r_path);
+    s_data = LoadDataset(s_path);
+    pool = std::make_unique<storage::BufferPool>(&disk, 2048);
+    r = std::move(*rtree::RTree::Create(pool.get(), {}));
+    s = std::move(*rtree::RTree::Create(pool.get(), {}));
+    CheckOk(r->BulkLoad(r_data.ToEntries()));
+    CheckOk(s->BulkLoad(s_data.ToEntries()));
+    std::fprintf(stderr, "loaded %s (%zu objects), %s (%zu objects)\n",
+                 r_data.name.c_str(), r_data.objects.size(),
+                 s_data.name.c_str(), s_data.objects.size());
+  }
+};
+
+int CmdGenerate(const Args& args) {
+  const std::string kind = args.Require("kind");
+  const std::string out = args.Require("out");
+  const uint64_t n = args.GetUint("n", 10000);
+  const uint64_t seed = args.GetUint("seed", 42);
+  const double universe = args.GetDouble("universe",
+                                         workload::kUniverseSize);
+  const geom::Rect uni(0, 0, universe, universe);
+
+  workload::Dataset ds;
+  if (kind == "uniform") {
+    ds = workload::UniformPoints(n, seed, uni);
+  } else if (kind == "rects") {
+    ds = workload::UniformRects(n, args.GetDouble("side", 50.0), seed, uni);
+  } else if (kind == "clusters") {
+    ds = workload::GaussianClusters(
+        n, static_cast<uint32_t>(args.GetUint("clusters", 8)),
+        args.GetDouble("sigma", 0.03), seed, uni);
+  } else if (kind == "zipf") {
+    ds = workload::ZipfSkewedPoints(n, args.GetDouble("theta", 0.8), seed,
+                                    uni);
+  } else if (kind == "tiger-streets" || kind == "tiger-hydro") {
+    workload::TigerSynthOptions opts;
+    opts.seed = seed;
+    if (kind == "tiger-streets") {
+      opts.street_segments = n;
+      ds = workload::TigerStreets(opts);
+    } else {
+      opts.hydro_objects = n;
+      ds = workload::TigerHydro(opts);
+    }
+  } else {
+    Args::Fail("unknown kind " + kind);
+  }
+  CheckOk(ds.SaveTo(out));
+  std::printf("wrote %zu objects (%s) to %s\n", ds.objects.size(),
+              ds.name.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  const workload::Dataset ds = LoadDataset(args.Require("data"));
+  const geom::Rect b = ds.Bounds();
+  std::printf("name:    %s\n", ds.name.c_str());
+  std::printf("objects: %zu\n", ds.objects.size());
+  std::printf("bounds:  %s\n", b.ToString().c_str());
+  double total_area = 0;
+  for (const auto& r : ds.objects) total_area += r.Area();
+  std::printf("mean object area: %.3f\n",
+              ds.objects.empty() ? 0.0 : total_area / ds.objects.size());
+  return 0;
+}
+
+core::KdjAlgorithm ParseKdj(const std::string& name) {
+  if (name == "hs") return core::KdjAlgorithm::kHsKdj;
+  if (name == "b") return core::KdjAlgorithm::kBKdj;
+  if (name == "am" || name.empty()) return core::KdjAlgorithm::kAmKdj;
+  if (name == "sj") return core::KdjAlgorithm::kSjSort;
+  Args::Fail("unknown algorithm " + name + " (hs|b|am|sj)");
+}
+
+int CmdJoin(const Args& args) {
+  Session session(args.Require("r"), args.Require("s"));
+  const uint64_t k = args.GetUint("k", 10);
+  core::JoinOptions options;
+  options.metric = ParseMetric(args.GetString("metric"));
+  options.exclude_same_id = args.GetBool("self");
+
+  std::unique_ptr<core::HistogramEstimator> histogram;
+  if (args.GetString("estimator") == "histogram") {
+    histogram = std::make_unique<core::HistogramEstimator>(
+        session.r_data.objects, session.s_data.objects);
+    options.estimator = histogram.get();
+  }
+
+  JoinStats stats;
+  auto result = core::RunKDistanceJoin(
+      *session.r, *session.s, k, ParseKdj(args.GetString("algo", "am")),
+      options, &stats);
+  CheckOk(result.status());
+
+  const uint64_t limit = args.GetUint("limit", 10);
+  for (size_t i = 0; i < result->size() && i < limit; ++i) {
+    const auto& p = (*result)[i];
+    std::printf("%6zu  r[%u] <-> s[%u]  dist=%.6f\n", i + 1, p.r_id, p.s_id,
+                p.distance);
+  }
+  if (result->size() > limit) {
+    std::printf("... (%zu results total)\n", result->size());
+  }
+  if (args.GetBool("stats")) {
+    std::printf("\n%s\n", stats.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdStream(const Args& args) {
+  Session session(args.Require("r"), args.Require("s"));
+  const uint64_t batch = args.GetUint("batch", 10);
+  const uint64_t batches = args.GetUint("batches", 5);
+  core::JoinOptions options;
+  options.metric = ParseMetric(args.GetString("metric"));
+  options.exclude_same_id = args.GetBool("self");
+  const std::string algo = args.GetString("algo", "am");
+  const core::IdjAlgorithm algorithm =
+      algo == "hs" ? core::IdjAlgorithm::kHsIdj : core::IdjAlgorithm::kAmIdj;
+
+  JoinStats stats;
+  auto cursor = core::OpenIncrementalJoin(*session.r, *session.s, algorithm,
+                                          options, &stats);
+  CheckOk(cursor.status());
+  core::ResultPair p;
+  bool done = false;
+  for (uint64_t b = 1; b <= batches && !done; ++b) {
+    std::printf("-- batch %" PRIu64 " --\n", b);
+    (*cursor)->PrefetchHint(b * batch);
+    for (uint64_t i = 0; i < batch; ++i) {
+      CheckOk((*cursor)->Next(&p, &done));
+      if (done) {
+        std::printf("(exhausted)\n");
+        break;
+      }
+      std::printf("  r[%u] <-> s[%u]  dist=%.6f\n", p.r_id, p.s_id,
+                  p.distance);
+    }
+  }
+  return 0;
+}
+
+int CmdSemiJoin(const Args& args) {
+  Session session(args.Require("r"), args.Require("s"));
+  core::JoinOptions options;
+  options.metric = ParseMetric(args.GetString("metric"));
+  options.exclude_same_id = args.GetBool("self");
+  const core::SemiJoinStrategy strategy =
+      args.GetString("strategy", "idj") == "nn"
+          ? core::SemiJoinStrategy::kPerObjectNn
+          : core::SemiJoinStrategy::kIncrementalJoin;
+  JoinStats stats;
+  auto result = core::DistanceSemiJoin(*session.r, *session.s, options,
+                                       strategy, &stats);
+  CheckOk(result.status());
+  const uint64_t limit = args.GetUint("limit", 10);
+  for (size_t i = 0; i < result->size() && i < limit; ++i) {
+    const auto& p = (*result)[i];
+    std::printf("%6zu  r[%u] -> nearest s[%u]  dist=%.6f\n", i + 1, p.r_id,
+                p.s_id, p.distance);
+  }
+  std::printf("(%zu R objects resolved)\n", result->size());
+  return 0;
+}
+
+int CmdKnn(const Args& args) {
+  const workload::Dataset ds = LoadDataset(args.Require("data"));
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 1024);
+  auto tree = rtree::RTree::Create(&pool, {}).value();
+  CheckOk(tree->BulkLoad(ds.ToEntries()));
+  const geom::Point q(args.GetDouble("x", 0), args.GetDouble("y", 0));
+  auto result = rtree::NearestNeighbors(
+      *tree, q, args.GetUint("k", 5),
+      ParseMetric(args.GetString("metric")));
+  CheckOk(result.status());
+  for (size_t i = 0; i < result->size(); ++i) {
+    const auto& e = (*result)[i];
+    std::printf("%4zu  obj[%u] %s  dist=%.6f\n", i + 1, e.id,
+                e.rect.ToString().c_str(),
+                geom::MinDistance(geom::Rect::FromPoint(q), e.rect,
+                                  ParseMetric(args.GetString("metric"))));
+  }
+  return 0;
+}
+
+int CmdEstimate(const Args& args) {
+  Session session(args.Require("r"), args.Require("s"));
+  const uint64_t k = args.GetUint("k", 1000);
+  core::DmaxEstimator uniform(session.r->bounds(), session.r->size(),
+                              session.s->bounds(), session.s->size());
+  core::HistogramEstimator histogram(session.r_data.objects,
+                                     session.s_data.objects);
+  auto truth = core::ComputeTrueDmax(*session.r, *session.s, k,
+                                     core::JoinOptions{});
+  CheckOk(truth.status());
+  std::printf("k = %" PRIu64 "\n", k);
+  std::printf("true Dmax:           %.6f\n", *truth);
+  std::printf("Eq. 3 (uniform):     %.6f (%.2fx)\n",
+              uniform.InitialEstimate(k),
+              uniform.InitialEstimate(k) / std::max(*truth, 1e-12));
+  std::printf("grid histogram:      %.6f (%.2fx)\n",
+              histogram.EstimateDmax(k),
+              histogram.EstimateDmax(k) / std::max(*truth, 1e-12));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: amdj_cli "
+                 "<generate|info|join|stream|semijoin|knn|estimate> "
+                 "[--flags]\n(see the header of tools/amdj_cli.cc)\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "join") return CmdJoin(args);
+  if (command == "stream") return CmdStream(args);
+  if (command == "semijoin") return CmdSemiJoin(args);
+  if (command == "knn") return CmdKnn(args);
+  if (command == "estimate") return CmdEstimate(args);
+  Args::Fail("unknown command " + command);
+}
+
+}  // namespace
+}  // namespace amdj::cli
+
+int main(int argc, char** argv) { return amdj::cli::Main(argc, argv); }

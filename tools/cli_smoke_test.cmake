@@ -1,0 +1,19 @@
+# Exercises the CLI end to end; any non-zero exit fails the test.
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+run(${CLI} generate --kind=clusters --n=800 --seed=1 --out=cli_r.ds)
+run(${CLI} generate --kind=rects --n=600 --seed=2 --out=cli_s.ds)
+run(${CLI} info --data=cli_r.ds)
+run(${CLI} join --r=cli_r.ds --s=cli_s.ds --k=20 --algo=am --stats)
+run(${CLI} join --r=cli_r.ds --s=cli_r.ds --k=10 --self --metric=l1)
+run(${CLI} join --r=cli_r.ds --s=cli_s.ds --k=10 --estimator=histogram)
+run(${CLI} stream --r=cli_r.ds --s=cli_s.ds --batch=5 --batches=3)
+run(${CLI} semijoin --r=cli_r.ds --s=cli_s.ds --strategy=nn --limit=5)
+run(${CLI} knn --data=cli_r.ds --x=500000 --y=500000 --k=4)
+run(${CLI} estimate --r=cli_r.ds --s=cli_s.ds --k=200)
