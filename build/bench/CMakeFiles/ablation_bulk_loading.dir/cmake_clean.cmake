@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bulk_loading.dir/ablation_bulk_loading.cc.o"
+  "CMakeFiles/ablation_bulk_loading.dir/ablation_bulk_loading.cc.o.d"
+  "ablation_bulk_loading"
+  "ablation_bulk_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bulk_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distance_queue.dir/ablation_distance_queue.cc.o"
+  "CMakeFiles/ablation_distance_queue.dir/ablation_distance_queue.cc.o.d"
+  "ablation_distance_queue"
+  "ablation_distance_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distance_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

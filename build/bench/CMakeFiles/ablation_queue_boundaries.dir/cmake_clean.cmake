@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_boundaries.dir/ablation_queue_boundaries.cc.o"
+  "CMakeFiles/ablation_queue_boundaries.dir/ablation_queue_boundaries.cc.o.d"
+  "ablation_queue_boundaries"
+  "ablation_queue_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tie_break.dir/ablation_tie_break.cc.o"
+  "CMakeFiles/ablation_tie_break.dir/ablation_tie_break.cc.o.d"
+  "ablation_tie_break"
+  "ablation_tie_break.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tie_break.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

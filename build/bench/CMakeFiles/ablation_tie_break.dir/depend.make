@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tie_break.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_kdj.dir/fig10_kdj.cc.o"
+  "CMakeFiles/fig10_kdj.dir/fig10_kdj.cc.o.d"
+  "fig10_kdj"
+  "fig10_kdj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_kdj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

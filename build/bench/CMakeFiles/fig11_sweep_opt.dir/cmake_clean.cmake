@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sweep_opt.dir/fig11_sweep_opt.cc.o"
+  "CMakeFiles/fig11_sweep_opt.dir/fig11_sweep_opt.cc.o.d"
+  "fig11_sweep_opt"
+  "fig11_sweep_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sweep_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

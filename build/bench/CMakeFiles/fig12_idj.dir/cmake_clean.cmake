@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_idj.dir/fig12_idj.cc.o"
+  "CMakeFiles/fig12_idj.dir/fig12_idj.cc.o.d"
+  "fig12_idj"
+  "fig12_idj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_idj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

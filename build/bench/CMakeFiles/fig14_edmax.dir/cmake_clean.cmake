@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_edmax.dir/fig14_edmax.cc.o"
+  "CMakeFiles/fig14_edmax.dir/fig14_edmax.cc.o.d"
+  "fig14_edmax"
+  "fig14_edmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_edmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_stepwise.dir/fig15_stepwise.cc.o"
+  "CMakeFiles/fig15_stepwise.dir/fig15_stepwise.cc.o.d"
+  "fig15_stepwise"
+  "fig15_stepwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_stepwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sweep.dir/micro_sweep.cc.o"
+  "CMakeFiles/micro_sweep.dir/micro_sweep.cc.o.d"
+  "micro_sweep"
+  "micro_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semijoin_strategies.dir/semijoin_strategies.cc.o"
+  "CMakeFiles/semijoin_strategies.dir/semijoin_strategies.cc.o.d"
+  "semijoin_strategies"
+  "semijoin_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semijoin_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

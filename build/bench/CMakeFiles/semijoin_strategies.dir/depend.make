@@ -1,0 +1,2 @@
+# Empty dependencies file for semijoin_strategies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_node_accesses.dir/table2_node_accesses.cc.o"
+  "CMakeFiles/table2_node_accesses.dir/table2_node_accesses.cc.o.d"
+  "table2_node_accesses"
+  "table2_node_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_node_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_node_accesses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_infrastructure.dir/city_infrastructure.cc.o"
+  "CMakeFiles/city_infrastructure.dir/city_infrastructure.cc.o.d"
+  "city_infrastructure"
+  "city_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

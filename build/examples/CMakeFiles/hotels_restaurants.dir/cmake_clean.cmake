@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotels_restaurants.dir/hotels_restaurants.cc.o"
+  "CMakeFiles/hotels_restaurants.dir/hotels_restaurants.cc.o.d"
+  "hotels_restaurants"
+  "hotels_restaurants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotels_restaurants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hotels_restaurants.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hotels_restaurants.
+# This may be replaced when dependencies are built.

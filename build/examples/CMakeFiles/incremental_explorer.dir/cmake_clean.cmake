@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_explorer.dir/incremental_explorer.cc.o"
+  "CMakeFiles/incremental_explorer.dir/incremental_explorer.cc.o.d"
+  "incremental_explorer"
+  "incremental_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

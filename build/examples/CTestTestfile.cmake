@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_runs "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart_runs PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;13;amdj_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hotels_restaurants_runs "/root/repo/build/examples/hotels_restaurants")
+set_tests_properties(example_hotels_restaurants_runs PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;14;amdj_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_incremental_explorer_runs "/root/repo/build/examples/incremental_explorer")
+set_tests_properties(example_incremental_explorer_runs PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;15;amdj_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_city_infrastructure_runs "/root/repo/build/examples/city_infrastructure")
+set_tests_properties(example_city_infrastructure_runs PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;16;amdj_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_similarity_search_runs "/root/repo/build/examples/similarity_search")
+set_tests_properties(example_similarity_search_runs PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;17;amdj_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/amdj.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/amdj.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/amdj.dir/common/random.cc.o" "gcc" "src/CMakeFiles/amdj.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/amdj.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/amdj.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/amdj.dir/common/status.cc.o" "gcc" "src/CMakeFiles/amdj.dir/common/status.cc.o.d"
+  "/root/repo/src/core/amidj.cc" "src/CMakeFiles/amdj.dir/core/amidj.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/amidj.cc.o.d"
+  "/root/repo/src/core/amkdj.cc" "src/CMakeFiles/amdj.dir/core/amkdj.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/amkdj.cc.o.d"
+  "/root/repo/src/core/bkdj.cc" "src/CMakeFiles/amdj.dir/core/bkdj.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/bkdj.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/amdj.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/distance_join.cc" "src/CMakeFiles/amdj.dir/core/distance_join.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/distance_join.cc.o.d"
+  "/root/repo/src/core/dmax_estimator.cc" "src/CMakeFiles/amdj.dir/core/dmax_estimator.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/dmax_estimator.cc.o.d"
+  "/root/repo/src/core/expansion.cc" "src/CMakeFiles/amdj.dir/core/expansion.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/expansion.cc.o.d"
+  "/root/repo/src/core/histogram_estimator.cc" "src/CMakeFiles/amdj.dir/core/histogram_estimator.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/histogram_estimator.cc.o.d"
+  "/root/repo/src/core/hs_join.cc" "src/CMakeFiles/amdj.dir/core/hs_join.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/hs_join.cc.o.d"
+  "/root/repo/src/core/pair_entry.cc" "src/CMakeFiles/amdj.dir/core/pair_entry.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/pair_entry.cc.o.d"
+  "/root/repo/src/core/semi_join.cc" "src/CMakeFiles/amdj.dir/core/semi_join.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/semi_join.cc.o.d"
+  "/root/repo/src/core/sj_sort.cc" "src/CMakeFiles/amdj.dir/core/sj_sort.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/sj_sort.cc.o.d"
+  "/root/repo/src/core/sweep_plan.cc" "src/CMakeFiles/amdj.dir/core/sweep_plan.cc.o" "gcc" "src/CMakeFiles/amdj.dir/core/sweep_plan.cc.o.d"
+  "/root/repo/src/geom/metric.cc" "src/CMakeFiles/amdj.dir/geom/metric.cc.o" "gcc" "src/CMakeFiles/amdj.dir/geom/metric.cc.o.d"
+  "/root/repo/src/geom/rect.cc" "src/CMakeFiles/amdj.dir/geom/rect.cc.o" "gcc" "src/CMakeFiles/amdj.dir/geom/rect.cc.o.d"
+  "/root/repo/src/geom/sweep_geometry.cc" "src/CMakeFiles/amdj.dir/geom/sweep_geometry.cc.o" "gcc" "src/CMakeFiles/amdj.dir/geom/sweep_geometry.cc.o.d"
+  "/root/repo/src/queue/cutoff_tracker.cc" "src/CMakeFiles/amdj.dir/queue/cutoff_tracker.cc.o" "gcc" "src/CMakeFiles/amdj.dir/queue/cutoff_tracker.cc.o.d"
+  "/root/repo/src/queue/distance_queue.cc" "src/CMakeFiles/amdj.dir/queue/distance_queue.cc.o" "gcc" "src/CMakeFiles/amdj.dir/queue/distance_queue.cc.o.d"
+  "/root/repo/src/queue/segment_file.cc" "src/CMakeFiles/amdj.dir/queue/segment_file.cc.o" "gcc" "src/CMakeFiles/amdj.dir/queue/segment_file.cc.o.d"
+  "/root/repo/src/rtree/hilbert_bulk_loader.cc" "src/CMakeFiles/amdj.dir/rtree/hilbert_bulk_loader.cc.o" "gcc" "src/CMakeFiles/amdj.dir/rtree/hilbert_bulk_loader.cc.o.d"
+  "/root/repo/src/rtree/knn.cc" "src/CMakeFiles/amdj.dir/rtree/knn.cc.o" "gcc" "src/CMakeFiles/amdj.dir/rtree/knn.cc.o.d"
+  "/root/repo/src/rtree/node.cc" "src/CMakeFiles/amdj.dir/rtree/node.cc.o" "gcc" "src/CMakeFiles/amdj.dir/rtree/node.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/amdj.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/amdj.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/rtree/str_bulk_loader.cc" "src/CMakeFiles/amdj.dir/rtree/str_bulk_loader.cc.o" "gcc" "src/CMakeFiles/amdj.dir/rtree/str_bulk_loader.cc.o.d"
+  "/root/repo/src/spatialjoin/external_sorter.cc" "src/CMakeFiles/amdj.dir/spatialjoin/external_sorter.cc.o" "gcc" "src/CMakeFiles/amdj.dir/spatialjoin/external_sorter.cc.o.d"
+  "/root/repo/src/spatialjoin/spatial_join.cc" "src/CMakeFiles/amdj.dir/spatialjoin/spatial_join.cc.o" "gcc" "src/CMakeFiles/amdj.dir/spatialjoin/spatial_join.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/amdj.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/amdj.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/amdj.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/amdj.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/amdj.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/amdj.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/amdj.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/amdj.dir/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_heap_test.dir/binary_heap_test.cc.o"
+  "CMakeFiles/binary_heap_test.dir/binary_heap_test.cc.o.d"
+  "binary_heap_test"
+  "binary_heap_test.pdb"
+  "binary_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutoff_tracker_test.dir/cutoff_tracker_test.cc.o"
+  "CMakeFiles/cutoff_tracker_test.dir/cutoff_tracker_test.cc.o.d"
+  "cutoff_tracker_test"
+  "cutoff_tracker_test.pdb"
+  "cutoff_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutoff_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_queue_test.dir/distance_queue_test.cc.o"
+  "CMakeFiles/distance_queue_test.dir/distance_queue_test.cc.o.d"
+  "distance_queue_test"
+  "distance_queue_test.pdb"
+  "distance_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

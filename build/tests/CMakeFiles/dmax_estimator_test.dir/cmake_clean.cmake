@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmax_estimator_test.dir/dmax_estimator_test.cc.o"
+  "CMakeFiles/dmax_estimator_test.dir/dmax_estimator_test.cc.o.d"
+  "dmax_estimator_test"
+  "dmax_estimator_test.pdb"
+  "dmax_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmax_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

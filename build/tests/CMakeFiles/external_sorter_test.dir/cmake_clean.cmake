@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_sorter_test.dir/external_sorter_test.cc.o"
+  "CMakeFiles/external_sorter_test.dir/external_sorter_test.cc.o.d"
+  "external_sorter_test"
+  "external_sorter_test.pdb"
+  "external_sorter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_sorter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

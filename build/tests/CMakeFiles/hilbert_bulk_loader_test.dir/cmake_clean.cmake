@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilbert_bulk_loader_test.dir/hilbert_bulk_loader_test.cc.o"
+  "CMakeFiles/hilbert_bulk_loader_test.dir/hilbert_bulk_loader_test.cc.o.d"
+  "hilbert_bulk_loader_test"
+  "hilbert_bulk_loader_test.pdb"
+  "hilbert_bulk_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilbert_bulk_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_estimator_test.dir/histogram_estimator_test.cc.o"
+  "CMakeFiles/histogram_estimator_test.dir/histogram_estimator_test.cc.o.d"
+  "histogram_estimator_test"
+  "histogram_estimator_test.pdb"
+  "histogram_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_queue_test.dir/hybrid_queue_test.cc.o"
+  "CMakeFiles/hybrid_queue_test.dir/hybrid_queue_test.cc.o.d"
+  "hybrid_queue_test"
+  "hybrid_queue_test.pdb"
+  "hybrid_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_correctness_test.dir/join_correctness_test.cc.o"
+  "CMakeFiles/join_correctness_test.dir/join_correctness_test.cc.o.d"
+  "join_correctness_test"
+  "join_correctness_test.pdb"
+  "join_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_incremental_test.dir/join_incremental_test.cc.o"
+  "CMakeFiles/join_incremental_test.dir/join_incremental_test.cc.o.d"
+  "join_incremental_test"
+  "join_incremental_test.pdb"
+  "join_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

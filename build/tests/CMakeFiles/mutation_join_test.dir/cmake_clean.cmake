@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutation_join_test.dir/mutation_join_test.cc.o"
+  "CMakeFiles/mutation_join_test.dir/mutation_join_test.cc.o.d"
+  "mutation_join_test"
+  "mutation_join_test.pdb"
+  "mutation_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutation_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plane_sweeper_test.dir/plane_sweeper_test.cc.o"
+  "CMakeFiles/plane_sweeper_test.dir/plane_sweeper_test.cc.o.d"
+  "plane_sweeper_test"
+  "plane_sweeper_test.pdb"
+  "plane_sweeper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plane_sweeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_delete_test.dir/rtree_delete_test.cc.o"
+  "CMakeFiles/rtree_delete_test.dir/rtree_delete_test.cc.o.d"
+  "rtree_delete_test"
+  "rtree_delete_test.pdb"
+  "rtree_delete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_delete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_file_test.dir/segment_file_test.cc.o"
+  "CMakeFiles/segment_file_test.dir/segment_file_test.cc.o.d"
+  "segment_file_test"
+  "segment_file_test.pdb"
+  "segment_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semi_join_test.dir/semi_join_test.cc.o"
+  "CMakeFiles/semi_join_test.dir/semi_join_test.cc.o.d"
+  "semi_join_test"
+  "semi_join_test.pdb"
+  "semi_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semi_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_geometry_test.dir/sweep_geometry_test.cc.o"
+  "CMakeFiles/sweep_geometry_test.dir/sweep_geometry_test.cc.o.d"
+  "sweep_geometry_test"
+  "sweep_geometry_test.pdb"
+  "sweep_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_plan_test.dir/sweep_plan_test.cc.o"
+  "CMakeFiles/sweep_plan_test.dir/sweep_plan_test.cc.o.d"
+  "sweep_plan_test"
+  "sweep_plan_test.pdb"
+  "sweep_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_join_test.dir/windowed_join_test.cc.o"
+  "CMakeFiles/windowed_join_test.dir/windowed_join_test.cc.o.d"
+  "windowed_join_test"
+  "windowed_join_test.pdb"
+  "windowed_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

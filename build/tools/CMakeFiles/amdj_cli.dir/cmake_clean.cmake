@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdj_cli.dir/amdj_cli.cc.o"
+  "CMakeFiles/amdj_cli.dir/amdj_cli.cc.o.d"
+  "amdj_cli"
+  "amdj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
