@@ -1,0 +1,67 @@
+// Intra-query parallel scaling of the batched join executor: B-KDJ and
+// AM-KDJ at 1, 2, 4 and 8 threads on the default TIGER workload. Reports
+// wall-clock seconds, speedup over the sequential run, node accesses and
+// real distance computations per thread count, and verifies that every
+// parallel run returns byte-identical results (values and order) to the
+// sequential one — the executor's contract.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace amdj::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Parallel KDJ scaling (batched rounds, shared cutoff)", env);
+
+  const uint64_t k = 100'000;
+  const std::vector<uint32_t> threads = {1, 2, 4, 8};
+  const std::vector<core::KdjAlgorithm> algorithms = {
+      core::KdjAlgorithm::kBKdj, core::KdjAlgorithm::kAmKdj};
+
+  const std::vector<int> widths = {10, 9, 12, 9, 14, 14};
+  PrintRow({"algorithm", "threads", "wall (s)", "speedup", "node acc.",
+            "real dist."},
+           widths);
+
+  for (const core::KdjAlgorithm algorithm : algorithms) {
+    double sequential_seconds = 0.0;
+    std::vector<core::ResultPair> sequential_results;
+    for (const uint32_t t : threads) {
+      core::JoinOptions options = env.MakeJoinOptions();
+      options.parallelism = t;
+      RunResult run = RunKdjCold(env, algorithm, k, options);
+      if (t == 1) {
+        sequential_seconds = run.stats.cpu_seconds;
+        sequential_results = std::move(run.results);
+      } else if (run.results != sequential_results) {
+        std::fprintf(stderr,
+                     "FATAL: %s results at %u threads differ from the "
+                     "sequential run\n",
+                     core::ToString(algorithm), t);
+        std::exit(1);
+      }
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    sequential_seconds / run.stats.cpu_seconds);
+      PrintRow({core::ToString(algorithm), std::to_string(t),
+                FormatSeconds(run.stats.cpu_seconds), speedup,
+                FormatCount(run.stats.node_accesses),
+                FormatCount(run.stats.real_distance_computations)},
+               widths);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -23,6 +23,9 @@ void JoinStats::Add(const JoinStats& other) {
   queue_page_writes += other.queue_page_writes;
   pairs_produced += other.pairs_produced;
   node_expansions += other.node_expansions;
+  parallel_rounds += other.parallel_rounds;
+  parallel_tasks += other.parallel_tasks;
+  parallel_tie_aborts += other.parallel_tie_aborts;
   cpu_seconds += other.cpu_seconds;
   simulated_io_seconds += other.simulated_io_seconds;
 }

@@ -57,6 +57,14 @@ struct JoinStats {
   /// Number of node-pair expansions performed.
   uint64_t node_expansions = 0;
 
+  // --- parallel executor (JoinOptions::parallelism > 1 only) ---
+  /// Batched expansion rounds executed.
+  uint64_t parallel_rounds = 0;
+  /// Node-pair tasks handed to the batch expander across all rounds.
+  uint64_t parallel_tasks = 0;
+  /// Rounds aborted by the tie guard (remaining tasks re-queued).
+  uint64_t parallel_tie_aborts = 0;
+
   // --- time ---
   /// Measured wall-clock CPU time, seconds.
   double cpu_seconds = 0.0;

@@ -1,0 +1,75 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace amdj {
+
+namespace {
+
+void NameCurrentThread(const std::string& name) {
+#if defined(__linux__)
+  // The kernel limit is 16 bytes including the terminator.
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, const std::string& name_prefix)
+    : name_prefix_(name_prefix) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    AMDJ_CHECK(!shutting_down_) << "Submit on a shutting-down ThreadPool";
+    tasks_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  NameCurrentThread(name_prefix_ + "-" + std::to_string(index));
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      // Idle shutdown drains the queue before exiting.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace amdj

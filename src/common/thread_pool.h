@@ -1,0 +1,75 @@
+#ifndef AMDJ_COMMON_THREAD_POOL_H_
+#define AMDJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace amdj {
+
+/// Fixed-size pool of named worker threads executing submitted tasks in
+/// FIFO order. Used by the parallel join executor (core::BatchExpander) to
+/// fan node-pair expansions out across cores; generic enough for any
+/// CPU-bound fan-out.
+///
+/// Lifecycle: workers start in the constructor and idle on a condition
+/// variable when the task queue is empty (no spinning). The destructor
+/// performs an idle shutdown: it stops accepting new tasks, wakes every
+/// worker, lets the already-queued tasks drain, and joins. Submitting
+/// after (or during) destruction is a programming error.
+///
+/// Thread-safety: Submit may be called concurrently from any thread.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1). Workers are named
+  /// "<name_prefix>-<i>" where the platform supports thread naming.
+  explicit ThreadPool(size_t num_threads,
+                      const std::string& name_prefix = "amdj-pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker and returns a future for
+  /// its result. Exceptions escaping `fn` are captured into the future
+  /// (the project API is exception-free, so in practice this only carries
+  /// completion).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Tasks submitted but not yet started (for tests/introspection).
+  size_t queued() const;
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop(size_t index);
+
+  const std::string name_prefix_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace amdj
+
+#endif  // AMDJ_COMMON_THREAD_POOL_H_

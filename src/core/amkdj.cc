@@ -2,14 +2,236 @@
 
 #include "core/dmax_estimator.h"
 #include "core/expansion.h"
+#include "core/parallel.h"
 #include "core/plane_sweeper.h"
 #include "core/qdmax_tracker.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace amdj::core {
 
 namespace {
+
+/// Batched-round parallel AM-KDJ (JoinOptions::parallelism > 1), the
+/// paper's default two-stage structure. Stage one pops node pairs within
+/// eDmax in rounds; each task carries the eDmax in effect when it was
+/// popped as its *static* axis cutoff, so the examined sweep prefix — and
+/// therefore the compensation bookkeeping recorded on an uncovered sweep —
+/// is exactly what the sequential stage would have recorded. The real-
+/// distance filter tracks the shared qDmax (stale reads only ever admit
+/// extra candidates; the coordinator re-filters at merge). Stage two is a
+/// parallel B-KDJ round loop that reuses recorded plans and skips the
+/// stage-one prefix. See DESIGN.md "Concurrency model".
+StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
+    const rtree::RTree& r, const rtree::RTree& s, uint64_t k,
+    const JoinOptions& options, JoinStats* stats) {
+  std::vector<ResultPair> results;
+  const DmaxEstimator fallback_estimator(r.bounds(), r.size(), s.bounds(),
+                                         s.size(), options.metric);
+  const CutoffEstimator* estimator = options.estimator != nullptr
+                                         ? options.estimator
+                                         : &fallback_estimator;
+  double edmax = options.forced_edmax.value_or(estimator->EstimateDmax(k));
+
+  MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
+                  MakeMainQueueCompare(options));
+  QdmaxTracker tracker(k, options, stats);
+  std::vector<PairEntry> compensation;
+  {
+    const PairEntry root = MakePair(RootRef(r), RootRef(s), options.metric);
+    AMDJ_RETURN_IF_ERROR(queue.Push(root));
+    tracker.OnPush(root);
+  }
+
+  BatchExpander expander(r, s, options);
+  const PairEntryCompare before = MakeMainQueueCompare(options);
+  std::vector<PairEntry> popped;
+  std::vector<ExpandTask> tasks;
+  PairEntry c;
+
+  // ------------------------------------------------------------------
+  // Stage one: aggressive pruning, batched.
+  bool compensate = false;
+  while (results.size() < k && !queue.Empty() && !compensate) {
+    tasks.clear();
+    while (tasks.size() < expander.batch_limit() && results.size() < k) {
+      const Status peek = queue.Peek(&c);
+      if (peek.code() == StatusCode::kOutOfRange) break;  // drained
+      AMDJ_RETURN_IF_ERROR(peek);
+      const double qdmax = tracker.Cutoff();
+      if (qdmax <= edmax) edmax = qdmax;  // overestimate clamp (line 8)
+      if (c.distance > edmax) {
+        // Frontier left the eDmax radius: finish this batch, then switch
+        // to the compensation stage. The triggering entry stays queued
+        // (the sequential loop pops and re-pushes it; same net effect).
+        compensate = true;
+        break;
+      }
+      if (c.IsObjectPair()) {
+        // Emittable only with no expansions pending in this batch — a
+        // pending expansion could produce a child that precedes it.
+        if (!tasks.empty()) break;
+        AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+        results.push_back({c.distance, c.r.id, c.s.id});
+        ++stats->pairs_produced;
+        continue;
+      }
+      // Serialize tie plateaus (see bkdj.cc): a tied batch-mate's children
+      // routinely trigger the tie-guard abort, wasting the whole round.
+      if (!tasks.empty() && c.distance == tasks.back().pair.distance) break;
+      AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+      tracker.OnNodePairLeave(c);
+      ExpandTask t;
+      t.pair = c;
+      t.static_axis_cutoff = edmax;  // line 22: aggressive axis pruning
+      tasks.push_back(t);
+    }
+    if (tasks.empty()) continue;
+    ++stats->parallel_rounds;
+    stats->parallel_tasks += tasks.size();
+
+    bool aborted = false;
+    AMDJ_RETURN_IF_ERROR(expander.Run(
+        tasks, tracker.Cutoff(),
+        [&](size_t i, ExpandSlot* slot) -> StatusOr<bool> {
+          FoldSlotStats(slot, stats);
+          bool tie_hazard = false;
+          for (const PairEntry& e : slot->candidates) {
+            if (e.distance > tracker.Cutoff()) continue;  // exact filter
+            AMDJ_RETURN_IF_ERROR(queue.Push(e));
+            tracker.OnPush(e);
+            if (!tie_hazard) {
+              tie_hazard = TiesAheadOfPendingTask(e, tasks, i + 1, before);
+            }
+          }
+          expander.Tighten(tracker.Cutoff());
+          if (!slot->covered) {
+            // Some sweep suffix was skipped under this task's eDmax:
+            // record the pair and that exact cutoff for compensation.
+            PairEntry bounced = tasks[i].pair;
+            bounced.prior_cutoff = tasks[i].static_axis_cutoff;
+            bounced.prior_axis = static_cast<int8_t>(slot->plan.axis);
+            bounced.prior_dir =
+                slot->plan.dir == geom::SweepDirection::kForward ? int8_t{0}
+                                                                 : int8_t{1};
+            compensation.push_back(bounced);
+            ++stats->compensation_queue_insertions;
+          }
+          // Tie guard (see bkdj.cc): a pushed child exactly tying a
+          // pending task and out-ranking it via the tie-break would have
+          // been processed first sequentially — abort and re-pop.
+          if (tie_hazard) {
+            ++stats->parallel_tie_aborts;
+            for (size_t j = i + 1; j < tasks.size(); ++j) {
+              AMDJ_RETURN_IF_ERROR(queue.Push(tasks[j].pair));
+              tracker.OnPush(tasks[j].pair);
+            }
+            aborted = true;
+            return false;
+          }
+          return true;
+        }));
+    size_t wasted = 0;
+    for (const ExpandTask& t : tasks) {
+      if (t.pair.distance > std::min(edmax, tracker.Cutoff())) ++wasted;
+    }
+    expander.ReportRound(tasks.size(), wasted);
+    // An aborted round re-queued unexpanded tasks; re-collect them in
+    // stage one so the frontier check and eDmax clamp replay exactly as
+    // the sequential stage would have seen them.
+    if (aborted) compensate = false;
+  }
+
+  if (!compensate && results.size() < k && !compensation.empty()) {
+    compensate = true;  // queue drained with recoverable pairs left
+  }
+  if (results.size() >= k || !compensate) return results;
+
+  // ------------------------------------------------------------------
+  // Compensation stage, batched.
+  for (const PairEntry& e : compensation) {
+    AMDJ_RETURN_IF_ERROR(queue.Push(e));
+  }
+  compensation.clear();
+
+  const auto is_object = [](const PairEntry& e) { return e.IsObjectPair(); };
+  while (results.size() < k && !queue.Empty()) {
+    popped.clear();
+    AMDJ_RETURN_IF_ERROR(
+        queue.PopBatch(k - results.size(), is_object, &popped));
+    for (const PairEntry& e : popped) {
+      results.push_back({e.distance, e.r.id, e.s.id});
+      ++stats->pairs_produced;
+    }
+    if (results.size() >= k) break;
+
+    popped.clear();
+    double prev_distance = 0.0;
+    AMDJ_RETURN_IF_ERROR(queue.PopBatch(
+        expander.batch_limit(),
+        [&](const PairEntry& e) {
+          if (e.IsObjectPair()) return false;
+          if (!popped.empty() && e.distance == prev_distance) return false;
+          prev_distance = e.distance;
+          return true;
+        },
+        &popped));
+    tasks.clear();
+    for (const PairEntry& e : popped) {
+      tracker.OnNodePairLeave(e);
+      if (e.distance > tracker.Cutoff()) continue;
+      ExpandTask t;
+      t.pair = e;
+      if (e.WasExpanded()) {
+        // Reproduce the stage-one sweep order and skip its prefix.
+        t.has_fixed_plan = true;
+        t.plan.axis = e.prior_axis;
+        t.plan.dir = e.prior_dir == 0 ? geom::SweepDirection::kForward
+                                      : geom::SweepDirection::kBackward;
+        t.skip_below = e.prior_cutoff;
+      }
+      tasks.push_back(t);
+    }
+    if (tasks.empty()) continue;
+    ++stats->parallel_rounds;
+    stats->parallel_tasks += tasks.size();
+
+    AMDJ_RETURN_IF_ERROR(expander.Run(
+        tasks, tracker.Cutoff(),
+        [&](size_t i, ExpandSlot* slot) -> StatusOr<bool> {
+          FoldSlotStats(slot, stats);
+          bool tie_hazard = false;
+          for (const PairEntry& e : slot->candidates) {
+            if (e.distance > tracker.Cutoff()) continue;
+            AMDJ_RETURN_IF_ERROR(queue.Push(e));
+            tracker.OnPush(e);
+            if (!tie_hazard) {
+              tie_hazard = TiesAheadOfPendingTask(e, tasks, i + 1, before);
+            }
+          }
+          expander.Tighten(tracker.Cutoff());
+          // Tie guard (see bkdj.cc): exact distance ties only. Re-pushed
+          // tasks keep their prior_* bookkeeping, so a re-pop resumes the
+          // same compensation sweep.
+          if (tie_hazard) {
+            ++stats->parallel_tie_aborts;
+            for (size_t j = i + 1; j < tasks.size(); ++j) {
+              AMDJ_RETURN_IF_ERROR(queue.Push(tasks[j].pair));
+              tracker.OnPush(tasks[j].pair);
+            }
+            return false;
+          }
+          return true;
+        }));
+    size_t wasted = 0;
+    for (const ExpandTask& t : tasks) {
+      if (t.pair.distance > tracker.Cutoff()) ++wasted;
+    }
+    expander.ReportRound(tasks.size(), wasted);
+  }
+  return results;
+}
 
 /// Section 4.3.2 variant: one unified loop whose cutoff grows through
 /// runtime corrections, interleaving recovery rounds (merge the
@@ -152,7 +374,12 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
   JoinStats local;
   if (stats == nullptr) stats = &local;
   if (options.kdj_adaptive_correction) {
+    // The runtime-corrected variant stays sequential: its barrier/recovery
+    // interleaving serializes rounds anyway (see options.h::parallelism).
     return RunAdaptive(r, s, k, options, stats);
+  }
+  if (options.parallelism > 1) {
+    return RunParallelTwoStage(r, s, k, options, stats);
   }
 
   const DmaxEstimator fallback_estimator(r.bounds(), r.size(), s.bounds(),

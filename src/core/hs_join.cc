@@ -30,7 +30,8 @@ namespace internal_hs {
 Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
                             const PairEntry& pair, double cutoff,
                             const JoinOptions& options, MainQueue* queue,
-                            QdmaxTracker* tracker, JoinStats* stats) {
+                            QdmaxTracker* tracker, JoinStats* stats,
+                            std::vector<PairRef>* scratch) {
   ++stats->node_expansions;
   // Pick the side to expand: a node over an object; the higher level over
   // the lower; ties by larger area (the node more in need of refinement).
@@ -45,7 +46,7 @@ Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
     expand_r = pair.r.rect.Area() >= pair.s.rect.Area();
   }
 
-  std::vector<PairRef> children;
+  std::vector<PairRef>& children = *scratch;
   AMDJ_RETURN_IF_ERROR(ChildList(expand_r ? r : s,
                                  expand_r ? pair.r : pair.s,
                                  expand_r ? options.r_window
@@ -86,6 +87,7 @@ StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
   }
 
   PairEntry c;
+  std::vector<PairRef> children;
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
     if (c.IsObjectPair()) {
@@ -96,7 +98,8 @@ StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
     tracker.OnNodePairLeave(c);
     if (c.distance > tracker.Cutoff()) continue;
     AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
-        r, s, c, tracker.Cutoff(), options, &queue, &tracker, stats));
+        r, s, c, tracker.Cutoff(), options, &queue, &tracker, stats,
+        &children));
   }
   return results;
 }
@@ -130,7 +133,8 @@ Status HsIdjCursor::Next(ResultPair* out, bool* done) {
       return Status::OK();
     }
     AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
-        r_, s_, c, kNoCutoff, options_, &queue_, nullptr, stats_));
+        r_, s_, c, kNoCutoff, options_, &queue_, nullptr, stats_,
+        &children_));
   }
   *done = true;
   return Status::OK();

@@ -64,6 +64,8 @@ class HsIdjCursor : public DistanceJoinCursor {
   JoinStats* stats_;
   JoinStats local_stats_;
   MainQueue queue_;
+  /// Expansion scratch, reused across Next() calls.
+  std::vector<PairRef> children_;
   bool primed_ = false;
   uint64_t produced_ = 0;
 };
@@ -74,11 +76,14 @@ namespace internal_hs {
 /// higher-level (tie: larger-area) node side of `pair` against the other
 /// side as a whole, pushing every child pair with distance <= `cutoff`.
 /// Counts one real distance computation per child. `tracker` (nullable for
-/// IDJ) receives every push.
+/// IDJ) receives every push. `scratch` is a caller-owned child buffer,
+/// cleared on entry — hoist it out of the expansion loop so the capacity
+/// is reused across calls.
 Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
                             const PairEntry& pair, double cutoff,
                             const JoinOptions& options, MainQueue* queue,
-                            QdmaxTracker* tracker, JoinStats* stats);
+                            QdmaxTracker* tracker, JoinStats* stats,
+                            std::vector<PairRef>* scratch);
 
 }  // namespace internal_hs
 

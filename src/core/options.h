@@ -112,6 +112,26 @@ struct JoinOptions {
   /// AM-KDJ experiments use the initial estimate alone (Section 5.2).
   bool kdj_adaptive_correction = false;
 
+  /// Intra-query parallelism for B-KDJ and AM-KDJ: number of worker
+  /// threads expanding node pairs concurrently. 1 (the default) runs the
+  /// paper's sequential algorithms byte-for-byte. Values > 1 switch those
+  /// two algorithms to batched rounds: up to `parallelism * batch_factor`
+  /// node pairs are popped per round, expanded and plane-swept on a
+  /// common/thread_pool.h pool under a shared atomic cutoff, and their
+  /// surviving candidates merged back on the coordinating thread — the
+  /// result list is exactly (values and order) the sequential one; only
+  /// work counters may differ slightly. Ignored by the HS baselines, the
+  /// IDJ cursors, SJ-SORT, and AM-KDJ's kdj_adaptive_correction variant,
+  /// which stay sequential.
+  uint32_t parallelism = 1;
+
+  /// Round size multiplier for the parallel executor: each batched round
+  /// pops up to `parallelism * batch_factor` node pairs. Larger batches
+  /// amortize coordination and overlap merging with expansion, at the cost
+  /// of a slightly staler cutoff (never wrong — the cutoff is an upper
+  /// bound — just admitting a few more candidates).
+  uint32_t batch_factor = 4;
+
   /// Spatial restriction: only R objects intersecting r_window (and S
   /// objects intersecting s_window) participate. Unset = no restriction.
   /// Filtering happens during node expansion, so subtrees outside a

@@ -1,0 +1,137 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/expansion.h"
+#include "core/plane_sweeper.h"
+
+namespace amdj::core {
+
+BatchExpander::BatchExpander(const rtree::RTree& r, const rtree::RTree& s,
+                             const JoinOptions& options)
+    : r_(r),
+      s_(s),
+      options_(options),
+      batch_target_(static_cast<size_t>(std::max<uint32_t>(
+                        1, options.parallelism)) *
+                    std::max<uint32_t>(1, options.batch_factor)),
+      shared_cutoff_(std::numeric_limits<double>::infinity()),
+      pool_(std::max<uint32_t>(1, options.parallelism), "amdj-join") {
+  // One slot per batch position: tasks map 1:1 onto slots, so workers
+  // never contend for buffers and rounds reuse the same allocations.
+  slots_.resize(batch_target_);
+  futures_.reserve(batch_target_);
+}
+
+void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
+  slot->candidates.clear();
+  slot->covered = true;
+  slot->status = Status::OK();
+  // Reset here, not at merge: a discarded slot (round aborted on a tie
+  // conflict) must not leak its counters into the next round's fold.
+  slot->stats.Reset();
+  // A stopped round discards every remaining slot; skip the work (and the
+  // child fetches) if this task hasn't started by the time that happens.
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+
+  const bool dynamic_axis = task.static_axis_cutoff < 0.0;
+  // `axis_cutoff` is what PlaneSweep re-reads before every comparison; the
+  // callback refreshes it from the shared atomic in dynamic mode, so a
+  // coordinator-side Tighten() prunes the remainder of an in-flight sweep.
+  double axis_cutoff =
+      dynamic_axis ? shared_cutoff_.load(std::memory_order_relaxed)
+                   : task.static_axis_cutoff;
+  // Late prune (dynamic mode only): the cutoff may have shrunk below this
+  // pair's distance since it was batched. Its children would all lie
+  // strictly beyond the final k-th distance, so skipping the expansion
+  // cannot change the result — it only saves the two child fetches that a
+  // sequential pop would equally have skipped. Static-cutoff (AM-KDJ
+  // stage-one) tasks are exempt: their pair stays inside eDmax by
+  // construction, and the sequential stage expands those unconditionally.
+  if (dynamic_axis && task.pair.distance > axis_cutoff) return;
+  ++slot->stats.node_expansions;
+
+  slot->status = ChildList(r_, task.pair.r, options_.r_window, &slot->left);
+  if (!slot->status.ok()) return;
+  slot->status = ChildList(s_, task.pair.s, options_.s_window, &slot->right);
+  if (!slot->status.ok()) return;
+  slot->plan = task.has_fixed_plan
+                   ? task.plan
+                   : ChooseSweepPlan(task.pair.r.rect, task.pair.s.rect,
+                                     axis_cutoff, options_.sweep);
+
+  slot->covered = PlaneSweep(
+      slot->left, slot->right, slot->plan, &axis_cutoff, &slot->stats,
+      [&](const PairRef& lref, const PairRef& rref, double axis_dist) {
+        if (axis_dist <= task.skip_below) return;  // examined earlier
+        ++slot->stats.real_distance_computations;
+        const double real =
+            geom::MinDistance(lref.rect, rref.rect, options_.metric);
+        const double cutoff =
+            shared_cutoff_.load(std::memory_order_relaxed);
+        if (dynamic_axis) axis_cutoff = cutoff;
+        // Stale-read safety: `cutoff` only ever shrinks, and any value we
+        // read is an upper bound of the final k-th distance, so dropping
+        // here never loses a result pair; keeping an extra candidate is
+        // harmless because the coordinator re-filters before pushing.
+        if (real > cutoff) return;
+        if (options_.exclude_same_id && IsSelfPair(lref, rref)) return;
+        PairEntry e;
+        e.r = lref;
+        e.s = rref;
+        e.distance = real;
+        slot->candidates.push_back(e);
+      });
+}
+
+Status BatchExpander::Run(
+    const std::vector<ExpandTask>& tasks, double initial_cutoff,
+    const std::function<StatusOr<bool>(size_t, ExpandSlot*)>& merge) {
+  AMDJ_CHECK(tasks.size() <= slots_.size())
+      << "batch of " << tasks.size() << " exceeds target " << batch_target_;
+  shared_cutoff_.store(initial_cutoff, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  if (tasks.size() == 1) {
+    // Single-task round (the adaptive limit collapsed to best-first):
+    // expand inline on this thread — a pool round-trip buys nothing and
+    // costs a wakeup plus two context switches per expansion.
+    ExpandOne(tasks[0], &slots_[0]);
+    if (!slots_[0].status.ok()) return slots_[0].status;
+    StatusOr<bool> merged = merge(0, &slots_[0]);
+    return merged.ok() ? Status::OK() : merged.status();
+  }
+  futures_.clear();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    futures_.push_back(
+        pool_.Submit([this, &tasks, i] { ExpandOne(tasks[i], &slots_[i]); }));
+  }
+  // Consume in task order while later workers keep crunching; the merge
+  // callback runs on this thread only, so queue and tracker stay
+  // single-writer. Always drain every future — slots and `tasks` are
+  // referenced by in-flight workers even after an error or merge stop.
+  Status status = Status::OK();
+  bool merging = true;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    futures_[i].wait();
+    if (!status.ok() || !merging) continue;
+    ExpandSlot* slot = &slots_[i];
+    if (!slot->status.ok()) {
+      status = slot->status;
+      continue;
+    }
+    StatusOr<bool> keep_going = merge(i, slot);
+    if (!keep_going.ok()) {
+      status = keep_going.status();
+    } else {
+      merging = *keep_going;
+    }
+    if (!status.ok() || !merging) {
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+  }
+  return status;
+}
+
+}  // namespace amdj::core

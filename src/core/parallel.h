@@ -1,0 +1,203 @@
+#ifndef AMDJ_CORE_PARALLEL_H_
+#define AMDJ_CORE_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/options.h"
+#include "core/pair_entry.h"
+#include "core/sweep_plan.h"
+#include "rtree/rtree.h"
+
+namespace amdj::core {
+
+/// One node-pair expansion scheduled on the parallel executor, with the
+/// knobs that distinguish the algorithms' sweep variants:
+///   - B-KDJ / AM-KDJ compensation: dynamic cutoff — both the axis bound
+///     and the real-distance filter track the shared (shrinking) cutoff.
+///   - AM-KDJ aggressive stage: a *static* axis cutoff (the eDmax in
+///     effect when the pair was popped — it defines the examined sweep
+///     prefix that compensation bookkeeping must describe exactly), while
+///     the real-distance filter still tracks the shared qDmax.
+///   - Compensation re-sweeps: a fixed plan (the stage-one axis/direction,
+///     so the children's sweep order is reproduced) plus `skip_below`
+///     skipping the already-examined prefix.
+struct ExpandTask {
+  PairEntry pair;
+  /// >= 0: static axis cutoff for this sweep; < 0: track the shared cutoff.
+  double static_axis_cutoff = -1.0;
+  /// Skip callback invocations with axis_dist <= skip_below.
+  double skip_below = -1.0;
+  /// Use `plan` instead of choosing one (compensation re-sweeps).
+  bool has_fixed_plan = false;
+  SweepPlan plan;
+};
+
+/// Output of one expansion, produced on a worker and consumed by the
+/// coordinator. Buffers are owned by the executor and reused across rounds
+/// (one slot per batch position), so the steady state allocates nothing.
+struct ExpandSlot {
+  std::vector<PairRef> left;
+  std::vector<PairRef> right;
+  /// Candidate child pairs that survived the worker-side filters (real
+  /// distance within the shared cutoff as loaded at examination time —
+  /// possibly stale, so the coordinator re-filters before pushing).
+  std::vector<PairEntry> candidates;
+  /// The sweep plan actually used (recorded for compensation bookkeeping).
+  SweepPlan plan;
+  /// PlaneSweep's covered flag: false if some suffix was axis-pruned.
+  bool covered = true;
+  /// Per-worker counters, merged into the main JoinStats at round end so
+  /// the hot path never touches shared counters.
+  JoinStats stats;
+  Status status;
+};
+
+/// Folds a slot's worker-side counters into `stats` and resets them.
+/// Deliberately *not* JoinStats::Add: workers populate only the expansion
+/// and sweep counters, while the I/O counters of `stats` are concurrently
+/// incremented by still-running workers through the buffer-pool stats sink
+/// — Add() would read-modify-write those racing fields on the coordinator
+/// thread.
+inline void FoldSlotStats(ExpandSlot* slot, JoinStats* stats) {
+  stats->node_expansions += slot->stats.node_expansions;
+  stats->real_distance_computations +=
+      slot->stats.real_distance_computations;
+  stats->axis_distance_computations +=
+      slot->stats.axis_distance_computations;
+  slot->stats.Reset();
+}
+
+/// True if pushed entry `e` exactly ties some task in tasks[first..] on
+/// distance and precedes at least one of them in main-queue order. Such a
+/// child would have been processed by the sequential loop *before* that
+/// task (the comparator's tie-break — objects first, then ids — ranks it
+/// earlier), so the round must be aborted and the remaining tasks
+/// re-queued. Strictly-smaller distances are safe: emission stops at the
+/// minimum queued node pair, and every emittable object below that
+/// minimum already has its parent expanded. `tasks` is sorted in
+/// main-queue order, so the tied run is contiguous and its last element
+/// is the tie-break maximum.
+inline bool TiesAheadOfPendingTask(const PairEntry& e,
+                                   const std::vector<ExpandTask>& tasks,
+                                   size_t first,
+                                   const PairEntryCompare& before) {
+  size_t lo = first;
+  size_t hi = tasks.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (tasks[mid].pair.distance < e.distance) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == tasks.size() || tasks[lo].pair.distance != e.distance) {
+    return false;
+  }
+  size_t last = lo;
+  while (last + 1 < tasks.size() &&
+         tasks[last + 1].pair.distance == e.distance) {
+    ++last;
+  }
+  return before(e, tasks[last].pair);
+}
+
+/// The parallel join executor's fan-out/merge engine (see DESIGN.md,
+/// "Concurrency model"). A round works as follows:
+///
+///   1. The coordinating algorithm pops a batch of node pairs from the
+///      main queue and calls Run().
+///   2. Every task is expanded on a ThreadPool worker: fetch both child
+///      lists, choose (or reuse) a sweep plan, plane-sweep into the
+///      slot's candidate buffer. Workers load the shared atomic cutoff
+///      before each distance comparison; stale reads are safe because the
+///      cutoff only shrinks — a stale (larger) value admits extra
+///      candidates but never drops a qualifying one.
+///   3. The coordinator consumes slots *in task order* as workers finish,
+///      invoking `merge` for each on the calling thread. The merge
+///      callback re-filters candidates against the exact, current cutoff,
+///      pushes survivors into the main queue / cutoff tracker, and calls
+///      Tighten() so in-flight workers see the shrunk bound.
+///
+/// Exactness: every candidate dropped by any (possibly stale) cutoff has
+/// real distance > some value that is >= the final k-th result distance,
+/// so the emitted top-k — selected later, in strict queue order, by the
+/// coordinator — is identical to the sequential run's.
+class BatchExpander {
+ public:
+  /// `r`, `s`, and `options` must outlive the expander. Spawns
+  /// options.parallelism workers.
+  BatchExpander(const rtree::RTree& r, const rtree::RTree& s,
+                const JoinOptions& options);
+
+  /// Maximum tasks per round (parallelism * batch_factor).
+  size_t batch_target() const { return batch_target_; }
+
+  /// Current adaptive batch limit (<= batch_target()). Batching node pairs
+  /// is speculation: the sequential best-first loop may never expand a
+  /// batched sibling because emissions in between shrink the cutoff below
+  /// its distance. The limit starts at 1 and doubles after every round
+  /// with no wasted task, so wide same-distance frontiers fan out across
+  /// the pool, while descent phases — where speculation loses — collapse
+  /// back to best-first, one expansion per round.
+  size_t batch_limit() const { return batch_limit_; }
+
+  /// Feedback after a round: `wasted` of the round's `n` tasks turned out
+  /// useless (their distance exceeded the post-round cutoff, so the
+  /// sequential loop would have skipped them). Grows the limit on clean
+  /// rounds, shrinks it to the useful count otherwise.
+  void ReportRound(size_t n, size_t wasted) {
+    if (wasted == 0) {
+      batch_limit_ = std::min(batch_limit_ * 2, batch_target_);
+    } else {
+      batch_limit_ = std::max<size_t>(1, n - wasted);
+    }
+  }
+
+  /// Expands `tasks` (at most batch_target()) on the pool, initializing
+  /// the shared cutoff to `initial_cutoff`, and calls
+  /// `merge(task_index, slot)` once per task, in task order, on the
+  /// calling thread. A merge returning false stops further merging — the
+  /// remaining slots are discarded (the caller re-pushes their tasks) —
+  /// used to abort a round whose merged children would overtake a
+  /// not-yet-merged task in queue order (tie plateaus; see DESIGN.md).
+  /// Every worker is joined before returning regardless. Returns the
+  /// first non-OK worker or merge status.
+  Status Run(const std::vector<ExpandTask>& tasks, double initial_cutoff,
+             const std::function<StatusOr<bool>(size_t, ExpandSlot*)>& merge);
+
+  /// Publishes a (smaller) cutoff to in-flight workers. Called by the
+  /// merge callback after the exact cutoff shrinks. Monotone by contract:
+  /// callers only pass values from a shrinking source, so a plain store
+  /// suffices (there is exactly one writer, the coordinator).
+  void Tighten(double cutoff) {
+    shared_cutoff_.store(cutoff, std::memory_order_relaxed);
+  }
+
+ private:
+  void ExpandOne(const ExpandTask& task, ExpandSlot* slot);
+
+  const rtree::RTree& r_;
+  const rtree::RTree& s_;
+  const JoinOptions& options_;
+  size_t batch_target_;
+  size_t batch_limit_ = 1;
+  std::atomic<double> shared_cutoff_;
+  /// Set when a merge stops the round early: queued-but-unstarted workers
+  /// skip their (discarded) expansion instead of fetching children.
+  std::atomic<bool> cancelled_{false};
+  ThreadPool pool_;
+  std::vector<ExpandSlot> slots_;
+  std::vector<std::future<void>> futures_;
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_PARALLEL_H_

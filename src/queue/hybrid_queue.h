@@ -111,11 +111,37 @@ class HybridQueue {
 
   /// Removes the minimum entry into `*out`; OutOfRange when empty.
   Status Pop(T* out) {
-    while (heap_.Empty() && !segments_.empty()) {
-      AMDJ_RETURN_IF_ERROR(SwapIn());
-    }
+    AMDJ_RETURN_IF_ERROR(SettleFront());
     if (heap_.Empty()) return Status::OutOfRange("queue is empty");
     *out = heap_.Pop();
+    return Status::OK();
+  }
+
+  /// Copies the minimum entry into `*out` without removing it; OutOfRange
+  /// when empty. May swap a disk segment into the heap (the global minimum
+  /// is always in the heap afterwards, so a following Pop is in-memory).
+  Status Peek(T* out) {
+    AMDJ_RETURN_IF_ERROR(SettleFront());
+    if (heap_.Empty()) return Status::OutOfRange("queue is empty");
+    *out = heap_.Top();
+    return Status::OK();
+  }
+
+  /// Batched pop: removes entries in priority order, appending them to
+  /// `*out`, while `take(entry)` returns true, stopping after `max_n`
+  /// entries or when the queue is empty. An entry rejected by `take` is
+  /// left at the front of the queue (it is inspected, not removed), so the
+  /// caller can alternate batches of different kinds without re-pushing —
+  /// the parallel join executor uses this to drain ready object pairs and
+  /// then collect a round of node pairs.
+  template <typename Take>
+  Status PopBatch(size_t max_n, Take&& take, std::vector<T>* out) {
+    for (size_t n = 0; n < max_n; ++n) {
+      AMDJ_RETURN_IF_ERROR(SettleFront());
+      if (heap_.Empty()) break;
+      if (!take(heap_.Top())) break;
+      out->push_back(heap_.Pop());
+    }
     return Status::OK();
   }
 
@@ -131,6 +157,15 @@ class HybridQueue {
   size_t heap_size() const { return heap_.Size(); }
 
  private:
+  /// Ensures the heap holds the global minimum (swapping in segments while
+  /// the heap is empty). After this, an empty heap means an empty queue.
+  Status SettleFront() {
+    while (heap_.Empty() && !segments_.empty()) {
+      AMDJ_RETURN_IF_ERROR(SwapIn());
+    }
+    return Status::OK();
+  }
+
   double HeapUpperBound() const {
     return segments_.empty() ? std::numeric_limits<double>::infinity()
                              : segments_.front()->lower_bound;
@@ -156,16 +191,41 @@ class HybridQueue {
     segments_.insert(segments_.begin(), std::move(seg));
   }
 
+  /// Adjusts a sorted cut index so no kept entry ties with the spilled
+  /// boundary: a distance plateau must never straddle the memory/disk
+  /// boundary. Tied entries that ended up in the heap would pop before
+  /// tied entries in the segment regardless of the comparator's
+  /// tie-break, making pop order at a plateau depend on *when* splits
+  /// happened (the push/pop interleaving) instead of on the comparator —
+  /// observable as order divergence between otherwise identical runs.
+  /// Returns items.size() when the whole range is one plateau (no
+  /// distance boundary can split it).
+  static size_t TieSafeCut(const std::vector<T>& items, size_t cut) {
+    while (cut > 0 && items[cut - 1].distance == items[cut].distance) --cut;
+    if (cut == 0) {
+      // The closest plateau is wider than the intended in-memory half:
+      // keep the whole plateau and spill only what lies beyond it.
+      const double d0 = items[0].distance;
+      while (cut < items.size() && items[cut].distance == d0) ++cut;
+    }
+    return cut;
+  }
+
   /// Heap overflow: keep the closer half in memory, spill the rest as a
   /// new shortest-range segment.
   Status Split() {
-    ++splits_;
-    if (stats_ != nullptr) ++stats_->queue_splits;
     std::vector<T> items = heap_.TakeAll();
     std::sort(items.begin(), items.end(), [](const T& a, const T& b) {
       return a.distance < b.distance;
     });
-    const size_t keep = capacity_ / 2;
+    const size_t keep = TieSafeCut(items, capacity_ / 2);
+    if (keep == items.size()) {
+      // One giant plateau: unsplittable; tolerate an over-capacity heap.
+      heap_.Assign(std::move(items));
+      return Status::OK();
+    }
+    ++splits_;
+    if (stats_ != nullptr) ++stats_->queue_splits;
     auto seg =
         std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
     seg->lower_bound = items[keep].distance;
@@ -196,14 +256,17 @@ class HybridQueue {
       std::sort(items.begin(), items.end(), [](const T& a, const T& b) {
         return a.distance < b.distance;
       });
-      auto respill =
-          std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
-      respill->lower_bound = items[capacity_].distance;
-      for (size_t i = capacity_; i < items.size(); ++i) {
-        AMDJ_RETURN_IF_ERROR(respill->Append(&items[i]));
+      const size_t keep = TieSafeCut(items, capacity_);
+      if (keep < items.size()) {
+        auto respill =
+            std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
+        respill->lower_bound = items[keep].distance;
+        for (size_t i = keep; i < items.size(); ++i) {
+          AMDJ_RETURN_IF_ERROR(respill->Append(&items[i]));
+        }
+        items.resize(keep);
+        InsertSegmentFront(std::move(respill));
       }
-      items.resize(capacity_);
-      InsertSegmentFront(std::move(respill));
     }
     heap_.Assign(std::move(items));
     return Status::OK();

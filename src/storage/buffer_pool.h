@@ -111,11 +111,21 @@ class BufferPool {
   DiskManager* disk() const { return disk_; }
 
   size_t capacity_pages() const { return capacity_; }
-  /// Number of distinct pages currently cached.
-  size_t cached_pages() const { return table_.size(); }
 
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  /// Number of distinct pages currently cached.
+  size_t cached_pages() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return table_.size();
+  }
+
+  uint64_t hit_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t miss_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
  private:
   struct Frame {

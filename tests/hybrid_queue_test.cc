@@ -168,6 +168,48 @@ TEST(HybridQueueTest, TiesPreserveAllItems) {
   EXPECT_TRUE(q.Empty());
 }
 
+// Regression: a distance plateau must never straddle the heap/segment
+// boundary. If a split cuts through tied entries, the heap-resident ones
+// pop before the spilled ones regardless of the comparator's tie-break,
+// so pop order at the plateau depends on when splits happened — i.e. on
+// the push interleaving. Pop order must be a function of content only.
+TEST(HybridQueueTest, TiePlateauPopOrderIsPushOrderIndependent) {
+  // A plateau big enough to straddle any 64-entry split, surrounded by
+  // distinct distances that force splits at different moments depending
+  // on the push order.
+  std::vector<Item> items;
+  for (int i = 0; i < 200; ++i) {
+    items.push_back({42.0, static_cast<uint64_t>(i)});
+  }
+  for (int i = 0; i < 200; ++i) {
+    items.push_back({1.0 + i * 0.5, static_cast<uint64_t>(1000 + i)});
+  }
+  std::vector<Item> reference = items;
+  std::sort(reference.begin(), reference.end(), ItemCompare());
+
+  Random rng(99);
+  for (int perm = 0; perm < 4; ++perm) {
+    std::vector<Item> order = items;
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Next() % i]);
+    }
+    storage::InMemoryDiskManager disk;
+    Queue q(SmallMemory(&disk), nullptr);
+    for (const Item& item : order) {
+      ASSERT_TRUE(q.Push(item).ok());
+    }
+    Item it;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_TRUE(q.Pop(&it).ok());
+      ASSERT_EQ(it.distance, reference[i].distance) << "perm " << perm
+                                                    << " rank " << i;
+      ASSERT_EQ(it.tag, reference[i].tag) << "perm " << perm << " rank "
+                                          << i;
+    }
+    EXPECT_TRUE(q.Empty());
+  }
+}
+
 TEST(HybridQueueTest, TotalSizeTracksBothTiers) {
   storage::InMemoryDiskManager disk;
   Queue q(SmallMemory(&disk), nullptr);
@@ -210,6 +252,100 @@ TEST(HybridQueueTest, PeakSizeStatIsTracked) {
     ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
   }
   EXPECT_EQ(stats.main_queue_peak_size, 10u);
+}
+
+TEST(HybridQueueTest, PeekReturnsMinWithoutRemoving) {
+  Queue q(Queue::Options{}, nullptr);
+  Item it;
+  EXPECT_EQ(q.Peek(&it).code(), StatusCode::kOutOfRange);
+  for (double d : {3.0, 1.0, 2.0}) ASSERT_TRUE(q.Push({d, 0}).ok());
+  ASSERT_TRUE(q.Peek(&it).ok());
+  EXPECT_EQ(it.distance, 1.0);
+  EXPECT_EQ(q.TotalSize(), 3u);
+  ASSERT_TRUE(q.Pop(&it).ok());
+  EXPECT_EQ(it.distance, 1.0);
+  ASSERT_TRUE(q.Peek(&it).ok());
+  EXPECT_EQ(it.distance, 2.0);
+}
+
+TEST(HybridQueueTest, PeekSwapsInSpilledSegments) {
+  storage::InMemoryDiskManager disk;
+  Queue q(SmallMemory(&disk), nullptr);  // 64-entry heap
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(q.Push({static_cast<double>(500 - i), 0}).ok());
+  }
+  Item it;
+  // Drain the heap, leaving only disk segments; Peek must swap in.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(q.Peek(&it).ok());
+    const double top = it.distance;
+    ASSERT_TRUE(q.Pop(&it).ok());
+    EXPECT_EQ(it.distance, top) << "Peek/Pop disagree at " << i;
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(HybridQueueTest, PopBatchStopsAtRejectedEntry) {
+  Queue q(Queue::Options{}, nullptr);
+  // tag 1 = "object pair", tag 0 = "node pair".
+  for (double d : {1.0, 2.0, 5.0}) ASSERT_TRUE(q.Push({d, 1}).ok());
+  for (double d : {3.0, 4.0}) ASSERT_TRUE(q.Push({d, 0}).ok());
+  std::vector<Item> out;
+  // Take "objects" first: 1.0 and 2.0; 3.0 is a node and stays queued.
+  ASSERT_TRUE(q.PopBatch(10, [](const Item& i) { return i.tag == 1; }, &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].distance, 1.0);
+  EXPECT_EQ(out[1].distance, 2.0);
+  EXPECT_EQ(q.TotalSize(), 3u);
+  // Now take "nodes": 3.0 and 4.0; 5.0 stays.
+  out.clear();
+  ASSERT_TRUE(q.PopBatch(10, [](const Item& i) { return i.tag == 0; }, &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].distance, 3.0);
+  EXPECT_EQ(out[1].distance, 4.0);
+  EXPECT_EQ(q.TotalSize(), 1u);
+}
+
+TEST(HybridQueueTest, PopBatchHonorsMaxAndEmptyQueue) {
+  Queue q(Queue::Options{}, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+  }
+  std::vector<Item> out;
+  ASSERT_TRUE(q.PopBatch(4, [](const Item&) { return true; }, &out).ok());
+  EXPECT_EQ(out.size(), 4u);
+  ASSERT_TRUE(q.PopBatch(100, [](const Item&) { return true; }, &out).ok());
+  EXPECT_EQ(out.size(), 10u);  // appended; queue drained
+  EXPECT_TRUE(q.Empty());
+  ASSERT_TRUE(q.PopBatch(5, [](const Item&) { return true; }, &out).ok());
+  EXPECT_EQ(out.size(), 10u);  // empty queue: no-op, not an error
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].distance, static_cast<double>(i));
+  }
+}
+
+TEST(HybridQueueTest, PopBatchCrossesSegmentBoundaries) {
+  storage::InMemoryDiskManager disk;
+  Random rng(21);
+  Queue q(SmallMemory(&disk), nullptr);
+  std::vector<double> inserted;
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(0, 1e5);
+    inserted.push_back(d);
+    ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(i)}).ok());
+  }
+  std::sort(inserted.begin(), inserted.end());
+  std::vector<Item> out;
+  while (!q.Empty()) {
+    ASSERT_TRUE(
+        q.PopBatch(37, [](const Item&) { return true; }, &out).ok());
+  }
+  ASSERT_EQ(out.size(), inserted.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].distance, inserted[i]) << "rank " << i;
+  }
 }
 
 }  // namespace

@@ -16,11 +16,15 @@ namespace {
 class IntegrationTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Per-test-case file names: ctest runs cases of this suite as
+    // concurrent processes, which must not share backing files.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
     const std::string dir = ::testing::TempDir();
-    tree_disk_ =
-        std::make_unique<storage::FileDiskManager>(dir + "/amdj_it_tree.db");
+    tree_disk_ = std::make_unique<storage::FileDiskManager>(
+        dir + "/amdj_it_" + tag + "_tree.db");
     queue_disk_ = std::make_unique<storage::FileDiskManager>(
-        dir + "/amdj_it_queue.db");
+        dir + "/amdj_it_" + tag + "_queue.db");
     ASSERT_TRUE(tree_disk_->Ok());
     ASSERT_TRUE(queue_disk_->Ok());
     // 128 KB of R-tree buffer: far smaller than the trees.

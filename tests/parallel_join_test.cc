@@ -1,0 +1,252 @@
+// Parallel join executor exactness: for B-KDJ and AM-KDJ, batched parallel
+// execution (JoinOptions::parallelism in {2, 4, 8}) must produce results
+// *identical* to the sequential run — same distances, same ids, same order
+// (including tie-break order on the zero-distance plateau) — across seeds,
+// k values, spill configurations, and forced eDmax under/overestimates.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/expansion.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj::core {
+namespace {
+
+std::vector<ResultPair> RunWith(const test::JoinFixture& f,
+                                KdjAlgorithm algorithm, uint64_t k,
+                                JoinOptions options, uint32_t parallelism,
+                                JoinStats* stats = nullptr) {
+  options.parallelism = parallelism;
+  auto result =
+      RunKDistanceJoin(*f.r, *f.s, k, algorithm, options, stats);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(*result) : std::vector<ResultPair>{};
+}
+
+void ExpectIdentical(const std::vector<ResultPair>& sequential,
+                     const std::vector<ResultPair>& parallel,
+                     const std::string& label) {
+  ASSERT_EQ(sequential.size(), parallel.size()) << label;
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    // Exact equality — values, ids, and order, ties included.
+    ASSERT_EQ(sequential[i], parallel[i])
+        << label << " diverges at rank " << i << ": sequential=("
+        << sequential[i].distance << "," << sequential[i].r_id << ","
+        << sequential[i].s_id << ") parallel=(" << parallel[i].distance
+        << "," << parallel[i].r_id << "," << parallel[i].s_id << ")";
+  }
+}
+
+class ParallelJoinTest
+    : public ::testing::TestWithParam<KdjAlgorithm> {};
+
+TEST_P(ParallelJoinTest, MatchesSequentialAcrossSeedsAndK) {
+  for (const uint64_t seed : {11u, 47u, 2026u}) {
+    workload::TigerSynthOptions wopts;
+    wopts.street_segments = 3000;
+    wopts.hydro_objects = 900;
+    wopts.seed = seed;
+    test::JoinFixture f = test::MakeFixture(workload::TigerStreets(wopts),
+                                            workload::TigerHydro(wopts), 32,
+                                            128);
+    for (const uint64_t k : {1u, 100u, 2500u}) {
+      JoinOptions options;
+      const auto sequential = RunWith(f, GetParam(), k, options, 1);
+      for (const uint32_t threads : {2u, 4u, 8u}) {
+        const auto parallel = RunWith(f, GetParam(), k, options, threads);
+        ExpectIdentical(sequential, parallel,
+                        "seed=" + std::to_string(seed) +
+                            " k=" + std::to_string(k) +
+                            " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST_P(ParallelJoinTest, MatchesBruteForceAtFourThreads) {
+  const geom::Rect uni(0, 0, 10000, 10000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::GaussianClusters(600, 5, 0.05, 31, uni),
+      workload::UniformRects(400, 30.0, 32, uni), 16, 64);
+  const auto brute = test::BruteForceDistances(f.r_objects, f.s_objects);
+  JoinOptions options;
+  options.parallelism = 4;
+  for (const uint64_t k : {10u, 500u, 5000u}) {
+    JoinStats stats;
+    auto result = RunKDistanceJoin(*f.r, *f.s, k, GetParam(), options,
+                                   &stats);
+    ASSERT_TRUE(result.ok());
+    test::ExpectMatchesBruteForce(*result, brute, k, f.r_objects,
+                                  f.s_objects);
+    test::ExpectNoDuplicates(*result);
+  }
+}
+
+TEST_P(ParallelJoinTest, MatchesSequentialWithQueueSpill) {
+  workload::TigerSynthOptions wopts;
+  wopts.street_segments = 2500;
+  wopts.hydro_objects = 800;
+  wopts.seed = 7;
+  test::JoinFixture f = test::MakeFixture(workload::TigerStreets(wopts),
+                                          workload::TigerHydro(wopts), 32,
+                                          128);
+  JoinOptions options;
+  options.queue_disk = f.queue_disk.get();
+  options.queue_memory_bytes = 16 * 1024;  // force splits and swap-ins
+  const auto sequential = RunWith(f, GetParam(), 2000, options, 1);
+  for (const uint32_t threads : {2u, 4u}) {
+    ExpectIdentical(sequential, RunWith(f, GetParam(), 2000, options,
+                                        threads),
+                    "spill threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(ParallelJoinTest, NodeAccessesStayClose) {
+  workload::TigerSynthOptions wopts;
+  wopts.street_segments = 4000;
+  wopts.hydro_objects = 1200;
+  wopts.seed = 5;
+  test::JoinFixture f = test::MakeFixture(workload::TigerStreets(wopts),
+                                          workload::TigerHydro(wopts), 32,
+                                          256);
+  JoinOptions options;
+  JoinStats seq_stats;
+  const auto sequential =
+      RunWith(f, GetParam(), 3000, options, 1, &seq_stats);
+  JoinStats par_stats;
+  const auto parallel =
+      RunWith(f, GetParam(), 3000, options, 4, &par_stats);
+  ExpectIdentical(sequential, parallel, "node-access run");
+  // Stale cutoffs may admit a few extra expansions, but the parallel run
+  // must not blow up the I/O profile: within 10% plus a constant
+  // allowance of a few batches — the final round speculatively expands up
+  // to one batch of node pairs the sequential loop never reaches after
+  // its k-th emission, and a tie-guard abort can waste in-flight slots.
+  // Both are O(batch), invisible at benchmark scale but dominant on a
+  // fixture this small.
+  const uint64_t batch_accesses = 2ull * 4 * options.batch_factor;
+  EXPECT_LE(par_stats.node_accesses,
+            seq_stats.node_accesses + seq_stats.node_accesses / 10 +
+                3 * batch_accesses);
+  EXPECT_GE(par_stats.node_accesses + batch_accesses,
+            seq_stats.node_accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(BAndAm, ParallelJoinTest,
+                         ::testing::Values(KdjAlgorithm::kBKdj,
+                                           KdjAlgorithm::kAmKdj),
+                         [](const auto& info) {
+                           return info.param == KdjAlgorithm::kBKdj
+                                      ? "BKdj"
+                                      : "AmKdj";
+                         });
+
+// AM-KDJ-specific: the compensation machinery must stay exact in parallel
+// for wildly wrong eDmax estimates in both directions.
+TEST(ParallelAmKdjTest, ForcedEdmaxUnderAndOverestimates) {
+  workload::TigerSynthOptions wopts;
+  wopts.street_segments = 2000;
+  wopts.hydro_objects = 700;
+  wopts.seed = 13;
+  test::JoinFixture f = test::MakeFixture(workload::TigerStreets(wopts),
+                                          workload::TigerHydro(wopts), 32,
+                                          128);
+  JoinOptions probe;
+  auto true_dmax = ComputeTrueDmax(*f.r, *f.s, 1500, probe);
+  ASSERT_TRUE(true_dmax.ok());
+  for (const double factor : {0.05, 0.5, 1.0, 2.0, 10.0}) {
+    JoinOptions options;
+    options.forced_edmax = *true_dmax * factor;
+    const auto sequential =
+        RunWith(f, KdjAlgorithm::kAmKdj, 1500, options, 1);
+    for (const uint32_t threads : {2u, 4u, 8u}) {
+      ExpectIdentical(sequential,
+                      RunWith(f, KdjAlgorithm::kAmKdj, 1500, options,
+                              threads),
+                      "edmax factor=" + std::to_string(factor) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelJoinSelfJoinTest, ExcludeSameIdMatchesSequential) {
+  const geom::Rect uni(0, 0, 10000, 10000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::GaussianClusters(800, 6, 0.05, 77, uni),
+      workload::GaussianClusters(800, 6, 0.05, 77, uni), 16, 64);
+  JoinOptions options;
+  options.exclude_same_id = true;
+  for (const auto algorithm : {KdjAlgorithm::kBKdj, KdjAlgorithm::kAmKdj}) {
+    const auto sequential = RunWith(f, algorithm, 1000, options, 1);
+    ExpectIdentical(sequential, RunWith(f, algorithm, 1000, options, 4),
+                    "self-join");
+  }
+}
+
+// Concurrent FetchChildren through a deliberately tiny buffer pool: the
+// read path (pin -> deserialize -> unpin under concurrent eviction) must
+// stay correct when every frame is contended. 8 threads expanding random
+// nodes against a pool smaller than the working set.
+TEST(ParallelBufferPoolTest, ConcurrentFetchChildrenUnderEviction) {
+  workload::TigerSynthOptions wopts;
+  wopts.street_segments = 3000;
+  wopts.hydro_objects = 1000;
+  wopts.seed = 3;
+  test::JoinFixture f = test::MakeFixture(workload::TigerStreets(wopts),
+                                          workload::TigerHydro(wopts), 16,
+                                          /*buffer_pages=*/12);
+  // Reference child lists, collected single-threaded.
+  std::vector<PairRef> roots = {RootRef(*f.r), RootRef(*f.s)};
+  std::vector<std::vector<PairRef>> levels[2];
+  for (int t = 0; t < 2; ++t) {
+    const rtree::RTree& tree = t == 0 ? *f.r : *f.s;
+    std::vector<PairRef> frontier = {roots[static_cast<size_t>(t)]};
+    while (!frontier.empty() && !frontier.front().IsObject()) {
+      levels[t].push_back(frontier);
+      std::vector<PairRef> next;
+      for (const PairRef& ref : frontier) {
+        std::vector<PairRef> children;
+        ASSERT_TRUE(ChildList(tree, ref, &children).ok());
+        next.insert(next.end(), children.begin(), children.end());
+      }
+      frontier = std::move(next);
+    }
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&f, &levels, &failures, w] {
+      const rtree::RTree& tree = w % 2 == 0 ? *f.r : *f.s;
+      const auto& my_levels = levels[w % 2];
+      std::vector<PairRef> children;
+      for (int round = 0; round < 30; ++round) {
+        for (const auto& level : my_levels) {
+          const PairRef& ref =
+              level[static_cast<size_t>(round * 31 + w) % level.size()];
+          if (!ChildList(tree, ref, &children).ok() || children.empty()) {
+            ++failures;
+            return;
+          }
+          // Children must be contained in the parent MBR.
+          for (const PairRef& child : children) {
+            if (!ref.rect.Contains(child.rect)) {
+              ++failures;
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace amdj::core

@@ -146,6 +146,60 @@ TEST(PlaneSweeperTest, DynamicCutoffShrinkTightensRemainingSweep) {
   EXPECT_EQ(seen, (std::vector<uint32_t>{100, 101}));
 }
 
+TEST(PlaneSweeperTest, NegativeCutoffAbortsSweepImmediately) {
+  // A callback that drops the cutoff below zero (the join loops do this on
+  // a failed queue push) must stop the sweep after the current pair and
+  // report the sweep as not covered.
+  const auto left = MakeRefs({Rect(0, 0, 0, 0)}, 0);
+  const auto right = MakeRefs(
+      {Rect(0, 0, 0, 0), Rect(1, 0, 1, 0), Rect(2, 0, 2, 0),
+       Rect(3, 0, 3, 0)},
+      100);
+  double cutoff = 100.0;
+  std::vector<uint32_t> seen;
+  const bool covered = PlaneSweep(
+      left, right, {0, SweepDirection::kForward}, &cutoff, nullptr,
+      [&](const PairRef& /*l*/, const PairRef& r, double) {
+        seen.push_back(r.id);
+        cutoff = -1.0;  // abort
+      });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{100}));
+  EXPECT_FALSE(covered);
+}
+
+TEST(PlaneSweeperTest, MidSweepShrinkMatchesBruteForceAtFinalCutoff) {
+  // Shrinking the cutoff mid-sweep may drop pairs the *initial* cutoff
+  // admitted, but everything within the *final* cutoff that sorts before
+  // the shrink point must still be enumerated. With the shrink applied
+  // before any pair is seen, the sweep equals a fixed-cutoff sweep.
+  Random rng(23);
+  std::vector<Rect> l_rects, r_rects;
+  for (int i = 0; i < 25; ++i) {
+    const double x = rng.Uniform(0, 100);
+    l_rects.push_back(Rect(x, 0, x + rng.Uniform(0, 4), 1));
+    const double y = rng.Uniform(0, 100);
+    r_rects.push_back(Rect(y, 0, y + rng.Uniform(0, 4), 1));
+  }
+  const auto left = MakeRefs(l_rects, 0);
+  const auto right = MakeRefs(r_rects, 1000);
+  const double final_cutoff = 8.0;
+  double cutoff = 50.0;
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  bool first = true;
+  PlaneSweep(left, right, {0, SweepDirection::kForward}, &cutoff, nullptr,
+             [&](const PairRef& l, const PairRef& r, double axis_dist) {
+               if (first) {
+                 cutoff = final_cutoff;  // shrink before admitting anything
+                 first = false;
+               }
+               if (axis_dist <= final_cutoff) seen.insert({l.id, r.id});
+             });
+  // The cutoff never dropped below final_cutoff, so every pair within it
+  // must have been enumerated: the filtered callback set is exactly the
+  // fixed-cutoff brute force result.
+  EXPECT_EQ(seen, BruteWithin(left, right, 0, final_cutoff));
+}
+
 TEST(PlaneSweeperTest, AxisDistancePerAnchorIsNonDecreasing) {
   Random rng(9);
   std::vector<Rect> l_rects, r_rects;
