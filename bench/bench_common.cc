@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -80,12 +81,20 @@ namespace {
 struct ColdRun {
   storage::DiskStats tree_before;
   storage::DiskStats queue_before;
+  std::chrono::steady_clock::time_point start;
 
   explicit ColdRun(BenchEnv& env) {
     const Status s = env.pool->Clear();
     AMDJ_CHECK(s.ok()) << s.ToString();
     tree_before = env.tree_disk->stats();
     queue_before = env.queue_disk->stats();
+    start = std::chrono::steady_clock::now();
+  }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
   }
 
   void Finish(BenchEnv& env, JoinStats* stats) const {
@@ -98,6 +107,28 @@ struct ColdRun {
   }
 };
 
+/// When AMDJ_BENCH_JSON names a file, every measured run appends one JSON
+/// line there: {"bench","algorithm","k","wall_ms","node_accesses",
+/// "distance_computations","queue_insertions"}. scripts/run_all_benches.sh
+/// points this at a per-bench file and assembles BENCH_PR2.json from them.
+void AppendJsonStats(const char* algorithm, uint64_t k, double wall_ms,
+                     const JoinStats& stats) {
+  const char* path = std::getenv("AMDJ_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  const char* bench = std::getenv("AMDJ_BENCH_NAME");
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"algorithm\":\"%s\",\"k\":%" PRIu64
+               ",\"wall_ms\":%.3f,\"node_accesses\":%" PRIu64
+               ",\"distance_computations\":%" PRIu64
+               ",\"queue_insertions\":%" PRIu64 "}\n",
+               bench != nullptr ? bench : "", algorithm, k, wall_ms,
+               stats.node_accesses, stats.real_distance_computations,
+               stats.main_queue_insertions);
+  std::fclose(f);
+}
+
 }  // namespace
 
 RunResult RunKdjCold(BenchEnv& env, core::KdjAlgorithm algorithm, uint64_t k,
@@ -109,6 +140,7 @@ RunResult RunKdjCold(BenchEnv& env, core::KdjAlgorithm algorithm, uint64_t k,
   AMDJ_CHECK(result.ok()) << result.status().ToString();
   run.results = std::move(*result);
   cold.Finish(env, &run.stats);
+  AppendJsonStats(core::ToString(algorithm), k, cold.ElapsedMs(), run.stats);
   return run;
 }
 
@@ -128,6 +160,7 @@ RunResult RunIdjCold(BenchEnv& env, core::IdjAlgorithm algorithm, uint64_t k,
     run.results.push_back(pair);
   }
   cold.Finish(env, &run.stats);
+  AppendJsonStats(core::ToString(algorithm), k, cold.ElapsedMs(), run.stats);
   return run;
 }
 

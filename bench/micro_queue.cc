@@ -27,9 +27,9 @@ void BM_DistanceQueueInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_DistanceQueueInsert)->Arg(10)->Arg(1000)->Arg(100000);
 
-core::PairEntry MakeEntry(double distance) {
+core::PairEntry MakeEntry(double key) {
   core::PairEntry e;
-  e.distance = distance;
+  e.key = key;
   return e;
 }
 

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "core/plane_sweeper.h"
 #include "core/sweep_plan.h"
+#include "geom/metric.h"
 #include "geom/sweep_geometry.h"
 
 namespace amdj {
@@ -70,6 +71,53 @@ void BM_PlaneSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlaneSweep)
+    ->Args({113, 50})      // typical node pair, tight cutoff
+    ->Args({113, 10000});  // loose cutoff: degenerates toward Cartesian
+
+// The pre-vectorized join hot path: axis sweep plus a scalar MinDist per
+// axis-surviving candidate in the callback. Compare with BM_PlaneSweepKeyed,
+// which does the same logical work through the batch kernels.
+void BM_PlaneSweepScalarDist(benchmark::State& state) {
+  const auto left = MakeRefs(static_cast<uint64_t>(state.range(0)), 3);
+  const auto right = MakeRefs(static_cast<uint64_t>(state.range(0)), 4);
+  const double cutoff = static_cast<double>(state.range(1));
+  const double cutoff_key = geom::DistanceToKey(cutoff, geom::Metric::kL2);
+  const core::SweepPlan plan{0, geom::SweepDirection::kForward};
+  for (auto _ : state) {
+    uint64_t emitted = 0;
+    core::PlaneSweep(left, right, plan, &cutoff, nullptr,
+                     [&](const core::PairRef& l, const core::PairRef& r,
+                         double) {
+                       const double key = geom::MinDistanceKey(
+                           l.rect, r.rect, geom::Metric::kL2);
+                       if (key <= cutoff_key) ++emitted;
+                     });
+    benchmark::DoNotOptimize(emitted);
+  }
+}
+BENCHMARK(BM_PlaneSweepScalarDist)
+    ->Args({113, 50})      // typical node pair, tight cutoff
+    ->Args({113, 10000});  // loose cutoff: degenerates toward Cartesian
+
+void BM_PlaneSweepKeyed(benchmark::State& state) {
+  const auto left = MakeRefs(static_cast<uint64_t>(state.range(0)), 3);
+  const auto right = MakeRefs(static_cast<uint64_t>(state.range(0)), 4);
+  const double cutoff = static_cast<double>(state.range(1));
+  const double cutoff_key = geom::DistanceToKey(cutoff, geom::Metric::kL2);
+  const core::SweepPlan plan{0, geom::SweepDirection::kForward};
+  core::KeyedSweepSpec spec;
+  spec.metric = geom::Metric::kL2;
+  spec.axis_cutoff_key = &cutoff_key;
+  spec.dist_cutoff_key = &cutoff_key;
+  for (auto _ : state) {
+    uint64_t emitted = 0;
+    core::PlaneSweepKeyed(left, right, plan, spec, nullptr,
+                          [&](const core::PairRef&, const core::PairRef&,
+                              double) { ++emitted; });
+    benchmark::DoNotOptimize(emitted);
+  }
+}
+BENCHMARK(BM_PlaneSweepKeyed)
     ->Args({113, 50})      // typical node pair, tight cutoff
     ->Args({113, 10000});  // loose cutoff: degenerates toward Cartesian
 

@@ -1,0 +1,12 @@
+// Configure-time probe (see the AMDJ_NO_AVX2_FALLBACK_OK check): compiles
+// the kernel dispatch layer with -mno-avx2 and without the AVX2 backend to
+// prove the scalar/SSE2 fallback still builds for CPUs without AVX2.
+
+#include "../src/geom/kernels.cc"  // NOLINT
+
+int main() {
+  double lo[4] = {0, 1, 2, 3};
+  double out[4];
+  amdj::geom::BatchAxisDistance(lo, 0.5, 4, out);
+  return out[0] == 0.0 ? 0 : 1;
+}

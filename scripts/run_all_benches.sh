@@ -3,14 +3,21 @@
 #   scripts/run_all_benches.sh [build-dir] [out-dir] [extra bench flags...]
 # e.g. a paper-scale run:
 #   scripts/run_all_benches.sh build results --streets=633461 --hydro=189642
+#
+# Besides the human-readable tables in OUT_DIR, assembles a machine-readable
+# BENCH_PR2.json at the repo root: per figure-bench the wall ms, node
+# accesses and distance computations of every measured run (emitted by
+# bench_common via AMDJ_BENCH_JSON), per microbench the google-benchmark
+# JSON entries — so the perf trajectory is tracked PR over PR.
 set -u
 
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-bench_results}
 shift 2 2>/dev/null || shift $# 2>/dev/null || true
 EXTRA_FLAGS=("$@")
 
-mkdir -p "$OUT_DIR"
+mkdir -p "$OUT_DIR/json"
 status=0
 for bench in "$BUILD_DIR"/bench/*; do
   [ -x "$bench" ] || continue
@@ -19,17 +26,58 @@ for bench in "$BUILD_DIR"/bench/*; do
     *.a|*.txt|CMakeFiles|cmake_install.cmake|CTestTestfile.cmake) continue ;;
   esac
   echo "=== $name ${EXTRA_FLAGS[*]:-}"
+  start_ns=$(date +%s%N)
   if [[ "$name" == micro_* ]]; then
     # google-benchmark binaries take their own flags.
-    "$bench" --benchmark_min_time=0.05 >"$OUT_DIR/$name.txt" 2>&1
+    "$bench" --benchmark_min_time=0.05 \
+      --benchmark_out="$OUT_DIR/json/$name.json" \
+      --benchmark_out_format=json >"$OUT_DIR/$name.txt" 2>&1
   else
-    "$bench" "${EXTRA_FLAGS[@]}" >"$OUT_DIR/$name.txt" 2>&1
+    rm -f "$OUT_DIR/json/$name.jsonl"
+    AMDJ_BENCH_NAME="$name" AMDJ_BENCH_JSON="$OUT_DIR/json/$name.jsonl" \
+      "$bench" "${EXTRA_FLAGS[@]}" >"$OUT_DIR/$name.txt" 2>&1
   fi
   rc=$?
+  end_ns=$(date +%s%N)
+  echo "$name $(( (end_ns - start_ns) / 1000000 )) $rc" >>"$OUT_DIR/json/wall.txt"
   if [ $rc -ne 0 ]; then
     echo "FAILED ($rc): $name" >&2
     status=1
   fi
 done
+
+# Assemble BENCH_PR2.json from the per-bench artifacts.
+if command -v jq >/dev/null 2>&1; then
+  {
+    # bench -> total wall ms and exit code, as measured by this script
+    jq -Rn '[inputs | split(" ") | {(.[0]): {wall_ms: (.[1] | tonumber),
+                                            exit_code: (.[2] | tonumber)}}]
+            | add // {}' <"$OUT_DIR/json/wall.txt" >"$OUT_DIR/json/_wall.json"
+    # figure benches: one entry per measured run
+    for f in "$OUT_DIR"/json/*.jsonl; do
+      [ -e "$f" ] || continue
+      jq -s '{(.[0].bench // "unknown"): {runs: .}}' "$f"
+    done | jq -s 'add // {}' >"$OUT_DIR/json/_figs.json"
+    # microbenches: name/real_time/items from google-benchmark JSON
+    for f in "$OUT_DIR"/json/micro_*.json; do
+      [ -e "$f" ] || continue
+      jq --arg n "$(basename "$f" .json)" \
+         '{($n): {benchmarks: [.benchmarks[]
+            | {name, real_time, time_unit,
+               items_per_second: (.items_per_second // null),
+               label: (.label // null)}]}}' "$f"
+    done | jq -s 'add // {}' >"$OUT_DIR/json/_micro.json"
+    jq -s '{schema: "amdj-bench-v1",
+            flags: $flags,
+            wall: .[0], figures: .[1], micro: .[2]}' \
+       --arg flags "${EXTRA_FLAGS[*]:-}" \
+       "$OUT_DIR/json/_wall.json" "$OUT_DIR/json/_figs.json" \
+       "$OUT_DIR/json/_micro.json" >"$REPO_ROOT/BENCH_PR2.json"
+    echo "wrote $REPO_ROOT/BENCH_PR2.json"
+  } || { echo "BENCH_PR2.json assembly failed" >&2; status=1; }
+else
+  echo "jq not found: skipping BENCH_PR2.json" >&2
+fi
+
 echo "outputs in $OUT_DIR/"
 exit $status

@@ -36,14 +36,16 @@ Status AmIdjCursor::Prime() {
   }
   stage_count_ = 1;
   const uint64_t k1 = std::max(options_.idj_initial_k, target_hint_);
+  double first;  // distance space until the conversion below
   if (forced_next_edmax_.has_value()) {
-    edmax_ = *forced_next_edmax_;
+    first = *forced_next_edmax_;
     forced_next_edmax_.reset();
   } else if (options_.forced_edmax.has_value()) {
-    edmax_ = *options_.forced_edmax;
+    first = *options_.forced_edmax;
   } else {
-    edmax_ = estimator_->EstimateDmax(k1);
+    first = estimator_->EstimateDmax(k1);
   }
+  edmax_ = geom::DistanceToKeyCutoff(first, options_.metric);
   return queue_.Push(MakePair(RootRef(r_), RootRef(s_), options_.metric));
 }
 
@@ -86,12 +88,15 @@ Status AmIdjCursor::StartNewStage() {
   }
   // Safeguard: the cutoff must strictly grow or the stage cannot make
   // progress (e.g. heavily skewed data keeps the correction below the old
-  // estimate).
-  if (next <= edmax_) {
-    next = edmax_ > 0.0 ? edmax_ * 1.5
-                        : std::max(estimator_->EstimateDmax(1), 1e-12);
+  // estimate). Applied in distance space — the estimator's native units —
+  // before the key-space conversion; the key round-trips exactly
+  // (sqrt(fl(d*d)) == d), so the growth schedule is unchanged.
+  const double edmax_dist = geom::KeyToDistance(edmax_, options_.metric);
+  if (next <= edmax_dist) {
+    next = edmax_dist > 0.0 ? edmax_dist * 1.5
+                            : std::max(estimator_->EstimateDmax(1), 1e-12);
   }
-  edmax_ = next;
+  edmax_ = geom::DistanceToKeyCutoff(next, options_.metric);
   for (const PairEntry& e : compensation_) {
     AMDJ_RETURN_IF_ERROR(queue_.Push(e));
   }
@@ -115,39 +120,39 @@ Status AmIdjCursor::Expand(PairEntry c) {
                                 : geom::SweepDirection::kBackward;
     prior = c.prior_cutoff;
   } else {
-    plan = ChooseSweepPlan(c.r.rect, c.s.rect, edmax_, options_.sweep);
+    plan = ChooseSweepPlan(c.r.rect, c.s.rect,
+                           geom::KeyToDistance(edmax_, options_.metric),
+                           options_.sweep);
   }
 
   Status sweep_status;
-  bool dropped_real = false;  // a child with real > eDmax was pruned
   double axis_cutoff = edmax_;
-  const bool covered = PlaneSweep(
-      left_, right_, plan, &axis_cutoff, stats_,
-      [&](const PairRef& lref, const PairRef& rref, double axis_dist) {
+  KeyedSweepSpec spec;
+  spec.metric = options_.metric;
+  spec.axis_cutoff_key = &axis_cutoff;
+  // A child with key > eDmax is dropped but recoverable in a later stage;
+  // the sweep records the drop in `dist_filtered`.
+  spec.dist_cutoff_key = &edmax_;
+  // Pairs in the previously examined region were already inserted (or
+  // emitted) by the earlier stage; in the prefix axis <= prior, exactly
+  // those with key <= prior. (In the suffix key >= axis > prior, so the
+  // test never misfires.)
+  spec.skip_dist_below_key = prior;
+  const KeyedSweepResult sweep = PlaneSweepKeyed(
+      left_, right_, plan, spec, stats_,
+      [&](const PairRef& lref, const PairRef& rref, double dist_key) {
         if (!sweep_status.ok()) return;
-        ++stats_->real_distance_computations;
-        const double real =
-            geom::MinDistance(lref.rect, rref.rect, options_.metric);
-        // Pairs in the previously examined region were already inserted
-        // (or emitted) by the earlier stage; in the prefix axis_dist <=
-        // prior, exactly those with real <= prior. (In the suffix
-        // real >= axis_dist > prior, so the test never misfires.)
-        if (real <= prior) return;
-        if (real > edmax_) {
-          dropped_real = true;  // recoverable in a later stage
-          return;
-        }
         if (options_.exclude_same_id && IsSelfPair(lref, rref)) return;
         PairEntry e;
         e.r = lref;
         e.s = rref;
-        e.distance = real;
+        e.key = dist_key;
         sweep_status = queue_.Push(e);
         if (!sweep_status.ok()) axis_cutoff = -1.0;  // abort the sweep
       });
   AMDJ_RETURN_IF_ERROR(sweep_status);
 
-  if (!covered || dropped_real) {
+  if (!sweep.axis_covered || sweep.dist_filtered) {
     // The expansion skipped children that a later, larger cutoff could
     // admit: record it (with the cutoff that bounds the examined region)
     // for compensation. Fully covered pairs never re-enter — this is what
@@ -177,7 +182,7 @@ Status AmIdjCursor::Next(ResultPair* out, bool* done) {
       continue;
     }
     AMDJ_RETURN_IF_ERROR(queue_.Pop(&c));
-    if (c.distance > edmax_) {
+    if (c.key > edmax_) {
       // Everything within the current cutoff has been surfaced; grow it
       // and recover the aggressively pruned children before going deeper.
       // Checked before emission: an object pair beyond the cutoff must not
@@ -188,8 +193,9 @@ Status AmIdjCursor::Next(ResultPair* out, bool* done) {
       continue;
     }
     if (c.IsObjectPair()) {
-      *out = {c.distance, c.r.id, c.s.id};
-      last_distance_ = c.distance;
+      const double dist = geom::KeyToDistance(c.key, options_.metric);
+      *out = {dist, c.r.id, c.s.id};
+      last_distance_ = dist;
       ++produced_;
       ++stats_->pairs_produced;
       return Status::OK();

@@ -11,6 +11,7 @@
 #include "core/hs_join.h"
 #include "core/options.h"
 #include "core/pair_entry.h"
+#include "geom/metric.h"
 #include "rtree/rtree.h"
 
 namespace amdj::core {
@@ -44,8 +45,11 @@ class AmIdjCursor : public DistanceJoinCursor {
   /// Figure 15's "real Dmax" variant drives the cursor through this.
   void ForceNextStageEdmax(double edmax);
 
-  /// Cutoff of the stage currently executing.
-  double current_edmax() const { return edmax_; }
+  /// Cutoff of the stage currently executing, as a distance (the internal
+  /// cutoff lives in key space; this converts at the API boundary).
+  double current_edmax() const {
+    return geom::KeyToDistance(edmax_, options_.metric);
+  }
   /// Number of stages started so far (1 after the first Next()).
   uint32_t stage_count() const { return stage_count_; }
 
@@ -67,6 +71,8 @@ class AmIdjCursor : public DistanceJoinCursor {
   const CutoffEstimator* estimator_;  // options_.estimator or the fallback
   MainQueue queue_;
   std::vector<PairEntry> compensation_;
+  /// Stage cutoff in key space (geom::DistanceToKey), like every internal
+  /// cutoff; estimator calls and the public accessors convert.
   double edmax_ = 0.0;
   std::optional<double> forced_next_edmax_;
   uint64_t target_hint_ = 0;

@@ -32,7 +32,11 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
   const CutoffEstimator* estimator = options.estimator != nullptr
                                          ? options.estimator
                                          : &fallback_estimator;
-  double edmax = options.forced_edmax.value_or(estimator->EstimateDmax(k));
+  // eDmax lives in key space like every internal cutoff; the estimator API
+  // stays in distance space and converts at this boundary.
+  double edmax = geom::DistanceToKeyCutoff(
+      options.forced_edmax.value_or(estimator->EstimateDmax(k)),
+      options.metric);
 
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
@@ -61,7 +65,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
       AMDJ_RETURN_IF_ERROR(peek);
       const double qdmax = tracker.Cutoff();
       if (qdmax <= edmax) edmax = qdmax;  // overestimate clamp (line 8)
-      if (c.distance > edmax) {
+      if (c.key > edmax) {
         // Frontier left the eDmax radius: finish this batch, then switch
         // to the compensation stage. The triggering entry stays queued
         // (the sequential loop pops and re-pushes it; same net effect).
@@ -73,13 +77,14 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
         // pending expansion could produce a child that precedes it.
         if (!tasks.empty()) break;
         AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
-        results.push_back({c.distance, c.r.id, c.s.id});
+        results.push_back(
+            {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
         ++stats->pairs_produced;
         continue;
       }
       // Serialize tie plateaus (see bkdj.cc): a tied batch-mate's children
       // routinely trigger the tie-guard abort, wasting the whole round.
-      if (!tasks.empty() && c.distance == tasks.back().pair.distance) break;
+      if (!tasks.empty() && c.key == tasks.back().pair.key) break;
       AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
       tracker.OnNodePairLeave(c);
       ExpandTask t;
@@ -98,7 +103,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
           FoldSlotStats(slot, stats);
           bool tie_hazard = false;
           for (const PairEntry& e : slot->candidates) {
-            if (e.distance > tracker.Cutoff()) continue;  // exact filter
+            if (e.key > tracker.Cutoff()) continue;  // exact filter
             AMDJ_RETURN_IF_ERROR(queue.Push(e));
             tracker.OnPush(e);
             if (!tie_hazard) {
@@ -134,7 +139,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
         }));
     size_t wasted = 0;
     for (const ExpandTask& t : tasks) {
-      if (t.pair.distance > std::min(edmax, tracker.Cutoff())) ++wasted;
+      if (t.pair.key > std::min(edmax, tracker.Cutoff())) ++wasted;
     }
     expander.ReportRound(tasks.size(), wasted);
     // An aborted round re-queued unexpanded tasks; re-collect them in
@@ -161,26 +166,27 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
     AMDJ_RETURN_IF_ERROR(
         queue.PopBatch(k - results.size(), is_object, &popped));
     for (const PairEntry& e : popped) {
-      results.push_back({e.distance, e.r.id, e.s.id});
+      results.push_back(
+          {geom::KeyToDistance(e.key, options.metric), e.r.id, e.s.id});
       ++stats->pairs_produced;
     }
     if (results.size() >= k) break;
 
     popped.clear();
-    double prev_distance = 0.0;
+    double prev_key = 0.0;
     AMDJ_RETURN_IF_ERROR(queue.PopBatch(
         expander.batch_limit(),
         [&](const PairEntry& e) {
           if (e.IsObjectPair()) return false;
-          if (!popped.empty() && e.distance == prev_distance) return false;
-          prev_distance = e.distance;
+          if (!popped.empty() && e.key == prev_key) return false;
+          prev_key = e.key;
           return true;
         },
         &popped));
     tasks.clear();
     for (const PairEntry& e : popped) {
       tracker.OnNodePairLeave(e);
-      if (e.distance > tracker.Cutoff()) continue;
+      if (e.key > tracker.Cutoff()) continue;
       ExpandTask t;
       t.pair = e;
       if (e.WasExpanded()) {
@@ -203,7 +209,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
           FoldSlotStats(slot, stats);
           bool tie_hazard = false;
           for (const PairEntry& e : slot->candidates) {
-            if (e.distance > tracker.Cutoff()) continue;
+            if (e.key > tracker.Cutoff()) continue;
             AMDJ_RETURN_IF_ERROR(queue.Push(e));
             tracker.OnPush(e);
             if (!tie_hazard) {
@@ -211,7 +217,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
             }
           }
           expander.Tighten(tracker.Cutoff());
-          // Tie guard (see bkdj.cc): exact distance ties only. Re-pushed
+          // Tie guard (see bkdj.cc): exact key ties only. Re-pushed
           // tasks keep their prior_* bookkeeping, so a re-pop resumes the
           // same compensation sweep.
           if (tie_hazard) {
@@ -226,7 +232,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
         }));
     size_t wasted = 0;
     for (const ExpandTask& t : tasks) {
-      if (t.pair.distance > tracker.Cutoff()) ++wasted;
+      if (t.pair.key > tracker.Cutoff()) ++wasted;
     }
     expander.ReportRound(tasks.size(), wasted);
   }
@@ -249,16 +255,18 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
   const CutoffEstimator* estimator = options.estimator != nullptr
                                          ? options.estimator
                                          : &fallback_estimator;
-  double edmax = options.forced_edmax.value_or(estimator->EstimateDmax(k));
+  double edmax = geom::DistanceToKeyCutoff(
+      options.forced_edmax.value_or(estimator->EstimateDmax(k)),
+      options.metric);
 
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
   QdmaxTracker tracker(k, options, stats);
   std::vector<PairEntry> compensation;
-  // Smallest cutoff under which a queued compensation pair was examined:
-  // emitting beyond it could overtake a recoverable pruned child.
+  // Smallest cutoff key under which a queued compensation pair was
+  // examined: emitting beyond it could overtake a recoverable pruned child.
   double barrier = std::numeric_limits<double>::infinity();
-  double last_emitted = 0.0;
+  double last_emitted = 0.0;  // distance space (fed back to the estimator)
   {
     const PairEntry root = MakePair(RootRef(r), RootRef(s), options.metric);
     AMDJ_RETURN_IF_ERROR(queue.Push(root));
@@ -274,8 +282,8 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
     double qdmax = tracker.Cutoff();
     if (qdmax <= edmax) edmax = qdmax;  // overestimate clamp (line 8)
 
-    if (c.distance > std::min(edmax, barrier)) {
-      if (compensation.empty() && c.distance > qdmax) {
+    if (c.key > std::min(edmax, barrier)) {
+      if (compensation.empty() && c.key > qdmax) {
         continue;  // beyond the exact cutoff: can never contribute
       }
       // Frontier left the safe radius: grow the estimate (Eq. 4/5 /
@@ -285,9 +293,11 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
       if (!c.IsObjectPair()) tracker.OnPush(c);
       double next = qdmax;
       if (!results.empty() && results.size() < k) {
-        const double corrected = estimator->Correct(
-            k, results.size(), last_emitted,
-            options.correction == CorrectionPolicy::kAggressive);
+        const double corrected = geom::DistanceToKeyCutoff(
+            estimator->Correct(
+                k, results.size(), last_emitted,
+                options.correction == CorrectionPolicy::kAggressive),
+            options.metric);
         if (corrected > edmax && corrected < qdmax) next = corrected;
       }
       edmax = next;  // strictly above the old value, or the exact qDmax
@@ -301,8 +311,9 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
     }
 
     if (c.IsObjectPair()) {
-      results.push_back({c.distance, c.r.id, c.s.id});
-      last_emitted = c.distance;
+      const double dist = geom::KeyToDistance(c.key, options.metric);
+      results.push_back({dist, c.r.id, c.s.id});
+      last_emitted = dist;
       ++stats->pairs_produced;
       continue;
     }
@@ -318,35 +329,39 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
                                   : geom::SweepDirection::kBackward;
       prior = c.prior_cutoff;
     } else {
-      plan = ChooseSweepPlan(c.r.rect, c.s.rect, edmax, options.sweep);
+      plan = ChooseSweepPlan(c.r.rect, c.s.rect,
+                             geom::KeyToDistance(edmax, options.metric),
+                             options.sweep);
     }
 
     Status sweep_status;
     // Static axis cutoff: it defines the examined prefix the recorded
     // bookkeeping must describe exactly.
     double axis_cutoff = edmax;
-    const bool covered = PlaneSweep(
-        left, right, plan, &axis_cutoff, stats,
-        [&](const PairRef& lref, const PairRef& rref, double axis_dist) {
-          if (!sweep_status.ok()) return;
-          if (axis_dist <= prior) return;  // examined in an earlier round
-          ++stats->real_distance_computations;
-          const double real =
-              geom::MinDistance(lref.rect, rref.rect, options.metric);
-          if (real > qdmax) return;  // permanent under the exact cutoff
-          if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
-          PairEntry e;
-          e.r = lref;
-          e.s = rref;
-          e.distance = real;
-          sweep_status = queue.Push(e);
-          if (!sweep_status.ok()) {
-            axis_cutoff = -1.0;
-            return;
-          }
-          tracker.OnPush(e);
-          qdmax = tracker.Cutoff();
-        });
+    KeyedSweepSpec spec;
+    spec.metric = options.metric;
+    spec.axis_cutoff_key = &axis_cutoff;
+    spec.dist_cutoff_key = &qdmax;  // permanent filter: the exact cutoff
+    spec.skip_axis_below_key = prior;  // examined in an earlier round
+    const bool covered =
+        PlaneSweepKeyed(
+            left, right, plan, spec, stats,
+            [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+              if (!sweep_status.ok()) return;
+              if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
+              PairEntry e;
+              e.r = lref;
+              e.s = rref;
+              e.key = dist_key;
+              sweep_status = queue.Push(e);
+              if (!sweep_status.ok()) {
+                axis_cutoff = -1.0;
+                return;
+              }
+              tracker.OnPush(e);
+              qdmax = tracker.Cutoff();
+            })
+            .axis_covered;
     AMDJ_RETURN_IF_ERROR(sweep_status);
 
     if (!covered) {
@@ -387,7 +402,9 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
   const CutoffEstimator* estimator = options.estimator != nullptr
                                          ? options.estimator
                                          : &fallback_estimator;
-  double edmax = options.forced_edmax.value_or(estimator->EstimateDmax(k));
+  double edmax = geom::DistanceToKeyCutoff(
+      options.forced_edmax.value_or(estimator->EstimateDmax(k)),
+      options.metric);
 
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
@@ -413,7 +430,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     // Line 8: an overestimated eDmax is clamped to qDmax, after which the
     // stage behaves exactly like B-KDJ.
     if (qdmax <= edmax) edmax = qdmax;
-    if (c.distance > edmax) {
+    if (c.key > edmax) {
       // Line 9 (with the obvious reading of the garbled comparison): the
       // frontier left the eDmax radius with fewer than k results, so eDmax
       // was an underestimate. This check must precede emission — an
@@ -426,7 +443,8 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
       break;
     }
     if (c.IsObjectPair()) {
-      results.push_back({c.distance, c.r.id, c.s.id});
+      results.push_back(
+          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
@@ -435,31 +453,35 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     const SweepPlan plan =
-        ChooseSweepPlan(c.r.rect, c.s.rect, edmax, options.sweep);
+        ChooseSweepPlan(c.r.rect, c.s.rect,
+                        geom::KeyToDistance(edmax, options.metric),
+                        options.sweep);
 
     Status sweep_status;
     double axis_cutoff = edmax;  // line 22: aggressive axis pruning
-    const bool covered = PlaneSweep(
-        left, right, plan, &axis_cutoff, stats,
-        [&](const PairRef& lref, const PairRef& rref, double /*axis_dist*/) {
-          if (!sweep_status.ok()) return;
-          ++stats->real_distance_computations;
-          const double real =
-              geom::MinDistance(lref.rect, rref.rect, options.metric);
-          if (real > qdmax) return;  // exact filter: permanent under qDmax
-          if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
-          PairEntry e;
-          e.r = lref;
-          e.s = rref;
-          e.distance = real;
-          sweep_status = queue.Push(e);
-          if (!sweep_status.ok()) {
-            axis_cutoff = -1.0;  // abort the sweep
-            return;
-          }
-          tracker.OnPush(e);
-          qdmax = tracker.Cutoff();
-        });
+    KeyedSweepSpec spec;
+    spec.metric = options.metric;
+    spec.axis_cutoff_key = &axis_cutoff;
+    spec.dist_cutoff_key = &qdmax;  // exact filter: permanent under qDmax
+    const bool covered =
+        PlaneSweepKeyed(
+            left, right, plan, spec, stats,
+            [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+              if (!sweep_status.ok()) return;
+              if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
+              PairEntry e;
+              e.r = lref;
+              e.s = rref;
+              e.key = dist_key;
+              sweep_status = queue.Push(e);
+              if (!sweep_status.ok()) {
+                axis_cutoff = -1.0;  // abort the sweep
+                return;
+              }
+              tracker.OnPush(e);
+              qdmax = tracker.Cutoff();
+            })
+            .axis_covered;
     AMDJ_RETURN_IF_ERROR(sweep_status);
 
     if (!covered) {
@@ -493,13 +515,14 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
     if (c.IsObjectPair()) {
-      results.push_back({c.distance, c.r.id, c.s.id});
+      results.push_back(
+          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
     tracker.OnNodePairLeave(c);
     double cutoff = tracker.Cutoff();
-    if (c.distance > cutoff) continue;
+    if (c.key > cutoff) continue;
 
     ++stats->node_expansions;
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
@@ -515,38 +538,39 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
                                   : geom::SweepDirection::kBackward;
       skip_below = c.prior_cutoff;
     } else {
-      plan = ChooseSweepPlan(c.r.rect, c.s.rect, cutoff, options.sweep);
+      plan = ChooseSweepPlan(c.r.rect, c.s.rect,
+                             geom::KeyToDistance(cutoff, options.metric),
+                             options.sweep);
     }
 
     Status sweep_status;
-    PlaneSweep(left, right, plan, &cutoff, stats,
-               [&](const PairRef& lref, const PairRef& rref,
-                   double axis_dist) {
-                 if (!sweep_status.ok()) return;
-                 // Skip the stage-one prefix: those pairs were examined
-                 // under a qDmax no smaller than today's, so any that were
-                 // dropped stay dropped and any that qualified are already
-                 // in the main queue.
-                 if (axis_dist <= skip_below) return;
-                 ++stats->real_distance_computations;
-                 const double real = geom::MinDistance(lref.rect, rref.rect,
-                                                       options.metric);
-                 if (real > cutoff) return;
-                 if (options.exclude_same_id && IsSelfPair(lref, rref)) {
-                   return;
-                 }
-                 PairEntry e;
-                 e.r = lref;
-                 e.s = rref;
-                 e.distance = real;
-                 sweep_status = queue.Push(e);
-                 if (!sweep_status.ok()) {
-                   cutoff = -1.0;
-                   return;
-                 }
-                 tracker.OnPush(e);
-                 cutoff = tracker.Cutoff();
-               });
+    KeyedSweepSpec spec;
+    spec.metric = options.metric;
+    spec.axis_cutoff_key = &cutoff;
+    spec.dist_cutoff_key = &cutoff;
+    // Skip the stage-one prefix: those pairs were examined under a qDmax
+    // no smaller than today's, so any that were dropped stay dropped and
+    // any that qualified are already in the main queue.
+    spec.skip_axis_below_key = skip_below;
+    PlaneSweepKeyed(
+        left, right, plan, spec, stats,
+        [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+          if (!sweep_status.ok()) return;
+          if (options.exclude_same_id && IsSelfPair(lref, rref)) {
+            return;
+          }
+          PairEntry e;
+          e.r = lref;
+          e.s = rref;
+          e.key = dist_key;
+          sweep_status = queue.Push(e);
+          if (!sweep_status.ok()) {
+            cutoff = -1.0;
+            return;
+          }
+          tracker.OnPush(e);
+          cutoff = tracker.Cutoff();
+        });
     AMDJ_RETURN_IF_ERROR(sweep_status);
   }
   return results;

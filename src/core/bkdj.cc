@@ -46,7 +46,8 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
     AMDJ_RETURN_IF_ERROR(
         queue.PopBatch(k - results.size(), is_object, &popped));
     for (const PairEntry& e : popped) {
-      results.push_back({e.distance, e.r.id, e.s.id});
+      results.push_back(
+          {geom::KeyToDistance(e.key, options.metric), e.r.id, e.s.id});
       ++stats->pairs_produced;
     }
     if (results.size() >= k) break;
@@ -59,20 +60,20 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
     // forces a tie-guard abort — batching a plateau mostly buys discarded
     // work. One pair per round replays the sequential order exactly.
     popped.clear();
-    double prev_distance = 0.0;
+    double prev_key = 0.0;
     AMDJ_RETURN_IF_ERROR(queue.PopBatch(
         expander.batch_limit(),
         [&](const PairEntry& e) {
           if (e.IsObjectPair()) return false;
-          if (!popped.empty() && e.distance == prev_distance) return false;
-          prev_distance = e.distance;
+          if (!popped.empty() && e.key == prev_key) return false;
+          prev_key = e.key;
           return true;
         },
         &popped));
     tasks.clear();
     for (const PairEntry& e : popped) {
       tracker.OnNodePairLeave(e);
-      if (e.distance > tracker.Cutoff()) continue;  // can never contribute
+      if (e.key > tracker.Cutoff()) continue;  // can never contribute
       ExpandTask t;
       t.pair = e;
       tasks.push_back(t);
@@ -90,7 +91,7 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
           for (const PairEntry& e : slot->candidates) {
             // Re-filter against the exact cutoff: the worker's copy may
             // have been stale (only ever too large).
-            if (e.distance > tracker.Cutoff()) continue;
+            if (e.key > tracker.Cutoff()) continue;
             AMDJ_RETURN_IF_ERROR(queue.Push(e));
             tracker.OnPush(e);
             if (!tie_hazard) {
@@ -116,7 +117,7 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
         }));
     size_t wasted = 0;
     for (const ExpandTask& t : tasks) {
-      if (t.pair.distance > tracker.Cutoff()) ++wasted;
+      if (t.pair.key > tracker.Cutoff()) ++wasted;
     }
     expander.ReportRound(tasks.size(), wasted);
   }
@@ -151,7 +152,8 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
     if (c.IsObjectPair()) {
-      results.push_back({c.distance, c.r.id, c.s.id});
+      results.push_back(
+          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
@@ -159,38 +161,41 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
     // qDmax upper-bounds the final k-th distance at all times, so a pair
     // whose minimum distance exceeds it can never contribute.
     double cutoff = tracker.Cutoff();
-    if (c.distance > cutoff) continue;
+    if (c.key > cutoff) continue;
 
     ++stats->node_expansions;
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
-    const SweepPlan plan =
-        ChooseSweepPlan(c.r.rect, c.s.rect, cutoff, options.sweep);
+    const SweepPlan plan = ChooseSweepPlan(
+        c.r.rect, c.s.rect, geom::KeyToDistance(cutoff, options.metric),
+        options.sweep);
 
     Status sweep_status;
-    PlaneSweep(left, right, plan, &cutoff, stats,
-               [&](const PairRef& lref, const PairRef& rref,
-                   double /*axis_dist*/) {
-                 if (!sweep_status.ok()) return;
-                 ++stats->real_distance_computations;
-                 const double real =
-                     geom::MinDistance(lref.rect, rref.rect, options.metric);
-                 if (real > cutoff) return;  // Algorithm 1, line 17
-                 if (options.exclude_same_id && IsSelfPair(lref, rref)) {
-                   return;
-                 }
-                 PairEntry e;
-                 e.r = lref;
-                 e.s = rref;
-                 e.distance = real;
-                 sweep_status = queue.Push(e);
-                 if (!sweep_status.ok()) {
-                   cutoff = -1.0;  // abort the sweep
-                   return;
-                 }
-                 tracker.OnPush(e);  // line 19: qDmax may shrink
-                 cutoff = tracker.Cutoff();
-               });
+    KeyedSweepSpec spec;
+    spec.metric = options.metric;
+    // The sweep prune and the distance filter (Algorithm 1, line 17) both
+    // track the live qDmax, refreshed by the callback after every push.
+    spec.axis_cutoff_key = &cutoff;
+    spec.dist_cutoff_key = &cutoff;
+    PlaneSweepKeyed(
+        left, right, plan, spec, stats,
+        [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+          if (!sweep_status.ok()) return;
+          if (options.exclude_same_id && IsSelfPair(lref, rref)) {
+            return;
+          }
+          PairEntry e;
+          e.r = lref;
+          e.s = rref;
+          e.key = dist_key;
+          sweep_status = queue.Push(e);
+          if (!sweep_status.ok()) {
+            cutoff = -1.0;  // abort the sweep
+            return;
+          }
+          tracker.OnPush(e);  // line 19: qDmax may shrink
+          cutoff = tracker.Cutoff();
+        });
     AMDJ_RETURN_IF_ERROR(sweep_status);
   }
   return results;

@@ -2,6 +2,7 @@
 
 #include "core/dmax_estimator.h"
 #include "core/expansion.h"
+#include "geom/kernels.h"
 
 namespace amdj::core {
 
@@ -14,13 +15,19 @@ MainQueue::Options MakeMainQueueOptions(const rtree::RTree& r,
   if (options.queue_disk != nullptr &&
       options.predetermined_queue_boundaries && r.size() > 0 &&
       s.size() > 0) {
+    // Estimators speak distance; the queue partitions by priority key.
+    std::function<double(uint64_t)> fn;
     if (options.estimator != nullptr) {
-      qopts.boundary_fn = options.estimator->BoundaryFn();
+      fn = options.estimator->BoundaryFn();
     } else {
       DmaxEstimator estimator(r.bounds(), r.size(), s.bounds(), s.size(),
                               options.metric);
-      qopts.boundary_fn = estimator.BoundaryFn();
+      fn = estimator.BoundaryFn();
     }
+    qopts.boundary_fn = [fn = std::move(fn),
+                         metric = options.metric](uint64_t c) {
+      return geom::DistanceToKey(fn(c), metric);
+    };
   }
   return qopts;
 }
@@ -53,11 +60,54 @@ Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
                                           : options.s_window,
                                  &children));
   const PairRef& other = expand_r ? pair.s : pair.r;
+  const size_t n = children.size();
+  if (options.metric == geom::Metric::kL2 && n > 0) {
+    // One-sided expansion is the ideal batch shape: n child rects against
+    // one fixed rect under a cutoff that is static for the whole loop
+    // (`cutoff` is a value parameter — tracker updates do not feed back
+    // into this expansion, matching the scalar code path exactly).
+    struct BatchScratch {
+      std::vector<double> lo0, hi0, lo1, hi1, keys;
+      std::vector<uint32_t> idx;
+    };
+    thread_local BatchScratch b;
+    b.lo0.resize(n);
+    b.hi0.resize(n);
+    b.lo1.resize(n);
+    b.hi1.resize(n);
+    b.keys.resize(n);
+    b.idx.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const geom::Rect& rc = children[i].rect;
+      b.lo0[i] = rc.lo.x;
+      b.hi0[i] = rc.hi.x;
+      b.lo1[i] = rc.lo.y;
+      b.hi1[i] = rc.hi.y;
+    }
+    stats->real_distance_computations += n;
+    geom::BatchMinDistSquared(b.lo0.data(), b.hi0.data(), b.lo1.data(),
+                              b.hi1.data(), other.rect.lo.x, other.rect.hi.x,
+                              other.rect.lo.y, other.rect.hi.y, n,
+                              b.keys.data());
+    const size_t kept =
+        geom::BatchFilterWithin(b.keys.data(), n, cutoff, b.idx.data());
+    for (size_t j = 0; j < kept; ++j) {
+      const uint32_t i = b.idx[j];
+      PairEntry e;
+      e.r = expand_r ? children[i] : other;
+      e.s = expand_r ? other : children[i];
+      e.key = b.keys[i];
+      if (options.exclude_same_id && IsSelfPair(e.r, e.s)) continue;
+      AMDJ_RETURN_IF_ERROR(queue->Push(e));
+      if (tracker != nullptr) tracker->OnPush(e);
+    }
+    return Status::OK();
+  }
   for (const PairRef& child : children) {
     ++stats->real_distance_computations;
     PairEntry e = expand_r ? MakePair(child, other, options.metric)
                            : MakePair(other, child, options.metric);
-    if (e.distance > cutoff) continue;
+    if (e.key > cutoff) continue;
     if (options.exclude_same_id && IsSelfPair(e.r, e.s)) continue;
     AMDJ_RETURN_IF_ERROR(queue->Push(e));
     if (tracker != nullptr) tracker->OnPush(e);
@@ -91,12 +141,13 @@ StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
     if (c.IsObjectPair()) {
-      results.push_back({c.distance, c.r.id, c.s.id});
+      results.push_back(
+          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
     tracker.OnNodePairLeave(c);
-    if (c.distance > tracker.Cutoff()) continue;
+    if (c.key > tracker.Cutoff()) continue;
     AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
         r, s, c, tracker.Cutoff(), options, &queue, &tracker, stats,
         &children));
@@ -127,7 +178,7 @@ Status HsIdjCursor::Next(ResultPair* out, bool* done) {
   while (!queue_.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue_.Pop(&c));
     if (c.IsObjectPair()) {
-      *out = {c.distance, c.r.id, c.s.id};
+      *out = {geom::KeyToDistance(c.key, options_.metric), c.r.id, c.s.id};
       ++produced_;
       ++stats_->pairs_produced;
       return Status::OK();

@@ -9,7 +9,7 @@ PairEntry MakePair(const PairRef& r, const PairRef& s,
   PairEntry e;
   e.r = r;
   e.s = s;
-  e.distance = geom::MinDistance(r.rect, s.rect, metric);
+  e.key = geom::MinDistanceKey(r.rect, s.rect, metric);
   return e;
 }
 
@@ -17,7 +17,7 @@ std::string PairEntry::ToString() const {
   std::ostringstream os;
   os << "<" << (r.IsObject() ? "obj " : "node ") << r.id << " @L"
      << static_cast<int>(r.level) << ", " << (s.IsObject() ? "obj " : "node ")
-     << s.id << " @L" << static_cast<int>(s.level) << "> dist=" << distance;
+     << s.id << " @L" << static_cast<int>(s.level) << "> key=" << key;
   if (WasExpanded()) os << " prior_cutoff=" << prior_cutoff;
   return os.str();
 }

@@ -30,14 +30,17 @@ struct PairRef {
 /// adaptive multi-stage algorithms. Trivially copyable so the hybrid queue
 /// can spill it to disk bytewise.
 struct PairEntry {
-  /// MinDistance(r.rect, s.rect); the priority.
-  double distance = 0.0;
+  /// MinDistanceKey(r.rect, s.rect); the priority. A metric *key* — the
+  /// squared distance under L2 (see geom::DistanceToKey) — not a distance;
+  /// KeyToDistance converts at emission.
+  double key = 0.0;
   PairRef r;
   PairRef s;
 
-  /// Cutoff (eDmax) in effect when this pair was partially expanded in an
-  /// earlier aggressive stage; kNeverExpanded if it has not been expanded.
-  /// Compensation sweeps use it to skip the already-examined sweep prefix.
+  /// Cutoff key (eDmax) in effect when this pair was partially expanded in
+  /// an earlier aggressive stage; kNeverExpanded if it has not been
+  /// expanded. Compensation sweeps use it to skip the already-examined
+  /// sweep prefix. Same key space as `key`.
   double prior_cutoff = kNeverExpanded;
   /// Sweep axis used by that earlier expansion (-1 = none).
   int8_t prior_axis = -1;
@@ -52,16 +55,17 @@ struct PairEntry {
   std::string ToString() const;
 };
 
-/// Main-queue order: ascending distance; with objects_first (the default)
-/// ties pop object pairs before node pairs (equal-distance results surface
-/// without extra expansions), then ids for determinism. objects_first =
-/// false is kind-blind, modelling a tie-naive implementation (see
+/// Main-queue order: ascending key (equivalently ascending distance — the
+/// key is monotone in it); with objects_first (the default) ties pop object
+/// pairs before node pairs (equal-distance results surface without extra
+/// expansions), then ids for determinism. objects_first = false is
+/// kind-blind, modelling a tie-naive implementation (see
 /// JoinOptions::tie_break).
 struct PairEntryCompare {
   bool objects_first = true;
 
   bool operator()(const PairEntry& a, const PairEntry& b) const {
-    if (a.distance != b.distance) return a.distance < b.distance;
+    if (a.key != b.key) return a.key < b.key;
     if (objects_first) {
       const bool ao = a.IsObjectPair();
       const bool bo = b.IsObjectPair();
@@ -72,8 +76,7 @@ struct PairEntryCompare {
   }
 };
 
-/// Builds a pair entry (computing its distance under `metric`) from two
-/// refs.
+/// Builds a pair entry (computing its key under `metric`) from two refs.
 PairEntry MakePair(const PairRef& r, const PairRef& s,
                    geom::Metric metric = geom::Metric::kL2);
 

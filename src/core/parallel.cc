@@ -37,53 +37,62 @@ void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
   if (cancelled_.load(std::memory_order_relaxed)) return;
 
   const bool dynamic_axis = task.static_axis_cutoff < 0.0;
-  // `axis_cutoff` is what PlaneSweep re-reads before every comparison; the
+  // `axis_cutoff` is what the sweep re-reads before every comparison; the
   // callback refreshes it from the shared atomic in dynamic mode, so a
   // coordinator-side Tighten() prunes the remainder of an in-flight sweep.
   double axis_cutoff =
       dynamic_axis ? shared_cutoff_.load(std::memory_order_relaxed)
                    : task.static_axis_cutoff;
   // Late prune (dynamic mode only): the cutoff may have shrunk below this
-  // pair's distance since it was batched. Its children would all lie
+  // pair's key since it was batched. Its children would all lie
   // strictly beyond the final k-th distance, so skipping the expansion
   // cannot change the result — it only saves the two child fetches that a
   // sequential pop would equally have skipped. Static-cutoff (AM-KDJ
   // stage-one) tasks are exempt: their pair stays inside eDmax by
   // construction, and the sequential stage expands those unconditionally.
-  if (dynamic_axis && task.pair.distance > axis_cutoff) return;
+  if (dynamic_axis && task.pair.key > axis_cutoff) return;
   ++slot->stats.node_expansions;
 
   slot->status = ChildList(r_, task.pair.r, options_.r_window, &slot->left);
   if (!slot->status.ok()) return;
   slot->status = ChildList(s_, task.pair.s, options_.s_window, &slot->right);
   if (!slot->status.ok()) return;
-  slot->plan = task.has_fixed_plan
-                   ? task.plan
-                   : ChooseSweepPlan(task.pair.r.rect, task.pair.s.rect,
-                                     axis_cutoff, options_.sweep);
+  slot->plan =
+      task.has_fixed_plan
+          ? task.plan
+          : ChooseSweepPlan(task.pair.r.rect, task.pair.s.rect,
+                            geom::KeyToDistance(axis_cutoff, options_.metric),
+                            options_.sweep);
 
-  slot->covered = PlaneSweep(
-      slot->left, slot->right, slot->plan, &axis_cutoff, &slot->stats,
-      [&](const PairRef& lref, const PairRef& rref, double axis_dist) {
-        if (axis_dist <= task.skip_below) return;  // examined earlier
-        ++slot->stats.real_distance_computations;
-        const double real =
-            geom::MinDistance(lref.rect, rref.rect, options_.metric);
-        const double cutoff =
-            shared_cutoff_.load(std::memory_order_relaxed);
-        if (dynamic_axis) axis_cutoff = cutoff;
-        // Stale-read safety: `cutoff` only ever shrinks, and any value we
-        // read is an upper bound of the final k-th distance, so dropping
-        // here never loses a result pair; keeping an extra candidate is
-        // harmless because the coordinator re-filters before pushing.
-        if (real > cutoff) return;
-        if (options_.exclude_same_id && IsSelfPair(lref, rref)) return;
-        PairEntry e;
-        e.r = lref;
-        e.s = rref;
-        e.distance = real;
-        slot->candidates.push_back(e);
-      });
+  double dist_cutoff = shared_cutoff_.load(std::memory_order_relaxed);
+  KeyedSweepSpec spec;
+  spec.metric = options_.metric;
+  spec.axis_cutoff_key = &axis_cutoff;
+  spec.dist_cutoff_key = &dist_cutoff;
+  spec.skip_axis_below_key = task.skip_below;  // examined by stage one
+  slot->covered =
+      PlaneSweepKeyed(
+          slot->left, slot->right, slot->plan, spec, &slot->stats,
+          [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+            // Refresh from the shared atomic once per survivor (not per
+            // candidate: stale-read safety makes the coarser cadence
+            // harmless). `cutoff` only ever shrinks, and any value we
+            // read is an upper bound of the final k-th key, so dropping
+            // here never loses a result pair; keeping an extra candidate
+            // is fine because the coordinator re-filters before pushing.
+            const double cutoff =
+                shared_cutoff_.load(std::memory_order_relaxed);
+            dist_cutoff = cutoff;
+            if (dynamic_axis) axis_cutoff = cutoff;
+            if (dist_key > cutoff) return;
+            if (options_.exclude_same_id && IsSelfPair(lref, rref)) return;
+            PairEntry e;
+            e.r = lref;
+            e.s = rref;
+            e.key = dist_key;
+            slot->candidates.push_back(e);
+          })
+          .axis_covered;
 }
 
 Status BatchExpander::Run(

@@ -30,9 +30,12 @@ namespace amdj::core {
 ///     skipping the already-examined prefix.
 struct ExpandTask {
   PairEntry pair;
-  /// >= 0: static axis cutoff for this sweep; < 0: track the shared cutoff.
+  /// >= 0: static axis cutoff key for this sweep; < 0: track the shared
+  /// cutoff. Key space throughout (geom::DistanceToKey), like every cutoff
+  /// below.
   double static_axis_cutoff = -1.0;
-  /// Skip callback invocations with axis_dist <= skip_below.
+  /// Skip candidates with axis-separation key <= skip_below (the sweep
+  /// prefix an earlier stage already examined).
   double skip_below = -1.0;
   /// Use `plan` instead of choosing one (compensation re-sweeps).
   bool has_fixed_plan = false;
@@ -51,7 +54,7 @@ struct ExpandSlot {
   std::vector<PairEntry> candidates;
   /// The sweep plan actually used (recorded for compensation bookkeeping).
   SweepPlan plan;
-  /// PlaneSweep's covered flag: false if some suffix was axis-pruned.
+  /// The sweep's axis-covered flag: false if some suffix was axis-pruned.
   bool covered = true;
   /// Per-worker counters, merged into the main JoinStats at round end so
   /// the hot path never touches shared counters.
@@ -75,11 +78,11 @@ inline void FoldSlotStats(ExpandSlot* slot, JoinStats* stats) {
 }
 
 /// True if pushed entry `e` exactly ties some task in tasks[first..] on
-/// distance and precedes at least one of them in main-queue order. Such a
+/// key and precedes at least one of them in main-queue order. Such a
 /// child would have been processed by the sequential loop *before* that
 /// task (the comparator's tie-break — objects first, then ids — ranks it
 /// earlier), so the round must be aborted and the remaining tasks
-/// re-queued. Strictly-smaller distances are safe: emission stops at the
+/// re-queued. Strictly-smaller keys are safe: emission stops at the
 /// minimum queued node pair, and every emittable object below that
 /// minimum already has its parent expanded. `tasks` is sorted in
 /// main-queue order, so the tied run is contiguous and its last element
@@ -92,18 +95,17 @@ inline bool TiesAheadOfPendingTask(const PairEntry& e,
   size_t hi = tasks.size();
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
-    if (tasks[mid].pair.distance < e.distance) {
+    if (tasks[mid].pair.key < e.key) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  if (lo == tasks.size() || tasks[lo].pair.distance != e.distance) {
+  if (lo == tasks.size() || tasks[lo].pair.key != e.key) {
     return false;
   }
   size_t last = lo;
-  while (last + 1 < tasks.size() &&
-         tasks[last + 1].pair.distance == e.distance) {
+  while (last + 1 < tasks.size() && tasks[last + 1].pair.key == e.key) {
     ++last;
   }
   return before(e, tasks[last].pair);

@@ -1,0 +1,46 @@
+#include "core/plane_sweeper.h"
+
+namespace amdj::core {
+
+void SweepSide::Build(const std::vector<PairRef>& items, int axis,
+                      bool forward) {
+  const std::size_t n = items.size();
+  size = n;
+  sort_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Rect& rc = items[i].rect;
+    // Backward sweeps are forward sweeps in negated coordinates.
+    const double key =
+        forward ? rc.lo.Coord(axis) : -rc.hi.Coord(axis);
+    sort_scratch_[i] = {key, items[i].id, static_cast<uint32_t>(i)};
+  }
+  std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+            [](const SortRec& a, const SortRec& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.id < b.id;
+            });
+  key_lo.resize(n);
+  key_hi.resize(n);
+  lo0.resize(n);
+  hi0.resize(n);
+  lo1.resize(n);
+  hi1.resize(n);
+  refs.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const PairRef& r = items[sort_scratch_[k].idx];
+    key_lo[k] = sort_scratch_[k].key;
+    key_hi[k] = forward ? r.rect.hi.Coord(axis) : -r.rect.lo.Coord(axis);
+    lo0[k] = r.rect.lo.x;
+    hi0[k] = r.rect.hi.x;
+    lo1[k] = r.rect.lo.y;
+    hi1[k] = r.rect.hi.y;
+    refs[k] = &r;
+  }
+}
+
+SweepArena* ThreadSweepArena() {
+  thread_local SweepArena arena;
+  return &arena;
+}
+
+}  // namespace amdj::core

@@ -35,9 +35,9 @@ class QdmaxTracker {
   void OnPush(const PairEntry& e) {
     if (e.IsObjectPair()) {
       if (policy_ == DistanceQueuePolicy::kObjectPairsOnly) {
-        objects_.Insert(e.distance);
+        objects_.Insert(e.key);
       } else {
-        tracked_.Insert(e.distance);
+        tracked_.Insert(e.key);
       }
       return;
     }
@@ -54,7 +54,7 @@ class QdmaxTracker {
     }
   }
 
-  /// The current qDmax.
+  /// The current qDmax, as a metric key (same space as PairEntry::key).
   double Cutoff() const {
     return policy_ == DistanceQueuePolicy::kObjectPairsOnly
                ? objects_.CutoffDistance()
@@ -63,7 +63,7 @@ class QdmaxTracker {
 
  private:
   double Certificate(const PairEntry& e) const {
-    return geom::MaxDistance(e.r.rect, e.s.rect, metric_);
+    return geom::MaxDistanceKey(e.r.rect, e.s.rect, metric_);
   }
 
   DistanceQueuePolicy policy_;

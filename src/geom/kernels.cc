@@ -1,0 +1,358 @@
+#include "geom/kernels.h"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define AMDJ_KERNELS_X86 1
+#include <emmintrin.h>
+#endif
+
+namespace amdj::geom {
+
+namespace {
+
+// Matches the SIMD maxpd semantics exactly: the second operand wins ties,
+// so max-with-0 canonicalizes a -0.0 gap to +0.0 in every backend.
+inline double MaxOp(double a, double b) { return a > b ? a : b; }
+
+inline double AxisGap(double d1, double d2) {
+  return MaxOp(MaxOp(d1, d2), 0.0);
+}
+
+}  // namespace
+
+namespace internal {
+
+void BatchAxisDistanceScalar(const double* lo, double anchor_hi,
+                             std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = MaxOp(lo[i] - anchor_hi, 0.0);
+  }
+}
+
+void BatchMinDistSquaredScalar(const double* lo0, const double* hi0,
+                               const double* lo1, const double* hi1,
+                               double q_lo0, double q_hi0, double q_lo1,
+                               double q_hi1, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = AxisGap(q_lo0 - hi0[i], lo0[i] - q_hi0);
+    const double dy = AxisGap(q_lo1 - hi1[i], lo1[i] - q_hi1);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+void BatchMinDistSquaredPointScalar(const double* px, const double* py,
+                                    double q_lo0, double q_hi0, double q_lo1,
+                                    double q_hi1, std::size_t n,
+                                    double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = AxisGap(q_lo0 - px[i], px[i] - q_hi0);
+    const double dy = AxisGap(q_lo1 - py[i], py[i] - q_hi1);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+std::size_t BatchFilterWithinScalar(const double* keys, std::size_t n,
+                                    double cutoff, std::uint32_t* out_idx) {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keys[i] <= cutoff) out_idx[m++] = static_cast<std::uint32_t>(i);
+  }
+  return m;
+}
+
+#if AMDJ_KERNELS_X86
+
+void BatchAxisDistanceSse2(const double* lo, double anchor_hi, std::size_t n,
+                           double* out) {
+  const __m128d hi = _mm_set1_pd(anchor_hi);
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d gap = _mm_sub_pd(_mm_loadu_pd(lo + i), hi);
+    _mm_storeu_pd(out + i, _mm_max_pd(gap, zero));
+  }
+  if (i < n) out[i] = MaxOp(lo[i] - anchor_hi, 0.0);
+}
+
+void BatchMinDistSquaredSse2(const double* lo0, const double* hi0,
+                             const double* lo1, const double* hi1,
+                             double q_lo0, double q_hi0, double q_lo1,
+                             double q_hi1, std::size_t n, double* out) {
+  const __m128d ql0 = _mm_set1_pd(q_lo0);
+  const __m128d qh0 = _mm_set1_pd(q_hi0);
+  const __m128d ql1 = _mm_set1_pd(q_lo1);
+  const __m128d qh1 = _mm_set1_pd(q_hi1);
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(ql0, _mm_loadu_pd(hi0 + i)),
+                   _mm_sub_pd(_mm_loadu_pd(lo0 + i), qh0)),
+        zero);
+    const __m128d dy = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(ql1, _mm_loadu_pd(hi1 + i)),
+                   _mm_sub_pd(_mm_loadu_pd(lo1 + i), qh1)),
+        zero);
+    _mm_storeu_pd(
+        out + i, _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)));
+  }
+  for (; i < n; ++i) {
+    const double dx = AxisGap(q_lo0 - hi0[i], lo0[i] - q_hi0);
+    const double dy = AxisGap(q_lo1 - hi1[i], lo1[i] - q_hi1);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+void BatchMinDistSquaredPointSse2(const double* px, const double* py,
+                                  double q_lo0, double q_hi0, double q_lo1,
+                                  double q_hi1, std::size_t n, double* out) {
+  const __m128d ql0 = _mm_set1_pd(q_lo0);
+  const __m128d qh0 = _mm_set1_pd(q_hi0);
+  const __m128d ql1 = _mm_set1_pd(q_lo1);
+  const __m128d qh1 = _mm_set1_pd(q_hi1);
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_loadu_pd(px + i);
+    const __m128d y = _mm_loadu_pd(py + i);
+    const __m128d dx = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(ql0, x), _mm_sub_pd(x, qh0)), zero);
+    const __m128d dy = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(ql1, y), _mm_sub_pd(y, qh1)), zero);
+    _mm_storeu_pd(
+        out + i, _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)));
+  }
+  for (; i < n; ++i) {
+    const double dx = AxisGap(q_lo0 - px[i], px[i] - q_hi0);
+    const double dy = AxisGap(q_lo1 - py[i], py[i] - q_hi1);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+std::size_t BatchFilterWithinSse2(const double* keys, std::size_t n,
+                                  double cutoff, std::uint32_t* out_idx) {
+  const __m128d c = _mm_set1_pd(cutoff);
+  std::size_t m = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int mask =
+        _mm_movemask_pd(_mm_cmple_pd(_mm_loadu_pd(keys + i), c));
+    if (mask & 1) out_idx[m++] = static_cast<std::uint32_t>(i);
+    if (mask & 2) out_idx[m++] = static_cast<std::uint32_t>(i + 1);
+  }
+  if (i < n && keys[i] <= cutoff) {
+    out_idx[m++] = static_cast<std::uint32_t>(i);
+  }
+  return m;
+}
+
+#else  // !AMDJ_KERNELS_X86
+
+// Non-x86 builds keep the per-backend symbols linkable (tests reference
+// them through runtime-availability guards); dispatch never selects them.
+void BatchAxisDistanceSse2(const double* lo, double anchor_hi, std::size_t n,
+                           double* out) {
+  BatchAxisDistanceScalar(lo, anchor_hi, n, out);
+}
+void BatchMinDistSquaredSse2(const double* lo0, const double* hi0,
+                             const double* lo1, const double* hi1,
+                             double q_lo0, double q_hi0, double q_lo1,
+                             double q_hi1, std::size_t n, double* out) {
+  BatchMinDistSquaredScalar(lo0, hi0, lo1, hi1, q_lo0, q_hi0, q_lo1, q_hi1,
+                            n, out);
+}
+void BatchMinDistSquaredPointSse2(const double* px, const double* py,
+                                  double q_lo0, double q_hi0, double q_lo1,
+                                  double q_hi1, std::size_t n, double* out) {
+  BatchMinDistSquaredPointScalar(px, py, q_lo0, q_hi0, q_lo1, q_hi1, n, out);
+}
+std::size_t BatchFilterWithinSse2(const double* keys, std::size_t n,
+                                  double cutoff, std::uint32_t* out_idx) {
+  return BatchFilterWithinScalar(keys, n, cutoff, out_idx);
+}
+
+#endif  // AMDJ_KERNELS_X86
+
+#if !AMDJ_HAVE_AVX2_KERNELS
+
+// Builds without the AVX2 translation unit: same linkability fallback.
+void BatchAxisDistanceAvx2(const double* lo, double anchor_hi, std::size_t n,
+                           double* out) {
+  BatchAxisDistanceSse2(lo, anchor_hi, n, out);
+}
+void BatchMinDistSquaredAvx2(const double* lo0, const double* hi0,
+                             const double* lo1, const double* hi1,
+                             double q_lo0, double q_hi0, double q_lo1,
+                             double q_hi1, std::size_t n, double* out) {
+  BatchMinDistSquaredSse2(lo0, hi0, lo1, hi1, q_lo0, q_hi0, q_lo1, q_hi1, n,
+                          out);
+}
+void BatchMinDistSquaredPointAvx2(const double* px, const double* py,
+                                  double q_lo0, double q_hi0, double q_lo1,
+                                  double q_hi1, std::size_t n, double* out) {
+  BatchMinDistSquaredPointSse2(px, py, q_lo0, q_hi0, q_lo1, q_hi1, n, out);
+}
+std::size_t BatchFilterWithinAvx2(const double* keys, std::size_t n,
+                                  double cutoff, std::uint32_t* out_idx) {
+  return BatchFilterWithinSse2(keys, n, cutoff, out_idx);
+}
+
+#endif  // !AMDJ_HAVE_AVX2_KERNELS
+
+}  // namespace internal
+
+namespace {
+
+KernelBackend BestAvailableBackend() {
+#if AMDJ_HAVE_AVX2_KERNELS
+  if (__builtin_cpu_supports("avx2")) return KernelBackend::kAvx2;
+#endif
+#if AMDJ_KERNELS_X86
+  return KernelBackend::kSse2;  // baseline on x86-64
+#else
+  return KernelBackend::kScalar;
+#endif
+}
+
+constexpr int kUnresolved = -1;
+std::atomic<int> g_backend{kUnresolved};
+
+}  // namespace
+
+const char* ToString(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kSse2:
+      return "sse2";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool KernelBackendAvailable(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return true;
+    case KernelBackend::kSse2:
+#if AMDJ_KERNELS_X86
+      return true;
+#else
+      return false;
+#endif
+    case KernelBackend::kAvx2:
+#if AMDJ_HAVE_AVX2_KERNELS
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelBackend ActiveKernelBackend() {
+  int b = g_backend.load(std::memory_order_relaxed);
+  if (b == kUnresolved) {
+    b = static_cast<int>(BestAvailableBackend());
+    g_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<KernelBackend>(b);
+}
+
+KernelBackend ForceKernelBackend(KernelBackend backend) {
+  while (!KernelBackendAvailable(backend)) {
+    backend = static_cast<KernelBackend>(static_cast<int>(backend) - 1);
+  }
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+  return backend;
+}
+
+void ResetKernelBackend() {
+  g_backend.store(kUnresolved, std::memory_order_relaxed);
+}
+
+void BatchAxisDistance(const double* lo, double anchor_hi, std::size_t n,
+                       double* out) {
+  switch (ActiveKernelBackend()) {
+#if AMDJ_HAVE_AVX2_KERNELS
+    case KernelBackend::kAvx2:
+      internal::BatchAxisDistanceAvx2(lo, anchor_hi, n, out);
+      return;
+#endif
+#if AMDJ_KERNELS_X86
+    case KernelBackend::kSse2:
+      internal::BatchAxisDistanceSse2(lo, anchor_hi, n, out);
+      return;
+#endif
+    default:
+      internal::BatchAxisDistanceScalar(lo, anchor_hi, n, out);
+      return;
+  }
+}
+
+void BatchMinDistSquared(const double* lo0, const double* hi0,
+                         const double* lo1, const double* hi1, double q_lo0,
+                         double q_hi0, double q_lo1, double q_hi1,
+                         std::size_t n, double* out) {
+  switch (ActiveKernelBackend()) {
+#if AMDJ_HAVE_AVX2_KERNELS
+    case KernelBackend::kAvx2:
+      internal::BatchMinDistSquaredAvx2(lo0, hi0, lo1, hi1, q_lo0, q_hi0,
+                                        q_lo1, q_hi1, n, out);
+      return;
+#endif
+#if AMDJ_KERNELS_X86
+    case KernelBackend::kSse2:
+      internal::BatchMinDistSquaredSse2(lo0, hi0, lo1, hi1, q_lo0, q_hi0,
+                                        q_lo1, q_hi1, n, out);
+      return;
+#endif
+    default:
+      internal::BatchMinDistSquaredScalar(lo0, hi0, lo1, hi1, q_lo0, q_hi0,
+                                          q_lo1, q_hi1, n, out);
+      return;
+  }
+}
+
+void BatchMinDistSquaredPoint(const double* px, const double* py,
+                              double q_lo0, double q_hi0, double q_lo1,
+                              double q_hi1, std::size_t n, double* out) {
+  switch (ActiveKernelBackend()) {
+#if AMDJ_HAVE_AVX2_KERNELS
+    case KernelBackend::kAvx2:
+      internal::BatchMinDistSquaredPointAvx2(px, py, q_lo0, q_hi0, q_lo1,
+                                             q_hi1, n, out);
+      return;
+#endif
+#if AMDJ_KERNELS_X86
+    case KernelBackend::kSse2:
+      internal::BatchMinDistSquaredPointSse2(px, py, q_lo0, q_hi0, q_lo1,
+                                             q_hi1, n, out);
+      return;
+#endif
+    default:
+      internal::BatchMinDistSquaredPointScalar(px, py, q_lo0, q_hi0, q_lo1,
+                                               q_hi1, n, out);
+      return;
+  }
+}
+
+std::size_t BatchFilterWithin(const double* keys, std::size_t n,
+                              double cutoff, std::uint32_t* out_idx) {
+  switch (ActiveKernelBackend()) {
+#if AMDJ_HAVE_AVX2_KERNELS
+    case KernelBackend::kAvx2:
+      return internal::BatchFilterWithinAvx2(keys, n, cutoff, out_idx);
+#endif
+#if AMDJ_KERNELS_X86
+    case KernelBackend::kSse2:
+      return internal::BatchFilterWithinSse2(keys, n, cutoff, out_idx);
+#endif
+    default:
+      return internal::BatchFilterWithinScalar(keys, n, cutoff, out_idx);
+  }
+}
+
+}  // namespace amdj::geom

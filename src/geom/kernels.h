@@ -1,0 +1,123 @@
+#ifndef AMDJ_GEOM_KERNELS_H_
+#define AMDJ_GEOM_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// Batched structure-of-arrays distance kernels for the plane-sweep hot
+/// path. Every kernel has a portable scalar implementation plus SSE2/AVX2
+/// variants selected once at startup by runtime CPU dispatch.
+///
+/// Bit-exactness contract: all backends produce bit-identical outputs for
+/// the same inputs. This holds because every backend performs the *same
+/// floating-point operations in the same order* per lane — compare, subtract,
+/// multiply, add — and the kernel translation units are compiled with FP
+/// contraction disabled (no FMA fusing a mul+add into one rounding). The
+/// SIMD max matches the scalar `a > b ? a : b` (second operand wins ties,
+/// which also canonicalizes -0.0 gaps to +0.0 in every backend). See
+/// DESIGN.md "Vectorized distance kernels".
+
+namespace amdj::geom {
+
+enum class KernelBackend : uint8_t {
+  kScalar = 0,  ///< Portable C++; always available.
+  kSse2 = 1,    ///< x86-64 baseline (2 doubles / op).
+  kAvx2 = 2,    ///< 4 doubles / op; requires CPU + compiler support.
+};
+
+/// Stable display name ("scalar", "sse2", "avx2").
+const char* ToString(KernelBackend backend);
+
+/// True if `backend` was compiled in and the running CPU supports it.
+bool KernelBackendAvailable(KernelBackend backend);
+
+/// The backend the Batch* entry points currently dispatch to (the best
+/// available one unless overridden by ForceKernelBackend).
+KernelBackend ActiveKernelBackend();
+
+/// Test hook: pin dispatch to `backend`. If it is unavailable, falls back
+/// to the best available one at or below it. Returns the backend actually
+/// in effect. Not thread-safe against concurrent Batch* calls; intended
+/// for tests and benchmarks only.
+KernelBackend ForceKernelBackend(KernelBackend backend);
+
+/// Undo ForceKernelBackend: dispatch to the best available backend again.
+void ResetKernelBackend();
+
+/// out[i] = max(0, lo[i] - anchor_hi): the one-sided axis separation of the
+/// sweep inner loop (items are scanned in ascending lo order past the
+/// anchor, so the anchor's interval never lies above a candidate's).
+void BatchAxisDistance(const double* lo, double anchor_hi, std::size_t n,
+                       double* out);
+
+/// Rect-by-rect: out[i] = squared L2 minimum distance between the i-th SoA
+/// rectangle [lo0[i],hi0[i]]x[lo1[i],hi1[i]] and the query rectangle
+/// [q_lo0,q_hi0]x[q_lo1,q_hi1]. Per axis the branch-free gap
+/// max(max(q_lo - hi[i], lo[i] - q_hi), 0) is bit-identical to the branchy
+/// geom::AxisDistance, then fl(fl(dx*dx) + fl(dy*dy)) exactly as
+/// geom::MinDistanceSquared computes it.
+void BatchMinDistSquared(const double* lo0, const double* hi0,
+                         const double* lo1, const double* hi1, double q_lo0,
+                         double q_hi0, double q_lo1, double q_hi1,
+                         std::size_t n, double* out);
+
+/// Point-by-rect: the i-th rectangle degenerates to the point
+/// (px[i], py[i]). Same value as BatchMinDistSquared with lo==hi==p.
+void BatchMinDistSquaredPoint(const double* px, const double* py,
+                              double q_lo0, double q_hi0, double q_lo1,
+                              double q_hi1, std::size_t n, double* out);
+
+/// Batched cutoff filter: compacts the indices i with keys[i] <= cutoff
+/// into out_idx (ascending) and returns how many survived.
+std::size_t BatchFilterWithin(const double* keys, std::size_t n,
+                              double cutoff, std::uint32_t* out_idx);
+
+namespace internal {
+
+// Per-backend entry points, exposed so tests and microbenches can compare
+// backends directly (exact ==). Every symbol always links: when a backend
+// was not compiled in, its functions forward to the next narrower backend
+// (KernelBackendAvailable reports the runtime truth — gate on it before
+// drawing conclusions from a comparison).
+
+void BatchAxisDistanceScalar(const double* lo, double anchor_hi,
+                             std::size_t n, double* out);
+void BatchMinDistSquaredScalar(const double* lo0, const double* hi0,
+                               const double* lo1, const double* hi1,
+                               double q_lo0, double q_hi0, double q_lo1,
+                               double q_hi1, std::size_t n, double* out);
+void BatchMinDistSquaredPointScalar(const double* px, const double* py,
+                                    double q_lo0, double q_hi0, double q_lo1,
+                                    double q_hi1, std::size_t n, double* out);
+std::size_t BatchFilterWithinScalar(const double* keys, std::size_t n,
+                                    double cutoff, std::uint32_t* out_idx);
+
+void BatchAxisDistanceSse2(const double* lo, double anchor_hi, std::size_t n,
+                           double* out);
+void BatchMinDistSquaredSse2(const double* lo0, const double* hi0,
+                             const double* lo1, const double* hi1,
+                             double q_lo0, double q_hi0, double q_lo1,
+                             double q_hi1, std::size_t n, double* out);
+void BatchMinDistSquaredPointSse2(const double* px, const double* py,
+                                  double q_lo0, double q_hi0, double q_lo1,
+                                  double q_hi1, std::size_t n, double* out);
+std::size_t BatchFilterWithinSse2(const double* keys, std::size_t n,
+                                  double cutoff, std::uint32_t* out_idx);
+
+void BatchAxisDistanceAvx2(const double* lo, double anchor_hi, std::size_t n,
+                           double* out);
+void BatchMinDistSquaredAvx2(const double* lo0, const double* hi0,
+                             const double* lo1, const double* hi1,
+                             double q_lo0, double q_hi0, double q_lo1,
+                             double q_hi1, std::size_t n, double* out);
+void BatchMinDistSquaredPointAvx2(const double* px, const double* py,
+                                  double q_lo0, double q_hi0, double q_lo1,
+                                  double q_hi1, std::size_t n, double* out);
+std::size_t BatchFilterWithinAvx2(const double* keys, std::size_t n,
+                                  double cutoff, std::uint32_t* out_idx);
+
+}  // namespace internal
+
+}  // namespace amdj::geom
+
+#endif  // AMDJ_GEOM_KERNELS_H_

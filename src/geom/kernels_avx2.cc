@@ -1,0 +1,116 @@
+// AVX2 kernel backend. This translation unit is the only one compiled with
+// -mavx2 (and explicitly WITHOUT -mfma: a fused mul+add would round once
+// where the scalar path rounds twice, breaking the bit-exactness contract).
+// Every lane performs exactly the scalar operation sequence: per-axis
+// max(max(sub, sub), 0), then mul, mul, add.
+
+#include "geom/kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace amdj::geom::internal {
+
+namespace {
+
+inline double MaxOp(double a, double b) { return a > b ? a : b; }
+
+inline double AxisGap(double d1, double d2) {
+  return MaxOp(MaxOp(d1, d2), 0.0);
+}
+
+}  // namespace
+
+void BatchAxisDistanceAvx2(const double* lo, double anchor_hi, std::size_t n,
+                           double* out) {
+  const __m256d hi = _mm256_set1_pd(anchor_hi);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d gap = _mm256_sub_pd(_mm256_loadu_pd(lo + i), hi);
+    _mm256_storeu_pd(out + i, _mm256_max_pd(gap, zero));
+  }
+  for (; i < n; ++i) out[i] = MaxOp(lo[i] - anchor_hi, 0.0);
+}
+
+void BatchMinDistSquaredAvx2(const double* lo0, const double* hi0,
+                             const double* lo1, const double* hi1,
+                             double q_lo0, double q_hi0, double q_lo1,
+                             double q_hi1, std::size_t n, double* out) {
+  const __m256d ql0 = _mm256_set1_pd(q_lo0);
+  const __m256d qh0 = _mm256_set1_pd(q_hi0);
+  const __m256d ql1 = _mm256_set1_pd(q_lo1);
+  const __m256d qh1 = _mm256_set1_pd(q_hi1);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(ql0, _mm256_loadu_pd(hi0 + i)),
+                      _mm256_sub_pd(_mm256_loadu_pd(lo0 + i), qh0)),
+        zero);
+    const __m256d dy = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(ql1, _mm256_loadu_pd(hi1 + i)),
+                      _mm256_sub_pd(_mm256_loadu_pd(lo1 + i), qh1)),
+        zero);
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+  }
+  for (; i < n; ++i) {
+    const double dx = AxisGap(q_lo0 - hi0[i], lo0[i] - q_hi0);
+    const double dy = AxisGap(q_lo1 - hi1[i], lo1[i] - q_hi1);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+void BatchMinDistSquaredPointAvx2(const double* px, const double* py,
+                                  double q_lo0, double q_hi0, double q_lo1,
+                                  double q_hi1, std::size_t n, double* out) {
+  const __m256d ql0 = _mm256_set1_pd(q_lo0);
+  const __m256d qh0 = _mm256_set1_pd(q_hi0);
+  const __m256d ql1 = _mm256_set1_pd(q_lo1);
+  const __m256d qh1 = _mm256_set1_pd(q_hi1);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(px + i);
+    const __m256d y = _mm256_loadu_pd(py + i);
+    const __m256d dx = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(ql0, x), _mm256_sub_pd(x, qh0)), zero);
+    const __m256d dy = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(ql1, y), _mm256_sub_pd(y, qh1)), zero);
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+  }
+  for (; i < n; ++i) {
+    const double dx = AxisGap(q_lo0 - px[i], px[i] - q_hi0);
+    const double dy = AxisGap(q_lo1 - py[i], py[i] - q_hi1);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+std::size_t BatchFilterWithinAvx2(const double* keys, std::size_t n,
+                                  double cutoff, std::uint32_t* out_idx) {
+  const __m256d c = _mm256_set1_pd(cutoff);
+  std::size_t m = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(keys + i), c, _CMP_LE_OQ));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      out_idx[m++] = static_cast<std::uint32_t>(i + bit);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (keys[i] <= cutoff) out_idx[m++] = static_cast<std::uint32_t>(i);
+  }
+  return m;
+}
+
+}  // namespace amdj::geom::internal
+
+#endif  // x86-64

@@ -56,6 +56,88 @@ inline double MaxDistance(const Rect& a, const Rect& b, Metric metric) {
   return 0.0;
 }
 
+/// The metric *key*: the value the join hot path stores and compares. For
+/// L2 it is the squared distance — strictly monotone in the true distance,
+/// so every comparison (queue order, cutoff tests, eDmax) is unchanged
+/// while the per-candidate sqrt disappears; for L1/LInf the key is the
+/// distance itself. Keys convert to distances with one KeyToDistance at
+/// emission and at the estimator API boundary.
+inline double DistanceToKey(double d, Metric metric) {
+  return metric == Metric::kL2 ? d * d : d;
+}
+
+/// Inverse of DistanceToKey. For L2 this is exact on round-trips:
+/// sqrt(fl(d*d)) == d for any non-negative double d whose square neither
+/// overflows nor underflows (classical IEEE-754 result).
+inline double KeyToDistance(double key, Metric metric) {
+  return metric == Metric::kL2 ? std::sqrt(key) : key;
+}
+
+/// Converts a *cutoff* from distance space to key space such that
+/// key <= DistanceToKeyCutoff(d) holds exactly when KeyToDistance(key) <= d:
+/// the largest key whose distance does not exceed `d`. DistanceToKey alone
+/// is not enough for cutoffs that did not originate as keys — fl(d*d) can
+/// land one ulp below the key of a pair at distance exactly `d` (sqrt(k)^2
+/// does not round-trip for arbitrary k), silently excluding boundary pairs
+/// that the distance-space comparison `dist <= d` admits. sqrt is weakly
+/// monotone, so {k : sqrt(k) <= d} is a prefix of the doubles and fl(d*d)
+/// is within an ulp or two of its end; the nextafter walks find it exactly.
+inline double DistanceToKeyCutoff(double d, Metric metric) {
+  if (metric != Metric::kL2) return d;
+  if (d < 0.0 || std::isinf(d)) return d;  // sentinels / no-cutoff pass through
+  double k = d * d;
+  while (std::sqrt(k) > d) {
+    k = std::nextafter(k, 0.0);
+  }
+  for (;;) {
+    const double up = std::nextafter(k, HUGE_VAL);
+    if (!(std::sqrt(up) <= d)) break;
+    k = up;
+  }
+  return k;
+}
+
+/// Key of a one-axis separation (a gap lower-bounds the distance on every
+/// Lp axis, so gap-key > cutoff-key is exactly the Lemma-1 prune in key
+/// space).
+inline double AxisGapToKey(double gap, Metric metric) {
+  return metric == Metric::kL2 ? gap * gap : gap;
+}
+
+/// DistanceToKey(MinDistance(a, b, metric)) computed without the sqrt
+/// round-trip: for L2 this is MinDistanceSquared's exact operation order
+/// (and the batch kernels'), fl(fl(dx*dx) + fl(dy*dy)).
+inline double MinDistanceKey(const Rect& a, const Rect& b, Metric metric) {
+  const double dx = AxisDistance(a, b, 0);
+  const double dy = AxisDistance(a, b, 1);
+  switch (metric) {
+    case Metric::kL2:
+      return dx * dx + dy * dy;
+    case Metric::kL1:
+      return dx + dy;
+    case Metric::kLInf:
+      return std::max(dx, dy);
+  }
+  return 0.0;
+}
+
+/// DistanceToKey(MaxDistance(a, b, metric)) without the sqrt round-trip.
+inline double MaxDistanceKey(const Rect& a, const Rect& b, Metric metric) {
+  const double dx =
+      std::max(std::abs(a.hi.x - b.lo.x), std::abs(b.hi.x - a.lo.x));
+  const double dy =
+      std::max(std::abs(a.hi.y - b.lo.y), std::abs(b.hi.y - a.lo.y));
+  switch (metric) {
+    case Metric::kL2:
+      return dx * dx + dy * dy;
+    case Metric::kL1:
+      return dx + dy;
+    case Metric::kLInf:
+      return std::max(dx, dy);
+  }
+  return 0.0;
+}
+
 /// Area of the "ball" of radius d under `metric` divided by d^2: pi for
 /// L2, 2 for L1 (a diamond), 4 for Linf (a square). Used by the Eq.-3
 /// estimator, whose derivation counts expected neighbors in a radius-d

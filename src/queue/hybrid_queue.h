@@ -18,8 +18,10 @@
 namespace amdj::queue {
 
 /// The paper's memory-parameterized *main queue* (Section 4.4): a priority
-/// queue range-partitioned by distance. The partition covering the shortest
-/// distances is an in-memory heap; every other partition is an unsorted
+/// queue range-partitioned by priority key (a metric key — squared distance
+/// under L2; partitioning by key partitions by distance since the key is
+/// monotone in it). The partition covering the smallest keys
+/// is an in-memory heap; every other partition is an unsorted
 /// on-disk pile (SegmentFile). When the heap overflows it is *split* (the
 /// longer-distance half spills to a new shortest-range segment); when it
 /// empties, the shortest-range segment is *swapped in* (re-spilling its
@@ -27,18 +29,20 @@ namespace amdj::queue {
 ///
 /// If `Options::boundary_fn` is provided (the paper derives it from Eq. 3:
 /// boundary_fn(c) = sqrt(c * rho), the estimated distance of the c-th
-/// closest pair), segment boundaries are predetermined at construction as
+/// closest pair — converted to key space by the caller), segment
+/// boundaries are predetermined at construction as
 /// boundary_fn(i * n) for heap capacity n, which routes distant insertions
 /// straight to the right pile and minimizes split/swap operations. Without
 /// it the queue degrades to adaptive median splits.
 ///
 /// Correctness invariant: every entry in a disk segment has
-/// distance >= the segment's lower_bound, and the heap only accepts entries
+/// key >= the segment's lower_bound, and the heap only accepts entries
 /// below the front segment's lower_bound — hence the global minimum is
 /// always in the heap (after swap-in when the heap runs dry).
 ///
-/// T must be trivially copyable with a public `double distance` member.
-/// Compare orders the heap and must be consistent with ascending distance.
+/// T must be trivially copyable with a public `double key` member (the
+/// priority). Compare orders the heap and must be consistent with
+/// ascending key.
 template <typename T, typename Compare>
 class HybridQueue {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -52,7 +56,7 @@ class HybridQueue {
     /// Backing store for disk segments. nullptr disables spilling: the
     /// queue stays entirely in memory regardless of memory_bytes.
     storage::DiskManager* disk = nullptr;
-    /// Estimated distance of the c-th closest pair (Eq. 3); see above.
+    /// Estimated key of the c-th closest pair (Eq. 3); see above.
     std::function<double(uint64_t)> boundary_fn;
     /// Number of predetermined segments created when boundary_fn is set.
     /// Each covers ~one heap capacity of entries under an accurate Eq.-3
@@ -91,12 +95,12 @@ class HybridQueue {
       stats_->main_queue_peak_size =
           std::max<uint64_t>(stats_->main_queue_peak_size, TotalSize() + 1);
     }
-    if (item.distance < HeapUpperBound()) {
+    if (item.key < HeapUpperBound()) {
       heap_.Push(item);
       if (heap_.Size() > capacity_) AMDJ_RETURN_IF_ERROR(Split());
       return Status::OK();
     }
-    return RouteToSegment(item.distance)->Append(&item);
+    return RouteToSegment(item.key)->Append(&item);
   }
 
   /// True when no entries remain anywhere.
@@ -171,14 +175,14 @@ class HybridQueue {
                              : segments_.front()->lower_bound;
   }
 
-  /// Last segment with lower_bound <= distance. Only called when
-  /// distance >= HeapUpperBound(), so a match always exists.
-  SegmentFile* RouteToSegment(double distance) {
+  /// Last segment with lower_bound <= key. Only called when
+  /// key >= HeapUpperBound(), so a match always exists.
+  SegmentFile* RouteToSegment(double key) {
     size_t lo = 0;
-    size_t hi = segments_.size();  // invariant: segments_[lo].lb <= distance
+    size_t hi = segments_.size();  // invariant: segments_[lo].lb <= key
     while (lo + 1 < hi) {
       const size_t mid = (lo + hi) / 2;
-      if (segments_[mid]->lower_bound <= distance) {
+      if (segments_[mid]->lower_bound <= key) {
         lo = mid;
       } else {
         hi = mid;
@@ -192,7 +196,7 @@ class HybridQueue {
   }
 
   /// Adjusts a sorted cut index so no kept entry ties with the spilled
-  /// boundary: a distance plateau must never straddle the memory/disk
+  /// boundary: a key plateau must never straddle the memory/disk
   /// boundary. Tied entries that ended up in the heap would pop before
   /// tied entries in the segment regardless of the comparator's
   /// tie-break, making pop order at a plateau depend on *when* splits
@@ -201,12 +205,12 @@ class HybridQueue {
   /// Returns items.size() when the whole range is one plateau (no
   /// distance boundary can split it).
   static size_t TieSafeCut(const std::vector<T>& items, size_t cut) {
-    while (cut > 0 && items[cut - 1].distance == items[cut].distance) --cut;
+    while (cut > 0 && items[cut - 1].key == items[cut].key) --cut;
     if (cut == 0) {
       // The closest plateau is wider than the intended in-memory half:
       // keep the whole plateau and spill only what lies beyond it.
-      const double d0 = items[0].distance;
-      while (cut < items.size() && items[cut].distance == d0) ++cut;
+      const double d0 = items[0].key;
+      while (cut < items.size() && items[cut].key == d0) ++cut;
     }
     return cut;
   }
@@ -216,7 +220,7 @@ class HybridQueue {
   Status Split() {
     std::vector<T> items = heap_.TakeAll();
     std::sort(items.begin(), items.end(), [](const T& a, const T& b) {
-      return a.distance < b.distance;
+      return a.key < b.key;
     });
     const size_t keep = TieSafeCut(items, capacity_ / 2);
     if (keep == items.size()) {
@@ -228,7 +232,7 @@ class HybridQueue {
     if (stats_ != nullptr) ++stats_->queue_splits;
     auto seg =
         std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
-    seg->lower_bound = items[keep].distance;
+    seg->lower_bound = items[keep].key;
     for (size_t i = keep; i < items.size(); ++i) {
       AMDJ_RETURN_IF_ERROR(seg->Append(&items[i]));
     }
@@ -254,13 +258,13 @@ class HybridQueue {
     seg->Drop();
     if (items.size() > capacity_) {
       std::sort(items.begin(), items.end(), [](const T& a, const T& b) {
-        return a.distance < b.distance;
+        return a.key < b.key;
       });
       const size_t keep = TieSafeCut(items, capacity_);
       if (keep < items.size()) {
         auto respill =
             std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
-        respill->lower_bound = items[keep].distance;
+        respill->lower_bound = items[keep].key;
         for (size_t i = keep; i < items.size(); ++i) {
           AMDJ_RETURN_IF_ERROR(respill->Append(&items[i]));
         }

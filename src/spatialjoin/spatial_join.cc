@@ -22,11 +22,14 @@ Status SpatialJoin::Within(
   if (stats == nullptr) stats = &local;
   if (r.size() == 0 || s.size() == 0) return Status::OK();
 
+  // Every internal comparison runs in key space; `dmax` converts once here
+  // and emissions convert back (exact round-trip for L2).
+  const double dmax_key = geom::DistanceToKeyCutoff(dmax, options.metric);
   std::vector<PairEntry> stack;
   {
     PairEntry root = core::MakePair(RootRef(r), RootRef(s), options.metric);
     ++stats->real_distance_computations;
-    if (root.distance > dmax) return Status::OK();
+    if (root.key > dmax_key) return Status::OK();
     stack.push_back(root);
   }
 
@@ -39,7 +42,8 @@ Status SpatialJoin::Within(
       // pairs_produced is reserved for end results (SJ-SORT counts the
       // post-sort output); callers wanting the raw join cardinality can
       // count in `emit`.
-      AMDJ_RETURN_IF_ERROR(emit({c.distance, c.r.id, c.s.id}));
+      AMDJ_RETURN_IF_ERROR(emit(
+          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id}));
       continue;
     }
     ++stats->node_expansions;
@@ -48,22 +52,21 @@ Status SpatialJoin::Within(
     const core::SweepPlan plan =
         core::ChooseSweepPlan(c.r.rect, c.s.rect, dmax, options.sweep);
     Status sweep_status;
-    const double cutoff = dmax;
-    core::PlaneSweep(
-        left, right, plan, &cutoff, stats,
-        [&](const PairRef& lref, const PairRef& rref, double /*axis_dist*/) {
+    core::KeyedSweepSpec spec;
+    spec.metric = options.metric;
+    spec.axis_cutoff_key = &dmax_key;
+    spec.dist_cutoff_key = &dmax_key;
+    core::PlaneSweepKeyed(
+        left, right, plan, spec, stats,
+        [&](const PairRef& lref, const PairRef& rref, double dist_key) {
           if (!sweep_status.ok()) return;
-          ++stats->real_distance_computations;
-          const double real =
-              geom::MinDistance(lref.rect, rref.rect, options.metric);
-          if (real > dmax) return;
           if (options.exclude_same_id && core::IsSelfPair(lref, rref)) {
             return;
           }
           PairEntry e;
           e.r = lref;
           e.s = rref;
-          e.distance = real;
+          e.key = dist_key;
           stack.push_back(e);
         });
     AMDJ_RETURN_IF_ERROR(sweep_status);

@@ -26,19 +26,21 @@ TEST(PairEntryTest, IsTriviallyCopyableForDiskSpill) {
                 "ResultPair must memcpy-serialize for the external sorter");
 }
 
-TEST(PairEntryTest, MakePairComputesMetricDistance) {
+TEST(PairEntryTest, MakePairComputesMetricKey) {
   PairRef r, s;
   r.rect = Rect(0, 0, 1, 1);
   s.rect = Rect(4, 5, 6, 7);
-  EXPECT_DOUBLE_EQ(MakePair(r, s).distance, 5.0);
-  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kL1).distance, 7.0);
-  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kLInf).distance, 4.0);
+  // L2 keys are squared distances (dx=3, dy=4 -> 25); L1/LInf keys are the
+  // distances themselves.
+  EXPECT_DOUBLE_EQ(MakePair(r, s).key, 25.0);
+  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kL1).key, 7.0);
+  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kLInf).key, 4.0);
 }
 
-TEST(PairEntryTest, CompareOrdersByDistanceThenObjectness) {
+TEST(PairEntryTest, CompareOrdersByKeyThenObjectness) {
   auto make = [](double d, bool objects, uint32_t rid) {
     PairEntry e;
-    e.distance = d;
+    e.key = d;
     e.r.kind = objects ? RefKind::kObject : RefKind::kNode;
     e.s.kind = e.r.kind;
     e.r.id = rid;

@@ -7,6 +7,7 @@
 
 #include "core/distance_join.h"
 #include "core/semi_join.h"
+#include "geom/kernels.h"
 #include "test_util.h"
 #include "workload/generators.h"
 
@@ -64,6 +65,27 @@ TEST_P(DeterminismTest, DifferentSeedsDiffer) {
     any_diff = !(a.results[i] == b.results[i]);
   }
   EXPECT_TRUE(any_diff);
+}
+
+// The squared-distance/key refactor and the SIMD kernels must not change a
+// single emitted pair or its position: a run pinned to the scalar kernels
+// must be bit-identical — results, order, and work counters — to a run on
+// the dispatched (possibly SIMD) backend. This is the end-to-end form of
+// the kernels' bit-exactness contract.
+TEST_P(DeterminismTest, ScalarAndSimdBackendsEmitIdenticalPairOrder) {
+  geom::ForceKernelBackend(geom::KernelBackend::kScalar);
+  const RunOutput scalar = RunOnce(GetParam(), 424242);
+  geom::ResetKernelBackend();
+  const RunOutput dispatched = RunOnce(GetParam(), 424242);
+  ASSERT_EQ(scalar.results.size(), dispatched.results.size());
+  for (size_t i = 0; i < scalar.results.size(); ++i) {
+    ASSERT_EQ(scalar.results[i], dispatched.results[i])
+        << "rank " << i << " differs between scalar and "
+        << ToString(geom::ActiveKernelBackend()) << " backends";
+  }
+  EXPECT_EQ(scalar.distance_computations, dispatched.distance_computations);
+  EXPECT_EQ(scalar.queue_insertions, dispatched.queue_insertions);
+  EXPECT_EQ(scalar.node_accesses, dispatched.node_accesses);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKdj, DeterminismTest,

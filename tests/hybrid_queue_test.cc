@@ -13,13 +13,13 @@ namespace amdj::queue {
 namespace {
 
 struct Item {
-  double distance;
+  double key;
   uint64_t tag;
 };
 
 struct ItemCompare {
   bool operator()(const Item& a, const Item& b) const {
-    if (a.distance != b.distance) return a.distance < b.distance;
+    if (a.key != b.key) return a.key < b.key;
     return a.tag < b.tag;
   }
 };
@@ -42,7 +42,7 @@ TEST(HybridQueueTest, InMemoryBasicOrdering) {
   Item it;
   for (double expected : {1.0, 2.0, 3.0, 4.0, 5.0}) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    EXPECT_EQ(it.distance, expected);
+    EXPECT_EQ(it.key, expected);
   }
   EXPECT_TRUE(q.Empty());
   EXPECT_EQ(q.Pop(&it).code(), StatusCode::kOutOfRange);
@@ -64,7 +64,7 @@ TEST(HybridQueueTest, SpillsAndRecoversInOrder) {
   Item it;
   for (size_t i = 0; i < inserted.size(); ++i) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    ASSERT_EQ(it.distance, inserted[i]) << "at pop " << i;
+    ASSERT_EQ(it.key, inserted[i]) << "at pop " << i;
   }
   EXPECT_TRUE(q.Empty());
   EXPECT_GT(q.swapin_count(), 0u);
@@ -87,7 +87,7 @@ TEST(HybridQueueTest, InterleavedPushPopMatchesReference) {
     } else {
       auto min_it = std::min_element(reference.begin(), reference.end());
       ASSERT_TRUE(q.Pop(&it).ok());
-      ASSERT_EQ(it.distance, *min_it) << "step " << step;
+      ASSERT_EQ(it.key, *min_it) << "step " << step;
       reference.erase(min_it);
     }
   }
@@ -95,7 +95,7 @@ TEST(HybridQueueTest, InterleavedPushPopMatchesReference) {
   std::sort(reference.begin(), reference.end());
   for (double expected : reference) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    ASSERT_EQ(it.distance, expected);
+    ASSERT_EQ(it.key, expected);
   }
 }
 
@@ -147,7 +147,7 @@ TEST(HybridQueueTest, PredeterminedBoundariesKeepOrder) {
   Item it;
   for (double expected : inserted) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    ASSERT_EQ(it.distance, expected);
+    ASSERT_EQ(it.key, expected);
   }
 }
 
@@ -161,7 +161,7 @@ TEST(HybridQueueTest, TiesPreserveAllItems) {
   Item it;
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    EXPECT_EQ(it.distance, 42.0);
+    EXPECT_EQ(it.key, 42.0);
     EXPECT_FALSE(seen[it.tag]);
     seen[it.tag] = true;
   }
@@ -201,7 +201,7 @@ TEST(HybridQueueTest, TiePlateauPopOrderIsPushOrderIndependent) {
     Item it;
     for (size_t i = 0; i < reference.size(); ++i) {
       ASSERT_TRUE(q.Pop(&it).ok());
-      ASSERT_EQ(it.distance, reference[i].distance) << "perm " << perm
+      ASSERT_EQ(it.key, reference[i].key) << "perm " << perm
                                                     << " rank " << i;
       ASSERT_EQ(it.tag, reference[i].tag) << "perm " << perm << " rank "
                                           << i;
@@ -260,12 +260,12 @@ TEST(HybridQueueTest, PeekReturnsMinWithoutRemoving) {
   EXPECT_EQ(q.Peek(&it).code(), StatusCode::kOutOfRange);
   for (double d : {3.0, 1.0, 2.0}) ASSERT_TRUE(q.Push({d, 0}).ok());
   ASSERT_TRUE(q.Peek(&it).ok());
-  EXPECT_EQ(it.distance, 1.0);
+  EXPECT_EQ(it.key, 1.0);
   EXPECT_EQ(q.TotalSize(), 3u);
   ASSERT_TRUE(q.Pop(&it).ok());
-  EXPECT_EQ(it.distance, 1.0);
+  EXPECT_EQ(it.key, 1.0);
   ASSERT_TRUE(q.Peek(&it).ok());
-  EXPECT_EQ(it.distance, 2.0);
+  EXPECT_EQ(it.key, 2.0);
 }
 
 TEST(HybridQueueTest, PeekSwapsInSpilledSegments) {
@@ -278,9 +278,9 @@ TEST(HybridQueueTest, PeekSwapsInSpilledSegments) {
   // Drain the heap, leaving only disk segments; Peek must swap in.
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(q.Peek(&it).ok());
-    const double top = it.distance;
+    const double top = it.key;
     ASSERT_TRUE(q.Pop(&it).ok());
-    EXPECT_EQ(it.distance, top) << "Peek/Pop disagree at " << i;
+    EXPECT_EQ(it.key, top) << "Peek/Pop disagree at " << i;
   }
   EXPECT_TRUE(q.Empty());
 }
@@ -295,16 +295,16 @@ TEST(HybridQueueTest, PopBatchStopsAtRejectedEntry) {
   ASSERT_TRUE(q.PopBatch(10, [](const Item& i) { return i.tag == 1; }, &out)
                   .ok());
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0].distance, 1.0);
-  EXPECT_EQ(out[1].distance, 2.0);
+  EXPECT_EQ(out[0].key, 1.0);
+  EXPECT_EQ(out[1].key, 2.0);
   EXPECT_EQ(q.TotalSize(), 3u);
   // Now take "nodes": 3.0 and 4.0; 5.0 stays.
   out.clear();
   ASSERT_TRUE(q.PopBatch(10, [](const Item& i) { return i.tag == 0; }, &out)
                   .ok());
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0].distance, 3.0);
-  EXPECT_EQ(out[1].distance, 4.0);
+  EXPECT_EQ(out[0].key, 3.0);
+  EXPECT_EQ(out[1].key, 4.0);
   EXPECT_EQ(q.TotalSize(), 1u);
 }
 
@@ -322,7 +322,7 @@ TEST(HybridQueueTest, PopBatchHonorsMaxAndEmptyQueue) {
   ASSERT_TRUE(q.PopBatch(5, [](const Item&) { return true; }, &out).ok());
   EXPECT_EQ(out.size(), 10u);  // empty queue: no-op, not an error
   for (size_t i = 0; i < out.size(); ++i) {
-    EXPECT_EQ(out[i].distance, static_cast<double>(i));
+    EXPECT_EQ(out[i].key, static_cast<double>(i));
   }
 }
 
@@ -344,7 +344,7 @@ TEST(HybridQueueTest, PopBatchCrossesSegmentBoundaries) {
   }
   ASSERT_EQ(out.size(), inserted.size());
   for (size_t i = 0; i < out.size(); ++i) {
-    EXPECT_EQ(out[i].distance, inserted[i]) << "rank " << i;
+    EXPECT_EQ(out[i].key, inserted[i]) << "rank " << i;
   }
 }
 

@@ -1,0 +1,342 @@
+// SIMD/scalar bit-exactness for the batch distance kernels: every backend
+// must produce *exactly* the same doubles (==, not near) on random and
+// adversarial inputs, and runtime dispatch must clamp to what the build and
+// CPU actually provide. See DESIGN.md "Vectorized distance kernels".
+
+#include "geom/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/metric.h"
+#include "geom/rect.h"
+
+namespace amdj::geom {
+namespace {
+
+// Exercises every vector-width remainder: scalar tails of 1..7 lanes around
+// the SSE2 (2) and AVX2 (4) strides, plus empty and a large batch.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 17, 63, 64, 65, 257};
+
+struct SoaRects {
+  std::vector<double> lo0, hi0, lo1, hi1;
+
+  void Add(double l0, double h0, double l1, double h1) {
+    lo0.push_back(l0);
+    hi0.push_back(h0);
+    lo1.push_back(l1);
+    hi1.push_back(h1);
+  }
+  size_t size() const { return lo0.size(); }
+};
+
+// A batch mixing the geometric edge cases a sweep actually produces:
+// touching rects (gap exactly 0), overlapping, degenerate points,
+// negative coordinates, -0.0 boundaries, tiny and huge magnitudes.
+SoaRects EdgeCaseBatch() {
+  SoaRects r;
+  r.Add(1.0, 2.0, 1.0, 2.0);        // touches query hi edge
+  r.Add(-2.0, -1.0, -2.0, -1.0);    // negative quadrant
+  r.Add(0.0, 0.0, 0.0, 0.0);        // degenerate point at origin
+  r.Add(-0.0, -0.0, -0.0, 0.0);     // signed-zero bounds
+  r.Add(-5.0, 5.0, -5.0, 5.0);      // strictly contains the query
+  r.Add(0.25, 0.75, 0.25, 0.75);    // strictly inside the query
+  r.Add(1e-300, 2e-300, 0.0, 1.0);  // denormal-adjacent gaps
+  r.Add(1e150, 2e150, 0.0, 1.0);    // squares near overflow
+  r.Add(3.0, 4.0, -4.0, -3.0);      // diagonal separation
+  r.Add(std::nextafter(1.0, 2.0), 3.0, 0.0, 1.0);  // one-ulp gap
+  return r;
+}
+
+SoaRects RandomBatch(Random* rng, size_t n) {
+  SoaRects r;
+  for (size_t i = 0; i < n; ++i) {
+    // Mix scales and signs; ~1/4 degenerate to points, ~1/4 tie exactly
+    // with the query boundary at 1.0 to exercise <=/== paths.
+    const double scale = (i % 3 == 0) ? 1e-6 : ((i % 3 == 1) ? 1.0 : 1e6);
+    double l0 = (rng->NextDouble() * 2.0 - 1.0) * scale;
+    double l1 = (rng->NextDouble() * 2.0 - 1.0) * scale;
+    double w0 = (i % 4 == 0) ? 0.0 : rng->NextDouble() * scale;
+    double w1 = (i % 4 == 0) ? 0.0 : rng->NextDouble() * scale;
+    if (i % 4 == 1) l0 = 1.0;  // exact tie with q_hi0
+    r.Add(l0, l0 + w0, l1, l1 + w1);
+  }
+  return r;
+}
+
+std::vector<KernelBackend> AvailableBackends() {
+  std::vector<KernelBackend> v = {KernelBackend::kScalar};
+  if (KernelBackendAvailable(KernelBackend::kSse2)) {
+    v.push_back(KernelBackend::kSse2);
+  }
+  if (KernelBackendAvailable(KernelBackend::kAvx2)) {
+    v.push_back(KernelBackend::kAvx2);
+  }
+  return v;
+}
+
+void RunAxisDistance(KernelBackend b, const double* lo, double anchor_hi,
+                     size_t n, double* out) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      internal::BatchAxisDistanceScalar(lo, anchor_hi, n, out);
+      return;
+    case KernelBackend::kSse2:
+      internal::BatchAxisDistanceSse2(lo, anchor_hi, n, out);
+      return;
+    case KernelBackend::kAvx2:
+      internal::BatchAxisDistanceAvx2(lo, anchor_hi, n, out);
+      return;
+  }
+}
+
+void RunMinDist(KernelBackend b, const SoaRects& r, const Rect& q, size_t n,
+                double* out) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      internal::BatchMinDistSquaredScalar(r.lo0.data(), r.hi0.data(),
+                                          r.lo1.data(), r.hi1.data(), q.lo.x,
+                                          q.hi.x, q.lo.y, q.hi.y, n, out);
+      return;
+    case KernelBackend::kSse2:
+      internal::BatchMinDistSquaredSse2(r.lo0.data(), r.hi0.data(),
+                                        r.lo1.data(), r.hi1.data(), q.lo.x,
+                                        q.hi.x, q.lo.y, q.hi.y, n, out);
+      return;
+    case KernelBackend::kAvx2:
+      internal::BatchMinDistSquaredAvx2(r.lo0.data(), r.hi0.data(),
+                                        r.lo1.data(), r.hi1.data(), q.lo.x,
+                                        q.hi.x, q.lo.y, q.hi.y, n, out);
+      return;
+  }
+}
+
+void RunMinDistPoint(KernelBackend b, const double* px, const double* py,
+                     const Rect& q, size_t n, double* out) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      internal::BatchMinDistSquaredPointScalar(px, py, q.lo.x, q.hi.x, q.lo.y,
+                                               q.hi.y, n, out);
+      return;
+    case KernelBackend::kSse2:
+      internal::BatchMinDistSquaredPointSse2(px, py, q.lo.x, q.hi.x, q.lo.y,
+                                             q.hi.y, n, out);
+      return;
+    case KernelBackend::kAvx2:
+      internal::BatchMinDistSquaredPointAvx2(px, py, q.lo.x, q.hi.x, q.lo.y,
+                                             q.hi.y, n, out);
+      return;
+  }
+}
+
+size_t RunFilter(KernelBackend b, const double* keys, size_t n, double cutoff,
+                 uint32_t* idx) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      return internal::BatchFilterWithinScalar(keys, n, cutoff, idx);
+    case KernelBackend::kSse2:
+      return internal::BatchFilterWithinSse2(keys, n, cutoff, idx);
+    case KernelBackend::kAvx2:
+      return internal::BatchFilterWithinAvx2(keys, n, cutoff, idx);
+  }
+  return 0;
+}
+
+// Every backend's output must be byte-identical to the scalar reference
+// (EXPECT_EQ on doubles would treat -0.0 == +0.0 and NaN != NaN; memcmp is
+// the actual contract).
+void ExpectBitIdentical(const std::vector<double>& ref,
+                        const std::vector<double>& got, KernelBackend b,
+                        size_t n) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(std::memcmp(&ref[i], &got[i], sizeof(double)), 0)
+        << ToString(b) << " lane " << i << ": scalar=" << ref[i]
+        << " simd=" << got[i] << " (n=" << n << ")";
+  }
+}
+
+TEST(KernelDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(KernelBackendAvailable(KernelBackend::kScalar));
+}
+
+TEST(KernelDispatchTest, ForceClampsToAvailableAndResets) {
+  const KernelBackend best = ActiveKernelBackend();
+  // Forcing scalar always succeeds: the dispatch table must honor it.
+  EXPECT_EQ(ForceKernelBackend(KernelBackend::kScalar),
+            KernelBackend::kScalar);
+  EXPECT_EQ(ActiveKernelBackend(), KernelBackend::kScalar);
+  // Forcing the widest backend lands on it when available, else clamps
+  // down to something that is.
+  const KernelBackend forced = ForceKernelBackend(KernelBackend::kAvx2);
+  EXPECT_TRUE(KernelBackendAvailable(forced));
+  if (KernelBackendAvailable(KernelBackend::kAvx2)) {
+    EXPECT_EQ(forced, KernelBackend::kAvx2);
+  } else {
+    EXPECT_LT(static_cast<int>(forced),
+              static_cast<int>(KernelBackend::kAvx2));
+  }
+  ResetKernelBackend();
+  EXPECT_EQ(ActiveKernelBackend(), best);
+}
+
+TEST(KernelDispatchTest, PublicEntryPointsFollowForcedBackend) {
+  // The public BatchAxisDistance must route through the forced backend and
+  // still produce the scalar bits (spot check; full equivalence below).
+  Random rng(7);
+  std::vector<double> lo(33), ref(33), got(33);
+  for (auto& v : lo) v = rng.NextDouble() * 10.0 - 5.0;
+  internal::BatchAxisDistanceScalar(lo.data(), 1.5, lo.size(), ref.data());
+  for (KernelBackend b : AvailableBackends()) {
+    ASSERT_EQ(ForceKernelBackend(b), b);
+    BatchAxisDistance(lo.data(), 1.5, lo.size(), got.data());
+    ExpectBitIdentical(ref, got, b, lo.size());
+  }
+  ResetKernelBackend();
+}
+
+TEST(KernelEquivalenceTest, AxisDistanceRandomizedAllSizes) {
+  Random rng(1234);
+  for (size_t n : kSizes) {
+    std::vector<double> lo(n + 1, 0.0);  // +1 guards against overreads
+    for (size_t i = 0; i < n; ++i) {
+      lo[i] = rng.NextDouble() * 2000.0 - 1000.0;
+      if (i % 5 == 0) lo[i] = 42.0;  // exact ties with the anchor
+    }
+    std::vector<double> ref(n + 1, -7.0), got(n + 1, -7.0);
+    internal::BatchAxisDistanceScalar(lo.data(), 42.0, n, ref.data());
+    for (size_t i = 0; i < n; ++i) {
+      // The scalar kernel must agree with the branchy single-gap form.
+      const double gap = lo[i] - 42.0;
+      EXPECT_EQ(ref[i], gap > 0.0 ? gap : 0.0) << i;
+      EXPECT_FALSE(std::signbit(ref[i])) << "lane " << i << " produced -0.0";
+    }
+    for (KernelBackend b : AvailableBackends()) {
+      std::fill(got.begin(), got.end(), -7.0);
+      RunAxisDistance(b, lo.data(), 42.0, n, got.data());
+      ExpectBitIdentical(ref, got, b, n);
+      EXPECT_EQ(got[n], -7.0) << ToString(b) << " wrote past n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, MinDistSquaredEdgeCases) {
+  const SoaRects batch = EdgeCaseBatch();
+  const Rect q(0.0, 0.0, 1.0, 1.0);
+  const size_t n = batch.size();
+  std::vector<double> ref(n), got(n);
+  RunMinDist(KernelBackend::kScalar, batch, q, n, ref.data());
+  // The scalar kernel must match geom::MinDistanceKey exactly — it is the
+  // value the non-batched code paths compute and compare against.
+  for (size_t i = 0; i < n; ++i) {
+    const Rect r(batch.lo0[i], batch.lo1[i], batch.hi0[i], batch.hi1[i]);
+    EXPECT_EQ(ref[i], MinDistanceKey(r, q, Metric::kL2)) << "lane " << i;
+    EXPECT_FALSE(std::signbit(ref[i])) << "lane " << i << " produced -0.0";
+  }
+  for (KernelBackend b : AvailableBackends()) {
+    RunMinDist(b, batch, q, n, got.data());
+    ExpectBitIdentical(ref, got, b, n);
+  }
+}
+
+TEST(KernelEquivalenceTest, MinDistSquaredRandomizedAllSizes) {
+  Random rng(99);
+  const Rect q(-3.0, -2.0, 5.0, 7.0);
+  for (size_t n : kSizes) {
+    const SoaRects batch = RandomBatch(&rng, n);
+    std::vector<double> ref(n), got(n);
+    RunMinDist(KernelBackend::kScalar, batch, q, n, ref.data());
+    for (KernelBackend b : AvailableBackends()) {
+      std::fill(got.begin(), got.end(), -1.0);
+      RunMinDist(b, batch, q, n, got.data());
+      ExpectBitIdentical(ref, got, b, n);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, MinDistSquaredPointRandomizedAllSizes) {
+  Random rng(4321);
+  const Rect q(-1.0, -1.0, 1.0, 1.0);
+  for (size_t n : kSizes) {
+    std::vector<double> px(n), py(n);
+    for (size_t i = 0; i < n; ++i) {
+      px[i] = rng.NextDouble() * 6.0 - 3.0;
+      py[i] = rng.NextDouble() * 6.0 - 3.0;
+      if (i % 7 == 0) px[i] = 1.0;   // on the boundary
+      if (i % 7 == 1) px[i] = -0.0;  // signed zero inside
+    }
+    std::vector<double> ref(n), got(n);
+    RunMinDistPoint(KernelBackend::kScalar, px.data(), py.data(), q, n,
+                    ref.data());
+    for (size_t i = 0; i < n; ++i) {
+      const Rect p(px[i], py[i], px[i], py[i]);
+      EXPECT_EQ(ref[i], MinDistanceKey(p, q, Metric::kL2)) << "lane " << i;
+    }
+    for (KernelBackend b : AvailableBackends()) {
+      RunMinDistPoint(b, px.data(), py.data(), q, n, got.data());
+      ExpectBitIdentical(ref, got, b, n);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, FilterWithinMatchesScalarExactly) {
+  Random rng(8);
+  for (size_t n : kSizes) {
+    std::vector<double> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng.NextDouble();
+      if (i % 3 == 0) keys[i] = 0.5;  // plateau exactly at the cutoff
+    }
+    std::vector<uint32_t> ref_idx(n + 1, 0xDEADBEEF);
+    std::vector<uint32_t> got_idx(n + 1, 0xDEADBEEF);
+    const size_t ref_n =
+        RunFilter(KernelBackend::kScalar, keys.data(), n, 0.5,
+                  ref_idx.data());
+    // Scalar reference semantics: ascending indices of keys[i] <= cutoff.
+    size_t expect = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (keys[i] <= 0.5) {
+        ASSERT_LT(expect, ref_n);
+        EXPECT_EQ(ref_idx[expect], i);
+        ++expect;
+      }
+    }
+    EXPECT_EQ(expect, ref_n);
+    for (KernelBackend b : AvailableBackends()) {
+      std::fill(got_idx.begin(), got_idx.end(), 0xDEADBEEF);
+      const size_t got_n = RunFilter(b, keys.data(), n, 0.5, got_idx.data());
+      ASSERT_EQ(got_n, ref_n) << ToString(b) << " n=" << n;
+      for (size_t i = 0; i < got_n; ++i) {
+        EXPECT_EQ(got_idx[i], ref_idx[i]) << ToString(b) << " slot " << i;
+      }
+      EXPECT_EQ(got_idx[ref_n], 0xDEADBEEFu)
+          << ToString(b) << " wrote past the survivor count";
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, FilterHandlesInfinityAndHugeCutoffs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> keys = {0.0, inf, 1e308, -0.0, 5.0};
+  std::vector<uint32_t> ref_idx(keys.size()), got_idx(keys.size());
+  for (double cutoff : {inf, 1e308, 0.0}) {
+    const size_t ref_n = RunFilter(KernelBackend::kScalar, keys.data(),
+                                   keys.size(), cutoff, ref_idx.data());
+    for (KernelBackend b : AvailableBackends()) {
+      const size_t got_n = RunFilter(b, keys.data(), keys.size(), cutoff,
+                                     got_idx.data());
+      ASSERT_EQ(got_n, ref_n) << ToString(b) << " cutoff=" << cutoff;
+      for (size_t i = 0; i < got_n; ++i) {
+        EXPECT_EQ(got_idx[i], ref_idx[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amdj::geom
