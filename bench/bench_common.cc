@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/run_report.h"
 #include "rtree/entry.h"
 
 namespace amdj::bench {
@@ -108,9 +109,11 @@ struct ColdRun {
 };
 
 /// When AMDJ_BENCH_JSON names a file, every measured run appends one JSON
-/// line there: {"bench","algorithm","k","wall_ms","node_accesses",
-/// "distance_computations","queue_insertions"}. scripts/run_all_benches.sh
-/// points this at a per-bench file and assembles BENCH_PR2.json from them.
+/// line there: {"bench","algorithm","k","wall_ms", the legacy top-level
+/// keys "node_accesses"/"distance_computations"/"queue_insertions", and the
+/// complete counter block under "stats" (JoinStats::ToJson, the same schema
+/// amdj_cli --report-json embeds). scripts/run_all_benches.sh points this at
+/// a per-bench file and assembles BENCH_PR2.json from them.
 void AppendJsonStats(const char* algorithm, uint64_t k, double wall_ms,
                      const JoinStats& stats) {
   const char* path = std::getenv("AMDJ_BENCH_JSON");
@@ -122,10 +125,29 @@ void AppendJsonStats(const char* algorithm, uint64_t k, double wall_ms,
                "{\"bench\":\"%s\",\"algorithm\":\"%s\",\"k\":%" PRIu64
                ",\"wall_ms\":%.3f,\"node_accesses\":%" PRIu64
                ",\"distance_computations\":%" PRIu64
-               ",\"queue_insertions\":%" PRIu64 "}\n",
+               ",\"queue_insertions\":%" PRIu64 ",\"stats\":%s}\n",
                bench != nullptr ? bench : "", algorithm, k, wall_ms,
                stats.node_accesses, stats.real_distance_computations,
-               stats.main_queue_insertions);
+               stats.main_queue_insertions, stats.ToJson().c_str());
+  std::fclose(f);
+}
+
+/// When AMDJ_BENCH_REPORT_JSON names a file, every measured run also
+/// carries a RunReport and appends its JSON (per-phase counter deltas +
+/// cutoff trajectory) as one line there.
+const char* ReportJsonPath() {
+  const char* path = std::getenv("AMDJ_BENCH_REPORT_JSON");
+  return (path != nullptr && *path != '\0') ? path : nullptr;
+}
+
+void AppendRunReport(const RunReport& report) {
+  const char* path = ReportJsonPath();
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  const std::string json = report.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
 }
 
@@ -134,22 +156,29 @@ void AppendJsonStats(const char* algorithm, uint64_t k, double wall_ms,
 RunResult RunKdjCold(BenchEnv& env, core::KdjAlgorithm algorithm, uint64_t k,
                      const core::JoinOptions& options) {
   RunResult run;
+  RunReport report;
+  core::JoinOptions run_options = options;
+  if (ReportJsonPath() != nullptr) run_options.report = &report;
   ColdRun cold(env);
   auto result = core::RunKDistanceJoin(*env.streets, *env.hydro, k,
-                                       algorithm, options, &run.stats);
+                                       algorithm, run_options, &run.stats);
   AMDJ_CHECK(result.ok()) << result.status().ToString();
   run.results = std::move(*result);
   cold.Finish(env, &run.stats);
   AppendJsonStats(core::ToString(algorithm), k, cold.ElapsedMs(), run.stats);
+  if (run_options.report != nullptr) AppendRunReport(report);
   return run;
 }
 
 RunResult RunIdjCold(BenchEnv& env, core::IdjAlgorithm algorithm, uint64_t k,
                      const core::JoinOptions& options) {
   RunResult run;
+  RunReport report;
+  core::JoinOptions run_options = options;
+  if (ReportJsonPath() != nullptr) run_options.report = &report;
   ColdRun cold(env);
   auto cursor = core::OpenIncrementalJoin(*env.streets, *env.hydro,
-                                          algorithm, options, &run.stats);
+                                          algorithm, run_options, &run.stats);
   AMDJ_CHECK(cursor.ok()) << cursor.status().ToString();
   core::ResultPair pair;
   bool done = false;
@@ -159,8 +188,10 @@ RunResult RunIdjCold(BenchEnv& env, core::IdjAlgorithm algorithm, uint64_t k,
     if (done) break;
     run.results.push_back(pair);
   }
+  cursor->reset();  // the cursor's destructor finalizes the report
   cold.Finish(env, &run.stats);
   AppendJsonStats(core::ToString(algorithm), k, cold.ElapsedMs(), run.stats);
+  if (run_options.report != nullptr) AppendRunReport(report);
   return run;
 }
 

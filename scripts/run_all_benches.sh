@@ -8,7 +8,9 @@
 # BENCH_PR2.json at the repo root: per figure-bench the wall ms, node
 # accesses and distance computations of every measured run (emitted by
 # bench_common via AMDJ_BENCH_JSON), per microbench the google-benchmark
-# JSON entries — so the perf trajectory is tracked PR over PR.
+# JSON entries — so the perf trajectory is tracked PR over PR. Each figure
+# bench also gets a <name>.reports.jsonl of per-run RunReport JSON (phase
+# deltas + cutoff trajectory) via AMDJ_BENCH_REPORT_JSON.
 set -u
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -33,8 +35,9 @@ for bench in "$BUILD_DIR"/bench/*; do
       --benchmark_out="$OUT_DIR/json/$name.json" \
       --benchmark_out_format=json >"$OUT_DIR/$name.txt" 2>&1
   else
-    rm -f "$OUT_DIR/json/$name.jsonl"
+    rm -f "$OUT_DIR/json/$name.jsonl" "$OUT_DIR/json/$name.reports.jsonl"
     AMDJ_BENCH_NAME="$name" AMDJ_BENCH_JSON="$OUT_DIR/json/$name.jsonl" \
+      AMDJ_BENCH_REPORT_JSON="$OUT_DIR/json/$name.reports.jsonl" \
       "$bench" "${EXTRA_FLAGS[@]}" >"$OUT_DIR/$name.txt" 2>&1
   fi
   rc=$?
@@ -56,6 +59,7 @@ if command -v jq >/dev/null 2>&1; then
     # figure benches: one entry per measured run
     for f in "$OUT_DIR"/json/*.jsonl; do
       [ -e "$f" ] || continue
+      case "$f" in *.reports.jsonl) continue ;; esac  # RunReport lines
       jq -s '{(.[0].bench // "unknown"): {runs: .}}' "$f"
     done | jq -s 'add // {}' >"$OUT_DIR/json/_figs.json"
     # microbenches: name/real_time/items from google-benchmark JSON

@@ -1,0 +1,233 @@
+#include "common/run_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <type_traits>
+
+namespace amdj {
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!(v == v) || v > 1.7976931348623157e308 ||
+      v < -1.7976931348623157e308) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatCell(double v) {
+  char buf[32];
+  if (v == 0.0) return "0";
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string FormatCell(uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void RunReport::SetMeta(const std::string& algorithm, uint64_t k) {
+  algorithm_ = algorithm;
+  k_ = k;
+}
+
+void RunReport::BeginPhase(const std::string& name, const JoinStats& stats) {
+  if (finished_) return;
+  if (phase_open_) EndPhase(stats);
+  phase_open_ = true;
+  open_name_ = name;
+  open_begin_ = stats;
+  open_start_ = std::chrono::steady_clock::now();
+  queue_peak_ = 0;
+}
+
+void RunReport::EndPhase(const JoinStats& stats) {
+  if (!phase_open_) return;
+  Phase phase;
+  phase.name = open_name_;
+  phase.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - open_start_)
+                           .count();
+  phase.delta = SubtractJoinStats(stats, open_begin_);
+  phase.queue_depth_peak = queue_peak_;
+  phases_.push_back(std::move(phase));
+  phase_open_ = false;
+  queue_peak_ = 0;
+}
+
+void RunReport::OnCutoff(const char* label, double distance,
+                         uint64_t pairs_so_far) {
+  if (finished_) return;
+  CutoffPoint point{label, distance, pairs_so_far};
+  if (trajectory_.size() < kMaxTrajectory) {
+    trajectory_.push_back(std::move(point));
+  } else {
+    // Keep the first kMaxTrajectory-1 points and the most recent one: the
+    // last slot is overwritten so the final cutoff always survives, and
+    // the drop count makes the truncation visible.
+    ++trajectory_dropped_;
+    trajectory_.back() = std::move(point);
+  }
+}
+
+void RunReport::Finish(const JoinStats& stats) {
+  if (phase_open_ && !finished_) EndPhase(stats);
+  totals_ = stats;
+  finished_ = true;
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"schema\":\"amdj-run-report-v1\"";
+  out += ",\"algorithm\":" + JsonString(algorithm_);
+  out += ",\"k\":" + std::to_string(k_);
+  out += ",\"phases\":[";
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    const Phase& p = phases_[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":" + JsonString(p.name);
+    out += ",\"wall_seconds\":" + JsonNumber(p.wall_seconds);
+    out += ",\"queue_depth_peak\":" + std::to_string(p.queue_depth_peak);
+    out += ",\"delta\":" + p.delta.ToJson();
+    out += '}';
+  }
+  out += "],\"cutoff_trajectory\":[";
+  for (size_t i = 0; i < trajectory_.size(); ++i) {
+    const CutoffPoint& c = trajectory_[i];
+    if (i > 0) out += ',';
+    out += "{\"label\":" + JsonString(c.label);
+    out += ",\"distance\":" + JsonNumber(c.distance);
+    out += ",\"pairs_so_far\":" + std::to_string(c.pairs_so_far);
+    out += '}';
+  }
+  out += "],\"cutoff_trajectory_dropped\":" +
+         std::to_string(trajectory_dropped_);
+  out += ",\"totals\":" + totals_.ToJson();
+  out += '}';
+  return out;
+}
+
+std::string RunReport::ToTable() const {
+  // Column layout: counter name | one column per phase | totals.
+  constexpr int kNameWidth = 31;
+  constexpr int kCellWidth = 14;
+  std::ostringstream os;
+  os << "RunReport";
+  if (!algorithm_.empty()) os << " [" << algorithm_ << " k=" << k_ << "]";
+  os << "\n";
+
+  const auto pad = [&os](const std::string& cell, int width) {
+    os << cell;
+    for (int i = static_cast<int>(cell.size()); i < width; ++i) os << ' ';
+  };
+
+  pad("phase", kNameWidth);
+  for (const Phase& p : phases_) pad(p.name, kCellWidth);
+  pad("total", kCellWidth);
+  os << "\n";
+
+  pad("wall_seconds", kNameWidth);
+  double wall_total = 0.0;
+  for (const Phase& p : phases_) {
+    pad(FormatCell(p.wall_seconds), kCellWidth);
+    wall_total += p.wall_seconds;
+  }
+  pad(FormatCell(wall_total), kCellWidth);
+  os << "\n";
+
+  pad("queue_depth_peak", kNameWidth);
+  uint64_t peak_total = 0;
+  for (const Phase& p : phases_) {
+    pad(FormatCell(p.queue_depth_peak), kCellWidth);
+    peak_total = std::max(peak_total, p.queue_depth_peak);
+  }
+  pad(FormatCell(peak_total), kCellWidth);
+  os << "\n";
+
+  // One row per counter, skipping rows that are zero everywhere. The
+  // column cells come from walking every phase delta (and the totals) with
+  // the same field visitor, so a new JoinStats counter appears here
+  // automatically.
+  std::vector<std::string> rows;
+  std::vector<bool> nonzero;
+  const auto collect = [&rows, &nonzero, kNameWidth, kCellWidth](
+                           const JoinStats& stats, bool is_label_pass) {
+    size_t i = 0;
+    ForEachJoinStatsField(
+        stats, [&](const char* name, const auto& field, StatFieldKind) {
+          if (is_label_pass) {
+            std::string row = name;
+            row.resize(std::max<size_t>(row.size(), kNameWidth), ' ');
+            rows.push_back(std::move(row));
+            nonzero.push_back(false);
+          } else {
+            std::string cell = FormatCell(field);
+            cell.resize(std::max<size_t>(cell.size(), kCellWidth), ' ');
+            rows[i] += cell;
+            if (field != std::decay_t<decltype(field)>{}) nonzero[i] = true;
+          }
+          ++i;
+        });
+  };
+  collect(totals_, /*is_label_pass=*/true);
+  for (const Phase& p : phases_) collect(p.delta, false);
+  collect(totals_, false);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!nonzero[i]) continue;
+    // Trim trailing padding of the last cell.
+    std::string& row = rows[i];
+    while (!row.empty() && row.back() == ' ') row.pop_back();
+    os << row << "\n";
+  }
+
+  if (!trajectory_.empty()) {
+    os << "cutoff trajectory (distance @ pairs):\n";
+    for (const CutoffPoint& c : trajectory_) {
+      os << "  " << std::left;
+      pad(c.label, kNameWidth - 2);
+      os << FormatCell(c.distance) << " @ " << c.pairs_so_far << "\n";
+    }
+    if (trajectory_dropped_ > 0) {
+      os << "  (" << trajectory_dropped_
+         << " intermediate points dropped)\n";
+    }
+  }
+  return os.str();
+}
+
+Status RunReport::WriteJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open report output file: " + path);
+  }
+  const std::string json = ToJson() + "\n";
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to report output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace amdj

@@ -1,60 +1,92 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
 #include <sstream>
+#include <type_traits>
 
 namespace amdj {
 
+// Field-count tripwire: 18 uint64_t counters + 2 double times. If this
+// fires you added (or removed) a JoinStats field — update
+// ForEachJoinStatsField in stats.h and then this constant; every derived
+// serialization (ToString/ToJson/Add/deltas) follows automatically.
+static_assert(sizeof(JoinStats) == 18 * sizeof(uint64_t) + 2 * sizeof(double),
+              "JoinStats changed: update ForEachJoinStatsField (stats.h) "
+              "and this size check");
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
 void JoinStats::Add(const JoinStats& other) {
-  real_distance_computations += other.real_distance_computations;
-  axis_distance_computations += other.axis_distance_computations;
-  main_queue_insertions += other.main_queue_insertions;
-  distance_queue_insertions += other.distance_queue_insertions;
-  compensation_queue_insertions += other.compensation_queue_insertions;
-  main_queue_peak_size =
-      main_queue_peak_size > other.main_queue_peak_size
-          ? main_queue_peak_size
-          : other.main_queue_peak_size;
-  queue_splits += other.queue_splits;
-  queue_swapins += other.queue_swapins;
-  node_buffer_hits += other.node_buffer_hits;
-  node_disk_reads += other.node_disk_reads;
-  node_accesses += other.node_accesses;
-  queue_page_reads += other.queue_page_reads;
-  queue_page_writes += other.queue_page_writes;
-  pairs_produced += other.pairs_produced;
-  node_expansions += other.node_expansions;
-  parallel_rounds += other.parallel_rounds;
-  parallel_tasks += other.parallel_tasks;
-  parallel_tie_aborts += other.parallel_tie_aborts;
-  cpu_seconds += other.cpu_seconds;
-  simulated_io_seconds += other.simulated_io_seconds;
+  ForEachJoinStatsFieldPair(
+      *this, other,
+      [](const char*, auto& dst, const auto& src, StatFieldKind kind) {
+        using Field = std::decay_t<decltype(dst)>;
+        if (kind == StatFieldKind::kMax) {
+          dst = std::max<Field>(dst, src);
+        } else {
+          dst += src;
+        }
+      });
 }
 
 void JoinStats::Reset() { *this = JoinStats(); }
 
+JoinStats SubtractJoinStats(const JoinStats& end, const JoinStats& begin) {
+  JoinStats delta = end;
+  ForEachJoinStatsFieldPair(
+      delta, begin,
+      [](const char*, auto& dst, const auto& src, StatFieldKind kind) {
+        if (kind == StatFieldKind::kMax) return;  // keep the end value
+        dst -= src;
+      });
+  return delta;
+}
+
 std::string JoinStats::ToString() const {
   std::ostringstream os;
-  os << "JoinStats{\n"
-     << "  real_distance_computations: " << real_distance_computations << "\n"
-     << "  axis_distance_computations: " << axis_distance_computations << "\n"
-     << "  main_queue_insertions:      " << main_queue_insertions << "\n"
-     << "  distance_queue_insertions:  " << distance_queue_insertions << "\n"
-     << "  compensation_queue_ins.:    " << compensation_queue_insertions
-     << "\n"
-     << "  main_queue_peak_size:       " << main_queue_peak_size << "\n"
-     << "  queue_splits/swapins:       " << queue_splits << "/" << queue_swapins
-     << "\n"
-     << "  node_accesses (logical):    " << node_accesses << "\n"
-     << "  node_disk_reads (buffered): " << node_disk_reads << "\n"
-     << "  node_buffer_hits:           " << node_buffer_hits << "\n"
-     << "  queue_page_reads/writes:    " << queue_page_reads << "/"
-     << queue_page_writes << "\n"
-     << "  pairs_produced:             " << pairs_produced << "\n"
-     << "  node_expansions:            " << node_expansions << "\n"
-     << "  cpu_seconds:                " << cpu_seconds << "\n"
-     << "  simulated_io_seconds:       " << simulated_io_seconds << "\n"
-     << "}";
+  os << "JoinStats{\n";
+  ForEachJoinStatsField(
+      *this, [&os](const char* name, const auto& field, StatFieldKind) {
+        os << "  " << name << ": " << field << "\n";
+      });
+  os << "}";
   return os.str();
+}
+
+std::string JoinStats::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  ForEachJoinStatsField(*this, [&out, &first](const char* name,
+                                              const auto& field,
+                                              StatFieldKind) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    using Field = std::decay_t<decltype(field)>;
+    if constexpr (std::is_same_v<Field, double>) {
+      out += FormatDouble(field);
+    } else {
+      out += std::to_string(field);
+    }
+  });
+  out += ",\"total_distance_computations\":";
+  out += std::to_string(total_distance_computations());
+  out += ",\"response_seconds\":";
+  out += FormatDouble(response_seconds());
+  out += '}';
+  return out;
 }
 
 }  // namespace amdj

@@ -6,6 +6,13 @@
 
 namespace amdj {
 
+/// How a JoinStats field combines across runs (Add) and subtracts into
+/// per-phase deltas (common/run_report.h).
+enum class StatFieldKind : uint8_t {
+  kAdd,  ///< Additive counter or time: Add sums, deltas subtract.
+  kMax,  ///< High-water mark: Add takes the max; deltas report the end value.
+};
+
 /// Counters collected while executing a distance join. These are the three
 /// metrics the paper's evaluation reports (Section 5.1) plus a few extras
 /// used by the ablation benches.
@@ -16,6 +23,11 @@ namespace amdj {
 ///   - real/axis distance computations: core (plane sweeper, HS expansion)
 ///   - queue insertions:                queue (main queue)
 ///   - node accesses / page I/O:        storage (buffer pool, disk manager)
+///
+/// When adding a field, extend ForEachJoinStatsField below and bump the
+/// sizeof check in stats.cc — Add/Reset/ToString/ToJson and the run-report
+/// phase deltas are all derived from that one visitor, so a field listed
+/// there cannot be silently dropped anywhere.
 struct JoinStats {
   // --- computational cost (Figure 10(a), 11, 12(a), 14(a)) ---
   /// Number of real (Euclidean MBR) distance computations.
@@ -87,7 +99,69 @@ struct JoinStats {
 
   /// Multi-line human readable dump.
   std::string ToString() const;
+
+  /// Single-line JSON object with every field (and the two derived totals,
+  /// keyed "response_seconds" / "total_distance_computations").
+  std::string ToJson() const;
 };
+
+/// Invokes fn(name, a.field, b.field, kind) for every JoinStats field, in
+/// declaration order, zipping two stats objects (Add and phase deltas walk
+/// a mutable destination alongside a const source). This list is the single
+/// source of truth for Add/ToString/ToJson, the bench JSON, and run-report
+/// phase deltas; the sizeof check in stats.cc guarantees it stays complete.
+template <typename StatsA, typename StatsB, typename Fn>
+void ForEachJoinStatsFieldPair(StatsA&& a, StatsB&& b, Fn&& fn) {
+  fn("real_distance_computations", a.real_distance_computations,
+     b.real_distance_computations, StatFieldKind::kAdd);
+  fn("axis_distance_computations", a.axis_distance_computations,
+     b.axis_distance_computations, StatFieldKind::kAdd);
+  fn("main_queue_insertions", a.main_queue_insertions,
+     b.main_queue_insertions, StatFieldKind::kAdd);
+  fn("distance_queue_insertions", a.distance_queue_insertions,
+     b.distance_queue_insertions, StatFieldKind::kAdd);
+  fn("compensation_queue_insertions", a.compensation_queue_insertions,
+     b.compensation_queue_insertions, StatFieldKind::kAdd);
+  fn("main_queue_peak_size", a.main_queue_peak_size, b.main_queue_peak_size,
+     StatFieldKind::kMax);
+  fn("queue_splits", a.queue_splits, b.queue_splits, StatFieldKind::kAdd);
+  fn("queue_swapins", a.queue_swapins, b.queue_swapins, StatFieldKind::kAdd);
+  fn("node_buffer_hits", a.node_buffer_hits, b.node_buffer_hits,
+     StatFieldKind::kAdd);
+  fn("node_disk_reads", a.node_disk_reads, b.node_disk_reads,
+     StatFieldKind::kAdd);
+  fn("node_accesses", a.node_accesses, b.node_accesses, StatFieldKind::kAdd);
+  fn("queue_page_reads", a.queue_page_reads, b.queue_page_reads,
+     StatFieldKind::kAdd);
+  fn("queue_page_writes", a.queue_page_writes, b.queue_page_writes,
+     StatFieldKind::kAdd);
+  fn("pairs_produced", a.pairs_produced, b.pairs_produced,
+     StatFieldKind::kAdd);
+  fn("node_expansions", a.node_expansions, b.node_expansions,
+     StatFieldKind::kAdd);
+  fn("parallel_rounds", a.parallel_rounds, b.parallel_rounds,
+     StatFieldKind::kAdd);
+  fn("parallel_tasks", a.parallel_tasks, b.parallel_tasks,
+     StatFieldKind::kAdd);
+  fn("parallel_tie_aborts", a.parallel_tie_aborts, b.parallel_tie_aborts,
+     StatFieldKind::kAdd);
+  fn("cpu_seconds", a.cpu_seconds, b.cpu_seconds, StatFieldKind::kAdd);
+  fn("simulated_io_seconds", a.simulated_io_seconds, b.simulated_io_seconds,
+     StatFieldKind::kAdd);
+}
+
+/// Single-object view of the field list: fn(name, field_reference, kind).
+template <typename StatsT, typename Fn>
+void ForEachJoinStatsField(StatsT&& s, Fn&& fn) {
+  ForEachJoinStatsFieldPair(
+      s, s, [&fn](const char* name, auto& field, auto&, StatFieldKind kind) {
+        fn(name, field, kind);
+      });
+}
+
+/// Per-field difference `end - begin` (kMax fields report the end value —
+/// a cumulative high-water mark has no meaningful per-phase difference).
+JoinStats SubtractJoinStats(const JoinStats& end, const JoinStats& begin);
 
 }  // namespace amdj
 

@@ -1,0 +1,235 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+namespace amdj {
+
+namespace {
+
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of the last tracer this thread recorded into. Keyed by
+/// the tracer's process-unique id (not its address — a destroyed tracer's
+/// address can be reused), so a stale cache entry can never alias a new
+/// tracer.
+struct ThreadCache {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+/// JSON string escaping for event/arg names (static strings in practice,
+/// but exporters must not rely on it).
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Formats a double as JSON: finite shortest-round-trip-ish, never "nan"
+/// or "inf" (both invalid JSON) — those become null.
+void AppendJsonNumber(std::string* out, double v) {
+  if (!(v == v) || v > 1.7976931348623157e308 ||
+      v < -1.7976931348623157e308) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendArgsObject(std::string* out, const TraceEvent& e) {
+  *out += '{';
+  for (int a = 0; a < e.arg_count; ++a) {
+    if (a > 0) *out += ',';
+    *out += '"';
+    AppendEscaped(out, e.args[a].name);
+    *out += "\":";
+    AppendJsonNumber(out, e.args[a].value);
+  }
+  *out += '}';
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != contents.size() || !close_ok) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(NextTracerId()), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer* Tracer::RegisterThisThread() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(buffers_.size());
+  buffer->events.reserve(256);
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  t_cache.tracer_id = id_;
+  t_cache.buffer = raw;
+  return raw;
+}
+
+void Tracer::Append(TraceEventType type, const char* name,
+                    std::initializer_list<TraceArg> args) {
+  ThreadBuffer* buffer = t_cache.tracer_id == id_
+                             ? static_cast<ThreadBuffer*>(t_cache.buffer)
+                             : RegisterThisThread();
+  TraceEvent e;
+  e.ts_ns = NowNs();
+  e.name = name;
+  e.type = type;
+  for (const TraceArg& a : args) {
+    if (e.arg_count >= kMaxTraceArgs) break;
+    e.args[e.arg_count++] = a;
+  }
+  buffer->events.push_back(e);
+}
+
+std::vector<MergedTraceEvent> Tracer::Merged() const {
+  std::vector<MergedTraceEvent> merged;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    size_t total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    merged.reserve(total);
+    for (const auto& b : buffers_) {
+      for (const TraceEvent& e : b->events) merged.push_back({e, b->tid});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedTraceEvent& a, const MergedTraceEvent& b) {
+                     if (a.event.ts_ns != b.event.ts_ns) {
+                       return a.event.ts_ns < b.event.ts_ns;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return merged;
+}
+
+size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& b : buffers_) total += b->events.size();
+  return total;
+}
+
+size_t Tracer::thread_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+Status Tracer::ExportChromeTrace(const std::string& path) const {
+  const std::vector<MergedTraceEvent> merged = Merged();
+  std::string out;
+  out.reserve(merged.size() * 96 + 64);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const MergedTraceEvent& m : merged) {
+    const TraceEvent& e = m.event;
+    if (!first) out += ",\n";
+    first = false;
+    const char* ph = "i";
+    switch (e.type) {
+      case TraceEventType::kBegin:
+        ph = "B";
+        break;
+      case TraceEventType::kEnd:
+        ph = "E";
+        break;
+      case TraceEventType::kInstant:
+        ph = "i";
+        break;
+      case TraceEventType::kCounter:
+        ph = "C";
+        break;
+    }
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += "\",\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(m.tid);
+    // Chrome trace timestamps are microseconds; fractional is accepted.
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.3f", static_cast<double>(e.ts_ns) / 1e3);
+    out += ",\"ts\":";
+    out += ts;
+    if (e.type == TraceEventType::kInstant) {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (e.arg_count > 0) {
+      out += ",\"args\":";
+      AppendArgsObject(&out, e);
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return WriteFile(path, out);
+}
+
+Status Tracer::ExportJsonl(const std::string& path) const {
+  static const char* const kTypeNames[] = {"begin", "end", "instant",
+                                           "counter"};
+  const std::vector<MergedTraceEvent> merged = Merged();
+  std::string out;
+  out.reserve(merged.size() * 96);
+  for (const MergedTraceEvent& m : merged) {
+    const TraceEvent& e = m.event;
+    out += "{\"ts_ns\":";
+    out += std::to_string(e.ts_ns);
+    out += ",\"type\":\"";
+    out += kTypeNames[static_cast<int>(e.type)];
+    out += "\",\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += "\",\"tid\":";
+    out += std::to_string(m.tid);
+    out += ",\"args\":";
+    AppendArgsObject(&out, e);
+    out += "}\n";
+  }
+  return WriteFile(path, out);
+}
+
+}  // namespace amdj

@@ -1,0 +1,180 @@
+#ifndef AMDJ_COMMON_TRACE_H_
+#define AMDJ_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace amdj {
+
+/// Low-overhead structured tracer for join runs.
+///
+/// Recording model: every thread that emits an event gets its own
+/// append-only buffer (registered on first use, cached in a thread_local
+/// slot), so the hot path is one thread_local load plus a vector push_back
+/// — no locks, no cross-thread cache traffic. Timestamps come from one
+/// shared steady_clock epoch, so events from different threads order
+/// correctly when merged.
+///
+/// Enabling model: the tracer is compiled in but runtime-off. Every
+/// instrumentation point is guarded by a single branch on a `Tracer*`
+/// (see AMDJ_TRACE below); a null tracer means the argument expressions
+/// are never evaluated and the instrumented code behaves byte-for-byte
+/// like the uninstrumented build.
+///
+/// Lifecycle: record during a join, then Merged()/Export* after the join
+/// has returned. Merging takes the registration mutex but does NOT
+/// synchronize with in-flight recording — callers must quiesce every
+/// recording thread first (the join algorithms guarantee this: workers
+/// are joined before the join call returns).
+///
+/// Event names and argument names must be string literals (or otherwise
+/// outlive the tracer): only the pointer is stored.
+
+/// One named numeric event argument. Counts are widened to double (exact
+/// up to 2^53, far beyond any realistic counter here).
+struct TraceArg {
+  const char* name;
+  double value;
+};
+
+/// Maximum arguments per event; extras are dropped silently.
+inline constexpr int kMaxTraceArgs = 4;
+
+enum class TraceEventType : uint8_t {
+  kBegin,    ///< Span begin ("B" in Chrome trace format).
+  kEnd,      ///< Span end ("E"). Must nest per thread.
+  kInstant,  ///< Point event ("i").
+  kCounter,  ///< Counter sample ("C"); value in args[0].
+};
+
+struct TraceEvent {
+  int64_t ts_ns = 0;  ///< Nanoseconds since the tracer's epoch.
+  const char* name = nullptr;
+  TraceEventType type = TraceEventType::kInstant;
+  uint8_t arg_count = 0;
+  TraceArg args[kMaxTraceArgs];
+};
+
+/// A TraceEvent stamped with its recording thread at merge time.
+struct MergedTraceEvent {
+  TraceEvent event;
+  uint32_t tid = 0;  ///< Thread index in registration order.
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Begins a span on the calling thread. Spans must nest per thread
+  /// (guaranteed when using TraceSpan).
+  void Begin(const char* name, std::initializer_list<TraceArg> args = {}) {
+    Append(TraceEventType::kBegin, name, args);
+  }
+
+  /// Ends the innermost open span on the calling thread. `name` should
+  /// match the corresponding Begin (exporters pair B/E per thread by
+  /// nesting, but matching names keep traces debuggable).
+  void End(const char* name, std::initializer_list<TraceArg> args = {}) {
+    Append(TraceEventType::kEnd, name, args);
+  }
+
+  /// Records a point event.
+  void Instant(const char* name, std::initializer_list<TraceArg> args = {}) {
+    Append(TraceEventType::kInstant, name, args);
+  }
+
+  /// Records a counter sample (rendered as a time series by Perfetto).
+  void Counter(const char* name, double value) {
+    Append(TraceEventType::kCounter, name, {{"value", value}});
+  }
+
+  /// Nanoseconds since this tracer's construction.
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// All events from all threads, sorted by timestamp (ties by thread).
+  /// See the class comment for the quiescence requirement.
+  std::vector<MergedTraceEvent> Merged() const;
+
+  /// Total events recorded so far across all threads.
+  size_t event_count() const;
+
+  /// Number of threads that have recorded at least one event.
+  size_t thread_count() const;
+
+  /// Writes the merged events as Chrome trace_event JSON (an object with a
+  /// "traceEvents" array), loadable in Perfetto / chrome://tracing.
+  Status ExportChromeTrace(const std::string& path) const;
+
+  /// Writes the merged events as JSONL: one self-contained JSON object per
+  /// line ({"ts_ns","type","name","tid","args"}).
+  Status ExportJsonl(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  void Append(TraceEventType type, const char* name,
+              std::initializer_list<TraceArg> args);
+
+  /// Registers the calling thread (slow path, takes the mutex).
+  ThreadBuffer* RegisterThisThread();
+
+  const uint64_t id_;  ///< Process-unique, for the thread_local cache.
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span guard; a null tracer makes construction and destruction
+/// no-ops (two predictable branches).
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name,
+            std::initializer_list<TraceArg> args = {})
+      : tracer_(tracer), name_(name) {
+    if (tracer_ != nullptr) tracer_->Begin(name_, args);
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->End(name_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+};
+
+}  // namespace amdj
+
+/// Guarded tracer call: evaluates `tracer_expr` once; when non-null,
+/// invokes `call` (a member-call expression) on it. Argument expressions
+/// inside `call` are NOT evaluated when the tracer is null — the entire
+/// instrumentation point costs one branch.
+///
+///   AMDJ_TRACE(options.tracer, Instant("queue_split", {{"kept", k}}));
+#define AMDJ_TRACE(tracer_expr, call)              \
+  do {                                             \
+    ::amdj::Tracer* amdj_trace_t = (tracer_expr);  \
+    if (amdj_trace_t != nullptr) amdj_trace_t->call; \
+  } while (0)
+
+#endif  // AMDJ_COMMON_TRACE_H_

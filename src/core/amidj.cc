@@ -1,7 +1,10 @@
 #include "core/amidj.h"
 
 #include <algorithm>
+#include <string>
 
+#include "common/run_report.h"
+#include "common/trace.h"
 #include "core/expansion.h"
 #include "core/plane_sweeper.h"
 
@@ -45,6 +48,13 @@ Status AmIdjCursor::Prime() {
   } else {
     first = estimator_->EstimateDmax(k1);
   }
+  if (options_.report != nullptr) {
+    options_.report->BeginPhase("stage-1", *stats_);
+    options_.report->OnCutoff("initial_edmax", first, 0);
+  }
+  AMDJ_TRACE(options_.tracer, Counter("edmax", first));
+  AMDJ_TRACE(options_.tracer,
+             Instant("stage_start", {{"stage", 1.0}, {"edmax", first}}));
   edmax_ = geom::DistanceToKeyCutoff(first, options_.metric);
   return queue_.Push(MakePair(RootRef(r_), RootRef(s_), options_.metric));
 }
@@ -96,6 +106,19 @@ Status AmIdjCursor::StartNewStage() {
     next = edmax_dist > 0.0 ? edmax_dist * 1.5
                             : std::max(estimator_->EstimateDmax(1), 1e-12);
   }
+  if (options_.report != nullptr) {
+    options_.report->BeginPhase("stage-" + std::to_string(stage_count_),
+                                *stats_);
+    options_.report->OnCutoff("stage_edmax", next, produced_);
+  }
+  AMDJ_TRACE(options_.tracer, Counter("edmax", next));
+  AMDJ_TRACE(options_.tracer,
+             Instant("stage_start",
+                     {{"stage", static_cast<double>(stage_count_)},
+                      {"edmax", next},
+                      {"produced", static_cast<double>(produced_)},
+                      {"recovered",
+                       static_cast<double>(compensation_.size())}}));
   edmax_ = geom::DistanceToKeyCutoff(next, options_.metric);
   for (const PairEntry& e : compensation_) {
     AMDJ_RETURN_IF_ERROR(queue_.Push(e));
@@ -106,6 +129,10 @@ Status AmIdjCursor::StartNewStage() {
 
 Status AmIdjCursor::Expand(PairEntry c) {
   ++stats_->node_expansions;
+  TraceSpan span(options_.tracer, "expand_sweep",
+                 {{"r_level", static_cast<double>(c.r.level)},
+                  {"s_level", static_cast<double>(c.s.level)},
+                  {"key", c.key}});
   AMDJ_RETURN_IF_ERROR(ChildList(r_, c.r, options_.r_window, &left_));
   AMDJ_RETURN_IF_ERROR(ChildList(s_, c.s, options_.s_window, &right_));
 

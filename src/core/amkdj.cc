@@ -1,5 +1,7 @@
 #include "core/amkdj.h"
 
+#include "common/run_report.h"
+#include "common/trace.h"
 #include "core/dmax_estimator.h"
 #include "core/expansion.h"
 #include "core/parallel.h"
@@ -37,6 +39,22 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
   double edmax = geom::DistanceToKeyCutoff(
       options.forced_edmax.value_or(estimator->EstimateDmax(k)),
       options.metric);
+  if (options.report != nullptr) {
+    options.report->BeginPhase("aggressive", *stats);
+    options.report->OnCutoff("initial_edmax",
+                             geom::KeyToDistance(edmax, options.metric), 0);
+  }
+  AMDJ_TRACE(options.tracer,
+             Counter("edmax", geom::KeyToDistance(edmax, options.metric)));
+  const auto finish_report = [&options, &stats](
+                                 const std::vector<ResultPair>& results) {
+    if (options.report == nullptr) return;
+    if (!results.empty()) {
+      options.report->OnCutoff("final_dmax", results.back().distance,
+                               results.size());
+    }
+    options.report->EndPhase(*stats);
+  };
 
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
@@ -95,6 +113,9 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
     if (tasks.empty()) continue;
     ++stats->parallel_rounds;
     stats->parallel_tasks += tasks.size();
+    TraceSpan round_span(options.tracer, "parallel_round",
+                         {{"tasks", static_cast<double>(tasks.size())},
+                          {"edmax_key", edmax}});
 
     bool aborted = false;
     AMDJ_RETURN_IF_ERROR(expander.Run(
@@ -128,6 +149,12 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
           // been processed first sequentially — abort and re-pop.
           if (tie_hazard) {
             ++stats->parallel_tie_aborts;
+            AMDJ_TRACE(
+                options.tracer,
+                Instant("tie_guard_abort",
+                        {{"merged", static_cast<double>(i + 1)},
+                         {"requeued",
+                          static_cast<double>(tasks.size() - i - 1)}}));
             for (size_t j = i + 1; j < tasks.size(); ++j) {
               AMDJ_RETURN_IF_ERROR(queue.Push(tasks[j].pair));
               tracker.OnPush(tasks[j].pair);
@@ -151,10 +178,28 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
   if (!compensate && results.size() < k && !compensation.empty()) {
     compensate = true;  // queue drained with recoverable pairs left
   }
-  if (results.size() >= k || !compensate) return results;
+  if (results.size() >= k || !compensate) {
+    finish_report(results);
+    return results;
+  }
 
   // ------------------------------------------------------------------
   // Compensation stage, batched.
+  AMDJ_TRACE(options.tracer,
+             Instant("stage_transition",
+                     {{"edmax", geom::KeyToDistance(edmax, options.metric)},
+                      {"qdmax", geom::KeyToDistance(tracker.Cutoff(),
+                                                    options.metric)},
+                      {"pairs_so_far",
+                       static_cast<double>(results.size())},
+                      {"compensation_pairs",
+                       static_cast<double>(compensation.size())}}));
+  if (options.report != nullptr) {
+    options.report->OnCutoff("stage_transition_edmax",
+                             geom::KeyToDistance(edmax, options.metric),
+                             results.size());
+    options.report->BeginPhase("compensation", *stats);
+  }
   for (const PairEntry& e : compensation) {
     AMDJ_RETURN_IF_ERROR(queue.Push(e));
   }
@@ -202,6 +247,9 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
     if (tasks.empty()) continue;
     ++stats->parallel_rounds;
     stats->parallel_tasks += tasks.size();
+    TraceSpan round_span(options.tracer, "parallel_round",
+                         {{"tasks", static_cast<double>(tasks.size())},
+                          {"cutoff_key", tracker.Cutoff()}});
 
     AMDJ_RETURN_IF_ERROR(expander.Run(
         tasks, tracker.Cutoff(),
@@ -222,6 +270,12 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
           // same compensation sweep.
           if (tie_hazard) {
             ++stats->parallel_tie_aborts;
+            AMDJ_TRACE(
+                options.tracer,
+                Instant("tie_guard_abort",
+                        {{"merged", static_cast<double>(i + 1)},
+                         {"requeued",
+                          static_cast<double>(tasks.size() - i - 1)}}));
             for (size_t j = i + 1; j < tasks.size(); ++j) {
               AMDJ_RETURN_IF_ERROR(queue.Push(tasks[j].pair));
               tracker.OnPush(tasks[j].pair);
@@ -236,6 +290,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
     }
     expander.ReportRound(tasks.size(), wasted);
   }
+  finish_report(results);
   return results;
 }
 
@@ -258,6 +313,13 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
   double edmax = geom::DistanceToKeyCutoff(
       options.forced_edmax.value_or(estimator->EstimateDmax(k)),
       options.metric);
+  if (options.report != nullptr) {
+    options.report->BeginPhase("adaptive", *stats);
+    options.report->OnCutoff("initial_edmax",
+                             geom::KeyToDistance(edmax, options.metric), 0);
+  }
+  AMDJ_TRACE(options.tracer,
+             Counter("edmax", geom::KeyToDistance(edmax, options.metric)));
 
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
@@ -300,6 +362,19 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
             options.metric);
         if (corrected > edmax && corrected < qdmax) next = corrected;
       }
+      AMDJ_TRACE(
+          options.tracer,
+          Instant("edmax_correction",
+                  {{"old_edmax", geom::KeyToDistance(edmax, options.metric)},
+                   {"new_edmax", geom::KeyToDistance(next, options.metric)},
+                   {"pairs_so_far", static_cast<double>(results.size())},
+                   {"recovered",
+                    static_cast<double>(compensation.size())}}));
+      if (options.report != nullptr) {
+        options.report->OnCutoff("correction",
+                                 geom::KeyToDistance(next, options.metric),
+                                 results.size());
+      }
       edmax = next;  // strictly above the old value, or the exact qDmax
       for (const PairEntry& e : compensation) {
         AMDJ_RETURN_IF_ERROR(queue.Push(e));
@@ -319,6 +394,10 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
     }
 
     ++stats->node_expansions;
+    TraceSpan span(options.tracer, "expand_sweep",
+                   {{"r_level", static_cast<double>(c.r.level)},
+                    {"s_level", static_cast<double>(c.s.level)},
+                    {"key", c.key}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     SweepPlan plan;
@@ -374,6 +453,13 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
       ++stats->compensation_queue_insertions;
     }
   }
+  if (options.report != nullptr) {
+    if (!results.empty()) {
+      options.report->OnCutoff("final_dmax", results.back().distance,
+                               results.size());
+    }
+    options.report->EndPhase(*stats);
+  }
   return results;
 }
 
@@ -405,6 +491,22 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
   double edmax = geom::DistanceToKeyCutoff(
       options.forced_edmax.value_or(estimator->EstimateDmax(k)),
       options.metric);
+  if (options.report != nullptr) {
+    options.report->BeginPhase("aggressive", *stats);
+    options.report->OnCutoff("initial_edmax",
+                             geom::KeyToDistance(edmax, options.metric), 0);
+  }
+  AMDJ_TRACE(options.tracer,
+             Counter("edmax", geom::KeyToDistance(edmax, options.metric)));
+  const auto finish_report = [&options, &stats](
+                                 const std::vector<ResultPair>& res) {
+    if (options.report == nullptr) return;
+    if (!res.empty()) {
+      options.report->OnCutoff("final_dmax", res.back().distance,
+                               res.size());
+    }
+    options.report->EndPhase(*stats);
+  };
 
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
@@ -450,6 +552,10 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     }
 
     ++stats->node_expansions;
+    TraceSpan span(options.tracer, "expand_sweep",
+                   {{"r_level", static_cast<double>(c.r.level)},
+                    {"s_level", static_cast<double>(c.s.level)},
+                    {"key", c.key}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     const SweepPlan plan =
@@ -503,10 +609,28 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     // pruned pairs are still recoverable).
     compensate = true;
   }
-  if (results.size() >= k || !compensate) return results;
+  if (results.size() >= k || !compensate) {
+    finish_report(results);
+    return results;
+  }
 
   // ------------------------------------------------------------------
   // Compensation stage (Algorithm 3).
+  AMDJ_TRACE(options.tracer,
+             Instant("stage_transition",
+                     {{"edmax", geom::KeyToDistance(edmax, options.metric)},
+                      {"qdmax", geom::KeyToDistance(tracker.Cutoff(),
+                                                    options.metric)},
+                      {"pairs_so_far",
+                       static_cast<double>(results.size())},
+                      {"compensation_pairs",
+                       static_cast<double>(compensation.size())}}));
+  if (options.report != nullptr) {
+    options.report->OnCutoff("stage_transition_edmax",
+                             geom::KeyToDistance(edmax, options.metric),
+                             results.size());
+    options.report->BeginPhase("compensation", *stats);
+  }
   for (const PairEntry& e : compensation) {
     AMDJ_RETURN_IF_ERROR(queue.Push(e));
   }
@@ -525,6 +649,10 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     if (c.key > cutoff) continue;
 
     ++stats->node_expansions;
+    TraceSpan span(options.tracer, "expand_sweep",
+                   {{"r_level", static_cast<double>(c.r.level)},
+                    {"s_level", static_cast<double>(c.s.level)},
+                    {"key", c.key}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     // Pairs expanded in stage one re-sweep with the *same* axis and
@@ -573,6 +701,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
         });
     AMDJ_RETURN_IF_ERROR(sweep_status);
   }
+  finish_report(results);
   return results;
 }
 

@@ -1,5 +1,7 @@
 #include "core/bkdj.h"
 
+#include "common/run_report.h"
+#include "common/trace.h"
 #include "core/expansion.h"
 #include "core/parallel.h"
 #include "core/plane_sweeper.h"
@@ -25,6 +27,7 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
                                               const JoinOptions& options,
                                               JoinStats* stats) {
   std::vector<ResultPair> results;
+  if (options.report != nullptr) options.report->BeginPhase("search", *stats);
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
   QdmaxTracker tracker(k, options, stats);
@@ -81,6 +84,10 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
     if (tasks.empty()) continue;
     ++stats->parallel_rounds;
     stats->parallel_tasks += tasks.size();
+    TraceSpan round_span(
+        options.tracer, "parallel_round",
+        {{"tasks", static_cast<double>(tasks.size())},
+         {"cutoff_key", tracker.Cutoff()}});
 
     // (c) Fan out, then merge in task order on this thread.
     AMDJ_RETURN_IF_ERROR(expander.Run(
@@ -107,6 +114,12 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
           // exact interleaving next round.
           if (tie_hazard) {
             ++stats->parallel_tie_aborts;
+            AMDJ_TRACE(
+                options.tracer,
+                Instant("tie_guard_abort",
+                        {{"merged", static_cast<double>(i + 1)},
+                         {"requeued",
+                          static_cast<double>(tasks.size() - i - 1)}}));
             for (size_t j = i + 1; j < tasks.size(); ++j) {
               AMDJ_RETURN_IF_ERROR(queue.Push(tasks[j].pair));
               tracker.OnPush(tasks[j].pair);
@@ -120,6 +133,13 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
       if (t.pair.key > tracker.Cutoff()) ++wasted;
     }
     expander.ReportRound(tasks.size(), wasted);
+  }
+  if (options.report != nullptr) {
+    if (!results.empty()) {
+      options.report->OnCutoff("final_dmax", results.back().distance,
+                               results.size());
+    }
+    options.report->EndPhase(*stats);
   }
   return results;
 }
@@ -137,6 +157,7 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
   if (stats == nullptr) stats = &local;
   if (options.parallelism > 1) return RunParallel(r, s, k, options, stats);
 
+  if (options.report != nullptr) options.report->BeginPhase("search", *stats);
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
   QdmaxTracker tracker(k, options, stats);
@@ -164,6 +185,10 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
     if (c.key > cutoff) continue;
 
     ++stats->node_expansions;
+    TraceSpan span(options.tracer, "expand_sweep",
+                   {{"r_level", static_cast<double>(c.r.level)},
+                    {"s_level", static_cast<double>(c.s.level)},
+                    {"key", c.key}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     const SweepPlan plan = ChooseSweepPlan(
@@ -197,6 +222,13 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
           cutoff = tracker.Cutoff();
         });
     AMDJ_RETURN_IF_ERROR(sweep_status);
+  }
+  if (options.report != nullptr) {
+    if (!results.empty()) {
+      options.report->OnCutoff("final_dmax", results.back().distance,
+                               results.size());
+    }
+    options.report->EndPhase(*stats);
   }
   return results;
 }

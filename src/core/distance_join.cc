@@ -1,6 +1,8 @@
 #include "core/distance_join.h"
 
+#include "common/run_report.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/amidj.h"
 #include "core/amkdj.h"
 #include "core/bkdj.h"
@@ -11,18 +13,23 @@ namespace amdj::core {
 
 namespace {
 
-/// Attaches a JoinStats sink to both trees' buffer pools for a scope.
+/// Attaches a JoinStats sink (and, when tracing, the tracer) to both
+/// trees' buffer pools for a scope.
 class StatsSinkGuard {
  public:
   StatsSinkGuard(const rtree::RTree& r, const rtree::RTree& s,
-                 JoinStats* stats)
+                 JoinStats* stats, Tracer* tracer = nullptr)
       : r_pool_(r.buffer_pool()), s_pool_(s.buffer_pool()) {
     r_pool_->SetStatsSink(stats);
     s_pool_->SetStatsSink(stats);
+    r_pool_->SetTracer(tracer);
+    s_pool_->SetTracer(tracer);
   }
   ~StatsSinkGuard() {
     r_pool_->SetStatsSink(nullptr);
     s_pool_->SetStatsSink(nullptr);
+    r_pool_->SetTracer(nullptr);
+    s_pool_->SetTracer(nullptr);
   }
 
   StatsSinkGuard(const StatsSinkGuard&) = delete;
@@ -33,13 +40,27 @@ class StatsSinkGuard {
   storage::BufferPool* s_pool_;
 };
 
-/// Wraps an IDJ cursor: keeps the stats sink attached and measures CPU
-/// time around every Next().
+/// Wraps an IDJ cursor: keeps the stats sink attached, measures CPU time
+/// around every Next(), and finalizes an attached run report when the
+/// cursor is destroyed (destroy the cursor before serializing the report).
 class TimedCursor : public DistanceJoinCursor {
  public:
   TimedCursor(const rtree::RTree& r, const rtree::RTree& s, JoinStats* stats,
+              const JoinOptions& options,
+              std::unique_ptr<JoinStats> owned_stats,
               std::unique_ptr<DistanceJoinCursor> inner)
-      : guard_(r, s, stats), stats_(stats), inner_(std::move(inner)) {}
+      : guard_(r, s, stats, options.tracer),
+        stats_(stats),
+        report_(options.report),
+        owned_stats_(std::move(owned_stats)),
+        inner_(std::move(inner)) {}
+
+  ~TimedCursor() override {
+    inner_.reset();  // quiesce the algorithm before reading stats
+    if (report_ != nullptr) {
+      report_->Finish(stats_ != nullptr ? *stats_ : JoinStats());
+    }
+  }
 
   Status Next(ResultPair* out, bool* done) override {
     Timer timer;
@@ -58,6 +79,10 @@ class TimedCursor : public DistanceJoinCursor {
  private:
   StatsSinkGuard guard_;
   JoinStats* stats_;
+  RunReport* report_;
+  /// Backing stats when the caller passed none but attached a report (the
+  /// report's phase deltas and totals must read one shared counter block).
+  std::unique_ptr<JoinStats> owned_stats_;
   std::unique_ptr<DistanceJoinCursor> inner_;
 };
 
@@ -91,6 +116,10 @@ StatusOr<double> ComputeTrueDmax(const rtree::RTree& r, const rtree::RTree& s,
                                  uint64_t k, const JoinOptions& options) {
   JoinOptions oracle_options = options;
   oracle_options.forced_edmax.reset();
+  // The oracle is bookkeeping, not part of the observed run: it must not
+  // emit trace events or open report phases.
+  oracle_options.tracer = nullptr;
+  oracle_options.report = nullptr;
   auto pairs = AmKdj::Run(r, s, k, oracle_options, nullptr);
   if (!pairs.ok()) return pairs.status();
   if (pairs->empty()) return 0.0;
@@ -111,31 +140,54 @@ StatusOr<std::vector<ResultPair>> RunKDistanceJoin(const rtree::RTree& r,
     dmax = *oracle;
   }
 
-  StatsSinkGuard guard(r, s, stats);
+  // A report's phase deltas and totals must read one shared counter block;
+  // back it locally when the caller attached a report without stats.
+  JoinStats report_stats;
+  if (stats == nullptr && options.report != nullptr) stats = &report_stats;
+  if (options.report != nullptr) {
+    options.report->SetMeta(ToString(algorithm), k);
+  }
+
+  StatsSinkGuard guard(r, s, stats, options.tracer);
   Timer timer;
   StatusOr<std::vector<ResultPair>> result =
       std::vector<ResultPair>();  // overwritten below
-  switch (algorithm) {
-    case KdjAlgorithm::kHsKdj:
-      result = HsKdj::Run(r, s, k, options, stats);
-      break;
-    case KdjAlgorithm::kBKdj:
-      result = BKdj::Run(r, s, k, options, stats);
-      break;
-    case KdjAlgorithm::kAmKdj:
-      result = AmKdj::Run(r, s, k, options, stats);
-      break;
-    case KdjAlgorithm::kSjSort:
-      result = SjSort::Run(r, s, k, dmax, options, stats);
-      break;
+  {
+    TraceSpan join_span(options.tracer, ToString(algorithm),
+                        {{"k", static_cast<double>(k)}});
+    switch (algorithm) {
+      case KdjAlgorithm::kHsKdj:
+        result = HsKdj::Run(r, s, k, options, stats);
+        break;
+      case KdjAlgorithm::kBKdj:
+        result = BKdj::Run(r, s, k, options, stats);
+        break;
+      case KdjAlgorithm::kAmKdj:
+        result = AmKdj::Run(r, s, k, options, stats);
+        break;
+      case KdjAlgorithm::kSjSort:
+        result = SjSort::Run(r, s, k, dmax, options, stats);
+        break;
+    }
   }
   if (stats != nullptr) stats->cpu_seconds += timer.ElapsedSeconds();
+  if (options.report != nullptr) options.report->Finish(*stats);
   return result;
 }
 
 StatusOr<std::unique_ptr<DistanceJoinCursor>> OpenIncrementalJoin(
     const rtree::RTree& r, const rtree::RTree& s, IdjAlgorithm algorithm,
     const JoinOptions& options, JoinStats* stats) {
+  // Same shared-counter-block requirement as RunKDistanceJoin, but the
+  // backing stats must live as long as the cursor.
+  std::unique_ptr<JoinStats> owned_stats;
+  if (stats == nullptr && options.report != nullptr) {
+    owned_stats = std::make_unique<JoinStats>();
+    stats = owned_stats.get();
+  }
+  if (options.report != nullptr) {
+    options.report->SetMeta(ToString(algorithm), 0);
+  }
   std::unique_ptr<DistanceJoinCursor> inner;
   switch (algorithm) {
     case IdjAlgorithm::kHsIdj:
@@ -146,7 +198,8 @@ StatusOr<std::unique_ptr<DistanceJoinCursor>> OpenIncrementalJoin(
       break;
   }
   return std::unique_ptr<DistanceJoinCursor>(
-      new TimedCursor(r, s, stats, std::move(inner)));
+      new TimedCursor(r, s, stats, options, std::move(owned_stats),
+                      std::move(inner)));
 }
 
 }  // namespace amdj::core

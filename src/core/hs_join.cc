@@ -1,5 +1,7 @@
 #include "core/hs_join.h"
 
+#include "common/run_report.h"
+#include "common/trace.h"
 #include "core/dmax_estimator.h"
 #include "core/expansion.h"
 #include "geom/kernels.h"
@@ -12,6 +14,8 @@ MainQueue::Options MakeMainQueueOptions(const rtree::RTree& r,
   MainQueue::Options qopts;
   qopts.memory_bytes = options.queue_memory_bytes;
   qopts.disk = options.queue_disk;
+  qopts.tracer = options.tracer;
+  qopts.report = options.report;
   if (options.queue_disk != nullptr &&
       options.predetermined_queue_boundaries && r.size() > 0 &&
       s.size() > 0) {
@@ -127,6 +131,7 @@ StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
   JoinStats local;
   if (stats == nullptr) stats = &local;
 
+  if (options.report != nullptr) options.report->BeginPhase("search", *stats);
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
   QdmaxTracker tracker(k, options, stats);
@@ -148,9 +153,20 @@ StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
     }
     tracker.OnNodePairLeave(c);
     if (c.key > tracker.Cutoff()) continue;
+    TraceSpan span(options.tracer, "expand_unidir",
+                   {{"r_level", static_cast<double>(c.r.level)},
+                    {"s_level", static_cast<double>(c.s.level)},
+                    {"key", c.key}});
     AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
         r, s, c, tracker.Cutoff(), options, &queue, &tracker, stats,
         &children));
+  }
+  if (options.report != nullptr) {
+    if (!results.empty()) {
+      options.report->OnCutoff("final_dmax", results.back().distance,
+                               results.size());
+    }
+    options.report->EndPhase(*stats);
   }
   return results;
 }
@@ -183,6 +199,10 @@ Status HsIdjCursor::Next(ResultPair* out, bool* done) {
       ++stats_->pairs_produced;
       return Status::OK();
     }
+    TraceSpan span(options_.tracer, "expand_unidir",
+                   {{"r_level", static_cast<double>(c.r.level)},
+                    {"s_level", static_cast<double>(c.s.level)},
+                    {"key", c.key}});
     AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
         r_, s_, c, kNoCutoff, options_, &queue_, nullptr, stats_,
         &children_));

@@ -8,6 +8,11 @@
 #include "geom/metric.h"
 #include "storage/disk_manager.h"
 
+namespace amdj {
+class Tracer;      // common/trace.h
+class RunReport;   // common/run_report.h
+}  // namespace amdj
+
 namespace amdj::core {
 
 /// Plane-sweep optimization level (Sections 3.2/3.3). The ablation benches
@@ -131,6 +136,17 @@ struct JoinOptions {
   /// of a slightly staler cutoff (never wrong — the cutoff is an upper
   /// bound — just admitting a few more candidates).
   uint32_t batch_factor = 4;
+
+  /// Structured tracer (common/trace.h). nullptr (the default) disables
+  /// every instrumentation point — one predicted branch each, and the join
+  /// behaves byte-for-byte like an uninstrumented build. Not owned; must
+  /// outlive the join; export only after the join call has returned.
+  Tracer* tracer = nullptr;
+
+  /// Per-phase run report aggregator (common/run_report.h). nullptr (the
+  /// default) disables it. Not owned; must outlive the join (for the IDJ
+  /// cursors: outlive the cursor, whose destructor finalizes the report).
+  RunReport* report = nullptr;
 
   /// Spatial restriction: only R objects intersecting r_window (and S
   /// objects intersecting s_window) participate. Unset = no restriction.

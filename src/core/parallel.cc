@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/expansion.h"
 #include "core/plane_sweeper.h"
 
@@ -35,6 +36,12 @@ void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
   // A stopped round discards every remaining slot; skip the work (and the
   // child fetches) if this task hasn't started by the time that happens.
   if (cancelled_.load(std::memory_order_relaxed)) return;
+  // Per-worker task span: records on the worker's own thread buffer, so
+  // merged traces show the true overlap of a round's expansions.
+  TraceSpan span(options_.tracer, "expand_task",
+                 {{"r_level", static_cast<double>(task.pair.r.level)},
+                  {"s_level", static_cast<double>(task.pair.s.level)},
+                  {"key", task.pair.key}});
 
   const bool dynamic_axis = task.static_axis_cutoff < 0.0;
   // `axis_cutoff` is what the sweep re-reads before every comparison; the

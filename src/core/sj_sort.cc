@@ -1,5 +1,7 @@
 #include "core/sj_sort.h"
 
+#include "common/run_report.h"
+#include "common/trace.h"
 #include "spatialjoin/external_sorter.h"
 #include "spatialjoin/spatial_join.h"
 
@@ -15,16 +17,29 @@ StatusOr<std::vector<ResultPair>> SjSort::Run(const rtree::RTree& r,
   JoinStats local;
   if (stats == nullptr) stats = &local;
 
+  if (options.report != nullptr) {
+    options.report->BeginPhase("spatial-join", *stats);
+    options.report->OnCutoff("dmax_window", dmax, 0);
+  }
   spatialjoin::ExternalSorter sorter(options.queue_disk,
                                      options.queue_memory_bytes, stats);
-  AMDJ_RETURN_IF_ERROR(spatialjoin::SpatialJoin::Within(
-      r, s, dmax, options, stats,
-      [&](const ResultPair& pair) -> Status {
-        ++stats->main_queue_insertions;
-        return sorter.Add(pair);
-      }));
-  AMDJ_RETURN_IF_ERROR(sorter.Finish());
+  {
+    TraceSpan sj_span(options.tracer, "spatial_join", {{"dmax", dmax}});
+    AMDJ_RETURN_IF_ERROR(spatialjoin::SpatialJoin::Within(
+        r, s, dmax, options, stats,
+        [&](const ResultPair& pair) -> Status {
+          ++stats->main_queue_insertions;
+          return sorter.Add(pair);
+        }));
+  }
+  if (options.report != nullptr) options.report->BeginPhase("sort", *stats);
+  {
+    TraceSpan sort_span(options.tracer, "external_sort");
+    AMDJ_RETURN_IF_ERROR(sorter.Finish());
+  }
 
+  if (options.report != nullptr) options.report->BeginPhase("emit", *stats);
+  TraceSpan emit_span(options.tracer, "emit");
   results.reserve(k);
   ResultPair rec;
   bool done = false;
@@ -33,6 +48,13 @@ StatusOr<std::vector<ResultPair>> SjSort::Run(const rtree::RTree& r,
     if (done) break;
     results.push_back(rec);
     ++stats->pairs_produced;
+  }
+  if (options.report != nullptr) {
+    if (!results.empty()) {
+      options.report->OnCutoff("final_dmax", results.back().distance,
+                               results.size());
+    }
+    options.report->EndPhase(*stats);
   }
   return results;
 }

@@ -9,8 +9,10 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/run_report.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "queue/binary_heap.h"
 #include "queue/segment_file.h"
 #include "storage/disk_manager.h"
@@ -64,6 +66,12 @@ class HybridQueue {
     /// segment, so this should comfortably exceed (expected insertions /
     /// heap capacity). Empty segments cost almost nothing.
     size_t predetermined_segments = 1024;
+    /// Optional observability hooks (common/trace.h, common/run_report.h):
+    /// split/swap-in events and per-push depth samples. Both nullable (the
+    /// default), not owned, coordinator-thread only — the parallel
+    /// executor mutates the queue exclusively on the coordinating thread.
+    Tracer* tracer = nullptr;
+    RunReport* report = nullptr;
   };
 
   HybridQueue(const Options& options, JoinStats* stats,
@@ -90,10 +98,14 @@ class HybridQueue {
 
   /// Inserts an entry.
   Status Push(const T& item) {
-    if (stats_ != nullptr) {
-      ++stats_->main_queue_insertions;
-      stats_->main_queue_peak_size =
-          std::max<uint64_t>(stats_->main_queue_peak_size, TotalSize() + 1);
+    if (stats_ != nullptr || options_.report != nullptr) {
+      const uint64_t total = TotalSize() + 1;
+      if (stats_ != nullptr) {
+        ++stats_->main_queue_insertions;
+        stats_->main_queue_peak_size =
+            std::max<uint64_t>(stats_->main_queue_peak_size, total);
+      }
+      if (options_.report != nullptr) options_.report->OnQueueDepth(total);
     }
     if (item.key < HeapUpperBound()) {
       heap_.Push(item);
@@ -230,6 +242,11 @@ class HybridQueue {
     }
     ++splits_;
     if (stats_ != nullptr) ++stats_->queue_splits;
+    AMDJ_TRACE(options_.tracer,
+               Instant("queue_split",
+                       {{"kept", static_cast<double>(keep)},
+                        {"spilled", static_cast<double>(items.size() - keep)},
+                        {"boundary_key", items[keep].key}}));
     auto seg =
         std::make_unique<SegmentFile>(options_.disk, sizeof(T), stats_);
     seg->lower_bound = items[keep].key;
@@ -250,6 +267,10 @@ class HybridQueue {
     if (seg->count() == 0) return Status::OK();  // empty predetermined range
     ++swapins_;
     if (stats_ != nullptr) ++stats_->queue_swapins;
+    AMDJ_TRACE(options_.tracer,
+               Instant("queue_swapin",
+                       {{"loaded", static_cast<double>(seg->count())},
+                        {"lower_bound_key", seg->lower_bound}}));
     std::vector<char> bytes;
     AMDJ_RETURN_IF_ERROR(seg->ReadAll(&bytes));
     const size_t n = bytes.size() / sizeof(T);

@@ -106,7 +106,19 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId page_id) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (stats_ != nullptr) ++stats_->node_accesses;
   auto it = table_.find(page_id);
-  if (it != table_.end()) {
+  const bool hit = it != table_.end();
+  if (tracer_ != nullptr) {
+    ++window_accesses_;
+    if (hit) ++window_hits_;
+    if (window_accesses_ >= kTraceWindow) {
+      tracer_->Counter("buffer_hit_ratio",
+                       static_cast<double>(window_hits_) /
+                           static_cast<double>(window_accesses_));
+      window_accesses_ = 0;
+      window_hits_ = 0;
+    }
+  }
+  if (hit) {
     ++hits_;
     if (stats_ != nullptr) ++stats_->node_buffer_hits;
     Frame& f = frames_[it->second];

@@ -10,6 +10,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -81,6 +82,19 @@ class BufferPool {
     stats_ = stats;
   }
 
+  /// Attaches a tracer that receives a "buffer_hit_ratio" counter sample
+  /// once per kTraceWindow accesses (the windowed hit fraction, 0..1);
+  /// pass nullptr to detach. Same single-query caveat as SetStatsSink.
+  void SetTracer(Tracer* tracer) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tracer_ = tracer;
+    window_accesses_ = 0;
+    window_hits_ = 0;
+  }
+
+  /// Accesses per buffer_hit_ratio counter sample (see SetTracer).
+  static constexpr uint64_t kTraceWindow = 1024;
+
   /// Fetches (pinning) an existing page.
   StatusOr<PageGuard> FetchPage(PageId page_id);
 
@@ -151,6 +165,9 @@ class BufferPool {
   JoinStats* stats_ = nullptr;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  Tracer* tracer_ = nullptr;
+  uint64_t window_accesses_ = 0;  ///< Accesses in the current trace window.
+  uint64_t window_hits_ = 0;      ///< Hits in the current trace window.
 };
 
 }  // namespace amdj::storage

@@ -1,0 +1,260 @@
+// Tracer unit tests (span nesting, multi-thread merge, the AMDJ_TRACE
+// null-tracer no-evaluation guarantee, exporter output) plus the
+// observability determinism guard: attaching a tracer and a run report to
+// a join must not change a single emitted pair or work counter.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <type_traits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_report.h"
+#include "common/stats.h"
+#include "common/trace.h"
+#include "core/distance_join.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TracerTest, RecordsSpansInstantsAndCounters) {
+  Tracer tracer;
+  {
+    TraceSpan outer(&tracer, "outer", {{"k", 10.0}});
+    tracer.Instant("checkpoint", {{"value", 1.0}});
+    { TraceSpan inner(&tracer, "inner"); }
+    tracer.Counter("depth", 3.0);
+  }
+  const std::vector<MergedTraceEvent> events = tracer.Merged();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(tracer.event_count(), 6u);
+  EXPECT_EQ(tracer.thread_count(), 1u);
+
+  // Single thread: merge preserves recording order; spans nest.
+  EXPECT_EQ(events[0].event.type, TraceEventType::kBegin);
+  EXPECT_STREQ(events[0].event.name, "outer");
+  ASSERT_EQ(events[0].event.arg_count, 1);
+  EXPECT_STREQ(events[0].event.args[0].name, "k");
+  EXPECT_EQ(events[0].event.args[0].value, 10.0);
+  EXPECT_EQ(events[1].event.type, TraceEventType::kInstant);
+  EXPECT_EQ(events[2].event.type, TraceEventType::kBegin);
+  EXPECT_STREQ(events[2].event.name, "inner");
+  EXPECT_EQ(events[3].event.type, TraceEventType::kEnd);
+  EXPECT_STREQ(events[3].event.name, "inner");
+  EXPECT_EQ(events[4].event.type, TraceEventType::kCounter);
+  EXPECT_EQ(events[4].event.args[0].value, 3.0);
+  EXPECT_EQ(events[5].event.type, TraceEventType::kEnd);
+  EXPECT_STREQ(events[5].event.name, "outer");
+
+  // Timestamps are monotone non-decreasing in the merged stream.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].event.ts_ns, events[i - 1].event.ts_ns);
+  }
+}
+
+TEST(TracerTest, MergesEventsFromMultipleThreads) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        TraceSpan span(&tracer, "work");
+        tracer.Instant("tick", {{"i", static_cast<double>(i)}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(tracer.thread_count(), static_cast<size_t>(kThreads));
+  const std::vector<MergedTraceEvent> events = tracer.Merged();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kEventsPerThread * 3);
+  std::vector<int> per_tid(kThreads, 0);
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(events[i].event.ts_ns, events[i - 1].event.ts_ns);
+    }
+    ASSERT_LT(events[i].tid, static_cast<uint32_t>(kThreads));
+    ++per_tid[events[i].tid];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_tid[t], kEventsPerThread * 3) << "tid " << t;
+  }
+}
+
+TEST(TracerTest, NullTracerDoesNotEvaluateArguments) {
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 1.0;
+  };
+  Tracer* tracer = nullptr;
+  AMDJ_TRACE(tracer, Instant("never", {{"v", expensive()}}));
+  AMDJ_TRACE(tracer, Counter("never", expensive()));
+  EXPECT_EQ(evaluations, 0);
+
+  Tracer real;
+  AMDJ_TRACE(&real, Instant("once", {{"v", expensive()}}));
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(real.event_count(), 1u);
+}
+
+TEST(TracerTest, ChromeExportIsWellFormedTraceEventJson) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "join", {{"k", 5.0}});
+    tracer.Instant("split");
+    tracer.Counter("ratio", 0.5);
+  }
+  const std::string path = TempPath("trace_chrome.json");
+  ASSERT_TRUE(tracer.ExportChromeTrace(path).ok());
+  const std::string json = ReadFileOrDie(path);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  // Instants need a scope field to render in Perfetto.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, JsonlExportHasOneObjectPerEvent) {
+  Tracer tracer;
+  tracer.Instant("a");
+  tracer.Instant("b", {{"x", 2.0}});
+  const std::string path = TempPath("trace.jsonl");
+  ASSERT_TRUE(tracer.ExportJsonl(path).ok());
+  const std::string text = ReadFileOrDie(path);
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(text.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"b\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism guard: tracer/report attached vs detached.
+
+struct ObservedRun {
+  std::vector<core::ResultPair> results;
+  JoinStats stats;
+};
+
+ObservedRun RunOnce(core::KdjAlgorithm algorithm, Tracer* tracer,
+                    RunReport* report) {
+  workload::TigerSynthOptions wopts;
+  wopts.street_segments = 3000;
+  wopts.hydro_objects = 900;
+  wopts.seed = 77;
+  test::JoinFixture f = test::MakeFixture(workload::TigerStreets(wopts),
+                                          workload::TigerHydro(wopts), 16,
+                                          128);
+  core::JoinOptions options;
+  options.queue_disk = f.queue_disk.get();
+  options.queue_memory_bytes = 16 * 1024;  // force queue splits/swap-ins
+  options.tracer = tracer;
+  options.report = report;
+  ObservedRun run;
+  auto result = core::RunKDistanceJoin(*f.r, *f.s, 1500, algorithm, options,
+                                       &run.stats);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  run.results = std::move(*result);
+  return run;
+}
+
+class TracedDeterminismTest
+    : public ::testing::TestWithParam<core::KdjAlgorithm> {};
+
+TEST_P(TracedDeterminismTest, TracedRunMatchesUntracedByteForByte) {
+  const ObservedRun untraced = RunOnce(GetParam(), nullptr, nullptr);
+  Tracer tracer;
+  RunReport report;
+  const ObservedRun traced = RunOnce(GetParam(), &tracer, &report);
+
+  ASSERT_EQ(traced.results.size(), untraced.results.size());
+  for (size_t i = 0; i < traced.results.size(); ++i) {
+    ASSERT_EQ(traced.results[i], untraced.results[i]) << "rank " << i;
+  }
+  // Every counter (not the measured times) must be identical.
+  ForEachJoinStatsFieldPair(
+      traced.stats, untraced.stats,
+      [](const char* name, const auto& t, const auto& u, StatFieldKind) {
+        using Field = std::decay_t<decltype(t)>;
+        if constexpr (!std::is_same_v<Field, double>) {
+          EXPECT_EQ(t, u) << name << " diverged under tracing";
+        }
+      });
+  // And the observers actually observed the run.
+  EXPECT_GT(tracer.event_count(), 0u);
+  ASSERT_FALSE(report.phases().empty());
+  EXPECT_EQ(report.totals().pairs_produced, traced.stats.pairs_produced);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKdj, TracedDeterminismTest,
+                         ::testing::Values(core::KdjAlgorithm::kHsKdj,
+                                           core::KdjAlgorithm::kBKdj,
+                                           core::KdjAlgorithm::kAmKdj,
+                                           core::KdjAlgorithm::kSjSort),
+                         [](const auto& info) {
+                           std::string n = core::ToString(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(TracedDeterminismTest, ReportPhaseDeltasSumToRunTotals) {
+  Tracer tracer;
+  RunReport report;
+  const ObservedRun run =
+      RunOnce(core::KdjAlgorithm::kAmKdj, &tracer, &report);
+  ASSERT_GE(report.phases().size(), 1u);  // aggressive [+ compensation]
+  JoinStats summed;
+  for (const RunReport::Phase& p : report.phases()) summed.Add(p.delta);
+  ForEachJoinStatsFieldPair(
+      summed, report.totals(),
+      [](const char* name, const auto& s, const auto& t, StatFieldKind kind) {
+        using Field = std::decay_t<decltype(s)>;
+        if constexpr (!std::is_same_v<Field, double>) {
+          if (kind == StatFieldKind::kMax) {
+            EXPECT_EQ(s, t) << name;
+          } else {
+            EXPECT_EQ(s, t) << name << ": phase deltas must sum to totals";
+          }
+        }
+      });
+  EXPECT_EQ(report.totals().pairs_produced, run.stats.pairs_produced);
+  // The trajectory bridges the estimate to the exact result.
+  ASSERT_GE(report.cutoff_trajectory().size(), 2u);
+  EXPECT_EQ(report.cutoff_trajectory().front().label, "initial_edmax");
+  EXPECT_EQ(report.cutoff_trajectory().back().label, "final_dmax");
+  EXPECT_NEAR(report.cutoff_trajectory().back().distance,
+              run.results.back().distance, 1e-9);
+}
+
+}  // namespace
+}  // namespace amdj

@@ -6,8 +6,18 @@
 //   amdj_cli join     --r=FILE --s=FILE --k=K [--algo=hs|b|am|sj]
 //                     [--metric=l2|l1|linf] [--estimator=uniform|histogram]
 //                     [--self] [--limit=N] [--stats]
+//                     [--trace=FILE] [--trace-jsonl=FILE]
+//                     [--report-json=FILE] [--report]
 //   amdj_cli stream   --r=FILE --s=FILE [--batch=N] [--batches=N]
-//                     [--algo=hs|am]
+//                     [--algo=hs|am] [--trace=FILE] [--trace-jsonl=FILE]
+//                     [--report-json=FILE] [--report]
+//
+// Observability (see docs/OBSERVABILITY.md):
+//   --trace=FILE        write a Chrome trace_event JSON (Perfetto-loadable)
+//   --trace-jsonl=FILE  write the same events as one JSON object per line
+//   --report-json=FILE  write the per-phase run report as JSON
+//   --report            print the run report as an aligned table
+//   --log-level=LEVEL   debug|info|warn|error|off (any command; default warn)
 //   amdj_cli semijoin --r=FILE --s=FILE [--strategy=idj|nn] [--self]
 //                     [--metric=l2|l1|linf] [--limit=N]
 //   amdj_cli knn      --data=FILE --x=X --y=Y --k=K [--metric=l2|l1|linf]
@@ -25,6 +35,9 @@
 #include <map>
 #include <string>
 
+#include "common/logging.h"
+#include "common/run_report.h"
+#include "common/trace.h"
 #include "core/amidj.h"
 #include "core/distance_join.h"
 #include "core/dmax_estimator.h"
@@ -97,6 +110,65 @@ class Args {
 void CheckOk(const Status& status) {
   if (!status.ok()) Args::Fail(status.ToString());
 }
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  Args::Fail("unknown log level " + name + " (debug|info|warn|error|off)");
+}
+
+/// Shared --trace/--trace-jsonl/--report-json/--report handling for the
+/// join-running commands: wires the hooks into `options` before the run and
+/// serializes after it.
+class Observability {
+ public:
+  explicit Observability(const Args& args)
+      : trace_path_(args.GetString("trace")),
+        trace_jsonl_path_(args.GetString("trace-jsonl")),
+        report_json_path_(args.GetString("report-json")),
+        report_table_(args.GetBool("report")) {}
+
+  void Wire(core::JoinOptions* options) {
+    if (!trace_path_.empty() || !trace_jsonl_path_.empty()) {
+      options->tracer = &tracer_;
+    }
+    if (!report_json_path_.empty() || report_table_) {
+      options->report = &report_;
+    }
+  }
+
+  /// Call after the join has returned (for stream: after the cursor is
+  /// destroyed, which finalizes the report).
+  void Emit() {
+    if (!trace_path_.empty()) {
+      CheckOk(tracer_.ExportChromeTrace(trace_path_));
+      std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                   tracer_.event_count(), trace_path_.c_str());
+    }
+    if (!trace_jsonl_path_.empty()) {
+      CheckOk(tracer_.ExportJsonl(trace_jsonl_path_));
+    }
+    if (!report_json_path_.empty()) {
+      CheckOk(report_.WriteJsonFile(report_json_path_));
+      std::fprintf(stderr, "wrote run report to %s\n",
+                   report_json_path_.c_str());
+    }
+    if (report_table_) {
+      std::printf("\n%s", report_.ToTable().c_str());
+    }
+  }
+
+ private:
+  Tracer tracer_;
+  RunReport report_;
+  std::string trace_path_;
+  std::string trace_jsonl_path_;
+  std::string report_json_path_;
+  bool report_table_;
+};
 
 geom::Metric ParseMetric(const std::string& name) {
   if (name == "l2" || name.empty()) return geom::Metric::kL2;
@@ -212,11 +284,15 @@ int CmdJoin(const Args& args) {
     options.estimator = histogram.get();
   }
 
+  Observability obs(args);
+  obs.Wire(&options);
+
   JoinStats stats;
   auto result = core::RunKDistanceJoin(
       *session.r, *session.s, k, ParseKdj(args.GetString("algo", "am")),
       options, &stats);
   CheckOk(result.status());
+  obs.Emit();
 
   const uint64_t limit = args.GetUint("limit", 10);
   for (size_t i = 0; i < result->size() && i < limit; ++i) {
@@ -244,6 +320,9 @@ int CmdStream(const Args& args) {
   const core::IdjAlgorithm algorithm =
       algo == "hs" ? core::IdjAlgorithm::kHsIdj : core::IdjAlgorithm::kAmIdj;
 
+  Observability obs(args);
+  obs.Wire(&options);
+
   JoinStats stats;
   auto cursor = core::OpenIncrementalJoin(*session.r, *session.s, algorithm,
                                           options, &stats);
@@ -263,6 +342,8 @@ int CmdStream(const Args& args) {
                   p.distance);
     }
   }
+  cursor->reset();  // finalize the report before serializing it
+  obs.Emit();
   return 0;
 }
 
@@ -341,6 +422,8 @@ int Main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv);
+  const std::string log_level = args.GetString("log-level");
+  if (!log_level.empty()) SetLogLevel(ParseLogLevel(log_level));
   if (command == "generate") return CmdGenerate(args);
   if (command == "info") return CmdInfo(args);
   if (command == "join") return CmdJoin(args);
