@@ -1,0 +1,199 @@
+// Inter-query throughput of the JoinService: a fixed mixed KDJ/IDJ query
+// set replayed at 1, 2, 4 and 8 queries in flight over one shared buffer
+// pool. Reports aggregate wall-clock, queries/second and speedup over the
+// 1-in-flight replay, plus mean per-query admission wait; verifies that
+// every concurrent run returns byte-identical results to the 1-in-flight
+// replay (per-query attribution makes the stats exact, so correctness is
+// checked on results AND on the hits+misses==accesses identity).
+//
+// --json=FILE additionally writes one {"inflight":..,"wall_s":..,"qps":..}
+// summary object (JSON array) for BENCH_PR4.json-style tracking.
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "service/join_service.h"
+
+namespace amdj::bench {
+namespace {
+
+std::vector<service::JoinRequest> MakeQuerySet(uint64_t scale) {
+  std::vector<service::JoinRequest> requests;
+  using Kind = service::JoinRequest::Kind;
+  const struct {
+    Kind kind;
+    core::KdjAlgorithm kdj;
+    core::IdjAlgorithm idj;
+    uint64_t k;
+  } specs[] = {
+      {Kind::kKdj, core::KdjAlgorithm::kAmKdj, {}, 10 * scale},
+      {Kind::kKdj, core::KdjAlgorithm::kBKdj, {}, 5 * scale},
+      {Kind::kKdj, core::KdjAlgorithm::kHsKdj, {}, 2 * scale},
+      {Kind::kIdj, {}, core::IdjAlgorithm::kAmIdj, 8 * scale},
+      {Kind::kIdj, {}, core::IdjAlgorithm::kHsIdj, 3 * scale},
+      {Kind::kKdj, core::KdjAlgorithm::kAmKdj, {}, scale},
+      {Kind::kKdj, core::KdjAlgorithm::kBKdj, {}, 8 * scale},
+      {Kind::kIdj, {}, core::IdjAlgorithm::kAmIdj, 2 * scale},
+  };
+  for (const auto& spec : specs) {
+    service::JoinRequest request;
+    request.kind = spec.kind;
+    request.kdj_algorithm = spec.kdj;
+    request.idj_algorithm = spec.idj;
+    request.k = spec.k;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+void Run(int argc, char** argv) {
+  // --json is this bench's own flag; strip it before the shared parser
+  // (which rejects unknown arguments).
+  std::string json_path;
+  std::vector<char*> shared_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      shared_args.push_back(argv[i]);
+    }
+  }
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(
+      static_cast<int>(shared_args.size()), shared_args.data()));
+  PrintHeader("Multi-query throughput (JoinService, shared buffer pool)",
+              env);
+
+  // Two full query-set replays per in-flight level so the service queue
+  // actually backs up beyond max_inflight.
+  const uint64_t scale = env.config.streets >= 100'000 ? 1000 : 200;
+  std::vector<service::JoinRequest> requests = MakeQuerySet(scale);
+  {
+    const std::vector<service::JoinRequest> again = requests;
+    requests.insert(requests.end(), again.begin(), again.end());
+  }
+
+  const std::vector<uint32_t> inflight_levels = {1, 2, 4, 8};
+  const std::vector<int> widths = {10, 10, 10, 9, 12, 14};
+  PrintRow({"inflight", "wall (s)", "qps", "speedup", "mean wait",
+            "node acc."},
+           widths);
+
+  double baseline_wall = 0.0;
+  std::vector<std::vector<core::ResultPair>> baseline;
+  struct Summary {
+    uint32_t inflight;
+    double wall_s;
+    double qps;
+  };
+  std::vector<Summary> summaries;
+
+  for (const uint32_t inflight : inflight_levels) {
+    service::JoinService::Options options;
+    options.max_inflight = inflight;
+    // Constant memory PER QUERY (total budget grows with concurrency), so
+    // the levels measure concurrency alone — under a fixed total budget
+    // higher in-flight levels would also spill more, conflating the two
+    // effects.
+    options.queue_memory_budget_bytes =
+        env.config.memory_bytes * inflight;
+    service::JoinService svc(*env.streets, *env.hydro, options);
+
+    // Cold pool per level so every level pages the trees in itself.
+    if (!env.pool->Clear().ok()) std::abort();
+    Timer wall;
+    std::vector<std::future<service::JoinResponse>> futures;
+    for (const auto& request : requests) {
+      futures.push_back(svc.Submit(request));
+    }
+    std::vector<service::JoinResponse> responses;
+    for (auto& future : futures) responses.push_back(future.get());
+    const double wall_s = wall.ElapsedSeconds();
+
+    double wait_sum = 0.0;
+    uint64_t accesses = 0;
+    for (size_t q = 0; q < responses.size(); ++q) {
+      const auto& response = responses[q];
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "FATAL: query %zu failed: %s\n", q,
+                     response.status.ToString().c_str());
+        std::exit(1);
+      }
+      if (response.stats.node_buffer_hits + response.stats.node_disk_reads !=
+          response.stats.node_accesses) {
+        std::fprintf(stderr, "FATAL: query %zu attribution skew\n", q);
+        std::exit(1);
+      }
+      wait_sum += response.wait_seconds;
+      accesses += response.stats.node_accesses;
+    }
+    if (inflight == 1) {
+      baseline_wall = wall_s;
+      baseline.reserve(responses.size());
+      for (auto& response : responses) {
+        baseline.push_back(std::move(response.results));
+      }
+    } else {
+      for (size_t q = 0; q < responses.size(); ++q) {
+        if (responses[q].results != baseline[q]) {
+          std::fprintf(stderr,
+                       "FATAL: query %zu at inflight %u differs from the "
+                       "1-in-flight replay\n",
+                       q, inflight);
+          std::exit(1);
+        }
+      }
+    }
+
+    const double qps = requests.size() / wall_s;
+    char speedup[32], qps_s[32], wait_s[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", baseline_wall / wall_s);
+    std::snprintf(qps_s, sizeof(qps_s), "%.1f", qps);
+    std::snprintf(wait_s, sizeof(wait_s), "%.3fs",
+                  wait_sum / requests.size());
+    PrintRow({std::to_string(inflight), FormatSeconds(wall_s), qps_s,
+              speedup, wait_s, FormatCount(accesses)},
+             widths);
+    summaries.push_back({inflight, wall_s, qps});
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      std::exit(1);
+    }
+    // hardware_concurrency bounds the interpretable speedup: on a 1-core
+    // host, parity (1.0x) with falling admission wait IS the expected
+    // scaling result.
+    std::fprintf(out,
+                 "{\"bench\": \"multi_query_throughput\", \"cores\": %u, "
+                 "\"queries\": %zu, \"levels\": [",
+                 std::thread::hardware_concurrency(), requests.size());
+    for (size_t i = 0; i < summaries.size(); ++i) {
+      std::fprintf(out,
+                   "%s\n  {\"inflight\": %u, \"wall_s\": %.4f, "
+                   "\"qps\": %.2f, \"speedup\": %.3f}",
+                   i == 0 ? "" : ",", summaries[i].inflight,
+                   summaries[i].wall_s, summaries[i].qps,
+                   summaries[0].wall_s / summaries[i].wall_s);
+    }
+    std::fprintf(out, "\n]}\n");
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "common/run_report.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "storage/query_context.h"
 #include "core/amidj.h"
 #include "core/amkdj.h"
 #include "core/bkdj.h"
@@ -13,56 +14,38 @@ namespace amdj::core {
 
 namespace {
 
-/// Attaches a JoinStats sink (and, when tracing, the tracer) to both
-/// trees' buffer pools for a scope.
-class StatsSinkGuard {
- public:
-  StatsSinkGuard(const rtree::RTree& r, const rtree::RTree& s,
-                 JoinStats* stats, Tracer* tracer = nullptr)
-      : r_pool_(r.buffer_pool()), s_pool_(s.buffer_pool()) {
-    r_pool_->SetStatsSink(stats);
-    s_pool_->SetStatsSink(stats);
-    r_pool_->SetTracer(tracer);
-    s_pool_->SetTracer(tracer);
-  }
-  ~StatsSinkGuard() {
-    r_pool_->SetStatsSink(nullptr);
-    s_pool_->SetStatsSink(nullptr);
-    r_pool_->SetTracer(nullptr);
-    s_pool_->SetTracer(nullptr);
-  }
-
-  StatsSinkGuard(const StatsSinkGuard&) = delete;
-  StatsSinkGuard& operator=(const StatsSinkGuard&) = delete;
-
- private:
-  storage::BufferPool* r_pool_;
-  storage::BufferPool* s_pool_;
-};
-
-/// Wraps an IDJ cursor: keeps the stats sink attached, measures CPU time
-/// around every Next(), and finalizes an attached run report when the
-/// cursor is destroyed (destroy the cursor before serializing the report).
+/// Wraps an IDJ cursor: attributes buffer-pool accesses to this query's
+/// stats for the duration of every call, measures CPU time around every
+/// Next(), and finalizes an attached run report when the cursor is
+/// destroyed (destroy the cursor before serializing the report).
+///
+/// Attribution is installed per call (a thread-local
+/// storage::QueryAttributionScope), not for the cursor's lifetime: between
+/// calls the owning thread may run other queries — the JoinService
+/// interleaves cursors and one-shot joins on its workers.
 class TimedCursor : public DistanceJoinCursor {
  public:
-  TimedCursor(const rtree::RTree& r, const rtree::RTree& s, JoinStats* stats,
-              const JoinOptions& options,
+  TimedCursor(JoinStats* stats, const JoinOptions& options,
               std::unique_ptr<JoinStats> owned_stats,
               std::unique_ptr<DistanceJoinCursor> inner)
-      : guard_(r, s, stats, options.tracer),
-        stats_(stats),
+      : stats_(stats),
+        tracer_(options.tracer),
         report_(options.report),
         owned_stats_(std::move(owned_stats)),
         inner_(std::move(inner)) {}
 
   ~TimedCursor() override {
-    inner_.reset();  // quiesce the algorithm before reading stats
+    {
+      const storage::QueryAttributionScope scope(stats_, tracer_);
+      inner_.reset();  // quiesce the algorithm before reading stats
+    }
     if (report_ != nullptr) {
       report_->Finish(stats_ != nullptr ? *stats_ : JoinStats());
     }
   }
 
   Status Next(ResultPair* out, bool* done) override {
+    const storage::QueryAttributionScope scope(stats_, tracer_);
     Timer timer;
     const Status status = inner_->Next(out, done);
     if (stats_ != nullptr) stats_->cpu_seconds += timer.ElapsedSeconds();
@@ -70,15 +53,18 @@ class TimedCursor : public DistanceJoinCursor {
   }
 
   uint64_t produced() const override { return inner_->produced(); }
-  void PrefetchHint(uint64_t k) override { inner_->PrefetchHint(k); }
+  void PrefetchHint(uint64_t k) override {
+    const storage::QueryAttributionScope scope(stats_, tracer_);
+    inner_->PrefetchHint(k);
+  }
 
   /// The wrapped cursor (for algorithm-specific knobs like
   /// AmIdjCursor::ForceNextStageEdmax).
   DistanceJoinCursor* inner() { return inner_.get(); }
 
  private:
-  StatsSinkGuard guard_;
   JoinStats* stats_;
+  Tracer* tracer_;
   RunReport* report_;
   /// Backing stats when the caller passed none but attached a report (the
   /// report's phase deltas and totals must read one shared counter block).
@@ -120,6 +106,9 @@ StatusOr<double> ComputeTrueDmax(const rtree::RTree& r, const rtree::RTree& s,
   // emit trace events or open report phases.
   oracle_options.tracer = nullptr;
   oracle_options.report = nullptr;
+  // A detached scope shadows any caller attribution: the oracle's node
+  // accesses are bookkeeping and must not be charged to the observed run.
+  const storage::QueryAttributionScope detached(nullptr, nullptr);
   auto pairs = AmKdj::Run(r, s, k, oracle_options, nullptr);
   if (!pairs.ok()) return pairs.status();
   if (pairs->empty()) return 0.0;
@@ -148,7 +137,10 @@ StatusOr<std::vector<ResultPair>> RunKDistanceJoin(const rtree::RTree& r,
     options.report->SetMeta(ToString(algorithm), k);
   }
 
-  StatsSinkGuard guard(r, s, stats, options.tracer);
+  // Thread-local attribution: node accesses this query performs (on this
+  // thread and on parallel-executor workers) land in `stats`, even when
+  // other queries run concurrently over the same buffer pools.
+  const storage::QueryAttributionScope scope(stats, options.tracer);
   Timer timer;
   StatusOr<std::vector<ResultPair>> result =
       std::vector<ResultPair>();  // overwritten below
@@ -189,17 +181,21 @@ StatusOr<std::unique_ptr<DistanceJoinCursor>> OpenIncrementalJoin(
     options.report->SetMeta(ToString(algorithm), 0);
   }
   std::unique_ptr<DistanceJoinCursor> inner;
-  switch (algorithm) {
-    case IdjAlgorithm::kHsIdj:
-      inner = std::make_unique<HsIdjCursor>(r, s, options, stats);
-      break;
-    case IdjAlgorithm::kAmIdj:
-      inner = std::make_unique<AmIdjCursor>(r, s, options, stats);
-      break;
+  {
+    // Construction may already touch the trees (root fetches); attribute
+    // it like any Next() call.
+    const storage::QueryAttributionScope scope(stats, options.tracer);
+    switch (algorithm) {
+      case IdjAlgorithm::kHsIdj:
+        inner = std::make_unique<HsIdjCursor>(r, s, options, stats);
+        break;
+      case IdjAlgorithm::kAmIdj:
+        inner = std::make_unique<AmIdjCursor>(r, s, options, stats);
+        break;
+    }
   }
-  return std::unique_ptr<DistanceJoinCursor>(
-      new TimedCursor(r, s, stats, options, std::move(owned_stats),
-                      std::move(inner)));
+  return std::unique_ptr<DistanceJoinCursor>(new TimedCursor(
+      stats, options, std::move(owned_stats), std::move(inner)));
 }
 
 }  // namespace amdj::core

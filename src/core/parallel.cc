@@ -7,6 +7,7 @@
 #include "common/trace.h"
 #include "core/expansion.h"
 #include "core/plane_sweeper.h"
+#include "storage/query_context.h"
 
 namespace amdj::core {
 
@@ -119,9 +120,28 @@ Status BatchExpander::Run(
     return merged.ok() ? Status::OK() : merged.status();
   }
   futures_.clear();
+  // Workers fetch child nodes through the buffer pool, so they must carry
+  // the coordinator's per-query attribution: re-install its scope (if any)
+  // on every worker task. Pool workers are shared across queries in
+  // principle, so the scope is strictly task-scoped.
+  const storage::QueryAttribution* attribution =
+      storage::QueryAttributionScope::Current();
+  JoinStats* query_stats =
+      attribution != nullptr ? attribution->stats : nullptr;
+  Tracer* query_tracer =
+      attribution != nullptr ? attribution->tracer : nullptr;
+  const bool attributed = attribution != nullptr;
   for (size_t i = 0; i < tasks.size(); ++i) {
-    futures_.push_back(
-        pool_.Submit([this, &tasks, i] { ExpandOne(tasks[i], &slots_[i]); }));
+    futures_.push_back(pool_.Submit(
+        [this, &tasks, i, attributed, query_stats, query_tracer] {
+          if (attributed) {
+            const storage::QueryAttributionScope scope(query_stats,
+                                                       query_tracer);
+            ExpandOne(tasks[i], &slots_[i]);
+          } else {
+            ExpandOne(tasks[i], &slots_[i]);
+          }
+        }));
   }
   // Consume in task order while later workers keep crunching; the merge
   // callback runs on this thread only, so queue and tracker stay

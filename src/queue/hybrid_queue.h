@@ -96,23 +96,19 @@ class HybridQueue {
     }
   }
 
-  /// Inserts an entry.
+  /// Inserts an entry. Counted into the stats/report only once the entry
+  /// has actually landed (heap push, or segment append succeeded) — a
+  /// failed spill Append must not inflate main_queue_insertions.
   Status Push(const T& item) {
-    if (stats_ != nullptr || options_.report != nullptr) {
-      const uint64_t total = TotalSize() + 1;
-      if (stats_ != nullptr) {
-        ++stats_->main_queue_insertions;
-        stats_->main_queue_peak_size =
-            std::max<uint64_t>(stats_->main_queue_peak_size, total);
-      }
-      if (options_.report != nullptr) options_.report->OnQueueDepth(total);
-    }
     if (item.key < HeapUpperBound()) {
       heap_.Push(item);
+      CountInsertion();
       if (heap_.Size() > capacity_) AMDJ_RETURN_IF_ERROR(Split());
       return Status::OK();
     }
-    return RouteToSegment(item.key)->Append(&item);
+    AMDJ_RETURN_IF_ERROR(RouteToSegment(item.key)->Append(&item));
+    CountInsertion();
+    return Status::OK();
   }
 
   /// True when no entries remain anywhere.
@@ -173,6 +169,20 @@ class HybridQueue {
   size_t heap_size() const { return heap_.Size(); }
 
  private:
+  /// Records one successful insertion (call after the entry is in). The
+  /// entry is already counted by TotalSize() here, matching the pre-insert
+  /// `TotalSize() + 1` peak the sequential algorithms have always reported.
+  void CountInsertion() {
+    if (stats_ == nullptr && options_.report == nullptr) return;
+    const uint64_t total = TotalSize();
+    if (stats_ != nullptr) {
+      ++stats_->main_queue_insertions;
+      stats_->main_queue_peak_size =
+          std::max<uint64_t>(stats_->main_queue_peak_size, total);
+    }
+    if (options_.report != nullptr) options_.report->OnQueueDepth(total);
+  }
+
   /// Ensures the heap holds the global minimum (swapping in segments while
   /// the heap is empty). After this, an empty heap means an empty queue.
   Status SettleFront() {

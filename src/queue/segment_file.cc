@@ -53,20 +53,39 @@ SegmentFile& SegmentFile::operator=(SegmentFile&& other) noexcept {
 }
 
 Status SegmentFile::Append(const void* record) {
+  if (write_buffer_.size() + record_size_ > storage::kPageSize) {
+    // A previous FlushBuffer failed and left a full buffer behind; retry
+    // it before accepting more data, or the buffer would outgrow the
+    // one-page flush staging area.
+    AMDJ_RETURN_IF_ERROR(FlushBuffer());
+  }
   const char* bytes = static_cast<const char*>(record);
   write_buffer_.insert(write_buffer_.end(), bytes, bytes + record_size_);
   ++count_;
   if (write_buffer_.size() + record_size_ > storage::kPageSize) {
     // Buffer cannot take another record: flush it as a full page.
-    char page[storage::kPageSize];
-    std::memset(page, 0, sizeof(page));
-    std::memcpy(page, write_buffer_.data(), write_buffer_.size());
-    const storage::PageId id = disk_->AllocatePage();
-    AMDJ_RETURN_IF_ERROR(disk_->WritePage(id, page));
-    if (stats_ != nullptr) ++stats_->queue_page_writes;
-    pages_.push_back(id);
-    write_buffer_.clear();
+    AMDJ_RETURN_IF_ERROR(FlushBuffer());
   }
+  return Status::OK();
+}
+
+Status SegmentFile::FlushBuffer() {
+  char page[storage::kPageSize];
+  std::memset(page, 0, sizeof(page));
+  std::memcpy(page, write_buffer_.data(), write_buffer_.size());
+  const storage::PageId id = disk_->AllocatePage();
+  const Status written = disk_->WritePage(id, page);
+  if (!written.ok()) {
+    // The page is neither recorded in pages_ nor reachable any other way:
+    // return it to the allocator or it leaks for the disk's lifetime. The
+    // buffered records stay in write_buffer_ (count_ already covers them),
+    // so a healed disk can retry the flush.
+    disk_->FreePage(id);
+    return written;
+  }
+  if (stats_ != nullptr) ++stats_->queue_page_writes;
+  pages_.push_back(id);
+  write_buffer_.clear();
   return Status::OK();
 }
 

@@ -53,6 +53,11 @@ class SegmentFile {
     return storage::kPageSize / record_size_;
   }
 
+  /// Writes the buffered records out as one page. On failure the freshly
+  /// allocated page is freed (not leaked) and the buffer is kept so the
+  /// flush can be retried.
+  Status FlushBuffer();
+
   storage::DiskManager* disk_;
   size_t record_size_;
   JoinStats* stats_;

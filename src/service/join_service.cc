@@ -1,0 +1,121 @@
+#include "service/join_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+#include "storage/disk_manager.h"
+
+namespace amdj::service {
+
+JoinService::JoinService(const rtree::RTree& r, const rtree::RTree& s,
+                         const Options& options)
+    : r_(r),
+      s_(s),
+      options_(options),
+      max_inflight_(std::max<uint32_t>(1, options.max_inflight)),
+      per_query_queue_memory_(
+          std::max(kMinQueueMemoryBytes,
+                   options.queue_memory_budget_bytes / max_inflight_)),
+      pool_(std::make_unique<ThreadPool>(max_inflight_,
+                                         options.name_prefix)) {}
+
+JoinService::~JoinService() {
+  // Draining happens in the pool destructor; pool_ being the last member
+  // would already order this correctly, but reset explicitly so the drain
+  // is visible at the point the service dies.
+  pool_.reset();
+}
+
+core::JoinOptions JoinService::EffectiveOptions(
+    const JoinRequest& request) const {
+  core::JoinOptions effective = request.options;
+  effective.queue_memory_bytes =
+      std::min(effective.queue_memory_bytes, per_query_queue_memory_);
+  // The session spill disk is per-execution; whatever the caller set is
+  // replaced (a shared spill disk across concurrent queries would mix
+  // their segments and outlive neither cleanly).
+  effective.queue_disk = nullptr;
+  return effective;
+}
+
+std::future<JoinResponse> JoinService::Submit(JoinRequest request) {
+  Timer queued;
+  return pool_->Submit([this, request = std::move(request), queued] {
+    const double wait_seconds = queued.ElapsedSeconds();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++inflight_;
+      peak_inflight_ = std::max(peak_inflight_, inflight_);
+    }
+    JoinResponse response = Execute(request, wait_seconds);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --inflight_;
+      ++completed_;
+    }
+    return response;
+  });
+}
+
+JoinResponse JoinService::Execute(const JoinRequest& request,
+                                  double wait_seconds) {
+  JoinResponse response;
+  response.wait_seconds = wait_seconds;
+
+  core::JoinOptions options = EffectiveOptions(request);
+  // Session-scoped spill disk: this query's queue segments and sort runs
+  // live (and die) with this execution — no sharing, no leak across
+  // queries.
+  storage::InMemoryDiskManager session_disk;
+  if (options_.session_spill_disk) options.queue_disk = &session_disk;
+
+  if (request.kind == JoinRequest::Kind::kKdj) {
+    auto result = core::RunKDistanceJoin(r_, s_, request.k,
+                                         request.kdj_algorithm, options,
+                                         &response.stats);
+    if (!result.ok()) {
+      response.status = result.status();
+      return response;
+    }
+    response.results = std::move(*result);
+    return response;
+  }
+
+  auto cursor = core::OpenIncrementalJoin(r_, s_, request.idj_algorithm,
+                                          options, &response.stats);
+  if (!cursor.ok()) {
+    response.status = cursor.status();
+    return response;
+  }
+  (*cursor)->PrefetchHint(request.k);
+  response.results.reserve(request.k);
+  for (uint64_t i = 0; i < request.k; ++i) {
+    core::ResultPair pair;
+    bool done = false;
+    const Status status = (*cursor)->Next(&pair, &done);
+    if (!status.ok()) {
+      response.status = status;
+      break;
+    }
+    if (done) break;
+    response.results.push_back(pair);
+  }
+  // Destroy the cursor before returning: it quiesces the algorithm under
+  // this query's attribution scope and finalizes any attached report, so
+  // response.stats is complete once the future resolves.
+  cursor->reset();
+  return response;
+}
+
+uint64_t JoinService::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+uint32_t JoinService::peak_inflight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_inflight_;
+}
+
+}  // namespace amdj::service

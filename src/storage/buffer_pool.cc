@@ -103,31 +103,45 @@ int BufferPool::FindVictim(Status* status) {
 }
 
 StatusOr<PageGuard> BufferPool::FetchPage(PageId page_id) {
+  // An active scope attributes this access to the calling thread's query;
+  // otherwise the pool-wide sink applies. The per-query JoinStats is
+  // incremented under the pool mutex, like the pool-wide one — threads of
+  // *different* queries write different JoinStats blocks, and threads of
+  // one query (the intra-query parallel executor) serialize on this lock.
+  QueryAttribution* query = QueryAttributionScope::Current();
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (stats_ != nullptr) ++stats_->node_accesses;
+  JoinStats* stats = query != nullptr ? query->stats : stats_;
+  Tracer* tracer = query != nullptr ? query->tracer : tracer_;
+  if (stats != nullptr) ++stats->node_accesses;
   auto it = table_.find(page_id);
   const bool hit = it != table_.end();
-  if (tracer_ != nullptr) {
-    ++window_accesses_;
-    if (hit) ++window_hits_;
-    if (window_accesses_ >= kTraceWindow) {
-      tracer_->Counter("buffer_hit_ratio",
-                       static_cast<double>(window_hits_) /
-                           static_cast<double>(window_accesses_));
-      window_accesses_ = 0;
-      window_hits_ = 0;
+  if (tracer != nullptr) {
+    // The hit-ratio window travels with the attribution source, so
+    // concurrent queries sample their own ratios instead of a blend.
+    uint64_t& window_accesses =
+        query != nullptr ? query->window_accesses : window_accesses_;
+    uint64_t& window_hits =
+        query != nullptr ? query->window_hits : window_hits_;
+    ++window_accesses;
+    if (hit) ++window_hits;
+    if (window_accesses >= kTraceWindow) {
+      tracer->Counter("buffer_hit_ratio",
+                      static_cast<double>(window_hits) /
+                          static_cast<double>(window_accesses));
+      window_accesses = 0;
+      window_hits = 0;
     }
   }
   if (hit) {
     ++hits_;
-    if (stats_ != nullptr) ++stats_->node_buffer_hits;
+    if (stats != nullptr) ++stats->node_buffer_hits;
     Frame& f = frames_[it->second];
     ++f.pin_count;
     TouchLru(it->second);
     return PageGuard(this, page_id, f.data.get());
   }
   ++misses_;
-  if (stats_ != nullptr) ++stats_->node_disk_reads;
+  if (stats != nullptr) ++stats->node_disk_reads;
   Status status;
   const int victim = FindVictim(&status);
   if (victim < 0) return status;

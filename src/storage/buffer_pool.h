@@ -13,6 +13,7 @@
 #include "common/trace.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "storage/query_context.h"
 
 namespace amdj::storage {
 
@@ -62,9 +63,16 @@ class PageGuard {
 ///
 /// Thread-safety: all operations are internally locked, so concurrent
 /// read-only queries may share one pool (frame payloads are stable while
-/// pinned). The stats sink is a single pool-wide pointer, so per-query
-/// node-access attribution is only meaningful while one query runs at a
-/// time; concurrent queries should leave the sink detached.
+/// pinned).
+///
+/// Stats attribution: each access is counted against the calling thread's
+/// QueryAttributionScope (storage/query_context.h) when one is active —
+/// concurrent queries over one shared pool each keep exact per-query
+/// node-access / hit-ratio accounting, which is what the JoinService
+/// relies on. Threads outside any scope fall back to the pool-wide sink
+/// set by SetStatsSink (single-query tools and benches). The pool-global
+/// hit_count()/miss_count() totals always accumulate, so per-query sums
+/// can be reconciled against them.
 class BufferPool {
  public:
   /// `capacity_pages` must be >= 1. Does not take ownership of `disk`.
@@ -75,8 +83,9 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Directs per-access counters (node_accesses, node_buffer_hits,
-  /// node_disk_reads) into `stats`; pass nullptr to detach. See the class
-  /// comment for the concurrency caveat.
+  /// node_disk_reads) into `stats`; pass nullptr to detach. This is the
+  /// pool-wide fallback sink — an active QueryAttributionScope on the
+  /// accessing thread shadows it (see the class comment).
   void SetStatsSink(JoinStats* stats) {
     const std::lock_guard<std::mutex> lock(mutex_);
     stats_ = stats;
@@ -84,7 +93,8 @@ class BufferPool {
 
   /// Attaches a tracer that receives a "buffer_hit_ratio" counter sample
   /// once per kTraceWindow accesses (the windowed hit fraction, 0..1);
-  /// pass nullptr to detach. Same single-query caveat as SetStatsSink.
+  /// pass nullptr to detach. Pool-wide fallback like SetStatsSink; an
+  /// active QueryAttributionScope supplies its own tracer and window.
   void SetTracer(Tracer* tracer) {
     const std::lock_guard<std::mutex> lock(mutex_);
     tracer_ = tracer;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace amdj::storage {
 
 void DiskManager::CountRead(PageId page_id) {
@@ -33,6 +35,7 @@ PageId InMemoryDiskManager::AllocatePage() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
+    free_set_.erase(id);
     return id;
   }
   pages_.push_back(std::make_unique<char[]>(kPageSize));
@@ -41,7 +44,13 @@ PageId InMemoryDiskManager::AllocatePage() {
 
 void InMemoryDiskManager::FreePage(PageId page_id) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (page_id < pages_.size()) free_list_.push_back(page_id);
+  if (page_id >= pages_.size()) return;
+  if (!free_set_.insert(page_id).second) {
+    // A double free would let AllocatePage hand this id to two callers.
+    AMDJ_LOG(kWarn) << "double free of page " << page_id << " ignored";
+    return;
+  }
+  free_list_.push_back(page_id);
 }
 
 Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
@@ -77,14 +86,20 @@ uint32_t InMemoryDiskManager::PageCount() const {
 FileDiskManager::FileDiskManager(const std::string& path, bool persistent)
     : path_(path), persistent_(persistent) {
   if (persistent_) {
-    // Keep existing pages; create the file if it does not exist yet.
+    // Keep existing pages; create the file if it does not exist yet. Use
+    // the 64-bit tell so files past 2 GiB report the right page count on
+    // ABIs where `long` is 32-bit.
     file_ = std::fopen(path.c_str(), "r+b");
     if (file_ == nullptr) file_ = std::fopen(path.c_str(), "w+b");
     if (file_ != nullptr && std::fseek(file_, 0, SEEK_END) == 0) {
-      const long bytes = std::ftell(file_);
+#if defined(_WIN32)
+      const long long bytes = _ftelli64(file_);
+#else
+      const off_t bytes = ftello(file_);
+#endif
       if (bytes > 0) {
         page_count_ = static_cast<uint32_t>(
-            static_cast<unsigned long>(bytes) / kPageSize);
+            static_cast<unsigned long long>(bytes) / kPageSize);
       }
     }
   } else {
@@ -105,6 +120,7 @@ PageId FileDiskManager::AllocatePage() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
+    free_set_.erase(id);
     return id;
   }
   return page_count_++;
@@ -112,7 +128,29 @@ PageId FileDiskManager::AllocatePage() {
 
 void FileDiskManager::FreePage(PageId page_id) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (page_id < page_count_) free_list_.push_back(page_id);
+  if (page_id >= page_count_) return;
+  if (!free_set_.insert(page_id).second) {
+    AMDJ_LOG(kWarn) << "double free of page " << page_id << " ignored";
+    return;
+  }
+  free_list_.push_back(page_id);
+}
+
+Status FileDiskManager::SeekToPage(PageId page_id) {
+  // int64 arithmetic: PageId (uint32) * kPageSize overflows 32 bits for
+  // files past 4 GiB/kPageSize pages; `long` fseek overflows past 2 GiB
+  // where long is 32-bit.
+  const long long offset =
+      static_cast<long long>(page_id) * static_cast<long long>(kPageSize);
+#if defined(_WIN32)
+  if (_fseeki64(file_, offset, SEEK_SET) != 0) {
+#else
+  if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+#endif
+    return Status::IOError("seek to page " + std::to_string(page_id) +
+                           " failed");
+  }
+  return Status::OK();
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
@@ -123,10 +161,7 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
                               std::to_string(page_id));
   }
   CountRead(page_id);
-  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
-      0) {
-    return Status::IOError("seek failed");
-  }
+  AMDJ_RETURN_IF_ERROR(SeekToPage(page_id));
   const size_t n = std::fread(out, 1, kPageSize, file_);
   if (n < kPageSize) {
     // Pages allocated but never written read back as zeros.
@@ -144,10 +179,7 @@ Status FileDiskManager::WritePage(PageId page_id, const char* data) {
                               std::to_string(page_id));
   }
   CountWrite(page_id);
-  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
-      0) {
-    return Status::IOError("seek failed");
-  }
+  AMDJ_RETURN_IF_ERROR(SeekToPage(page_id));
   if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
     return Status::IOError("short write");
   }
@@ -162,20 +194,35 @@ uint32_t FileDiskManager::PageCount() const {
 // ---------------------------------------------------------------------------
 // FaultInjectionDiskManager
 
+bool FaultInjectionDiskManager::ConsumeBudget(
+    std::atomic<uint64_t>* countdown) {
+  // CAS loop instead of fetch_sub: a plain decrement racing with a
+  // concurrent caller at 0 would wrap the countdown around to "never
+  // fail". kNever is left untouched (no contention in the common healthy
+  // case beyond one relaxed load).
+  uint64_t remaining = countdown->load(std::memory_order_relaxed);
+  while (true) {
+    if (remaining == kNever) return true;
+    if (remaining == 0) return false;
+    if (countdown->compare_exchange_weak(remaining, remaining - 1,
+                                         std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
 Status FaultInjectionDiskManager::ReadPage(PageId page_id, char* out) {
-  if (reads_until_failure_ == 0) {
+  if (!ConsumeBudget(&reads_until_failure_)) {
     return Status::IOError("injected read failure");
   }
-  if (reads_until_failure_ != kNever) --reads_until_failure_;
   return base_->ReadPage(page_id, out);
 }
 
 Status FaultInjectionDiskManager::WritePage(PageId page_id,
                                             const char* data) {
-  if (writes_until_failure_ == 0) {
+  if (!ConsumeBudget(&writes_until_failure_)) {
     return Status::IOError("injected write failure");
   }
-  if (writes_until_failure_ != kNever) --writes_until_failure_;
   return base_->WritePage(page_id, data);
 }
 

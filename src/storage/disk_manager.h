@@ -1,10 +1,12 @@
 #ifndef AMDJ_STORAGE_DISK_MANAGER_H_
 #define AMDJ_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -39,7 +41,10 @@ class DiskManager {
   /// Allocates a new page (possibly reusing a freed one) and returns its id.
   virtual PageId AllocatePage() = 0;
 
-  /// Returns a page to the allocator's free list.
+  /// Returns a page to the allocator's free list. Freeing a page that is
+  /// already free is rejected (logged and ignored): admitting the
+  /// duplicate would hand the same id to two later AllocatePage callers,
+  /// silently aliasing their pages.
   virtual void FreePage(PageId page_id) = 0;
 
   /// Reads page `page_id` into `out` (kPageSize bytes).
@@ -82,6 +87,7 @@ class InMemoryDiskManager : public DiskManager {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<PageId> free_list_;
+  std::unordered_set<PageId> free_set_;  // mirrors free_list_ for O(1) checks
 };
 
 /// File-backed DiskManager (one flat file of 4 KB pages).
@@ -109,26 +115,41 @@ class FileDiskManager : public DiskManager {
   uint32_t PageCount() const override;
 
  private:
+  /// fseek takes a `long`, which is 32-bit on some ABIs — page offsets
+  /// overflow it past 2 GiB. Seeks go through a 64-bit-safe wrapper.
+  Status SeekToPage(PageId page_id);
+
   mutable std::mutex mutex_;
   std::string path_;
   bool persistent_ = false;
   std::FILE* file_ = nullptr;
   uint32_t page_count_ = 0;
   std::vector<PageId> free_list_;
+  std::unordered_set<PageId> free_set_;  // mirrors free_list_ for O(1) checks
 };
 
 /// Wraps another DiskManager and injects failures, for testing error paths.
+/// The countdowns are atomic, so the wrapper is as thread-safe as the
+/// wrapped manager — the parallel executor and the join service hammer it
+/// from many threads in the TSan tests.
 class FaultInjectionDiskManager : public DiskManager {
  public:
   /// Does not take ownership of `base`.
   explicit FaultInjectionDiskManager(DiskManager* base) : base_(base) {}
 
   /// After `n` more successful reads, every read fails with IOError.
-  void FailReadsAfter(uint64_t n) { reads_until_failure_ = n; }
+  void FailReadsAfter(uint64_t n) {
+    reads_until_failure_.store(n, std::memory_order_relaxed);
+  }
   /// After `n` more successful writes, every write fails with IOError.
-  void FailWritesAfter(uint64_t n) { writes_until_failure_ = n; }
+  void FailWritesAfter(uint64_t n) {
+    writes_until_failure_.store(n, std::memory_order_relaxed);
+  }
   /// Clears injected failures.
-  void Heal() { reads_until_failure_ = writes_until_failure_ = kNever; }
+  void Heal() {
+    reads_until_failure_.store(kNever, std::memory_order_relaxed);
+    writes_until_failure_.store(kNever, std::memory_order_relaxed);
+  }
 
   PageId AllocatePage() override { return base_->AllocatePage(); }
   void FreePage(PageId page_id) override { base_->FreePage(page_id); }
@@ -139,9 +160,13 @@ class FaultInjectionDiskManager : public DiskManager {
  private:
   static constexpr uint64_t kNever = UINT64_MAX;
 
+  /// Atomically consumes one unit of `countdown`. Returns false — without
+  /// decrementing further — once the countdown has reached zero.
+  static bool ConsumeBudget(std::atomic<uint64_t>* countdown);
+
   DiskManager* base_;
-  uint64_t reads_until_failure_ = kNever;
-  uint64_t writes_until_failure_ = kNever;
+  std::atomic<uint64_t> reads_until_failure_{kNever};
+  std::atomic<uint64_t> writes_until_failure_{kNever};
 };
 
 }  // namespace amdj::storage

@@ -1,0 +1,22 @@
+#include "storage/query_context.h"
+
+namespace amdj::storage {
+
+namespace {
+thread_local QueryAttribution* tls_attribution = nullptr;
+}  // namespace
+
+QueryAttributionScope::QueryAttributionScope(JoinStats* stats, Tracer* tracer)
+    : previous_(tls_attribution) {
+  attribution_.stats = stats;
+  attribution_.tracer = tracer;
+  tls_attribution = &attribution_;
+}
+
+QueryAttributionScope::~QueryAttributionScope() {
+  tls_attribution = previous_;
+}
+
+QueryAttribution* QueryAttributionScope::Current() { return tls_attribution; }
+
+}  // namespace amdj::storage

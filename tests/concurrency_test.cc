@@ -1,8 +1,10 @@
 // Concurrent read-only queries over shared trees: N threads run different
 // joins / kNN searches against the same BufferPool + DiskManager; every
-// thread's results must equal its own single-threaded reference. (Stats
-// sinks stay detached — per-query attribution is documented as
-// single-query-at-a-time.)
+// thread's results must equal its own single-threaded reference. Each
+// query carries its own JoinStats — buffer-pool accesses are attributed
+// per-query through storage::QueryAttributionScope, so concurrent stats
+// are exact, not approximate (see PerQueryStatsAttribution below and
+// join_service_test.cc for the reconciliation against pool totals).
 
 #include <atomic>
 #include <thread>
@@ -70,6 +72,64 @@ TEST(ConcurrencyTest, ParallelJoinsMatchSerialResults) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// Each concurrent query's JoinStats must equal the stats of its own solo
+// run on a fresh, identically sized pool: attribution may not bleed
+// between queries racing on the shared buffer pool. (Hit/miss splits DO
+// depend on interleaving, so only interleaving-independent counters are
+// compared; the hit+miss sum reconciliation lives in join_service_test.)
+TEST(ConcurrencyTest, PerQueryStatsAttribution) {
+  const workload::Dataset r_data =
+      workload::TigerStreets({.street_segments = 4000, .seed = 93});
+  const workload::Dataset s_data =
+      workload::TigerHydro({.hydro_objects = 1500, .seed = 93});
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, 32, 48);
+
+  struct Task {
+    core::KdjAlgorithm algorithm;
+    uint64_t k;
+    JoinStats expected;
+    JoinStats actual;
+  };
+  std::vector<Task> tasks = {
+      {core::KdjAlgorithm::kHsKdj, 400, {}, {}},
+      {core::KdjAlgorithm::kBKdj, 1200, {}, {}},
+      {core::KdjAlgorithm::kAmKdj, 2500, {}, {}},
+      {core::KdjAlgorithm::kAmKdj, 60, {}, {}},
+  };
+  // Solo references, each on its own fixture so reference stats see no
+  // cross-query pool pollution either.
+  for (Task& t : tasks) {
+    test::JoinFixture solo = test::MakeFixture(r_data, s_data, 32, 48);
+    auto result = core::RunKDistanceJoin(*solo.r, *solo.s, t.k, t.algorithm,
+                                         core::JoinOptions{}, &t.expected);
+    ASSERT_TRUE(result.ok());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (Task& t : tasks) {
+    threads.emplace_back([&f, &t, &failures] {
+      auto result = core::RunKDistanceJoin(*f.r, *f.s, t.k, t.algorithm,
+                                           core::JoinOptions{}, &t.actual);
+      if (!result.ok()) ++failures;
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  for (const Task& t : tasks) {
+    // Same algorithm, same trees, same k => identical traversal, so the
+    // access/expansion counters must match the solo run exactly.
+    EXPECT_EQ(t.actual.node_accesses, t.expected.node_accesses);
+    EXPECT_EQ(t.actual.node_expansions, t.expected.node_expansions);
+    EXPECT_EQ(t.actual.real_distance_computations,
+              t.expected.real_distance_computations);
+    // Hits + misses partition the accesses, whatever the interleaving.
+    EXPECT_EQ(t.actual.node_buffer_hits + t.actual.node_disk_reads,
+              t.actual.node_accesses);
+  }
 }
 
 TEST(ConcurrencyTest, ParallelKnnAndCursors) {

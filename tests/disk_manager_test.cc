@@ -1,7 +1,10 @@
 #include "storage/disk_manager.h"
 
+#include <atomic>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -104,6 +107,26 @@ TYPED_TEST(DiskManagerTest, ClassifiesSequentialVsRandom) {
   EXPECT_EQ(this->disk_->stats().random_reads, 2u);
 }
 
+// Regression: FreePage used to happily push the same id onto the free
+// list twice, after which two AllocatePage calls handed the SAME page to
+// two different owners (silent cross-component corruption). Duplicate
+// frees are now rejected.
+TYPED_TEST(DiskManagerTest, DoubleFreeIsRejected) {
+  const PageId a = this->disk_->AllocatePage();
+  const PageId b = this->disk_->AllocatePage();
+  this->disk_->FreePage(a);
+  this->disk_->FreePage(a);  // ignored (and logged), not double-queued
+  const PageId c = this->disk_->AllocatePage();
+  const PageId d = this->disk_->AllocatePage();
+  EXPECT_EQ(c, a);
+  EXPECT_NE(d, a) << "double free handed one page to two owners";
+  EXPECT_NE(d, b);
+  // Free -> reallocate -> free again is legal: rejection keys on the free
+  // list's current content, not on history.
+  this->disk_->FreePage(c);
+  EXPECT_EQ(this->disk_->AllocatePage(), c);
+}
+
 TEST(FileDiskManagerTest, UnwrittenAllocatedPageReadsAsZeros) {
   const std::string path = ::testing::TempDir() + "/amdj_zero_test.db";
   FileDiskManager disk(path);
@@ -141,6 +164,44 @@ TEST(FaultInjectionTest, FailsWritesAfterBudget) {
   EXPECT_EQ(faulty.WritePage(p, buf).code(), StatusCode::kIOError);
   faulty.Heal();
   EXPECT_TRUE(faulty.WritePage(p, buf).ok());
+}
+
+// Regression: the failure countdowns were plain uint64_t, so concurrent
+// queries hammering one faulty disk raced on the decrement (a TSan report,
+// and a wrap-around past 0 turned "fail now" into "never fail"). The
+// countdowns are atomics now; under T threads exactly `budget` operations
+// may succeed after arming, never more.
+TEST(FaultInjectionTest, CountdownIsExactUnderConcurrency) {
+  InMemoryDiskManager base;
+  FaultInjectionDiskManager faulty(&base);
+  const PageId p = faulty.AllocatePage();
+  char seed[kPageSize];
+  FillPage(seed, 's');
+  ASSERT_TRUE(faulty.WritePage(p, seed).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  constexpr uint64_t kBudget = 137;  // < total ops: the race window matters
+  faulty.FailReadsAfter(kBudget);
+  std::atomic<uint64_t> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&faulty, &successes, p] {
+      char buf[kPageSize];
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (faulty.ReadPage(p, buf).ok()) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(successes.load(), kBudget);
+  // And 0 stays 0 — no wrap-around to "never fail".
+  char buf[kPageSize];
+  EXPECT_EQ(faulty.ReadPage(p, buf).code(), StatusCode::kIOError);
+  faulty.Heal();
+  EXPECT_TRUE(faulty.ReadPage(p, buf).ok());
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 // as Status errors from the join APIs, never crash or hang, and the system
 // must recover once the fault clears.
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "core/distance_join.h"
+#include "queue/segment_file.h"
 #include "test_util.h"
 #include "workload/generators.h"
 
@@ -121,6 +124,60 @@ TEST(IdjFaultTest, CursorSurfacesAndSurvivesMidStreamFailure) {
     status = (*cursor)->Next(&pair, &done);
   }
   EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+// Regression: SegmentFile::Append allocated a fresh page, and when the
+// spill write failed it returned the error with the page still allocated —
+// unreachable (never recorded in pages_) and unfreeable for the disk's
+// lifetime. After a failed spill + Drop, every page the disk ever handed
+// out must be back on its free list: re-allocating must recycle old ids
+// only.
+TEST(SegmentFileFaultTest, FailedSpillLeaksNoPages) {
+  storage::InMemoryDiskManager base;
+  storage::FaultInjectionDiskManager faulty(&base);
+  constexpr size_t kRecordSize = 64;
+  const size_t per_page = storage::kPageSize / kRecordSize;
+  char record[kRecordSize];
+  std::memset(record, 'r', sizeof(record));
+  {
+    queue::SegmentFile segment(&faulty, kRecordSize, nullptr);
+    // Two successful spills, then arm the fault.
+    for (size_t i = 0; i < 2 * per_page; ++i) {
+      ASSERT_TRUE(segment.Append(record).ok());
+    }
+    faulty.FailWritesAfter(0);
+    Status status = Status::OK();
+    size_t appended = 0;
+    while (status.ok() && appended < 4 * per_page) {
+      status = segment.Append(record);
+      if (status.ok()) ++appended;
+    }
+    ASSERT_EQ(status.code(), StatusCode::kIOError);
+
+    // The errored Append still retained its record (the failure hit the
+    // post-insert page flush), so the segment holds one more than the
+    // accepted count. Healing lets the exact same segment finish, and
+    // ReadAll sees every retained record exactly once.
+    EXPECT_EQ(segment.count(), 2 * per_page + appended + 1);
+    faulty.Heal();
+    for (size_t i = appended + 1; i < 4 * per_page; ++i) {
+      ASSERT_TRUE(segment.Append(record).ok());
+    }
+    EXPECT_EQ(segment.count(), 6 * per_page);
+    std::vector<char> all;
+    ASSERT_TRUE(segment.ReadAll(&all).ok());
+    EXPECT_EQ(all.size(), 6 * per_page * kRecordSize);
+
+    segment.Drop();
+  }
+  // Leak check: every page the disk handed out must be reusable now. If
+  // the failed spill leaked its allocation, one of these comes back as a
+  // brand-new id past the old high-water mark.
+  const uint32_t high_water = faulty.PageCount();
+  ASSERT_GT(high_water, 0u);
+  for (uint32_t i = 0; i < high_water; ++i) {
+    EXPECT_LT(faulty.AllocatePage(), high_water) << "leaked page detected";
+  }
 }
 
 TEST(RTreeFaultTest, BuildFailurePropagates) {

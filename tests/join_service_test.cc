@@ -1,0 +1,270 @@
+// JoinService: inter-query concurrency with exact per-query stats
+// attribution. The load-bearing checks are (a) every concurrently
+// executed query returns byte-identical results to its own solo run, and
+// (b) the per-query node-access counters reconcile exactly with the
+// shared buffer pool's global hit/miss totals — concurrent attribution is
+// an accounting identity, not an approximation.
+
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "service/join_service.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj {
+namespace {
+
+using service::JoinRequest;
+using service::JoinResponse;
+using service::JoinService;
+
+/// Mixed KDJ/IDJ request set. SJ-SORT is deliberately absent from the
+/// reconciliation workloads: its Dmax oracle pre-pass performs *uncharged*
+/// pool fetches (a detached attribution scope), which is correct for the
+/// paper's favorable-assumption accounting but would break the
+/// per-query-sums == pool-delta identity below.
+std::vector<JoinRequest> MixedRequests() {
+  std::vector<JoinRequest> requests;
+  JoinRequest kdj;
+  kdj.kind = JoinRequest::Kind::kKdj;
+
+  kdj.kdj_algorithm = core::KdjAlgorithm::kHsKdj;
+  kdj.k = 300;
+  requests.push_back(kdj);
+  kdj.kdj_algorithm = core::KdjAlgorithm::kBKdj;
+  kdj.k = 900;
+  requests.push_back(kdj);
+  kdj.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+  kdj.k = 2000;
+  requests.push_back(kdj);
+  kdj.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+  kdj.k = 50;
+  requests.push_back(kdj);
+
+  JoinRequest idj;
+  idj.kind = JoinRequest::Kind::kIdj;
+  idj.idj_algorithm = core::IdjAlgorithm::kHsIdj;
+  idj.k = 700;
+  requests.push_back(idj);
+  idj.idj_algorithm = core::IdjAlgorithm::kAmIdj;
+  idj.k = 1500;
+  requests.push_back(idj);
+  return requests;
+}
+
+/// Runs `request` alone on `f` (sequentially, nothing else in flight)
+/// under the exact options the service would use.
+JoinResponse RunSolo(const test::JoinFixture& f, const JoinService& service,
+                     const JoinRequest& request) {
+  JoinService::Options solo_options;
+  solo_options.max_inflight = 1;
+  // Reproduce the concurrent service's per-query clamp, not 1-in-flight's.
+  solo_options.queue_memory_budget_bytes =
+      service.per_query_queue_memory_bytes();
+  JoinService solo(*f.r, *f.s, solo_options);
+  return solo.Run(request);
+}
+
+TEST(JoinServiceTest, ConcurrentMixedQueriesMatchSoloRunsExactly) {
+  const workload::Dataset r_data =
+      workload::TigerStreets({.street_segments = 5000, .seed = 87});
+  const workload::Dataset s_data =
+      workload::TigerHydro({.hydro_objects = 1800, .seed = 87});
+  // Small pool so concurrent queries genuinely evict each other's pages.
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, 32, 48);
+
+  JoinService::Options options;
+  options.max_inflight = 4;
+  options.queue_memory_budget_bytes = 512 * 1024;
+  JoinService service(*f.r, *f.s, options);
+
+  const std::vector<JoinRequest> requests = MixedRequests();
+  ASSERT_GE(requests.size(), 4u) << "need N>=4 concurrent queries";
+
+  // Solo references on a *fresh* identical fixture, so reference stats are
+  // untouched by the concurrent run's pool state.
+  std::vector<JoinResponse> solo;
+  {
+    test::JoinFixture fresh = test::MakeFixture(r_data, s_data, 32, 48);
+    JoinService::Options probe = options;
+    JoinService sizing(*fresh.r, *fresh.s, probe);
+    for (const JoinRequest& request : requests) {
+      solo.push_back(RunSolo(fresh, sizing, request));
+      ASSERT_TRUE(solo.back().status.ok()) << solo.back().status.ToString();
+    }
+  }
+
+  const uint64_t pool_hits_before = f.pool->hit_count();
+  const uint64_t pool_misses_before = f.pool->miss_count();
+
+  std::vector<std::future<JoinResponse>> futures;
+  for (const JoinRequest& request : requests) {
+    futures.push_back(service.Submit(request));
+  }
+  std::vector<JoinResponse> concurrent;
+  for (auto& future : futures) concurrent.push_back(future.get());
+
+  // (a) Byte-identical results to the solo runs.
+  for (size_t q = 0; q < requests.size(); ++q) {
+    ASSERT_TRUE(concurrent[q].status.ok())
+        << concurrent[q].status.ToString();
+    ASSERT_EQ(concurrent[q].results.size(), solo[q].results.size())
+        << "query " << q;
+    for (size_t i = 0; i < concurrent[q].results.size(); ++i) {
+      EXPECT_EQ(concurrent[q].results[i], solo[q].results[i])
+          << "query " << q << " pair " << i;
+    }
+  }
+
+  // (b) Exact attribution: per-query sums reconcile with the pool's
+  // global counters — every access charged to exactly one query.
+  uint64_t sum_accesses = 0, sum_hits = 0, sum_misses = 0;
+  for (size_t q = 0; q < requests.size(); ++q) {
+    const JoinStats& stats = concurrent[q].stats;
+    EXPECT_EQ(stats.node_buffer_hits + stats.node_disk_reads,
+              stats.node_accesses)
+        << "query " << q;
+    // Traversal shape is interleaving-independent; only hit/miss split may
+    // differ from the solo run.
+    EXPECT_EQ(stats.node_accesses, solo[q].stats.node_accesses)
+        << "query " << q;
+    sum_accesses += stats.node_accesses;
+    sum_hits += stats.node_buffer_hits;
+    sum_misses += stats.node_disk_reads;
+  }
+  EXPECT_EQ(sum_hits, f.pool->hit_count() - pool_hits_before);
+  EXPECT_EQ(sum_misses, f.pool->miss_count() - pool_misses_before);
+  EXPECT_EQ(sum_accesses, (f.pool->hit_count() - pool_hits_before) +
+                              (f.pool->miss_count() - pool_misses_before));
+
+  EXPECT_EQ(service.completed(), requests.size());
+  EXPECT_LE(service.peak_inflight(), options.max_inflight);
+}
+
+TEST(JoinServiceTest, AdmissionControlBoundsInflight) {
+  const geom::Rect uni(0, 0, 10000, 10000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::UniformPoints(3000, 21, uni),
+      workload::UniformPoints(3000, 22, uni), 16, 64);
+
+  JoinService::Options options;
+  options.max_inflight = 2;
+  JoinService service(*f.r, *f.s, options);
+
+  JoinRequest request;
+  request.kind = JoinRequest::Kind::kKdj;
+  request.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+  request.k = 1000;
+  std::vector<std::future<JoinResponse>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(service.Submit(request));
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  EXPECT_EQ(service.completed(), 8u);
+  EXPECT_LE(service.peak_inflight(), 2u);
+  EXPECT_GE(service.peak_inflight(), 1u);
+}
+
+TEST(JoinServiceTest, QueueMemoryBudgetIsClampedPerQuery) {
+  const geom::Rect uni(0, 0, 1000, 1000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::UniformPoints(200, 31, uni),
+      workload::UniformPoints(200, 32, uni));
+
+  JoinService::Options options;
+  options.max_inflight = 4;
+  options.queue_memory_budget_bytes = 1024 * 1024;
+  JoinService service(*f.r, *f.s, options);
+  EXPECT_EQ(service.per_query_queue_memory_bytes(), 256u * 1024);
+
+  JoinRequest greedy;
+  greedy.options.queue_memory_bytes = 64 * 1024 * 1024;  // over budget
+  EXPECT_EQ(service.EffectiveOptions(greedy).queue_memory_bytes,
+            256u * 1024);
+  JoinRequest modest;
+  modest.options.queue_memory_bytes = 8 * 1024;  // under the clamp: kept
+  EXPECT_EQ(service.EffectiveOptions(modest).queue_memory_bytes, 8u * 1024);
+
+  // The floor: a tiny budget over many slots never clamps below the
+  // minimum a hybrid queue needs to function.
+  options.queue_memory_budget_bytes = 4 * 1024;
+  options.max_inflight = 8;
+  JoinService tiny(*f.r, *f.s, options);
+  EXPECT_EQ(tiny.per_query_queue_memory_bytes(),
+            JoinService::kMinQueueMemoryBytes);
+}
+
+// A tight per-query budget forces the hybrid queue to spill into the
+// session disk; the spill must be invisible in the results and the
+// session-scoped disk must not mix segments between concurrent queries.
+TEST(JoinServiceTest, SpillingQueriesStayCorrectUnderConcurrency) {
+  const workload::Dataset r_data =
+      workload::TigerStreets({.street_segments = 4000, .seed = 77});
+  const workload::Dataset s_data =
+      workload::TigerHydro({.hydro_objects = 1500, .seed = 77});
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, 32, 64);
+
+  JoinService::Options options;
+  options.max_inflight = 4;
+  // 16 KB per query (the floor): guarantees spilling on these workloads.
+  options.queue_memory_budget_bytes = 4 * JoinService::kMinQueueMemoryBytes;
+  JoinService service(*f.r, *f.s, options);
+
+  JoinRequest request;
+  request.kind = JoinRequest::Kind::kKdj;
+  request.kdj_algorithm = core::KdjAlgorithm::kHsKdj;  // queue-heaviest
+  request.k = 1500;
+
+  // Reference without any service in the picture.
+  JoinStats reference_stats;
+  core::JoinOptions reference_options = service.EffectiveOptions(request);
+  reference_options.queue_disk = f.queue_disk.get();
+  auto reference =
+      core::RunKDistanceJoin(*f.r, *f.s, request.k, request.kdj_algorithm,
+                             reference_options, &reference_stats);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference_stats.queue_page_writes, 0u)
+      << "workload must actually spill for this test to bite";
+
+  std::vector<std::future<JoinResponse>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(service.Submit(request));
+  for (auto& future : futures) {
+    const JoinResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.results.size(), reference->size());
+    for (size_t i = 0; i < response.results.size(); ++i) {
+      EXPECT_EQ(response.results[i], (*reference)[i]) << "pair " << i;
+    }
+    EXPECT_GT(response.stats.queue_page_writes, 0u);
+  }
+}
+
+TEST(JoinServiceTest, IdjStreamsRequestedCardinality) {
+  const geom::Rect uni(0, 0, 5000, 5000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::GaussianClusters(2500, 5, 0.05, 41, uni),
+      workload::UniformRects(1200, 25.0, 42, uni));
+
+  JoinService service(*f.r, *f.s, {});
+  JoinRequest request;
+  request.kind = JoinRequest::Kind::kIdj;
+  request.idj_algorithm = core::IdjAlgorithm::kAmIdj;
+  request.k = 600;
+  const JoinResponse response = service.Run(request);
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_EQ(response.results.size(), 600u);
+  for (size_t i = 1; i < response.results.size(); ++i) {
+    EXPECT_GE(response.results[i].distance,
+              response.results[i - 1].distance - 1e-12);
+  }
+  EXPECT_GT(response.stats.node_accesses, 0u);
+  EXPECT_EQ(response.stats.node_buffer_hits + response.stats.node_disk_reads,
+            response.stats.node_accesses);
+}
+
+}  // namespace
+}  // namespace amdj

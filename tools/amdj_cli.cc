@@ -22,6 +22,12 @@
 //                     [--metric=l2|l1|linf] [--limit=N]
 //   amdj_cli knn      --data=FILE --x=X --y=Y --k=K [--metric=l2|l1|linf]
 //   amdj_cli estimate --r=FILE --s=FILE --k=K
+//   amdj_cli batch    --r=FILE --s=FILE --requests=FILE [--inflight=N]
+//                     [--budget-kb=KB] [--metric=l2|l1|linf] [--self]
+//       (alias: serve) replays a request file concurrently through the
+//       JoinService. Each non-empty, non-# line of the request file is
+//       `<kdj|idj> <hs|b|am|sj> <k>` (IDJ accepts hs|am); requests run
+//       with at most N in flight, each with its own attributed stats.
 //
 // Dataset files are produced by `generate` (workload::Dataset binary
 // format); files ending in .csv are parsed as x,y or x0,y0,x1,y1 rows
@@ -32,10 +38,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "common/run_report.h"
 #include "common/trace.h"
 #include "core/amidj.h"
@@ -45,6 +55,7 @@
 #include "core/semi_join.h"
 #include "rtree/knn.h"
 #include "rtree/rtree.h"
+#include "service/join_service.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "workload/generators.h"
@@ -412,11 +423,103 @@ int CmdEstimate(const Args& args) {
   return 0;
 }
 
+/// Parses one request-file line: `<kdj|idj> <hs|b|am|sj> <k>`.
+service::JoinRequest ParseRequestLine(const std::string& line, size_t lineno) {
+  std::istringstream in(line);
+  std::string kind, algo;
+  uint64_t k = 0;
+  if (!(in >> kind >> algo >> k) || k == 0) {
+    Args::Fail("bad request line " + std::to_string(lineno) + ": '" + line +
+               "' (want `<kdj|idj> <hs|b|am|sj> <k>`)");
+  }
+  service::JoinRequest request;
+  request.k = k;
+  if (kind == "kdj") {
+    request.kind = service::JoinRequest::Kind::kKdj;
+    request.kdj_algorithm = ParseKdj(algo);
+  } else if (kind == "idj") {
+    request.kind = service::JoinRequest::Kind::kIdj;
+    if (algo == "hs") {
+      request.idj_algorithm = core::IdjAlgorithm::kHsIdj;
+    } else if (algo == "am") {
+      request.idj_algorithm = core::IdjAlgorithm::kAmIdj;
+    } else {
+      Args::Fail("request line " + std::to_string(lineno) +
+                 ": idj algorithm must be hs|am, got " + algo);
+    }
+  } else {
+    Args::Fail("request line " + std::to_string(lineno) +
+               ": kind must be kdj|idj, got " + kind);
+  }
+  return request;
+}
+
+int CmdBatch(const Args& args) {
+  Session session(args.Require("r"), args.Require("s"));
+  const std::string requests_path = args.Require("requests");
+
+  std::ifstream in(requests_path);
+  if (!in) Args::Fail("cannot open request file " + requests_path);
+  core::JoinOptions base;
+  base.metric = ParseMetric(args.GetString("metric"));
+  base.exclude_same_id = args.GetBool("self");
+  std::vector<service::JoinRequest> requests;
+  std::string line;
+  for (size_t lineno = 1; std::getline(in, line); ++lineno) {
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    service::JoinRequest request = ParseRequestLine(line, lineno);
+    request.options = base;
+    requests.push_back(request);
+  }
+  if (requests.empty()) Args::Fail("no requests in " + requests_path);
+
+  service::JoinService::Options service_options;
+  service_options.max_inflight =
+      static_cast<uint32_t>(args.GetUint("inflight", 4));
+  service_options.queue_memory_budget_bytes =
+      static_cast<size_t>(args.GetUint("budget-kb", 4096)) * 1024;
+  service::JoinService service(*session.r, *session.s, service_options);
+  std::fprintf(stderr,
+               "%zu requests, %u in flight, %zu KB queue memory per query\n",
+               requests.size(), service.max_inflight(),
+               service.per_query_queue_memory_bytes() / 1024);
+
+  Timer wall;
+  std::vector<std::future<service::JoinResponse>> futures;
+  futures.reserve(requests.size());
+  for (const auto& request : requests) {
+    futures.push_back(service.Submit(request));
+  }
+  uint64_t failures = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const service::JoinResponse response = futures[i].get();
+    if (!response.status.ok()) {
+      ++failures;
+      std::printf("%4zu  FAILED: %s\n", i + 1,
+                  response.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%4zu  %zu pairs  cpu=%.3fs  waited=%.3fs  "
+                "accesses=%" PRIu64 "  hits=%" PRIu64 "\n",
+                i + 1, response.results.size(), response.stats.cpu_seconds,
+                response.wait_seconds, response.stats.node_accesses,
+                response.stats.node_buffer_hits);
+  }
+  const double elapsed = wall.ElapsedSeconds();
+  std::printf("\n%zu queries in %.3fs (%.1f queries/s, peak in-flight %u, "
+              "%" PRIu64 " failed)\n",
+              requests.size(), elapsed,
+              elapsed > 0 ? requests.size() / elapsed : 0.0,
+              service.peak_inflight(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: amdj_cli "
-                 "<generate|info|join|stream|semijoin|knn|estimate> "
+                 "<generate|info|join|stream|batch|semijoin|knn|estimate> "
                  "[--flags]\n(see the header of tools/amdj_cli.cc)\n");
     return 2;
   }
@@ -428,6 +531,7 @@ int Main(int argc, char** argv) {
   if (command == "info") return CmdInfo(args);
   if (command == "join") return CmdJoin(args);
   if (command == "stream") return CmdStream(args);
+  if (command == "batch" || command == "serve") return CmdBatch(args);
   if (command == "semijoin") return CmdSemiJoin(args);
   if (command == "knn") return CmdKnn(args);
   if (command == "estimate") return CmdEstimate(args);
