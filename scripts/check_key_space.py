@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Lint for the distance-space / key-space unit discipline (PR 2).
+
+Internally, comparisons run in *key space* (`geom::DistanceToKey`: squared
+distance under L2), while emitted results and user-facing cutoffs are in
+*distance space* (`geom::KeyToDistance`). Mixing the two compiles fine --
+both are `double` -- and silently produces wrong join results, so the
+convention is: key-space variables carry a `_key` suffix, distance-space
+variables don't.
+
+Checks (line-based heuristics over C++ sources):
+
+  R1  a `*_key` variable assigned from `KeyToDistance(...)`
+      (the result is a distance; the name claims key space)
+  R2  a `*_dist` / `*_distance` / `dist` / `distance` variable assigned
+      from `DistanceToKey(...)` / `DistanceToKeyCutoff(...)`
+      (the result is a key; the name claims distance space)
+  R3  a comparison / min / max mixing a `*_key` identifier with a
+      `*_dist` / `*_distance` / `dist` / `distance` identifier
+      (comparing values in different units)
+
+Suppress a deliberate mix by putting `key-space-ok` in a comment on the
+offending line.
+
+Usage:
+  scripts/check_key_space.py [paths...]   # default: src/ tools/
+  scripts/check_key_space.py --self-test
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS = "key-space-ok"
+CPP_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+KEY_TO_DIST = re.compile(r"\bKeyToDistance\s*\(")
+DIST_TO_KEY = re.compile(r"\bDistanceToKey(?:Cutoff)?\s*\(")
+# `name = <expr>` where <expr> starts with (geom::)KeyToDistance(...).
+ASSIGN_FROM_KEY_TO_DIST = re.compile(
+    r"\b(\w+)\s*[=({]\s*(?:geom::)?KeyToDistance\s*\(")
+ASSIGN_FROM_DIST_TO_KEY = re.compile(
+    r"\b(\w+)\s*[=({]\s*(?:geom::)?DistanceToKey(?:Cutoff)?\s*\(")
+COMPARISON = re.compile(r"[<>]=?|[=!]=|\bstd::min\b|\bstd::max\b")
+
+
+def is_key_space(ident: str) -> bool:
+    return ident.endswith("_key")
+
+
+def is_distance_space(ident: str) -> bool:
+    # `_key` wins: `dist_key` is a key-space name for a distance-derived
+    # quantity, which is exactly what the suffix discipline asks for.
+    if is_key_space(ident):
+        return False
+    return (ident in ("dist", "distance")
+            or ident.endswith("_dist")
+            or ident.endswith("_distance"))
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Blanks string/char literals and trailing `//` comments so tracing
+    labels like "dist_key" don't trip the identifier scan."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '/' and i + 1 < n and line[i + 1] == '/':
+            break
+        if c in ('"', "'"):
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == '\\' else 1
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def check_line(line: str):
+    """Returns a list of (rule, message) violations for one source line."""
+    if SUPPRESS in line:
+        return []
+    code = strip_strings_and_comments(line)
+    violations = []
+
+    m = ASSIGN_FROM_KEY_TO_DIST.search(code)
+    if m and is_key_space(m.group(1)):
+        violations.append((
+            "R1", f"'{m.group(1)}' holds a KeyToDistance result (distance "
+                  f"space) but is named with the key-space `_key` suffix"))
+
+    m = ASSIGN_FROM_DIST_TO_KEY.search(code)
+    if m and is_distance_space(m.group(1)):
+        violations.append((
+            "R2", f"'{m.group(1)}' holds a DistanceToKey result (key space) "
+                  f"but is named as a distance"))
+
+    if COMPARISON.search(code):
+        idents = set(IDENT.findall(code))
+        keys = sorted(i for i in idents if is_key_space(i))
+        dists = sorted(i for i in idents if is_distance_space(i))
+        if keys and dists:
+            violations.append((
+                "R3", f"comparison mixes key-space {keys} with "
+                      f"distance-space {dists}"))
+    return violations
+
+
+def check_file(path: Path):
+    violations = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for rule, msg in check_line(line):
+            violations.append((path, lineno, rule, msg, line.strip()))
+    return violations
+
+
+def self_test() -> int:
+    cases = [
+        # (line, expected rule or None)
+        ("const double d = geom::KeyToDistance(c.key, metric);", None),
+        ("const double dmax_key = geom::DistanceToKeyCutoff(dmax, m);", None),
+        ("double bad_key = geom::KeyToDistance(c.key, metric);", "R1"),
+        ("double bad_key(geom::KeyToDistance(c.key, metric));", "R1"),
+        ("const double dist = geom::DistanceToKey(x);", "R2"),
+        ("double cutoff_dist = geom::DistanceToKeyCutoff(dmax, m);", "R2"),
+        ("if (dist_key <= axis_cutoff_key) {", None),
+        ("if (dist_key <= dmax_distance) {", "R3"),
+        ("const double lo = std::min(lower_bound_key, best_dist);", "R3"),
+        ("if (dist < cutoff) {", None),
+        # Suppression and literal-stripping.
+        ("if (dist_key <= dmax_distance) {  // key-space-ok: boundary", None),
+        ('tracer->Counter("best_dist", dist_key);', None),
+        ("for (size_t i = 0; i < n; ++i) {", None),
+    ]
+    failures = 0
+    for line, expected in cases:
+        got = [rule for rule, _ in check_line(line)]
+        ok = (got == [] if expected is None else got == [expected])
+        if not ok:
+            failures += 1
+            print(f"self-test FAIL: {line!r}: expected "
+                  f"{expected or 'clean'}, got {got or 'clean'}")
+    if failures:
+        print(f"self-test: {failures}/{len(cases)} cases failed")
+        return 1
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main(argv) -> int:
+    if "--self-test" in argv:
+        return self_test()
+    if any(a.startswith("-") for a in argv):
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [Path(a) for a in argv] or [repo_root / "src", repo_root / "tools"]
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(p for p in sorted(root.rglob("*"))
+                         if p.suffix in CPP_SUFFIXES)
+        else:
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+
+    all_violations = []
+    for f in files:
+        all_violations.extend(check_file(f))
+    for path, lineno, rule, msg, text in all_violations:
+        print(f"{path}:{lineno}: [{rule}] {msg}\n    {text}")
+    if all_violations:
+        print(f"\ncheck_key_space: {len(all_violations)} violation(s) in "
+              f"{len(files)} file(s); suppress deliberate mixes with a "
+              f"'{SUPPRESS}' comment")
+        return 1
+    print(f"check_key_space: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#   build-dir: a CMake build directory containing compile_commands.json
+#              (exported by the top-level CMakeLists via
+#              CMAKE_EXPORT_COMPILE_COMMANDS). Default: build.
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary to use (default: first of clang-tidy,
+#               clang-tidy-{19..14} found on PATH).
+#   JOBS        parallel clang-tidy processes (default: nproc).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "${tidy}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy}" ]]; then
+  echo "error: clang-tidy not found on PATH (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B \"${build_dir}\" -S \"${repo_root}\"" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(cd "${repo_root}" \
+  && find src tools bench -name '*.cc' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "error: no sources found under ${repo_root}" >&2
+  exit 2
+fi
+
+jobs="${JOBS:-$(nproc)}"
+echo "clang-tidy: ${tidy} ($("${tidy}" --version | head -n 1))"
+echo "checking ${#sources[@]} files with ${jobs} jobs..."
+
+cd "${repo_root}"
+# -warnings-as-errors comes from WarningsAsErrors in .clang-tidy; --quiet
+# suppresses the per-file "N warnings generated" chatter. xargs returns
+# nonzero if any invocation fails, which fails the script (and CI).
+printf '%s\n' "${sources[@]}" \
+  | xargs -P "${jobs}" -n 8 "${tidy}" -p "${build_dir}" --quiet
+
+echo "clang-tidy: clean"

@@ -1,0 +1,75 @@
+#ifndef AMDJ_COMMON_ANNOTATIONS_H_
+#define AMDJ_COMMON_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (-Wthread-safety).
+///
+/// These macros attach compile-time lock-discipline contracts to the
+/// concurrency layer (common/mutex.h) and to every class that guards state
+/// with it: which capability (mutex) protects which field, which functions
+/// require or must not hold it, and which functions acquire/release it.
+/// Under Clang with the analysis enabled, violating a contract — touching a
+/// AMDJ_GUARDED_BY field without its mutex, double-acquiring, returning with
+/// a lock held — is a hard build error (CI runs -Werror=thread-safety; see
+/// .github/workflows/ci.yml "thread-safety" job and DESIGN.md "Concurrency
+/// contracts"). Under GCC and other compilers every macro expands to
+/// nothing, so annotations cost nothing and cannot break portability.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AMDJ_TSA_HAS_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define AMDJ_TSA_HAS_ATTRIBUTE(x) 0
+#endif
+
+#if AMDJ_TSA_HAS_ATTRIBUTE(capability)
+#define AMDJ_TSA(x) __attribute__((x))
+#else
+#define AMDJ_TSA(x)
+#endif
+
+/// Marks a class as a capability (lockable resource). The string names the
+/// capability kind in diagnostics ("mutex" here).
+#define AMDJ_CAPABILITY(x) AMDJ_TSA(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (MutexLock).
+#define AMDJ_SCOPED_CAPABILITY AMDJ_TSA(scoped_lockable)
+
+/// Field may only be read or written while holding the given capability.
+#define AMDJ_GUARDED_BY(x) AMDJ_TSA(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding the
+/// capability (the pointer itself is unguarded).
+#define AMDJ_PT_GUARDED_BY(x) AMDJ_TSA(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) when invoking.
+#define AMDJ_REQUIRES(...) AMDJ_TSA(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability when invoking (deadlock guard for
+/// functions that acquire it themselves).
+#define AMDJ_EXCLUDES(...) AMDJ_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define AMDJ_ACQUIRE(...) AMDJ_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define AMDJ_RELEASE(...) AMDJ_TSA(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; holds it iff the return
+/// value equals `b`.
+#define AMDJ_TRY_ACQUIRE(b, ...) AMDJ_TSA(try_acquire_capability(b, __VA_ARGS__))
+
+/// Assertion that the capability is already held (runtime-checked escape
+/// hatch; the analysis trusts it past this point).
+#define AMDJ_ASSERT_CAPABILITY(x) AMDJ_TSA(assert_capability(x))
+
+/// Function returns a reference to the given capability (accessor pattern).
+#define AMDJ_RETURN_CAPABILITY(x) AMDJ_TSA(lock_returned(x))
+
+/// Disables the analysis for one function. Reserved for code whose
+/// discipline the analysis cannot express (e.g. locks adopted across
+/// scopes); every use must carry a comment saying why.
+#define AMDJ_NO_THREAD_SAFETY_ANALYSIS AMDJ_TSA(no_thread_safety_analysis)
+
+#endif  // AMDJ_COMMON_ANNOTATIONS_H_

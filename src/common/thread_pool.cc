@@ -35,25 +35,25 @@ ThreadPool::ThreadPool(size_t num_threads, const std::string& name_prefix)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 size_t ThreadPool::queued() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return tasks_.size();
 }
 
 void ThreadPool::Enqueue(std::function<void()> fn) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     AMDJ_CHECK(!shutting_down_) << "Submit on a shutting-down ThreadPool";
     tasks_.push_back(std::move(fn));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
@@ -61,8 +61,8 @@ void ThreadPool::WorkerLoop(size_t index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      const MutexLock lock(&mutex_);
+      while (!shutting_down_ && tasks_.empty()) wake_.Wait(&mutex_);
       // Idle shutdown drains the queue before exiting.
       if (tasks_.empty()) return;
       task = std::move(tasks_.front());

@@ -1,17 +1,18 @@
 #ifndef AMDJ_COMMON_THREAD_POOL_H_
 #define AMDJ_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace amdj {
 
@@ -26,7 +27,9 @@ namespace amdj {
 /// worker, lets the already-queued tasks drain, and joins. Submitting
 /// after (or during) destruction is a programming error.
 ///
-/// Thread-safety: Submit may be called concurrently from any thread.
+/// Thread-safety: Submit may be called concurrently from any thread. The
+/// queue and the shutdown flag are guarded by `mutex_` — annotated, so the
+/// discipline is compiler-checked (common/annotations.h).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1). Workers are named
@@ -56,18 +59,20 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
   /// Tasks submitted but not yet started (for tests/introspection).
-  size_t queued() const;
+  size_t queued() const AMDJ_EXCLUDES(mutex_);
 
  private:
-  void Enqueue(std::function<void()> fn);
-  void WorkerLoop(size_t index);
+  void Enqueue(std::function<void()> fn) AMDJ_EXCLUDES(mutex_);
+  void WorkerLoop(size_t index) AMDJ_EXCLUDES(mutex_);
 
   const std::string name_prefix_;
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> tasks_;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> tasks_ AMDJ_GUARDED_BY(mutex_);
+  /// Written only by the constructor, joined by the destructor — the
+  /// in-between is read-only (size()), so no capability is needed.
   std::vector<std::thread> workers_;
-  bool shutting_down_ = false;
+  bool shutting_down_ AMDJ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace amdj

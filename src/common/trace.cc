@@ -100,10 +100,15 @@ Tracer::Tracer()
 Tracer::~Tracer() = default;
 
 Tracer::ThreadBuffer* Tracer::RegisterThisThread() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = static_cast<uint32_t>(buffers_.size());
-  buffer->events.reserve(256);
+  {
+    // No other thread can know this buffer yet; the lock is for the
+    // analysis (events is guarded by mu) and costs one uncontended pair.
+    const MutexLock buffer_lock(&buffer->mu);
+    buffer->events.reserve(256);
+  }
   ThreadBuffer* raw = buffer.get();
   buffers_.push_back(std::move(buffer));
   t_cache.tracer_id = id_;
@@ -124,17 +129,19 @@ void Tracer::Append(TraceEventType type, const char* name,
     if (e.arg_count >= kMaxTraceArgs) break;
     e.args[e.arg_count++] = a;
   }
+  // Uncontended unless a merge is snapshotting this buffer right now —
+  // only the owning thread appends (see the header's recording model).
+  const MutexLock lock(&buffer->mu);
   buffer->events.push_back(e);
 }
 
 std::vector<MergedTraceEvent> Tracer::Merged() const {
   std::vector<MergedTraceEvent> merged;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    size_t total = 0;
-    for (const auto& b : buffers_) total += b->events.size();
-    merged.reserve(total);
+    const MutexLock lock(&mutex_);
     for (const auto& b : buffers_) {
+      const MutexLock buffer_lock(&b->mu);
+      merged.reserve(merged.size() + b->events.size());
       for (const TraceEvent& e : b->events) merged.push_back({e, b->tid});
     }
   }
@@ -149,14 +156,17 @@ std::vector<MergedTraceEvent> Tracer::Merged() const {
 }
 
 size_t Tracer::event_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   size_t total = 0;
-  for (const auto& b : buffers_) total += b->events.size();
+  for (const auto& b : buffers_) {
+    const MutexLock buffer_lock(&b->mu);
+    total += b->events.size();
+  }
   return total;
 }
 
 size_t Tracer::thread_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return buffers_.size();
 }
 

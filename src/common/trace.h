@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace amdj {
@@ -17,10 +18,12 @@ namespace amdj {
 ///
 /// Recording model: every thread that emits an event gets its own
 /// append-only buffer (registered on first use, cached in a thread_local
-/// slot), so the hot path is one thread_local load plus a vector push_back
-/// — no locks, no cross-thread cache traffic. Timestamps come from one
-/// shared steady_clock epoch, so events from different threads order
-/// correctly when merged.
+/// slot), guarded by its own per-buffer mutex. The hot path is one
+/// thread_local load plus an *uncontended* lock and a vector push_back —
+/// the only thread that ever contends for a buffer's mutex is a merge, so
+/// recording threads share no cache lines and never block each other.
+/// Timestamps come from one shared steady_clock epoch, so events from
+/// different threads order correctly when merged.
 ///
 /// Enabling model: the tracer is compiled in but runtime-off. Every
 /// instrumentation point is guarded by a single branch on a `Tracer*`
@@ -29,10 +32,11 @@ namespace amdj {
 /// like the uninstrumented build.
 ///
 /// Lifecycle: record during a join, then Merged()/Export* after the join
-/// has returned. Merging takes the registration mutex but does NOT
-/// synchronize with in-flight recording — callers must quiesce every
-/// recording thread first (the join algorithms guarantee this: workers
-/// are joined before the join call returns).
+/// has returned. Merging is safe even while other threads are still
+/// recording (each buffer is copied under its mutex, so the result is a
+/// consistent per-thread prefix) — but a *complete* trace still requires
+/// the recording threads to have finished, which the join algorithms
+/// guarantee: workers are joined before the join call returns.
 ///
 /// Event names and argument names must be string literals (or otherwise
 /// outlive the tracer): only the pointer is stored.
@@ -107,14 +111,15 @@ class Tracer {
   }
 
   /// All events from all threads, sorted by timestamp (ties by thread).
-  /// See the class comment for the quiescence requirement.
-  std::vector<MergedTraceEvent> Merged() const;
+  /// Safe to call concurrently with recording (see the class comment);
+  /// complete only once recording threads have finished.
+  std::vector<MergedTraceEvent> Merged() const AMDJ_EXCLUDES(mutex_);
 
   /// Total events recorded so far across all threads.
-  size_t event_count() const;
+  size_t event_count() const AMDJ_EXCLUDES(mutex_);
 
   /// Number of threads that have recorded at least one event.
-  size_t thread_count() const;
+  size_t thread_count() const AMDJ_EXCLUDES(mutex_);
 
   /// Writes the merged events as Chrome trace_event JSON (an object with a
   /// "traceEvents" array), loadable in Perfetto / chrome://tracing.
@@ -127,19 +132,24 @@ class Tracer {
  private:
   struct ThreadBuffer {
     uint32_t tid = 0;
-    std::vector<TraceEvent> events;
+    /// Uncontended except against a concurrent merge: the owning thread is
+    /// the only appender (see the class comment on the recording model).
+    mutable Mutex mu;
+    std::vector<TraceEvent> events AMDJ_GUARDED_BY(mu);
   };
 
   void Append(TraceEventType type, const char* name,
               std::initializer_list<TraceArg> args);
 
   /// Registers the calling thread (slow path, takes the mutex).
-  ThreadBuffer* RegisterThisThread();
+  ThreadBuffer* RegisterThisThread() AMDJ_EXCLUDES(mutex_);
 
   const uint64_t id_;  ///< Process-unique, for the thread_local cache.
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Guards registration (the buffer list). Lock order: mutex_ before any
+  /// ThreadBuffer::mu (Merged); never the reverse.
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ AMDJ_GUARDED_BY(mutex_);
 };
 
 /// RAII span guard; a null tracer makes construction and destruction

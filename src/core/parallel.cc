@@ -106,6 +106,8 @@ void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
 Status BatchExpander::Run(
     const std::vector<ExpandTask>& tasks, double initial_cutoff,
     const std::function<StatusOr<bool>(size_t, ExpandSlot*)>& merge) {
+  AMDJ_CHECK(owner_.CalledOnValidThread())
+      << "BatchExpander::Run off the coordinator thread";
   AMDJ_CHECK(tasks.size() <= slots_.size())
       << "batch of " << tasks.size() << " exceeds target " << batch_target_;
   shared_cutoff_.store(initial_cutoff, std::memory_order_relaxed);

@@ -7,8 +7,10 @@
 #include <future>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_checker.h"
 #include "common/thread_pool.h"
 #include "core/options.h"
 #include "core/pair_entry.h"
@@ -132,6 +134,19 @@ inline bool TiesAheadOfPendingTask(const PairEntry& e,
 /// real distance > some value that is >= the final k-th result distance,
 /// so the emitted top-k — selected later, in strict queue order, by the
 /// coordinator — is identical to the sequential run's.
+///
+/// Shared-cutoff protocol (concurrency contract): `shared_cutoff_` has
+/// exactly one writer — the coordinator, via Run (round init) and Tighten
+/// (merge callback) — and many relaxed readers (workers). The store may be
+/// plain (non-RMW) *only because* of that single-writer discipline plus
+/// cutoff monotonicity (it only shrinks within a round, so any stale read
+/// is an admissible upper bound). The single-writer half of the contract
+/// is enforced at runtime: Run / Tighten / ReportRound check the
+/// coordinator confinement owner (common/thread_checker.h) and abort on a
+/// cross-thread call. `cancelled_` follows the same single-writer shape.
+/// Everything else (slots_, futures_, batch_limit_) is coordinator-only
+/// state handed to exactly one worker per round slot, synchronized by the
+/// Submit/future-wait pair.
 class BatchExpander {
  public:
   /// `r`, `s`, and `options` must outlive the expander. Spawns
@@ -156,6 +171,8 @@ class BatchExpander {
   /// sequential loop would have skipped them). Grows the limit on clean
   /// rounds, shrinks it to the useful count otherwise.
   void ReportRound(size_t n, size_t wasted) {
+    AMDJ_CHECK(owner_.CalledOnValidThread())
+        << "BatchExpander::ReportRound off the coordinator thread";
     if (wasted == 0) {
       batch_limit_ = std::min(batch_limit_ * 2, batch_target_);
     } else {
@@ -178,8 +195,11 @@ class BatchExpander {
   /// Publishes a (smaller) cutoff to in-flight workers. Called by the
   /// merge callback after the exact cutoff shrinks. Monotone by contract:
   /// callers only pass values from a shrinking source, so a plain store
-  /// suffices (there is exactly one writer, the coordinator).
+  /// suffices (there is exactly one writer, the coordinator — enforced,
+  /// see the shared-cutoff protocol in the class comment).
   void Tighten(double cutoff) {
+    AMDJ_CHECK(owner_.CalledOnValidThread())
+        << "BatchExpander::Tighten off the coordinator thread";
     shared_cutoff_.store(cutoff, std::memory_order_relaxed);
   }
 
@@ -190,14 +210,23 @@ class BatchExpander {
   const rtree::RTree& s_;
   const JoinOptions& options_;
   size_t batch_target_;
+  /// Coordinator-only (read/written between rounds, never by workers).
   size_t batch_limit_ = 1;
+  /// Single writer (coordinator), relaxed readers (workers); see the
+  /// shared-cutoff protocol in the class comment.
   std::atomic<double> shared_cutoff_;
   /// Set when a merge stops the round early: queued-but-unstarted workers
-  /// skip their (discarded) expansion instead of fetching children.
+  /// skip their (discarded) expansion instead of fetching children. Same
+  /// single-writer shape as shared_cutoff_.
   std::atomic<bool> cancelled_{false};
   ThreadPool pool_;
+  /// One slot per batch position: each is written by exactly one worker
+  /// per round and read by the coordinator only after that worker's
+  /// future resolves.
   std::vector<ExpandSlot> slots_;
   std::vector<std::future<void>> futures_;
+  /// Coordinator confinement owner (Run / Tighten / ReportRound).
+  ThreadChecker owner_;
 };
 
 }  // namespace amdj::core

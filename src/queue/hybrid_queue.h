@@ -9,9 +9,11 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/run_report.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_checker.h"
 #include "common/trace.h"
 #include "queue/binary_heap.h"
 #include "queue/segment_file.h"
@@ -45,6 +47,15 @@ namespace amdj::queue {
 /// T must be trivially copyable with a public `double key` member (the
 /// priority). Compare orders the heap and must be consistent with
 /// ascending key.
+///
+/// Concurrency contract: thread-confined. The queue — in particular the
+/// split/swap-in path, which rewrites the heap and the segment list
+/// together — is mutated exclusively by the coordinating (query) thread;
+/// the parallel executor's workers never touch it. That confinement is
+/// what makes the segment-boundary invariant above safe without a lock,
+/// and it is enforced: every mutating entry point checks the confinement
+/// owner (common/thread_checker.h) and aborts on a cross-thread call
+/// instead of corrupting the boundary structure.
 template <typename T, typename Compare>
 class HybridQueue {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -100,6 +111,8 @@ class HybridQueue {
   /// has actually landed (heap push, or segment append succeeded) — a
   /// failed spill Append must not inflate main_queue_insertions.
   Status Push(const T& item) {
+    AMDJ_CHECK(owner_.CalledOnValidThread())
+        << "HybridQueue::Push off the coordinator thread";
     if (item.key < HeapUpperBound()) {
       heap_.Push(item);
       CountInsertion();
@@ -123,6 +136,8 @@ class HybridQueue {
 
   /// Removes the minimum entry into `*out`; OutOfRange when empty.
   Status Pop(T* out) {
+    AMDJ_CHECK(owner_.CalledOnValidThread())
+        << "HybridQueue::Pop off the coordinator thread";
     AMDJ_RETURN_IF_ERROR(SettleFront());
     if (heap_.Empty()) return Status::OutOfRange("queue is empty");
     *out = heap_.Pop();
@@ -133,6 +148,8 @@ class HybridQueue {
   /// when empty. May swap a disk segment into the heap (the global minimum
   /// is always in the heap afterwards, so a following Pop is in-memory).
   Status Peek(T* out) {
+    AMDJ_CHECK(owner_.CalledOnValidThread())
+        << "HybridQueue::Peek off the coordinator thread";
     AMDJ_RETURN_IF_ERROR(SettleFront());
     if (heap_.Empty()) return Status::OutOfRange("queue is empty");
     *out = heap_.Top();
@@ -148,6 +165,8 @@ class HybridQueue {
   /// then collect a round of node pairs.
   template <typename Take>
   Status PopBatch(size_t max_n, Take&& take, std::vector<T>* out) {
+    AMDJ_CHECK(owner_.CalledOnValidThread())
+        << "HybridQueue::PopBatch off the coordinator thread";
     for (size_t n = 0; n < max_n; ++n) {
       AMDJ_RETURN_IF_ERROR(SettleFront());
       if (heap_.Empty()) break;
@@ -314,6 +333,9 @@ class HybridQueue {
   std::vector<std::unique_ptr<SegmentFile>> segments_;  // by lower_bound asc
   uint64_t splits_ = 0;
   uint64_t swapins_ = 0;
+  /// Confinement owner: bound to the first mutating caller (see the class
+  /// comment's concurrency contract).
+  ThreadChecker owner_;
 };
 
 }  // namespace amdj::queue

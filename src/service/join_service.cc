@@ -44,13 +44,13 @@ std::future<JoinResponse> JoinService::Submit(JoinRequest request) {
   return pool_->Submit([this, request = std::move(request), queued] {
     const double wait_seconds = queued.ElapsedSeconds();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(&mutex_);
       ++inflight_;
       peak_inflight_ = std::max(peak_inflight_, inflight_);
     }
     JoinResponse response = Execute(request, wait_seconds);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(&mutex_);
       --inflight_;
       ++completed_;
     }
@@ -109,12 +109,12 @@ JoinResponse JoinService::Execute(const JoinRequest& request,
 }
 
 uint64_t JoinService::completed() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return completed_;
 }
 
 uint32_t JoinService::peak_inflight() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return peak_inflight_;
 }
 

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -123,9 +124,9 @@ class JoinService {
   uint32_t max_inflight() const { return max_inflight_; }
 
   /// Requests finished since construction.
-  uint64_t completed() const;
+  uint64_t completed() const AMDJ_EXCLUDES(mutex_);
   /// Highest number of simultaneously executing queries observed.
-  uint32_t peak_inflight() const;
+  uint32_t peak_inflight() const AMDJ_EXCLUDES(mutex_);
 
  private:
   JoinResponse Execute(const JoinRequest& request, double wait_seconds);
@@ -136,10 +137,12 @@ class JoinService {
   uint32_t max_inflight_;
   size_t per_query_queue_memory_;
 
-  mutable std::mutex mutex_;
-  uint32_t inflight_ = 0;
-  uint32_t peak_inflight_ = 0;
-  uint64_t completed_ = 0;
+  /// Guards the admission counters below (the admission *queue* itself is
+  /// the pool's FIFO task queue, guarded inside ThreadPool).
+  mutable Mutex mutex_;
+  uint32_t inflight_ AMDJ_GUARDED_BY(mutex_) = 0;
+  uint32_t peak_inflight_ AMDJ_GUARDED_BY(mutex_) = 0;
+  uint64_t completed_ AMDJ_GUARDED_BY(mutex_) = 0;
 
   /// Last member: destroyed (drained) first, while the counters above are
   /// still alive for the final tasks.

@@ -109,7 +109,7 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId page_id) {
   // *different* queries write different JoinStats blocks, and threads of
   // one query (the intra-query parallel executor) serialize on this lock.
   QueryAttribution* query = QueryAttributionScope::Current();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   JoinStats* stats = query != nullptr ? query->stats : stats_;
   Tracer* tracer = query != nullptr ? query->tracer : tracer_;
   if (stats != nullptr) ++stats->node_accesses;
@@ -161,7 +161,7 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId page_id) {
 }
 
 StatusOr<PageGuard> BufferPool::NewPage(PageId* page_id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   Status status;
   const int victim = FindVictim(&status);
   if (victim < 0) return status;
@@ -179,7 +179,7 @@ StatusOr<PageGuard> BufferPool::NewPage(PageId* page_id) {
 }
 
 void BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto it = table_.find(page_id);
   if (it == table_.end()) return;
   Frame& f = frames_[it->second];
@@ -188,7 +188,7 @@ void BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::Discard(PageId page_id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   auto it = table_.find(page_id);
   if (it == table_.end()) return Status::OK();
   Frame& f = frames_[it->second];
@@ -210,7 +210,7 @@ Status BufferPool::Discard(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
       AMDJ_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
@@ -221,7 +221,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   for (size_t idx = 0; idx < frames_.size(); ++idx) {
     Frame& f = frames_[idx];
     if (f.page_id == kInvalidPageId) continue;

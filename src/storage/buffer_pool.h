@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/trace.h"
@@ -86,8 +87,8 @@ class BufferPool {
   /// node_disk_reads) into `stats`; pass nullptr to detach. This is the
   /// pool-wide fallback sink — an active QueryAttributionScope on the
   /// accessing thread shadows it (see the class comment).
-  void SetStatsSink(JoinStats* stats) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void SetStatsSink(JoinStats* stats) AMDJ_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
     stats_ = stats;
   }
 
@@ -95,8 +96,8 @@ class BufferPool {
   /// once per kTraceWindow accesses (the windowed hit fraction, 0..1);
   /// pass nullptr to detach. Pool-wide fallback like SetStatsSink; an
   /// active QueryAttributionScope supplies its own tracer and window.
-  void SetTracer(Tracer* tracer) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void SetTracer(Tracer* tracer) AMDJ_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
     tracer_ = tracer;
     window_accesses_ = 0;
     window_hits_ = 0;
@@ -106,29 +107,29 @@ class BufferPool {
   static constexpr uint64_t kTraceWindow = 1024;
 
   /// Fetches (pinning) an existing page.
-  StatusOr<PageGuard> FetchPage(PageId page_id);
+  StatusOr<PageGuard> FetchPage(PageId page_id) AMDJ_EXCLUDES(mutex_);
 
   /// Allocates a fresh zeroed page and pins it. On success `*page_id` holds
   /// the new id.
-  StatusOr<PageGuard> NewPage(PageId* page_id);
+  StatusOr<PageGuard> NewPage(PageId* page_id) AMDJ_EXCLUDES(mutex_);
 
   /// Unpins a page previously pinned by FetchPage/NewPage. Called by
   /// PageGuard; rarely needed directly.
-  void UnpinPage(PageId page_id, bool dirty);
+  void UnpinPage(PageId page_id, bool dirty) AMDJ_EXCLUDES(mutex_);
 
   /// Drops a cached page *without* writing it back — for pages whose
   /// contents are dead (about to be freed). Required before
   /// DiskManager::FreePage of a page that may be cached: otherwise a later
   /// reuse of the page id would alias a stale frame. No-op when the page
   /// is not cached; fails if it is pinned.
-  Status Discard(PageId page_id);
+  Status Discard(PageId page_id) AMDJ_EXCLUDES(mutex_);
 
   /// Writes back all dirty pages.
-  Status FlushAll();
+  Status FlushAll() AMDJ_EXCLUDES(mutex_);
 
   /// Drops every unpinned page (flushing dirty ones). Returns non-OK if any
   /// page is still pinned or a flush fails.
-  Status Clear();
+  Status Clear() AMDJ_EXCLUDES(mutex_);
 
   /// The backing disk manager (for page allocation bookkeeping by owners
   /// of pooled structures, e.g. freeing R-tree nodes).
@@ -137,17 +138,17 @@ class BufferPool {
   size_t capacity_pages() const { return capacity_; }
 
   /// Number of distinct pages currently cached.
-  size_t cached_pages() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  size_t cached_pages() const AMDJ_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
     return table_.size();
   }
 
-  uint64_t hit_count() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t hit_count() const AMDJ_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
     return hits_;
   }
-  uint64_t miss_count() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t miss_count() const AMDJ_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
     return misses_;
   }
 
@@ -161,23 +162,32 @@ class BufferPool {
 
   /// Returns a free frame index, evicting the LRU unpinned page if needed;
   /// -1 if every frame is pinned.
-  int FindVictim(Status* status);
-  void TouchLru(size_t frame_idx);
+  int FindVictim(Status* status) AMDJ_REQUIRES(mutex_);
+  void TouchLru(size_t frame_idx) AMDJ_REQUIRES(mutex_);
 
   DiskManager* disk_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
-  std::list<size_t> lru_;                     // front = most recent
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::vector<size_t> free_frames_;
-  mutable std::mutex mutex_;
-  JoinStats* stats_ = nullptr;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  Tracer* tracer_ = nullptr;
-  uint64_t window_accesses_ = 0;  ///< Accesses in the current trace window.
-  uint64_t window_hits_ = 0;      ///< Hits in the current trace window.
+  mutable Mutex mutex_;
+  /// Frame payloads (Frame::data contents) are stable while pinned — the
+  /// guarded state is the frame *metadata* and the pool's maps/lists.
+  std::vector<Frame> frames_ AMDJ_GUARDED_BY(mutex_);
+  std::unordered_map<PageId, size_t> table_
+      AMDJ_GUARDED_BY(mutex_);  // page id -> frame index
+  std::list<size_t> lru_ AMDJ_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+      AMDJ_GUARDED_BY(mutex_);
+  std::vector<size_t> free_frames_ AMDJ_GUARDED_BY(mutex_);
+  /// The sink object is also written under mutex_ (pointer and pointee):
+  /// threads of one query serialize their counter bumps on this lock.
+  JoinStats* stats_ AMDJ_GUARDED_BY(mutex_) AMDJ_PT_GUARDED_BY(mutex_) =
+      nullptr;
+  uint64_t hits_ AMDJ_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ AMDJ_GUARDED_BY(mutex_) = 0;
+  Tracer* tracer_ AMDJ_GUARDED_BY(mutex_) = nullptr;
+  /// Accesses in the current trace window.
+  uint64_t window_accesses_ AMDJ_GUARDED_BY(mutex_) = 0;
+  /// Hits in the current trace window.
+  uint64_t window_hits_ AMDJ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace amdj::storage

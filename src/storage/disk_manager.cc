@@ -30,7 +30,7 @@ void DiskManager::CountWrite(PageId page_id) {
 // InMemoryDiskManager
 
 PageId InMemoryDiskManager::AllocatePage() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   ++stats_.pages_allocated;
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -43,7 +43,7 @@ PageId InMemoryDiskManager::AllocatePage() {
 }
 
 void InMemoryDiskManager::FreePage(PageId page_id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (page_id >= pages_.size()) return;
   if (!free_set_.insert(page_id).second) {
     // A double free would let AllocatePage hand this id to two callers.
@@ -54,7 +54,7 @@ void InMemoryDiskManager::FreePage(PageId page_id) {
 }
 
 Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (page_id >= pages_.size()) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(page_id));
@@ -65,7 +65,7 @@ Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (page_id >= pages_.size()) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(page_id));
@@ -76,7 +76,7 @@ Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 uint32_t InMemoryDiskManager::PageCount() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return static_cast<uint32_t>(pages_.size());
 }
 
@@ -115,7 +115,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 PageId FileDiskManager::AllocatePage() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   ++stats_.pages_allocated;
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -127,7 +127,7 @@ PageId FileDiskManager::AllocatePage() {
 }
 
 void FileDiskManager::FreePage(PageId page_id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (page_id >= page_count_) return;
   if (!free_set_.insert(page_id).second) {
     AMDJ_LOG(kWarn) << "double free of page " << page_id << " ignored";
@@ -154,7 +154,7 @@ Status FileDiskManager::SeekToPage(PageId page_id) {
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (file_ == nullptr) return Status::IOError("backing file not open");
   if (page_id >= page_count_) {
     return Status::OutOfRange("read of unallocated page " +
@@ -172,7 +172,7 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId page_id, const char* data) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (file_ == nullptr) return Status::IOError("backing file not open");
   if (page_id >= page_count_) {
     return Status::OutOfRange("write of unallocated page " +
@@ -187,7 +187,7 @@ Status FileDiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 uint32_t FileDiskManager::PageCount() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return page_count_;
 }
 

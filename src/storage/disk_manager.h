@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -34,6 +35,12 @@ struct DiskStats {
 /// thread-safe (internally locked), so multiple concurrent queries may
 /// share one page file; note that DiskStats are then aggregated across
 /// all of them.
+///
+/// The lock lives here in the base: the stats counters (and the
+/// last-accessed page ids that classify sequential vs. random) are updated
+/// by the derived I/O paths under `mutex_`, so one capability covers both
+/// the derived manager's page state and the shared accounting — annotated,
+/// compiler-checked (common/annotations.h).
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
@@ -56,19 +63,27 @@ class DiskManager {
   /// Number of pages ever allocated (high-water mark, including freed).
   virtual uint32_t PageCount() const = 0;
 
-  const DiskStats& stats() const { return stats_; }
-  DiskStats* mutable_stats() { return &stats_; }
+  /// A consistent snapshot of the I/O counters. By value, under the lock:
+  /// concurrent queries keep writing these counters, so handing out a
+  /// reference would hand out a torn read.
+  DiskStats stats() const AMDJ_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
+    return stats_;
+  }
 
  protected:
   /// Classifies and counts one read/write for the stats.
-  void CountRead(PageId page_id);
-  void CountWrite(PageId page_id);
+  void CountRead(PageId page_id) AMDJ_REQUIRES(mutex_);
+  void CountWrite(PageId page_id) AMDJ_REQUIRES(mutex_);
 
-  DiskStats stats_;
+  /// Guards stats_ / last_read_ / last_write_ here, plus the derived
+  /// manager's page table and free list (one lock per manager).
+  mutable Mutex mutex_;
+  DiskStats stats_ AMDJ_GUARDED_BY(mutex_);
 
  private:
-  PageId last_read_ = kInvalidPageId;
-  PageId last_write_ = kInvalidPageId;
+  PageId last_read_ AMDJ_GUARDED_BY(mutex_) = kInvalidPageId;
+  PageId last_write_ AMDJ_GUARDED_BY(mutex_) = kInvalidPageId;
 };
 
 /// Heap-backed DiskManager. Used by tests and by benches that only care
@@ -84,10 +99,10 @@ class InMemoryDiskManager : public DiskManager {
   uint32_t PageCount() const override;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<char[]>> pages_;
-  std::vector<PageId> free_list_;
-  std::unordered_set<PageId> free_set_;  // mirrors free_list_ for O(1) checks
+  std::vector<std::unique_ptr<char[]>> pages_ AMDJ_GUARDED_BY(mutex_);
+  std::vector<PageId> free_list_ AMDJ_GUARDED_BY(mutex_);
+  /// Mirrors free_list_ for O(1) checks.
+  std::unordered_set<PageId> free_set_ AMDJ_GUARDED_BY(mutex_);
 };
 
 /// File-backed DiskManager (one flat file of 4 KB pages).
@@ -117,15 +132,17 @@ class FileDiskManager : public DiskManager {
  private:
   /// fseek takes a `long`, which is 32-bit on some ABIs — page offsets
   /// overflow it past 2 GiB. Seeks go through a 64-bit-safe wrapper.
-  Status SeekToPage(PageId page_id);
+  Status SeekToPage(PageId page_id) AMDJ_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
   std::string path_;
   bool persistent_ = false;
-  std::FILE* file_ = nullptr;
-  uint32_t page_count_ = 0;
-  std::vector<PageId> free_list_;
-  std::unordered_set<PageId> free_set_;  // mirrors free_list_ for O(1) checks
+  /// The FILE handle is written only by the constructor/destructor; the
+  /// seek+read/write pairs on it are serialized by mutex_.
+  std::FILE* file_ AMDJ_PT_GUARDED_BY(mutex_) = nullptr;
+  uint32_t page_count_ AMDJ_GUARDED_BY(mutex_) = 0;
+  std::vector<PageId> free_list_ AMDJ_GUARDED_BY(mutex_);
+  /// Mirrors free_list_ for O(1) checks.
+  std::unordered_set<PageId> free_set_ AMDJ_GUARDED_BY(mutex_);
 };
 
 /// Wraps another DiskManager and injects failures, for testing error paths.

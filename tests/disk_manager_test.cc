@@ -204,5 +204,53 @@ TEST(FaultInjectionTest, CountdownIsExactUnderConcurrency) {
   EXPECT_TRUE(faulty.ReadPage(p, buf).ok());
 }
 
+// Regression: stats() used to hand out a const reference to counters that
+// ReadPage/WritePage mutate under the manager's lock — every read through
+// it was a data race, and a reader could observe page_reads bumped before
+// its sequential/random classification landed. It now returns a snapshot
+// taken under the lock, so the classification invariant must hold in
+// every snapshot, even mid-I/O.
+TYPED_TEST(DiskManagerTest, StatsSnapshotIsConsistentDuringConcurrentIo) {
+  constexpr int kWriters = 2;
+  constexpr int kOpsPerWriter = 400;
+  std::vector<PageId> pages;
+  pages.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    pages.push_back(this->disk_->AllocatePage());
+  }
+
+  std::atomic<int> running{kWriters};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([this, w, &pages, &running] {
+      char buf[kPageSize];
+      FillPage(buf, static_cast<char>('a' + w));
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        EXPECT_TRUE(this->disk_->WritePage(pages[w], buf).ok());
+        EXPECT_TRUE(this->disk_->ReadPage(pages[w], buf).ok());
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  while (running.load(std::memory_order_acquire) > 0) {
+    const DiskStats snapshot = this->disk_->stats();
+    EXPECT_EQ(snapshot.sequential_reads + snapshot.random_reads,
+              snapshot.page_reads);
+    EXPECT_EQ(snapshot.sequential_writes + snapshot.random_writes,
+              snapshot.page_writes);
+    EXPECT_LE(snapshot.page_reads,
+              static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  }
+  for (std::thread& t : writers) t.join();
+
+  const DiskStats final_stats = this->disk_->stats();
+  EXPECT_EQ(final_stats.page_reads,
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_EQ(final_stats.page_writes,
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+}
+
 }  // namespace
 }  // namespace amdj::storage

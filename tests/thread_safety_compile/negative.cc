@@ -1,0 +1,26 @@
+// Negative-compile probe: reads and writes a AMDJ_GUARDED_BY field
+// without holding its mutex. Under -Werror=thread-safety this translation
+// unit MUST fail to compile; if it ever compiles, the annotation layer has
+// stopped rejecting unguarded access and the harness fails the build.
+
+#include "common/mutex.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  // BUG (deliberate): touches count_ with mu_ not held.
+  void Bump() { ++count_; }
+
+ private:
+  amdj::Mutex mu_;
+  int count_ AMDJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.Bump();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Control source for the thread-safety negative-compile check: the same
+// guarded counter as negative.cc, accessed correctly (under a MutexLock).
+// Must compile cleanly with -Werror=thread-safety — if it does not, the
+// annotation layer itself is broken and the harness fails the build.
+
+#include "common/mutex.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void Bump() AMDJ_EXCLUDES(mu_) {
+    const amdj::MutexLock lock(&mu_);
+    ++count_;
+  }
+
+  int Get() const AMDJ_EXCLUDES(mu_) {
+    const amdj::MutexLock lock(&mu_);
+    return count_;
+  }
+
+ private:
+  mutable amdj::Mutex mu_;
+  int count_ AMDJ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.Bump();
+  return counter.Get() == 1 ? 0 : 1;
+}

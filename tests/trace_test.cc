@@ -4,6 +4,7 @@
 // a join must not change a single emitted pair or work counter.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <type_traits>
@@ -254,6 +255,50 @@ TEST(TracedDeterminismTest, ReportPhaseDeltasSumToRunTotals) {
   EXPECT_EQ(report.cutoff_trajectory().back().label, "final_dmax");
   EXPECT_NEAR(report.cutoff_trajectory().back().distance,
               run.results.back().distance, 1e-9);
+}
+
+// Regression: Merged()/event_count() used to walk each thread's event
+// buffer with no synchronisation while the owning thread was still
+// appending — a data race on the vector (reallocation under the reader's
+// feet), surfaced by the thread-safety annotations. Each buffer is now
+// snapshotted under its per-buffer mutex, so a merge taken mid-recording
+// must be a consistent, monotonically growing, well-formed prefix.
+TEST(TracerTest, MergeIsSafeConcurrentWithRecording) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 2000;  // 3 events per span
+  std::atomic<int> running{kThreads};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &running] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span(&tracer, "work");
+        tracer.Counter("progress", static_cast<double>(i));
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  size_t previous = 0;
+  while (running.load(std::memory_order_acquire) > 0) {
+    const std::vector<MergedTraceEvent> events = tracer.Merged();
+    EXPECT_GE(events.size(), previous) << "merge lost recorded events";
+    previous = events.size();
+    EXPECT_GE(tracer.event_count(), events.size());
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Quiescent: the merge is complete and every event is well-formed.
+  const std::vector<MergedTraceEvent> events = tracer.Merged();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread * 3);
+  EXPECT_EQ(tracer.event_count(), events.size());
+  EXPECT_EQ(tracer.thread_count(), static_cast<size_t>(kThreads));
+  for (const MergedTraceEvent& e : events) {
+    ASSERT_NE(e.event.name, nullptr);
+    ASSERT_LT(e.tid, static_cast<uint32_t>(kThreads));
+  }
 }
 
 }  // namespace

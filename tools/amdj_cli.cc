@@ -86,6 +86,10 @@ class Args {
     return it == values_.end() ? fallback : it->second;
   }
 
+  /// True when the flag appeared at all — distinguishes an absent flag
+  /// from one given an empty value (GetString returns "" for both).
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
   std::string Require(const std::string& key) const {
     auto it = values_.find(key);
     if (it == values_.end()) Fail("missing required --" + key);
@@ -525,8 +529,12 @@ int Main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv);
-  const std::string log_level = args.GetString("log-level");
-  if (!log_level.empty()) SetLogLevel(ParseLogLevel(log_level));
+  // Keyed on flag presence, not value emptiness: `--log-level=` (or any
+  // unknown level) is a usage error, never a silent fall-back to the
+  // default level.
+  if (args.Has("log-level")) {
+    SetLogLevel(ParseLogLevel(args.GetString("log-level")));
+  }
   if (command == "generate") return CmdGenerate(args);
   if (command == "info") return CmdInfo(args);
   if (command == "join") return CmdJoin(args);

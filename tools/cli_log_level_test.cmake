@@ -1,0 +1,43 @@
+# Regression test for --log-level parsing: unknown, empty, and valueless
+# levels must exit with a usage error (code 2, "unknown log level" on
+# stderr) instead of silently running at the default level; valid levels
+# must still be accepted.
+
+function(expect_rejected)
+  execute_process(COMMAND ${ARGV}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+        "expected usage-error exit 2, got ${rc}: ${ARGV}\n${out}${err}")
+  endif()
+  if(NOT err MATCHES "unknown log level")
+    message(FATAL_ERROR
+        "expected 'unknown log level' in stderr of: ${ARGV}\n${out}${err}")
+  endif()
+endfunction()
+
+function(expect_ok)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+expect_rejected(${CLI} generate --log-level=loud
+                --kind=uniform --n=10 --seed=1 --out=log_level_junk.ds)
+expect_rejected(${CLI} generate --log-level=
+                --kind=uniform --n=10 --seed=1 --out=log_level_junk.ds)
+# Valueless `--log-level` parses as the value "true" — also a usage error.
+expect_rejected(${CLI} generate --log-level
+                --kind=uniform --n=10 --seed=1 --out=log_level_junk.ds)
+# The rejection must fire before any work happens, whatever the command.
+expect_rejected(${CLI} join --log-level=verbose --r=absent.ds --s=absent.ds)
+
+foreach(level debug info warn error off)
+  expect_ok(${CLI} generate --log-level=${level}
+            --kind=uniform --n=10 --seed=1 --out=log_level_ok.ds)
+endforeach()
