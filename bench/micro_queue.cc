@@ -1,9 +1,18 @@
 // Microbenchmarks for the queue substrate: distance-queue inserts, hybrid
 // main-queue push/pop in memory and with disk spilling.
+//
+// The hybrid-queue benches report per-op push/pop latency and the queue's
+// structural counters (splits, swap-ins, refinements, prefetch hits/waits)
+// as benchmark counters — visible in the console output and, under
+// --benchmark_format=json, as the "counters" object per benchmark, which
+// scripts/check_bench_regression.py consumes.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/hs_join.h"
 #include "core/pair_entry.h"
 #include "queue/distance_queue.h"
@@ -12,6 +21,53 @@
 
 namespace amdj {
 namespace {
+
+/// Phase timer + counter plumbing shared by the hybrid-queue benches:
+/// accumulates wall time around the push and pop phases across iterations
+/// and publishes per-op latencies plus the queue's structural counters.
+struct QueueBenchStats {
+  double push_ns = 0;
+  double pop_ns = 0;
+  int64_t pushes = 0;
+  int64_t pops = 0;
+  uint64_t splits = 0;
+  uint64_t swapins = 0;
+  uint64_t refines = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_waits = 0;
+
+  template <typename Fn>
+  double TimeNs(Fn&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
+  void Absorb(const core::MainQueue& q) {
+    splits += q.split_count();
+    swapins += q.swapin_count();
+    refines += q.refine_count();
+    prefetch_hits += q.prefetch_hit_count();
+    prefetch_waits += q.prefetch_wait_count();
+  }
+
+  void Publish(benchmark::State& state) const {
+    if (pushes > 0) {
+      state.counters["push_ns_per_op"] =
+          push_ns / static_cast<double>(pushes);
+    }
+    if (pops > 0) {
+      state.counters["pop_ns_per_op"] = pop_ns / static_cast<double>(pops);
+    }
+    state.counters["splits"] = static_cast<double>(splits);
+    state.counters["swapins"] = static_cast<double>(swapins);
+    state.counters["refines"] = static_cast<double>(refines);
+    state.counters["prefetch_hits"] = static_cast<double>(prefetch_hits);
+    state.counters["prefetch_waits"] = static_cast<double>(prefetch_waits);
+  }
+};
 
 void BM_DistanceQueueInsert(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -53,6 +109,7 @@ BENCHMARK(BM_HybridQueueInMemory)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
 
 void BM_HybridQueueSpilling(benchmark::State& state) {
   Random rng(3);
+  QueueBenchStats bench;
   for (auto _ : state) {
     state.PauseTiming();
     storage::InMemoryDiskManager disk;
@@ -61,20 +118,29 @@ void BM_HybridQueueSpilling(benchmark::State& state) {
     options.memory_bytes = 64 * 1024;
     core::MainQueue q(options, nullptr);
     state.ResumeTiming();
-    for (int i = 0; i < state.range(0); ++i) {
-      benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
-    }
-    core::PairEntry out;
-    while (!q.Empty()) {
-      benchmark::DoNotOptimize(q.Pop(&out));
-    }
+    bench.push_ns += bench.TimeNs([&] {
+      for (int i = 0; i < state.range(0); ++i) {
+        benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
+      }
+    });
+    bench.pushes += state.range(0);
+    bench.pop_ns += bench.TimeNs([&] {
+      core::PairEntry out;
+      while (!q.Empty()) {
+        benchmark::DoNotOptimize(q.Pop(&out));
+      }
+    });
+    bench.pops += state.range(0);
+    bench.Absorb(q);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+  bench.Publish(state);
 }
 BENCHMARK(BM_HybridQueueSpilling)->Arg(1 << 14)->Arg(1 << 17);
 
 void BM_HybridQueueSpillingWithBoundaries(benchmark::State& state) {
   Random rng(4);
+  QueueBenchStats bench;
   for (auto _ : state) {
     state.PauseTiming();
     storage::InMemoryDiskManager disk;
@@ -87,18 +153,100 @@ void BM_HybridQueueSpillingWithBoundaries(benchmark::State& state) {
     };
     core::MainQueue q(options, nullptr);
     state.ResumeTiming();
-    for (int i = 0; i < state.range(0); ++i) {
-      benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
-    }
+    bench.push_ns += bench.TimeNs([&] {
+      for (int i = 0; i < state.range(0); ++i) {
+        benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
+      }
+    });
+    bench.pushes += state.range(0);
     // Distance-join access pattern: only the closest tenth is consumed.
-    core::PairEntry out;
-    for (int i = 0; i < state.range(0) / 10; ++i) {
-      benchmark::DoNotOptimize(q.Pop(&out));
-    }
+    bench.pop_ns += bench.TimeNs([&] {
+      core::PairEntry out;
+      for (int i = 0; i < state.range(0) / 10; ++i) {
+        benchmark::DoNotOptimize(q.Pop(&out));
+      }
+    });
+    bench.pops += state.range(0) / 10;
+    bench.Absorb(q);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  bench.Publish(state);
 }
 BENCHMARK(BM_HybridQueueSpillingWithBoundaries)->Arg(1 << 14)->Arg(1 << 17);
+
+/// The tie-plateau fast path: every entry has the same key, the regime
+/// that used to re-sort the whole in-memory tier on every push. With the
+/// run/block path this is O(1) per push amortized — the bench guards the
+/// 100x ablation_tie_break win at the queue level.
+void BM_HybridQueueTiePlateau(benchmark::State& state) {
+  QueueBenchStats bench;
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::InMemoryDiskManager disk;
+    core::MainQueue::Options options;
+    options.disk = &disk;
+    options.memory_bytes = 64 * 1024;
+    core::MainQueue q(options, nullptr);
+    state.ResumeTiming();
+    bench.push_ns += bench.TimeNs([&] {
+      for (int i = 0; i < state.range(0); ++i) {
+        benchmark::DoNotOptimize(q.Push(MakeEntry(0.0)));
+      }
+    });
+    bench.pushes += state.range(0);
+    bench.pop_ns += bench.TimeNs([&] {
+      core::PairEntry out;
+      while (!q.Empty()) {
+        benchmark::DoNotOptimize(q.Pop(&out));
+      }
+    });
+    bench.pops += state.range(0);
+    bench.Absorb(q);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+  bench.Publish(state);
+}
+BENCHMARK(BM_HybridQueueTiePlateau)->Arg(1 << 14)->Arg(1 << 17);
+
+/// Async spill I/O: double-buffered page writes + next-segment prefetch on
+/// a two-thread pool. Identical pop stream to the synchronous bench; the
+/// prefetch_hits counter shows how much of the swap-in I/O overlapped.
+void BM_HybridQueueSpillingAsyncIo(benchmark::State& state) {
+  Random rng(5);
+  ThreadPool io_pool(2, "micro-queue-io");
+  QueueBenchStats bench;
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::InMemoryDiskManager disk;
+    core::MainQueue::Options options;
+    options.disk = &disk;
+    options.memory_bytes = 64 * 1024;
+    options.io_pool = &io_pool;
+    const double n = static_cast<double>(state.range(0));
+    options.boundary_fn = [n](uint64_t c) {
+      return static_cast<double>(c) / n;
+    };
+    core::MainQueue q(options, nullptr);
+    state.ResumeTiming();
+    bench.push_ns += bench.TimeNs([&] {
+      for (int i = 0; i < state.range(0); ++i) {
+        benchmark::DoNotOptimize(q.Push(MakeEntry(rng.NextDouble())));
+      }
+    });
+    bench.pushes += state.range(0);
+    bench.pop_ns += bench.TimeNs([&] {
+      core::PairEntry out;
+      while (!q.Empty()) {
+        benchmark::DoNotOptimize(q.Pop(&out));
+      }
+    });
+    bench.pops += state.range(0);
+    bench.Absorb(q);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+  bench.Publish(state);
+}
+BENCHMARK(BM_HybridQueueSpillingAsyncIo)->Arg(1 << 14)->Arg(1 << 17);
 
 }  // namespace
 }  // namespace amdj

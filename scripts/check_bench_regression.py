@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Wall-time regression guard for the bench suite.
+
+Three input shapes, combinable:
+
+  --wall-file FILE      `<name> <wall_ms> <exit_code>` lines, the format
+                        scripts/run_all_benches.sh appends to json/wall.txt.
+  --gbench FILE         google-benchmark --benchmark_out JSON; each
+                        benchmark's real_time (in its own time_unit) is
+                        checked.
+  --baseline A --current B [--max-ratio R]
+                        two amdj-bench-v1 JSON files (BENCH_PR*.json);
+                        every bench present in both may regress by at most
+                        R in wall_ms (default 3.0 — generous, CI machines
+                        vary; the quadratics this guards against are 10x+).
+
+Absolute limits come from repeated `--limit name=value` flags: milliseconds
+for --wall-file entries, nanoseconds for --gbench entries. A limit whose
+name matches nothing is an error (a renamed bench must not silently
+disarm its guard).
+
+Exit code 0 = all guards pass, 1 = regression, 2 = usage/parse error.
+
+CI uses this for the queue-bench smoke job: micro_queue per-op latencies
+and a downsized ablation_tie_break wall time — the two places the seed's
+O(n) per-push segment scan and per-push plateau re-sort showed up first.
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_limits(pairs):
+    limits = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            sys.exit(f"error: --limit takes name=value, got {pair!r}")
+        try:
+            limits[name] = float(value)
+        except ValueError:
+            sys.exit(f"error: bad limit value in {pair!r}")
+    return limits
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    if unit not in scale:
+        sys.exit(f"error: unknown time_unit {unit!r}")
+    return value * scale[unit]
+
+
+def check_wall_file(path, limits, used, failures):
+    with open(path) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) < 3:
+                continue
+            name, wall_ms, exit_code = parts[0], float(parts[1]), int(parts[2])
+            if exit_code != 0:
+                failures.append(f"{name}: exited {exit_code}")
+            if name in limits:
+                used.add(name)
+                if wall_ms > limits[name]:
+                    failures.append(
+                        f"{name}: {wall_ms:.0f} ms > limit {limits[name]:.0f} ms")
+                else:
+                    print(f"ok: {name} {wall_ms:.0f} ms "
+                          f"(limit {limits[name]:.0f} ms)")
+
+
+def check_gbench(path, limits, used, failures):
+    with open(path) as f:
+        doc = json.load(f)
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name not in limits:
+            continue
+        used.add(name)
+        real_ns = to_ns(bench["real_time"], bench.get("time_unit", "ns"))
+        if real_ns > limits[name]:
+            failures.append(
+                f"{name}: {real_ns:.0f} ns > limit {limits[name]:.0f} ns")
+        else:
+            print(f"ok: {name} {real_ns:.0f} ns "
+                  f"(limit {limits[name]:.0f} ns)")
+
+
+def check_ratio(baseline_path, current_path, max_ratio, failures):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(current_path) as f:
+        current = json.load(f)
+    base_wall = baseline.get("wall", {})
+    cur_wall = current.get("wall", {})
+    for name, cur in sorted(cur_wall.items()):
+        base = base_wall.get(name)
+        if base is None:
+            continue  # new bench: no baseline to regress against
+        base_ms = base.get("wall_ms", 0)
+        cur_ms = cur.get("wall_ms", 0)
+        if base_ms <= 0:
+            continue
+        ratio = cur_ms / base_ms
+        if ratio > max_ratio:
+            failures.append(f"{name}: {cur_ms} ms vs baseline {base_ms} ms "
+                            f"({ratio:.2f}x > {max_ratio}x)")
+        else:
+            print(f"ok: {name} {cur_ms} ms vs {base_ms} ms ({ratio:.2f}x)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--wall-file", action="append", default=[])
+    parser.add_argument("--gbench", action="append", default=[])
+    parser.add_argument("--limit", action="append", default=[],
+                        metavar="NAME=VALUE")
+    parser.add_argument("--baseline")
+    parser.add_argument("--current")
+    parser.add_argument("--max-ratio", type=float, default=3.0)
+    args = parser.parse_args()
+
+    if bool(args.baseline) != bool(args.current):
+        sys.exit("error: --baseline and --current go together")
+    if not (args.wall_file or args.gbench or args.baseline):
+        sys.exit("error: nothing to check")
+
+    limits = parse_limits(args.limit)
+    used = set()
+    failures = []
+    for path in args.wall_file:
+        check_wall_file(path, limits, used, failures)
+    for path in args.gbench:
+        check_gbench(path, limits, used, failures)
+    if args.baseline:
+        check_ratio(args.baseline, args.current, args.max_ratio, failures)
+
+    unused = set(limits) - used
+    if unused:
+        failures.append("limits matched no bench (renamed?): " +
+                        ", ".join(sorted(unused)))
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("all bench guards passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,10 +5,12 @@
 #   scripts/run_all_benches.sh build results --streets=633461 --hydro=189642
 #
 # Besides the human-readable tables in OUT_DIR, assembles a machine-readable
-# BENCH_PR2.json at the repo root: per figure-bench the wall ms, node
+# BENCH_PR6.json at the repo root: per figure-bench the wall ms, node
 # accesses and distance computations of every measured run (emitted by
 # bench_common via AMDJ_BENCH_JSON), per microbench the google-benchmark
-# JSON entries — so the perf trajectory is tracked PR over PR. Each figure
+# JSON entries including custom counters (per-op push/pop latency, queue
+# splits/swap-ins/prefetch hits) — so the perf trajectory is tracked PR
+# over PR against the checked-in BENCH_PR2.json baseline. Each figure
 # bench also gets a <name>.reports.jsonl of per-run RunReport JSON (phase
 # deltas + cutoff trajectory) via AMDJ_BENCH_REPORT_JSON.
 set -u
@@ -49,7 +51,7 @@ for bench in "$BUILD_DIR"/bench/*; do
   fi
 done
 
-# Assemble BENCH_PR2.json from the per-bench artifacts.
+# Assemble BENCH_PR6.json from the per-bench artifacts.
 if command -v jq >/dev/null 2>&1; then
   {
     # bench -> total wall ms and exit code, as measured by this script
@@ -62,25 +64,36 @@ if command -v jq >/dev/null 2>&1; then
       case "$f" in *.reports.jsonl) continue ;; esac  # RunReport lines
       jq -s '{(.[0].bench // "unknown"): {runs: .}}' "$f"
     done | jq -s 'add // {}' >"$OUT_DIR/json/_figs.json"
-    # microbenches: name/real_time/items from google-benchmark JSON
+    # microbenches: name/real_time/items plus any custom counters
+    # (push_ns_per_op, pop_ns_per_op, splits, prefetch_hits, ...) from the
+    # google-benchmark JSON. Counters land as extra top-level numeric keys
+    # per benchmark entry, so pick up everything numeric beyond the core
+    # fields.
     for f in "$OUT_DIR"/json/micro_*.json; do
       [ -e "$f" ] || continue
       jq --arg n "$(basename "$f" .json)" \
          '{($n): {benchmarks: [.benchmarks[]
             | {name, real_time, time_unit,
                items_per_second: (.items_per_second // null),
-               label: (.label // null)}]}}' "$f"
+               label: (.label // null)}
+              + (with_entries(select(
+                   (.value | type == "number") and
+                   (.key | IN("name", "real_time", "cpu_time", "time_unit",
+                              "items_per_second", "label", "run_type",
+                              "repetitions", "repetition_index", "threads",
+                              "iterations", "family_index",
+                              "per_family_instance_index") | not))))]}}' "$f"
     done | jq -s 'add // {}' >"$OUT_DIR/json/_micro.json"
     jq -s '{schema: "amdj-bench-v1",
             flags: $flags,
             wall: .[0], figures: .[1], micro: .[2]}' \
        --arg flags "${EXTRA_FLAGS[*]:-}" \
        "$OUT_DIR/json/_wall.json" "$OUT_DIR/json/_figs.json" \
-       "$OUT_DIR/json/_micro.json" >"$REPO_ROOT/BENCH_PR2.json"
-    echo "wrote $REPO_ROOT/BENCH_PR2.json"
-  } || { echo "BENCH_PR2.json assembly failed" >&2; status=1; }
+       "$OUT_DIR/json/_micro.json" >"$REPO_ROOT/BENCH_PR6.json"
+    echo "wrote $REPO_ROOT/BENCH_PR6.json"
+  } || { echo "BENCH_PR6.json assembly failed" >&2; status=1; }
 else
-  echo "jq not found: skipping BENCH_PR2.json" >&2
+  echo "jq not found: skipping BENCH_PR6.json" >&2
 fi
 
 echo "outputs in $OUT_DIR/"

@@ -44,10 +44,20 @@ struct JoinStats {
   uint64_t compensation_queue_insertions = 0;
   /// Peak number of live entries in the main queue.
   uint64_t main_queue_peak_size = 0;
-  /// Main-queue heap split operations (in-memory heap overflow -> disk).
+  /// Main-queue split events (in-memory tier overflow -> disk; one event
+  /// may spill several buckets into several segments).
   uint64_t queue_splits = 0;
-  /// Main-queue segment swap-ins (disk segment -> in-memory heap).
+  /// Main-queue segment swap-ins (disk segment -> in-memory tier).
   uint64_t queue_swapins = 0;
+  /// Adaptive front-bucket refinements (gather+sort passes when the
+  /// estimator-derived bucket boundaries are off).
+  uint64_t queue_bucket_refinements = 0;
+  /// Swap-ins whose async prefetch had already completed (I/O fully
+  /// overlapped with the front drain) vs. had to be waited for.
+  uint64_t queue_prefetch_hits = 0;
+  uint64_t queue_prefetch_waits = 0;
+  /// Peak number of in-memory key-space buckets.
+  uint64_t main_queue_peak_buckets = 0;
 
   // --- I/O cost (Table 2, Figure 10(c), 12(c), 13, 15) ---
   /// R-tree node fetches that were served by the buffer pool.
@@ -126,6 +136,14 @@ void ForEachJoinStatsFieldPair(StatsA&& a, StatsB&& b, Fn&& fn) {
      StatFieldKind::kMax);
   fn("queue_splits", a.queue_splits, b.queue_splits, StatFieldKind::kAdd);
   fn("queue_swapins", a.queue_swapins, b.queue_swapins, StatFieldKind::kAdd);
+  fn("queue_bucket_refinements", a.queue_bucket_refinements,
+     b.queue_bucket_refinements, StatFieldKind::kAdd);
+  fn("queue_prefetch_hits", a.queue_prefetch_hits, b.queue_prefetch_hits,
+     StatFieldKind::kAdd);
+  fn("queue_prefetch_waits", a.queue_prefetch_waits, b.queue_prefetch_waits,
+     StatFieldKind::kAdd);
+  fn("main_queue_peak_buckets", a.main_queue_peak_buckets,
+     b.main_queue_peak_buckets, StatFieldKind::kMax);
   fn("node_buffer_hits", a.node_buffer_hits, b.node_buffer_hits,
      StatFieldKind::kAdd);
   fn("node_disk_reads", a.node_disk_reads, b.node_disk_reads,

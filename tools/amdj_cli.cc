@@ -23,11 +23,15 @@
 //   amdj_cli knn      --data=FILE --x=X --y=Y --k=K [--metric=l2|l1|linf]
 //   amdj_cli estimate --r=FILE --s=FILE --k=K
 //   amdj_cli batch    --r=FILE --s=FILE --requests=FILE [--inflight=N]
-//                     [--budget-kb=KB] [--metric=l2|l1|linf] [--self]
+//                     [--budget-kb=KB] [--spill-io-threads=N]
+//                     [--metric=l2|l1|linf] [--self]
 //       (alias: serve) replays a request file concurrently through the
 //       JoinService. Each non-empty, non-# line of the request file is
 //       `<kdj|idj> <hs|b|am|sj> <k>` (IDJ accepts hs|am); requests run
 //       with at most N in flight, each with its own attributed stats.
+//       --spill-io-threads=N (default 0 = synchronous) adds a dedicated
+//       pool for async queue-spill I/O; results are identical, the
+//       per-query memory clamp is halved (see JoinService::Options).
 //
 // Dataset files are produced by `generate` (workload::Dataset binary
 // format); files ending in .csv are parsed as x,y or x0,y0,x1,y1 rows
@@ -483,6 +487,8 @@ int CmdBatch(const Args& args) {
       static_cast<uint32_t>(args.GetUint("inflight", 4));
   service_options.queue_memory_budget_bytes =
       static_cast<size_t>(args.GetUint("budget-kb", 4096)) * 1024;
+  service_options.spill_io_threads =
+      static_cast<uint32_t>(args.GetUint("spill-io-threads", 0));
   service::JoinService service(*session.r, *session.s, service_options);
   std::fprintf(stderr,
                "%zu requests, %u in flight, %zu KB queue memory per query\n",
