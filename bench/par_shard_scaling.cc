@@ -1,0 +1,191 @@
+// Partition-parallel KDJ scaling: shard count x shard threads over the
+// TIGER workload against the unsharded AM-KDJ baseline, plus a clustered
+// section measuring bounds-only shard-pair pruning. Each sharded run's
+// distance sequence must match the baseline exactly (the k smallest
+// distances are a unique multiset even when tie plateaus make pair-level
+// emission order discovery-dependent — see DESIGN.md, "Partition layer").
+// Every measured run lands in AMDJ_BENCH_JSON with the shard_pairs_*
+// pruning counters in its stats block.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/partition.h"
+#include "core/shard_executor.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj::bench {
+namespace {
+
+std::vector<double> Distances(const std::vector<core::ResultPair>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const auto& pair : results) out.push_back(pair.distance);
+  return out;
+}
+
+core::Partition MustPartition(const rtree::RTree& tree,
+                              storage::BufferPool* pool, uint32_t shards) {
+  core::PartitionOptions options;
+  options.shards = shards;
+  auto part = core::Partition::FromTree(tree, pool, options);
+  if (!part.ok()) {
+    std::fprintf(stderr, "FATAL: partition build failed: %s\n",
+                 part.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*part);
+}
+
+void Run(int argc, char** argv) {
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(argc, argv));
+  PrintHeader("Partition-parallel KDJ scaling (sharded, bounds-only pruning)",
+              env);
+
+  const uint64_t k = 100'000;
+  RunResult baseline =
+      RunKdjCold(env, core::KdjAlgorithm::kAmKdj, k, env.MakeJoinOptions());
+  const std::vector<double> base_distances = Distances(baseline.results);
+  std::printf("baseline am-kdj (unsharded): wall=%ss, %zu pairs\n\n",
+              FormatSeconds(baseline.stats.cpu_seconds).c_str(),
+              baseline.results.size());
+
+  const std::vector<uint32_t> shard_counts = {2, 4, 8, 16};
+  const std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<int> widths = {8, 9, 12, 9, 9, 9, 10, 14};
+  PrintRow({"shards", "threads", "wall (s)", "speedup", "pairs", "pruned",
+            "executed", "node acc."},
+           widths);
+
+  for (const uint32_t shards : shard_counts) {
+    // Shard trees live in their own pool so partition-build I/O never
+    // competes with the baseline trees' buffer.
+    storage::InMemoryDiskManager shard_disk;
+    storage::BufferPool shard_pool(
+        &shard_disk,
+        std::max<size_t>(64, env.config.buffer_bytes / storage::kPageSize));
+    const core::Partition r_part =
+        MustPartition(*env.streets, &shard_pool, shards);
+    const core::Partition s_part =
+        MustPartition(*env.hydro, &shard_pool, shards);
+
+    for (const uint32_t threads : thread_counts) {
+      Status cleared = env.pool->Clear();
+      if (cleared.ok()) cleared = shard_pool.Clear();
+      if (!cleared.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n", cleared.ToString().c_str());
+        std::exit(1);
+      }
+      core::ShardedJoinOptions sharded;
+      sharded.join = env.MakeJoinOptions();
+      // Deliberately NOT divided by `threads` (the way the service clamps):
+      // each concurrently executing pair gets the full configured budget, so
+      // shard runs and the baseline face the same spill pressure. Peak queue
+      // memory is threads x --memory.
+      sharded.threads = threads;
+      sharded.algorithm = core::KdjAlgorithm::kAmKdj;
+
+      JoinStats stats;
+      Timer wall;
+      auto result =
+          core::RunShardedKDistanceJoin(r_part, s_part, k, sharded, &stats);
+      const double wall_seconds = wall.ElapsedSeconds();
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: sharded run failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (Distances(*result) != base_distances) {
+        std::fprintf(stderr,
+                     "FATAL: sharded distances at %u shards / %u threads "
+                     "differ from the unsharded baseline\n",
+                     shards, threads);
+        std::exit(1);
+      }
+
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    baseline.stats.cpu_seconds / wall_seconds);
+      PrintRow({std::to_string(shards), std::to_string(threads),
+                FormatSeconds(wall_seconds), speedup,
+                FormatCount(stats.shard_pairs_considered),
+                FormatCount(stats.shard_pairs_pruned_bounds +
+                            stats.shard_pairs_pruned_cutoff),
+                FormatCount(stats.shard_pairs_executed),
+                FormatCount(stats.node_accesses)},
+               widths);
+      AppendBenchJson("am-sharded-s" + std::to_string(shards) + "-t" +
+                          std::to_string(threads),
+                      k, wall_seconds * 1000.0, stats);
+    }
+    std::printf("\n");
+  }
+
+  // Bounds-only pruning on clustered data: with both sides concentrated in
+  // tight Gaussian clusters most shard pairs sit far beyond the k-th
+  // distance, so the bounds-only prefix bound alone should discard a large
+  // fraction of the pairs before any tree is opened.
+  std::printf("# clustered pruning (gaussian clusters, shards=8)\n");
+  const uint64_t cluster_n = std::max<uint64_t>(1000, env.config.streets / 3);
+  const workload::Dataset cluster_r = workload::GaussianClusters(
+      cluster_n, 8, 0.01, env.config.seed);
+  const workload::Dataset cluster_s = workload::GaussianClusters(
+      std::max<uint64_t>(1000, cluster_n / 2), 8, 0.01, env.config.seed + 1);
+  storage::InMemoryDiskManager cluster_disk;
+  storage::BufferPool cluster_pool(&cluster_disk, 4096);
+  core::PartitionOptions cluster_part;
+  cluster_part.shards = 8;
+  auto cr = core::Partition::Build(cluster_r.ToEntries(), &cluster_pool,
+                                   cluster_part);
+  auto cs = core::Partition::Build(cluster_s.ToEntries(), &cluster_pool,
+                                   cluster_part);
+  if (!cr.ok() || !cs.ok()) {
+    std::fprintf(stderr, "FATAL: clustered partition build failed\n");
+    std::exit(1);
+  }
+  core::ShardedJoinOptions cluster_options;
+  cluster_options.join = env.MakeJoinOptions();
+  cluster_options.threads = 4;
+  cluster_options.algorithm = core::KdjAlgorithm::kAmKdj;
+  JoinStats cluster_stats;
+  Timer cluster_wall;
+  auto cluster_result = core::RunShardedKDistanceJoin(
+      *cr, *cs, 10'000, cluster_options, &cluster_stats);
+  const double cluster_seconds = cluster_wall.ElapsedSeconds();
+  if (!cluster_result.ok()) {
+    std::fprintf(stderr, "FATAL: clustered sharded run failed: %s\n",
+                 cluster_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const double pruned_fraction =
+      cluster_stats.shard_pairs_considered == 0
+          ? 0.0
+          : static_cast<double>(cluster_stats.shard_pairs_pruned_bounds) /
+                static_cast<double>(cluster_stats.shard_pairs_considered);
+  std::printf(
+      "pairs=%" PRIu64 " pruned_bounds=%" PRIu64 " (%.0f%%) pruned_cutoff=%"
+      PRIu64 " executed=%" PRIu64 " wall=%ss\n",
+      cluster_stats.shard_pairs_considered,
+      cluster_stats.shard_pairs_pruned_bounds, pruned_fraction * 100.0,
+      cluster_stats.shard_pairs_pruned_cutoff,
+      cluster_stats.shard_pairs_executed,
+      FormatSeconds(cluster_seconds).c_str());
+  AppendBenchJson("am-sharded-clustered-s8", 10'000, cluster_seconds * 1000.0,
+                  cluster_stats);
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

@@ -13,6 +13,13 @@ Three input shapes, combinable:
                         every bench present in both may regress by at most
                         R in wall_ms (default 3.0 — generous, CI machines
                         vary; the quadratics this guards against are 10x+).
+                        With --work (default on for this mode) each figure
+                        run present in both files is also diffed on its
+                        deterministic work counters — node_accesses and
+                        distance_computations — under --max-work-ratio
+                        (default 1.25, tight because counters don't carry
+                        machine noise: a counter regression is an algorithm
+                        change, not a slow runner).
 
 Absolute limits come from repeated `--limit name=value` flags: milliseconds
 for --wall-file entries, nanoseconds for --gbench entries. A limit whose
@@ -110,6 +117,52 @@ def check_ratio(baseline_path, current_path, max_ratio, failures):
             print(f"ok: {name} {cur_ms} ms vs {base_ms} ms ({ratio:.2f}x)")
 
 
+def figure_runs(doc):
+    """Flatten a BENCH_*.json figures section into {key: run} where key
+    identifies a run across files: (figure bench, run label, k)."""
+    runs = {}
+    for figure, payload in doc.get("figures", {}).items():
+        for run in payload.get("runs", []):
+            # "algorithm" carries the per-run label (e.g. "am-sharded-s8-t4");
+            # "bench" just repeats the figure name.
+            key = (figure, run.get("algorithm", ""), run.get("k"))
+            runs[key] = run
+    return runs
+
+
+def check_work_counters(baseline_path, current_path, max_ratio, failures):
+    """Diff the deterministic work counters of every figure run present in
+    both files. Wall clock wobbles with the machine; node_accesses and
+    distance_computations only move when the algorithm moves, so a much
+    tighter ratio applies. New runs (no baseline key) pass silently."""
+    with open(baseline_path) as f:
+        base_runs = figure_runs(json.load(f))
+    with open(current_path) as f:
+        cur_runs = figure_runs(json.load(f))
+    counters = ("node_accesses", "distance_computations")
+    compared = 0
+    for key in sorted(set(base_runs) & set(cur_runs)):
+        label = f"{key[0]}/{key[1]}/k={key[2]}"
+        for counter in counters:
+            base = base_runs[key].get(counter)
+            cur = cur_runs[key].get(counter)
+            if base is None or cur is None or base <= 0:
+                continue
+            compared += 1
+            ratio = cur / base
+            if ratio > max_ratio:
+                failures.append(
+                    f"{label} {counter}: {cur} vs baseline {base} "
+                    f"({ratio:.2f}x > {max_ratio}x)")
+            else:
+                print(f"ok: {label} {counter} {cur} vs {base} "
+                      f"({ratio:.2f}x)")
+    if compared == 0:
+        failures.append(
+            f"no figure runs common to {baseline_path} and {current_path} "
+            "(renamed everything? the counter guard is disarmed)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--wall-file", action="append", default=[])
@@ -119,6 +172,11 @@ def main():
     parser.add_argument("--baseline")
     parser.add_argument("--current")
     parser.add_argument("--max-ratio", type=float, default=3.0)
+    parser.add_argument("--work", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="also diff figure work counters in "
+                             "--baseline/--current mode")
+    parser.add_argument("--max-work-ratio", type=float, default=1.25)
     args = parser.parse_args()
 
     if bool(args.baseline) != bool(args.current):
@@ -135,6 +193,9 @@ def main():
         check_gbench(path, limits, used, failures)
     if args.baseline:
         check_ratio(args.baseline, args.current, args.max_ratio, failures)
+        if args.work:
+            check_work_counters(args.baseline, args.current,
+                                args.max_work_ratio, failures)
 
     unused = set(limits) - used
     if unused:

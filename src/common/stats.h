@@ -87,6 +87,18 @@ struct JoinStats {
   /// Rounds aborted by the tie guard (remaining tasks re-queued).
   uint64_t parallel_tie_aborts = 0;
 
+  // --- sharded execution (core/shard_executor.h only) ---
+  /// Shard pairs enumerated by the scheduler (non-empty x non-empty).
+  uint64_t shard_pairs_considered = 0;
+  /// Shard pairs pruned from bounds alone (MinDist beyond the count-based
+  /// MaxDist prefix bound) before any tree I/O.
+  uint64_t shard_pairs_pruned_bounds = 0;
+  /// Shard pairs pruned at dispatch time by the tightened global cutoff
+  /// (results of earlier pairs shrank it below the pair's MinDist).
+  uint64_t shard_pairs_pruned_cutoff = 0;
+  /// Shard pairs that actually executed a per-pair join.
+  uint64_t shard_pairs_executed = 0;
+
   // --- time ---
   /// Measured wall-clock CPU time, seconds.
   double cpu_seconds = 0.0;
@@ -162,6 +174,14 @@ void ForEachJoinStatsFieldPair(StatsA&& a, StatsB&& b, Fn&& fn) {
   fn("parallel_tasks", a.parallel_tasks, b.parallel_tasks,
      StatFieldKind::kAdd);
   fn("parallel_tie_aborts", a.parallel_tie_aborts, b.parallel_tie_aborts,
+     StatFieldKind::kAdd);
+  fn("shard_pairs_considered", a.shard_pairs_considered,
+     b.shard_pairs_considered, StatFieldKind::kAdd);
+  fn("shard_pairs_pruned_bounds", a.shard_pairs_pruned_bounds,
+     b.shard_pairs_pruned_bounds, StatFieldKind::kAdd);
+  fn("shard_pairs_pruned_cutoff", a.shard_pairs_pruned_cutoff,
+     b.shard_pairs_pruned_cutoff, StatFieldKind::kAdd);
+  fn("shard_pairs_executed", a.shard_pairs_executed, b.shard_pairs_executed,
      StatFieldKind::kAdd);
   fn("cpu_seconds", a.cpu_seconds, b.cpu_seconds, StatFieldKind::kAdd);
   fn("simulated_io_seconds", a.simulated_io_seconds, b.simulated_io_seconds,

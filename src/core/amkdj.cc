@@ -638,6 +638,15 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
 
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+    // Sharded execution: the compensation queue has been merged back by
+    // now, so the frontier passing the external global cutoff means no
+    // remaining entry (or descendant) can enter the merged top-k; see
+    // bkdj.cc. Stage one needs no such check — its eDmax clamp already
+    // absorbs the external bound and forces the stage transition.
+    if (options.shared_cutoff_key != nullptr &&
+        c.key > options.shared_cutoff_key->load(std::memory_order_relaxed)) {
+      break;
+    }
     if (c.IsObjectPair()) {
       results.push_back(
           {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});

@@ -172,6 +172,15 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
   PairEntry c;
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
+    // Sharded execution: once the frontier passes the externally
+    // maintained global cutoff, nothing left in the queue — pops are
+    // non-decreasing in key, and children never precede their parent —
+    // can enter the merged global top-k. Strict >: ties may still
+    // contribute.
+    if (options.shared_cutoff_key != nullptr &&
+        c.key > options.shared_cutoff_key->load(std::memory_order_relaxed)) {
+      break;
+    }
     if (c.IsObjectPair()) {
       results.push_back(
           {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});

@@ -1,6 +1,7 @@
 #ifndef AMDJ_CORE_OPTIONS_H_
 #define AMDJ_CORE_OPTIONS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -62,6 +63,15 @@ enum class CorrectionPolicy : uint8_t {
 };
 
 /// Knobs shared by every distance-join algorithm.
+/// Receiver for candidate result keys (see
+/// JoinOptions::shared_cutoff_sink). Implementations must be
+/// thread-safe: concurrent joins share one sink.
+class CutoffKeySink {
+ public:
+  virtual ~CutoffKeySink() = default;
+  virtual void OnResultKey(double key) = 0;
+};
+
 struct JoinOptions {
   /// In-memory budget of the main queue (the paper's "in-memory portion of
   /// a main queue", 512 KB in most experiments).
@@ -160,6 +170,43 @@ struct JoinOptions {
   /// cursors: outlive the cursor, whose destructor finalizes the report).
   RunReport* report = nullptr;
 
+  /// External cutoff for sharded execution (core/shard_executor.h): a
+  /// *key-space* upper bound on the k-th final distance, maintained by a
+  /// coordinator outside this join and only ever shrinking. When set, the
+  /// KDJ algorithms min() it into every qDmax consultation (pruning node
+  /// pairs and tightening sweeps early) and the sequential loops stop
+  /// outright once the queue frontier passes it — everything later is
+  /// provably outside the global top-k this join feeds into. Stale reads
+  /// are safe for the same reason as the PR 1 cutoff protocol: the bound
+  /// is monotone non-increasing, so a late-observed value only admits
+  /// extra candidates, never drops one. Not owned; must outlive the join.
+  const std::atomic<double>* shared_cutoff_key = nullptr;
+
+  /// Optional write side of the shared bound: when set, the KDJ
+  /// algorithms CAS-min their *local* qDmax key into it on every cutoff
+  /// consultation. Sound at every instant: a local qDmax upper-bounds
+  /// this join's k-th result key, which — as the k-th of a subset of the
+  /// global result multiset — upper-bounds the global k-th the
+  /// coordinator cares about. Values only ever shrink (AtomicMinKey), so
+  /// a transiently loosening local cutoff (kAllPairs certificate
+  /// revocation) never un-tightens the shared bound. Typically points at
+  /// the same atomic as shared_cutoff_key, turning the sharded
+  /// executor's between-pairs fold into live feedback: concurrently
+  /// running shard pairs tighten each other mid-flight. Not owned; must
+  /// outlive the join.
+  std::atomic<double>* shared_cutoff_publish = nullptr;
+
+  /// Optional stream of this join's candidate *result* keys to a
+  /// coordinator. When set, every object-pair distance key entering the
+  /// qDmax tracker is also forwarded here (thread-safety is the sink's
+  /// problem). The k-th smallest of any set of real pair distances is an
+  /// upper bound on the global k-th, so a sink pooling keys across
+  /// concurrent shard-pair joins can maintain a shared cutoff that goes
+  /// finite long before any single pair has seen k results — the piece
+  /// shared_cutoff_publish alone cannot provide when per-pair result
+  /// counts stay below k. Not owned; must outlive the join.
+  CutoffKeySink* shared_cutoff_sink = nullptr;
+
   /// Spatial restriction: only R objects intersecting r_window (and S
   /// objects intersecting s_window) participate. Unset = no restriction.
   /// Filtering happens during node expansion, so subtrees outside a
@@ -168,6 +215,18 @@ struct JoinOptions {
   std::optional<geom::Rect> r_window;
   std::optional<geom::Rect> s_window;
 };
+
+/// Monotone minimum on a shared cutoff atomic (relaxed: the protocol
+/// tolerates stale reads, see shared_cutoff_key). Every writer of a
+/// shared cutoff must go through this — a plain store could raise a
+/// bound another thread already tightened.
+inline void AtomicMinKey(std::atomic<double>* target, double key) {
+  double current = target->load(std::memory_order_relaxed);
+  while (key < current &&
+         !target->compare_exchange_weak(current, key,
+                                        std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace amdj::core
 

@@ -1,0 +1,213 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/dmax_estimator.h"
+
+namespace amdj::core {
+
+namespace {
+
+/// 2 * center coordinate — monotone in the center, no halving needed.
+double CenterX(const rtree::Entry& e) { return e.rect.lo.x + e.rect.hi.x; }
+double CenterY(const rtree::Entry& e) { return e.rect.lo.y + e.rect.hi.y; }
+
+using PairModels = ShardPairEstimator::PairModels;
+
+double ExpectedWithin(const PairModels& pairs, double d) {
+  double total = 0.0;
+  for (size_t i = 0; i < pairs.gap.size(); ++i) {
+    const double reach = d - pairs.gap[i];
+    if (reach <= 0.0) continue;
+    total += std::min(pairs.cap[i], reach * reach * pairs.inv_rho[i]);
+  }
+  return total;
+}
+
+double InvertExpected(const PairModels& pairs, double max_reach,
+                      double total_pairs, double target) {
+  if (total_pairs <= 0.0 || target <= 0.0) return 0.0;
+  if (target >= total_pairs) return max_reach;
+  double lo = 0.0;
+  double hi = max_reach;
+  for (int i = 0; i < 64; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedWithin(pairs, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+StatusOr<Partition> Partition::Build(std::vector<rtree::Entry> objects,
+                                     storage::BufferPool* pool,
+                                     const PartitionOptions& options) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument("PartitionOptions::shards must be >= 1");
+  }
+  if (!(options.fill > 0.0) || options.fill > 1.0) {
+    return Status::InvalidArgument("PartitionOptions::fill must be in (0, 1]");
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument("Partition requires a buffer pool");
+  }
+
+  Partition p;
+  p.total_size_ = objects.size();
+  for (const rtree::Entry& e : objects) p.bounds_.Extend(e.rect);
+  p.rects_by_id_ = objects;
+  std::sort(p.rects_by_id_.begin(), p.rects_by_id_.end(),
+            [](const rtree::Entry& a, const rtree::Entry& b) {
+              return a.id < b.id;
+            });
+
+  // STR sweep at shard granularity: ceil(sqrt(shards)) vertical slabs by
+  // center-x, each slab cut by center-y. Shards (and objects,
+  // proportionally to each slab's tile count) distribute as evenly as the
+  // remainders allow, and empty tiles are materialized so the shard count
+  // is always exactly options.shards.
+  const uint32_t shards = options.shards;
+  const uint32_t slabs =
+      static_cast<uint32_t>(std::ceil(std::sqrt(static_cast<double>(shards))));
+  const size_t n = objects.size();
+  std::sort(objects.begin(), objects.end(),
+            [](const rtree::Entry& a, const rtree::Entry& b) {
+              const double ax = CenterX(a), bx = CenterX(b);
+              if (ax != bx) return ax < bx;
+              const double ay = CenterY(a), by = CenterY(b);
+              if (ay != by) return ay < by;
+              return a.id < b.id;
+            });
+
+  p.shards_.reserve(shards);
+  size_t slab_begin = 0;
+  uint32_t tiles_before = 0;
+  for (uint32_t slab = 0; slab < slabs; ++slab) {
+    const uint32_t tiles = shards / slabs + (slab < shards % slabs ? 1 : 0);
+    // Objects proportional to the slab's share of the tiles (exact: the
+    // cumulative floors telescope to n).
+    const size_t slab_end =
+        n * (tiles_before + tiles) / shards;
+    std::sort(objects.begin() + slab_begin, objects.begin() + slab_end,
+              [](const rtree::Entry& a, const rtree::Entry& b) {
+                const double ay = CenterY(a), by = CenterY(b);
+                if (ay != by) return ay < by;
+                const double ax = CenterX(a), bx = CenterX(b);
+                if (ax != bx) return ax < bx;
+                return a.id < b.id;
+              });
+    const size_t slab_n = slab_end - slab_begin;
+    size_t tile_begin = slab_begin;
+    for (uint32_t t = 0; t < tiles; ++t) {
+      const size_t tile_n = slab_n / tiles + (t < slab_n % tiles ? 1 : 0);
+      Shard sh;
+      sh.size = tile_n;
+      for (size_t i = tile_begin; i < tile_begin + tile_n; ++i) {
+        sh.bounds.Extend(objects[i].rect);
+      }
+      if (tile_n > 0) {
+        auto tree_or = rtree::RTree::Create(pool, options.tree);
+        if (!tree_or.ok()) return tree_or.status();
+        sh.tree = std::move(tree_or).value();
+        std::vector<rtree::Entry> tile(objects.begin() + tile_begin,
+                                       objects.begin() + tile_begin + tile_n);
+        AMDJ_RETURN_IF_ERROR(sh.tree->BulkLoad(std::move(tile), options.fill));
+      }
+      p.shards_.push_back(std::move(sh));
+      tile_begin += tile_n;
+    }
+    slab_begin = slab_end;
+    tiles_before += tiles;
+  }
+  return p;
+}
+
+StatusOr<Partition> Partition::FromTree(const rtree::RTree& tree,
+                                        storage::BufferPool* pool,
+                                        const PartitionOptions& options) {
+  std::vector<rtree::Entry> objects;
+  objects.reserve(tree.size());
+  AMDJ_RETURN_IF_ERROR(tree.ForEachObject(
+      [&objects](const rtree::Entry& e) { objects.push_back(e); }));
+  return Build(std::move(objects), pool, options);
+}
+
+const geom::Rect* Partition::object_rect(uint32_t id) const {
+  const auto it = std::lower_bound(
+      rects_by_id_.begin(), rects_by_id_.end(), id,
+      [](const rtree::Entry& e, uint32_t key) { return e.id < key; });
+  if (it == rects_by_id_.end() || it->id != id) return nullptr;
+  return &it->rect;
+}
+
+ShardPairEstimator::ShardPairEstimator(const Partition& r, const Partition& s,
+                                       geom::Metric metric,
+                                       bool exclude_same_id) {
+  for (const Shard& ri : r.shards()) {
+    if (ri.size == 0) continue;
+    for (const Shard& sj : s.shards()) {
+      if (sj.size == 0) continue;
+      DmaxEstimator est(ri.bounds, ri.size, sj.bounds, sj.size, metric);
+      double cap = static_cast<double>(ri.size) * static_cast<double>(sj.size);
+      if (exclude_same_id) {
+        // At most min(|Ri|,|Sj|) diagonal pairs can fall in this shard pair.
+        cap -= static_cast<double>(std::min(ri.size, sj.size));
+      }
+      if (cap <= 0.0) continue;
+      const double gap = geom::MinDistance(ri.bounds, sj.bounds, metric);
+      const double rho = est.rho();
+      if (rho <= 0.0) continue;
+      pairs_.gap.push_back(gap);
+      pairs_.inv_rho.push_back(1.0 / rho);
+      pairs_.cap.push_back(cap);
+      total_pairs_ += cap;
+      max_reach_ = std::max(max_reach_, gap + std::sqrt(cap * rho));
+    }
+  }
+}
+
+double ShardPairEstimator::ExpectedPairsWithin(double d) const {
+  return ExpectedWithin(pairs_, d);
+}
+
+double ShardPairEstimator::EstimateDmax(uint64_t k) const {
+  return InvertExpected(pairs_, max_reach_, total_pairs_,
+                        static_cast<double>(k));
+}
+
+double ShardPairEstimator::Correct(uint64_t k, uint64_t k0, double dmax_k0,
+                                   bool aggressive) const {
+  const double predicted = ExpectedPairsWithin(dmax_k0);
+  double calibrated;
+  if (k0 == 0 || dmax_k0 <= 0.0 || predicted <= 0.0) {
+    calibrated = EstimateDmax(k);
+  } else {
+    const double scale = static_cast<double>(k0) / predicted;
+    calibrated = InvertExpected(pairs_, max_reach_, total_pairs_,
+                                static_cast<double>(k) / scale);
+  }
+  if (k0 == 0 || dmax_k0 <= 0.0) return calibrated;
+  const double geometric =
+      dmax_k0 * std::sqrt(static_cast<double>(k) / static_cast<double>(k0));
+  return aggressive ? std::min(calibrated, geometric)
+                    : std::max(calibrated, geometric);
+}
+
+std::function<double(uint64_t)> ShardPairEstimator::BoundaryFn() const {
+  // Self-contained (no lifetime tie to the estimator): the hybrid queue
+  // probes boundaries at construction time, possibly on another thread.
+  PairModels pairs = pairs_;
+  const double reach = max_reach_;
+  const double total = total_pairs_;
+  return [pairs = std::move(pairs), reach, total](uint64_t c) {
+    return InvertExpected(pairs, reach, total, static_cast<double>(c));
+  };
+}
+
+}  // namespace amdj::core

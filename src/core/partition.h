@@ -1,0 +1,145 @@
+#ifndef AMDJ_CORE_PARTITION_H_
+#define AMDJ_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cutoff_estimator.h"
+#include "geom/metric.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+
+namespace amdj::core {
+
+/// Knobs for Partition::Build / Partition::FromTree.
+struct PartitionOptions {
+  /// Number of shards (STR tiles) to split the data set into. Tiles with
+  /// no objects are kept as empty shards (size 0, no tree) so shard
+  /// indices stay stable when shards > object count.
+  uint32_t shards = 8;
+
+  /// Bulk-load fill factor for the per-shard trees (rtree::RTree::BulkLoad).
+  double fill = 0.9;
+
+  /// Structure options for the per-shard trees.
+  rtree::RTree::Options tree;
+};
+
+/// One STR tile of a partitioned data set.
+struct Shard {
+  /// Bulk-loaded R-tree over the tile's objects; nullptr when size == 0.
+  std::unique_ptr<rtree::RTree> tree;
+  /// Exact MBB of the tile's objects (Empty() for an empty tile). This is
+  /// what the shard-pair scheduler computes MinDist/MaxDist bounds from —
+  /// never the tile's nominal slab rectangle, which can be much looser.
+  geom::Rect bounds = geom::Rect::Empty();
+  /// Number of objects in the tile.
+  uint64_t size = 0;
+};
+
+/// A data set split into STR tiles, one bulk-loaded R-tree per non-empty
+/// tile (the partition layer of the sharded executor, see
+/// core/shard_executor.h).
+///
+/// Tiling is the same sort-tile-recursive sweep str_bulk_loader.h applies
+/// to tree leaves, lifted to whole shards: objects sort by center-x into
+/// ceil(sqrt(shards)) vertical slabs, each slab sorts by center-y and is
+/// cut into tiles. Every comparison ends in the object id, so the tiling —
+/// and therefore every downstream result — is deterministic even when all
+/// centers coincide (std::sort is unstable).
+///
+/// The partition keeps an id -> MBR table of every object. The sharded
+/// executor's ranked merge re-derives each result's *key* from these exact
+/// rectangles: merging on the emitted distance would be ambiguous (two
+/// distinct keys can round to the same sqrt), keys are not.
+class Partition {
+ public:
+  Partition(Partition&&) = default;
+  Partition& operator=(Partition&&) = default;
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  /// Tiles `objects` and bulk-loads one tree per non-empty tile into
+  /// `pool` (shared by all shard trees; must outlive the partition).
+  /// Object ids must be unique — workload::Dataset::ToEntries guarantees
+  /// that. Fails on shards == 0 or an invalid fill factor.
+  static StatusOr<Partition> Build(std::vector<rtree::Entry> objects,
+                                   storage::BufferPool* pool,
+                                   const PartitionOptions& options);
+
+  /// Convenience: re-partitions the objects of an existing tree (one
+  /// ForEachObject scan), e.g. to shard a JoinService-owned data set
+  /// without reloading it from disk.
+  static StatusOr<Partition> FromTree(const rtree::RTree& tree,
+                                      storage::BufferPool* pool,
+                                      const PartitionOptions& options);
+
+  const std::vector<Shard>& shards() const { return shards_; }
+
+  /// Total number of objects across all shards.
+  uint64_t total_size() const { return total_size_; }
+
+  /// MBB of the whole data set (Empty() when total_size() == 0).
+  const geom::Rect& bounds() const { return bounds_; }
+
+  /// Exact MBR of object `id` as loaded; nullptr for unknown ids.
+  const geom::Rect* object_rect(uint32_t id) const;
+
+ private:
+  Partition() = default;
+
+  std::vector<Shard> shards_;
+  geom::Rect bounds_ = geom::Rect::Empty();
+  uint64_t total_size_ = 0;
+  /// Sorted by id (ids are dense in practice but nothing assumes it);
+  /// object_rect binary-searches.
+  std::vector<rtree::Entry> rects_by_id_;
+};
+
+/// Shard-pair composition of the Eq.-3 estimator (Section 4.2 lifted to
+/// tiles): the expected number of pairs within distance d is accumulated
+/// over shard pairs, sum_ij max(0, d - gap_ij)^2 / rho_ij, with each
+/// pair's density rho_ij and MBB gap computed by DmaxEstimator from the
+/// *shard-local* bounds and counts. The tiles act as a coarse 2-d
+/// histogram, so clustered data — where the single global Eq. 3 badly
+/// overestimates — gets a much tighter eDmax without building a
+/// HistogramEstimator. EstimateDmax inverts the monotone sum by bisection.
+class ShardPairEstimator : public CutoffEstimator {
+ public:
+  ShardPairEstimator(const Partition& r, const Partition& s,
+                     geom::Metric metric, bool exclude_same_id = false);
+
+  /// Expected number of object pairs within distance d (monotone in d).
+  double ExpectedPairsWithin(double d) const;
+
+  // CutoffEstimator:
+  double EstimateDmax(uint64_t k) const override;
+  /// Calibrated correction: rescales the shard-pair prediction so it
+  /// reproduces the observed ground truth (k0 pairs within dmax_k0), then
+  /// inverts for k; `aggressive` caps by the Eq.-5 geometric correction,
+  /// conservative floors by it.
+  double Correct(uint64_t k, uint64_t k0, double dmax_k0,
+                 bool aggressive) const override;
+  std::function<double(uint64_t)> BoundaryFn() const override;
+
+  /// Per-pair model, struct-of-arrays (the bisection sweeps it hot).
+  struct PairModels {
+    std::vector<double> gap;      ///< MinDist of the two shard MBBs.
+    std::vector<double> inv_rho;  ///< 1 / DmaxEstimator::rho() for the pair.
+    std::vector<double> cap;      ///< |Ri| * |Sj| (minus self-join diagonal).
+  };
+
+ private:
+  PairModels pairs_;
+  /// Upper bisection bracket: beyond it every pair model saturates its cap.
+  double max_reach_ = 0.0;
+  double total_pairs_ = 0.0;
+};
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_PARTITION_H_

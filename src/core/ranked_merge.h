@@ -1,0 +1,52 @@
+#ifndef AMDJ_CORE_RANKED_MERGE_H_
+#define AMDJ_CORE_RANKED_MERGE_H_
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+namespace amdj::core {
+
+/// K-way ranked merge: returns the first `limit` elements of the merged
+/// sequence of `runs` under `less`. Each run must already be sorted by
+/// `less`. Elements that compare equal resolve by run index (lower run
+/// first), so the output is deterministic for any input; when `less` is a
+/// total order over the actual elements — as the shard executor's
+/// (key, r_id, s_id) order is, every object pair existing exactly once —
+/// the output does not even depend on how elements were distributed over
+/// runs. O(output * log runs), the standard tournament over run heads.
+template <typename T, typename Less>
+std::vector<T> RankedMerge(const std::vector<std::vector<T>>& runs,
+                           size_t limit, Less less) {
+  struct Cursor {
+    size_t run;
+    size_t pos;
+  };
+  const auto after = [&runs, &less](const Cursor& a, const Cursor& b) {
+    const T& ea = runs[a.run][a.pos];
+    const T& eb = runs[b.run][b.pos];
+    if (less(ea, eb)) return false;
+    if (less(eb, ea)) return true;
+    return a.run > b.run;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heads(
+      after);
+  size_t total = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    total += runs[i].size();
+    if (!runs[i].empty()) heads.push({i, 0});
+  }
+  std::vector<T> out;
+  out.reserve(total < limit ? total : limit);
+  while (!heads.empty() && out.size() < limit) {
+    const Cursor c = heads.top();
+    heads.pop();
+    out.push_back(runs[c.run][c.pos]);
+    if (c.pos + 1 < runs[c.run].size()) heads.push({c.run, c.pos + 1});
+  }
+  return out;
+}
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_RANKED_MERGE_H_

@@ -1,0 +1,410 @@
+#include "core/shard_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <future>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "core/ranked_merge.h"
+#include "queue/distance_queue.h"
+
+namespace amdj::core {
+
+namespace {
+
+/// A scheduled shard pair with its bounds-only distance bracket.
+struct PairTask {
+  uint32_t r_shard = 0;
+  uint32_t s_shard = 0;
+  double min_key = 0.0;  ///< MinDistanceKey of the two shard MBBs.
+  double max_key = 0.0;  ///< MaxDistanceKey of the two shard MBBs.
+  double weight = 0.0;   ///< Candidate object pairs the pair can supply.
+};
+
+/// Monotone publisher of the global cutoff key: a bounded-k max-heap
+/// pooling the exact candidate keys streamed by the running pairs
+/// (CutoffKeySink), floored at the bounds-only prefix bound U. Every
+/// pooled key is the distance key of a distinct real pair (shard-pair
+/// products are disjoint, and a pair's run pushes each candidate at most
+/// once — pooling a key twice would be unsound, shrinking the k-th below
+/// the true one), so the pooled k-th smallest upper-bounds the global
+/// k-th key at every instant; relaxed atomics suffice because the value
+/// only ever shrinks — a stale read is a looser, still sound, cutoff
+/// (the PR 1 protocol, one level up).
+class CutoffPublisher : public CutoffKeySink {
+ public:
+  CutoffPublisher(uint64_t k, double initial)
+      : initial_(initial), keys_(static_cast<size_t>(k), nullptr) {
+    published_.store(initial, std::memory_order_relaxed);
+  }
+
+  /// Per-candidate live path (CutoffKeySink): the running pairs stream
+  /// every object-pair key here, so the pooled top-k — and with it the
+  /// published bound — tightens *during* pair execution. This is what
+  /// makes the cutoff finite early: no single shard pair may ever hold k
+  /// results, but their union does.
+  void OnResultKey(double key) override {
+    MutexLock lock(&mu_);
+    keys_.Insert(key);
+    AtomicMinKey(&published_, std::min(initial_, keys_.CutoffDistance()));
+  }
+
+  double Current() const { return published_.load(std::memory_order_relaxed); }
+
+  const std::atomic<double>* handle() const { return &published_; }
+  std::atomic<double>* publish_handle() { return &published_; }
+
+ private:
+  const double initial_;
+  std::atomic<double> published_{0.0};
+  Mutex mu_;
+  queue::DistanceQueue keys_ AMDJ_GUARDED_BY(mu_);
+};
+
+/// One per-pair result with its key recomputed exactly from the object
+/// MBRs. Merging on the emitted distance would be ambiguous — two distinct
+/// keys can round to the same sqrt — keys are not.
+struct MergeEntry {
+  double key = 0.0;
+  ResultPair pair;
+};
+
+bool MergeLess(const MergeEntry& a, const MergeEntry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  if (a.pair.r_id != b.pair.r_id) return a.pair.r_id < b.pair.r_id;
+  return a.pair.s_id < b.pair.s_id;
+}
+
+/// Worker-shared coordinator state (annotated so the locking discipline is
+/// compiler-checked like the rest of the concurrent layer). Runs are slot-
+/// indexed by survivor so the top-up phase can replace a probe run without
+/// disturbing the others.
+struct SharedState {
+  Mutex mu;
+  Status first_error AMDJ_GUARDED_BY(mu);
+  JoinStats agg AMDJ_GUARDED_BY(mu);
+  std::vector<std::vector<MergeEntry>> runs AMDJ_GUARDED_BY(mu);
+  std::vector<char> truncated AMDJ_GUARDED_BY(mu);
+  uint64_t pruned_cutoff AMDJ_GUARDED_BY(mu) = 0;
+  uint64_t executed AMDJ_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
+    const Partition& r, const Partition& s, uint64_t k,
+    const ShardedJoinOptions& options, JoinStats* stats) {
+  if (options.algorithm != KdjAlgorithm::kBKdj &&
+      options.algorithm != KdjAlgorithm::kAmKdj) {
+    return Status::InvalidArgument(
+        "sharded execution supports B-KDJ and AM-KDJ only (the shared-cutoff "
+        "early-stop protocol is implemented there)");
+  }
+  if (options.threads == 0) {
+    return Status::InvalidArgument("ShardedJoinOptions::threads must be >= 1");
+  }
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+  if (k == 0 || r.total_size() == 0 || s.total_size() == 0) {
+    return std::vector<ResultPair>();
+  }
+
+  Timer wall;
+  const geom::Metric metric = options.join.metric;
+  Tracer* const tracer = options.join.tracer;
+
+  // --- Plan: enumerate non-empty shard pairs and their bounds. ---
+  std::vector<PairTask> tasks;
+  std::vector<PairTask> survivors;
+  double bound_u = std::numeric_limits<double>::infinity();
+  {
+    TraceSpan plan_span(tracer, "shard_plan",
+                        {{"r_shards", static_cast<double>(r.shards().size())},
+                         {"s_shards", static_cast<double>(s.shards().size())}});
+    for (uint32_t i = 0; i < r.shards().size(); ++i) {
+      const Shard& ri = r.shards()[i];
+      if (ri.size == 0) continue;
+      for (uint32_t j = 0; j < s.shards().size(); ++j) {
+        const Shard& sj = s.shards()[j];
+        if (sj.size == 0) continue;
+        PairTask t;
+        t.r_shard = i;
+        t.s_shard = j;
+        t.min_key = geom::MinDistanceKey(ri.bounds, sj.bounds, metric);
+        t.max_key = geom::MaxDistanceKey(ri.bounds, sj.bounds, metric);
+        t.weight =
+            static_cast<double>(ri.size) * static_cast<double>(sj.size);
+        if (options.join.exclude_same_id) {
+          // Worst case: min(|Ri|,|Sj|) suppressed diagonal pairs. The
+          // undercount only delays where the prefix below reaches k —
+          // a larger, still sound, U.
+          t.weight -= static_cast<double>(std::min(ri.size, sj.size));
+        }
+        if (t.weight <= 0.0) continue;
+        tasks.push_back(t);
+      }
+    }
+    stats->shard_pairs_considered += tasks.size();
+
+    // Bounds-only bound U on the k-th key: walk pairs by ascending MaxDist
+    // key until their candidate pairs alone reach k — those candidates all
+    // have key <= that MaxDist key, so the k-th smallest key does too.
+    // Spatial windows make the candidate count non-derivable from bounds;
+    // the bound (and with it bounds-only pruning) is skipped.
+    const bool count_bound_valid = !options.join.r_window.has_value() &&
+                                   !options.join.s_window.has_value();
+    if (count_bound_valid) {
+      std::vector<size_t> order(tasks.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&tasks](size_t a, size_t b) {
+        if (tasks[a].max_key != tasks[b].max_key) {
+          return tasks[a].max_key < tasks[b].max_key;
+        }
+        if (tasks[a].r_shard != tasks[b].r_shard) {
+          return tasks[a].r_shard < tasks[b].r_shard;
+        }
+        return tasks[a].s_shard < tasks[b].s_shard;
+      });
+      double cum = 0.0;
+      for (const size_t idx : order) {
+        cum += tasks[idx].weight;
+        if (cum >= static_cast<double>(k)) {
+          bound_u = tasks[idx].max_key;
+          break;
+        }
+      }
+    }
+
+    for (const PairTask& t : tasks) {
+      if (t.min_key > bound_u) {
+        ++stats->shard_pairs_pruned_bounds;
+        AMDJ_TRACE(tracer,
+                   Instant("shard_pair_pruned_bounds",
+                           {{"r_shard", static_cast<double>(t.r_shard)},
+                            {"s_shard", static_cast<double>(t.s_shard)},
+                            {"min_key", t.min_key}}));
+        continue;
+      }
+      survivors.push_back(t);
+    }
+    // Ascending MinDist: the pairs most likely to hold the top-k run
+    // first, so the cutoff tightens as early as possible.
+    std::sort(survivors.begin(), survivors.end(),
+              [](const PairTask& a, const PairTask& b) {
+                if (a.min_key != b.min_key) return a.min_key < b.min_key;
+                if (a.r_shard != b.r_shard) return a.r_shard < b.r_shard;
+                return a.s_shard < b.s_shard;
+              });
+    AMDJ_TRACE(tracer,
+               Instant("shard_bound",
+                       {{"bound_key", bound_u},
+                        {"survivors", static_cast<double>(survivors.size())}}));
+  }
+
+  // Shard-local Eq.-3 composition (the tiles double as a coarse 2-d
+  // histogram); drives per-pair AM-KDJ stage-one cutoffs.
+  const ShardPairEstimator estimator(r, s, metric,
+                                     options.join.exclude_same_id);
+  const double global_edmax = estimator.EstimateDmax(k);
+
+  CutoffPublisher cutoff(k, bound_u);
+  SharedState state;
+  state.runs.resize(survivors.size());
+  state.truncated.assign(survivors.size(), 0);
+
+  // Probe cap: were every pair run straight at k, a pair whose product
+  // holds fewer than k candidates would enumerate it exhaustively before
+  // its own queue ever fills (a subset rarely has k results) — all of it
+  // before the pooled cutoff goes finite. The probe phase caps the local k
+  // so each pair self-bounds cheaply while the pool fills; the top-up
+  // phase below re-runs only the pairs whose truncation boundary landed
+  // inside the published cutoff.
+  const uint64_t k_probe =
+      survivors.empty()
+          ? k
+          : std::min<uint64_t>(
+                k, std::max<uint64_t>(
+                       1024, (4 * k) / static_cast<uint64_t>(
+                                           survivors.size())));
+
+  // `phase` 0 = probe (counts executed/pruned), 1 = top-up (replaces the
+  // slot's run; the pair was already counted).
+  const auto run_pair = [&](size_t slot, uint64_t k_local, int phase) {
+    const PairTask& t = survivors[slot];
+    const double seen = cutoff.Current();
+    if (phase == 0 && t.min_key > seen) {
+      // Re-prune at dispatch: keys pooled by earlier pairs may have
+      // pulled the cutoff below this pair's MinDist by now.
+      AMDJ_TRACE(tracer,
+                 Instant("shard_pair_pruned_cutoff",
+                         {{"r_shard", static_cast<double>(t.r_shard)},
+                          {"s_shard", static_cast<double>(t.s_shard)},
+                          {"min_key", t.min_key},
+                          {"cutoff_key", seen}}));
+      MutexLock lock(&state.mu);
+      ++state.pruned_cutoff;
+      return;
+    }
+
+    JoinOptions per = options.join;
+    per.parallelism = 1;  // parallelism lives at the shard level
+    per.report = nullptr;
+    per.shared_cutoff_key = cutoff.handle();
+    // Live feedback, with two phase-dependent soundness guards. A pair may
+    // publish its local qDmax only when it runs at the full k: a probe run
+    // capped at k_local < k holds the k_local-th smallest key of one pair,
+    // which can sit far below the global k-th. And a pair may stream its
+    // candidate keys into the pooled top-k only on its first execution:
+    // a top-up re-run revisits the same object pairs, and pooling a real
+    // pair's key twice pulls the pooled k-th below the true k-th.
+    per.shared_cutoff_publish =
+        k_local == k ? cutoff.publish_handle() : nullptr;
+    per.shared_cutoff_sink = phase == 0 ? &cutoff : nullptr;
+    if (options.use_estimator && options.algorithm == KdjAlgorithm::kAmKdj) {
+      if (per.estimator == nullptr) per.estimator = &estimator;
+      // Any forced_edmax is safe for AM-KDJ (compensation guarantees
+      // B-KDJ-equal results), so clamp the global estimate by both the
+      // caller's override and the live cutoff.
+      double edmax = std::min(per.forced_edmax.value_or(global_edmax),
+                              global_edmax);
+      if (std::isfinite(seen)) {
+        edmax = std::min(edmax, geom::KeyToDistance(seen, metric));
+      }
+      per.forced_edmax = edmax;
+    }
+
+    const Shard& ri = r.shards()[t.r_shard];
+    const Shard& sj = s.shards()[t.s_shard];
+    JoinStats pair_stats;
+    StatusOr<std::vector<ResultPair>> res = std::vector<ResultPair>();
+    {
+      TraceSpan span(tracer, "shard_pair",
+                     {{"r_shard", static_cast<double>(t.r_shard)},
+                      {"s_shard", static_cast<double>(t.s_shard)},
+                      {"min_key", t.min_key},
+                      {"k_local", static_cast<double>(k_local)},
+                      {"phase", static_cast<double>(phase)}});
+      res = RunKDistanceJoin(*ri.tree, *sj.tree, k_local, options.algorithm,
+                             per, &pair_stats);
+    }
+    if (!res.ok()) {
+      MutexLock lock(&state.mu);
+      if (state.first_error.ok()) state.first_error = res.status();
+      return;
+    }
+    const bool truncated = res->size() == k_local && k_local < k;
+
+    std::vector<MergeEntry> run;
+    run.reserve(res->size());
+    for (const ResultPair& rp : *res) {
+      const geom::Rect* rr = r.object_rect(rp.r_id);
+      const geom::Rect* sr = s.object_rect(rp.s_id);
+      if (rr == nullptr || sr == nullptr) {
+        MutexLock lock(&state.mu);
+        if (state.first_error.ok()) {
+          state.first_error = Status::Internal(
+              "shard-pair result references an object id unknown to the "
+              "partition");
+        }
+        return;
+      }
+      MergeEntry e;
+      e.key = geom::MinDistanceKey(*rr, *sr, metric);
+      e.pair = rp;
+      run.push_back(e);
+    }
+    // Canonical within-run order; inside a tie plateau the raw list
+    // follows the pair-local discovery order, which means nothing once
+    // runs interleave.
+    std::sort(run.begin(), run.end(), MergeLess);
+
+    pair_stats.pairs_produced = 0;  // re-credited from the merged output
+    pair_stats.cpu_seconds = 0.0;   // the executor charges wall clock once
+    MutexLock lock(&state.mu);
+    if (phase == 0) ++state.executed;
+    state.agg.Add(pair_stats);
+    state.truncated[slot] = truncated ? 1 : 0;
+    state.runs[slot] = std::move(run);
+  };
+
+  {
+    ThreadPool pool(options.threads, "amdj-shard");
+    {
+      std::vector<std::future<void>> futures;
+      futures.reserve(survivors.size());
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        futures.push_back(
+            pool.Submit([&run_pair, i, k_probe] { run_pair(i, k_probe, 0); }));
+      }
+      for (std::future<void>& f : futures) f.get();
+    }
+
+    // --- Top-up: complete the pairs the probe cap truncated inside the
+    // published cutoff K. A pair that returned fewer than k_probe results
+    // was exhausted under a cutoff that only ever held values >= the final
+    // K, so everything it dropped is outside the global top-k; a truncated
+    // pair whose k_probe-th key landed below K may still owe results and
+    // re-runs at full k — now against a tight bound, so it only walks its
+    // actual share of the top-k.
+    if (k_probe < k) {
+      std::vector<size_t> topup;
+      const double published = cutoff.Current();
+      {
+        MutexLock lock(&state.mu);
+        if (!state.first_error.ok()) return state.first_error;
+        for (size_t i = 0; i < survivors.size(); ++i) {
+          if (state.truncated[i] == 0 || state.runs[i].empty()) continue;
+          // <= so a truncation boundary sitting exactly on the published
+          // cutoff still tops up: the pair may hold further ties at that
+          // key which belong in the output.
+          if (state.runs[i].back().key <= published) topup.push_back(i);
+        }
+      }
+      AMDJ_TRACE(tracer,
+                 Instant("shard_topup",
+                         {{"pairs", static_cast<double>(topup.size())},
+                          {"cutoff_key", published}}));
+      std::vector<std::future<void>> futures;
+      futures.reserve(topup.size());
+      for (const size_t i : topup) {
+        futures.push_back(
+            pool.Submit([&run_pair, i, k] { run_pair(i, k, 1); }));
+      }
+      for (std::future<void>& f : futures) f.get();
+    }
+  }
+
+  std::vector<std::vector<MergeEntry>> runs;
+  {
+    MutexLock lock(&state.mu);  // workers joined; taken for the annotations
+    if (!state.first_error.ok()) return state.first_error;
+    stats->shard_pairs_pruned_cutoff += state.pruned_cutoff;
+    stats->shard_pairs_executed += state.executed;
+    stats->Add(state.agg);
+    runs = std::move(state.runs);  // pruned slots stay as empty runs
+  }
+
+  std::vector<ResultPair> out;
+  {
+    TraceSpan merge_span(tracer, "shard_merge",
+                         {{"runs", static_cast<double>(runs.size())}});
+    const std::vector<MergeEntry> merged =
+        RankedMerge(runs, static_cast<size_t>(k), MergeLess);
+    out.reserve(merged.size());
+    for (const MergeEntry& e : merged) out.push_back(e.pair);
+  }
+  stats->pairs_produced += out.size();
+  stats->cpu_seconds += wall.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace amdj::core

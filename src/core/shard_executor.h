@@ -1,0 +1,88 @@
+#ifndef AMDJ_CORE_SHARD_EXECUTOR_H_
+#define AMDJ_CORE_SHARD_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/distance_join.h"
+#include "core/options.h"
+#include "core/partition.h"
+
+namespace amdj::core {
+
+/// Knobs for RunShardedKDistanceJoin.
+struct ShardedJoinOptions {
+  /// Per-pair join options. The executor copies and adjusts them for each
+  /// shard pair: `parallelism` is forced to 1 (parallelism lives at the
+  /// shard level — nesting pools would oversubscribe), `report` is cleared
+  /// (RunReport is single-run), and `shared_cutoff_key` is pointed at the
+  /// executor's global cutoff. `queue_disk` (if set) is shared by all
+  /// concurrent per-pair joins and must be thread-safe — the repo's disk
+  /// managers are. `tracer` may be set; its buffers are per-thread.
+  JoinOptions join;
+
+  /// Worker threads executing shard-pair joins concurrently. The executor
+  /// owns a private pool for the call; do not confuse with
+  /// JoinOptions::parallelism.
+  uint32_t threads = 4;
+
+  /// Per-pair algorithm. Only kBKdj and kAmKdj implement the shared-cutoff
+  /// early-stop protocol; anything else is InvalidArgument.
+  KdjAlgorithm algorithm = KdjAlgorithm::kAmKdj;
+
+  /// Drive per-pair AM-KDJ with the ShardPairEstimator built from the two
+  /// partitions: forced_edmax = min(global shard-pair estimate, current
+  /// global cutoff), and the estimator also serves hybrid-queue boundary
+  /// probes (unless `join.estimator` is already set, which wins). Safe for
+  /// any estimate — AM-KDJ's compensation stage guarantees B-KDJ-equal
+  /// results. Ignored for kBKdj.
+  bool use_estimator = true;
+};
+
+/// Partition-parallel k-distance join (see DESIGN.md "Partition layer").
+///
+/// Schedules the non-empty shard pairs of `r` x `s`:
+///   1. Bounds-only pruning: from shard MBBs alone, the smallest key U
+///      such that the pairs whose MaxDist key is <= U already hold k
+///      candidate object pairs upper-bounds the final k-th key; pairs with
+///      MinDist key > U never execute (shard_pairs_pruned_bounds). With a
+///      spatial window set, the candidate count is not bounds-derivable
+///      and the bound is skipped.
+///   2. Surviving pairs run ascending in MinDist key on a private pool, in
+///      two adaptive passes. The *probe* pass caps each pair's local k at
+///      k_probe = min(k, max(1024, 4k/|survivors|)) so pairs self-bound
+///      cheaply instead of exhaustively chasing a local k they cannot
+///      fill; meanwhile every candidate key streams into a pooled
+///      bounded-k cutoff (initialized to U, only ever shrinking) that
+///      (a) re-prunes pairs at dispatch (shard_pairs_pruned_cutoff) and
+///      (b) feeds every in-flight join via JoinOptions::shared_cutoff_key,
+///      tightening node pruning and stopping frontiers early. The *top-up*
+///      pass then re-runs, at full k under the now-tight published cutoff,
+///      only the pairs whose probe run truncated at or below that cutoff;
+///      the re-run replaces the probe run (and is not re-counted in
+///      shard_pairs_executed). For k <= 1024 the probe cap equals k and
+///      the top-up pass vanishes.
+///   3. A k-way ranked merge over the per-pair result runs, ordered by
+///      (key, r_id, s_id) with keys recomputed exactly from the partition's
+///      object MBRs, yields the final top-k.
+///
+/// The returned values and their order are deterministic — independent of
+/// thread timing — and identical to the unsharded join whenever the result
+/// list is free of cross-entry key ties (see the DESIGN.md invariant
+/// table; under ties the output is still a correct top-k, in canonical
+/// (key, r_id, s_id) order, while the unsharded list follows discovery
+/// order inside a tie plateau). Work counters are timing-dependent: a
+/// slower cutoff costs extra node accesses, never results.
+///
+/// `stats` (may be null) additionally receives the shard_pairs_* counters
+/// and the Add-merged per-pair counters; cpu_seconds is charged the
+/// executor wall clock, pairs_produced the merged result count.
+StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
+    const Partition& r, const Partition& s, uint64_t k,
+    const ShardedJoinOptions& options, JoinStats* stats);
+
+}  // namespace amdj::core
+
+#endif  // AMDJ_CORE_SHARD_EXECUTOR_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "core/shard_executor.h"
 #include "storage/disk_manager.h"
 
 namespace amdj::service {
@@ -26,6 +27,23 @@ JoinService::JoinService(const rtree::RTree& r, const rtree::RTree& s,
   if (options.spill_io_threads > 0) {
     io_pool_ = std::make_unique<ThreadPool>(options.spill_io_threads,
                                             options.name_prefix + "-io");
+  }
+  if (options.shards > 1) {
+    options_.shard_threads = std::max<uint32_t>(1, options.shard_threads);
+    shard_disk_ = std::make_unique<storage::InMemoryDiskManager>();
+    shard_pool_ = std::make_unique<storage::BufferPool>(
+        shard_disk_.get(), std::max<size_t>(64, options.shard_pool_pages));
+    core::PartitionOptions part;
+    part.shards = options.shards;
+    auto build = [this, &part](const rtree::RTree& tree,
+                               std::optional<core::Partition>* out) {
+      auto part_or = core::Partition::FromTree(tree, shard_pool_.get(), part);
+      if (!part_or.ok()) return part_or.status();
+      *out = std::move(part_or).value();
+      return Status::OK();
+    };
+    shard_init_ = build(r_, &r_partition_);
+    if (shard_init_.ok()) shard_init_ = build(s_, &s_partition_);
   }
 }
 
@@ -84,6 +102,33 @@ JoinResponse JoinService::Execute(const JoinRequest& request,
   options.spill_io_pool = io_pool_.get();
 
   if (request.kind == JoinRequest::Kind::kKdj) {
+    const bool shardable =
+        options_.shards > 1 &&
+        (request.kdj_algorithm == core::KdjAlgorithm::kBKdj ||
+         request.kdj_algorithm == core::KdjAlgorithm::kAmKdj);
+    if (shardable) {
+      if (!shard_init_.ok()) {
+        response.status = shard_init_;
+        return response;
+      }
+      core::ShardedJoinOptions sharded;
+      sharded.join = options;
+      // Up to shard_threads per-pair queues live at once within this one
+      // query; they share the query's admission budget.
+      sharded.join.queue_memory_bytes =
+          std::max(kMinQueueMemoryBytes,
+                   options.queue_memory_bytes / options_.shard_threads);
+      sharded.threads = options_.shard_threads;
+      sharded.algorithm = request.kdj_algorithm;
+      auto result = core::RunShardedKDistanceJoin(
+          *r_partition_, *s_partition_, request.k, sharded, &response.stats);
+      if (!result.ok()) {
+        response.status = result.status();
+        return response;
+      }
+      response.results = std::move(*result);
+      return response;
+    }
     auto result = core::RunKDistanceJoin(r_, s_, request.k,
                                          request.kdj_algorithm, options,
                                          &response.stats);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,7 +16,10 @@
 #include "core/distance_join.h"
 #include "core/options.h"
 #include "core/pair_entry.h"
+#include "core/partition.h"
 #include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 
 namespace amdj::service {
 
@@ -97,6 +101,22 @@ class JoinService {
     /// queue's accounted tier, so a query's resident footprint can
     /// transiently double.
     uint32_t spill_io_threads = 0;
+    /// Shard count for partition-parallel KDJ execution. 1 (the default)
+    /// keeps the classic single-pair path. Values > 1 make the service
+    /// split both data sets into `shards` STR tiles at construction (one
+    /// bulk-loaded tree per tile, in a service-owned in-memory pool) and
+    /// route every kBKdj/kAmKdj KDJ request through
+    /// core::RunShardedKDistanceJoin. Other algorithms and IDJ cursors
+    /// fall back to the unsharded trees.
+    uint32_t shards = 1;
+    /// Worker threads per sharded execution (the shard-pair fan-out of one
+    /// query — independent of max_inflight, which fans out across
+    /// queries). Each admitted query's queue-memory clamp is further
+    /// divided by this, since up to shard_threads per-pair queues live
+    /// concurrently.
+    uint32_t shard_threads = 4;
+    /// Buffer-pool capacity (pages) for the service-owned shard trees.
+    size_t shard_pool_pages = 4096;
     /// Worker thread name prefix.
     std::string name_prefix = "amdj-svc";
   };
@@ -159,6 +179,17 @@ class JoinService {
   /// pool_: query workers submit I/O tasks here, so it must outlive the
   /// query pool's drain.
   std::unique_ptr<ThreadPool> io_pool_;
+
+  /// Shard state (Options::shards > 1 only). The partitions are built once
+  /// at construction from the unsharded trees; a failure is remembered and
+  /// returned by every sharded request instead of aborting construction.
+  /// Declared before pool_: query workers read the partitions, so they
+  /// must outlive the pool's drain.
+  Status shard_init_;
+  std::unique_ptr<storage::InMemoryDiskManager> shard_disk_;
+  std::unique_ptr<storage::BufferPool> shard_pool_;
+  std::optional<core::Partition> r_partition_;
+  std::optional<core::Partition> s_partition_;
 
   /// Last member: destroyed (drained) first, while the counters above are
   /// still alive for the final tasks.

@@ -1,0 +1,337 @@
+// Partition layer + sharded executor: STR tiling edge cases (empty tiles,
+// all-duplicate points, more shards than objects), bounds-only shard-pair
+// pruning accounting, and the headline differential — sharded execution
+// must be byte-identical (values AND order) to the unsharded join across
+// seeds, shard counts, thread counts, and both eligible algorithms, on
+// tie-free workloads (distinct random points; see the DESIGN.md invariant
+// table for the tie-plateau caveat the all-duplicates test exercises).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/partition.h"
+#include "core/ranked_merge.h"
+#include "core/shard_executor.h"
+#include "service/join_service.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace amdj::core {
+namespace {
+
+Partition MustPartition(const workload::Dataset& data,
+                        storage::BufferPool* pool, uint32_t shards) {
+  PartitionOptions opts;
+  opts.shards = shards;
+  auto part = Partition::Build(data.ToEntries(), pool, opts);
+  EXPECT_TRUE(part.ok()) << part.status().ToString();
+  return std::move(part).value();
+}
+
+void ExpectIdentical(const std::vector<ResultPair>& unsharded,
+                     const std::vector<ResultPair>& sharded,
+                     const std::string& label) {
+  ASSERT_EQ(unsharded.size(), sharded.size()) << label;
+  for (size_t i = 0; i < unsharded.size(); ++i) {
+    ASSERT_EQ(unsharded[i], sharded[i])
+        << label << " diverges at rank " << i << ": unsharded=("
+        << unsharded[i].distance << "," << unsharded[i].r_id << ","
+        << unsharded[i].s_id << ") sharded=(" << sharded[i].distance << ","
+        << sharded[i].r_id << "," << sharded[i].s_id << ")";
+  }
+}
+
+TEST(RankedMergeTest, MergesSortedRunsWithLimit) {
+  const std::vector<std::vector<int>> runs = {{1, 4, 7}, {2, 2, 9}, {}, {3}};
+  const auto less = [](int a, int b) { return a < b; };
+  EXPECT_EQ(RankedMerge(runs, 100, less),
+            (std::vector<int>{1, 2, 2, 3, 4, 7, 9}));
+  EXPECT_EQ(RankedMerge(runs, 3, less), (std::vector<int>{1, 2, 2}));
+  EXPECT_TRUE(RankedMerge(runs, 0, less).empty());
+  EXPECT_TRUE(
+      RankedMerge(std::vector<std::vector<int>>{}, 5, less).empty());
+}
+
+TEST(PartitionTest, TilesAreBalancedAndLookupsWork) {
+  const workload::Dataset data = workload::UniformPoints(1000, 42);
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 1024);
+  const Partition part = MustPartition(data, &pool, 8);
+
+  ASSERT_EQ(part.shards().size(), 8u);
+  EXPECT_EQ(part.total_size(), 1000u);
+  uint64_t sum = 0;
+  for (const Shard& sh : part.shards()) {
+    sum += sh.size;
+    // Proportional STR cuts keep every tile within a couple of objects of
+    // the even split.
+    EXPECT_NEAR(static_cast<double>(sh.size), 125.0, 2.0);
+    ASSERT_NE(sh.tree, nullptr);
+    EXPECT_EQ(sh.tree->size(), sh.size);
+    // The shard MBB is the exact bounds of the shard's tree.
+    EXPECT_EQ(sh.bounds, sh.tree->bounds());
+    EXPECT_TRUE(part.bounds().Contains(sh.bounds));
+  }
+  EXPECT_EQ(sum, 1000u);
+
+  for (uint32_t id = 0; id < 1000; ++id) {
+    const geom::Rect* rect = part.object_rect(id);
+    ASSERT_NE(rect, nullptr) << "id " << id;
+    EXPECT_EQ(*rect, data.objects[id]);
+  }
+  EXPECT_EQ(part.object_rect(1000), nullptr);
+}
+
+TEST(PartitionTest, MoreShardsThanObjectsLeavesEmptyTiles) {
+  const workload::Dataset data = workload::UniformPoints(3, 7);
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 256);
+  const Partition part = MustPartition(data, &pool, 8);
+
+  ASSERT_EQ(part.shards().size(), 8u);
+  uint32_t non_empty = 0;
+  for (const Shard& sh : part.shards()) {
+    if (sh.size == 0) {
+      EXPECT_EQ(sh.tree, nullptr);
+      EXPECT_TRUE(sh.bounds.IsEmpty());
+    } else {
+      ASSERT_NE(sh.tree, nullptr);
+      ++non_empty;
+    }
+  }
+  EXPECT_EQ(non_empty, 3u);
+  EXPECT_EQ(part.total_size(), 3u);
+}
+
+TEST(PartitionTest, RejectsZeroShardsAndBadFill) {
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  PartitionOptions opts;
+  opts.shards = 0;
+  EXPECT_FALSE(Partition::Build({}, &pool, opts).ok());
+  opts.shards = 2;
+  opts.fill = 0.0;
+  EXPECT_FALSE(Partition::Build({}, &pool, opts).ok());
+  opts.fill = 0.9;
+  EXPECT_FALSE(Partition::Build({}, nullptr, opts).ok());
+}
+
+TEST(PartitionTest, AllDuplicatePointsTileDeterministically) {
+  workload::Dataset data;
+  data.name = "dups";
+  data.objects.assign(100, geom::Rect(500.0, 500.0, 500.0, 500.0));
+  storage::InMemoryDiskManager disk_a, disk_b;
+  storage::BufferPool pool_a(&disk_a, 512), pool_b(&disk_b, 512);
+  const Partition a = MustPartition(data, &pool_a, 4);
+  const Partition b = MustPartition(data, &pool_b, 4);
+  ASSERT_EQ(a.shards().size(), b.shards().size());
+  for (size_t i = 0; i < a.shards().size(); ++i) {
+    // Identical centers everywhere: the id tie-break alone decides the
+    // tiling, so two builds agree shard by shard.
+    EXPECT_EQ(a.shards()[i].size, b.shards()[i].size) << "shard " << i;
+    EXPECT_EQ(a.shards()[i].bounds, b.shards()[i].bounds) << "shard " << i;
+  }
+}
+
+TEST(ShardJoinTest, AllDuplicatePointsJoinIsACorrectTopK) {
+  workload::Dataset data;
+  data.name = "dups";
+  data.objects.assign(40, geom::Rect(500.0, 500.0, 500.0, 500.0));
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 512);
+  const Partition r = MustPartition(data, &pool, 4);
+  const Partition s = MustPartition(data, &pool, 4);
+
+  ShardedJoinOptions options;
+  options.threads = 4;
+  JoinStats stats;
+  auto result = RunShardedKDistanceJoin(r, s, 50, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Every pair is at distance zero — any 50 distinct pairs are a correct
+  // top-50 (the one situation where sharded and unsharded may legally
+  // pick different ids; see DESIGN.md).
+  ASSERT_EQ(result->size(), 50u);
+  for (const ResultPair& p : *result) {
+    EXPECT_EQ(p.distance, 0.0);
+  }
+  test::ExpectNoDuplicates(*result);
+  EXPECT_EQ(stats.pairs_produced, 50u);
+}
+
+TEST(ShardJoinTest, RejectsUnsupportedConfigurations) {
+  const workload::Dataset data = workload::UniformPoints(50, 3);
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 256);
+  const Partition r = MustPartition(data, &pool, 2);
+  const Partition s = MustPartition(data, &pool, 2);
+  ShardedJoinOptions options;
+  options.algorithm = KdjAlgorithm::kHsKdj;
+  EXPECT_FALSE(RunShardedKDistanceJoin(r, s, 10, options, nullptr).ok());
+  options.algorithm = KdjAlgorithm::kSjSort;
+  EXPECT_FALSE(RunShardedKDistanceJoin(r, s, 10, options, nullptr).ok());
+  options.algorithm = KdjAlgorithm::kAmKdj;
+  options.threads = 0;
+  EXPECT_FALSE(RunShardedKDistanceJoin(r, s, 10, options, nullptr).ok());
+}
+
+// The headline differential: byte-identical values and order against the
+// unsharded join, across seeds, shard counts (including shards larger than
+// needed, so empty-tile pairs flow through scheduling), thread counts and
+// both supported algorithms. Distinct random points keep the result list
+// free of key ties, where byte-identity is the contract.
+TEST(ShardJoinTest, ByteIdenticalToUnshardedAcrossSeeds) {
+  for (const uint64_t seed : {7u, 23u, 123u, 991u}) {
+    const workload::Dataset r_data = workload::UniformPoints(1200, seed);
+    const workload::Dataset s_data =
+        workload::GaussianClusters(700, 6, 0.05, seed + 1000);
+    test::JoinFixture f = test::MakeFixture(r_data, s_data, 32, 256);
+    storage::InMemoryDiskManager shard_disk;
+    storage::BufferPool shard_pool(&shard_disk, 2048);
+
+    for (const uint64_t k : {1u, 64u, 1500u}) {
+      for (const KdjAlgorithm algorithm :
+           {KdjAlgorithm::kBKdj, KdjAlgorithm::kAmKdj}) {
+        const JoinOptions join;
+        auto unsharded =
+            RunKDistanceJoin(*f.r, *f.s, k, algorithm, join, nullptr);
+        ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+
+        for (const uint32_t shards : {1u, 4u, 9u}) {
+          const Partition r = MustPartition(r_data, &shard_pool, shards);
+          const Partition s = MustPartition(s_data, &shard_pool, shards);
+          for (const uint32_t threads : {1u, 4u}) {
+            ShardedJoinOptions options;
+            options.join = join;
+            options.threads = threads;
+            options.algorithm = algorithm;
+            JoinStats stats;
+            auto sharded =
+                RunShardedKDistanceJoin(r, s, k, options, &stats);
+            ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+            const std::string label =
+                "seed=" + std::to_string(seed) + " k=" + std::to_string(k) +
+                " algo=" + ToString(algorithm) +
+                " shards=" + std::to_string(shards) +
+                " threads=" + std::to_string(threads);
+            ExpectIdentical(*unsharded, *sharded, label);
+            // Scheduling accounting closes: every considered pair is
+            // either pruned (bounds or cutoff) or executed.
+            EXPECT_EQ(stats.shard_pairs_considered,
+                      stats.shard_pairs_pruned_bounds +
+                          stats.shard_pairs_pruned_cutoff +
+                          stats.shard_pairs_executed)
+                << label;
+            EXPECT_GT(stats.shard_pairs_executed, 0u) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardJoinTest, MatchesUnshardedUnderWindowsAndSelfJoinKnobs) {
+  const workload::Dataset data = workload::UniformPoints(900, 5);
+  test::JoinFixture f = test::MakeFixture(data, data, 32, 256);
+  storage::InMemoryDiskManager shard_disk;
+  storage::BufferPool shard_pool(&shard_disk, 2048);
+  const Partition r = MustPartition(data, &shard_pool, 4);
+  const Partition s = MustPartition(data, &shard_pool, 4);
+
+  JoinOptions join;
+  join.exclude_same_id = true;
+  join.r_window =
+      geom::Rect(0, 0, workload::kUniverseSize / 2, workload::kUniverseSize);
+  auto unsharded =
+      RunKDistanceJoin(*f.r, *f.s, 200, KdjAlgorithm::kAmKdj, join, nullptr);
+  ASSERT_TRUE(unsharded.ok());
+
+  ShardedJoinOptions options;
+  options.join = join;
+  options.threads = 4;
+  JoinStats stats;
+  auto sharded = RunShardedKDistanceJoin(r, s, 200, options, &stats);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ExpectIdentical(*unsharded, *sharded, "windowed self-join");
+  // Windows disable the count-derived bound: nothing may be bounds-pruned.
+  EXPECT_EQ(stats.shard_pairs_pruned_bounds, 0u);
+}
+
+TEST(ShardJoinTest, MatchesBruteForceOnClusteredData) {
+  const workload::Dataset r_data =
+      workload::GaussianClusters(400, 8, 0.01, 17);
+  const workload::Dataset s_data =
+      workload::GaussianClusters(300, 8, 0.01, 18);
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 1024);
+  const Partition r = MustPartition(r_data, &pool, 9);
+  const Partition s = MustPartition(s_data, &pool, 9);
+
+  ShardedJoinOptions options;
+  options.threads = 4;
+  JoinStats stats;
+  auto result = RunShardedKDistanceJoin(r, s, 500, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto brute =
+      test::BruteForceDistances(r_data.objects, s_data.objects);
+  test::ExpectMatchesBruteForce(*result, brute, 500, r_data.objects,
+                                s_data.objects);
+  test::ExpectNoDuplicates(*result);
+  // Tight clusters + k << |R||S|: a healthy share of shard pairs must die
+  // on bounds alone, before any tree I/O.
+  EXPECT_GT(stats.shard_pairs_pruned_bounds, 0u);
+}
+
+TEST(ServiceShardTest, ShardedServiceMatchesUnshardedService) {
+  const workload::Dataset r_data = workload::UniformPoints(1000, 31);
+  const workload::Dataset s_data = workload::UniformPoints(800, 32);
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, 32, 256);
+
+  service::JoinService::Options plain;
+  service::JoinService::Options sharded = plain;
+  sharded.shards = 4;
+  sharded.shard_threads = 4;
+  service::JoinService plain_svc(*f.r, *f.s, plain);
+  service::JoinService sharded_svc(*f.r, *f.s, sharded);
+
+  for (const KdjAlgorithm algorithm :
+       {KdjAlgorithm::kBKdj, KdjAlgorithm::kAmKdj}) {
+    service::JoinRequest request;
+    request.kind = service::JoinRequest::Kind::kKdj;
+    request.kdj_algorithm = algorithm;
+    request.k = 500;
+    service::JoinResponse a = plain_svc.Run(request);
+    service::JoinResponse b = sharded_svc.Run(request);
+    ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+    ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+    ExpectIdentical(a.results, b.results,
+                    std::string("service ") + ToString(algorithm));
+    EXPECT_EQ(a.stats.shard_pairs_executed, 0u);
+    EXPECT_GT(b.stats.shard_pairs_executed, 0u);
+    EXPECT_EQ(b.stats.pairs_produced, b.results.size());
+  }
+
+  // Non-shardable algorithms and IDJ cursors fall back to the unsharded
+  // path on a sharded service.
+  service::JoinRequest hs;
+  hs.kdj_algorithm = KdjAlgorithm::kHsKdj;
+  hs.k = 50;
+  service::JoinResponse hs_resp = sharded_svc.Run(hs);
+  ASSERT_TRUE(hs_resp.status.ok()) << hs_resp.status.ToString();
+  EXPECT_EQ(hs_resp.stats.shard_pairs_executed, 0u);
+  EXPECT_EQ(hs_resp.results.size(), 50u);
+
+  service::JoinRequest idj;
+  idj.kind = service::JoinRequest::Kind::kIdj;
+  idj.k = 50;
+  service::JoinResponse idj_resp = sharded_svc.Run(idj);
+  ASSERT_TRUE(idj_resp.status.ok()) << idj_resp.status.ToString();
+  EXPECT_EQ(idj_resp.results.size(), 50u);
+}
+
+}  // namespace
+}  // namespace amdj::core

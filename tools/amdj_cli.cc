@@ -6,6 +6,7 @@
 //   amdj_cli join     --r=FILE --s=FILE --k=K [--algo=hs|b|am|sj]
 //                     [--metric=l2|l1|linf] [--estimator=uniform|histogram]
 //                     [--self] [--limit=N] [--stats]
+//                     [--shards=N] [--shard-threads=N]
 //                     [--trace=FILE] [--trace-jsonl=FILE]
 //                     [--report-json=FILE] [--report]
 //   amdj_cli stream   --r=FILE --s=FILE [--batch=N] [--batches=N]
@@ -24,6 +25,7 @@
 //   amdj_cli estimate --r=FILE --s=FILE --k=K
 //   amdj_cli batch    --r=FILE --s=FILE --requests=FILE [--inflight=N]
 //                     [--budget-kb=KB] [--spill-io-threads=N]
+//                     [--shards=N] [--shard-threads=N]
 //                     [--metric=l2|l1|linf] [--self]
 //       (alias: serve) replays a request file concurrently through the
 //       JoinService. Each non-empty, non-# line of the request file is
@@ -43,6 +45,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -56,6 +59,8 @@
 #include "core/distance_join.h"
 #include "core/dmax_estimator.h"
 #include "core/histogram_estimator.h"
+#include "core/partition.h"
+#include "core/shard_executor.h"
 #include "core/semi_join.h"
 #include "rtree/knn.h"
 #include "rtree/rtree.h"
@@ -137,6 +142,25 @@ LogLevel ParseLogLevel(const std::string& name) {
   if (name == "error") return LogLevel::kError;
   if (name == "off") return LogLevel::kOff;
   Args::Fail("unknown log level " + name + " (debug|info|warn|error|off)");
+}
+
+/// Presence-keyed positive-integer flag (same discipline as --log-level):
+/// an absent flag returns `fallback`, but a present flag must parse fully
+/// as an integer >= 1 — `--shards=0`, `--shards=-3`, or trailing junk are
+/// usage errors, never a silent fall-back to the default.
+uint32_t ParsePositiveFlag(const Args& args, const std::string& key,
+                           uint32_t fallback) {
+  if (!args.Has(key)) return fallback;
+  const std::string text = args.GetString(key);
+  char* end = nullptr;
+  const long long value =
+      text.empty() ? 0 : std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || *end != '\0' || value < 1 ||
+      value > std::numeric_limits<uint32_t>::max()) {
+    Args::Fail("--" + key + " must be a positive integer, got '" + text +
+               "'");
+  }
+  return static_cast<uint32_t>(value);
 }
 
 /// Shared --trace/--trace-jsonl/--report-json/--report handling for the
@@ -290,6 +314,14 @@ core::KdjAlgorithm ParseKdj(const std::string& name) {
 }
 
 int CmdJoin(const Args& args) {
+  // Flag validation fires before any dataset is touched.
+  const uint32_t shards = ParsePositiveFlag(args, "shards", 1);
+  const uint32_t shard_threads = ParsePositiveFlag(args, "shard-threads", 4);
+  const core::KdjAlgorithm algorithm = ParseKdj(args.GetString("algo", "am"));
+  if (shards > 1 && algorithm != core::KdjAlgorithm::kBKdj &&
+      algorithm != core::KdjAlgorithm::kAmKdj) {
+    Args::Fail("--shards requires --algo=b or --algo=am");
+  }
   Session session(args.Require("r"), args.Require("s"));
   const uint64_t k = args.GetUint("k", 10);
   core::JoinOptions options;
@@ -307,9 +339,27 @@ int CmdJoin(const Args& args) {
   obs.Wire(&options);
 
   JoinStats stats;
-  auto result = core::RunKDistanceJoin(
-      *session.r, *session.s, k, ParseKdj(args.GetString("algo", "am")),
-      options, &stats);
+  StatusOr<std::vector<core::ResultPair>> result =
+      std::vector<core::ResultPair>{};
+  if (shards > 1) {
+    core::PartitionOptions part;
+    part.shards = shards;
+    auto r_part = core::Partition::Build(session.r_data.ToEntries(),
+                                         session.pool.get(), part);
+    CheckOk(r_part.status());
+    auto s_part = core::Partition::Build(session.s_data.ToEntries(),
+                                         session.pool.get(), part);
+    CheckOk(s_part.status());
+    core::ShardedJoinOptions sharded;
+    sharded.join = options;
+    sharded.threads = shard_threads;
+    sharded.algorithm = algorithm;
+    result = core::RunShardedKDistanceJoin(*r_part, *s_part, k, sharded,
+                                           &stats);
+  } else {
+    result = core::RunKDistanceJoin(*session.r, *session.s, k, algorithm,
+                                    options, &stats);
+  }
   CheckOk(result.status());
   obs.Emit();
 
@@ -489,6 +539,9 @@ int CmdBatch(const Args& args) {
       static_cast<size_t>(args.GetUint("budget-kb", 4096)) * 1024;
   service_options.spill_io_threads =
       static_cast<uint32_t>(args.GetUint("spill-io-threads", 0));
+  service_options.shards = ParsePositiveFlag(args, "shards", 1);
+  service_options.shard_threads =
+      ParsePositiveFlag(args, "shard-threads", 4);
   service::JoinService service(*session.r, *session.s, service_options);
   std::fprintf(stderr,
                "%zu requests, %u in flight, %zu KB queue memory per query\n",

@@ -1,0 +1,68 @@
+# Regression test for --shards / --shard-threads parsing and routing:
+# zero, negative, and non-numeric values must exit with a usage error
+# (code 2) before any work happens; --shards only composes with the
+# algorithms that implement the shared-cutoff protocol; and a sharded
+# join must print byte-identical results to the unsharded run.
+
+function(expect_rejected pattern)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+        "expected usage-error exit 2, got ${rc}: ${ARGN}\n${out}${err}")
+  endif()
+  if(NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR
+        "expected '${pattern}' in stderr of: ${ARGN}\n${out}${err}")
+  endif()
+endfunction()
+
+function(expect_ok)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}${err}")
+  endif()
+endfunction()
+
+expect_ok(${CLI} generate --kind=uniform --n=600 --seed=11 --out=shards_r.ds)
+expect_ok(${CLI} generate --kind=clusters --n=400 --seed=12 --out=shards_s.ds)
+
+set(JOIN ${CLI} join --r=shards_r.ds --s=shards_s.ds --algo=am --k=80)
+
+expect_rejected("must be a positive integer" ${JOIN} --shards=0)
+expect_rejected("must be a positive integer" ${JOIN} --shards=-3)
+expect_rejected("must be a positive integer" ${JOIN} --shards=four)
+expect_rejected("must be a positive integer" ${JOIN} --shards=)
+expect_rejected("must be a positive integer" ${JOIN} --shards=2
+                --shard-threads=0)
+# The rejection must fire before datasets are touched.
+expect_rejected("must be a positive integer"
+                ${CLI} join --r=absent.ds --s=absent.ds --shards=0)
+# Only B-KDJ / AM-KDJ implement the shared-cutoff protocol.
+expect_rejected("--shards requires"
+                ${CLI} join --r=shards_r.ds --s=shards_s.ds --algo=hs
+                --k=80 --shards=2)
+
+# A sharded join must print the same results as the unsharded one.
+execute_process(COMMAND ${JOIN}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE base ERROR_QUIET
+                WORKING_DIRECTORY ${WORK_DIR})
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "unsharded join failed (${rc})")
+endif()
+execute_process(COMMAND ${JOIN} --shards=4 --shard-threads=2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE sharded ERROR_QUIET
+                WORKING_DIRECTORY ${WORK_DIR})
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded join failed (${rc})")
+endif()
+if(NOT base STREQUAL sharded)
+  message(FATAL_ERROR
+      "sharded join output differs from unsharded:\n--- unsharded\n"
+      "${base}\n--- sharded\n${sharded}")
+endif()
