@@ -1,0 +1,288 @@
+// Open-loop throughput of the JoinService: requests arrive on a Poisson
+// process at a fixed offered rate, independent of completions — unlike the
+// closed-loop multi_query_throughput replay, the arrival clock never waits
+// for the service, so queueing delay past the saturation knee shows up in
+// the tail instead of silently throttling the load (the coordinated-
+// omission failure mode of closed-loop benches).
+//
+// The capacity is first measured with a closed-loop calibration replay;
+// the open-loop phases then offer 0.5x, 0.8x and 1.2x of it. Per-request
+// latency = dispatcher lag (how late the submit ran vs its scheduled
+// arrival — counting it is the omission correction) + admission wait +
+// execution, recorded into the metrics-registry histogram
+// amdj_bench_open_loop_latency_ns{rate="<ratio>"} and summarized as
+// p50/p99/p999 straight off the registry, exercising the same percentile
+// path `amdj_cli serve` exports.
+//
+// --json=FILE writes a {"bench":"open_loop_throughput",...} summary for
+// BENCH_PR*.json tracking.
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "service/join_service.h"
+
+namespace amdj::bench {
+namespace {
+
+/// Mixed KDJ/IDJ query set, small enough that one query is a few
+/// milliseconds: open-loop needs many completions per rate for stable
+/// tail percentiles, not a few heavy joins.
+std::vector<service::JoinRequest> MakeQueryMix(uint64_t scale) {
+  std::vector<service::JoinRequest> requests;
+  using Kind = service::JoinRequest::Kind;
+  const struct {
+    Kind kind;
+    core::KdjAlgorithm kdj;
+    core::IdjAlgorithm idj;
+    uint64_t k;
+  } specs[] = {
+      {Kind::kKdj, core::KdjAlgorithm::kAmKdj, {}, 4 * scale},
+      {Kind::kKdj, core::KdjAlgorithm::kBKdj, {}, 2 * scale},
+      {Kind::kIdj, {}, core::IdjAlgorithm::kAmIdj, 3 * scale},
+      {Kind::kKdj, core::KdjAlgorithm::kAmKdj, {}, scale},
+      {Kind::kIdj, {}, core::IdjAlgorithm::kHsIdj, scale},
+  };
+  for (const auto& spec : specs) {
+    service::JoinRequest request;
+    request.kind = spec.kind;
+    request.kdj_algorithm = spec.kdj;
+    request.idj_algorithm = spec.idj;
+    request.k = spec.k;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+struct RateResult {
+  double ratio;         ///< offered rate as a fraction of capacity
+  double offered_qps;   ///< the Poisson arrival rate
+  double achieved_qps;  ///< completions / wall
+  uint64_t completed;
+  double p50_ms;
+  double p99_ms;
+  double p999_ms;
+  double mean_ms;
+};
+
+/// One open-loop phase: `n` requests with exponential inter-arrivals at
+/// `offered_qps`, latencies into the per-rate registry histogram.
+RateResult RunOpenLoop(service::JoinService& service,
+                       const std::vector<service::JoinRequest>& mix,
+                       double ratio, double offered_qps, uint64_t n,
+                       uint64_t seed) {
+  char label[64];
+  std::snprintf(label, sizeof(label), "rate=\"%.1fx\"", ratio);
+  Histogram* latency = MetricsRegistry::Global()->GetHistogram(
+      "amdj_bench_open_loop_latency_ns", label,
+      "Open-loop request latency (dispatcher lag + wait + exec)");
+  const Histogram::Snapshot before = latency->TakeSnapshot();
+
+  Random rng(seed);
+  std::vector<double> arrivals;  // seconds since phase start
+  arrivals.reserve(n);
+  double clock = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    clock += rng.Exponential(offered_qps);
+    arrivals.push_back(clock);
+  }
+
+  struct Pending {
+    std::future<service::JoinResponse> future;
+    double lag_seconds;  // how late the submit ran vs its arrival time
+  };
+  std::vector<Pending> pending;
+  pending.reserve(n);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    const double due = arrivals[i];
+    double now = elapsed();
+    if (now < due) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(due - now));
+      now = elapsed();
+    }
+    pending.push_back({service.Submit(mix[i % mix.size()]),
+                       std::max(0.0, now - due)});
+  }
+  uint64_t completed = 0;
+  for (auto& p : pending) {
+    const service::JoinResponse response = p.future.get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "FATAL: open-loop query failed: %s\n",
+                   response.status.ToString().c_str());
+      std::exit(1);
+    }
+    ++completed;
+    const double seconds =
+        p.lag_seconds + response.wait_seconds + response.exec_seconds;
+    latency->Observe(static_cast<uint64_t>(seconds * 1e9));
+  }
+  const double wall = elapsed();
+
+  // Percentiles come from the registry histogram — the same p50/p99/p999
+  // extraction serve-mode exposition uses — minus the calibration-free
+  // `before` counts in case a prior phase shared the label.
+  Histogram::Snapshot snap = latency->TakeSnapshot();
+  snap.count -= before.count;
+  snap.sum -= before.sum;
+  for (size_t b = 0; b < snap.buckets.size(); ++b) {
+    snap.buckets[b] -= before.buckets[b];
+  }
+  RateResult r;
+  r.ratio = ratio;
+  r.offered_qps = offered_qps;
+  r.achieved_qps = wall > 0 ? completed / wall : 0.0;
+  r.completed = completed;
+  r.p50_ms = snap.Percentile(0.50) / 1e6;
+  r.p99_ms = snap.Percentile(0.99) / 1e6;
+  r.p999_ms = snap.Percentile(0.999) / 1e6;
+  r.mean_ms = snap.count > 0
+                  ? static_cast<double>(snap.sum) / snap.count / 1e6
+                  : 0.0;
+  return r;
+}
+
+void Run(int argc, char** argv) {
+  // --json and --requests-per-rate are this bench's own flags; strip them
+  // before the shared parser (which rejects unknown arguments).
+  std::string json_path;
+  uint64_t requests_per_rate = 150;
+  std::vector<char*> shared_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--requests-per-rate=", 0) == 0) {
+      requests_per_rate = std::strtoull(arg.substr(20).c_str(), nullptr, 10);
+    } else {
+      shared_args.push_back(argv[i]);
+    }
+  }
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(
+      static_cast<int>(shared_args.size()), shared_args.data()));
+  PrintHeader("Open-loop throughput (Poisson arrivals, JoinService)", env);
+
+  const uint64_t scale = env.config.streets >= 100'000 ? 400 : 100;
+  const std::vector<service::JoinRequest> mix = MakeQueryMix(scale);
+
+  const uint32_t cores = std::max(1u, std::thread::hardware_concurrency());
+  service::JoinService::Options options;
+  options.max_inflight = std::min(cores, 4u);
+  options.queue_memory_budget_bytes =
+      env.config.memory_bytes * options.max_inflight;
+  service::JoinService service(*env.streets, *env.hydro, options);
+
+  // Closed-loop calibration: replay the mix a few times with the pool
+  // warm to measure service capacity. The open-loop rates are fractions
+  // of this, so the bench lands on both sides of the knee on any host.
+  const uint64_t calibration_n = std::max<uint64_t>(40, mix.size() * 8);
+  {
+    std::vector<std::future<service::JoinResponse>> futures;
+    futures.reserve(calibration_n);
+    Timer wall;
+    for (uint64_t i = 0; i < calibration_n; ++i) {
+      futures.push_back(service.Submit(mix[i % mix.size()]));
+    }
+    for (auto& future : futures) {
+      const service::JoinResponse response = future.get();
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "FATAL: calibration query failed: %s\n",
+                     response.status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    const double capacity_qps = calibration_n / wall.ElapsedSeconds();
+    std::printf("calibration: %" PRIu64 " queries, capacity %.1f qps "
+                "(inflight %u)\n\n",
+                calibration_n, capacity_qps, options.max_inflight);
+
+    const std::vector<int> widths = {8, 12, 12, 10, 10, 10, 10, 10};
+    PrintRow({"rate", "offered", "achieved", "n", "p50 ms", "p99 ms",
+              "p999 ms", "mean ms"},
+             widths);
+    std::vector<RateResult> results;
+    // 1.2x is past the knee by construction: offered > capacity means the
+    // admission queue grows for the whole phase and the tail shows it.
+    for (const double ratio : {0.5, 0.8, 1.2}) {
+      const RateResult r =
+          RunOpenLoop(service, mix, ratio, ratio * capacity_qps,
+                      requests_per_rate,
+                      env.config.seed + static_cast<uint64_t>(1000 * ratio));
+      char ratio_s[16], offered[32], achieved[32], p50[32], p99[32],
+          p999[32], mean[32];
+      std::snprintf(ratio_s, sizeof(ratio_s), "%.1fx", r.ratio);
+      std::snprintf(offered, sizeof(offered), "%.1f", r.offered_qps);
+      std::snprintf(achieved, sizeof(achieved), "%.1f", r.achieved_qps);
+      std::snprintf(p50, sizeof(p50), "%.2f", r.p50_ms);
+      std::snprintf(p99, sizeof(p99), "%.2f", r.p99_ms);
+      std::snprintf(p999, sizeof(p999), "%.2f", r.p999_ms);
+      std::snprintf(mean, sizeof(mean), "%.2f", r.mean_ms);
+      PrintRow({ratio_s, offered, achieved, std::to_string(r.completed),
+                p50, p99, p999, mean},
+               widths);
+      results.push_back(r);
+    }
+
+    // Sanity: the past-knee phase must show the queueing-delay blowup the
+    // open-loop design exists to expose.
+    if (results.back().p99_ms < results.front().p99_ms) {
+      std::fprintf(stderr,
+                   "WARNING: p99 at 1.2x (%.2f ms) below p99 at 0.5x "
+                   "(%.2f ms); host too noisy for a knee\n",
+                   results.back().p99_ms, results.front().p99_ms);
+    }
+
+    if (!json_path.empty()) {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        std::exit(1);
+      }
+      std::fprintf(out,
+                   "{\"bench\": \"open_loop_throughput\", \"cores\": %u, "
+                   "\"inflight\": %u, \"capacity_qps\": %.2f, "
+                   "\"requests_per_rate\": %" PRIu64 ", \"rates\": [",
+                   cores, options.max_inflight, capacity_qps,
+                   requests_per_rate);
+      for (size_t i = 0; i < results.size(); ++i) {
+        const RateResult& r = results[i];
+        std::fprintf(out,
+                     "%s\n  {\"ratio\": %.2f, \"offered_qps\": %.2f, "
+                     "\"achieved_qps\": %.2f, \"completed\": %" PRIu64 ", "
+                     "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                     "\"p999_ms\": %.3f, \"mean_ms\": %.3f}",
+                     i == 0 ? "" : ",", r.ratio, r.offered_qps,
+                     r.achieved_qps, r.completed, r.p50_ms, r.p99_ms,
+                     r.p999_ms, r.mean_ms);
+      }
+      std::fprintf(out, "\n]}\n");
+      std::fclose(out);
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amdj::bench
+
+int main(int argc, char** argv) {
+  amdj::bench::Run(argc, argv);
+  return 0;
+}

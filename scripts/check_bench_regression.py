@@ -20,6 +20,16 @@ Three input shapes, combinable:
                         (default 1.25, tight because counters don't carry
                         machine noise: a counter regression is an algorithm
                         change, not a slow runner).
+  --wall-baseline A --wall-current B [--max-wall-ratio R] [--wall-bench N]*
+                        A/B overhead guard over two wall-file-format files
+                        measured in the SAME CI run (e.g. AMDJ_METRICS=0 vs
+                        =1), so a tight ratio like 1.02 is meaningful where
+                        a cross-run 1.02 would drown in machine variance.
+                        Repeated lines for one bench take the MINIMUM wall
+                        time (the standard noise-robust statistic — run
+                        each side 3x and the floor is the honest cost).
+                        --wall-bench restricts the comparison and makes the
+                        named benches REQUIRED in both files.
 
 Absolute limits come from repeated `--limit name=value` flags: milliseconds
 for --wall-file entries, nanoseconds for --gbench entries. A limit whose
@@ -117,6 +127,54 @@ def check_ratio(baseline_path, current_path, max_ratio, failures):
             print(f"ok: {name} {cur_ms} ms vs {base_ms} ms ({ratio:.2f}x)")
 
 
+def read_wall_mins(path, failures):
+    """Parses a wall-file (`<name> <wall_ms> <exit_code>` lines) into
+    {name: min wall_ms}. A non-zero exit code is itself a failure."""
+    mins = {}
+    with open(path) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) < 3:
+                continue
+            name, wall_ms, exit_code = parts[0], float(parts[1]), int(parts[2])
+            if exit_code != 0:
+                failures.append(f"{path}: {name} exited {exit_code}")
+                continue
+            mins[name] = min(mins.get(name, wall_ms), wall_ms)
+    return mins
+
+
+def check_ab_wall(baseline_path, current_path, max_ratio, only, failures):
+    """Same-run A/B wall comparison (e.g. metrics off vs on). Ratios are
+    taken on per-bench minimum wall over repeats; with `only` set, those
+    benches must appear in both files — a missing measurement must not
+    silently disarm the overhead guard."""
+    base = read_wall_mins(baseline_path, failures)
+    cur = read_wall_mins(current_path, failures)
+    names = sorted(only) if only else sorted(set(base) & set(cur))
+    compared = 0
+    for name in names:
+        if name not in base or name not in cur:
+            failures.append(f"{name}: missing from "
+                            f"{baseline_path if name not in base else current_path}")
+            continue
+        if base[name] <= 0:
+            continue
+        compared += 1
+        ratio = cur[name] / base[name]
+        if ratio > max_ratio:
+            failures.append(
+                f"{name}: {cur[name]:.0f} ms vs A-side {base[name]:.0f} ms "
+                f"({ratio:.3f}x > {max_ratio}x)")
+        else:
+            print(f"ok: {name} {cur[name]:.0f} ms vs {base[name]:.0f} ms "
+                  f"({ratio:.3f}x, limit {max_ratio}x)")
+    if compared == 0:
+        failures.append(
+            f"no benches common to {baseline_path} and {current_path}: "
+            "the A/B wall guard is disarmed")
+
+
 def figure_runs(doc):
     """Flatten a BENCH_*.json figures section into {key: run} where key
     identifies a run across files: (figure bench, run label, k)."""
@@ -177,11 +235,21 @@ def main():
                         help="also diff figure work counters in "
                              "--baseline/--current mode")
     parser.add_argument("--max-work-ratio", type=float, default=1.25)
+    parser.add_argument("--wall-baseline")
+    parser.add_argument("--wall-current")
+    parser.add_argument("--max-wall-ratio", type=float, default=1.02)
+    parser.add_argument("--wall-bench", action="append", default=[],
+                        metavar="NAME",
+                        help="restrict the A/B wall guard to NAME (repeat); "
+                             "named benches become required")
     args = parser.parse_args()
 
     if bool(args.baseline) != bool(args.current):
         sys.exit("error: --baseline and --current go together")
-    if not (args.wall_file or args.gbench or args.baseline):
+    if bool(args.wall_baseline) != bool(args.wall_current):
+        sys.exit("error: --wall-baseline and --wall-current go together")
+    if not (args.wall_file or args.gbench or args.baseline
+            or args.wall_baseline):
         sys.exit("error: nothing to check")
 
     limits = parse_limits(args.limit)
@@ -196,6 +264,9 @@ def main():
         if args.work:
             check_work_counters(args.baseline, args.current,
                                 args.max_work_ratio, failures)
+    if args.wall_baseline:
+        check_ab_wall(args.wall_baseline, args.wall_current,
+                      args.max_wall_ratio, args.wall_bench, failures)
 
     unused = set(limits) - used
     if unused:

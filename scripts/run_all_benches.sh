@@ -5,14 +5,16 @@
 #   scripts/run_all_benches.sh build results --streets=633461 --hydro=189642
 #
 # Besides the human-readable tables in OUT_DIR, assembles a machine-readable
-# BENCH_PR7.json at the repo root: per figure-bench the wall ms, node
+# BENCH_PR8.json at the repo root: per figure-bench the wall ms, node
 # accesses and distance computations of every measured run (emitted by
 # bench_common via AMDJ_BENCH_JSON), per microbench the google-benchmark
 # JSON entries including custom counters (per-op push/pop latency, queue
-# splits/swap-ins/prefetch hits) — so the perf trajectory is tracked PR
-# over PR against the checked-in BENCH_PR2.json baseline. Each figure
-# bench also gets a <name>.reports.jsonl of per-run RunReport JSON (phase
-# deltas + cutoff trajectory) via AMDJ_BENCH_REPORT_JSON.
+# splits/swap-ins/prefetch hits), and per throughput-bench (the closed-loop
+# multi_query replay and the open-loop Poisson bench) its own --json
+# summary with qps and p50/p99/p999 latency — so the perf trajectory is
+# tracked PR over PR against the checked-in BENCH_PR2.json baseline. Each
+# figure bench also gets a <name>.reports.jsonl of per-run RunReport JSON
+# (phase deltas + cutoff trajectory) via AMDJ_BENCH_REPORT_JSON.
 set -u
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -38,9 +40,18 @@ for bench in "$BUILD_DIR"/bench/*; do
       --benchmark_out_format=json >"$OUT_DIR/$name.txt" 2>&1
   else
     rm -f "$OUT_DIR/json/$name.jsonl" "$OUT_DIR/json/$name.reports.jsonl"
+    # The throughput benches publish their summaries via their own --json
+    # flag (qps, p50/p99/p999) instead of per-run AMDJ_BENCH_JSON lines.
+    SUMMARY_FLAGS=()
+    case "$name" in
+      multi_query_throughput|open_loop_throughput)
+        rm -f "$OUT_DIR/json/$name.summary.json"
+        SUMMARY_FLAGS=("--json=$OUT_DIR/json/$name.summary.json") ;;
+    esac
     AMDJ_BENCH_NAME="$name" AMDJ_BENCH_JSON="$OUT_DIR/json/$name.jsonl" \
       AMDJ_BENCH_REPORT_JSON="$OUT_DIR/json/$name.reports.jsonl" \
-      "$bench" "${EXTRA_FLAGS[@]}" >"$OUT_DIR/$name.txt" 2>&1
+      "$bench" "${SUMMARY_FLAGS[@]}" "${EXTRA_FLAGS[@]}" \
+      >"$OUT_DIR/$name.txt" 2>&1
   fi
   rc=$?
   end_ns=$(date +%s%N)
@@ -51,7 +62,7 @@ for bench in "$BUILD_DIR"/bench/*; do
   fi
 done
 
-# Assemble BENCH_PR7.json from the per-bench artifacts.
+# Assemble BENCH_PR8.json from the per-bench artifacts.
 if command -v jq >/dev/null 2>&1; then
   {
     # bench -> total wall ms and exit code, as measured by this script
@@ -84,16 +95,22 @@ if command -v jq >/dev/null 2>&1; then
                               "iterations", "family_index",
                               "per_family_instance_index") | not))))]}}' "$f"
     done | jq -s 'add // {}' >"$OUT_DIR/json/_micro.json"
+    # throughput benches: their --json summaries, keyed by bench name
+    for f in "$OUT_DIR"/json/*.summary.json; do
+      [ -e "$f" ] || continue
+      jq '{(.bench // "unknown"): .}' "$f"
+    done | jq -s 'add // {}' >"$OUT_DIR/json/_throughput.json"
     jq -s '{schema: "amdj-bench-v1",
             flags: $flags,
-            wall: .[0], figures: .[1], micro: .[2]}' \
+            wall: .[0], figures: .[1], micro: .[2], throughput: .[3]}' \
        --arg flags "${EXTRA_FLAGS[*]:-}" \
        "$OUT_DIR/json/_wall.json" "$OUT_DIR/json/_figs.json" \
-       "$OUT_DIR/json/_micro.json" >"$REPO_ROOT/BENCH_PR7.json"
-    echo "wrote $REPO_ROOT/BENCH_PR7.json"
-  } || { echo "BENCH_PR7.json assembly failed" >&2; status=1; }
+       "$OUT_DIR/json/_micro.json" "$OUT_DIR/json/_throughput.json" \
+       >"$REPO_ROOT/BENCH_PR8.json"
+    echo "wrote $REPO_ROOT/BENCH_PR8.json"
+  } || { echo "BENCH_PR8.json assembly failed" >&2; status=1; }
 else
-  echo "jq not found: skipping BENCH_PR7.json" >&2
+  echo "jq not found: skipping BENCH_PR8.json" >&2
 fi
 
 echo "outputs in $OUT_DIR/"

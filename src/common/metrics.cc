@@ -1,0 +1,279 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace amdj {
+
+namespace metrics_internal {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* value = std::getenv("AMDJ_METRICS");
+  if (value == nullptr) return true;
+  return !(std::strcmp(value, "0") == 0 || std::strcmp(value, "false") == 0 ||
+           std::strcmp(value, "off") == 0);
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{EnabledFromEnv()};
+std::atomic<size_t> g_next_thread_slot{0};
+
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket geometry
+
+namespace {
+
+/// Index of the most significant set bit (value must be non-zero).
+inline int MsbIndex(uint64_t value) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(value);
+#else
+  int index = 0;
+  while (value >>= 1) ++index;
+  return index;
+#endif
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) return static_cast<size_t>(value);  // exact unit buckets
+  const int octave = MsbIndex(value);                 // >= kSubBits
+  const uint64_t sub = (value >> (octave - kSubBits)) & 15u;
+  return 16 + static_cast<size_t>(octave - kSubBits) * 16 +
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < 16) return static_cast<uint64_t>(index);
+  const size_t block = (index - 16) / 16;
+  const size_t sub = (index - 16) % 16;
+  const int octave = static_cast<int>(block) + kSubBits;
+  return (uint64_t{1} << octave) +
+         static_cast<uint64_t>(sub) * (uint64_t{1} << (octave - kSubBits));
+}
+
+uint64_t Histogram::BucketWidth(size_t index) {
+  if (index < 16) return 1;
+  const size_t block = (index - 16) / 16;
+  const int octave = static_cast<int>(block) + kSubBits;
+  return uint64_t{1} << (octave - kSubBits);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = c;
+    snap.count += c;
+  }
+  for (const auto& s : sum_shards_) {
+    snap.sum += s.v.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Exact rank over the snapshot: the smallest value v such that at least
+  // ceil(q * count) observations are <= v, resolved to its bucket.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // Midpoint halves the worst-case error vs. either edge; width <=
+      // lower_bound / 16, so relative error <= 1/32.
+      return static_cast<double>(BucketLowerBound(i)) +
+             static_cast<double>(BucketWidth(i)) / 2.0;
+    }
+  }
+  return static_cast<double>(BucketLowerBound(buckets.size() - 1));
+}
+
+uint64_t Histogram::Snapshot::MaxUpperBound() const {
+  for (size_t i = buckets.size(); i > 0; --i) {
+    if (buckets[i - 1] != 0) {
+      return BucketLowerBound(i - 1) + BucketWidth(i - 1);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels,
+                                     const std::string& help) {
+  const MutexLock lock(&mu_);
+  Entry<Counter>& entry = counters_[Key{name, labels}];
+  if (entry.metric == nullptr) {
+    entry.metric = std::unique_ptr<Counter>(new Counter());
+    entry.help = help;
+  }
+  return entry.metric.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help) {
+  const MutexLock lock(&mu_);
+  Entry<Gauge>& entry = gauges_[Key{name, labels}];
+  if (entry.metric == nullptr) {
+    entry.metric = std::unique_ptr<Gauge>(new Gauge());
+    entry.help = help;
+  }
+  return entry.metric.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         const std::string& help) {
+  const MutexLock lock(&mu_);
+  Entry<Histogram>& entry = histograms_[Key{name, labels}];
+  if (entry.metric == nullptr) {
+    entry.metric = std::unique_ptr<Histogram>(new Histogram());
+    entry.help = help;
+  }
+  return entry.metric.get();
+}
+
+namespace {
+
+/// `name{labels}` or bare `name`; `extra` appends one more label pair.
+std::string Identity(const std::string& name, const std::string& labels,
+                     const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string joined = labels;
+  if (!extra.empty()) {
+    if (!joined.empty()) joined += ",";
+    joined += extra;
+  }
+  return name + "{" + joined + "}";
+}
+
+void AppendFamilyHeader(std::ostringstream* out, const std::string& name,
+                        const std::string& type, const std::string& help,
+                        std::string* last_family) {
+  if (*last_family == name) return;  // one header per family
+  *last_family = name;
+  if (!help.empty()) *out << "# HELP " << name << " " << help << "\n";
+  *out << "# TYPE " << name << " " << type << "\n";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const MutexLock lock(&mu_);
+  std::ostringstream out;
+  std::string last_family;
+  for (const auto& [key, entry] : counters_) {
+    AppendFamilyHeader(&out, key.name, "counter", entry.help, &last_family);
+    out << Identity(key.name, key.labels) << " " << entry.metric->Value()
+        << "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, entry] : gauges_) {
+    AppendFamilyHeader(&out, key.name, "gauge", entry.help, &last_family);
+    out << Identity(key.name, key.labels) << " " << entry.metric->Value()
+        << "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, entry] : histograms_) {
+    AppendFamilyHeader(&out, key.name, "summary", entry.help, &last_family);
+    const Histogram::Snapshot snap = entry.metric->TakeSnapshot();
+    const struct {
+      const char* label;
+      double q;
+    } quantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99},
+                     {"0.999", 0.999}};
+    for (const auto& quantile : quantiles) {
+      out << Identity(key.name, key.labels,
+                      std::string("quantile=\"") + quantile.label + "\"")
+          << " " << FormatDouble(snap.Percentile(quantile.q)) << "\n";
+    }
+    out << Identity(key.name + "_sum", key.labels) << " " << snap.sum << "\n";
+    out << Identity(key.name + "_count", key.labels) << " " << snap.count
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const MutexLock lock(&mu_);
+  std::ostringstream out;
+  out << "{\"schema\":\"amdj-metrics-v1\",\"enabled\":"
+      << (MetricsEnabled() ? "true" : "false");
+  out << ",\"counters\":[";
+  bool first = true;
+  for (const auto& [key, entry] : counters_) {
+    out << (first ? "" : ",") << "{\"name\":\"" << JsonEscape(key.name)
+        << "\",\"labels\":\"" << JsonEscape(key.labels)
+        << "\",\"value\":" << entry.metric->Value() << "}";
+    first = false;
+  }
+  out << "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, entry] : gauges_) {
+    out << (first ? "" : ",") << "{\"name\":\"" << JsonEscape(key.name)
+        << "\",\"labels\":\"" << JsonEscape(key.labels)
+        << "\",\"value\":" << entry.metric->Value() << "}";
+    first = false;
+  }
+  out << "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, entry] : histograms_) {
+    const Histogram::Snapshot snap = entry.metric->TakeSnapshot();
+    out << (first ? "" : ",") << "{\"name\":\"" << JsonEscape(key.name)
+        << "\",\"labels\":\"" << JsonEscape(key.labels)
+        << "\",\"count\":" << snap.count << ",\"sum\":" << snap.sum
+        << ",\"p50\":" << FormatDouble(snap.Percentile(0.5))
+        << ",\"p95\":" << FormatDouble(snap.Percentile(0.95))
+        << ",\"p99\":" << FormatDouble(snap.Percentile(0.99))
+        << ",\"p999\":" << FormatDouble(snap.Percentile(0.999))
+        << ",\"max_le\":" << snap.MaxUpperBound() << "}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace amdj

@@ -26,6 +26,17 @@ void NameCurrentThread(const std::string& name) {
 
 ThreadPool::ThreadPool(size_t num_threads, const std::string& name_prefix)
     : name_prefix_(name_prefix) {
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  const std::string pool_label = "pool=\"" + name_prefix_ + "\"";
+  tasks_total_metric_ =
+      registry->GetCounter("amdj_pool_tasks_total", pool_label,
+                           "Tasks executed to completion by the pool");
+  queued_tasks_metric_ =
+      registry->GetGauge("amdj_pool_queued_tasks", pool_label,
+                         "Tasks submitted but not yet started");
+  busy_workers_metric_ =
+      registry->GetGauge("amdj_pool_busy_workers", pool_label,
+                         "Workers currently running a task");
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -53,6 +64,7 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
     AMDJ_CHECK(!shutting_down_) << "Submit on a shutting-down ThreadPool";
     tasks_.push_back(std::move(fn));
   }
+  queued_tasks_metric_->Increment();
   wake_.NotifyOne();
 }
 
@@ -68,7 +80,12 @@ void ThreadPool::WorkerLoop(size_t index) {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    queued_tasks_metric_->Decrement();
+    {
+      const ScopedGauge busy(busy_workers_metric_);
+      task();
+    }
+    tasks_total_metric_->Increment();
   }
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 
 namespace amdj {
@@ -66,6 +67,12 @@ class ThreadPool {
   void WorkerLoop(size_t index) AMDJ_EXCLUDES(mutex_);
 
   const std::string name_prefix_;
+  /// Utilization metrics, keyed by pool name (resolved once here; pools
+  /// sharing a name_prefix share the series). Raw pointers into the global
+  /// registry — stable for the process lifetime.
+  Counter* tasks_total_metric_;
+  Gauge* queued_tasks_metric_;
+  Gauge* busy_workers_metric_;
   mutable Mutex mutex_;
   CondVar wake_;
   std::deque<std::function<void()>> tasks_ AMDJ_GUARDED_BY(mutex_);

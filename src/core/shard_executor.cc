@@ -10,7 +10,9 @@
 #include <utility>
 
 #include "common/annotations.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/run_report.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -98,6 +100,47 @@ struct SharedState {
   uint64_t executed AMDJ_GUARDED_BY(mu) = 0;
 };
 
+/// Live metrics for the sharded executor (process-wide; the per-query view
+/// is JoinStats). Stage histograms share one family, split by stage label.
+struct ShardMetrics {
+  Histogram* stage_plan_ns;
+  Histogram* stage_probe_ns;
+  Histogram* stage_topup_ns;
+  Histogram* stage_merge_ns;
+  Gauge* pairs_running;
+  Counter* pairs_pruned_bounds;
+  Counter* pairs_pruned_cutoff;
+  Counter* pairs_executed;
+};
+
+ShardMetrics& GlobalShardMetrics() {
+  static ShardMetrics metrics = [] {
+    MetricsRegistry* registry = MetricsRegistry::Global();
+    const auto stage = [registry](const char* name) {
+      return registry->GetHistogram(
+          "amdj_shard_stage_ns", std::string("stage=\"") + name + "\"",
+          "Wall time of one sharded-join stage");
+    };
+    return ShardMetrics{
+        stage("plan"),
+        stage("probe"),
+        stage("topup"),
+        stage("merge"),
+        registry->GetGauge("amdj_shard_pairs_running", "",
+                           "Shard pairs currently executing"),
+        registry->GetCounter("amdj_shard_pairs_pruned_total",
+                             "reason=\"bounds\"",
+                             "Shard pairs skipped before or during dispatch"),
+        registry->GetCounter("amdj_shard_pairs_pruned_total",
+                             "reason=\"cutoff\"",
+                             "Shard pairs skipped before or during dispatch"),
+        registry->GetCounter("amdj_shard_pairs_executed_total", "",
+                             "Shard pairs that ran a per-pair join"),
+    };
+  }();
+  return metrics;
+}
+
 }  // namespace
 
 StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
@@ -121,12 +164,23 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
   Timer wall;
   const geom::Metric metric = options.join.metric;
   Tracer* const tracer = options.join.tracer;
+  // The executor drives the report itself: per-pair joins run with
+  // per.report = nullptr (a RunReport is coordinator-confined and phases
+  // from concurrent pairs would interleave), so phases here are the
+  // executor's own stages, with worker counters folded into *stats at each
+  // quiescent phase boundary so the deltas land in the right phase.
+  RunReport* const report = options.join.report;
+  if (report != nullptr) {
+    report->SetMeta(std::string("sharded-") + ToString(options.algorithm), k);
+    report->BeginPhase("shard-plan", *stats);
+  }
 
   // --- Plan: enumerate non-empty shard pairs and their bounds. ---
   std::vector<PairTask> tasks;
   std::vector<PairTask> survivors;
   double bound_u = std::numeric_limits<double>::infinity();
   {
+    const ScopedLatencyTimer plan_timer(GlobalShardMetrics().stage_plan_ns);
     TraceSpan plan_span(tracer, "shard_plan",
                         {{"r_shards", static_cast<double>(r.shards().size())},
                          {"s_shards", static_cast<double>(s.shards().size())}});
@@ -187,6 +241,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
     for (const PairTask& t : tasks) {
       if (t.min_key > bound_u) {
         ++stats->shard_pairs_pruned_bounds;
+        GlobalShardMetrics().pairs_pruned_bounds->Increment();
         AMDJ_TRACE(tracer,
                    Instant("shard_pair_pruned_bounds",
                            {{"r_shard", static_cast<double>(t.r_shard)},
@@ -208,6 +263,9 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
                Instant("shard_bound",
                        {{"bound_key", bound_u},
                         {"survivors", static_cast<double>(survivors.size())}}));
+  }
+  if (report != nullptr && std::isfinite(bound_u)) {
+    report->OnCutoff("shard_bound_u", geom::KeyToDistance(bound_u, metric), 0);
   }
 
   // Shard-local Eq.-3 composition (the tiles double as a coarse 2-d
@@ -250,10 +308,12 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
                           {"s_shard", static_cast<double>(t.s_shard)},
                           {"min_key", t.min_key},
                           {"cutoff_key", seen}}));
+      GlobalShardMetrics().pairs_pruned_cutoff->Increment();
       MutexLock lock(&state.mu);
       ++state.pruned_cutoff;
       return;
     }
+    const ScopedGauge running_gauge(GlobalShardMetrics().pairs_running);
 
     JoinOptions per = options.join;
     per.parallelism = 1;  // parallelism lives at the shard level
@@ -329,6 +389,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
 
     pair_stats.pairs_produced = 0;  // re-credited from the merged output
     pair_stats.cpu_seconds = 0.0;   // the executor charges wall clock once
+    if (phase == 0) GlobalShardMetrics().pairs_executed->Increment();
     MutexLock lock(&state.mu);
     if (phase == 0) ++state.executed;
     state.agg.Add(pair_stats);
@@ -336,9 +397,27 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
     state.runs[slot] = std::move(run);
   };
 
+  // Folds the worker-side counters into *stats and clears them, so each
+  // fold (and with it each report phase delta) carries only the work since
+  // the previous one. Callers must have joined the workers first.
+  const auto fold_state = [&state, stats]() -> Status {
+    MutexLock lock(&state.mu);
+    if (!state.first_error.ok()) return state.first_error;
+    stats->shard_pairs_pruned_cutoff += state.pruned_cutoff;
+    stats->shard_pairs_executed += state.executed;
+    state.pruned_cutoff = 0;
+    state.executed = 0;
+    stats->Add(state.agg);
+    state.agg = JoinStats();
+    return Status::OK();
+  };
+
   {
     ThreadPool pool(options.threads, "amdj-shard");
+    if (report != nullptr) report->BeginPhase("shard-probe", *stats);
     {
+      const ScopedLatencyTimer probe_timer(
+          GlobalShardMetrics().stage_probe_ns);
       std::vector<std::future<void>> futures;
       futures.reserve(survivors.size());
       for (size_t i = 0; i < survivors.size(); ++i) {
@@ -346,6 +425,15 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
             pool.Submit([&run_pair, i, k_probe] { run_pair(i, k_probe, 0); }));
       }
       for (std::future<void>& f : futures) f.get();
+    }
+    AMDJ_RETURN_IF_ERROR(fold_state());
+    if (report != nullptr) {
+      const double pooled = cutoff.Current();
+      if (std::isfinite(pooled)) {
+        report->OnCutoff("shard_probe_cutoff",
+                         geom::KeyToDistance(pooled, metric), 0);
+      }
+      report->BeginPhase("shard-topup", *stats);
     }
 
     // --- Top-up: complete the pairs the probe cap truncated inside the
@@ -356,6 +444,8 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
     // re-runs at full k — now against a tight bound, so it only walks its
     // actual share of the top-k.
     if (k_probe < k) {
+      const ScopedLatencyTimer topup_timer(
+          GlobalShardMetrics().stage_topup_ns);
       std::vector<size_t> topup;
       const double published = cutoff.Current();
       {
@@ -383,18 +473,17 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
     }
   }
 
+  AMDJ_RETURN_IF_ERROR(fold_state());
   std::vector<std::vector<MergeEntry>> runs;
   {
     MutexLock lock(&state.mu);  // workers joined; taken for the annotations
-    if (!state.first_error.ok()) return state.first_error;
-    stats->shard_pairs_pruned_cutoff += state.pruned_cutoff;
-    stats->shard_pairs_executed += state.executed;
-    stats->Add(state.agg);
     runs = std::move(state.runs);  // pruned slots stay as empty runs
   }
+  if (report != nullptr) report->BeginPhase("shard-merge", *stats);
 
   std::vector<ResultPair> out;
   {
+    const ScopedLatencyTimer merge_timer(GlobalShardMetrics().stage_merge_ns);
     TraceSpan merge_span(tracer, "shard_merge",
                          {{"runs", static_cast<double>(runs.size())}});
     const std::vector<MergeEntry> merged =
@@ -404,6 +493,12 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
   }
   stats->pairs_produced += out.size();
   stats->cpu_seconds += wall.ElapsedSeconds();
+  if (report != nullptr) {
+    if (!out.empty()) {
+      report->OnCutoff("final_dmax", out.back().distance, out.size());
+    }
+    report->Finish(*stats);
+  }
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/run_report.h"
 #include "common/stats.h"
@@ -815,13 +816,25 @@ class HybridQueue {
     if (prefetch_ != nullptr && prefetch_->seg == seg) {
       std::unique_ptr<Prefetch> pf = std::move(prefetch_);
       bool waited;
+      uint64_t wait_nanos = 0;
       {
         MutexLock lock(&pf->mu);
         waited = !pf->done;
-        while (!pf->done) pf->cv.Wait(&pf->mu);
+        if (waited && MetricsEnabled()) {
+          const uint64_t wait_start = MetricsNowNanos();
+          while (!pf->done) pf->cv.Wait(&pf->mu);
+          wait_nanos = MetricsNowNanos() - wait_start;
+        } else {
+          while (!pf->done) pf->cv.Wait(&pf->mu);
+        }
         if (stats_ != nullptr) stats_->queue_page_reads += pf->page_reads;
       }
       if (waited) {
+        static Histogram* wait_histogram =
+            MetricsRegistry::Global()->GetHistogram(
+                "amdj_queue_prefetch_wait_ns", "",
+                "Consumer waits for an in-flight segment prefetch to finish");
+        wait_histogram->Observe(wait_nanos);
         ++prefetch_waits_;
         if (stats_ != nullptr) ++stats_->queue_prefetch_waits;
         AMDJ_TRACE(options_.tracer,

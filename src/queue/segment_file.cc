@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace amdj::queue {
 
@@ -171,7 +172,16 @@ Status SegmentFile::WritePageOut(std::vector<char> page) {
     const MutexLock lock(&io_mu_);
     // Double-buffer backpressure: at most kMaxInflightWrites pages in
     // flight; block (briefly — a page write) for the oldest to retire.
-    while (pending_seqs_.size() >= kMaxInflightWrites) io_cv_.Wait(&io_mu_);
+    if (pending_seqs_.size() >= kMaxInflightWrites) {
+      static Histogram* stall_histogram = MetricsRegistry::Global()->GetHistogram(
+          "amdj_spill_write_stall_ns", "",
+          "Producer stalls waiting for an in-flight spill write to retire");
+      const uint64_t stall_start = MetricsEnabled() ? MetricsNowNanos() : 0;
+      while (pending_seqs_.size() >= kMaxInflightWrites) io_cv_.Wait(&io_mu_);
+      if (stall_start != 0) {
+        stall_histogram->Observe(MetricsNowNanos() - stall_start);
+      }
+    }
     seq = ++submitted_seq_;
     pending_seqs_.push_back(seq);
   }
@@ -211,7 +221,16 @@ Status SegmentFile::AsyncErrorSnapshot() {
 Status SegmentFile::WaitAllWrites() {
   if (io_pool_ == nullptr) return Status::OK();
   const MutexLock lock(&io_mu_);
-  while (!pending_seqs_.empty()) io_cv_.Wait(&io_mu_);
+  if (!pending_seqs_.empty()) {
+    static Histogram* drain_histogram = MetricsRegistry::Global()->GetHistogram(
+        "amdj_spill_drain_wait_ns", "",
+        "Reader waits for all in-flight spill writes to retire");
+    const uint64_t drain_start = MetricsEnabled() ? MetricsNowNanos() : 0;
+    while (!pending_seqs_.empty()) io_cv_.Wait(&io_mu_);
+    if (drain_start != 0) {
+      drain_histogram->Observe(MetricsNowNanos() - drain_start);
+    }
+  }
   if (stats_ != nullptr && unfolded_page_writes_ > 0) {
     stats_->queue_page_writes += unfolded_page_writes_;
     unfolded_page_writes_ = 0;

@@ -1,13 +1,77 @@
 #include "service/join_service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/run_report.h"
 #include "common/timer.h"
 #include "core/shard_executor.h"
 #include "storage/disk_manager.h"
 
 namespace amdj::service {
+
+namespace {
+
+/// Process-wide service metrics (one series set; all JoinService instances
+/// in the process feed them — in practice a serve process hosts one).
+struct ServiceMetrics {
+  Histogram* admission_wait_ns;
+  Gauge* inflight;
+  Gauge* queued;
+  Counter* accepted;
+  Counter* rejected;
+  Counter* completed;
+  Counter* slow_queries;
+};
+
+ServiceMetrics& GlobalServiceMetrics() {
+  static ServiceMetrics metrics = [] {
+    MetricsRegistry* registry = MetricsRegistry::Global();
+    return ServiceMetrics{
+        registry->GetHistogram("amdj_service_admission_wait_ns", "",
+                               "Time a request spent queued before a worker "
+                               "picked it up"),
+        registry->GetGauge("amdj_service_inflight_queries", "",
+                           "Queries currently executing"),
+        registry->GetGauge("amdj_service_queued_queries", "",
+                           "Requests admitted but not yet started"),
+        registry->GetCounter("amdj_service_requests_total",
+                             "outcome=\"accepted\"",
+                             "Requests by admission outcome"),
+        registry->GetCounter("amdj_service_requests_total",
+                             "outcome=\"rejected\"",
+                             "Requests by admission outcome"),
+        registry->GetCounter("amdj_service_completed_total", "",
+                             "Requests finished (any status)"),
+        registry->GetCounter("amdj_service_slow_queries_total", "",
+                             "Queries past the slow_query_seconds threshold"),
+    };
+  }();
+  return metrics;
+}
+
+/// Per-algorithm end-to-end latency series. The label set is closed (the
+/// two algorithm enums), so cardinality is bounded; the registry lookup is
+/// one cold map access per completed query.
+Histogram* QueryLatencyHistogram(const JoinRequest& request) {
+  const char* algorithm = request.kind == JoinRequest::Kind::kKdj
+                              ? core::ToString(request.kdj_algorithm)
+                              : core::ToString(request.idj_algorithm);
+  return MetricsRegistry::Global()->GetHistogram(
+      "amdj_service_query_latency_ns",
+      std::string("algorithm=\"") + algorithm + "\"",
+      "End-to-end query latency (admission wait + execution)");
+}
+
+uint64_t SecondsToNanos(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
 
 JoinService::JoinService(const rtree::RTree& r, const rtree::RTree& s,
                          const Options& options)
@@ -70,19 +134,53 @@ core::JoinOptions JoinService::EffectiveOptions(
 }
 
 std::future<JoinResponse> JoinService::Submit(JoinRequest request) {
+  ServiceMetrics& metrics = GlobalServiceMetrics();
+  {
+    const MutexLock lock(&mutex_);
+    if (options_.max_queued > 0 && queued_ >= options_.max_queued) {
+      // Reject without blocking: the ready future is the backpressure
+      // signal open-loop callers need — blocking here would turn the
+      // admission queue into an unbounded hidden one at the caller.
+      ++rejected_;
+      metrics.rejected->Increment();
+      std::promise<JoinResponse> rejected;
+      JoinResponse response;
+      response.status = Status::ResourceExhausted(
+          "join service admission queue is full (max_queued=" +
+          std::to_string(options_.max_queued) + ")");
+      rejected.set_value(std::move(response));
+      return rejected.get_future();
+    }
+    ++queued_;
+  }
+  metrics.accepted->Increment();
+  metrics.queued->Increment();
   Timer queued;
   return pool_->Submit([this, request = std::move(request), queued] {
+    ServiceMetrics& metrics = GlobalServiceMetrics();
     const double wait_seconds = queued.ElapsedSeconds();
+    metrics.queued->Decrement();
+    metrics.admission_wait_ns->Observe(SecondsToNanos(wait_seconds));
     {
       const MutexLock lock(&mutex_);
+      --queued_;
       ++inflight_;
       peak_inflight_ = std::max(peak_inflight_, inflight_);
     }
-    JoinResponse response = Execute(request, wait_seconds);
+    JoinResponse response;
+    {
+      const ScopedGauge inflight_gauge(metrics.inflight);
+      response = Execute(request, wait_seconds);
+    }
     {
       const MutexLock lock(&mutex_);
       --inflight_;
       ++completed_;
+    }
+    metrics.completed->Increment();
+    if (MetricsEnabled()) {
+      QueryLatencyHistogram(request)->Observe(
+          SecondsToNanos(wait_seconds + response.exec_seconds));
     }
     return response;
   });
@@ -94,6 +192,14 @@ JoinResponse JoinService::Execute(const JoinRequest& request,
   response.wait_seconds = wait_seconds;
 
   core::JoinOptions options = EffectiveOptions(request);
+  // Slow-query log: a query past the threshold dumps a full RunReport, so
+  // when the request brought none the service attaches its own — the
+  // phase/cutoff breakdown is exactly what a latency investigation needs
+  // and is unrecoverable after the fact.
+  RunReport slow_report;
+  if (options_.slow_query_seconds > 0.0 && options.report == nullptr) {
+    options.report = &slow_report;
+  }
   // Session-scoped spill disk: this query's queue segments and sort runs
   // live (and die) with this execution — no sharing, no leak across
   // queries.
@@ -101,6 +207,28 @@ JoinResponse JoinService::Execute(const JoinRequest& request,
   if (options_.session_spill_disk) options.queue_disk = &session_disk;
   options.spill_io_pool = io_pool_.get();
 
+  Timer exec;
+  ExecuteRequest(request, options, &response);
+  response.exec_seconds = exec.ElapsedSeconds();
+
+  if (options_.slow_query_seconds > 0.0 &&
+      wait_seconds + response.exec_seconds >= options_.slow_query_seconds) {
+    GlobalServiceMetrics().slow_queries->Increment();
+    const RunReport* report =
+        request.options.report != nullptr ? request.options.report
+                                          : &slow_report;
+    AMDJ_LOG(kWarn) << "slow query: wait=" << wait_seconds
+                    << "s exec=" << response.exec_seconds
+                    << "s threshold=" << options_.slow_query_seconds
+                    << "s report=" << report->ToJson();
+  }
+  return response;
+}
+
+void JoinService::ExecuteRequest(const JoinRequest& request,
+                                 const core::JoinOptions& options,
+                                 JoinResponse* out) {
+  JoinResponse& response = *out;
   if (request.kind == JoinRequest::Kind::kKdj) {
     const bool shardable =
         options_.shards > 1 &&
@@ -109,7 +237,7 @@ JoinResponse JoinService::Execute(const JoinRequest& request,
     if (shardable) {
       if (!shard_init_.ok()) {
         response.status = shard_init_;
-        return response;
+        return;
       }
       core::ShardedJoinOptions sharded;
       sharded.join = options;
@@ -124,27 +252,27 @@ JoinResponse JoinService::Execute(const JoinRequest& request,
           *r_partition_, *s_partition_, request.k, sharded, &response.stats);
       if (!result.ok()) {
         response.status = result.status();
-        return response;
+        return;
       }
       response.results = std::move(*result);
-      return response;
+      return;
     }
     auto result = core::RunKDistanceJoin(r_, s_, request.k,
                                          request.kdj_algorithm, options,
                                          &response.stats);
     if (!result.ok()) {
       response.status = result.status();
-      return response;
+      return;
     }
     response.results = std::move(*result);
-    return response;
+    return;
   }
 
   auto cursor = core::OpenIncrementalJoin(r_, s_, request.idj_algorithm,
                                           options, &response.stats);
   if (!cursor.ok()) {
     response.status = cursor.status();
-    return response;
+    return;
   }
   (*cursor)->PrefetchHint(request.k);
   response.results.reserve(request.k);
@@ -163,7 +291,7 @@ JoinResponse JoinService::Execute(const JoinRequest& request,
   // this query's attribution scope and finalizes any attached report, so
   // response.stats is complete once the future resolves.
   cursor->reset();
-  return response;
+  return;
 }
 
 uint64_t JoinService::completed() const {
@@ -174,6 +302,11 @@ uint64_t JoinService::completed() const {
 uint32_t JoinService::peak_inflight() const {
   const MutexLock lock(&mutex_);
   return peak_inflight_;
+}
+
+uint64_t JoinService::rejected() const {
+  const MutexLock lock(&mutex_);
+  return rejected_;
 }
 
 }  // namespace amdj::service

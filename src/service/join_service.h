@@ -54,6 +54,9 @@ struct JoinResponse {
   JoinStats stats;
   /// Time the request spent queued before a worker picked it up.
   double wait_seconds = 0.0;
+  /// Execution wall time (excludes wait_seconds); wait + exec is the
+  /// end-to-end service latency.
+  double exec_seconds = 0.0;
 };
 
 /// Inter-query concurrent execution layer: accepts KDJ/IDJ requests
@@ -117,6 +120,16 @@ class JoinService {
     uint32_t shard_threads = 4;
     /// Buffer-pool capacity (pages) for the service-owned shard trees.
     size_t shard_pool_pages = 4096;
+    /// Admission cap on requests queued but not yet started; 0 (the
+    /// default) is unlimited. A Submit over the cap is rejected *without*
+    /// blocking: its future is immediately ready with
+    /// Status::ResourceExhausted — the caller's backpressure signal.
+    uint32_t max_queued = 0;
+    /// End-to-end (queue wait + execution) latency threshold past which a
+    /// query is logged at warn level together with its full RunReport
+    /// JSON; the service attaches its own report when the request did not
+    /// bring one. 0 (the default) disables the slow-query log.
+    double slow_query_seconds = 0.0;
     /// Worker thread name prefix.
     std::string name_prefix = "amdj-svc";
   };
@@ -158,9 +171,15 @@ class JoinService {
   uint64_t completed() const AMDJ_EXCLUDES(mutex_);
   /// Highest number of simultaneously executing queries observed.
   uint32_t peak_inflight() const AMDJ_EXCLUDES(mutex_);
+  /// Requests rejected by the max_queued admission cap.
+  uint64_t rejected() const AMDJ_EXCLUDES(mutex_);
 
  private:
   JoinResponse Execute(const JoinRequest& request, double wait_seconds);
+  /// Runs the request under fully resolved options into `response`.
+  void ExecuteRequest(const JoinRequest& request,
+                      const core::JoinOptions& options,
+                      JoinResponse* response);
 
   const rtree::RTree& r_;
   const rtree::RTree& s_;
@@ -172,8 +191,10 @@ class JoinService {
   /// the pool's FIFO task queue, guarded inside ThreadPool).
   mutable Mutex mutex_;
   uint32_t inflight_ AMDJ_GUARDED_BY(mutex_) = 0;
+  uint32_t queued_ AMDJ_GUARDED_BY(mutex_) = 0;
   uint32_t peak_inflight_ AMDJ_GUARDED_BY(mutex_) = 0;
   uint64_t completed_ AMDJ_GUARDED_BY(mutex_) = 0;
+  uint64_t rejected_ AMDJ_GUARDED_BY(mutex_) = 0;
 
   /// Spill I/O pool (Options::spill_io_threads > 0 only). Declared before
   /// pool_: query workers submit I/O tasks here, so it must outlive the

@@ -3,8 +3,36 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace amdj::storage {
+
+namespace {
+
+/// Process-wide buffer-pool metrics (all pools feed one series each; the
+/// per-query split already lives in JoinStats). Resolved once, lazily.
+struct PoolMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+};
+
+PoolMetrics& GlobalPoolMetrics() {
+  static PoolMetrics metrics = [] {
+    MetricsRegistry* registry = MetricsRegistry::Global();
+    return PoolMetrics{
+        registry->GetCounter("amdj_buffer_pool_hits_total", "",
+                             "Page fetches served from memory"),
+        registry->GetCounter("amdj_buffer_pool_misses_total", "",
+                             "Page fetches that went to disk"),
+        registry->GetCounter("amdj_buffer_pool_evictions_total", "",
+                             "Resident pages evicted to make room"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PageGuard
@@ -96,6 +124,7 @@ int BufferPool::FindVictim(Status* status) {
     lru_.erase(lru_pos_[idx]);
     lru_pos_.erase(idx);
     f.page_id = kInvalidPageId;
+    GlobalPoolMetrics().evictions->Increment();
     return static_cast<int>(idx);
   }
   *status = Status::ResourceExhausted("all buffer frames are pinned");
@@ -134,6 +163,7 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId page_id) {
   }
   if (hit) {
     ++hits_;
+    GlobalPoolMetrics().hits->Increment();
     if (stats != nullptr) ++stats->node_buffer_hits;
     Frame& f = frames_[it->second];
     ++f.pin_count;
@@ -141,6 +171,7 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId page_id) {
     return PageGuard(this, page_id, f.data.get());
   }
   ++misses_;
+  GlobalPoolMetrics().misses->Increment();
   if (stats != nullptr) ++stats->node_disk_reads;
   Status status;
   const int victim = FindVictim(&status);

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "core/distance_join.h"
 #include "service/join_service.h"
 #include "test_util.h"
@@ -264,6 +265,89 @@ TEST(JoinServiceTest, IdjStreamsRequestedCardinality) {
   EXPECT_GT(response.stats.node_accesses, 0u);
   EXPECT_EQ(response.stats.node_buffer_hits + response.stats.node_disk_reads,
             response.stats.node_accesses);
+}
+
+TEST(JoinServiceTest, MaxQueuedRejectsWithReadyResourceExhaustedFuture) {
+  const workload::Dataset r_data = workload::UniformPoints(3000, 41);
+  const workload::Dataset s_data = workload::UniformPoints(3000, 42);
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, 32, 64);
+
+  JoinService::Options options;
+  options.max_inflight = 1;
+  options.max_queued = 1;
+  JoinService service(*f.r, *f.s, options);
+
+  JoinRequest request;
+  request.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+  request.k = 2000;  // ms-scale on this data: submits outrun completions
+
+  constexpr size_t kSubmits = 12;
+  std::vector<std::future<JoinResponse>> futures;
+  futures.reserve(kSubmits);
+  for (size_t i = 0; i < kSubmits; ++i) futures.push_back(service.Submit(request));
+
+  size_t rejected = 0;
+  size_t accepted_ok = 0;
+  for (auto& future : futures) {
+    JoinResponse response = future.get();
+    if (response.status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+      EXPECT_TRUE(response.results.empty());
+    } else {
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_EQ(response.results.size(), 2000u);
+      EXPECT_GT(response.exec_seconds, 0.0);
+      ++accepted_ok;
+    }
+  }
+  // With one worker and one queue slot, a tight 12-submit loop must bounce
+  // off the cap; the first request is always admitted.
+  EXPECT_GE(rejected, 1u);
+  EXPECT_GE(accepted_ok, 1u);
+  EXPECT_EQ(service.rejected(), rejected);
+  EXPECT_EQ(service.completed(), accepted_ok);
+
+  // A rejection must not block: a fresh one resolves immediately.
+  // (The pool is idle now, so refill the queue first.)
+  std::vector<std::future<JoinResponse>> refill;
+  for (size_t i = 0; i < 4; ++i) refill.push_back(service.Submit(request));
+  for (auto& future : refill) (void)future.get();
+}
+
+TEST(JoinServiceTest, SlowQueryThresholdCountsAndReportsEveryQuery) {
+  const workload::Dataset r_data = workload::UniformPoints(500, 51);
+  const workload::Dataset s_data = workload::UniformPoints(500, 52);
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, 32, 64);
+
+  Counter* slow = MetricsRegistry::Global()->GetCounter(
+      "amdj_service_slow_queries_total");
+  const uint64_t before = slow->Value();
+
+  JoinService::Options options;
+  options.max_inflight = 2;
+  options.slow_query_seconds = 1e-9;  // everything is "slow"
+  JoinService service(*f.r, *f.s, options);
+
+  JoinRequest request;
+  request.k = 100;
+  const JoinResponse kdj = service.Run(request);
+  ASSERT_TRUE(kdj.status.ok()) << kdj.status.ToString();
+  EXPECT_GT(kdj.exec_seconds, 0.0);
+
+  JoinRequest idj;
+  idj.kind = JoinRequest::Kind::kIdj;
+  idj.k = 100;
+  const JoinResponse idj_resp = service.Run(idj);
+  ASSERT_TRUE(idj_resp.status.ok()) << idj_resp.status.ToString();
+
+  EXPECT_EQ(slow->Value(), before + 2);
+
+  // Threshold off: nothing counted.
+  JoinService::Options quiet = options;
+  quiet.slow_query_seconds = 0.0;
+  JoinService quiet_service(*f.r, *f.s, quiet);
+  (void)quiet_service.Run(request);
+  EXPECT_EQ(slow->Value(), before + 2);
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// Metrics-layer contract tests:
+//
+//   - bucket geometry: BucketIndex/BucketLowerBound/BucketWidth agree and
+//     tile the uint64 range without gaps;
+//   - randomized differential test: bucketed p50/p95/p99/p999 vs. exact
+//     sorted-sample percentiles stay within the documented 1/32 relative
+//     error bound across several value distributions;
+//   - concurrency: N writer threads hammer one counter/gauge/histogram
+//     while a reader snapshots — totals exact after join, snapshots sane
+//     during (runs under TSan in the sanitize-thread CI matrix);
+//   - registry identity and the Prometheus/JSON exposition formats;
+//   - the PR 3-style guard: join output is byte-identical with metrics
+//     enabled and disabled.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "core/distance_join.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace amdj {
+namespace {
+
+/// Restores the global enabled flag on scope exit so tests that toggle it
+/// cannot leak state into each other.
+class MetricsEnabledGuard {
+ public:
+  MetricsEnabledGuard() : was_(MetricsEnabled()) {}
+  ~MetricsEnabledGuard() { SetMetricsEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(HistogramGeometryTest, BucketsTileTheRangeWithoutGaps) {
+  // Lower bounds must be strictly increasing and each bucket must start
+  // exactly where the previous one ends.
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketLowerBound(i),
+              Histogram::BucketLowerBound(i - 1) + Histogram::BucketWidth(i - 1))
+        << "gap or overlap at bucket " << i;
+  }
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+}
+
+TEST(HistogramGeometryTest, IndexRoundTripsThroughBounds) {
+  Random rng(7);
+  std::vector<uint64_t> values = {0,  1,  2,   15,  16,  17,  31,  32,
+                                  63, 64, 100, 255, 256, 1000, 4095, 4096};
+  for (int i = 0; i < 5000; ++i) {
+    const int bits = static_cast<int>(rng.UniformInt(uint64_t{63})) + 1;
+    values.push_back(rng.Next() >> (64 - bits));
+  }
+  values.push_back(std::numeric_limits<uint64_t>::max());
+  for (const uint64_t v : values) {
+    const size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, Histogram::kNumBuckets) << v;
+    EXPECT_GE(v, Histogram::BucketLowerBound(idx)) << v;
+    // v < lower + width (except the very last bucket, which is clipped by
+    // the uint64 range).
+    if (idx + 1 < Histogram::kNumBuckets) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(idx) + Histogram::BucketWidth(idx))
+          << v;
+    }
+    // Relative width bound that the percentile error bound rests on.
+    if (v >= 16) {
+      EXPECT_LE(Histogram::BucketWidth(idx) * 16, Histogram::BucketLowerBound(idx) * 2)
+          << "bucket too wide at " << v;
+    }
+  }
+}
+
+double ExactPercentile(std::vector<uint64_t> sorted, double q) {
+  // Same rank definition as Histogram::Snapshot::Percentile: the value at
+  // rank ceil(q * n), 1-based.
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+void CheckDifferential(const std::vector<uint64_t>& values,
+                       const std::string& what) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test_hist");
+  for (const uint64_t v : values) h->Observe(v);
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const Histogram::Snapshot snap = h->TakeSnapshot();
+  ASSERT_EQ(snap.count, values.size()) << what;
+  for (const double q : {0.5, 0.95, 0.99, 0.999}) {
+    const double exact = ExactPercentile(sorted, q);
+    const double approx = snap.Percentile(q);
+    // Documented bound: midpoint of a bucket whose width is <= lower/16,
+    // so |approx - exact| <= width/2 <= exact/16 (plus 0.5 absolute for
+    // the unit buckets).
+    const double tolerance = std::max(1.0, exact / 16.0);
+    EXPECT_NEAR(approx, exact, tolerance)
+        << what << " q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(HistogramDifferentialTest, UniformValues) {
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  Random rng(42);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.UniformInt(uint64_t{1000000}));
+  CheckDifferential(values, "uniform");
+}
+
+TEST(HistogramDifferentialTest, LogUniformValues) {
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  Random rng(43);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const int bits = static_cast<int>(rng.UniformInt(uint64_t{40})) + 1;
+    values.push_back((rng.Next() >> (64 - bits)) + 1);
+  }
+  CheckDifferential(values, "log-uniform");
+}
+
+TEST(HistogramDifferentialTest, HeavyTailLatencyShape) {
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  Random rng(44);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Exponential body in the tens of microseconds with a 1% millisecond
+    // tail — the shape the service latency histograms will actually see.
+    double v = rng.Exponential(1.0 / 40000.0);
+    if (rng.Bernoulli(0.01)) v += rng.Exponential(1.0 / 5e6);
+    values.push_back(static_cast<uint64_t>(v) + 1);
+  }
+  CheckDifferential(values, "heavy-tail");
+}
+
+TEST(HistogramDifferentialTest, TieStormAndSmallValues) {
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  std::vector<uint64_t> values(5000, 7);  // unit-bucket plateau is exact
+  for (int i = 0; i < 100; ++i) values.push_back(1000000);
+  CheckDifferential(values, "tie-storm");
+}
+
+TEST(MetricsConcurrencyTest, HammerWhileSnapshotting) {
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hammer_counter");
+  Gauge* gauge = registry.GetGauge("hammer_gauge");
+  Histogram* hist = registry.GetHistogram("hammer_hist");
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Concurrent snapshots must always be internally sane: monotone
+    // counter, gauge within the live bracket, histogram count <= total.
+    uint64_t last_count = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t c = counter->Value();
+      EXPECT_GE(c, last_count);
+      last_count = c;
+      EXPECT_GE(gauge->Value(), 0);
+      EXPECT_LE(gauge->Value(), kThreads);
+      const Histogram::Snapshot snap = hist->TakeSnapshot();
+      EXPECT_LE(snap.count, kThreads * kPerThread);
+      (void)registry.ToJson();
+      (void)registry.ToPrometheusText();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Random rng(1000 + t);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const ScopedGauge in_flight(gauge);
+        counter->Increment();
+        hist->Observe(rng.UniformInt(uint64_t{1} << 30) + 1);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(gauge->Value(), 0);
+  const Histogram::Snapshot snap = hist->TakeSnapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_GT(snap.sum, 0u);
+}
+
+TEST(MetricsRegistryTest, IdentityIsNamePlusLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "algorithm=\"am-kdj\"");
+  Counter* b = registry.GetCounter("x_total", "algorithm=\"am-kdj\"");
+  Counter* c = registry.GetCounter("x_total", "algorithm=\"b-kdj\"");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Pointers stay valid as more metrics register around them.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("y_total", "i=\"" + std::to_string(i) + "\"");
+  }
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3u);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, DisabledUpdatesAreDropped) {
+  MetricsEnabledGuard guard;
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("off_total");
+  Histogram* hist = registry.GetHistogram("off_hist");
+  SetMetricsEnabled(false);
+  counter->Increment(5);
+  hist->Observe(123);
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->TakeSnapshot().count, 0u);
+  SetMetricsEnabled(true);
+  counter->Increment(5);
+  EXPECT_EQ(counter->Value(), 5u);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextFormat) {
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  registry.GetCounter("amdj_requests_total", "algorithm=\"am-kdj\"",
+                      "Requests accepted")->Increment(2);
+  registry.GetGauge("amdj_inflight")->Add(3);
+  Histogram* h = registry.GetHistogram("amdj_latency_ns");
+  h->Observe(1000);
+  h->Observe(2000);
+
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP amdj_requests_total Requests accepted"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE amdj_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("amdj_requests_total{algorithm=\"am-kdj\"} 2"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE amdj_inflight gauge"), std::string::npos);
+  EXPECT_NE(text.find("amdj_inflight 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE amdj_latency_ns summary"), std::string::npos);
+  EXPECT_NE(text.find("amdj_latency_ns{quantile=\"0.5\"}"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("amdj_latency_ns_count 2"), std::string::npos);
+  EXPECT_NE(text.find("amdj_latency_ns_sum 3000"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotFormat) {
+  MetricsEnabledGuard guard;
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  registry.GetCounter("amdj_requests_total")->Increment();
+  Histogram* h = registry.GetHistogram("amdj_latency_ns",
+                                       "algorithm=\"b-kdj\"");
+  for (uint64_t i = 1; i <= 100; ++i) h->Observe(i * 1000);
+
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"schema\":\"amdj-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"amdj_requests_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":\"algorithm=\\\"b-kdj\\\"\""),
+            std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max_le\":"), std::string::npos);
+}
+
+// The PR 3 precedent, one layer up: the metrics subsystem observes and
+// must never steer. Same workload, same join, metrics on vs. off — the
+// result vectors must be byte-identical.
+TEST(MetricsIdentityTest, JoinOutputIdenticalOnAndOff) {
+  MetricsEnabledGuard guard;
+  const auto run = [](bool enabled) {
+    SetMetricsEnabled(enabled);
+    storage::InMemoryDiskManager disk;
+    storage::BufferPool pool(&disk, 256);
+    auto r = rtree::RTree::Create(&pool, {}).value();
+    auto s = rtree::RTree::Create(&pool, {}).value();
+    const workload::Dataset rd = workload::UniformPoints(
+        3000, 11, geom::Rect(0, 0, 10000, 10000));
+    const workload::Dataset sd = workload::GaussianClusters(
+        3000, 6, 0.05, 12, geom::Rect(0, 0, 10000, 10000));
+    EXPECT_TRUE(r->BulkLoad(rd.ToEntries()).ok());
+    EXPECT_TRUE(s->BulkLoad(sd.ToEntries()).ok());
+    core::JoinOptions options;
+    options.queue_memory_bytes = 32 * 1024;  // force spill machinery too
+    storage::InMemoryDiskManager spill;
+    options.queue_disk = &spill;
+    JoinStats stats;
+    auto result = core::RunKDistanceJoin(*r, *s, 500,
+                                         core::KdjAlgorithm::kAmKdj, options,
+                                         &stats);
+    EXPECT_TRUE(result.ok());
+    return std::move(*result);
+  };
+  const std::vector<core::ResultPair> on = run(true);
+  const std::vector<core::ResultPair> off = run(false);
+  ASSERT_EQ(on.size(), off.size());
+  ASSERT_FALSE(on.empty());
+  for (size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&on[i], &off[i], sizeof(core::ResultPair)), 0)
+        << "diverged at pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace amdj

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/run_report.h"
 #include "core/distance_join.h"
 #include "core/partition.h"
 #include "core/ranked_merge.h"
@@ -331,6 +332,59 @@ TEST(ServiceShardTest, ShardedServiceMatchesUnshardedService) {
   service::JoinResponse idj_resp = sharded_svc.Run(idj);
   ASSERT_TRUE(idj_resp.status.ok()) << idj_resp.status.ToString();
   EXPECT_EQ(idj_resp.results.size(), 50u);
+}
+
+// Satellite of the observability PR: the sharded executor must drive an
+// attached RunReport itself (per-pair joins run report-less), with its own
+// stage phases whose counter deltas land in the stage that incurred them
+// and totals that surface the shard_pairs_* scheduling counters.
+TEST(ShardJoinTest, DrivesAttachedRunReportWithStagePhases) {
+  const workload::Dataset r_data = workload::UniformPoints(1200, 11);
+  const workload::Dataset s_data = workload::UniformPoints(800, 12);
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool(&disk, 2048);
+  const Partition r = MustPartition(r_data, &pool, 4);
+  const Partition s = MustPartition(s_data, &pool, 4);
+
+  RunReport report;
+  ShardedJoinOptions options;
+  options.threads = 4;
+  options.join.report = &report;
+  JoinStats stats;
+  auto result = RunShardedKDistanceJoin(r, s, 64, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(report.phases().size(), 4u);
+  EXPECT_EQ(report.phases()[0].name, "shard-plan");
+  EXPECT_EQ(report.phases()[1].name, "shard-probe");
+  EXPECT_EQ(report.phases()[2].name, "shard-topup");
+  EXPECT_EQ(report.phases()[3].name, "shard-merge");
+
+  // Scheduling counters land in the phase that incurred them: pairs are
+  // considered (and bounds-pruned) while planning, executed while probing.
+  EXPECT_GT(report.phases()[0].delta.shard_pairs_considered, 0u);
+  EXPECT_EQ(report.phases()[0].delta.shard_pairs_executed, 0u);
+  EXPECT_GT(report.phases()[1].delta.shard_pairs_executed, 0u);
+  EXPECT_GT(report.phases()[1].delta.real_distance_computations, 0u);
+
+  // Totals surface the scheduling counters and reconcile with the stats
+  // block the caller got.
+  EXPECT_EQ(report.totals().shard_pairs_considered,
+            stats.shard_pairs_considered);
+  EXPECT_EQ(report.totals().shard_pairs_executed, stats.shard_pairs_executed);
+  EXPECT_EQ(report.totals().pairs_produced, result->size());
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("sharded-AM-KDJ"), std::string::npos);
+  EXPECT_NE(json.find("shard_pairs_considered"), std::string::npos);
+  EXPECT_NE(json.find("shard-probe"), std::string::npos);
+
+  // Attaching a report must not perturb the result (it is observation
+  // only): a report-free run is identical.
+  ShardedJoinOptions bare_options;
+  bare_options.threads = 4;
+  auto bare = RunShardedKDistanceJoin(r, s, 64, bare_options, nullptr);
+  ASSERT_TRUE(bare.ok());
+  ExpectIdentical(*bare, *result, "report attached vs not");
 }
 
 }  // namespace

@@ -93,6 +93,21 @@ TEST(JoinStatsSerializationTest, ToStringIncludesParallelCounters) {
   EXPECT_NE(text.find("parallel_tie_aborts: 1"), std::string::npos);
 }
 
+TEST(JoinStatsSerializationTest, ToStringIncludesShardCounters) {
+  // Same tripwire as the parallel_* one: the shard scheduling counters
+  // must be visible in the dump, not just present in the struct.
+  JoinStats s;
+  s.shard_pairs_considered = 9;
+  s.shard_pairs_pruned_bounds = 4;
+  s.shard_pairs_pruned_cutoff = 2;
+  s.shard_pairs_executed = 3;
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("shard_pairs_considered: 9"), std::string::npos);
+  EXPECT_NE(text.find("shard_pairs_pruned_bounds: 4"), std::string::npos);
+  EXPECT_NE(text.find("shard_pairs_pruned_cutoff: 2"), std::string::npos);
+  EXPECT_NE(text.find("shard_pairs_executed: 3"), std::string::npos);
+}
+
 TEST(JoinStatsDeltaTest, SubtractTakesDifferencesAndKeepsPeaks) {
   JoinStats begin = MakeDistinctStats(100);
   JoinStats end = MakeDistinctStats(100);

@@ -27,31 +27,49 @@
 //                     [--budget-kb=KB] [--spill-io-threads=N]
 //                     [--shards=N] [--shard-threads=N]
 //                     [--metric=l2|l1|linf] [--self]
-//       (alias: serve) replays a request file concurrently through the
-//       JoinService. Each non-empty, non-# line of the request file is
+//       replays a request file concurrently through the JoinService. Each
+//       non-empty, non-# line of the request file is
 //       `<kdj|idj> <hs|b|am|sj> <k>` (IDJ accepts hs|am); requests run
 //       with at most N in flight, each with its own attributed stats.
 //       --spill-io-threads=N (default 0 = synchronous) adds a dedicated
 //       pool for async queue-spill I/O; results are identical, the
 //       per-query memory clamp is halved (see JoinService::Options).
+//   amdj_cli serve    --r=FILE --s=FILE [batch flags]
+//                     [--requests=FILE]
+//                     [--max-queued=N] [--slow-query-ms=MS]
+//                     [--metrics-json=FILE] [--metrics-interval-ms=MS]
+//       long-running service mode. With --requests it replays the file
+//       like `batch`; without it, stdin is a control channel: each line
+//       is a request (`<kdj|idj> <algo> <k>`, run synchronously), or
+//       `metrics` (print the live metrics snapshot as JSON), `metrics-prom`
+//       (Prometheus text), `quit` (exit; EOF also exits). --metrics-json
+//       starts a background exporter that atomically rewrites FILE every
+//       --metrics-interval-ms (default 1000) and once more on shutdown.
+//       --max-queued / --slow-query-ms wire the service admission cap and
+//       slow-query log (both also accepted by `batch`).
 //
 // Dataset files are produced by `generate` (workload::Dataset binary
 // format); files ending in .csv are parsed as x,y or x0,y0,x1,y1 rows
 // (see workload::Dataset::FromCsv). Trees are bulk-loaded in memory per
 // invocation.
 
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "common/run_report.h"
 #include "common/trace.h"
@@ -121,6 +139,9 @@ class Args {
   bool GetBool(const std::string& key) const {
     return values_.count(key) > 0;
   }
+
+  /// Every flag that appeared, for unknown-flag scans.
+  const std::map<std::string, std::string>& values() const { return values_; }
 
   [[noreturn]] static void Fail(const std::string& message) {
     std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -481,20 +502,36 @@ int CmdEstimate(const Args& args) {
   return 0;
 }
 
-/// Parses one request-file line: `<kdj|idj> <hs|b|am|sj> <k>`.
-service::JoinRequest ParseRequestLine(const std::string& line, size_t lineno) {
+/// Parses one request line: `<kdj|idj> <hs|b|am|sj> <k>`. Non-fatal so the
+/// serve control channel can report a bad line and keep running; batch
+/// turns the error into a usage failure via CheckOk.
+StatusOr<service::JoinRequest> ParseRequestLine(const std::string& line,
+                                                size_t lineno) {
   std::istringstream in(line);
   std::string kind, algo;
   uint64_t k = 0;
   if (!(in >> kind >> algo >> k) || k == 0) {
-    Args::Fail("bad request line " + std::to_string(lineno) + ": '" + line +
-               "' (want `<kdj|idj> <hs|b|am|sj> <k>`)");
+    return Status::InvalidArgument(
+        "bad request line " + std::to_string(lineno) + ": '" + line +
+        "' (want `<kdj|idj> <hs|b|am|sj> <k>`)");
   }
   service::JoinRequest request;
   request.k = k;
   if (kind == "kdj") {
     request.kind = service::JoinRequest::Kind::kKdj;
-    request.kdj_algorithm = ParseKdj(algo);
+    if (algo == "hs") {
+      request.kdj_algorithm = core::KdjAlgorithm::kHsKdj;
+    } else if (algo == "b") {
+      request.kdj_algorithm = core::KdjAlgorithm::kBKdj;
+    } else if (algo == "am") {
+      request.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+    } else if (algo == "sj") {
+      request.kdj_algorithm = core::KdjAlgorithm::kSjSort;
+    } else {
+      return Status::InvalidArgument(
+          "request line " + std::to_string(lineno) +
+          ": kdj algorithm must be hs|b|am|sj, got " + algo);
+    }
   } else if (kind == "idj") {
     request.kind = service::JoinRequest::Kind::kIdj;
     if (algo == "hs") {
@@ -502,14 +539,31 @@ service::JoinRequest ParseRequestLine(const std::string& line, size_t lineno) {
     } else if (algo == "am") {
       request.idj_algorithm = core::IdjAlgorithm::kAmIdj;
     } else {
-      Args::Fail("request line " + std::to_string(lineno) +
-                 ": idj algorithm must be hs|am, got " + algo);
+      return Status::InvalidArgument(
+          "request line " + std::to_string(lineno) +
+          ": idj algorithm must be hs|am, got " + algo);
     }
   } else {
-    Args::Fail("request line " + std::to_string(lineno) +
-               ": kind must be kdj|idj, got " + kind);
+    return Status::InvalidArgument("request line " + std::to_string(lineno) +
+                                   ": kind must be kdj|idj, got " + kind);
   }
   return request;
+}
+
+/// Shared service construction for batch/serve.
+service::JoinService::Options ServiceOptionsFromArgs(const Args& args) {
+  service::JoinService::Options options;
+  options.max_inflight = static_cast<uint32_t>(args.GetUint("inflight", 4));
+  options.queue_memory_budget_bytes =
+      static_cast<size_t>(args.GetUint("budget-kb", 4096)) * 1024;
+  options.spill_io_threads =
+      static_cast<uint32_t>(args.GetUint("spill-io-threads", 0));
+  options.shards = ParsePositiveFlag(args, "shards", 1);
+  options.shard_threads = ParsePositiveFlag(args, "shard-threads", 4);
+  options.max_queued = static_cast<uint32_t>(args.GetUint("max-queued", 0));
+  options.slow_query_seconds =
+      static_cast<double>(args.GetUint("slow-query-ms", 0)) / 1000.0;
+  return options;
 }
 
 int CmdBatch(const Args& args) {
@@ -526,23 +580,15 @@ int CmdBatch(const Args& args) {
   for (size_t lineno = 1; std::getline(in, line); ++lineno) {
     const size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
-    service::JoinRequest request = ParseRequestLine(line, lineno);
-    request.options = base;
-    requests.push_back(request);
+    StatusOr<service::JoinRequest> request = ParseRequestLine(line, lineno);
+    CheckOk(request.status());
+    request->options = base;
+    requests.push_back(std::move(*request));
   }
   if (requests.empty()) Args::Fail("no requests in " + requests_path);
 
-  service::JoinService::Options service_options;
-  service_options.max_inflight =
-      static_cast<uint32_t>(args.GetUint("inflight", 4));
-  service_options.queue_memory_budget_bytes =
-      static_cast<size_t>(args.GetUint("budget-kb", 4096)) * 1024;
-  service_options.spill_io_threads =
-      static_cast<uint32_t>(args.GetUint("spill-io-threads", 0));
-  service_options.shards = ParsePositiveFlag(args, "shards", 1);
-  service_options.shard_threads =
-      ParsePositiveFlag(args, "shard-threads", 4);
-  service::JoinService service(*session.r, *session.s, service_options);
+  service::JoinService service(*session.r, *session.s,
+                               ServiceOptionsFromArgs(args));
   std::fprintf(stderr,
                "%zu requests, %u in flight, %zu KB queue memory per query\n",
                requests.size(), service.max_inflight(),
@@ -578,12 +624,155 @@ int CmdBatch(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Background metrics exporter: atomically rewrites `path` with a JSON
+/// snapshot of the global registry every `interval_ms`, plus one final
+/// snapshot on destruction so short runs still leave a file behind.
+class MetricsExporter {
+ public:
+  MetricsExporter(std::string path, uint64_t interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MetricsExporter() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    WriteSnapshot();  // shutdown snapshot: the numbers a CI step scrapes
+  }
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+ private:
+  void Loop() {
+    // Sleep in 50ms slices so shutdown latency stays bounded even with a
+    // long export interval.
+    uint64_t slept_ms = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      slept_ms += 50;
+      if (slept_ms < interval_ms_) continue;
+      slept_ms = 0;
+      WriteSnapshot();
+    }
+  }
+
+  void WriteSnapshot() {
+    // Write-then-rename: a scraper never observes a torn file.
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "metrics exporter: cannot write %s\n",
+                     tmp.c_str());
+        return;
+      }
+      out << MetricsRegistry::Global()->ToJson() << "\n";
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::fprintf(stderr, "metrics exporter: rename to %s failed\n",
+                   path_.c_str());
+    }
+  }
+
+  const std::string path_;
+  const uint64_t interval_ms_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+int CmdServe(const Args& args) {
+  // All metrics-flag validation fires before any dataset I/O, so a typo'd
+  // invocation fails instantly instead of after minutes of loading.
+  for (const auto& [key, value] : args.values()) {
+    if (key.rfind("metrics", 0) == 0 && key != "metrics-json" &&
+        key != "metrics-interval-ms") {
+      Args::Fail("unknown flag --" + key +
+                 " (metrics flags: --metrics-json=FILE "
+                 "--metrics-interval-ms=MS)");
+    }
+  }
+  const uint64_t metrics_interval_ms =
+      ParsePositiveFlag(args, "metrics-interval-ms", 1000);
+  if (args.Has("metrics-interval-ms") && !args.Has("metrics-json")) {
+    Args::Fail("--metrics-interval-ms requires --metrics-json=FILE");
+  }
+  std::string metrics_json_path;
+  if (args.Has("metrics-json")) {
+    metrics_json_path = args.GetString("metrics-json");
+    if (metrics_json_path.empty() || metrics_json_path == "true") {
+      Args::Fail("--metrics-json needs a file path (--metrics-json=FILE)");
+    }
+  }
+
+  std::unique_ptr<MetricsExporter> exporter;
+  if (!metrics_json_path.empty()) {
+    exporter = std::make_unique<MetricsExporter>(metrics_json_path,
+                                                 metrics_interval_ms);
+  }
+
+  // With --requests, serve is batch plus the exporter wrapped around it.
+  if (args.Has("requests")) return CmdBatch(args);
+
+  Session session(args.Require("r"), args.Require("s"));
+  core::JoinOptions base;
+  base.metric = ParseMetric(args.GetString("metric"));
+  base.exclude_same_id = args.GetBool("self");
+  service::JoinService service(*session.r, *session.s,
+                               ServiceOptionsFromArgs(args));
+  std::fprintf(stderr, "serving on stdin (request lines, `metrics`, "
+                       "`metrics-prom`, `quit`)\n");
+
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const size_t end = line.find_last_not_of(" \t\r");
+    const std::string command = line.substr(start, end - start + 1);
+    if (command == "quit") break;
+    if (command == "metrics") {
+      std::printf("%s\n", MetricsRegistry::Global()->ToJson().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (command == "metrics-prom") {
+      std::printf("%s", MetricsRegistry::Global()->ToPrometheusText().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    StatusOr<service::JoinRequest> request = ParseRequestLine(command, lineno);
+    if (!request.ok()) {
+      // Non-fatal: a control channel that dies on a typo is useless.
+      std::fprintf(stderr, "error: %s\n", request.status().ToString().c_str());
+      continue;
+    }
+    request->options = base;
+    const service::JoinResponse response =
+        service.Submit(std::move(*request)).get();
+    if (!response.status.ok()) {
+      std::printf("line %zu  FAILED: %s\n", lineno,
+                  response.status.ToString().c_str());
+    } else {
+      std::printf("line %zu  %zu pairs  exec=%.3fs  waited=%.3fs\n", lineno,
+                  response.results.size(), response.exec_seconds,
+                  response.wait_seconds);
+    }
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "served %" PRIu64 " queries (%" PRIu64 " rejected)\n",
+               service.completed(), service.rejected());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: amdj_cli "
-                 "<generate|info|join|stream|batch|semijoin|knn|estimate> "
-                 "[--flags]\n(see the header of tools/amdj_cli.cc)\n");
+                 "<generate|info|join|stream|batch|serve|semijoin|knn|"
+                 "estimate> [--flags]\n(see the header of "
+                 "tools/amdj_cli.cc)\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -598,7 +787,8 @@ int Main(int argc, char** argv) {
   if (command == "info") return CmdInfo(args);
   if (command == "join") return CmdJoin(args);
   if (command == "stream") return CmdStream(args);
-  if (command == "batch" || command == "serve") return CmdBatch(args);
+  if (command == "batch") return CmdBatch(args);
+  if (command == "serve") return CmdServe(args);
   if (command == "semijoin") return CmdSemiJoin(args);
   if (command == "knn") return CmdKnn(args);
   if (command == "estimate") return CmdEstimate(args);

@@ -1,0 +1,117 @@
+# Serve-mode metrics exposition tests:
+#  - metrics flag validation (unknown --metrics-* flags, non-positive
+#    --metrics-interval-ms, --metrics-interval-ms without --metrics-json,
+#    valueless --metrics-json) must exit with a usage error (code 2)
+#    BEFORE any dataset I/O happens;
+#  - the stdin control channel answers `metrics` with a valid JSON
+#    snapshot and `metrics-prom` with Prometheus text, and a bad request
+#    line is non-fatal;
+#  - --metrics-json leaves an atomic JSON snapshot file behind on exit.
+
+function(expect_rejected pattern)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+        "expected usage-error exit 2, got ${rc}: ${ARGN}\n${out}${err}")
+  endif()
+  if(NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR
+        "expected '${pattern}' in stderr of: ${ARGN}\n${out}${err}")
+  endif()
+endfunction()
+
+function(expect_ok)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}${err}")
+  endif()
+endfunction()
+
+# --- flag validation fires before dataset I/O: the datasets do not exist,
+# so reaching the loader would fail with a different error/exit code.
+set(ABSENT ${CLI} serve --r=absent_r.ds --s=absent_s.ds)
+expect_rejected("unknown flag --metrics-port" ${ABSENT} --metrics-port=9090)
+expect_rejected("unknown flag --metrics-fmt" ${ABSENT} --metrics-fmt=json)
+expect_rejected("must be a positive integer"
+                ${ABSENT} --metrics-json=m.json --metrics-interval-ms=0)
+expect_rejected("must be a positive integer"
+                ${ABSENT} --metrics-json=m.json --metrics-interval-ms=-50)
+expect_rejected("must be a positive integer"
+                ${ABSENT} --metrics-json=m.json --metrics-interval-ms=soon)
+expect_rejected("requires --metrics-json" ${ABSENT} --metrics-interval-ms=100)
+expect_rejected("needs a file path" ${ABSENT} --metrics-json=)
+expect_rejected("needs a file path" ${ABSENT} --metrics-json)
+
+# --- happy path: control channel + exporter.
+expect_ok(${CLI} generate --kind=uniform --n=800 --seed=21
+          --out=metrics_r.ds)
+expect_ok(${CLI} generate --kind=uniform --n=800 --seed=22
+          --out=metrics_s.ds)
+
+file(WRITE ${WORK_DIR}/metrics_control.txt
+"kdj am 40
+metrics
+this is not a request
+idj hs 10
+metrics-prom
+quit
+")
+
+execute_process(COMMAND ${CLI} serve --r=metrics_r.ds --s=metrics_s.ds
+                        --max-queued=8 --metrics-json=metrics_out.json
+                        --metrics-interval-ms=100
+                INPUT_FILE ${WORK_DIR}/metrics_control.txt
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                WORKING_DIRECTORY ${WORK_DIR})
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve failed (${rc}):\n${out}${err}")
+endif()
+
+# Both requests ran; the bad line was reported on stderr and skipped.
+if(NOT out MATCHES "line 1  40 pairs")
+  message(FATAL_ERROR "missing kdj result in serve output:\n${out}")
+endif()
+if(NOT out MATCHES "line 4  10 pairs")
+  message(FATAL_ERROR "missing idj result in serve output:\n${out}")
+endif()
+if(NOT err MATCHES "bad request line 3")
+  message(FATAL_ERROR "bad line was not reported non-fatally:\n${err}")
+endif()
+
+# `metrics` answered with the JSON snapshot schema and live series.
+if(NOT out MATCHES "\"schema\":\"amdj-metrics-v1\"")
+  message(FATAL_ERROR "metrics command did not print the snapshot:\n${out}")
+endif()
+if(NOT out MATCHES "amdj_service_completed_total")
+  message(FATAL_ERROR "snapshot is missing service counters:\n${out}")
+endif()
+
+# `metrics-prom` answered with Prometheus exposition text.
+if(NOT out MATCHES "# TYPE amdj_service_requests_total counter")
+  message(FATAL_ERROR "metrics-prom did not print TYPE lines:\n${out}")
+endif()
+if(NOT out MATCHES "amdj_service_query_latency_ns{[^}]*quantile=\"0.99\"")
+  message(FATAL_ERROR "metrics-prom is missing latency quantiles:\n${out}")
+endif()
+
+# The exporter left a parseable shutdown snapshot behind (write-then-rename,
+# so no .tmp leftover is expected either).
+if(NOT EXISTS ${WORK_DIR}/metrics_out.json)
+  message(FATAL_ERROR "--metrics-json did not write metrics_out.json")
+endif()
+file(READ ${WORK_DIR}/metrics_out.json snapshot)
+if(NOT snapshot MATCHES "\"schema\":\"amdj-metrics-v1\"")
+  message(FATAL_ERROR "exported snapshot is not a metrics JSON:\n${snapshot}")
+endif()
+if(NOT snapshot MATCHES "amdj_service_completed_total\",\"labels\":\"\",\"value\":2")
+  message(FATAL_ERROR
+      "shutdown snapshot should count both completed queries:\n${snapshot}")
+endif()
