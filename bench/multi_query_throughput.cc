@@ -1,13 +1,27 @@
-// Inter-query throughput of the JoinService: a fixed mixed KDJ/IDJ query
-// set replayed at 1, 2, 4 and 8 queries in flight over one shared buffer
-// pool. Reports aggregate wall-clock, queries/second and speedup over the
-// 1-in-flight replay, plus mean per-query admission wait; verifies that
-// every concurrent run returns byte-identical results to the 1-in-flight
-// replay (per-query attribution makes the stats exact, so correctness is
-// checked on results AND on the hits+misses==accesses identity).
+// Inter-query throughput of the JoinService over one shared buffer pool,
+// three workloads (--workload=mixed|duplicate|ladder|all, default all):
 //
-// --json=FILE additionally writes one {"inflight":..,"wall_s":..,"qps":..}
-// summary object (JSON array) for BENCH_PR4.json-style tracking.
+//  mixed      A fixed mixed KDJ/IDJ query set replayed at 1, 2, 4 and 8
+//             queries in flight. Reports aggregate wall-clock, qps and
+//             speedup over the 1-in-flight replay, plus mean admission
+//             wait; verifies every concurrent run returns byte-identical
+//             results to the 1-in-flight replay (per-query attribution
+//             makes the stats exact, so correctness is checked on results
+//             AND on the hits+misses==accesses identity).
+//  duplicate  A duplicate-heavy set (few distinct queries, many copies
+//             each) run twice at equal max_inflight: shared-work layer off
+//             then on (in-flight dedupe + semantic result cache). Verifies
+//             the on-run's responses are byte-identical per query to the
+//             off-run's, and reports the off/on qps and the shared-hit
+//             rate.
+//  ladder     A k-ladder: one big-k warm query, then the same semantic
+//             query at descending k' — with the cache on every k' <= k is
+//             answered from the cached prefix without touching the trees.
+//
+// --json=FILE additionally writes one summary object with a "levels"
+// array (mixed) and "duplicate"/"ladder" objects for BENCH_PR*.json
+// tracking and the CI shared-hit guard
+// (scripts/check_bench_regression.py --throughput-json).
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,27 +66,75 @@ std::vector<service::JoinRequest> MakeQuerySet(uint64_t scale) {
   return requests;
 }
 
-void Run(int argc, char** argv) {
-  // --json is this bench's own flag; strip it before the shared parser
-  // (which rejects unknown arguments).
-  std::string json_path;
-  std::vector<char*> shared_args = {argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else {
-      shared_args.push_back(argv[i]);
+struct LevelSummary {
+  uint32_t inflight;
+  double wall_s;
+  double qps;
+};
+
+struct SharedSummary {
+  uint32_t inflight = 0;
+  size_t queries = 0;
+  double wall_off_s = 0.0;
+  double wall_on_s = 0.0;
+  double qps_off = 0.0;
+  double qps_on = 0.0;
+  uint64_t inflight_hits = 0;
+  uint64_t cache_hits = 0;
+  double hit_rate = 0.0;
+};
+
+void FailQuery(const char* what, size_t q, const Status& status) {
+  std::fprintf(stderr, "FATAL: %s query %zu: %s\n", what, q,
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Replays `requests` through a fresh service (cold buffer pool) and
+/// returns the responses; dies on any per-query error.
+std::vector<service::JoinResponse> Replay(
+    BenchEnv& env, const std::vector<service::JoinRequest>& requests,
+    const service::JoinService::Options& options, double* wall_s,
+    SharedSummary* shared, bool on) {
+  service::JoinService svc(*env.streets, *env.hydro, options);
+  if (!env.pool->Clear().ok()) std::abort();
+  Timer wall;
+  std::vector<std::future<service::JoinResponse>> futures;
+  futures.reserve(requests.size());
+  for (const auto& request : requests) futures.push_back(svc.Submit(request));
+  std::vector<service::JoinResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  *wall_s = wall.ElapsedSeconds();
+  for (size_t q = 0; q < responses.size(); ++q) {
+    if (!responses[q].status.ok()) {
+      FailQuery("replay", q, responses[q].status);
     }
   }
-  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(
-      static_cast<int>(shared_args.size()), shared_args.data()));
-  PrintHeader("Multi-query throughput (JoinService, shared buffer pool)",
-              env);
+  if (shared != nullptr && on) {
+    shared->inflight_hits = svc.shared_inflight_hits();
+    shared->cache_hits = svc.shared_cache_hits();
+  }
+  return responses;
+}
 
+void CheckPairwiseIdentical(const std::vector<service::JoinResponse>& a,
+                            const std::vector<service::JoinResponse>& b,
+                            const char* what) {
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].results != b[q].results) {
+      std::fprintf(stderr,
+                   "FATAL: %s query %zu differs between the shared-work "
+                   "off and on runs\n",
+                   what, q);
+      std::exit(1);
+    }
+  }
+}
+
+std::vector<LevelSummary> RunMixed(BenchEnv& env, uint64_t scale) {
   // Two full query-set replays per in-flight level so the service queue
   // actually backs up beyond max_inflight.
-  const uint64_t scale = env.config.streets >= 100'000 ? 1000 : 200;
   std::vector<service::JoinRequest> requests = MakeQuerySet(scale);
   {
     const std::vector<service::JoinRequest> again = requests;
@@ -87,12 +149,7 @@ void Run(int argc, char** argv) {
 
   double baseline_wall = 0.0;
   std::vector<std::vector<core::ResultPair>> baseline;
-  struct Summary {
-    uint32_t inflight;
-    double wall_s;
-    double qps;
-  };
-  std::vector<Summary> summaries;
+  std::vector<LevelSummary> summaries;
 
   for (const uint32_t inflight : inflight_levels) {
     service::JoinService::Options options;
@@ -103,28 +160,14 @@ void Run(int argc, char** argv) {
     // effects.
     options.queue_memory_budget_bytes =
         env.config.memory_bytes * inflight;
-    service::JoinService svc(*env.streets, *env.hydro, options);
-
-    // Cold pool per level so every level pages the trees in itself.
-    if (!env.pool->Clear().ok()) std::abort();
-    Timer wall;
-    std::vector<std::future<service::JoinResponse>> futures;
-    for (const auto& request : requests) {
-      futures.push_back(svc.Submit(request));
-    }
-    std::vector<service::JoinResponse> responses;
-    for (auto& future : futures) responses.push_back(future.get());
-    const double wall_s = wall.ElapsedSeconds();
+    double wall_s = 0.0;
+    std::vector<service::JoinResponse> responses =
+        Replay(env, requests, options, &wall_s, nullptr, false);
 
     double wait_sum = 0.0;
     uint64_t accesses = 0;
     for (size_t q = 0; q < responses.size(); ++q) {
       const auto& response = responses[q];
-      if (!response.status.ok()) {
-        std::fprintf(stderr, "FATAL: query %zu failed: %s\n", q,
-                     response.status.ToString().c_str());
-        std::exit(1);
-      }
       if (response.stats.node_buffer_hits + response.stats.node_disk_reads !=
           response.stats.node_accesses) {
         std::fprintf(stderr, "FATAL: query %zu attribution skew\n", q);
@@ -162,6 +205,197 @@ void Run(int argc, char** argv) {
              widths);
     summaries.push_back({inflight, wall_s, qps});
   }
+  return summaries;
+}
+
+/// Duplicate-heavy: 4 distinct KDJ queries, kCopies submissions each,
+/// round-robin interleaved so identical requests are genuinely in flight
+/// together. Off-run executes all of them; on-run (same max_inflight,
+/// same budget) collapses each distinct query to ~one execution.
+SharedSummary RunDuplicate(BenchEnv& env, uint64_t scale) {
+  constexpr size_t kCopies = 12;
+  std::vector<service::JoinRequest> distinct;
+  const struct {
+    core::KdjAlgorithm kdj;
+    uint64_t k;
+  } specs[] = {
+      {core::KdjAlgorithm::kAmKdj, 10 * scale},
+      {core::KdjAlgorithm::kBKdj, 6 * scale},
+      {core::KdjAlgorithm::kAmKdj, 3 * scale},
+      {core::KdjAlgorithm::kHsKdj, 2 * scale},
+  };
+  for (const auto& spec : specs) {
+    service::JoinRequest request;
+    request.kdj_algorithm = spec.kdj;
+    request.k = spec.k;
+    distinct.push_back(request);
+  }
+  std::vector<service::JoinRequest> requests;
+  requests.reserve(distinct.size() * kCopies);
+  for (size_t copy = 0; copy < kCopies; ++copy) {
+    for (const auto& request : distinct) requests.push_back(request);
+  }
+
+  SharedSummary summary;
+  summary.inflight = 4;
+  summary.queries = requests.size();
+
+  service::JoinService::Options off;
+  off.max_inflight = summary.inflight;
+  off.queue_memory_budget_bytes = env.config.memory_bytes * off.max_inflight;
+  service::JoinService::Options on = off;
+  on.dedupe_inflight = true;
+  on.shared_cache_entries = 32;
+
+  std::vector<service::JoinResponse> off_responses =
+      Replay(env, requests, off, &summary.wall_off_s, nullptr, false);
+  std::vector<service::JoinResponse> on_responses =
+      Replay(env, requests, on, &summary.wall_on_s, &summary, true);
+  CheckPairwiseIdentical(off_responses, on_responses, "duplicate");
+
+  summary.qps_off = requests.size() / summary.wall_off_s;
+  summary.qps_on = requests.size() / summary.wall_on_s;
+  summary.hit_rate =
+      static_cast<double>(summary.inflight_hits + summary.cache_hits) /
+      static_cast<double>(requests.size());
+  return summary;
+}
+
+/// K-ladder: one big-k warm query per distinct option set, then the same
+/// query at descending k' — every k' <= k is a cached-prefix answer when
+/// the shared cache is on. The warm query runs to completion first (solo
+/// submit) so the ladder measures the cache, not dedupe.
+SharedSummary RunLadder(BenchEnv& env, uint64_t scale) {
+  const uint64_t warm_k = 10 * scale;
+  const uint64_t ladder_ks[] = {8 * scale, 6 * scale, 4 * scale, 3 * scale,
+                                2 * scale, scale,     scale / 2, scale / 4};
+
+  SharedSummary summary;
+  summary.inflight = 2;
+
+  auto run = [&](const service::JoinService::Options& options,
+                 double* wall_s, bool on) {
+    service::JoinService svc(*env.streets, *env.hydro, options);
+    if (!env.pool->Clear().ok()) std::abort();
+    Timer wall;
+    std::vector<service::JoinResponse> responses;
+    service::JoinRequest warm;
+    warm.k = warm_k;
+    responses.push_back(svc.Run(warm));
+    // Two passes over the ladder: the second pass hits even when the
+    // first had to execute (cache warm by then either way).
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<std::future<service::JoinResponse>> futures;
+      for (const uint64_t k : ladder_ks) {
+        service::JoinRequest request;
+        request.k = k;
+        futures.push_back(svc.Submit(request));
+      }
+      for (auto& future : futures) responses.push_back(future.get());
+    }
+    *wall_s = wall.ElapsedSeconds();
+    for (size_t q = 0; q < responses.size(); ++q) {
+      if (!responses[q].status.ok()) FailQuery("ladder", q, responses[q].status);
+    }
+    if (on) {
+      summary.inflight_hits = svc.shared_inflight_hits();
+      summary.cache_hits = svc.shared_cache_hits();
+    }
+    return responses;
+  };
+
+  service::JoinService::Options off;
+  off.max_inflight = summary.inflight;
+  off.queue_memory_budget_bytes = env.config.memory_bytes * off.max_inflight;
+  service::JoinService::Options on = off;
+  on.dedupe_inflight = true;
+  on.shared_cache_entries = 32;
+
+  std::vector<service::JoinResponse> off_responses =
+      run(off, &summary.wall_off_s, false);
+  std::vector<service::JoinResponse> on_responses =
+      run(on, &summary.wall_on_s, true);
+  CheckPairwiseIdentical(off_responses, on_responses, "ladder");
+
+  summary.queries = off_responses.size();
+  summary.qps_off = summary.queries / summary.wall_off_s;
+  summary.qps_on = summary.queries / summary.wall_on_s;
+  summary.hit_rate =
+      static_cast<double>(summary.inflight_hits + summary.cache_hits) /
+      static_cast<double>(summary.queries);
+  return summary;
+}
+
+void PrintShared(const char* name, const SharedSummary& s) {
+  const std::vector<int> widths = {11, 9, 10, 10, 9, 10, 10, 9};
+  PrintRow({"workload", "queries", "off (s)", "on (s)", "speedup",
+            "piggyback", "cache", "hit rate"},
+           widths);
+  char speedup[32], rate[32];
+  std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                s.wall_off_s / s.wall_on_s);
+  std::snprintf(rate, sizeof(rate), "%.0f%%", 100.0 * s.hit_rate);
+  PrintRow({name, std::to_string(s.queries), FormatSeconds(s.wall_off_s),
+            FormatSeconds(s.wall_on_s), speedup,
+            FormatCount(s.inflight_hits), FormatCount(s.cache_hits), rate},
+           widths);
+}
+
+void WriteShared(std::FILE* out, const char* key, const SharedSummary& s) {
+  std::fprintf(out,
+               ",\n\"%s\": {\"inflight\": %u, \"queries\": %zu, "
+               "\"wall_off_s\": %.4f, \"wall_on_s\": %.4f, "
+               "\"qps_off\": %.2f, \"qps_on\": %.2f, \"speedup\": %.3f, "
+               "\"inflight_hits\": %llu, \"cache_hits\": %llu, "
+               "\"shared_hit_rate\": %.4f}",
+               key, s.inflight, s.queries, s.wall_off_s, s.wall_on_s,
+               s.qps_off, s.qps_on, s.wall_off_s / s.wall_on_s,
+               static_cast<unsigned long long>(s.inflight_hits),
+               static_cast<unsigned long long>(s.cache_hits), s.hit_rate);
+}
+
+void Run(int argc, char** argv) {
+  // --json / --workload are this bench's own flags; strip them before the
+  // shared parser (which rejects unknown arguments).
+  std::string json_path;
+  std::string workload = "all";
+  std::vector<char*> shared_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      workload = arg.substr(11);
+    } else {
+      shared_args.push_back(argv[i]);
+    }
+  }
+  if (workload != "all" && workload != "mixed" && workload != "duplicate" &&
+      workload != "ladder") {
+    std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
+    std::exit(2);
+  }
+  BenchEnv env = MakeTigerEnv(BenchConfig::FromArgs(
+      static_cast<int>(shared_args.size()), shared_args.data()));
+  PrintHeader("Multi-query throughput (JoinService, shared buffer pool)",
+              env);
+
+  const uint64_t scale = env.config.streets >= 100'000 ? 1000 : 200;
+  const bool want_mixed = workload == "all" || workload == "mixed";
+  const bool want_duplicate = workload == "all" || workload == "duplicate";
+  const bool want_ladder = workload == "all" || workload == "ladder";
+
+  std::vector<LevelSummary> levels;
+  SharedSummary duplicate, ladder;
+  if (want_mixed) levels = RunMixed(env, scale);
+  if (want_duplicate) {
+    duplicate = RunDuplicate(env, scale);
+    PrintShared("duplicate", duplicate);
+  }
+  if (want_ladder) {
+    ladder = RunLadder(env, scale);
+    PrintShared("ladder", ladder);
+  }
 
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -173,18 +407,23 @@ void Run(int argc, char** argv) {
     // host, parity (1.0x) with falling admission wait IS the expected
     // scaling result.
     std::fprintf(out,
-                 "{\"bench\": \"multi_query_throughput\", \"cores\": %u, "
-                 "\"queries\": %zu, \"levels\": [",
-                 std::thread::hardware_concurrency(), requests.size());
-    for (size_t i = 0; i < summaries.size(); ++i) {
-      std::fprintf(out,
-                   "%s\n  {\"inflight\": %u, \"wall_s\": %.4f, "
-                   "\"qps\": %.2f, \"speedup\": %.3f}",
-                   i == 0 ? "" : ",", summaries[i].inflight,
-                   summaries[i].wall_s, summaries[i].qps,
-                   summaries[0].wall_s / summaries[i].wall_s);
+                 "{\"bench\": \"multi_query_throughput\", \"cores\": %u",
+                 std::thread::hardware_concurrency());
+    if (want_mixed) {
+      std::fprintf(out, ",\n\"levels\": [");
+      for (size_t i = 0; i < levels.size(); ++i) {
+        std::fprintf(out,
+                     "%s\n  {\"inflight\": %u, \"wall_s\": %.4f, "
+                     "\"qps\": %.2f, \"speedup\": %.3f}",
+                     i == 0 ? "" : ",", levels[i].inflight,
+                     levels[i].wall_s, levels[i].qps,
+                     levels[0].wall_s / levels[i].wall_s);
+      }
+      std::fprintf(out, "\n]");
     }
-    std::fprintf(out, "\n]}\n");
+    if (want_duplicate) WriteShared(out, "duplicate", duplicate);
+    if (want_ladder) WriteShared(out, "ladder", ladder);
+    std::fprintf(out, "\n}\n");
     std::fclose(out);
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   }

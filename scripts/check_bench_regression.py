@@ -20,6 +20,14 @@ Three input shapes, combinable:
                         (default 1.25, tight because counters don't carry
                         machine noise: a counter regression is an algorithm
                         change, not a slow runner).
+  --throughput-json FILE [--min-shared-hit-rate R] [--min-shared-speedup R]
+                        a multi_query_throughput --json summary containing a
+                        "duplicate" (and/or "ladder") shared-work section;
+                        each present section's shared_hit_rate and off->on
+                        speedup must clear the floors. Guards the
+                        JoinService dedupe/cache path: a hit rate collapse
+                        means the semantic key or registry broke even while
+                        results stay correct.
   --wall-baseline A --wall-current B [--max-wall-ratio R] [--wall-bench N]*
                         A/B overhead guard over two wall-file-format files
                         measured in the SAME CI run (e.g. AMDJ_METRICS=0 vs
@@ -188,19 +196,28 @@ def figure_runs(doc):
     return runs
 
 
-def check_work_counters(baseline_path, current_path, max_ratio, failures):
+def check_work_counters(baseline_path, current_path, max_ratio, slack,
+                        failures):
     """Diff the deterministic work counters of every figure run present in
     both files. Wall clock wobbles with the machine; node_accesses and
     distance_computations only move when the algorithm moves, so a much
-    tighter ratio applies. New runs (no baseline key) pass silently."""
+    tighter ratio applies. New runs (no baseline key) pass silently.
+    `slack` ({figure: ratio}) overrides max_ratio per figure — for the few
+    benches whose counters legitimately wobble (thread-schedule-dependent
+    shard pruning); an entry matching no compared figure is an error."""
     with open(baseline_path) as f:
         base_runs = figure_runs(json.load(f))
     with open(current_path) as f:
         cur_runs = figure_runs(json.load(f))
     counters = ("node_accesses", "distance_computations")
     compared = 0
+    slack_used = set()
     for key in sorted(set(base_runs) & set(cur_runs)):
         label = f"{key[0]}/{key[1]}/k={key[2]}"
+        limit = max_ratio
+        if key[0] in slack:
+            limit = slack[key[0]]
+            slack_used.add(key[0])
         for counter in counters:
             base = base_runs[key].get(counter)
             cur = cur_runs[key].get(counter)
@@ -208,10 +225,10 @@ def check_work_counters(baseline_path, current_path, max_ratio, failures):
                 continue
             compared += 1
             ratio = cur / base
-            if ratio > max_ratio:
+            if ratio > limit:
                 failures.append(
                     f"{label} {counter}: {cur} vs baseline {base} "
-                    f"({ratio:.2f}x > {max_ratio}x)")
+                    f"({ratio:.2f}x > {limit}x)")
             else:
                 print(f"ok: {label} {counter} {cur} vs {base} "
                       f"({ratio:.2f}x)")
@@ -219,6 +236,45 @@ def check_work_counters(baseline_path, current_path, max_ratio, failures):
         failures.append(
             f"no figure runs common to {baseline_path} and {current_path} "
             "(renamed everything? the counter guard is disarmed)")
+    unused = set(slack) - slack_used
+    if unused:
+        failures.append("work-slack matched no compared figure (renamed?): "
+                        + ", ".join(sorted(unused)))
+
+
+def check_throughput_shared(path, min_hit_rate, min_speedup, failures):
+    """Guards the shared-work sections of a multi_query_throughput --json
+    summary. Every section present ("duplicate", "ladder") must clear the
+    hit-rate and speedup floors; a file with neither section disarms the
+    guard and is itself a failure."""
+    with open(path) as f:
+        doc = json.load(f)
+    checked = 0
+    for section in ("duplicate", "ladder"):
+        payload = doc.get(section)
+        if payload is None:
+            continue
+        checked += 1
+        hit_rate = payload.get("shared_hit_rate", 0.0)
+        speedup = payload.get("speedup", 0.0)
+        if hit_rate < min_hit_rate:
+            failures.append(
+                f"{section}: shared_hit_rate {hit_rate:.3f} < "
+                f"floor {min_hit_rate}")
+        else:
+            print(f"ok: {section} shared_hit_rate {hit_rate:.3f} "
+                  f"(floor {min_hit_rate})")
+        if speedup < min_speedup:
+            failures.append(
+                f"{section}: shared-work speedup {speedup:.2f}x < "
+                f"floor {min_speedup}x")
+        else:
+            print(f"ok: {section} speedup {speedup:.2f}x "
+                  f"(floor {min_speedup}x)")
+    if checked == 0:
+        failures.append(
+            f"{path}: no duplicate/ladder section (the shared-work guard "
+            "is disarmed)")
 
 
 def main():
@@ -235,6 +291,15 @@ def main():
                         help="also diff figure work counters in "
                              "--baseline/--current mode")
     parser.add_argument("--max-work-ratio", type=float, default=1.25)
+    parser.add_argument("--work-slack", action="append", default=[],
+                        metavar="FIGURE=RATIO",
+                        help="per-figure work-counter ratio override "
+                             "(repeat); must match a compared figure")
+    parser.add_argument("--throughput-json",
+                        help="multi_query_throughput --json summary with "
+                             "shared-work sections to guard")
+    parser.add_argument("--min-shared-hit-rate", type=float, default=0.5)
+    parser.add_argument("--min-shared-speedup", type=float, default=1.0)
     parser.add_argument("--wall-baseline")
     parser.add_argument("--wall-current")
     parser.add_argument("--max-wall-ratio", type=float, default=1.02)
@@ -249,7 +314,7 @@ def main():
     if bool(args.wall_baseline) != bool(args.wall_current):
         sys.exit("error: --wall-baseline and --wall-current go together")
     if not (args.wall_file or args.gbench or args.baseline
-            or args.wall_baseline):
+            or args.wall_baseline or args.throughput_json):
         sys.exit("error: nothing to check")
 
     limits = parse_limits(args.limit)
@@ -263,7 +328,12 @@ def main():
         check_ratio(args.baseline, args.current, args.max_ratio, failures)
         if args.work:
             check_work_counters(args.baseline, args.current,
-                                args.max_work_ratio, failures)
+                                args.max_work_ratio,
+                                parse_limits(args.work_slack), failures)
+    if args.throughput_json:
+        check_throughput_shared(args.throughput_json,
+                                args.min_shared_hit_rate,
+                                args.min_shared_speedup, failures)
     if args.wall_baseline:
         check_ab_wall(args.wall_baseline, args.wall_current,
                       args.max_wall_ratio, args.wall_bench, failures)

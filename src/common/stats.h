@@ -99,6 +99,14 @@ struct JoinStats {
   /// Shard pairs that actually executed a per-pair join.
   uint64_t shard_pairs_executed = 0;
 
+  // --- cross-query shared work (service/shared_work.h) ---
+  /// 1 when this response was produced by the JoinService shared-work
+  /// layer — piggybacked on an identical in-flight execution or answered
+  /// from the semantic result cache — instead of its own tree traversal.
+  /// The leader execution of a deduped group reports 0: exactly one
+  /// response per group carries the real traversal counters.
+  uint64_t shared_hit = 0;
+
   // --- time ---
   /// Measured wall-clock CPU time, seconds.
   double cpu_seconds = 0.0;
@@ -183,6 +191,7 @@ void ForEachJoinStatsFieldPair(StatsA&& a, StatsB&& b, Fn&& fn) {
      b.shard_pairs_pruned_cutoff, StatFieldKind::kAdd);
   fn("shard_pairs_executed", a.shard_pairs_executed, b.shard_pairs_executed,
      StatFieldKind::kAdd);
+  fn("shared_hit", a.shared_hit, b.shared_hit, StatFieldKind::kAdd);
   fn("cpu_seconds", a.cpu_seconds, b.cpu_seconds, StatFieldKind::kAdd);
   fn("simulated_io_seconds", a.simulated_io_seconds, b.simulated_io_seconds,
      StatFieldKind::kAdd);

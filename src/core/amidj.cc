@@ -43,10 +43,8 @@ Status AmIdjCursor::Prime() {
   if (forced_next_edmax_.has_value()) {
     first = *forced_next_edmax_;
     forced_next_edmax_.reset();
-  } else if (options_.forced_edmax.has_value()) {
-    first = *options_.forced_edmax;
   } else {
-    first = estimator_->EstimateDmax(k1);
+    first = InitialEdmaxEstimate(options_, *estimator_, k1);
   }
   if (options_.report != nullptr) {
     options_.report->BeginPhase("stage-1", *stats_);

@@ -37,7 +37,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
   // eDmax lives in key space like every internal cutoff; the estimator API
   // stays in distance space and converts at this boundary.
   double edmax = geom::DistanceToKeyCutoff(
-      options.forced_edmax.value_or(estimator->EstimateDmax(k)),
+      InitialEdmaxEstimate(options, *estimator, k),
       options.metric);
   if (options.report != nullptr) {
     options.report->BeginPhase("aggressive", *stats);
@@ -311,7 +311,7 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
                                          ? options.estimator
                                          : &fallback_estimator;
   double edmax = geom::DistanceToKeyCutoff(
-      options.forced_edmax.value_or(estimator->EstimateDmax(k)),
+      InitialEdmaxEstimate(options, *estimator, k),
       options.metric);
   if (options.report != nullptr) {
     options.report->BeginPhase("adaptive", *stats);
@@ -489,7 +489,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
                                          ? options.estimator
                                          : &fallback_estimator;
   double edmax = geom::DistanceToKeyCutoff(
-      options.forced_edmax.value_or(estimator->EstimateDmax(k)),
+      InitialEdmaxEstimate(options, *estimator, k),
       options.metric);
   if (options.report != nullptr) {
     options.report->BeginPhase("aggressive", *stats);

@@ -103,6 +103,18 @@ struct JoinOptions {
   /// multiples of the true Dmax through this).
   std::optional<double> forced_edmax;
 
+  /// Learned upper-bound hint on the initial eDmax estimate, in distance
+  /// space. The adaptive algorithms min() it into the estimator's initial
+  /// estimate (see InitialEdmaxEstimate below); the service's shared-work
+  /// layer sets it from exact Dmax values observed by completed joins on
+  /// the same tree pair and options. Exact-safe by construction: eDmax is
+  /// only ever a *staging* cutoff — an estimate that is too small triggers
+  /// the compensation machinery, never a dropped result — so a hint can
+  /// change how much work stage one does but not what the join returns.
+  /// Ignored when forced_edmax is set (the figure benches force exact
+  /// multiples and must not be second-guessed).
+  std::optional<double> edmax_seed;
+
   /// First-stage target cardinality for AM-IDJ when no hint is given.
   uint64_t idj_initial_k = 4096;
 
@@ -215,6 +227,24 @@ struct JoinOptions {
   std::optional<geom::Rect> r_window;
   std::optional<geom::Rect> s_window;
 };
+
+/// Initial eDmax estimate (distance space) for the adaptive algorithms:
+/// forced_edmax when set (figure benches), otherwise the estimator's Eq.-3
+/// estimate min'd with any learned edmax_seed. The seed is an upper bound
+/// on the true Dmax(k) observed from a completed join, so min() can only
+/// tighten the staging estimate — it never invalidates pruning, and an
+/// over-tight seed is recovered by the compensation machinery exactly like
+/// an over-tight Eq.-3 estimate.
+inline double InitialEdmaxEstimate(const JoinOptions& options,
+                                   const CutoffEstimator& estimator,
+                                   uint64_t k) {
+  if (options.forced_edmax) return *options.forced_edmax;
+  double estimate = estimator.EstimateDmax(k);
+  if (options.edmax_seed && *options.edmax_seed < estimate) {
+    estimate = *options.edmax_seed;
+  }
+  return estimate;
+}
 
 /// Monotone minimum on a shared cutoff atomic (relaxed: the protocol
 /// tolerates stale reads, see shared_cutoff_key). Every writer of a

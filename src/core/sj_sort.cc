@@ -1,5 +1,7 @@
 #include "core/sj_sort.h"
 
+#include <algorithm>
+
 #include "common/run_report.h"
 #include "common/trace.h"
 #include "spatialjoin/external_sorter.h"
@@ -40,7 +42,7 @@ StatusOr<std::vector<ResultPair>> SjSort::Run(const rtree::RTree& r,
 
   if (options.report != nullptr) options.report->BeginPhase("emit", *stats);
   TraceSpan emit_span(options.tracer, "emit");
-  results.reserve(k);
+  results.reserve(static_cast<size_t>(std::min<uint64_t>(k, uint64_t{1} << 20)));
   ResultPair rec;
   bool done = false;
   while (results.size() < k) {

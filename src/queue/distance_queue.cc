@@ -6,7 +6,10 @@ namespace amdj::queue {
 
 DistanceQueue::DistanceQueue(size_t k, JoinStats* stats)
     : k_(k == 0 ? 1 : k), stats_(stats) {
-  heap_.reserve(k_);
+  // k is caller-controlled and may be "effectively unbounded" (UINT64_MAX
+  // to stream everything); the heap grows lazily, so cap the up-front
+  // reservation instead of letting reserve() throw length_error.
+  heap_.reserve(std::min(k_, size_t{1} << 20));
 }
 
 void DistanceQueue::Insert(double distance) {

@@ -1,6 +1,7 @@
 #include "service/join_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -8,7 +9,9 @@
 #include "common/metrics.h"
 #include "common/run_report.h"
 #include "common/timer.h"
+#include "core/dmax_estimator.h"
 #include "core/shard_executor.h"
+#include "service/shared_work.h"
 #include "storage/disk_manager.h"
 
 namespace amdj::service {
@@ -25,6 +28,11 @@ struct ServiceMetrics {
   Counter* rejected;
   Counter* completed;
   Counter* slow_queries;
+  Counter* shared_inflight_hits;
+  Counter* shared_cache_hits;
+  Counter* shared_seeds;
+  Counter* shared_misses;
+  Gauge* shared_cache_entries;
 };
 
 ServiceMetrics& GlobalServiceMetrics() {
@@ -48,6 +56,20 @@ ServiceMetrics& GlobalServiceMetrics() {
                              "Requests finished (any status)"),
         registry->GetCounter("amdj_service_slow_queries_total", "",
                              "Queries past the slow_query_seconds threshold"),
+        registry->GetCounter("amdj_service_shared_hits_total",
+                             "kind=\"inflight\"",
+                             "Responses served by the shared-work layer"),
+        registry->GetCounter("amdj_service_shared_hits_total",
+                             "kind=\"cache\"",
+                             "Responses served by the shared-work layer"),
+        registry->GetCounter("amdj_service_shared_seeds_total", "",
+                             "Runs whose initial eDmax was seeded from an "
+                             "observed Dmax"),
+        registry->GetCounter("amdj_service_shared_misses_total", "",
+                             "Shareable requests that found no shared work "
+                             "and executed themselves"),
+        registry->GetGauge("amdj_service_shared_cache_entries", "",
+                           "Live entries in the semantic result cache"),
     };
   }();
   return metrics;
@@ -71,6 +93,19 @@ uint64_t SecondsToNanos(double seconds) {
   return static_cast<uint64_t>(seconds * 1e9);
 }
 
+double DurationSeconds(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0.0;
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::future<JoinResponse> ReadyFuture(JoinResponse response) {
+  std::promise<JoinResponse> promise;
+  std::future<JoinResponse> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
 }  // namespace
 
 JoinService::JoinService(const rtree::RTree& r, const rtree::RTree& s,
@@ -86,6 +121,9 @@ JoinService::JoinService(const rtree::RTree& r, const rtree::RTree& s,
               // the accounted in-memory tier (see Options doc): halve the
               // clamp so the total stays within the budget.
               (options.spill_io_threads > 0 ? 2 : 1))),
+      shared_(std::make_unique<SharedWorkRegistry>(
+          options.shared_cache_entries,
+          GlobalServiceMetrics().shared_cache_entries)),
       pool_(std::make_unique<ThreadPool>(max_inflight_,
                                          options.name_prefix)) {
   if (options.spill_io_threads > 0) {
@@ -118,11 +156,24 @@ JoinService::~JoinService() {
   pool_.reset();
 }
 
+bool JoinService::Shardable(const JoinRequest& request) const {
+  return options_.shards > 1 && request.kind == JoinRequest::Kind::kKdj &&
+         (request.kdj_algorithm == core::KdjAlgorithm::kBKdj ||
+          request.kdj_algorithm == core::KdjAlgorithm::kAmKdj);
+}
+
 core::JoinOptions JoinService::EffectiveOptions(
     const JoinRequest& request) const {
   core::JoinOptions effective = request.options;
   effective.queue_memory_bytes =
       std::min(effective.queue_memory_bytes, per_query_queue_memory_);
+  if (Shardable(request)) {
+    // Up to shard_threads per-pair queues live at once within this one
+    // query; they share the query's admission budget.
+    effective.queue_memory_bytes =
+        std::max(kMinQueueMemoryBytes,
+                 effective.queue_memory_bytes / options_.shard_threads);
+  }
   // The session spill disk is per-execution; whatever the caller set is
   // replaced (a shared spill disk across concurrent queries would mix
   // their segments and outlive neither cleanly). Likewise the spill I/O
@@ -135,28 +186,95 @@ core::JoinOptions JoinService::EffectiveOptions(
 
 std::future<JoinResponse> JoinService::Submit(JoinRequest request) {
   ServiceMetrics& metrics = GlobalServiceMetrics();
-  {
+  const bool cache_on = options_.shared_cache_entries > 0;
+  SharedWorkKeys keys;
+  if (options_.dedupe_inflight || cache_on) {
+    keys = ComputeSharedWorkKeys(request);
+  }
+
+  // 1. Semantic result cache: a completed run at k0 >= k answers this
+  // request byte-identically from its prefix without touching the trees.
+  // Cache hits bypass admission entirely (they cost no execution slot).
+  if (cache_on && keys.cache_key.has_value()) {
+    auto hit = shared_->CacheLookup(*keys.cache_key, request.k);
+    if (hit.has_value()) {
+      {
+        const MutexLock lock(&mutex_);
+        ++accepted_;
+        ++completed_;
+      }
+      metrics.accepted->Increment();
+      metrics.completed->Increment();
+      metrics.shared_cache_hits->Increment();
+      if (MetricsEnabled()) QueryLatencyHistogram(request)->Observe(0);
+      JoinResponse response;
+      response.results = std::move(hit->results);
+      response.stats.shared_hit = 1;
+      return ReadyFuture(std::move(response));
+    }
+  }
+
+  // Admission: cap check + the accepted/queued transition, one critical
+  // section so the snapshot identity holds. Runs either standalone (no
+  // dedupe) or nested under the registry lock (lock order: registry ->
+  // mutex_), where it makes lead-vs-reject one atomic step with the
+  // membership check.
+  const auto admit = [this] {
     const MutexLock lock(&mutex_);
     if (options_.max_queued > 0 && queued_ >= options_.max_queued) {
-      // Reject without blocking: the ready future is the backpressure
-      // signal open-loop callers need — blocking here would turn the
-      // admission queue into an unbounded hidden one at the caller.
       ++rejected_;
-      metrics.rejected->Increment();
-      std::promise<JoinResponse> rejected;
-      JoinResponse response;
-      response.status = Status::ResourceExhausted(
-          "join service admission queue is full (max_queued=" +
-          std::to_string(options_.max_queued) + ")");
-      rejected.set_value(std::move(response));
-      return rejected.get_future();
+      return false;
     }
+    ++accepted_;
     ++queued_;
+    return true;
+  };
+  const auto reject = [this, &metrics] {
+    // Reject without blocking: the ready future is the backpressure
+    // signal open-loop callers need — blocking here would turn the
+    // admission queue into an unbounded hidden one at the caller.
+    metrics.rejected->Increment();
+    JoinResponse response;
+    response.status = Status::ResourceExhausted(
+        "join service admission queue is full (max_queued=" +
+        std::to_string(options_.max_queued) + ")");
+    return ReadyFuture(std::move(response));
+  };
+
+  // 2. In-flight dedupe: piggyback on a semantically identical execution
+  // already admitted. Followers are admitted past max_queued — they cost
+  // no execution slot, and rejecting a request the service is already
+  // computing would be perverse.
+  const bool leads = options_.dedupe_inflight && keys.exec_key.has_value();
+  if (leads) {
+    bool became_leader = false;
+    auto piggy = shared_->JoinOrLead(
+        *keys.exec_key, &became_leader, admit, [this] {
+          const MutexLock lock(&mutex_);
+          ++accepted_;
+          ++queued_;
+        });
+    if (piggy.has_value()) {
+      metrics.accepted->Increment();
+      metrics.queued->Increment();
+      metrics.shared_inflight_hits->Increment();
+      return std::move(*piggy);
+    }
+    if (!became_leader) return reject();
+    metrics.shared_misses->Increment();
+  } else {
+    if (!admit()) return reject();
+    if (keys.exec_key.has_value()) {
+      // Shareable but nothing to share with (cache miss, dedupe off).
+      shared_->NoteMiss();
+      metrics.shared_misses->Increment();
+    }
   }
   metrics.accepted->Increment();
   metrics.queued->Increment();
   Timer queued;
-  return pool_->Submit([this, request = std::move(request), queued] {
+  return pool_->Submit([this, request = std::move(request),
+                        keys = std::move(keys), leads, queued] {
     ServiceMetrics& metrics = GlobalServiceMetrics();
     const double wait_seconds = queued.ElapsedSeconds();
     metrics.queued->Decrement();
@@ -167,11 +285,26 @@ std::future<JoinResponse> JoinService::Submit(JoinRequest request) {
       ++inflight_;
       peak_inflight_ = std::max(peak_inflight_, inflight_);
     }
+    if (leads) shared_->NoteExecutionStart(*keys.exec_key);
     JoinResponse response;
     {
       const ScopedGauge inflight_gauge(metrics.inflight);
-      response = Execute(request, wait_seconds);
+      response = Execute(request, wait_seconds, keys);
     }
+    // Record the completed run before resolving followers, so a follow-up
+    // submission racing the resolutions can already hit the cache.
+    if (options_.shared_cache_entries > 0 && keys.cache_key.has_value() &&
+        response.status.ok() &&
+        request.kind == JoinRequest::Kind::kKdj) {
+      if (!response.results.empty()) {
+        const bool exhaustive = response.results.size() < request.k;
+        shared_->RecordDmax(*keys.seed_key,
+                            response.results.size(),
+                            response.results.back().distance, exhaustive);
+      }
+      shared_->CacheInsert(*keys.cache_key, request.k, response.results);
+    }
+    if (leads) ResolveFollowers(request, *keys.exec_key, response);
     {
       const MutexLock lock(&mutex_);
       --inflight_;
@@ -186,12 +319,76 @@ std::future<JoinResponse> JoinService::Submit(JoinRequest request) {
   });
 }
 
+void JoinService::ResolveFollowers(const JoinRequest& request,
+                                   const std::string& exec_key,
+                                   const JoinResponse& response) {
+  SharedWorkRegistry::FollowerGroup group = shared_->FinishExecution(exec_key);
+  if (group.followers.empty()) return;
+  ServiceMetrics& metrics = GlobalServiceMetrics();
+  const auto now = std::chrono::steady_clock::now();
+  {
+    const MutexLock lock(&mutex_);
+    queued_ -= static_cast<uint32_t>(group.followers.size());
+    completed_ += group.followers.size();
+  }
+  for (SharedWorkRegistry::Follower& follower : group.followers) {
+    JoinResponse copy = response;
+    copy.stats.shared_hit = 1;
+    // Attribution mirrors a solo run's wait/exec split: time before the
+    // leader started executing was this follower's queue wait; time the
+    // follower overlapped with the execution is its exec time.
+    if (group.exec_started) {
+      copy.wait_seconds =
+          DurationSeconds(follower.submit_time, group.exec_start);
+      copy.exec_seconds = DurationSeconds(
+          std::max(follower.submit_time, group.exec_start), now);
+    } else {
+      copy.wait_seconds = 0.0;
+      copy.exec_seconds = DurationSeconds(follower.submit_time, now);
+    }
+    metrics.queued->Decrement();
+    metrics.admission_wait_ns->Observe(SecondsToNanos(copy.wait_seconds));
+    metrics.completed->Increment();
+    if (MetricsEnabled()) {
+      QueryLatencyHistogram(request)->Observe(
+          SecondsToNanos(copy.wait_seconds + copy.exec_seconds));
+    }
+    follower.promise.set_value(std::move(copy));
+  }
+}
+
 JoinResponse JoinService::Execute(const JoinRequest& request,
-                                  double wait_seconds) {
+                                  double wait_seconds,
+                                  const SharedWorkKeys& keys) {
   JoinResponse response;
   response.wait_seconds = wait_seconds;
 
   core::JoinOptions options = EffectiveOptions(request);
+  // Learned eDmax seed: consult the observed-Dmax table before the
+  // Eq. 3-5 estimator. Upper-bound hint only (JoinOptions::edmax_seed) —
+  // it stages the adaptive algorithms tighter but cannot change results.
+  // Skipped for forced_edmax (figure benches force exact multiples),
+  // caller-provided seeds, and sharded runs (per-pair subsets have their
+  // own larger per-pair Dmax; the shard executor's pooled cutoff already
+  // shares bounds across pairs live).
+  if (options_.shared_cache_entries > 0 && keys.seed_key.has_value() &&
+      !options.forced_edmax.has_value() && !options.edmax_seed.has_value() &&
+      !Shardable(request)) {
+    const core::DmaxEstimator fallback_estimator(
+        r_.bounds(), r_.size(), s_.bounds(), s_.size(), options.metric);
+    const core::CutoffEstimator* estimator =
+        options.estimator != nullptr ? options.estimator
+                                     : &fallback_estimator;
+    const uint64_t target_k =
+        request.kind == JoinRequest::Kind::kKdj
+            ? request.k
+            : std::max(options.idj_initial_k, request.k);
+    auto seed = shared_->SeedFor(*keys.seed_key, target_k, *estimator);
+    if (seed.has_value()) {
+      options.edmax_seed = seed;
+      GlobalServiceMetrics().shared_seeds->Increment();
+    }
+  }
   // Slow-query log: a query past the threshold dumps a full RunReport, so
   // when the request brought none the service attaches its own — the
   // phase/cutoff breakdown is exactly what a latency investigation needs
@@ -230,22 +427,15 @@ void JoinService::ExecuteRequest(const JoinRequest& request,
                                  JoinResponse* out) {
   JoinResponse& response = *out;
   if (request.kind == JoinRequest::Kind::kKdj) {
-    const bool shardable =
-        options_.shards > 1 &&
-        (request.kdj_algorithm == core::KdjAlgorithm::kBKdj ||
-         request.kdj_algorithm == core::KdjAlgorithm::kAmKdj);
-    if (shardable) {
+    if (Shardable(request)) {
       if (!shard_init_.ok()) {
         response.status = shard_init_;
         return;
       }
       core::ShardedJoinOptions sharded;
+      // The per-pair queue-memory division already happened in
+      // EffectiveOptions (which is how callers reproduce the run).
       sharded.join = options;
-      // Up to shard_threads per-pair queues live at once within this one
-      // query; they share the query's admission budget.
-      sharded.join.queue_memory_bytes =
-          std::max(kMinQueueMemoryBytes,
-                   options.queue_memory_bytes / options_.shard_threads);
       sharded.threads = options_.shard_threads;
       sharded.algorithm = request.kdj_algorithm;
       auto result = core::RunShardedKDistanceJoin(
@@ -275,7 +465,12 @@ void JoinService::ExecuteRequest(const JoinRequest& request,
     return;
   }
   (*cursor)->PrefetchHint(request.k);
-  response.results.reserve(request.k);
+  // `k` is caller-controlled; an unclamped reserve(UINT64_MAX) throws
+  // std::length_error out of the worker, breaking the "future never
+  // carries an exception" contract. The vector still grows to the true
+  // result count past the clamp — this only caps the pre-allocation.
+  response.results.reserve(static_cast<size_t>(
+      std::min<uint64_t>(request.k, uint64_t{1} << 20)));
   for (uint64_t i = 0; i < request.k; ++i) {
     core::ResultPair pair;
     bool done = false;
@@ -307,6 +502,36 @@ uint32_t JoinService::peak_inflight() const {
 uint64_t JoinService::rejected() const {
   const MutexLock lock(&mutex_);
   return rejected_;
+}
+
+JoinService::AdmissionSnapshot JoinService::admission_snapshot() const {
+  const MutexLock lock(&mutex_);
+  AdmissionSnapshot snapshot;
+  snapshot.accepted = accepted_;
+  snapshot.completed = completed_;
+  snapshot.rejected = rejected_;
+  snapshot.inflight = inflight_;
+  snapshot.queued = queued_;
+  snapshot.peak_inflight = peak_inflight_;
+  return snapshot;
+}
+
+uint64_t JoinService::shared_inflight_hits() const {
+  return shared_->inflight_hits();
+}
+
+uint64_t JoinService::shared_cache_hits() const {
+  return shared_->cache_hits();
+}
+
+uint64_t JoinService::shared_seed_hits() const {
+  return shared_->seed_hits();
+}
+
+uint64_t JoinService::shared_misses() const { return shared_->misses(); }
+
+size_t JoinService::shared_cache_size() const {
+  return shared_->cache_size();
 }
 
 }  // namespace amdj::service

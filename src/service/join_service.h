@@ -23,6 +23,9 @@
 
 namespace amdj::service {
 
+class SharedWorkRegistry;  // service/shared_work.h
+struct SharedWorkKeys;     // service/shared_work.h
+
 /// One distance-join request against the service's tree pair: either a
 /// k-distance join (the k closest pairs) or an incremental join streamed
 /// to a caller-chosen cardinality.
@@ -130,8 +133,36 @@ class JoinService {
     /// JSON; the service attaches its own report when the request did not
     /// bring one. 0 (the default) disables the slow-query log.
     double slow_query_seconds = 0.0;
+    /// In-flight dedupe (service/shared_work.h): semantically identical
+    /// concurrent submissions piggyback on one execution, each future
+    /// getting its own response with a stats.shared_hit marker. Off by
+    /// default — duplicates then execute independently, which admission
+    /// tests and benches that measure raw execution rely on. Requests
+    /// carrying a tracer/report or external-cutoff plumbing are never
+    /// deduped regardless.
+    bool dedupe_inflight = false;
+    /// Capacity (entries) of the semantic result cache: completed KDJ runs
+    /// are recorded per (algorithm, options-key) and a later k' <= k is
+    /// answered byte-identically from the cached prefix without touching
+    /// the trees; cached exact Dmax values also seed the eDmax estimator
+    /// of later runs (JoinOptions::edmax_seed). 0 (the default) disables
+    /// both the cache and the learned seed.
+    size_t shared_cache_entries = 0;
     /// Worker thread name prefix.
     std::string name_prefix = "amdj-svc";
+  };
+
+  /// Point-in-time admission counters, all read under one lock so the
+  /// accounting identity `accepted == completed + inflight + queued` holds
+  /// exactly at every snapshot (each state transition updates its two
+  /// sides in one critical section).
+  struct AdmissionSnapshot {
+    uint64_t accepted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint32_t inflight = 0;
+    uint32_t queued = 0;
+    uint32_t peak_inflight = 0;
   };
 
   /// Floor for the per-query queue memory clamp.
@@ -157,9 +188,13 @@ class JoinService {
 
   /// The options a request will actually execute under: the request's own
   /// JoinOptions with queue_memory_bytes clamped to the per-query budget
-  /// and queue_disk cleared (the session spill disk is attached at
-  /// execution time). Exposed so callers can reproduce a query's solo run
-  /// exactly.
+  /// (divided once more by shard_threads when the request will run
+  /// sharded — up to that many per-pair queues live concurrently within
+  /// the one query) and queue_disk cleared (the session spill disk is
+  /// attached at execution time). Exposed so callers can reproduce a
+  /// query's solo run exactly. The learned eDmax seed is NOT reflected
+  /// here: it depends on runtime cache state, never changes results, and
+  /// is only applied when shared_cache_entries > 0.
   core::JoinOptions EffectiveOptions(const JoinRequest& request) const;
 
   size_t per_query_queue_memory_bytes() const {
@@ -173,9 +208,30 @@ class JoinService {
   uint32_t peak_inflight() const AMDJ_EXCLUDES(mutex_);
   /// Requests rejected by the max_queued admission cap.
   uint64_t rejected() const AMDJ_EXCLUDES(mutex_);
+  /// All admission counters under one lock (see AdmissionSnapshot).
+  AdmissionSnapshot admission_snapshot() const AMDJ_EXCLUDES(mutex_);
+
+  /// Shared-work counters: responses served by piggybacking on an
+  /// identical in-flight execution / from the result cache; runs whose
+  /// initial eDmax was seeded from an observed Dmax; shareable requests
+  /// that found nothing and executed themselves. All zero when both
+  /// dedupe_inflight and shared_cache_entries are off.
+  uint64_t shared_inflight_hits() const;
+  uint64_t shared_cache_hits() const;
+  uint64_t shared_seed_hits() const;
+  uint64_t shared_misses() const;
+  size_t shared_cache_size() const;
 
  private:
-  JoinResponse Execute(const JoinRequest& request, double wait_seconds);
+  JoinResponse Execute(const JoinRequest& request, double wait_seconds,
+                       const SharedWorkKeys& keys);
+  /// Resolves every follower piggybacked on `exec_key` with a copy of the
+  /// leader's response (shared_hit marker, per-follower wait/exec split).
+  void ResolveFollowers(const JoinRequest& request,
+                        const std::string& exec_key,
+                        const JoinResponse& response) AMDJ_EXCLUDES(mutex_);
+  /// True when a KDJ request routes through the sharded executor.
+  bool Shardable(const JoinRequest& request) const;
   /// Runs the request under fully resolved options into `response`.
   void ExecuteRequest(const JoinRequest& request,
                       const core::JoinOptions& options,
@@ -193,8 +249,17 @@ class JoinService {
   uint32_t inflight_ AMDJ_GUARDED_BY(mutex_) = 0;
   uint32_t queued_ AMDJ_GUARDED_BY(mutex_) = 0;
   uint32_t peak_inflight_ AMDJ_GUARDED_BY(mutex_) = 0;
+  uint64_t accepted_ AMDJ_GUARDED_BY(mutex_) = 0;
   uint64_t completed_ AMDJ_GUARDED_BY(mutex_) = 0;
   uint64_t rejected_ AMDJ_GUARDED_BY(mutex_) = 0;
+
+  /// Shared-work layer (dedupe map, result cache, observed-Dmax table);
+  /// always constructed (cheap when disabled). Declared before pool_: the
+  /// query workers resolve follower groups and record completions here, so
+  /// it must outlive the pool's drain. Lock order: registry mutex first,
+  /// then mutex_ (Submit nests the admission check inside the registry's
+  /// membership check so the two decisions are one atomic step).
+  std::unique_ptr<SharedWorkRegistry> shared_;
 
   /// Spill I/O pool (Options::spill_io_threads > 0 only). Declared before
   /// pool_: query workers submit I/O tasks here, so it must outlive the

@@ -5,7 +5,9 @@
 // shared buffer pool's global hit/miss totals — concurrent attribution is
 // an accounting identity, not an approximation.
 
+#include <atomic>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -312,6 +314,190 @@ TEST(JoinServiceTest, MaxQueuedRejectsWithReadyResourceExhaustedFuture) {
   std::vector<std::future<JoinResponse>> refill;
   for (size_t i = 0; i < 4; ++i) refill.push_back(service.Submit(request));
   for (auto& future : refill) (void)future.get();
+}
+
+// Regression: the IDJ path used to reserve(request.k) with the
+// caller-controlled k — k = UINT64_MAX threw std::length_error out of the
+// worker, violating the "future never carries an exception" contract. The
+// reserve is now clamped; a huge k simply streams until the data runs out.
+TEST(JoinServiceTest, HugeKRequestReturnsCleanStatusInsteadOfThrowing) {
+  const geom::Rect uni(0, 0, 1000, 1000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::UniformPoints(25, 91, uni),
+      workload::UniformPoints(25, 92, uni), 8, 64);
+
+  JoinService service(*f.r, *f.s, {});
+
+  JoinRequest idj;
+  idj.kind = JoinRequest::Kind::kIdj;
+  idj.idj_algorithm = core::IdjAlgorithm::kAmIdj;
+  idj.k = UINT64_MAX;
+  std::future<JoinResponse> future = service.Submit(idj);
+  JoinResponse response;
+  ASSERT_NO_THROW(response = future.get());
+  ASSERT_TRUE(response.status.ok() ||
+              response.status.code() == StatusCode::kResourceExhausted)
+      << response.status.ToString();
+  // 25 x 25 objects: the stream drains the full cross product, no more.
+  EXPECT_EQ(response.results.size(), 625u);
+
+  JoinRequest kdj;
+  kdj.kind = JoinRequest::Kind::kKdj;
+  kdj.k = UINT64_MAX;
+  ASSERT_NO_THROW(response = service.Run(kdj));
+  ASSERT_TRUE(response.status.ok() ||
+              response.status.code() == StatusCode::kResourceExhausted)
+      << response.status.ToString();
+  EXPECT_EQ(response.results.size(), 625u);
+}
+
+// EffectiveOptions is documented as "the options a request will actually
+// execute under" — for sharded KDJ requests that must include the
+// per-pair shard_threads division, not just the admission clamp.
+TEST(JoinServiceTest, EffectiveOptionsReflectsShardedClampAndReproduces) {
+  const workload::Dataset r_data =
+      workload::TigerStreets({.street_segments = 3000, .seed = 93});
+  const workload::Dataset s_data =
+      workload::TigerHydro({.hydro_objects = 1200, .seed = 93});
+  test::JoinFixture f = test::MakeFixture(r_data, s_data, 16, 64);
+
+  JoinService::Options options;
+  options.max_inflight = 2;
+  options.queue_memory_budget_bytes = 1024 * 1024;  // 512 KB per query
+  options.shards = 4;
+  options.shard_threads = 2;
+  JoinService service(*f.r, *f.s, options);
+
+  JoinRequest sharded;
+  sharded.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+  sharded.k = 800;
+  sharded.options.queue_memory_bytes = 64 * 1024 * 1024;
+  // Clamped to the per-query budget, then divided across shard threads.
+  EXPECT_EQ(service.EffectiveOptions(sharded).queue_memory_bytes,
+            512u * 1024 / 2);
+
+  // Non-shardable requests see only the admission clamp.
+  JoinRequest hs = sharded;
+  hs.kdj_algorithm = core::KdjAlgorithm::kHsKdj;
+  EXPECT_EQ(service.EffectiveOptions(hs).queue_memory_bytes, 512u * 1024);
+  JoinRequest idj = sharded;
+  idj.kind = JoinRequest::Kind::kIdj;
+  EXPECT_EQ(service.EffectiveOptions(idj).queue_memory_bytes, 512u * 1024);
+
+  // The floor survives the division.
+  JoinService::Options tiny = options;
+  tiny.queue_memory_budget_bytes = 2 * JoinService::kMinQueueMemoryBytes;
+  JoinService tiny_service(*f.r, *f.s, tiny);
+  EXPECT_EQ(tiny_service.EffectiveOptions(sharded).queue_memory_bytes,
+            JoinService::kMinQueueMemoryBytes);
+
+  // Solo reproduction: a 1-inflight service whose per-query budget equals
+  // the concurrent service's must execute under the same effective
+  // options and return byte-identical results.
+  const JoinResponse concurrent = service.Run(sharded);
+  ASSERT_TRUE(concurrent.status.ok()) << concurrent.status.ToString();
+  JoinService::Options solo_options = options;
+  solo_options.max_inflight = 1;
+  solo_options.queue_memory_budget_bytes =
+      service.per_query_queue_memory_bytes();
+  JoinService solo(*f.r, *f.s, solo_options);
+  EXPECT_EQ(solo.EffectiveOptions(sharded).queue_memory_bytes,
+            service.EffectiveOptions(sharded).queue_memory_bytes);
+  const JoinResponse reproduced = solo.Run(sharded);
+  ASSERT_TRUE(reproduced.status.ok()) << reproduced.status.ToString();
+  ASSERT_EQ(reproduced.results.size(), concurrent.results.size());
+  for (size_t i = 0; i < reproduced.results.size(); ++i) {
+    EXPECT_EQ(reproduced.results[i], concurrent.results[i]) << "pair " << i;
+  }
+}
+
+// Admission counter reconciliation: `accepted == completed + inflight +
+// queued` is an invariant of every critical section, so it must hold at
+// EVERY concurrently sampled instant — not just at quiescence.
+TEST(JoinServiceTest, AdmissionCountersReconcileUnderConcurrentBurst) {
+  const geom::Rect uni(0, 0, 10000, 10000);
+  test::JoinFixture f = test::MakeFixture(
+      workload::UniformPoints(2000, 95, uni),
+      workload::UniformPoints(2000, 96, uni), 16, 64);
+
+  JoinService::Options options;
+  options.max_inflight = 2;
+  options.max_queued = 3;
+  JoinService service(*f.r, *f.s, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> samples{0};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const JoinService::AdmissionSnapshot s = service.admission_snapshot();
+      EXPECT_EQ(s.accepted,
+                s.completed + s.inflight + s.queued)
+          << "accepted=" << s.accepted << " completed=" << s.completed
+          << " inflight=" << s.inflight << " queued=" << s.queued;
+      samples.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  JoinRequest request;
+  request.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+  request.k = 500;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 30;
+  std::vector<std::thread> submitters;
+  std::atomic<uint64_t> rejected_seen{0};
+  std::atomic<uint64_t> ok_seen{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        std::future<JoinResponse> future = service.Submit(request);
+        const JoinResponse response = future.get();
+        if (response.status.code() == StatusCode::kResourceExhausted) {
+          rejected_seen.fetch_add(1);
+        } else {
+          ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+          ok_seen.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  stop.store(true);
+  sampler.join();
+
+  EXPECT_GT(samples.load(), 0u);
+  const JoinService::AdmissionSnapshot final = service.admission_snapshot();
+  EXPECT_EQ(final.accepted, final.completed);
+  EXPECT_EQ(final.inflight, 0u);
+  EXPECT_EQ(final.queued, 0u);
+  EXPECT_EQ(final.accepted + final.rejected, kThreads * kPerThread);
+  EXPECT_EQ(final.completed, ok_seen.load());
+  EXPECT_EQ(final.rejected, rejected_seen.load());
+  EXPECT_EQ(service.rejected(), rejected_seen.load());
+
+  // A rejected submission's future is ready immediately.
+  JoinService::Options no_room = options;
+  no_room.max_inflight = 1;
+  no_room.max_queued = 1;
+  JoinService crowded(*f.r, *f.s, no_room);
+  JoinRequest slow = request;
+  slow.k = 2000;
+  std::vector<std::future<JoinResponse>> backlog;
+  for (int i = 0; i < 10; ++i) backlog.push_back(crowded.Submit(slow));
+  bool saw_instant_rejection = false;
+  for (auto& future : backlog) {
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      const JoinResponse response = future.get();
+      if (response.status.code() == StatusCode::kResourceExhausted) {
+        saw_instant_rejection = true;
+      }
+    } else {
+      (void)future.get();
+    }
+  }
+  EXPECT_TRUE(saw_instant_rejection)
+      << "rejections must resolve without waiting";
 }
 
 TEST(JoinServiceTest, SlowQueryThresholdCountsAndReportsEveryQuery) {

@@ -26,6 +26,7 @@
 //   amdj_cli batch    --r=FILE --s=FILE --requests=FILE [--inflight=N]
 //                     [--budget-kb=KB] [--spill-io-threads=N]
 //                     [--shards=N] [--shard-threads=N]
+//                     [--dedupe] [--shared-cache=N]
 //                     [--metric=l2|l1|linf] [--self]
 //       replays a request file concurrently through the JoinService. Each
 //       non-empty, non-# line of the request file is
@@ -47,6 +48,10 @@
 //       --metrics-interval-ms (default 1000) and once more on shutdown.
 //       --max-queued / --slow-query-ms wire the service admission cap and
 //       slow-query log (both also accepted by `batch`).
+//       --dedupe piggybacks semantically identical concurrent requests on
+//       one execution; --shared-cache=N enables the N-entry semantic
+//       result cache + learned eDmax seeding (both off by default; both
+//       also accepted by `batch`; see DESIGN.md "Shared-work layer").
 //
 // Dataset files are produced by `generate` (workload::Dataset binary
 // format); files ending in .csv are parsed as x,y or x0,y0,x1,y1 rows
@@ -563,6 +568,9 @@ service::JoinService::Options ServiceOptionsFromArgs(const Args& args) {
   options.max_queued = static_cast<uint32_t>(args.GetUint("max-queued", 0));
   options.slow_query_seconds =
       static_cast<double>(args.GetUint("slow-query-ms", 0)) / 1000.0;
+  options.dedupe_inflight = args.GetBool("dedupe");
+  options.shared_cache_entries =
+      static_cast<size_t>(args.GetUint("shared-cache", 0));
   return options;
 }
 
