@@ -90,9 +90,9 @@ void Run(int argc, char** argv) {
 
     char eq3_ratio[32], hist_ratio[32];
     std::snprintf(eq3_ratio, sizeof(eq3_ratio), "%.2fx",
-                  uniform.InitialEstimate(k) / std::max(*dmax, 1e-12));
+                  uniform.InitialEstimate(k).raw() / std::max(*dmax, 1e-12));
     std::snprintf(hist_ratio, sizeof(hist_ratio), "%.2fx",
-                  histogram.EstimateDmax(k) / std::max(*dmax, 1e-12));
+                  histogram.EstimateDmax(k).raw() / std::max(*dmax, 1e-12));
     PrintRow({w.name, eq3_ratio, hist_ratio,
               FormatCount(eq3_stats.main_queue_insertions),
               FormatCount(hist_stats.main_queue_insertions)},

@@ -34,7 +34,7 @@ void Run(int argc, char** argv) {
            widths);
   for (double f : factors) {
     core::JoinOptions options = env.MakeJoinOptions();
-    options.forced_edmax = f * *dmax;
+    options.forced_edmax = geom::DistVal(f * *dmax);
     const RunResult run =
         RunKdjCold(env, core::KdjAlgorithm::kAmKdj, k, options);
     char label[32];
@@ -54,8 +54,8 @@ void Run(int argc, char** argv) {
   core::DmaxEstimator estimator(env.streets->bounds(), env.streets->size(),
                                 env.hydro->bounds(), env.hydro->size());
   std::printf("\nEq. 3 initial estimate eDmax(k) = %.3f (%.2fx true Dmax)\n",
-              estimator.InitialEstimate(k),
-              estimator.InitialEstimate(k) / *dmax);
+              estimator.InitialEstimate(k).raw(),
+              estimator.InitialEstimate(k).raw() / *dmax);
 }
 
 }  // namespace

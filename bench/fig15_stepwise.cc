@@ -96,7 +96,7 @@ void Run(int argc, char** argv) {
                              &stats);
     names.push_back("AM-IDJ (real Dmax)");
     series.push_back(MeasureCursor(env, [&](uint64_t step) {
-      cursor.ForceNextStageEdmax(step_dmax[step - 1]);
+      cursor.ForceNextStageEdmax(geom::DistVal(step_dmax[step - 1]));
       drain(cursor, kStep);
     }));
     env.pool->SetStatsSink(nullptr);

@@ -77,15 +77,15 @@ void BM_DistanceQueueInsert(benchmark::State& state) {
   size_t i = 0;
   queue::DistanceQueue q(k);
   for (auto _ : state) {
-    q.Insert(values[i++ & (values.size() - 1)]);
-    benchmark::DoNotOptimize(q.CutoffDistance());
+    q.Insert(geom::KeyVal(values[i++ & (values.size() - 1)]));
+    benchmark::DoNotOptimize(q.CutoffKey());
   }
 }
 BENCHMARK(BM_DistanceQueueInsert)->Arg(10)->Arg(1000)->Arg(100000);
 
 core::PairEntry MakeEntry(double key) {
   core::PairEntry e;
-  e.key = key;
+  e.key = geom::KeyVal(key);
   return e;
 }
 
@@ -149,7 +149,7 @@ void BM_HybridQueueSpillingWithBoundaries(benchmark::State& state) {
     options.memory_bytes = 64 * 1024;
     const double n = static_cast<double>(state.range(0));
     options.boundary_fn = [n](uint64_t c) {
-      return static_cast<double>(c) / n;
+      return geom::KeyVal(static_cast<double>(c) / n);
     };
     core::MainQueue q(options, nullptr);
     state.ResumeTiming();
@@ -224,7 +224,7 @@ void BM_HybridQueueSpillingAsyncIo(benchmark::State& state) {
     options.io_pool = &io_pool;
     const double n = static_cast<double>(state.range(0));
     options.boundary_fn = [n](uint64_t c) {
-      return static_cast<double>(c) / n;
+      return geom::KeyVal(static_cast<double>(c) / n);
     };
     core::MainQueue q(options, nullptr);
     state.ResumeTiming();

@@ -40,7 +40,7 @@ void BM_ChooseSweepPlan(benchmark::State& state) {
   const geom::Rect s(100, 50, 260, 500);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::ChooseSweepPlan(
-        r, s, 20.0, core::SweepStrategy::kOptimized));
+        r, s, geom::DistVal(20.0), core::SweepStrategy::kOptimized));
   }
 }
 BENCHMARK(BM_ChooseSweepPlan);
@@ -81,14 +81,15 @@ void BM_PlaneSweepScalarDist(benchmark::State& state) {
   const auto left = MakeRefs(static_cast<uint64_t>(state.range(0)), 3);
   const auto right = MakeRefs(static_cast<uint64_t>(state.range(0)), 4);
   const double cutoff = static_cast<double>(state.range(1));
-  const double cutoff_key = geom::DistanceToKey(cutoff, geom::Metric::kL2);
+  const geom::KeyVal cutoff_key =
+      geom::DistanceToKey(geom::DistVal(cutoff), geom::Metric::kL2);
   const core::SweepPlan plan{0, geom::SweepDirection::kForward};
   for (auto _ : state) {
     uint64_t emitted = 0;
     core::PlaneSweep(left, right, plan, &cutoff, nullptr,
                      [&](const core::PairRef& l, const core::PairRef& r,
                          double) {
-                       const double key = geom::MinDistanceKey(
+                       const geom::KeyVal key = geom::MinDistanceKey(
                            l.rect, r.rect, geom::Metric::kL2);
                        if (key <= cutoff_key) ++emitted;
                      });
@@ -103,7 +104,8 @@ void BM_PlaneSweepKeyed(benchmark::State& state) {
   const auto left = MakeRefs(static_cast<uint64_t>(state.range(0)), 3);
   const auto right = MakeRefs(static_cast<uint64_t>(state.range(0)), 4);
   const double cutoff = static_cast<double>(state.range(1));
-  const double cutoff_key = geom::DistanceToKey(cutoff, geom::Metric::kL2);
+  const geom::KeyVal cutoff_key =
+      geom::DistanceToKey(geom::DistVal(cutoff), geom::Metric::kL2);
   const core::SweepPlan plan{0, geom::SweepDirection::kForward};
   core::KeyedSweepSpec spec;
   spec.metric = geom::Metric::kL2;
@@ -113,7 +115,7 @@ void BM_PlaneSweepKeyed(benchmark::State& state) {
     uint64_t emitted = 0;
     core::PlaneSweepKeyed(left, right, plan, spec, nullptr,
                           [&](const core::PairRef&, const core::PairRef&,
-                              double) { ++emitted; });
+                              geom::KeyVal) { ++emitted; });
     benchmark::DoNotOptimize(emitted);
   }
 }

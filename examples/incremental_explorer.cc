@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     std::printf("batch %d: %llu pairs, distances %.2f .. %.2f  "
                 "(stage %u, cutoff eDmax = %.2f)\n",
                 b, (unsigned long long)got, first.distance, last.distance,
-                cursor.stage_count(), cursor.current_edmax());
+                cursor.stage_count(), cursor.current_edmax().raw());
     if (done) {
       std::printf("join exhausted.\n");
       break;

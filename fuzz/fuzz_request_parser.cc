@@ -1,0 +1,67 @@
+// libFuzzer harness for the amdj_cli serve/batch request-line parser
+// (tools/cli_request_parser.h) — the one spot where untrusted bytes from
+// the serve stdin control channel become a typed JoinRequest. The parser
+// is non-fatal by contract: arbitrary input must map to either a valid
+// request or Status::InvalidArgument, never a crash, an abort, or an
+// out-of-range enum. Build with -DAMDJ_FUZZER=ON under Clang (see
+// fuzz/CMakeLists.txt); the CI fuzz-smoke job runs this for ~60 s over
+// fuzz/corpus/request_parser under ASan+UBSan.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cli_request_parser.h"
+
+namespace {
+
+// Treat the input as a whole control-channel read: split on newlines and
+// feed every line through the parser, like the serve loop does.
+void ParseAll(const std::string& input) {
+  size_t lineno = 0;
+  size_t start = 0;
+  while (start <= input.size()) {
+    const size_t eol = input.find('\n', start);
+    const std::string line =
+        input.substr(start, eol == std::string::npos ? std::string::npos
+                                                     : eol - start);
+    ++lineno;
+    const amdj::StatusOr<amdj::service::JoinRequest> request =
+        amdj::cli::ParseRequestLine(line, lineno);
+    if (request.ok()) {
+      // Parsed requests must be internally consistent: k was validated
+      // non-zero and the algorithm enum matches the request kind.
+      if (request->k == 0) __builtin_trap();
+      if (request->kind == amdj::service::JoinRequest::Kind::kKdj) {
+        switch (request->kdj_algorithm) {
+          case amdj::core::KdjAlgorithm::kHsKdj:
+          case amdj::core::KdjAlgorithm::kBKdj:
+          case amdj::core::KdjAlgorithm::kAmKdj:
+          case amdj::core::KdjAlgorithm::kSjSort:
+            break;
+          default:
+            __builtin_trap();
+        }
+      } else {
+        switch (request->idj_algorithm) {
+          case amdj::core::IdjAlgorithm::kHsIdj:
+          case amdj::core::IdjAlgorithm::kAmIdj:
+            break;
+          default:
+            __builtin_trap();
+        }
+      }
+    } else if (request.status().message().empty()) {
+      __builtin_trap();  // every rejection carries a diagnostic
+    }
+    if (eol == std::string::npos) break;
+    start = eol + 1;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ParseAll(std::string(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -5,7 +5,7 @@
 #   scripts/run_all_benches.sh build results --streets=633461 --hydro=189642
 #
 # Besides the human-readable tables in OUT_DIR, assembles a machine-readable
-# BENCH_PR9.json at the repo root: per figure-bench the wall ms, node
+# BENCH_PR10.json at the repo root: per figure-bench the wall ms, node
 # accesses and distance computations of every measured run (emitted by
 # bench_common via AMDJ_BENCH_JSON), per microbench the google-benchmark
 # JSON entries including custom counters (per-op push/pop latency, queue
@@ -62,7 +62,7 @@ for bench in "$BUILD_DIR"/bench/*; do
   fi
 done
 
-# Assemble BENCH_PR9.json from the per-bench artifacts.
+# Assemble BENCH_PR10.json from the per-bench artifacts.
 if command -v jq >/dev/null 2>&1; then
   {
     # bench -> total wall ms and exit code, as measured by this script
@@ -106,11 +106,11 @@ if command -v jq >/dev/null 2>&1; then
        --arg flags "${EXTRA_FLAGS[*]:-}" \
        "$OUT_DIR/json/_wall.json" "$OUT_DIR/json/_figs.json" \
        "$OUT_DIR/json/_micro.json" "$OUT_DIR/json/_throughput.json" \
-       >"$REPO_ROOT/BENCH_PR9.json"
-    echo "wrote $REPO_ROOT/BENCH_PR9.json"
-  } || { echo "BENCH_PR9.json assembly failed" >&2; status=1; }
+       >"$REPO_ROOT/BENCH_PR10.json"
+    echo "wrote $REPO_ROOT/BENCH_PR10.json"
+  } || { echo "BENCH_PR10.json assembly failed" >&2; status=1; }
 else
-  echo "jq not found: skipping BENCH_PR9.json" >&2
+  echo "jq not found: skipping BENCH_PR10.json" >&2
 fi
 
 echo "outputs in $OUT_DIR/"

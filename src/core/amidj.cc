@@ -27,7 +27,7 @@ void AmIdjCursor::PrefetchHint(uint64_t k) {
   target_hint_ = std::max(target_hint_, k);
 }
 
-void AmIdjCursor::ForceNextStageEdmax(double edmax) {
+void AmIdjCursor::ForceNextStageEdmax(geom::DistVal edmax) {
   forced_next_edmax_ = edmax;
 }
 
@@ -39,7 +39,7 @@ Status AmIdjCursor::Prime() {
   }
   stage_count_ = 1;
   const uint64_t k1 = std::max(options_.idj_initial_k, target_hint_);
-  double first;  // distance space until the conversion below
+  geom::DistVal first;  // distance space until the conversion below
   if (forced_next_edmax_.has_value()) {
     first = *forced_next_edmax_;
     forced_next_edmax_.reset();
@@ -48,18 +48,19 @@ Status AmIdjCursor::Prime() {
   }
   if (options_.report != nullptr) {
     options_.report->BeginPhase("stage-1", *stats_);
-    options_.report->OnCutoff("initial_edmax", first, 0);
+    options_.report->OnCutoff("initial_edmax", first.raw(), 0);
   }
-  AMDJ_TRACE(options_.tracer, Counter("edmax", first));
+  AMDJ_TRACE(options_.tracer, Counter("edmax", first.raw()));
   AMDJ_TRACE(options_.tracer,
-             Instant("stage_start", {{"stage", 1.0}, {"edmax", first}}));
+             Instant("stage_start",
+                     {{"stage", 1.0}, {"edmax", first.raw()}}));
   edmax_ = geom::DistanceToKeyCutoff(first, options_.metric);
   return queue_.Push(MakePair(RootRef(r_), RootRef(s_), options_.metric));
 }
 
 Status AmIdjCursor::StartNewStage() {
   ++stage_count_;
-  double next = 0.0;
+  geom::DistVal next = geom::DistVal::Zero();
   if (forced_next_edmax_.has_value()) {
     next = *forced_next_edmax_;
     forced_next_edmax_.reset();
@@ -99,21 +100,25 @@ Status AmIdjCursor::StartNewStage() {
   // estimate). Applied in distance space — the estimator's native units —
   // before the key-space conversion; the key round-trips exactly
   // (sqrt(fl(d*d)) == d), so the growth schedule is unchanged.
-  const double edmax_dist = geom::KeyToDistance(edmax_, options_.metric);
+  const geom::DistVal edmax_dist =
+      geom::KeyToDistance(edmax_, options_.metric);
   if (next <= edmax_dist) {
-    next = edmax_dist > 0.0 ? edmax_dist * 1.5
-                            : std::max(estimator_->EstimateDmax(1), 1e-12);
+    // Raw view: the 1.5x growth schedule is distance-space arithmetic.
+    next = edmax_dist > geom::DistVal::Zero()
+               ? geom::DistVal(edmax_dist.raw() * 1.5)
+               : std::max(estimator_->EstimateDmax(1),
+                          geom::DistVal(1e-12));
   }
   if (options_.report != nullptr) {
     options_.report->BeginPhase("stage-" + std::to_string(stage_count_),
                                 *stats_);
-    options_.report->OnCutoff("stage_edmax", next, produced_);
+    options_.report->OnCutoff("stage_edmax", next.raw(), produced_);
   }
-  AMDJ_TRACE(options_.tracer, Counter("edmax", next));
+  AMDJ_TRACE(options_.tracer, Counter("edmax", next.raw()));
   AMDJ_TRACE(options_.tracer,
              Instant("stage_start",
                      {{"stage", static_cast<double>(stage_count_)},
-                      {"edmax", next},
+                      {"edmax", next.raw()},
                       {"produced", static_cast<double>(produced_)},
                       {"recovered",
                        static_cast<double>(compensation_.size())}}));
@@ -130,12 +135,12 @@ Status AmIdjCursor::Expand(PairEntry c) {
   TraceSpan span(options_.tracer, "expand_sweep",
                  {{"r_level", static_cast<double>(c.r.level)},
                   {"s_level", static_cast<double>(c.s.level)},
-                  {"key", c.key}});
+                  {"key", c.key.raw()}});
   AMDJ_RETURN_IF_ERROR(ChildList(r_, c.r, options_.r_window, &left_));
   AMDJ_RETURN_IF_ERROR(ChildList(s_, c.s, options_.s_window, &right_));
 
   SweepPlan plan;
-  double prior = -1.0;
+  geom::KeyVal prior{-1.0};
   if (c.WasExpanded()) {
     // Resume the earlier sweep: same axis and direction reproduce the
     // earlier enumeration order, so the examined region is exactly
@@ -151,7 +156,7 @@ Status AmIdjCursor::Expand(PairEntry c) {
   }
 
   Status sweep_status;
-  double axis_cutoff = edmax_;
+  geom::KeyVal axis_cutoff = edmax_;
   KeyedSweepSpec spec;
   spec.metric = options_.metric;
   spec.axis_cutoff_key = &axis_cutoff;
@@ -165,7 +170,7 @@ Status AmIdjCursor::Expand(PairEntry c) {
   spec.skip_dist_below_key = prior;
   const KeyedSweepResult sweep = PlaneSweepKeyed(
       left_, right_, plan, spec, stats_,
-      [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+      [&](const PairRef& lref, const PairRef& rref, geom::KeyVal dist_key) {
         if (!sweep_status.ok()) return;
         if (options_.exclude_same_id && IsSelfPair(lref, rref)) return;
         PairEntry e;
@@ -173,7 +178,9 @@ Status AmIdjCursor::Expand(PairEntry c) {
         e.s = rref;
         e.key = dist_key;
         sweep_status = queue_.Push(e);
-        if (!sweep_status.ok()) axis_cutoff = -1.0;  // abort the sweep
+        if (!sweep_status.ok()) {
+          axis_cutoff = geom::KeyVal(-1.0);  // abort the sweep
+        }
       });
   AMDJ_RETURN_IF_ERROR(sweep_status);
 
@@ -218,8 +225,8 @@ Status AmIdjCursor::Next(ResultPair* out, bool* done) {
       continue;
     }
     if (c.IsObjectPair()) {
-      const double dist = geom::KeyToDistance(c.key, options_.metric);
-      *out = {dist, c.r.id, c.s.id};
+      const geom::DistVal dist = geom::KeyToDistance(c.key, options_.metric);
+      *out = {dist.raw(), c.r.id, c.s.id};
       last_distance_ = dist;
       ++produced_;
       ++stats_->pairs_produced;

@@ -43,11 +43,12 @@ class AmIdjCursor : public DistanceJoinCursor {
   /// Forces the *next* stage transition (or the first stage, if priming has
   /// not happened) to use exactly this cutoff instead of the estimate.
   /// Figure 15's "real Dmax" variant drives the cursor through this.
-  void ForceNextStageEdmax(double edmax);
+  /// Distance space (geom::DistVal), like every user-facing cutoff.
+  void ForceNextStageEdmax(geom::DistVal edmax);
 
   /// Cutoff of the stage currently executing, as a distance (the internal
   /// cutoff lives in key space; this converts at the API boundary).
-  double current_edmax() const {
+  geom::DistVal current_edmax() const {
     return geom::KeyToDistance(edmax_, options_.metric);
   }
   /// Number of stages started so far (1 after the first Next()).
@@ -71,13 +72,13 @@ class AmIdjCursor : public DistanceJoinCursor {
   const CutoffEstimator* estimator_;  // options_.estimator or the fallback
   MainQueue queue_;
   std::vector<PairEntry> compensation_;
-  /// Stage cutoff in key space (geom::DistanceToKey), like every internal
+  /// Stage cutoff in key space (geom::KeyVal), like every internal
   /// cutoff; estimator calls and the public accessors convert.
-  double edmax_ = 0.0;
-  std::optional<double> forced_next_edmax_;
+  geom::KeyVal edmax_ = geom::KeyVal::Zero();
+  std::optional<geom::DistVal> forced_next_edmax_;
   uint64_t target_hint_ = 0;
   uint64_t produced_ = 0;
-  double last_distance_ = 0.0;
+  geom::DistVal last_distance_ = geom::DistVal::Zero();
   uint32_t stage_count_ = 0;
   bool primed_ = false;
   bool exhausted_ = false;

@@ -36,16 +36,17 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
                                          : &fallback_estimator;
   // eDmax lives in key space like every internal cutoff; the estimator API
   // stays in distance space and converts at this boundary.
-  double edmax = geom::DistanceToKeyCutoff(
+  geom::KeyVal edmax = geom::DistanceToKeyCutoff(
       InitialEdmaxEstimate(options, *estimator, k),
       options.metric);
   if (options.report != nullptr) {
     options.report->BeginPhase("aggressive", *stats);
     options.report->OnCutoff("initial_edmax",
-                             geom::KeyToDistance(edmax, options.metric), 0);
+                             geom::KeyToDistance(edmax, options.metric).raw(), 0);
   }
   AMDJ_TRACE(options.tracer,
-             Counter("edmax", geom::KeyToDistance(edmax, options.metric)));
+             Counter("edmax",
+                     geom::KeyToDistance(edmax, options.metric).raw()));
   const auto finish_report = [&options, &stats](
                                  const std::vector<ResultPair>& results) {
     if (options.report == nullptr) return;
@@ -81,7 +82,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
       const Status peek = queue.Peek(&c);
       if (peek.code() == StatusCode::kOutOfRange) break;  // drained
       AMDJ_RETURN_IF_ERROR(peek);
-      const double qdmax = tracker.Cutoff();
+      const geom::KeyVal qdmax = tracker.Cutoff();
       if (qdmax <= edmax) edmax = qdmax;  // overestimate clamp (line 8)
       if (c.key > edmax) {
         // Frontier left the eDmax radius: finish this batch, then switch
@@ -95,8 +96,8 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
         // pending expansion could produce a child that precedes it.
         if (!tasks.empty()) break;
         AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
-        results.push_back(
-            {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
+        results.push_back({geom::KeyToDistance(c.key, options.metric).raw(),
+                           c.r.id, c.s.id});
         ++stats->pairs_produced;
         continue;
       }
@@ -115,7 +116,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
     stats->parallel_tasks += tasks.size();
     TraceSpan round_span(options.tracer, "parallel_round",
                          {{"tasks", static_cast<double>(tasks.size())},
-                          {"edmax_key", edmax}});
+                          {"edmax_key", edmax.raw()}});
 
     bool aborted = false;
     AMDJ_RETURN_IF_ERROR(expander.Run(
@@ -187,17 +188,19 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
   // Compensation stage, batched.
   AMDJ_TRACE(options.tracer,
              Instant("stage_transition",
-                     {{"edmax", geom::KeyToDistance(edmax, options.metric)},
+                     {{"edmax",
+                       geom::KeyToDistance(edmax, options.metric).raw()},
                       {"qdmax", geom::KeyToDistance(tracker.Cutoff(),
-                                                    options.metric)},
+                                                    options.metric)
+                                    .raw()},
                       {"pairs_so_far",
                        static_cast<double>(results.size())},
                       {"compensation_pairs",
                        static_cast<double>(compensation.size())}}));
   if (options.report != nullptr) {
-    options.report->OnCutoff("stage_transition_edmax",
-                             geom::KeyToDistance(edmax, options.metric),
-                             results.size());
+    options.report->OnCutoff(
+        "stage_transition_edmax",
+        geom::KeyToDistance(edmax, options.metric).raw(), results.size());
     options.report->BeginPhase("compensation", *stats);
   }
   for (const PairEntry& e : compensation) {
@@ -211,14 +214,14 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
     AMDJ_RETURN_IF_ERROR(
         queue.PopBatch(k - results.size(), is_object, &popped));
     for (const PairEntry& e : popped) {
-      results.push_back(
-          {geom::KeyToDistance(e.key, options.metric), e.r.id, e.s.id});
+      results.push_back({geom::KeyToDistance(e.key, options.metric).raw(),
+                         e.r.id, e.s.id});
       ++stats->pairs_produced;
     }
     if (results.size() >= k) break;
 
     popped.clear();
-    double prev_key = 0.0;
+    geom::KeyVal prev_key = geom::KeyVal::Zero();
     AMDJ_RETURN_IF_ERROR(queue.PopBatch(
         expander.batch_limit(),
         [&](const PairEntry& e) {
@@ -249,7 +252,7 @@ StatusOr<std::vector<ResultPair>> RunParallelTwoStage(
     stats->parallel_tasks += tasks.size();
     TraceSpan round_span(options.tracer, "parallel_round",
                          {{"tasks", static_cast<double>(tasks.size())},
-                          {"cutoff_key", tracker.Cutoff()}});
+                          {"cutoff_key", tracker.Cutoff().raw()}});
 
     AMDJ_RETURN_IF_ERROR(expander.Run(
         tasks, tracker.Cutoff(),
@@ -310,16 +313,17 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
   const CutoffEstimator* estimator = options.estimator != nullptr
                                          ? options.estimator
                                          : &fallback_estimator;
-  double edmax = geom::DistanceToKeyCutoff(
+  geom::KeyVal edmax = geom::DistanceToKeyCutoff(
       InitialEdmaxEstimate(options, *estimator, k),
       options.metric);
   if (options.report != nullptr) {
     options.report->BeginPhase("adaptive", *stats);
     options.report->OnCutoff("initial_edmax",
-                             geom::KeyToDistance(edmax, options.metric), 0);
+                             geom::KeyToDistance(edmax, options.metric).raw(), 0);
   }
   AMDJ_TRACE(options.tracer,
-             Counter("edmax", geom::KeyToDistance(edmax, options.metric)));
+             Counter("edmax",
+                     geom::KeyToDistance(edmax, options.metric).raw()));
 
   MainQueue queue(MakeMainQueueOptions(r, s, options), stats,
                   MakeMainQueueCompare(options));
@@ -327,8 +331,9 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
   std::vector<PairEntry> compensation;
   // Smallest cutoff key under which a queued compensation pair was
   // examined: emitting beyond it could overtake a recoverable pruned child.
-  double barrier = std::numeric_limits<double>::infinity();
-  double last_emitted = 0.0;  // distance space (fed back to the estimator)
+  geom::KeyVal barrier = geom::KeyVal::Infinity();
+  // Distance space (fed back to the estimator's Correct()).
+  geom::DistVal last_emitted = geom::DistVal::Zero();
   {
     const PairEntry root = MakePair(RootRef(r), RootRef(s), options.metric);
     AMDJ_RETURN_IF_ERROR(queue.Push(root));
@@ -341,7 +346,7 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
     if (!c.IsObjectPair()) tracker.OnNodePairLeave(c);
-    double qdmax = tracker.Cutoff();
+    geom::KeyVal qdmax = tracker.Cutoff();
     if (qdmax <= edmax) edmax = qdmax;  // overestimate clamp (line 8)
 
     if (c.key > std::min(edmax, barrier)) {
@@ -353,9 +358,9 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
       // recover the compensation queue and resume.
       AMDJ_RETURN_IF_ERROR(queue.Push(c));
       if (!c.IsObjectPair()) tracker.OnPush(c);
-      double next = qdmax;
+      geom::KeyVal next = qdmax;
       if (!results.empty() && results.size() < k) {
-        const double corrected = geom::DistanceToKeyCutoff(
+        const geom::KeyVal corrected = geom::DistanceToKeyCutoff(
             estimator->Correct(
                 k, results.size(), last_emitted,
                 options.correction == CorrectionPolicy::kAggressive),
@@ -365,15 +370,17 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
       AMDJ_TRACE(
           options.tracer,
           Instant("edmax_correction",
-                  {{"old_edmax", geom::KeyToDistance(edmax, options.metric)},
-                   {"new_edmax", geom::KeyToDistance(next, options.metric)},
+                  {{"old_edmax",
+                    geom::KeyToDistance(edmax, options.metric).raw()},
+                   {"new_edmax",
+                    geom::KeyToDistance(next, options.metric).raw()},
                    {"pairs_so_far", static_cast<double>(results.size())},
                    {"recovered",
                     static_cast<double>(compensation.size())}}));
       if (options.report != nullptr) {
-        options.report->OnCutoff("correction",
-                                 geom::KeyToDistance(next, options.metric),
-                                 results.size());
+        options.report->OnCutoff(
+            "correction", geom::KeyToDistance(next, options.metric).raw(),
+            results.size());
       }
       edmax = next;  // strictly above the old value, or the exact qDmax
       for (const PairEntry& e : compensation) {
@@ -381,13 +388,13 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
         tracker.OnPush(e);  // no-op: expanded pairs carry no certificate
       }
       compensation.clear();
-      barrier = std::numeric_limits<double>::infinity();
+      barrier = geom::KeyVal::Infinity();
       continue;
     }
 
     if (c.IsObjectPair()) {
-      const double dist = geom::KeyToDistance(c.key, options.metric);
-      results.push_back({dist, c.r.id, c.s.id});
+      const geom::DistVal dist = geom::KeyToDistance(c.key, options.metric);
+      results.push_back({dist.raw(), c.r.id, c.s.id});
       last_emitted = dist;
       ++stats->pairs_produced;
       continue;
@@ -397,11 +404,11 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
     TraceSpan span(options.tracer, "expand_sweep",
                    {{"r_level", static_cast<double>(c.r.level)},
                     {"s_level", static_cast<double>(c.s.level)},
-                    {"key", c.key}});
+                    {"key", c.key.raw()}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     SweepPlan plan;
-    double prior = -1.0;
+    geom::KeyVal prior{-1.0};
     if (c.WasExpanded()) {
       plan.axis = c.prior_axis;
       plan.dir = c.prior_dir == 0 ? geom::SweepDirection::kForward
@@ -416,7 +423,7 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
     Status sweep_status;
     // Static axis cutoff: it defines the examined prefix the recorded
     // bookkeeping must describe exactly.
-    double axis_cutoff = edmax;
+    geom::KeyVal axis_cutoff = edmax;
     KeyedSweepSpec spec;
     spec.metric = options.metric;
     spec.axis_cutoff_key = &axis_cutoff;
@@ -425,7 +432,8 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
     const bool covered =
         PlaneSweepKeyed(
             left, right, plan, spec, stats,
-            [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+            [&](const PairRef& lref, const PairRef& rref,
+                geom::KeyVal dist_key) {
               if (!sweep_status.ok()) return;
               if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
               PairEntry e;
@@ -434,7 +442,7 @@ StatusOr<std::vector<ResultPair>> RunAdaptive(const rtree::RTree& r,
               e.key = dist_key;
               sweep_status = queue.Push(e);
               if (!sweep_status.ok()) {
-                axis_cutoff = -1.0;
+                axis_cutoff = geom::KeyVal(-1.0);
                 return;
               }
               tracker.OnPush(e);
@@ -488,16 +496,17 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
   const CutoffEstimator* estimator = options.estimator != nullptr
                                          ? options.estimator
                                          : &fallback_estimator;
-  double edmax = geom::DistanceToKeyCutoff(
+  geom::KeyVal edmax = geom::DistanceToKeyCutoff(
       InitialEdmaxEstimate(options, *estimator, k),
       options.metric);
   if (options.report != nullptr) {
     options.report->BeginPhase("aggressive", *stats);
     options.report->OnCutoff("initial_edmax",
-                             geom::KeyToDistance(edmax, options.metric), 0);
+                             geom::KeyToDistance(edmax, options.metric).raw(), 0);
   }
   AMDJ_TRACE(options.tracer,
-             Counter("edmax", geom::KeyToDistance(edmax, options.metric)));
+             Counter("edmax",
+                     geom::KeyToDistance(edmax, options.metric).raw()));
   const auto finish_report = [&options, &stats](
                                  const std::vector<ResultPair>& res) {
     if (options.report == nullptr) return;
@@ -528,7 +537,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
     if (!c.IsObjectPair()) tracker.OnNodePairLeave(c);
-    double qdmax = tracker.Cutoff();
+    geom::KeyVal qdmax = tracker.Cutoff();
     // Line 8: an overestimated eDmax is clamped to qDmax, after which the
     // stage behaves exactly like B-KDJ.
     if (qdmax <= edmax) edmax = qdmax;
@@ -545,8 +554,8 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
       break;
     }
     if (c.IsObjectPair()) {
-      results.push_back(
-          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
+      results.push_back({geom::KeyToDistance(c.key, options.metric).raw(),
+                         c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
@@ -555,7 +564,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     TraceSpan span(options.tracer, "expand_sweep",
                    {{"r_level", static_cast<double>(c.r.level)},
                     {"s_level", static_cast<double>(c.s.level)},
-                    {"key", c.key}});
+                    {"key", c.key.raw()}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     const SweepPlan plan =
@@ -564,7 +573,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
                         options.sweep);
 
     Status sweep_status;
-    double axis_cutoff = edmax;  // line 22: aggressive axis pruning
+    geom::KeyVal axis_cutoff = edmax;  // line 22: aggressive axis pruning
     KeyedSweepSpec spec;
     spec.metric = options.metric;
     spec.axis_cutoff_key = &axis_cutoff;
@@ -572,7 +581,8 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     const bool covered =
         PlaneSweepKeyed(
             left, right, plan, spec, stats,
-            [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+            [&](const PairRef& lref, const PairRef& rref,
+                geom::KeyVal dist_key) {
               if (!sweep_status.ok()) return;
               if (options.exclude_same_id && IsSelfPair(lref, rref)) return;
               PairEntry e;
@@ -581,7 +591,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
               e.key = dist_key;
               sweep_status = queue.Push(e);
               if (!sweep_status.ok()) {
-                axis_cutoff = -1.0;  // abort the sweep
+                axis_cutoff = geom::KeyVal(-1.0);  // abort the sweep
                 return;
               }
               tracker.OnPush(e);
@@ -618,17 +628,19 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
   // Compensation stage (Algorithm 3).
   AMDJ_TRACE(options.tracer,
              Instant("stage_transition",
-                     {{"edmax", geom::KeyToDistance(edmax, options.metric)},
+                     {{"edmax",
+                       geom::KeyToDistance(edmax, options.metric).raw()},
                       {"qdmax", geom::KeyToDistance(tracker.Cutoff(),
-                                                    options.metric)},
+                                                    options.metric)
+                                    .raw()},
                       {"pairs_so_far",
                        static_cast<double>(results.size())},
                       {"compensation_pairs",
                        static_cast<double>(compensation.size())}}));
   if (options.report != nullptr) {
-    options.report->OnCutoff("stage_transition_edmax",
-                             geom::KeyToDistance(edmax, options.metric),
-                             results.size());
+    options.report->OnCutoff(
+        "stage_transition_edmax",
+        geom::KeyToDistance(edmax, options.metric).raw(), results.size());
     options.report->BeginPhase("compensation", *stats);
   }
   for (const PairEntry& e : compensation) {
@@ -648,27 +660,27 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
       break;
     }
     if (c.IsObjectPair()) {
-      results.push_back(
-          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
+      results.push_back({geom::KeyToDistance(c.key, options.metric).raw(),
+                         c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
     tracker.OnNodePairLeave(c);
-    double cutoff = tracker.Cutoff();
+    geom::KeyVal cutoff = tracker.Cutoff();
     if (c.key > cutoff) continue;
 
     ++stats->node_expansions;
     TraceSpan span(options.tracer, "expand_sweep",
                    {{"r_level", static_cast<double>(c.r.level)},
                     {"s_level", static_cast<double>(c.s.level)},
-                    {"key", c.key}});
+                    {"key", c.key.raw()}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     // Pairs expanded in stage one re-sweep with the *same* axis and
     // direction (their children's sweep order is reproduced), skipping the
     // already-examined prefix; fresh pairs get a full B-KDJ sweep.
     SweepPlan plan;
-    double skip_below = -1.0;
+    geom::KeyVal skip_below{-1.0};
     if (c.WasExpanded()) {
       plan.axis = c.prior_axis;
       plan.dir = c.prior_dir == 0 ? geom::SweepDirection::kForward
@@ -691,7 +703,8 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
     spec.skip_axis_below_key = skip_below;
     PlaneSweepKeyed(
         left, right, plan, spec, stats,
-        [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+        [&](const PairRef& lref, const PairRef& rref,
+            geom::KeyVal dist_key) {
           if (!sweep_status.ok()) return;
           if (options.exclude_same_id && IsSelfPair(lref, rref)) {
             return;
@@ -702,7 +715,7 @@ StatusOr<std::vector<ResultPair>> AmKdj::Run(const rtree::RTree& r,
           e.key = dist_key;
           sweep_status = queue.Push(e);
           if (!sweep_status.ok()) {
-            cutoff = -1.0;
+            cutoff = geom::KeyVal(-1.0);
             return;
           }
           tracker.OnPush(e);

@@ -49,8 +49,8 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
     AMDJ_RETURN_IF_ERROR(
         queue.PopBatch(k - results.size(), is_object, &popped));
     for (const PairEntry& e : popped) {
-      results.push_back(
-          {geom::KeyToDistance(e.key, options.metric), e.r.id, e.s.id});
+      results.push_back({geom::KeyToDistance(e.key, options.metric).raw(),
+                         e.r.id, e.s.id});
       ++stats->pairs_produced;
     }
     if (results.size() >= k) break;
@@ -63,7 +63,7 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
     // forces a tie-guard abort — batching a plateau mostly buys discarded
     // work. One pair per round replays the sequential order exactly.
     popped.clear();
-    double prev_key = 0.0;
+    geom::KeyVal prev_key = geom::KeyVal::Zero();
     AMDJ_RETURN_IF_ERROR(queue.PopBatch(
         expander.batch_limit(),
         [&](const PairEntry& e) {
@@ -87,7 +87,7 @@ StatusOr<std::vector<ResultPair>> RunParallel(const rtree::RTree& r,
     TraceSpan round_span(
         options.tracer, "parallel_round",
         {{"tasks", static_cast<double>(tasks.size())},
-         {"cutoff_key", tracker.Cutoff()}});
+         {"cutoff_key", tracker.Cutoff().raw()}});
 
     // (c) Fan out, then merge in task order on this thread.
     AMDJ_RETURN_IF_ERROR(expander.Run(
@@ -182,22 +182,22 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
       break;
     }
     if (c.IsObjectPair()) {
-      results.push_back(
-          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
+      results.push_back({geom::KeyToDistance(c.key, options.metric).raw(),
+                         c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
     tracker.OnNodePairLeave(c);
     // qDmax upper-bounds the final k-th distance at all times, so a pair
     // whose minimum distance exceeds it can never contribute.
-    double cutoff = tracker.Cutoff();
+    geom::KeyVal cutoff = tracker.Cutoff();
     if (c.key > cutoff) continue;
 
     ++stats->node_expansions;
     TraceSpan span(options.tracer, "expand_sweep",
                    {{"r_level", static_cast<double>(c.r.level)},
                     {"s_level", static_cast<double>(c.s.level)},
-                    {"key", c.key}});
+                    {"key", c.key.raw()}});
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     const SweepPlan plan = ChooseSweepPlan(
@@ -213,7 +213,8 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
     spec.dist_cutoff_key = &cutoff;
     PlaneSweepKeyed(
         left, right, plan, spec, stats,
-        [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+        [&](const PairRef& lref, const PairRef& rref,
+            geom::KeyVal dist_key) {
           if (!sweep_status.ok()) return;
           if (options.exclude_same_id && IsSelfPair(lref, rref)) {
             return;
@@ -224,7 +225,7 @@ StatusOr<std::vector<ResultPair>> BKdj::Run(const rtree::RTree& r,
           e.key = dist_key;
           sweep_status = queue.Push(e);
           if (!sweep_status.ok()) {
-            cutoff = -1.0;  // abort the sweep
+            cutoff = geom::KeyVal(-1.0);  // abort the sweep
             return;
           }
           tracker.OnPush(e);  // line 19: qDmax may shrink

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "geom/units.h"
+
 namespace amdj::core {
 
 /// Strategy interface for estimating the maximum distance eDmax of a
@@ -15,19 +17,22 @@ class CutoffEstimator {
  public:
   virtual ~CutoffEstimator() = default;
 
-  /// Estimated distance of the k-th closest pair.
-  virtual double EstimateDmax(uint64_t k) const = 0;
+  /// Estimated distance of the k-th closest pair. Distance space
+  /// (geom::DistVal): estimators reason about true distances; callers
+  /// fence into key space at the cutoff boundary.
+  virtual geom::DistVal EstimateDmax(uint64_t k) const = 0;
 
   /// Re-estimates for target k after k0 <= k pairs have been produced and
   /// the k0-th distance is known to be dmax_k0 (Section 4.3.2).
   /// `aggressive` errs low (risking compensation), otherwise high.
-  virtual double Correct(uint64_t k, uint64_t k0, double dmax_k0,
-                         bool aggressive) const = 0;
+  virtual geom::DistVal Correct(uint64_t k, uint64_t k0,
+                                geom::DistVal dmax_k0,
+                                bool aggressive) const = 0;
 
   /// c -> estimated distance of the c-th closest pair, used as hybrid-queue
   /// segment boundaries (Section 4.4). The default adapter captures `this`:
   /// the estimator must outlive the returned function.
-  virtual std::function<double(uint64_t)> BoundaryFn() const {
+  virtual std::function<geom::DistVal(uint64_t)> BoundaryFn() const {
     return [this](uint64_t c) { return EstimateDmax(c); };
   }
 };

@@ -158,7 +158,7 @@ StatusOr<std::vector<ResultPair>> RunKDistanceJoin(const rtree::RTree& r,
         result = AmKdj::Run(r, s, k, options, stats);
         break;
       case KdjAlgorithm::kSjSort:
-        result = SjSort::Run(r, s, k, dmax, options, stats);
+        result = SjSort::Run(r, s, k, geom::DistVal(dmax), options, stats);
         break;
     }
   }

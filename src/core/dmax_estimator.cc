@@ -16,43 +16,48 @@ DmaxEstimator::DmaxEstimator(const geom::Rect& r_bounds, uint64_t r_count,
     // the union area as the effective region and remember the gap, which
     // lower-bounds every pair distance.
     area = geom::Union(r_bounds, s_bounds).Area();
-    gap_ = geom::MinDistance(r_bounds, s_bounds, metric);
+    gap_ = geom::MinDistance(r_bounds, s_bounds, metric).raw();
   }
   if (area <= 0.0) area = 1.0;  // both data sets degenerate to a point/line
   rho_ = area / (geom::UnitBallAreaCoefficient(metric) * nr * ns);
 }
 
-double DmaxEstimator::InitialEstimate(uint64_t k) const {
-  return gap_ + std::sqrt(static_cast<double>(k) * rho_);
+geom::DistVal DmaxEstimator::InitialEstimate(uint64_t k) const {
+  // Raw view: Eq. 3 is distance-space arithmetic; wrapped on the way out.
+  return geom::DistVal(gap_ + std::sqrt(static_cast<double>(k) * rho_));
 }
 
-double DmaxEstimator::ArithmeticCorrection(uint64_t k, uint64_t k0,
-                                           double dmax_k0) const {
+geom::DistVal DmaxEstimator::ArithmeticCorrection(
+    uint64_t k, uint64_t k0, geom::DistVal dmax_k0) const {
   if (k0 >= k) return dmax_k0;
-  return std::sqrt(dmax_k0 * dmax_k0 +
-                   static_cast<double>(k - k0) * rho_);
+  const double d0 = dmax_k0.raw();
+  return geom::DistVal(
+      std::sqrt(d0 * d0 + static_cast<double>(k - k0) * rho_));
 }
 
-double DmaxEstimator::GeometricCorrection(uint64_t k, uint64_t k0,
-                                          double dmax_k0) const {
-  if (k0 == 0 || dmax_k0 <= 0.0) return ArithmeticCorrection(k, k0, dmax_k0);
+geom::DistVal DmaxEstimator::GeometricCorrection(
+    uint64_t k, uint64_t k0, geom::DistVal dmax_k0) const {
+  if (k0 == 0 || dmax_k0 <= geom::DistVal::Zero()) {
+    return ArithmeticCorrection(k, k0, dmax_k0);
+  }
   if (k0 >= k) return dmax_k0;
-  return dmax_k0 * std::sqrt(static_cast<double>(k) /
-                             static_cast<double>(k0));
+  return geom::DistVal(dmax_k0.raw() * std::sqrt(static_cast<double>(k) /
+                                                 static_cast<double>(k0)));
 }
 
-double DmaxEstimator::Correct(uint64_t k, uint64_t k0, double dmax_k0,
-                              bool aggressive) const {
-  const double a = ArithmeticCorrection(k, k0, dmax_k0);
-  const double g = GeometricCorrection(k, k0, dmax_k0);
+geom::DistVal DmaxEstimator::Correct(uint64_t k, uint64_t k0,
+                                     geom::DistVal dmax_k0,
+                                     bool aggressive) const {
+  const geom::DistVal a = ArithmeticCorrection(k, k0, dmax_k0);
+  const geom::DistVal g = GeometricCorrection(k, k0, dmax_k0);
   return aggressive ? std::min(a, g) : std::max(a, g);
 }
 
-std::function<double(uint64_t)> DmaxEstimator::BoundaryFn() const {
+std::function<geom::DistVal(uint64_t)> DmaxEstimator::BoundaryFn() const {
   const double rho = rho_;
   const double gap = gap_;
   return [rho, gap](uint64_t c) {
-    return gap + std::sqrt(static_cast<double>(c) * rho);
+    return geom::DistVal(gap + std::sqrt(static_cast<double>(c) * rho));
   };
 }
 

@@ -39,26 +39,29 @@ class DmaxEstimator : public CutoffEstimator {
   double rho() const { return rho_; }
 
   /// Eq. 3. If the data sets' MBRs are disjoint, the gap between them is
-  /// added (no pair can be closer than the gap).
-  double InitialEstimate(uint64_t k) const;
+  /// added (no pair can be closer than the gap). Distance space, like the
+  /// whole estimator API (geom::DistVal).
+  geom::DistVal InitialEstimate(uint64_t k) const;
 
   /// Eq. 4.
-  double ArithmeticCorrection(uint64_t k, uint64_t k0, double dmax_k0) const;
+  geom::DistVal ArithmeticCorrection(uint64_t k, uint64_t k0,
+                                     geom::DistVal dmax_k0) const;
 
   /// Eq. 5 (falls back to the arithmetic correction when dmax_k0 == 0).
-  double GeometricCorrection(uint64_t k, uint64_t k0, double dmax_k0) const;
+  geom::DistVal GeometricCorrection(uint64_t k, uint64_t k0,
+                                    geom::DistVal dmax_k0) const;
 
   // CutoffEstimator:
-  double EstimateDmax(uint64_t k) const override {
+  geom::DistVal EstimateDmax(uint64_t k) const override {
     return InitialEstimate(k);
   }
   /// Combined correction: aggressive takes the min of Eq. 4/5,
   /// conservative the max.
-  double Correct(uint64_t k, uint64_t k0, double dmax_k0,
-                 bool aggressive) const override;
+  geom::DistVal Correct(uint64_t k, uint64_t k0, geom::DistVal dmax_k0,
+                        bool aggressive) const override;
   /// Self-contained closed form (captures rho by value; no lifetime tie to
   /// this object).
-  std::function<double(uint64_t)> BoundaryFn() const override;
+  std::function<geom::DistVal(uint64_t)> BoundaryFn() const override;
 
  private:
   double rho_ = 0.0;

@@ -60,7 +60,7 @@ StatusOr<HistogramEstimator> HistogramEstimator::FromTrees(
 void HistogramEstimator::Finalize() {
   grid_ = std::max<uint32_t>(1, options_.grid);
   bounds_ = InflateIfDegenerate(bounds_);
-  diameter_ = geom::MaxDistance(bounds_, bounds_, options_.metric);
+  diameter_ = geom::MaxDistance(bounds_, bounds_, options_.metric).raw();
   if (diameter_ <= 0) diameter_ = 1.0;
   r_counts_.assign(static_cast<size_t>(grid_) * grid_, 0.0);
   s_counts_.assign(static_cast<size_t>(grid_) * grid_, 0.0);
@@ -90,7 +90,8 @@ geom::Rect HistogramEstimator::CellRect(uint32_t cx, uint32_t cy) const {
                     bounds_.lo.y + (cy + 1) * h);
 }
 
-double HistogramEstimator::ExpectedPairsWithin(double d) const {
+double HistogramEstimator::ExpectedPairsWithin(const geom::DistVal dv) const {
+  const double d = dv.raw();
   if (d < 0 || total_r_ == 0 || total_s_ == 0) return 0.0;
   const double cell_w = bounds_.Side(0) / grid_;
   const double cell_h = bounds_.Side(1) / grid_;
@@ -145,12 +146,12 @@ double HistogramEstimator::ExpectedPairsWithin(double d) const {
 
 double HistogramEstimator::InvertExpectedPairs(double target) const {
   if (target <= 0) return 0.0;
-  if (ExpectedPairsWithin(diameter_) <= target) return diameter_;
+  if (ExpectedPairsWithin(geom::DistVal(diameter_)) <= target) return diameter_;
   double lo = 0.0;
   double hi = diameter_;
   for (int iter = 0; iter < 40 && hi - lo > 1e-9 * diameter_; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    if (ExpectedPairsWithin(mid) < target) {
+    if (ExpectedPairsWithin(geom::DistVal(mid)) < target) {
       lo = mid;
     } else {
       hi = mid;
@@ -159,17 +160,20 @@ double HistogramEstimator::InvertExpectedPairs(double target) const {
   return hi;
 }
 
-double HistogramEstimator::EstimateDmax(uint64_t k) const {
-  return InvertExpectedPairs(static_cast<double>(k));
+geom::DistVal HistogramEstimator::EstimateDmax(uint64_t k) const {
+  return geom::DistVal(InvertExpectedPairs(static_cast<double>(k)));
 }
 
-double HistogramEstimator::Correct(uint64_t k, uint64_t k0, double dmax_k0,
-                                   bool aggressive) const {
-  if (k0 >= k) return std::max(dmax_k0, 0.0);
+geom::DistVal HistogramEstimator::Correct(uint64_t k, uint64_t k0,
+                                          geom::DistVal dmax_k0,
+                                          bool aggressive) const {
+  // Raw view: the calibration math is distance-space arithmetic.
+  const double d0 = dmax_k0.raw();
+  if (k0 >= k) return geom::DistVal(std::max(d0, 0.0));
   // Calibrate the histogram prediction against the observed ground truth.
   double scale = 1.0;
-  if (k0 > 0 && dmax_k0 > 0) {
-    const double predicted = ExpectedPairsWithin(dmax_k0);
+  if (k0 > 0 && d0 > 0) {
+    const double predicted = ExpectedPairsWithin(geom::DistVal(d0));
     if (predicted > 0) {
       scale = static_cast<double>(k0) / predicted;
     }
@@ -177,17 +181,18 @@ double HistogramEstimator::Correct(uint64_t k, uint64_t k0, double dmax_k0,
   const double calibrated =
       InvertExpectedPairs(static_cast<double>(k) / scale);
   double geometric = calibrated;
-  if (k0 > 0 && dmax_k0 > 0) {
-    geometric = dmax_k0 * std::sqrt(static_cast<double>(k) /
-                                    static_cast<double>(k0));
+  if (k0 > 0 && d0 > 0) {
+    geometric = d0 * std::sqrt(static_cast<double>(k) /
+                               static_cast<double>(k0));
   }
   const double combined =
       aggressive ? std::min(calibrated, geometric)
                  : std::max(calibrated, geometric);
-  return std::max(combined, dmax_k0);
+  return geom::DistVal(std::max(combined, d0));
 }
 
-std::function<double(uint64_t)> HistogramEstimator::BoundaryFn() const {
+std::function<geom::DistVal(uint64_t)> HistogramEstimator::BoundaryFn()
+    const {
   // Sample the monotone pair-count curve at quadratically spaced distances
   // (denser near 0, where the queue's boundaries live) and interpolate its
   // inverse.
@@ -197,20 +202,20 @@ std::function<double(uint64_t)> HistogramEstimator::BoundaryFn() const {
   for (int i = 0; i <= kSamples; ++i) {
     const double frac = static_cast<double>(i) / kSamples;
     distances[i] = diameter_ * frac * frac;
-    counts[i] = ExpectedPairsWithin(distances[i]);
+    counts[i] = ExpectedPairsWithin(geom::DistVal(distances[i]));
   }
   return [distances = std::move(distances),
           counts = std::move(counts)](uint64_t c) {
     const double target = static_cast<double>(c);
-    if (target <= counts.front()) return distances.front();
-    if (target >= counts.back()) return distances.back();
+    if (target <= counts.front()) return geom::DistVal(distances.front());
+    if (target >= counts.back()) return geom::DistVal(distances.back());
     // First sample with count >= target.
     const auto it = std::lower_bound(counts.begin(), counts.end(), target);
     const size_t hi = static_cast<size_t>(it - counts.begin());
     const size_t lo = hi - 1;
     const double span = counts[hi] - counts[lo];
     const double t = span > 0 ? (target - counts[lo]) / span : 1.0;
-    return distances[lo] + t * (distances[hi] - distances[lo]);
+    return geom::DistVal(distances[lo] + t * (distances[hi] - distances[lo]));
   };
 }
 

@@ -52,22 +52,22 @@ class HistogramEstimator : public CutoffEstimator {
   }
 
   /// Expected number of object pairs within distance d (monotone in d).
-  double ExpectedPairsWithin(double d) const;
+  double ExpectedPairsWithin(geom::DistVal d) const;
 
   // CutoffEstimator:
-  double EstimateDmax(uint64_t k) const override;
+  geom::DistVal EstimateDmax(uint64_t k) const override;
   /// Calibrated correction: rescales the histogram prediction so that it
   /// agrees with the ground truth observed so far (K(dmax_k0) == k0), then
   /// inverts for k; `aggressive` additionally caps by the Eq.-5 geometric
   /// correction, conservative floors by it.
-  double Correct(uint64_t k, uint64_t k0, double dmax_k0,
-                 bool aggressive) const override;
+  geom::DistVal Correct(uint64_t k, uint64_t k0, geom::DistVal dmax_k0,
+                        bool aggressive) const override;
   /// Unlike the generic adapter, precomputes a (count -> distance) table
   /// once and returns a cheap interpolating closure — the hybrid queue
   /// probes boundaries ~10^3 times at construction, and a full bisection
   /// per probe would dominate the join. Self-contained: no lifetime tie to
   /// this estimator.
-  std::function<double(uint64_t)> BoundaryFn() const override;
+  std::function<geom::DistVal(uint64_t)> BoundaryFn() const override;
 
   uint32_t grid() const { return grid_; }
   const geom::Rect& bounds() const { return bounds_; }

@@ -21,7 +21,7 @@ MainQueue::Options MakeMainQueueOptions(const rtree::RTree& r,
       options.predetermined_queue_boundaries && r.size() > 0 &&
       s.size() > 0) {
     // Estimators speak distance; the queue partitions by priority key.
-    std::function<double(uint64_t)> fn;
+    std::function<geom::DistVal(uint64_t)> fn;
     if (options.estimator != nullptr) {
       fn = options.estimator->BoundaryFn();
     } else {
@@ -40,7 +40,7 @@ MainQueue::Options MakeMainQueueOptions(const rtree::RTree& r,
 namespace internal_hs {
 
 Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
-                            const PairEntry& pair, double cutoff,
+                            const PairEntry& pair, geom::KeyVal cutoff,
                             const JoinOptions& options, MainQueue* queue,
                             QdmaxTracker* tracker, JoinStats* stats,
                             std::vector<PairRef>* scratch) {
@@ -94,14 +94,16 @@ Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
                               b.hi1.data(), other.rect.lo.x, other.rect.hi.x,
                               other.rect.lo.y, other.rect.hi.y, n,
                               b.keys.data());
+    // Raw view: the batch kernels operate on untyped key arrays.
     const size_t kept =
-        geom::BatchFilterWithin(b.keys.data(), n, cutoff, b.idx.data());
+        geom::BatchFilterWithin(b.keys.data(), n, cutoff.raw(),
+                                b.idx.data());
     for (size_t j = 0; j < kept; ++j) {
       const uint32_t i = b.idx[j];
       PairEntry e;
       e.r = expand_r ? children[i] : other;
       e.s = expand_r ? other : children[i];
-      e.key = b.keys[i];
+      e.key = geom::KeyVal(b.keys[i]);
       if (options.exclude_same_id && IsSelfPair(e.r, e.s)) continue;
       AMDJ_RETURN_IF_ERROR(queue->Push(e));
       if (tracker != nullptr) tracker->OnPush(e);
@@ -147,8 +149,8 @@ StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
   while (results.size() < k && !queue.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue.Pop(&c));
     if (c.IsObjectPair()) {
-      results.push_back(
-          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id});
+      results.push_back({geom::KeyToDistance(c.key, options.metric).raw(),
+                         c.r.id, c.s.id});
       ++stats->pairs_produced;
       continue;
     }
@@ -157,7 +159,7 @@ StatusOr<std::vector<ResultPair>> HsKdj::Run(const rtree::RTree& r,
     TraceSpan span(options.tracer, "expand_unidir",
                    {{"r_level", static_cast<double>(c.r.level)},
                     {"s_level", static_cast<double>(c.s.level)},
-                    {"key", c.key}});
+                    {"key", c.key.raw()}});
     AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
         r, s, c, tracker.Cutoff(), options, &queue, &tracker, stats,
         &children));
@@ -191,11 +193,12 @@ Status HsIdjCursor::Next(ResultPair* out, bool* done) {
     }
   }
   PairEntry c;
-  const double kNoCutoff = std::numeric_limits<double>::infinity();
+  const geom::KeyVal kNoCutoff = geom::KeyVal::Infinity();
   while (!queue_.Empty()) {
     AMDJ_RETURN_IF_ERROR(queue_.Pop(&c));
     if (c.IsObjectPair()) {
-      *out = {geom::KeyToDistance(c.key, options_.metric), c.r.id, c.s.id};
+      *out = {geom::KeyToDistance(c.key, options_.metric).raw(), c.r.id,
+              c.s.id};
       ++produced_;
       ++stats_->pairs_produced;
       return Status::OK();
@@ -203,7 +206,7 @@ Status HsIdjCursor::Next(ResultPair* out, bool* done) {
     TraceSpan span(options_.tracer, "expand_unidir",
                    {{"r_level", static_cast<double>(c.r.level)},
                     {"s_level", static_cast<double>(c.s.level)},
-                    {"key", c.key}});
+                    {"key", c.key.raw()}});
     AMDJ_RETURN_IF_ERROR(internal_hs::ExpandUniDirectional(
         r_, s_, c, kNoCutoff, options_, &queue_, nullptr, stats_,
         &children_));

@@ -80,7 +80,7 @@ namespace internal_hs {
 /// cleared on entry — hoist it out of the expansion loop so the capacity
 /// is reused across calls.
 Status ExpandUniDirectional(const rtree::RTree& r, const rtree::RTree& s,
-                            const PairEntry& pair, double cutoff,
+                            const PairEntry& pair, geom::KeyVal cutoff,
                             const JoinOptions& options, MainQueue* queue,
                             QdmaxTracker* tracker, JoinStats* stats,
                             std::vector<PairRef>* scratch);

@@ -7,6 +7,7 @@
 
 #include "core/cutoff_estimator.h"
 #include "geom/metric.h"
+#include "geom/units.h"
 #include "storage/disk_manager.h"
 
 namespace amdj {
@@ -69,7 +70,7 @@ enum class CorrectionPolicy : uint8_t {
 class CutoffKeySink {
  public:
   virtual ~CutoffKeySink() = default;
-  virtual void OnResultKey(double key) = 0;
+  virtual void OnResultKey(geom::KeyVal key) = 0;
 };
 
 struct JoinOptions {
@@ -100,8 +101,9 @@ struct JoinOptions {
       DistanceQueuePolicy::kObjectPairsOnly;
 
   /// Overrides the Eq.-3 initial eDmax estimate (Figure 14 forces
-  /// multiples of the true Dmax through this).
-  std::optional<double> forced_edmax;
+  /// multiples of the true Dmax through this). Distance space — the
+  /// algorithms fence it into key space via geom::DistanceToKeyCutoff.
+  std::optional<geom::DistVal> forced_edmax;
 
   /// Learned upper-bound hint on the initial eDmax estimate, in distance
   /// space. The adaptive algorithms min() it into the estimator's initial
@@ -113,7 +115,7 @@ struct JoinOptions {
   /// change how much work stage one does but not what the join returns.
   /// Ignored when forced_edmax is set (the figure benches force exact
   /// multiples and must not be second-guessed).
-  std::optional<double> edmax_seed;
+  std::optional<geom::DistVal> edmax_seed;
 
   /// First-stage target cardinality for AM-IDJ when no hint is given.
   uint64_t idj_initial_k = 4096;
@@ -192,7 +194,7 @@ struct JoinOptions {
   /// are safe for the same reason as the PR 1 cutoff protocol: the bound
   /// is monotone non-increasing, so a late-observed value only admits
   /// extra candidates, never drops one. Not owned; must outlive the join.
-  const std::atomic<double>* shared_cutoff_key = nullptr;
+  const std::atomic<geom::KeyVal>* shared_cutoff_key = nullptr;
 
   /// Optional write side of the shared bound: when set, the KDJ
   /// algorithms CAS-min their *local* qDmax key into it on every cutoff
@@ -206,7 +208,7 @@ struct JoinOptions {
   /// executor's between-pairs fold into live feedback: concurrently
   /// running shard pairs tighten each other mid-flight. Not owned; must
   /// outlive the join.
-  std::atomic<double>* shared_cutoff_publish = nullptr;
+  std::atomic<geom::KeyVal>* shared_cutoff_publish = nullptr;
 
   /// Optional stream of this join's candidate *result* keys to a
   /// coordinator. When set, every object-pair distance key entering the
@@ -235,11 +237,11 @@ struct JoinOptions {
 /// tighten the staging estimate — it never invalidates pruning, and an
 /// over-tight seed is recovered by the compensation machinery exactly like
 /// an over-tight Eq.-3 estimate.
-inline double InitialEdmaxEstimate(const JoinOptions& options,
-                                   const CutoffEstimator& estimator,
-                                   uint64_t k) {
+inline geom::DistVal InitialEdmaxEstimate(const JoinOptions& options,
+                                          const CutoffEstimator& estimator,
+                                          uint64_t k) {
   if (options.forced_edmax) return *options.forced_edmax;
-  double estimate = estimator.EstimateDmax(k);
+  geom::DistVal estimate = estimator.EstimateDmax(k);
   if (options.edmax_seed && *options.edmax_seed < estimate) {
     estimate = *options.edmax_seed;
   }
@@ -250,8 +252,9 @@ inline double InitialEdmaxEstimate(const JoinOptions& options,
 /// tolerates stale reads, see shared_cutoff_key). Every writer of a
 /// shared cutoff must go through this — a plain store could raise a
 /// bound another thread already tightened.
-inline void AtomicMinKey(std::atomic<double>* target, double key) {
-  double current = target->load(std::memory_order_relaxed);
+inline void AtomicMinKey(std::atomic<geom::KeyVal>* target,
+                         geom::KeyVal key) {
+  geom::KeyVal current = target->load(std::memory_order_relaxed);
   while (key < current &&
          !target->compare_exchange_weak(current, key,
                                         std::memory_order_relaxed)) {

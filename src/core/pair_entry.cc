@@ -17,8 +17,8 @@ std::string PairEntry::ToString() const {
   std::ostringstream os;
   os << "<" << (r.IsObject() ? "obj " : "node ") << r.id << " @L"
      << static_cast<int>(r.level) << ", " << (s.IsObject() ? "obj " : "node ")
-     << s.id << " @L" << static_cast<int>(s.level) << "> key=" << key;
-  if (WasExpanded()) os << " prior_cutoff=" << prior_cutoff;
+     << s.id << " @L" << static_cast<int>(s.level) << "> key=" << key.raw();
+  if (WasExpanded()) os << " prior_cutoff=" << prior_cutoff.raw();
   return os.str();
 }
 

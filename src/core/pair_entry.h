@@ -32,8 +32,9 @@ struct PairRef {
 struct PairEntry {
   /// MinDistanceKey(r.rect, s.rect); the priority. A metric *key* — the
   /// squared distance under L2 (see geom::DistanceToKey) — not a distance;
-  /// KeyToDistance converts at emission.
-  double key = 0.0;
+  /// KeyToDistance converts at emission. Strongly typed: comparing it to a
+  /// distance-space value is a compile error (geom/units.h).
+  geom::KeyVal key = geom::KeyVal::Zero();
   PairRef r;
   PairRef s;
 
@@ -41,16 +42,17 @@ struct PairEntry {
   /// an earlier aggressive stage; kNeverExpanded if it has not been
   /// expanded. Compensation sweeps use it to skip the already-examined
   /// sweep prefix. Same key space as `key`.
-  double prior_cutoff = kNeverExpanded;
+  geom::KeyVal prior_cutoff = kNeverExpanded;
   /// Sweep axis used by that earlier expansion (-1 = none).
   int8_t prior_axis = -1;
   /// Sweep direction used by that earlier expansion (0 fwd, 1 bwd).
   int8_t prior_dir = 0;
 
-  static constexpr double kNeverExpanded = -1.0;
+  /// Sentinel below every real key (keys are >= 0).
+  static constexpr geom::KeyVal kNeverExpanded{-1.0};
 
   bool IsObjectPair() const { return r.IsObject() && s.IsObject(); }
-  bool WasExpanded() const { return prior_cutoff >= 0.0; }
+  bool WasExpanded() const { return prior_cutoff >= geom::KeyVal::Zero(); }
 
   std::string ToString() const;
 };
@@ -86,7 +88,12 @@ inline bool IsSelfPair(const PairRef& r, const PairRef& s) {
   return r.IsObject() && s.IsObject() && r.id == s.id;
 }
 
-/// One produced join result.
+/// One produced join result. `distance` is a raw double on purpose: this
+/// struct is the user-facing/serialization boundary (external sorter spill
+/// pages, CLI output, golden files) — by definition of the output format it
+/// is distance space, so there is no ambiguity left for a strong type to
+/// protect. geom::KeyToDistance(...).raw() converts at emission; this is a
+/// documented raw-view boundary (see geom/units.h).
 struct ResultPair {
   double distance = 0.0;
   uint32_t r_id = 0;

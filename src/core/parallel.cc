@@ -19,7 +19,7 @@ BatchExpander::BatchExpander(const rtree::RTree& r, const rtree::RTree& s,
       batch_target_(static_cast<size_t>(std::max<uint32_t>(
                         1, options.parallelism)) *
                     std::max<uint32_t>(1, options.batch_factor)),
-      shared_cutoff_(std::numeric_limits<double>::infinity()),
+      shared_cutoff_(geom::KeyVal::Infinity()),
       pool_(std::max<uint32_t>(1, options.parallelism), "amdj-join") {
   // One slot per batch position: tasks map 1:1 onto slots, so workers
   // never contend for buffers and rounds reuse the same allocations.
@@ -42,13 +42,13 @@ void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
   TraceSpan span(options_.tracer, "expand_task",
                  {{"r_level", static_cast<double>(task.pair.r.level)},
                   {"s_level", static_cast<double>(task.pair.s.level)},
-                  {"key", task.pair.key}});
+                  {"key", task.pair.key.raw()}});
 
-  const bool dynamic_axis = task.static_axis_cutoff < 0.0;
+  const bool dynamic_axis = task.static_axis_cutoff < geom::KeyVal::Zero();
   // `axis_cutoff` is what the sweep re-reads before every comparison; the
   // callback refreshes it from the shared atomic in dynamic mode, so a
   // coordinator-side Tighten() prunes the remainder of an in-flight sweep.
-  double axis_cutoff =
+  geom::KeyVal axis_cutoff =
       dynamic_axis ? shared_cutoff_.load(std::memory_order_relaxed)
                    : task.static_axis_cutoff;
   // Late prune (dynamic mode only): the cutoff may have shrunk below this
@@ -72,7 +72,7 @@ void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
                             geom::KeyToDistance(axis_cutoff, options_.metric),
                             options_.sweep);
 
-  double dist_cutoff = shared_cutoff_.load(std::memory_order_relaxed);
+  geom::KeyVal dist_cutoff = shared_cutoff_.load(std::memory_order_relaxed);
   KeyedSweepSpec spec;
   spec.metric = options_.metric;
   spec.axis_cutoff_key = &axis_cutoff;
@@ -81,14 +81,15 @@ void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
   slot->covered =
       PlaneSweepKeyed(
           slot->left, slot->right, slot->plan, spec, &slot->stats,
-          [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+          [&](const PairRef& lref, const PairRef& rref,
+              geom::KeyVal dist_key) {
             // Refresh from the shared atomic once per survivor (not per
             // candidate: stale-read safety makes the coarser cadence
             // harmless). `cutoff` only ever shrinks, and any value we
             // read is an upper bound of the final k-th key, so dropping
             // here never loses a result pair; keeping an extra candidate
             // is fine because the coordinator re-filters before pushing.
-            const double cutoff =
+            const geom::KeyVal cutoff =
                 shared_cutoff_.load(std::memory_order_relaxed);
             dist_cutoff = cutoff;
             if (dynamic_axis) axis_cutoff = cutoff;
@@ -104,7 +105,7 @@ void BatchExpander::ExpandOne(const ExpandTask& task, ExpandSlot* slot) {
 }
 
 Status BatchExpander::Run(
-    const std::vector<ExpandTask>& tasks, double initial_cutoff,
+    const std::vector<ExpandTask>& tasks, geom::KeyVal initial_cutoff,
     const std::function<StatusOr<bool>(size_t, ExpandSlot*)>& merge) {
   AMDJ_CHECK(owner_.CalledOnValidThread())
       << "BatchExpander::Run off the coordinator thread";

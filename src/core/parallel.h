@@ -33,12 +33,11 @@ namespace amdj::core {
 struct ExpandTask {
   PairEntry pair;
   /// >= 0: static axis cutoff key for this sweep; < 0: track the shared
-  /// cutoff. Key space throughout (geom::DistanceToKey), like every cutoff
-  /// below.
-  double static_axis_cutoff = -1.0;
+  /// cutoff. Key space throughout (geom::KeyVal), like every cutoff below.
+  geom::KeyVal static_axis_cutoff{-1.0};
   /// Skip candidates with axis-separation key <= skip_below (the sweep
   /// prefix an earlier stage already examined).
-  double skip_below = -1.0;
+  geom::KeyVal skip_below{-1.0};
   /// Use `plan` instead of choosing one (compensation re-sweeps).
   bool has_fixed_plan = false;
   SweepPlan plan;
@@ -189,7 +188,8 @@ class BatchExpander {
   /// not-yet-merged task in queue order (tie plateaus; see DESIGN.md).
   /// Every worker is joined before returning regardless. Returns the
   /// first non-OK worker or merge status.
-  Status Run(const std::vector<ExpandTask>& tasks, double initial_cutoff,
+  Status Run(const std::vector<ExpandTask>& tasks,
+             geom::KeyVal initial_cutoff,
              const std::function<StatusOr<bool>(size_t, ExpandSlot*)>& merge);
 
   /// Publishes a (smaller) cutoff to in-flight workers. Called by the
@@ -197,7 +197,7 @@ class BatchExpander {
   /// callers only pass values from a shrinking source, so a plain store
   /// suffices (there is exactly one writer, the coordinator — enforced,
   /// see the shared-cutoff protocol in the class comment).
-  void Tighten(double cutoff) {
+  void Tighten(geom::KeyVal cutoff) {
     AMDJ_CHECK(owner_.CalledOnValidThread())
         << "BatchExpander::Tighten off the coordinator thread";
     shared_cutoff_.store(cutoff, std::memory_order_relaxed);
@@ -213,8 +213,9 @@ class BatchExpander {
   /// Coordinator-only (read/written between rounds, never by workers).
   size_t batch_limit_ = 1;
   /// Single writer (coordinator), relaxed readers (workers); see the
-  /// shared-cutoff protocol in the class comment.
-  std::atomic<double> shared_cutoff_;
+  /// shared-cutoff protocol in the class comment. atomic<KeyVal> is
+  /// lock-free exactly like atomic<double> (geom/units.h).
+  std::atomic<geom::KeyVal> shared_cutoff_;
   /// Set when a merge stops the round early: queued-but-unstarted workers
   /// skip their (discarded) expansion instead of fetching children. Same
   /// single-writer shape as shared_cutoff_.

@@ -160,7 +160,8 @@ ShardPairEstimator::ShardPairEstimator(const Partition& r, const Partition& s,
         cap -= static_cast<double>(std::min(ri.size, sj.size));
       }
       if (cap <= 0.0) continue;
-      const double gap = geom::MinDistance(ri.bounds, sj.bounds, metric);
+      const double gap =
+          geom::MinDistance(ri.bounds, sj.bounds, metric).raw();
       const double rho = est.rho();
       if (rho <= 0.0) continue;
       pairs_.gap.push_back(gap);
@@ -172,41 +173,46 @@ ShardPairEstimator::ShardPairEstimator(const Partition& r, const Partition& s,
   }
 }
 
-double ShardPairEstimator::ExpectedPairsWithin(double d) const {
-  return ExpectedWithin(pairs_, d);
+double ShardPairEstimator::ExpectedPairsWithin(geom::DistVal d) const {
+  return ExpectedWithin(pairs_, d.raw());
 }
 
-double ShardPairEstimator::EstimateDmax(uint64_t k) const {
-  return InvertExpected(pairs_, max_reach_, total_pairs_,
-                        static_cast<double>(k));
+geom::DistVal ShardPairEstimator::EstimateDmax(uint64_t k) const {
+  return geom::DistVal(InvertExpected(pairs_, max_reach_, total_pairs_,
+                                      static_cast<double>(k)));
 }
 
-double ShardPairEstimator::Correct(uint64_t k, uint64_t k0, double dmax_k0,
-                                   bool aggressive) const {
-  const double predicted = ExpectedPairsWithin(dmax_k0);
+geom::DistVal ShardPairEstimator::Correct(uint64_t k, uint64_t k0,
+                                          geom::DistVal dmax_k0,
+                                          bool aggressive) const {
+  // Raw view: the calibration math is distance-space arithmetic.
+  const double d0 = dmax_k0.raw();
+  const double predicted = ExpectedPairsWithin(geom::DistVal(d0));
   double calibrated;
-  if (k0 == 0 || dmax_k0 <= 0.0 || predicted <= 0.0) {
-    calibrated = EstimateDmax(k);
+  if (k0 == 0 || d0 <= 0.0 || predicted <= 0.0) {
+    calibrated = EstimateDmax(k).raw();
   } else {
     const double scale = static_cast<double>(k0) / predicted;
     calibrated = InvertExpected(pairs_, max_reach_, total_pairs_,
                                 static_cast<double>(k) / scale);
   }
-  if (k0 == 0 || dmax_k0 <= 0.0) return calibrated;
+  if (k0 == 0 || d0 <= 0.0) return geom::DistVal(calibrated);
   const double geometric =
-      dmax_k0 * std::sqrt(static_cast<double>(k) / static_cast<double>(k0));
-  return aggressive ? std::min(calibrated, geometric)
-                    : std::max(calibrated, geometric);
+      d0 * std::sqrt(static_cast<double>(k) / static_cast<double>(k0));
+  return geom::DistVal(aggressive ? std::min(calibrated, geometric)
+                                  : std::max(calibrated, geometric));
 }
 
-std::function<double(uint64_t)> ShardPairEstimator::BoundaryFn() const {
+std::function<geom::DistVal(uint64_t)> ShardPairEstimator::BoundaryFn()
+    const {
   // Self-contained (no lifetime tie to the estimator): the hybrid queue
   // probes boundaries at construction time, possibly on another thread.
   PairModels pairs = pairs_;
   const double reach = max_reach_;
   const double total = total_pairs_;
   return [pairs = std::move(pairs), reach, total](uint64_t c) {
-    return InvertExpected(pairs, reach, total, static_cast<double>(c));
+    return geom::DistVal(
+        InvertExpected(pairs, reach, total, static_cast<double>(c)));
   };
 }
 

@@ -114,17 +114,17 @@ class ShardPairEstimator : public CutoffEstimator {
                      geom::Metric metric, bool exclude_same_id = false);
 
   /// Expected number of object pairs within distance d (monotone in d).
-  double ExpectedPairsWithin(double d) const;
+  double ExpectedPairsWithin(geom::DistVal d) const;
 
   // CutoffEstimator:
-  double EstimateDmax(uint64_t k) const override;
+  geom::DistVal EstimateDmax(uint64_t k) const override;
   /// Calibrated correction: rescales the shard-pair prediction so it
   /// reproduces the observed ground truth (k0 pairs within dmax_k0), then
   /// inverts for k; `aggressive` caps by the Eq.-5 geometric correction,
   /// conservative floors by it.
-  double Correct(uint64_t k, uint64_t k0, double dmax_k0,
-                 bool aggressive) const override;
-  std::function<double(uint64_t)> BoundaryFn() const override;
+  geom::DistVal Correct(uint64_t k, uint64_t k0, geom::DistVal dmax_k0,
+                        bool aggressive) const override;
+  std::function<geom::DistVal(uint64_t)> BoundaryFn() const override;
 
   /// Per-pair model, struct-of-arrays (the bisection sweeps it hot).
   struct PairModels {

@@ -130,29 +130,32 @@ bool PlaneSweep(const std::vector<PairRef>& left,
 }
 
 /// Cutoffs and skip thresholds of a keyed sweep, all in metric-key space
-/// (geom::DistanceToKey — squared distances under L2).
+/// (geom::KeyVal — squared distances under L2). Strongly typed: wiring a
+/// distance-space cutoff in here no longer compiles; fence through
+/// geom::DistanceToKeyCutoff first.
 struct KeyedSweepSpec {
   geom::Metric metric = geom::Metric::kL2;
   /// Lemma-1 prune: a candidate whose axis-separation key exceeds this
   /// ends its anchor's scan. Re-read before every comparison, so a
   /// callback (or another thread through an atomic-backed copy the caller
   /// refreshes) can tighten an in-flight sweep.
-  const double* axis_cutoff_key = nullptr;
+  const geom::KeyVal* axis_cutoff_key = nullptr;
   /// Distance filter: survivors with key above this are dropped (counted,
   /// not reported). Re-read before every filter test; often aliases
   /// axis_cutoff_key (B-KDJ) but is distinct under a static axis stage
   /// (AM-KDJ sweeps with eDmax while filtering against qDmax).
-  const double* dist_cutoff_key = nullptr;
+  const geom::KeyVal* dist_cutoff_key = nullptr;
   /// Candidates with axis key <= this were examined by an earlier stage:
   /// skipped before the distance computation (and its counter), exactly
   /// complementing that stage's axis prune. kNoSkip = no prior stage.
-  double skip_axis_below_key = kNoSkip;
+  geom::KeyVal skip_axis_below_key = kNoSkip;
   /// Candidates with distance key <= this were reported by an earlier
   /// stage: skipped after the distance computation (AM-IDJ's re-expansion
   /// guard, which cuts on the real distance, not the axis).
-  double skip_dist_below_key = kNoSkip;
+  geom::KeyVal skip_dist_below_key = kNoSkip;
 
-  static constexpr double kNoSkip = -1.0;
+  /// Sentinel below every real key (keys are >= 0): skips nothing.
+  static constexpr geom::KeyVal kNoSkip{-1.0};
 };
 
 struct KeyedSweepResult {
@@ -168,7 +171,8 @@ struct KeyedSweepResult {
 /// The keyed, kernel-batched sweep the join algorithms run on: same anchor
 /// discipline as PlaneSweep, but candidate runs are evaluated through the
 /// batch kernels (axis gaps and, under L2, full MinDist keys per chunk) and
-/// the callback is invoked only for survivors, as cb(lref, rref, dist_key).
+/// the callback is invoked only for survivors, as cb(lref, rref, dist_key)
+/// with dist_key a geom::KeyVal.
 ///
 /// Exact per-candidate decision sequence (counters identical to the
 /// pre-keyed scalar code):
@@ -218,8 +222,9 @@ KeyedSweepResult PlaneSweepKeyed(const std::vector<PairRef>& left,
         // and cutoffs shrink monotonically — so the prefix passing against
         // the cutoff's *current* value bounds every candidate that can
         // still need one. Under a tight cutoff this collapses the MinDist
-        // batch to the few candidates actually scanned.
-        const double axis_cut_now = *spec.axis_cutoff_key;
+        // batch to the few candidates actually scanned. Raw view: the
+        // kernel scratch arrays are untyped doubles (geom/units.h).
+        const double axis_cut_now = spec.axis_cutoff_key->raw();
         std::size_t m = 0;
         if (arena->axis_gap[n - 1] * arena->axis_gap[n - 1] <=
             axis_cut_now) {
@@ -240,7 +245,7 @@ KeyedSweepResult PlaneSweepKeyed(const std::vector<PairRef>& left,
       for (std::size_t t = 0; t < n; ++t) {
         if (stats != nullptr) ++stats->axis_distance_computations;
         const double gap = arena->axis_gap[t];
-        const double axis_key = l2 ? gap * gap : gap;
+        const geom::KeyVal axis_key = geom::AxisGapToKey(gap, spec.metric);
         if (axis_key > *spec.axis_cutoff_key) {
           result.axis_covered = false;
           cut = true;  // keys ascend: nothing further fits this anchor
@@ -248,8 +253,9 @@ KeyedSweepResult PlaneSweepKeyed(const std::vector<PairRef>& left,
         }
         if (axis_key <= spec.skip_axis_below_key) continue;
         if (stats != nullptr) ++stats->real_distance_computations;
-        const double dist_key =
-            l2 ? arena->dist_key[t]
+        // Raw view: arena->dist_key holds the kernels' untyped output.
+        const geom::KeyVal dist_key =
+            l2 ? geom::KeyVal(arena->dist_key[t])
                : geom::MinDistanceKey(arect, other.refs[j + t]->rect,
                                       spec.metric);
         if (dist_key <= spec.skip_dist_below_key) continue;

@@ -68,10 +68,11 @@ class QdmaxTracker {
   /// With shared_cutoff_publish set, the local bound is also CAS-min'ed
   /// into the shared atomic first — see JoinOptions for why that is sound
   /// at every instant.
-  double Cutoff() const {
-    const double local = policy_ == DistanceQueuePolicy::kObjectPairsOnly
-                             ? objects_.CutoffDistance()
-                             : tracked_.CutoffDistance();
+  geom::KeyVal Cutoff() const {
+    const geom::KeyVal local =
+        policy_ == DistanceQueuePolicy::kObjectPairsOnly
+            ? objects_.CutoffKey()
+            : tracked_.CutoffKey();
     if (publish_ != nullptr) AtomicMinKey(publish_, local);
     return external_ == nullptr
                ? local
@@ -80,14 +81,14 @@ class QdmaxTracker {
   }
 
  private:
-  double Certificate(const PairEntry& e) const {
+  geom::KeyVal Certificate(const PairEntry& e) const {
     return geom::MaxDistanceKey(e.r.rect, e.s.rect, metric_);
   }
 
   DistanceQueuePolicy policy_;
   geom::Metric metric_;
-  const std::atomic<double>* external_;
-  std::atomic<double>* publish_;
+  const std::atomic<geom::KeyVal>* external_;
+  std::atomic<geom::KeyVal>* publish_;
   CutoffKeySink* sink_;
   JoinStats* stats_;
   queue::DistanceQueue objects_;

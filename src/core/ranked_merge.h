@@ -29,6 +29,10 @@ std::vector<T> RankedMerge(const std::vector<std::vector<T>>& runs,
     if (less(eb, ea)) return true;
     return a.run > b.run;
   };
+  // amdj-tidy: raw-priority-queue-ok — generic k-way merge template: the
+  // element type T and ordering come from the caller (shard results merge
+  // on strong-typed MergeEntry keys), so there is no distance member here
+  // to strengthen and no spill concern for a #runs-sized head heap.
   std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heads(
       after);
   size_t total = 0;

@@ -47,7 +47,7 @@ StatusOr<std::vector<SemiJoinResult>> ViaPerObjectNn(
   for (const rtree::Entry& obj : r_objects) {
     rtree::NearestNeighborCursor nn(s, obj.rect, options.metric);
     rtree::Entry partner;
-    double distance = 0.0;
+    geom::DistVal distance = geom::DistVal::Zero();
     bool done = false;
     uint64_t taken = 0;
     while (taken < neighbors) {
@@ -55,7 +55,7 @@ StatusOr<std::vector<SemiJoinResult>> ViaPerObjectNn(
       if (done) break;
       if (options.exclude_same_id && partner.id == obj.id) continue;
       if (stats != nullptr) ++stats->real_distance_computations;
-      results.push_back({obj.id, partner.id, distance});
+      results.push_back({obj.id, partner.id, distance.raw()});
       ++taken;
     }
   }

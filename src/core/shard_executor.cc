@@ -27,9 +27,11 @@ namespace {
 struct PairTask {
   uint32_t r_shard = 0;
   uint32_t s_shard = 0;
-  double min_key = 0.0;  ///< MinDistanceKey of the two shard MBBs.
-  double max_key = 0.0;  ///< MaxDistanceKey of the two shard MBBs.
-  double weight = 0.0;   ///< Candidate object pairs the pair can supply.
+  /// MinDistanceKey of the two shard MBBs.
+  geom::KeyVal min_key = geom::KeyVal::Zero();
+  /// MaxDistanceKey of the two shard MBBs.
+  geom::KeyVal max_key = geom::KeyVal::Zero();
+  double weight = 0.0;  ///< Candidate object pairs the pair can supply.
 };
 
 /// Monotone publisher of the global cutoff key: a bounded-k max-heap
@@ -44,7 +46,7 @@ struct PairTask {
 /// (the PR 1 protocol, one level up).
 class CutoffPublisher : public CutoffKeySink {
  public:
-  CutoffPublisher(uint64_t k, double initial)
+  CutoffPublisher(uint64_t k, geom::KeyVal initial)
       : initial_(initial), keys_(static_cast<size_t>(k), nullptr) {
     published_.store(initial, std::memory_order_relaxed);
   }
@@ -54,20 +56,22 @@ class CutoffPublisher : public CutoffKeySink {
   /// published bound — tightens *during* pair execution. This is what
   /// makes the cutoff finite early: no single shard pair may ever hold k
   /// results, but their union does.
-  void OnResultKey(double key) override {
+  void OnResultKey(geom::KeyVal key) override {
     MutexLock lock(&mu_);
     keys_.Insert(key);
-    AtomicMinKey(&published_, std::min(initial_, keys_.CutoffDistance()));
+    AtomicMinKey(&published_, std::min(initial_, keys_.CutoffKey()));
   }
 
-  double Current() const { return published_.load(std::memory_order_relaxed); }
+  geom::KeyVal Current() const {
+    return published_.load(std::memory_order_relaxed);
+  }
 
-  const std::atomic<double>* handle() const { return &published_; }
-  std::atomic<double>* publish_handle() { return &published_; }
+  const std::atomic<geom::KeyVal>* handle() const { return &published_; }
+  std::atomic<geom::KeyVal>* publish_handle() { return &published_; }
 
  private:
-  const double initial_;
-  std::atomic<double> published_{0.0};
+  const geom::KeyVal initial_;
+  std::atomic<geom::KeyVal> published_{geom::KeyVal::Zero()};
   Mutex mu_;
   queue::DistanceQueue keys_ AMDJ_GUARDED_BY(mu_);
 };
@@ -76,7 +80,7 @@ class CutoffPublisher : public CutoffKeySink {
 /// MBRs. Merging on the emitted distance would be ambiguous — two distinct
 /// keys can round to the same sqrt — keys are not.
 struct MergeEntry {
-  double key = 0.0;
+  geom::KeyVal key = geom::KeyVal::Zero();
   ResultPair pair;
 };
 
@@ -178,7 +182,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
   // --- Plan: enumerate non-empty shard pairs and their bounds. ---
   std::vector<PairTask> tasks;
   std::vector<PairTask> survivors;
-  double bound_u = std::numeric_limits<double>::infinity();
+  geom::KeyVal bound_u = geom::KeyVal::Infinity();
   {
     const ScopedLatencyTimer plan_timer(GlobalShardMetrics().stage_plan_ns);
     TraceSpan plan_span(tracer, "shard_plan",
@@ -246,7 +250,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
                    Instant("shard_pair_pruned_bounds",
                            {{"r_shard", static_cast<double>(t.r_shard)},
                             {"s_shard", static_cast<double>(t.s_shard)},
-                            {"min_key", t.min_key}}));
+                            {"min_key", t.min_key.raw()}}));
         continue;
       }
       survivors.push_back(t);
@@ -261,18 +265,19 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
               });
     AMDJ_TRACE(tracer,
                Instant("shard_bound",
-                       {{"bound_key", bound_u},
+                       {{"bound_key", bound_u.raw()},
                         {"survivors", static_cast<double>(survivors.size())}}));
   }
-  if (report != nullptr && std::isfinite(bound_u)) {
-    report->OnCutoff("shard_bound_u", geom::KeyToDistance(bound_u, metric), 0);
+  if (report != nullptr && std::isfinite(bound_u.raw())) {
+    report->OnCutoff("shard_bound_u",
+                     geom::KeyToDistance(bound_u, metric).raw(), 0);
   }
 
   // Shard-local Eq.-3 composition (the tiles double as a coarse 2-d
   // histogram); drives per-pair AM-KDJ stage-one cutoffs.
   const ShardPairEstimator estimator(r, s, metric,
                                      options.join.exclude_same_id);
-  const double global_edmax = estimator.EstimateDmax(k);
+  const geom::DistVal global_edmax = estimator.EstimateDmax(k);
 
   CutoffPublisher cutoff(k, bound_u);
   SharedState state;
@@ -298,7 +303,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
   // slot's run; the pair was already counted).
   const auto run_pair = [&](size_t slot, uint64_t k_local, int phase) {
     const PairTask& t = survivors[slot];
-    const double seen = cutoff.Current();
+    const geom::KeyVal seen = cutoff.Current();
     if (phase == 0 && t.min_key > seen) {
       // Re-prune at dispatch: keys pooled by earlier pairs may have
       // pulled the cutoff below this pair's MinDist by now.
@@ -306,8 +311,8 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
                  Instant("shard_pair_pruned_cutoff",
                          {{"r_shard", static_cast<double>(t.r_shard)},
                           {"s_shard", static_cast<double>(t.s_shard)},
-                          {"min_key", t.min_key},
-                          {"cutoff_key", seen}}));
+                          {"min_key", t.min_key.raw()},
+                          {"cutoff_key", seen.raw()}}));
       GlobalShardMetrics().pairs_pruned_cutoff->Increment();
       MutexLock lock(&state.mu);
       ++state.pruned_cutoff;
@@ -334,9 +339,9 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
       // Any forced_edmax is safe for AM-KDJ (compensation guarantees
       // B-KDJ-equal results), so clamp the global estimate by both the
       // caller's override and the live cutoff.
-      double edmax = std::min(per.forced_edmax.value_or(global_edmax),
-                              global_edmax);
-      if (std::isfinite(seen)) {
+      geom::DistVal edmax = std::min(
+          per.forced_edmax.value_or(global_edmax), global_edmax);
+      if (std::isfinite(seen.raw())) {
         edmax = std::min(edmax, geom::KeyToDistance(seen, metric));
       }
       per.forced_edmax = edmax;
@@ -350,7 +355,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
       TraceSpan span(tracer, "shard_pair",
                      {{"r_shard", static_cast<double>(t.r_shard)},
                       {"s_shard", static_cast<double>(t.s_shard)},
-                      {"min_key", t.min_key},
+                      {"min_key", t.min_key.raw()},
                       {"k_local", static_cast<double>(k_local)},
                       {"phase", static_cast<double>(phase)}});
       res = RunKDistanceJoin(*ri.tree, *sj.tree, k_local, options.algorithm,
@@ -428,10 +433,10 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
     }
     AMDJ_RETURN_IF_ERROR(fold_state());
     if (report != nullptr) {
-      const double pooled = cutoff.Current();
-      if (std::isfinite(pooled)) {
+      const geom::KeyVal pooled = cutoff.Current();
+      if (std::isfinite(pooled.raw())) {
         report->OnCutoff("shard_probe_cutoff",
-                         geom::KeyToDistance(pooled, metric), 0);
+                         geom::KeyToDistance(pooled, metric).raw(), 0);
       }
       report->BeginPhase("shard-topup", *stats);
     }
@@ -447,7 +452,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
       const ScopedLatencyTimer topup_timer(
           GlobalShardMetrics().stage_topup_ns);
       std::vector<size_t> topup;
-      const double published = cutoff.Current();
+      const geom::KeyVal published = cutoff.Current();
       {
         MutexLock lock(&state.mu);
         if (!state.first_error.ok()) return state.first_error;
@@ -462,7 +467,7 @@ StatusOr<std::vector<ResultPair>> RunShardedKDistanceJoin(
       AMDJ_TRACE(tracer,
                  Instant("shard_topup",
                          {{"pairs", static_cast<double>(topup.size())},
-                          {"cutoff_key", published}}));
+                          {"cutoff_key", published.raw()}}));
       std::vector<std::future<void>> futures;
       futures.reserve(topup.size());
       for (const size_t i : topup) {

@@ -11,7 +11,7 @@ namespace amdj::core {
 
 StatusOr<std::vector<ResultPair>> SjSort::Run(const rtree::RTree& r,
                                               const rtree::RTree& s,
-                                              uint64_t k, double dmax,
+                                              uint64_t k, geom::DistVal dmax,
                                               const JoinOptions& options,
                                               JoinStats* stats) {
   std::vector<ResultPair> results;
@@ -21,12 +21,12 @@ StatusOr<std::vector<ResultPair>> SjSort::Run(const rtree::RTree& r,
 
   if (options.report != nullptr) {
     options.report->BeginPhase("spatial-join", *stats);
-    options.report->OnCutoff("dmax_window", dmax, 0);
+    options.report->OnCutoff("dmax_window", dmax.raw(), 0);
   }
   spatialjoin::ExternalSorter sorter(options.queue_disk,
                                      options.queue_memory_bytes, stats);
   {
-    TraceSpan sj_span(options.tracer, "spatial_join", {{"dmax", dmax}});
+    TraceSpan sj_span(options.tracer, "spatial_join", {{"dmax", dmax.raw()}});
     AMDJ_RETURN_IF_ERROR(spatialjoin::SpatialJoin::Within(
         r, s, dmax, options, stats,
         [&](const ResultPair& pair) -> Status {

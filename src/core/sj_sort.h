@@ -6,6 +6,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "geom/units.h"
 #include "core/pair_entry.h"
 #include "rtree/rtree.h"
 
@@ -26,7 +27,7 @@ class SjSort {
   /// can compare queue work across algorithms.
   static StatusOr<std::vector<ResultPair>> Run(const rtree::RTree& r,
                                                const rtree::RTree& s,
-                                               uint64_t k, double dmax,
+                                               uint64_t k, geom::DistVal dmax,
                                                const JoinOptions& options,
                                                JoinStats* stats);
 };

@@ -11,10 +11,11 @@ int WiderUnionAxis(const geom::Rect& r, const geom::Rect& s) {
   return u.Side(0) >= u.Side(1) ? 0 : 1;
 }
 
-int ChooseAxis(const geom::Rect& r, const geom::Rect& s, double cutoff) {
-  if (!std::isfinite(cutoff)) return WiderUnionAxis(r, s);
-  const double ix = geom::SweepingIndex(r, s, cutoff, 0);
-  const double iy = geom::SweepingIndex(r, s, cutoff, 1);
+int ChooseAxis(const geom::Rect& r, const geom::Rect& s,
+               geom::DistVal cutoff) {
+  if (!std::isfinite(cutoff.raw())) return WiderUnionAxis(r, s);
+  const double ix = geom::SweepingIndex(r, s, cutoff.raw(), 0);
+  const double iy = geom::SweepingIndex(r, s, cutoff.raw(), 1);
   if (ix == iy) return WiderUnionAxis(r, s);
   return ix < iy ? 0 : 1;
 }
@@ -22,7 +23,7 @@ int ChooseAxis(const geom::Rect& r, const geom::Rect& s, double cutoff) {
 }  // namespace
 
 SweepPlan ChooseSweepPlan(const geom::Rect& r, const geom::Rect& s,
-                          double cutoff, SweepStrategy strategy) {
+                          geom::DistVal cutoff, SweepStrategy strategy) {
   SweepPlan plan;
   switch (strategy) {
     case SweepStrategy::kOptimized:

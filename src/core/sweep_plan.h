@@ -20,7 +20,7 @@ struct SweepPlan {
 ///     argument degenerates.
 ///   - direction: Section 3.3's projected-interval rule.
 SweepPlan ChooseSweepPlan(const geom::Rect& r, const geom::Rect& s,
-                          double cutoff, SweepStrategy strategy);
+                          geom::DistVal cutoff, SweepStrategy strategy);
 
 }  // namespace amdj::core
 

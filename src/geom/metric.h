@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "geom/rect.h"
+#include "geom/units.h"
 
 namespace amdj::geom {
 
@@ -23,8 +24,13 @@ enum class Metric : uint8_t {
 /// Stable display name ("L2", "L1", "Linf").
 const char* ToString(Metric metric);
 
-/// Minimum distance between two MBRs under `metric` (0 when intersecting).
-inline double MinDistance(const Rect& a, const Rect& b, Metric metric) {
+namespace metric_internal {
+
+/// Raw-double cores of the unit-bearing functions below, shared with the
+/// batch kernels' scalar reference paths and the units' own round-trip
+/// tests. Not part of the typed API surface: everything outside geom/
+/// converts through the DistVal/KeyVal wrappers.
+inline double MinDistanceRaw(const Rect& a, const Rect& b, Metric metric) {
   const double dx = AxisDistance(a, b, 0);
   const double dy = AxisDistance(a, b, 1);
   switch (metric) {
@@ -38,9 +44,7 @@ inline double MinDistance(const Rect& a, const Rect& b, Metric metric) {
   return 0.0;
 }
 
-/// Maximum distance between any point of `a` and any point of `b` under
-/// `metric`.
-inline double MaxDistance(const Rect& a, const Rect& b, Metric metric) {
+inline double MaxDistanceRaw(const Rect& a, const Rect& b, Metric metric) {
   const double dx =
       std::max(std::abs(a.hi.x - b.lo.x), std::abs(b.hi.x - a.lo.x));
   const double dy =
@@ -56,35 +60,17 @@ inline double MaxDistance(const Rect& a, const Rect& b, Metric metric) {
   return 0.0;
 }
 
-/// The metric *key*: the value the join hot path stores and compares. For
-/// L2 it is the squared distance — strictly monotone in the true distance,
-/// so every comparison (queue order, cutoff tests, eDmax) is unchanged
-/// while the per-candidate sqrt disappears; for L1/LInf the key is the
-/// distance itself. Keys convert to distances with one KeyToDistance at
-/// emission and at the estimator API boundary.
-inline double DistanceToKey(double d, Metric metric) {
+inline double DistanceToKeyRaw(double d, Metric metric) {
   return metric == Metric::kL2 ? d * d : d;
 }
 
-/// Inverse of DistanceToKey. For L2 this is exact on round-trips:
-/// sqrt(fl(d*d)) == d for any non-negative double d whose square neither
-/// overflows nor underflows (classical IEEE-754 result).
-inline double KeyToDistance(double key, Metric metric) {
+inline double KeyToDistanceRaw(double key, Metric metric) {
   return metric == Metric::kL2 ? std::sqrt(key) : key;
 }
 
-/// Converts a *cutoff* from distance space to key space such that
-/// key <= DistanceToKeyCutoff(d) holds exactly when KeyToDistance(key) <= d:
-/// the largest key whose distance does not exceed `d`. DistanceToKey alone
-/// is not enough for cutoffs that did not originate as keys — fl(d*d) can
-/// land one ulp below the key of a pair at distance exactly `d` (sqrt(k)^2
-/// does not round-trip for arbitrary k), silently excluding boundary pairs
-/// that the distance-space comparison `dist <= d` admits. sqrt is weakly
-/// monotone, so {k : sqrt(k) <= d} is a prefix of the doubles and fl(d*d)
-/// is within an ulp or two of its end; the nextafter walks find it exactly.
-inline double DistanceToKeyCutoff(double d, Metric metric) {
+inline double DistanceToKeyCutoffRaw(double d, Metric metric) {
   if (metric != Metric::kL2) return d;
-  if (d < 0.0 || std::isinf(d)) return d;  // sentinels / no-cutoff pass through
+  if (d < 0.0 || std::isinf(d)) return d;  // sentinels / no-cutoff pass
   double k = d * d;
   while (std::sqrt(k) > d) {
     k = std::nextafter(k, 0.0);
@@ -97,17 +83,7 @@ inline double DistanceToKeyCutoff(double d, Metric metric) {
   return k;
 }
 
-/// Key of a one-axis separation (a gap lower-bounds the distance on every
-/// Lp axis, so gap-key > cutoff-key is exactly the Lemma-1 prune in key
-/// space).
-inline double AxisGapToKey(double gap, Metric metric) {
-  return metric == Metric::kL2 ? gap * gap : gap;
-}
-
-/// DistanceToKey(MinDistance(a, b, metric)) computed without the sqrt
-/// round-trip: for L2 this is MinDistanceSquared's exact operation order
-/// (and the batch kernels'), fl(fl(dx*dx) + fl(dy*dy)).
-inline double MinDistanceKey(const Rect& a, const Rect& b, Metric metric) {
+inline double MinDistanceKeyRaw(const Rect& a, const Rect& b, Metric metric) {
   const double dx = AxisDistance(a, b, 0);
   const double dy = AxisDistance(a, b, 1);
   switch (metric) {
@@ -121,8 +97,7 @@ inline double MinDistanceKey(const Rect& a, const Rect& b, Metric metric) {
   return 0.0;
 }
 
-/// DistanceToKey(MaxDistance(a, b, metric)) without the sqrt round-trip.
-inline double MaxDistanceKey(const Rect& a, const Rect& b, Metric metric) {
+inline double MaxDistanceKeyRaw(const Rect& a, const Rect& b, Metric metric) {
   const double dx =
       std::max(std::abs(a.hi.x - b.lo.x), std::abs(b.hi.x - a.lo.x));
   const double dy =
@@ -136,6 +111,71 @@ inline double MaxDistanceKey(const Rect& a, const Rect& b, Metric metric) {
       return std::max(dx, dy);
   }
   return 0.0;
+}
+
+}  // namespace metric_internal
+
+/// Minimum distance between two MBRs under `metric` (0 when intersecting).
+inline DistVal MinDistance(const Rect& a, const Rect& b, Metric metric) {
+  return DistVal(metric_internal::MinDistanceRaw(a, b, metric));
+}
+
+/// Maximum distance between any point of `a` and any point of `b` under
+/// `metric`.
+inline DistVal MaxDistance(const Rect& a, const Rect& b, Metric metric) {
+  return DistVal(metric_internal::MaxDistanceRaw(a, b, metric));
+}
+
+/// The metric *key*: the value the join hot path stores and compares. For
+/// L2 it is the squared distance — strictly monotone in the true distance,
+/// so every comparison (queue order, cutoff tests, eDmax) is unchanged
+/// while the per-candidate sqrt disappears; for L1/LInf the key is the
+/// distance itself. Keys convert to distances with one KeyToDistance at
+/// emission and at the estimator API boundary. This function and its two
+/// siblings below are the ONLY sanctioned DistVal->KeyVal / KeyVal->DistVal
+/// fences (see geom/units.h).
+inline KeyVal DistanceToKey(DistVal d, Metric metric) {
+  return KeyVal(metric_internal::DistanceToKeyRaw(d.raw(), metric));
+}
+
+/// Inverse of DistanceToKey. For L2 this is exact on round-trips:
+/// sqrt(fl(d*d)) == d for any non-negative double d whose square neither
+/// overflows nor underflows (classical IEEE-754 result).
+inline DistVal KeyToDistance(KeyVal key, Metric metric) {
+  return DistVal(metric_internal::KeyToDistanceRaw(key.raw(), metric));
+}
+
+/// Converts a *cutoff* from distance space to key space such that
+/// key <= DistanceToKeyCutoff(d) holds exactly when KeyToDistance(key) <= d:
+/// the largest key whose distance does not exceed `d`. DistanceToKey alone
+/// is not enough for cutoffs that did not originate as keys — fl(d*d) can
+/// land one ulp below the key of a pair at distance exactly `d` (sqrt(k)^2
+/// does not round-trip for arbitrary k), silently excluding boundary pairs
+/// that the distance-space comparison `dist <= d` admits. sqrt is weakly
+/// monotone, so {k : sqrt(k) <= d} is a prefix of the doubles and fl(d*d)
+/// is within an ulp or two of its end; the nextafter walks find it exactly.
+inline KeyVal DistanceToKeyCutoff(DistVal d, Metric metric) {
+  return KeyVal(metric_internal::DistanceToKeyCutoffRaw(d.raw(), metric));
+}
+
+/// Key of a one-axis separation (a gap lower-bounds the distance on every
+/// Lp axis, so gap-key > cutoff-key is exactly the Lemma-1 prune in key
+/// space). The gap is a plain coordinate separation — neither unit — so
+/// the parameter stays a raw double.
+inline KeyVal AxisGapToKey(double gap, Metric metric) {
+  return KeyVal(metric == Metric::kL2 ? gap * gap : gap);
+}
+
+/// DistanceToKey(MinDistance(a, b, metric)) computed without the sqrt
+/// round-trip: for L2 this is MinDistanceSquared's exact operation order
+/// (and the batch kernels'), fl(fl(dx*dx) + fl(dy*dy)).
+inline KeyVal MinDistanceKey(const Rect& a, const Rect& b, Metric metric) {
+  return KeyVal(metric_internal::MinDistanceKeyRaw(a, b, metric));
+}
+
+/// DistanceToKey(MaxDistance(a, b, metric)) without the sqrt round-trip.
+inline KeyVal MaxDistanceKey(const Rect& a, const Rect& b, Metric metric) {
+  return KeyVal(metric_internal::MaxDistanceKeyRaw(a, b, metric));
 }
 
 /// Area of the "ball" of radius d under `metric` divided by d^2: pi for

@@ -1,0 +1,138 @@
+#ifndef AMDJ_GEOM_UNITS_H_
+#define AMDJ_GEOM_UNITS_H_
+
+#include <limits>
+#include <type_traits>
+
+/// \file
+/// Strong unit types for the two scalar spaces of the join pipeline.
+///
+/// Since the key-space migration (PR 2) every hot-path comparison runs on
+/// metric *keys* (the squared distance under L2) while user-facing cutoffs
+/// and emitted pairs carry true *distances*. Both used to be raw `double`,
+/// so the Eq. 3-5 cutoff/estimator invariants were guarded only by a
+/// naming convention and a regex lint. KeyVal and DistVal push that
+/// discipline into the type system: a key/distance mix-up is now a compile
+/// error, not a silently wrong join (see tests/unit_safety_compile).
+///
+/// Rules of the road:
+///   - Cross-unit conversion goes through geom::DistanceToKey /
+///     geom::KeyToDistance / geom::DistanceToKeyCutoff (geom/metric.h)
+///     and nothing else.
+///   - Comparisons, min/max, and equality exist only within one unit.
+///     There is no arithmetic: unit-space math (Eq. 3-5, gap squaring)
+///     happens in raw doubles at a documented raw-view boundary and is
+///     wrapped on the way out.
+///   - The raw view (`raw()` + the explicit constructor) is the escape
+///     hatch for the SoA SIMD kernels, serialization (queue spill pages,
+///     JSON/trace exposition, CLI parsing), and printf-style logging.
+///     Every such site is a greppable `raw()`/`KeyVal(`/`DistVal(` token;
+///     scripts/check_key_space.py audits the residue.
+///
+/// Both wrappers are zero-overhead: trivially copyable, same size and
+/// representation as double (static_asserts below), constexpr throughout.
+/// `std::atomic<KeyVal>` is lock-free on every 64-bit target exactly like
+/// `std::atomic<double>` (8-byte trivially copyable payload).
+
+namespace amdj::geom {
+
+/// A metric-key-space scalar: the priority the main queue orders by and
+/// every internal cutoff is expressed in. Under L2 the key is the squared
+/// distance (strictly monotone in it); under L1/LInf key == distance, but
+/// the *type* stays distinct so code cannot quietly bake in that
+/// coincidence.
+class KeyVal {
+ public:
+  constexpr KeyVal() = default;
+  /// Raw-view escape hatch (see file comment). Deliberately explicit:
+  /// an implicit double->KeyVal conversion is exactly the bug class this
+  /// type exists to kill.
+  constexpr explicit KeyVal(double raw) : v_(raw) {}
+
+  /// Raw-view escape hatch: the untyped value, for kernels, spill pages,
+  /// exposition, and unit-space arithmetic.
+  constexpr double raw() const { return v_; }
+
+  static constexpr KeyVal Zero() { return KeyVal(0.0); }
+  static constexpr KeyVal Infinity() {
+    return KeyVal(std::numeric_limits<double>::infinity());
+  }
+  static constexpr KeyVal NegativeInfinity() {
+    return KeyVal(-std::numeric_limits<double>::infinity());
+  }
+
+  friend constexpr bool operator<(KeyVal a, KeyVal b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(KeyVal a, KeyVal b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(KeyVal a, KeyVal b) {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>=(KeyVal a, KeyVal b) {
+    return a.v_ >= b.v_;
+  }
+  friend constexpr bool operator==(KeyVal a, KeyVal b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(KeyVal a, KeyVal b) {
+    return a.v_ != b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A distance-space scalar: what the user asks in (epsilon cutoffs, eDmax
+/// seeds/forcing) and what emitted pairs report. One KeyToDistance per
+/// emitted pair converts from key space at the API boundary.
+class DistVal {
+ public:
+  constexpr DistVal() = default;
+  /// Raw-view escape hatch (see file comment); explicit on purpose.
+  constexpr explicit DistVal(double raw) : v_(raw) {}
+
+  /// Raw-view escape hatch: the untyped value, for user-facing output,
+  /// estimator arithmetic, and exposition.
+  constexpr double raw() const { return v_; }
+
+  static constexpr DistVal Zero() { return DistVal(0.0); }
+  static constexpr DistVal Infinity() {
+    return DistVal(std::numeric_limits<double>::infinity());
+  }
+
+  friend constexpr bool operator<(DistVal a, DistVal b) {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator>(DistVal a, DistVal b) {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator<=(DistVal a, DistVal b) {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>=(DistVal a, DistVal b) {
+    return a.v_ >= b.v_;
+  }
+  friend constexpr bool operator==(DistVal a, DistVal b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(DistVal a, DistVal b) {
+    return a.v_ != b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+// The zero-overhead contract: both wrappers are bit-compatible with the
+// double they wrap, so spill pages, SoA views, and atomics see the exact
+// representation the raw-double pipeline produced.
+static_assert(sizeof(KeyVal) == sizeof(double));
+static_assert(sizeof(DistVal) == sizeof(double));
+static_assert(alignof(KeyVal) == alignof(double));
+static_assert(alignof(DistVal) == alignof(double));
+static_assert(std::is_trivially_copyable_v<KeyVal>);
+static_assert(std::is_trivially_copyable_v<DistVal>);
+static_assert(std::is_standard_layout_v<KeyVal>);
+static_assert(std::is_standard_layout_v<DistVal>);
+
+}  // namespace amdj::geom
+
+#endif  // AMDJ_GEOM_UNITS_H_

@@ -2,7 +2,7 @@
 
 namespace amdj::queue {
 
-void TrackedDistanceQueue::Add(double value) {
+void TrackedDistanceQueue::Add(geom::KeyVal value) {
   if (lower_.size() < k_ || value < *lower_.rbegin()) {
     lower_.insert(value);
   } else {
@@ -11,7 +11,7 @@ void TrackedDistanceQueue::Add(double value) {
   Rebalance();
 }
 
-void TrackedDistanceQueue::Revoke(double value) {
+void TrackedDistanceQueue::Revoke(geom::KeyVal value) {
   auto it = lower_.find(value);
   if (it != lower_.end()) {
     lower_.erase(it);

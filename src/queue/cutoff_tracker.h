@@ -2,19 +2,22 @@
 #define AMDJ_QUEUE_CUTOFF_TRACKER_H_
 
 #include <cstdint>
-#include <limits>
 #include <set>
 
 #include "common/stats.h"
+#include "geom/units.h"
 
 namespace amdj::queue {
 
 /// The revocable counterpart of DistanceQueue, needed to make the
 /// "all pairs" distance-queue policy (paper footnote 1, option 1) *sound*.
+/// Like DistanceQueue, values are metric keys (geom::KeyVal), not true
+/// distances — the key is monotone in the distance, so ranking by key
+/// ranks by distance.
 ///
 /// Rationale: the cutoff qDmax must upper-bound the true k-th smallest
-/// object-pair distance. Counting object-pair distances alone (option 2)
-/// is trivially sound. Counting node-pair *max*-distances as well warms
+/// object-pair distance. Counting object-pair keys alone (option 2) is
+/// trivially sound. Counting node-pair *max*-distance keys as well warms
 /// the cutoff before any object pair exists — but a node pair's
 /// certificate ("my subtree product contains >= 1 object pair within my
 /// maxdist") overlaps the certificates of its own descendants, so naively
@@ -34,39 +37,38 @@ class TrackedDistanceQueue {
   explicit TrackedDistanceQueue(size_t k, JoinStats* stats = nullptr)
       : k_(k == 0 ? 1 : k), stats_(stats) {}
 
-  /// Permanent insertion (an object pair's real distance).
-  void Insert(double value) {
+  /// Permanent insertion (an object pair's real distance key).
+  void Insert(geom::KeyVal value) {
     if (stats_ != nullptr) ++stats_->distance_queue_insertions;
     Add(value);
   }
 
-  /// Revocable insertion (a node pair's max-distance certificate). The
+  /// Revocable insertion (a node pair's max-distance-key certificate). The
   /// same value must later be passed to Revoke when the pair leaves the
   /// main queue.
-  void InsertRevocable(double value) { Insert(value); }
+  void InsertRevocable(geom::KeyVal value) { Insert(value); }
 
   /// Removes one alive instance of `value` (no-op if none exists, which
   /// can only happen through caller misuse).
-  void Revoke(double value);
+  void Revoke(geom::KeyVal value);
 
-  /// The k-th smallest alive value; +infinity while fewer than k values
-  /// are alive.
-  double CutoffDistance() const {
-    return lower_.size() < k_ ? std::numeric_limits<double>::infinity()
-                              : *lower_.rbegin();
+  /// The k-th smallest alive key; +infinity while fewer than k values are
+  /// alive.
+  geom::KeyVal CutoffKey() const {
+    return lower_.size() < k_ ? geom::KeyVal::Infinity() : *lower_.rbegin();
   }
 
   size_t alive() const { return lower_.size() + upper_.size(); }
 
  private:
-  void Add(double value);
+  void Add(geom::KeyVal value);
   /// Restores |lower_| == min(k, alive) after a mutation.
   void Rebalance();
 
   size_t k_;
   JoinStats* stats_;
-  std::multiset<double> lower_;  // the k smallest alive values
-  std::multiset<double> upper_;  // everything else
+  std::multiset<geom::KeyVal> lower_;  // the k smallest alive values
+  std::multiset<geom::KeyVal> upper_;  // everything else
 };
 
 }  // namespace amdj::queue

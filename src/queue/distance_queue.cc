@@ -12,17 +12,17 @@ DistanceQueue::DistanceQueue(size_t k, JoinStats* stats)
   heap_.reserve(std::min(k_, size_t{1} << 20));
 }
 
-void DistanceQueue::Insert(double distance) {
+void DistanceQueue::Insert(geom::KeyVal key) {
   if (heap_.size() < k_) {
     if (stats_ != nullptr) ++stats_->distance_queue_insertions;
-    heap_.push_back(distance);
+    heap_.push_back(key);
     std::push_heap(heap_.begin(), heap_.end());
     return;
   }
-  if (distance >= heap_.front()) return;  // not among the k smallest
+  if (key >= heap_.front()) return;  // not among the k smallest
   if (stats_ != nullptr) ++stats_->distance_queue_insertions;
   std::pop_heap(heap_.begin(), heap_.end());
-  heap_.back() = distance;
+  heap_.back() = key;
   std::push_heap(heap_.begin(), heap_.end());
 }
 

@@ -2,34 +2,39 @@
 #define AMDJ_QUEUE_DISTANCE_QUEUE_H_
 
 #include <cstdint>
-#include <limits>
 #include <vector>
 
 #include "common/stats.h"
+#include "geom/units.h"
 
 namespace amdj::queue {
 
 /// The paper's *distance queue* (Section 2.1): a max-heap holding the k
-/// smallest object-pair distances seen so far. Its maximum is the pruning
-/// cutoff qDmax; until k distances have been collected the cutoff is
+/// smallest object-pair priorities seen so far. Its maximum is the pruning
+/// cutoff qDmax; until k values have been collected the cutoff is
 /// +infinity.
 ///
-/// Following the paper's footnote 1, only *object* pair distances are
-/// inserted (node pairs would have to contribute their max-distance, which
+/// Since the key-space migration (PR 2) the values are metric *keys*
+/// (geom::KeyVal — squared distances under L2), not true distances; the
+/// key is monotone in the distance, so the k-th smallest key is exactly
+/// the key of the k-th smallest distance. The strong type makes feeding a
+/// distance-space value into the cutoff a compile error.
+///
+/// Following the paper's footnote 1, only *object* pair keys are inserted
+/// (node pairs would have to contribute their max-distance key, which
 /// rarely lowers the cutoff). An ablation bench flips this policy.
 class DistanceQueue {
  public:
   /// `k` must be >= 1. `stats` (optional) receives insertion counts.
   explicit DistanceQueue(size_t k, JoinStats* stats = nullptr);
 
-  /// Offers a distance; keeps only the k smallest.
-  void Insert(double distance);
+  /// Offers a key; keeps only the k smallest.
+  void Insert(geom::KeyVal key);
 
-  /// Current pruning cutoff qDmax: the k-th smallest distance seen, or
-  /// +infinity while fewer than k distances have been inserted.
-  double CutoffDistance() const {
-    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
-                             : heap_.front();
+  /// Current pruning cutoff qDmax as a key: the k-th smallest key seen, or
+  /// +infinity while fewer than k keys have been inserted.
+  geom::KeyVal CutoffKey() const {
+    return heap_.size() < k_ ? geom::KeyVal::Infinity() : heap_.front();
   }
 
   size_t size() const { return heap_.size(); }
@@ -38,7 +43,8 @@ class DistanceQueue {
  private:
   size_t k_;
   JoinStats* stats_;
-  std::vector<double> heap_;  // max-heap via std::push_heap default order
+  // max-heap via std::push_heap default order (KeyVal::operator<)
+  std::vector<geom::KeyVal> heap_;
 };
 
 }  // namespace amdj::queue

@@ -19,6 +19,7 @@
 #include "common/thread_checker.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "geom/units.h"
 #include "queue/binary_heap.h"
 #include "queue/segment_file.h"
 #include "storage/disk_manager.h"
@@ -87,9 +88,11 @@ namespace amdj::queue {
 /// and returns the exact comparator-minimum of the whole queue — the same
 /// value, in the same order, as the reference heap.
 ///
-/// T must be trivially copyable with a public `double key` member (the
-/// priority). Compare orders pops and must be consistent with ascending
-/// key (equal-key entries are ordered by its tie-break).
+/// T must be trivially copyable with a public `geom::KeyVal key` member
+/// (the priority — a metric key, enforced at compile time so a
+/// distance-space value cannot be routed by a key-space boundary). Compare
+/// orders pops and must be consistent with ascending key (equal-key
+/// entries are ordered by its tie-break).
 ///
 /// Concurrency contract: thread-confined. The queue — in particular the
 /// split/swap-in path, which rewrites the bucket and segment structure
@@ -103,6 +106,9 @@ template <typename T, typename Compare>
 class HybridQueue {
   static_assert(std::is_trivially_copyable_v<T>,
                 "queue entries are spilled to disk by memcpy");
+  static_assert(std::is_same_v<decltype(T::key), geom::KeyVal>,
+                "the priority member must be a metric key (geom::KeyVal): "
+                "bucket/segment boundaries partition key space");
 
  public:
   struct Options {
@@ -113,7 +119,9 @@ class HybridQueue {
     /// queue stays entirely in memory regardless of memory_bytes.
     storage::DiskManager* disk = nullptr;
     /// Estimated key of the c-th closest pair (Eq. 3); see above.
-    std::function<double(uint64_t)> boundary_fn;
+    /// Key-space typed: an estimator's distance-space output must be
+    /// fenced through geom::DistanceToKey before it can route entries.
+    std::function<geom::KeyVal(uint64_t)> boundary_fn;
     /// Number of predetermined segments created when boundary_fn is set.
     /// Each covers ~one memory capacity of entries under an accurate
     /// Eq.-3 estimate; entries beyond the last boundary pile into the
@@ -143,30 +151,29 @@ class HybridQueue {
   HybridQueue(const Options& options, JoinStats* stats,
               Compare cmp = Compare())
       : options_(options), stats_(stats), cmp_(cmp), fresh_(cmp) {
-    buckets_.push_back(
-        Bucket{-std::numeric_limits<double>::infinity(), {}});
+    buckets_.push_back(Bucket{geom::KeyVal::NegativeInfinity(), {}});
     if (options_.disk == nullptr) {
       capacity_ = std::numeric_limits<size_t>::max();
       return;
     }
     capacity_ = std::max<size_t>(16, options_.memory_bytes / sizeof(T));
     if (options_.boundary_fn) {
-      double prev = 0.0;
+      geom::KeyVal prev = geom::KeyVal::Zero();
       for (size_t j = 1; j <= options_.predetermined_segments; ++j) {
-        const double b = options_.boundary_fn(j * capacity_);
+        const geom::KeyVal b = options_.boundary_fn(j * capacity_);
         if (!(b > prev)) continue;  // boundaries must strictly increase
         auto seg = MakeSegment(b);
         segments_.push_back(std::move(seg));
         prev = b;
       }
       // Subdivide the memory range [0, first segment bound) the same way.
-      const double mem_bound = HeapUpperBound();
-      prev = 0.0;
+      const geom::KeyVal mem_bound = HeapUpperBound();
+      prev = geom::KeyVal::Zero();
       const size_t per_bucket =
           std::max<size_t>(1, capacity_ / std::max<size_t>(
                                               1, options_.memory_buckets));
       for (size_t j = 1; j < options_.memory_buckets; ++j) {
-        const double b = options_.boundary_fn(j * per_bucket);
+        const geom::KeyVal b = options_.boundary_fn(j * per_bucket);
         if (!(b > prev) || !(b < mem_bound)) continue;
         buckets_.push_back(Bucket{b, {}});
         prev = b;
@@ -285,7 +292,7 @@ class HybridQueue {
   /// ordered; the rest are unsorted appenders, spilled wholesale (no
   /// comparator work) on overflow.
   struct Bucket {
-    double lower_bound;
+    geom::KeyVal lower_bound;
     std::vector<T> entries;  // unsorted
   };
 
@@ -336,7 +343,7 @@ class HybridQueue {
   /// stuck refinements).
   static constexpr size_t kMaxExemptBlocks = 32;
 
-  std::unique_ptr<SegmentFile> MakeSegment(double lower_bound) {
+  std::unique_ptr<SegmentFile> MakeSegment(geom::KeyVal lower_bound) {
     auto seg = std::make_unique<SegmentFile>(options_.disk, sizeof(T),
                                              stats_, options_.io_pool,
                                              options_.tracer);
@@ -360,14 +367,14 @@ class HybridQueue {
     }
   }
 
-  double HeapUpperBound() const {
-    return segments_.empty() ? std::numeric_limits<double>::infinity()
+  geom::KeyVal HeapUpperBound() const {
+    return segments_.empty() ? geom::KeyVal::Infinity()
                              : segments_.front()->lower_bound;
   }
 
   /// Last segment with lower_bound <= key. Only called when
   /// key >= HeapUpperBound(), so a match always exists.
-  SegmentFile* RouteToSegment(double key) {
+  SegmentFile* RouteToSegment(geom::KeyVal key) {
     size_t lo = 0;
     size_t hi = segments_.size();  // invariant: segments_[lo].lb <= key
     while (lo + 1 < hi) {
@@ -383,7 +390,7 @@ class HybridQueue {
 
   /// Last bucket with lower_bound <= key (bucket 0 catches everything
   /// below bucket 1: its own bound is -inf).
-  size_t RouteToBucket(double key) const {
+  size_t RouteToBucket(geom::KeyVal key) const {
     size_t lo = 0;
     size_t hi = buckets_.size();
     while (lo + 1 < hi) {
@@ -547,7 +554,7 @@ class HybridQueue {
     if (cut == 0) {
       // The closest plateau is wider than the intended in-memory part:
       // keep the whole plateau and spill only what lies beyond it.
-      const double d0 = items[0].key;
+      const geom::KeyVal d0 = items[0].key;
       while (cut < items.size() && items[cut].key == d0) ++cut;
     }
     return cut;
@@ -588,7 +595,7 @@ class HybridQueue {
                             {"spilled",
                              static_cast<double>(spilled_entries)},
                             {"boundary_key",
-                             segments_.front()->lower_bound}}));
+                             segments_.front()->lower_bound.raw()}}));
         AMDJ_TRACE(options_.tracer,
                    Counter("queue_buckets",
                            static_cast<double>(buckets_.size())));
@@ -606,8 +613,8 @@ class HybridQueue {
     return n;
   }
 
-  double ExemptMaxKey() const {
-    double mx = -std::numeric_limits<double>::infinity();
+  geom::KeyVal ExemptMaxKey() const {
+    geom::KeyVal mx = geom::KeyVal::NegativeInfinity();
     for (const Block& b : blocks_) {
       // Blocks are key-ascending (Compare is consistent with the key), so
       // the last entry carries the block's max key.
@@ -658,7 +665,7 @@ class HybridQueue {
     // strictly above every exempt plateau (spilling below a resident
     // plateau would break the memory invariant), and (c) fall on a key
     // change (tie safety). Advance past all three.
-    const double exempt_max = ExemptMaxKey();
+    const geom::KeyVal exempt_max = ExemptMaxKey();
     size_t cut = std::min(capacity_ / 2, items.size());
     while (cut < items.size() && !(items[cut].key > exempt_max)) ++cut;
     while (cut > 0 && cut < items.size() &&
@@ -707,7 +714,7 @@ class HybridQueue {
                        {{"kept", static_cast<double>(cut)},
                         {"spilled",
                          static_cast<double>(items.size() - cut)},
-                        {"boundary_key", items[cut].key}}));
+                        {"boundary_key", items[cut].key.raw()}}));
     mem_count_ -= items.size() - cut;
     items.resize(cut);
     drain_ = std::move(items);
@@ -764,7 +771,7 @@ class HybridQueue {
     AMDJ_TRACE(options_.tracer,
                Instant("queue_swapin",
                        {{"loaded", static_cast<double>(seg->count())},
-                        {"lower_bound_key", seg->lower_bound}}));
+                        {"lower_bound_key", seg->lower_bound.raw()}}));
     seg->Drop();
     seg.reset();
     bool sorted = false;
@@ -795,8 +802,7 @@ class HybridQueue {
   void InstallFront(std::vector<T> items, bool sorted) {
     AMDJ_CHECK(mem_count_ == 0);
     buckets_.clear();
-    buckets_.push_back(
-        Bucket{-std::numeric_limits<double>::infinity(), {}});
+    buckets_.push_back(Bucket{geom::KeyVal::NegativeInfinity(), {}});
     ResetFrontState();
     mem_count_ = items.size();
     if (sorted) {
@@ -889,7 +895,7 @@ class HybridQueue {
     AMDJ_TRACE(options_.tracer,
                Instant("queue_prefetch_submit",
                        {{"pages", static_cast<double>(pf->snap_pages)},
-                        {"lower_bound_key", seg->lower_bound}}));
+                        {"lower_bound_key", seg->lower_bound.raw()}}));
     Prefetch* p = pf.get();
     storage::DiskManager* disk = options_.disk;
     Tracer* tracer = options_.tracer;
@@ -951,7 +957,7 @@ class HybridQueue {
   std::vector<Block> blocks_;
   BinaryHeap<T, Compare> fresh_;
   std::vector<T> open_run_;
-  double open_run_key_ = 0.0;
+  geom::KeyVal open_run_key_ = geom::KeyVal::Zero();
 
   std::vector<std::unique_ptr<SegmentFile>> segments_;  // by lower_bound asc
   std::unique_ptr<Prefetch> prefetch_;

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "geom/units.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -133,7 +134,7 @@ class SegmentFile {
 
   /// Inclusive lower bound of the key range this segment holds; used by
   /// HybridQueue to route insertions and order swap-ins.
-  double lower_bound = 0.0;
+  geom::KeyVal lower_bound = geom::KeyVal::Zero();
 
  private:
   /// Writes the buffered records out as one page (inline, or on the io

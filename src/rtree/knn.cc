@@ -14,7 +14,7 @@ NearestNeighborCursor::NearestNeighborCursor(const RTree& tree,
                                              geom::Metric metric)
     : NearestNeighborCursor(tree, geom::Rect::FromPoint(query), metric) {}
 
-Status NearestNeighborCursor::Next(Entry* out, double* distance,
+Status NearestNeighborCursor::Next(Entry* out, geom::DistVal* distance,
                                    bool* done) {
   *done = false;
   if (!primed_) {
@@ -55,7 +55,7 @@ StatusOr<std::vector<Entry>> NearestNeighbors(const RTree& tree,
   std::vector<Entry> results;
   NearestNeighborCursor cursor(tree, query, metric);
   Entry entry;
-  double distance = 0.0;
+  geom::DistVal distance = geom::DistVal::Zero();
   bool done = false;
   while (results.size() < k) {
     AMDJ_RETURN_IF_ERROR(cursor.Next(&entry, &distance, &done));

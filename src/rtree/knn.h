@@ -35,11 +35,13 @@ class NearestNeighborCursor {
 
   /// Produces the next object and its distance; sets *done when the tree
   /// is exhausted.
-  Status Next(Entry* out, double* distance, bool* done);
+  Status Next(Entry* out, geom::DistVal* distance, bool* done);
 
  private:
   struct Item {
-    double distance;
+    /// Strongly typed: the comparator below ranks by true distance, and
+    /// mixing a metric key into this heap must not compile.
+    geom::DistVal distance;
     bool is_object;
     Entry entry;
     bool operator>(const Item& o) const {
@@ -53,6 +55,9 @@ class NearestNeighborCursor {
   geom::Rect query_;
   geom::Metric metric_;
   bool primed_ = false;
+  // amdj-tidy: raw-priority-queue-ok — single-tree kNN ranking queue, not a
+  // join main queue: no spill pressure, no segment boundaries, thread
+  // confined; HybridQueue's machinery would be pure overhead here.
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
 };
 

@@ -298,9 +298,9 @@ std::future<JoinResponse> JoinService::Submit(JoinRequest request) {
         request.kind == JoinRequest::Kind::kKdj) {
       if (!response.results.empty()) {
         const bool exhaustive = response.results.size() < request.k;
-        shared_->RecordDmax(*keys.seed_key,
-                            response.results.size(),
-                            response.results.back().distance, exhaustive);
+        shared_->RecordDmax(
+            *keys.seed_key, response.results.size(),
+            geom::DistVal(response.results.back().distance), exhaustive);
       }
       shared_->CacheInsert(*keys.cache_key, request.k, response.results);
     }

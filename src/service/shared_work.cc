@@ -37,6 +37,15 @@ void AppendOptDouble(std::string* out, const std::optional<double>& v) {
   }
 }
 
+void AppendOptDist(std::string* out, const std::optional<geom::DistVal>& v) {
+  if (v.has_value()) {
+    // Raw view: the key is a byte fingerprint, unit-less by construction.
+    AppendDouble(out, v->raw());
+  } else {
+    *out += "n|";
+  }
+}
+
 void AppendOptRect(std::string* out, const std::optional<geom::Rect>& r) {
   if (r.has_value()) {
     AppendDouble(out, r->lo.x);
@@ -64,8 +73,8 @@ std::string SemanticOptionsKey(const core::JoinOptions& o) {
   AppendU64(&key, o.exclude_same_id ? 1 : 0);
   AppendU64(&key, o.kdj_adaptive_correction ? 1 : 0);
   AppendU64(&key, o.idj_initial_k);
-  AppendOptDouble(&key, o.forced_edmax);
-  AppendOptDouble(&key, o.edmax_seed);
+  AppendOptDist(&key, o.forced_edmax);
+  AppendOptDist(&key, o.edmax_seed);
   AppendU64(&key, reinterpret_cast<uintptr_t>(o.estimator));
   AppendU64(&key, o.parallelism);
   AppendU64(&key, o.batch_factor);
@@ -135,9 +144,9 @@ struct SharedWorkRegistry::CacheEntry {
 
 struct SharedWorkRegistry::SeedObservations {
   /// k_observed -> exact Dmax(k_observed), at most kMaxObservations.
-  std::vector<std::pair<uint64_t, double>> by_k;
+  std::vector<std::pair<uint64_t, geom::DistVal>> by_k;
   /// Smallest Dmax of an exhaustive run (upper-bounds Dmax(k) for all k).
-  std::optional<double> exhaustive_dmax;
+  std::optional<geom::DistVal> exhaustive_dmax;
 };
 
 namespace {
@@ -258,7 +267,7 @@ void SharedWorkRegistry::CacheInsert(const std::string& cache_key, uint64_t k,
 }
 
 void SharedWorkRegistry::RecordDmax(const std::string& seed_key,
-                                    uint64_t k_observed, double dmax,
+                                    uint64_t k_observed, geom::DistVal dmax,
                                     bool exhaustive) {
   if (k_observed == 0) return;
   const MutexLock lock(&mutex_);
@@ -271,7 +280,7 @@ void SharedWorkRegistry::RecordDmax(const std::string& seed_key,
   }
   auto it = std::lower_bound(
       obs.by_k.begin(), obs.by_k.end(), k_observed,
-      [](const std::pair<uint64_t, double>& a, uint64_t b) {
+      [](const std::pair<uint64_t, geom::DistVal>& a, uint64_t b) {
         return a.first < b;
       });
   if (it != obs.by_k.end() && it->first == k_observed) {
@@ -288,19 +297,19 @@ void SharedWorkRegistry::RecordDmax(const std::string& seed_key,
   }
 }
 
-std::optional<double> SharedWorkRegistry::SeedFor(
+std::optional<geom::DistVal> SharedWorkRegistry::SeedFor(
     const std::string& seed_key, uint64_t k,
     const core::CutoffEstimator& estimator) {
   const MutexLock lock(&mutex_);
   auto it = seeds_.find(seed_key);
   if (it == seeds_.end()) return std::nullopt;
   const SeedObservations& obs = it->second;
-  std::optional<double> seed = obs.exhaustive_dmax;
+  std::optional<geom::DistVal> seed = obs.exhaustive_dmax;
   // Smallest observed k0 >= k: dmax(k0) is an exact upper bound on
   // Dmax(k) (Dmax is nondecreasing in k).
   auto ge = std::lower_bound(
       obs.by_k.begin(), obs.by_k.end(), k,
-      [](const std::pair<uint64_t, double>& a, uint64_t b) {
+      [](const std::pair<uint64_t, geom::DistVal>& a, uint64_t b) {
         return a.first < b;
       });
   if (ge != obs.by_k.end()) {

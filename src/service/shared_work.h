@@ -16,6 +16,7 @@
 #include "common/mutex.h"
 #include "core/cutoff_estimator.h"
 #include "core/pair_entry.h"
+#include "geom/units.h"
 // For JoinRequest/JoinResponse (std::promise<JoinResponse> needs the
 // complete type). join_service.h only forward-declares this header's
 // types, so the dependency is one-directional.
@@ -143,7 +144,7 @@ class SharedWorkRegistry {
   /// distance, `exhaustive` whether the data held fewer than the requested
   /// k pairs (then `dmax` upper-bounds Dmax(k') for every k').
   void RecordDmax(const std::string& seed_key, uint64_t k_observed,
-                  double dmax, bool exhaustive) AMDJ_EXCLUDES(mutex_);
+                  geom::DistVal dmax, bool exhaustive) AMDJ_EXCLUDES(mutex_);
 
   /// Upper-bound-or-estimate seed for a new run at `k` (distance space),
   /// or nullopt when nothing relevant was observed. An observation at
@@ -152,8 +153,9 @@ class SharedWorkRegistry {
   /// the estimator's conservative Eq. 4/5 correction — an estimate, which
   /// is still exact-safe because the seed only stages the adaptive
   /// algorithms (JoinOptions::edmax_seed).
-  std::optional<double> SeedFor(const std::string& seed_key, uint64_t k,
-                                const core::CutoffEstimator& estimator)
+  std::optional<geom::DistVal> SeedFor(const std::string& seed_key,
+                                       uint64_t k,
+                                       const core::CutoffEstimator& estimator)
       AMDJ_EXCLUDES(mutex_);
 
   /// Counts a shareable request that found no shared work and ran its own

@@ -95,7 +95,7 @@ Status ExternalSorter::Finish() {
     std::memcpy(&heads_[i], readers_[i].buffer, kRecordSize);
     readers_[i].record_in_page = 1;
     readers_[i].consumed = 1;
-    merge_heap_.emplace(heads_[i].distance, i);
+    merge_heap_.emplace(geom::DistVal(heads_[i].distance), i);
   }
   return Status::OK();
 }
@@ -129,7 +129,7 @@ Status ExternalSorter::Next(core::ResultPair* out, bool* done) {
                 kRecordSize);
     ++reader.record_in_page;
     ++reader.consumed;
-    merge_heap_.emplace(heads_[i].distance, i);
+    merge_heap_.emplace(geom::DistVal(heads_[i].distance), i);
   }
   return Status::OK();
 }

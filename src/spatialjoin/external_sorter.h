@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "geom/units.h"
 #include "common/status.h"
 #include "core/pair_entry.h"
 #include "storage/disk_manager.h"
@@ -72,9 +73,16 @@ class ExternalSorter {
   std::vector<core::ResultPair> buffer_;
   std::vector<Run> runs_;
   std::vector<RunReader> readers_;
-  // Merge heap of (distance, reader index).
-  std::priority_queue<std::pair<double, size_t>,
-                      std::vector<std::pair<double, size_t>>,
+  // Merge heap of (distance, reader index). The key is a true distance
+  // (ResultPair records re-read from spill pages), so it carries the
+  // strong distance type; comparison stays within one unit by
+  // construction.
+  // amdj-tidy: raw-priority-queue-ok — k-way merge over external spill
+  // runs at the serialization boundary: bounded to #readers entries, no
+  // spill pressure of its own; HybridQueue's paging machinery does not
+  // apply.
+  std::priority_queue<std::pair<geom::DistVal, size_t>,
+                      std::vector<std::pair<geom::DistVal, size_t>>,
                       std::greater<>>
       merge_heap_;
   std::vector<core::ResultPair> heads_;  // current record per reader

@@ -15,7 +15,7 @@ using core::ResultPair;
 using core::RootRef;
 
 Status SpatialJoin::Within(
-    const rtree::RTree& r, const rtree::RTree& s, double dmax,
+    const rtree::RTree& r, const rtree::RTree& s, geom::DistVal dmax,
     const core::JoinOptions& options, JoinStats* stats,
     const std::function<Status(const ResultPair&)>& emit) {
   JoinStats local;
@@ -24,7 +24,8 @@ Status SpatialJoin::Within(
 
   // Every internal comparison runs in key space; `dmax` converts once here
   // and emissions convert back (exact round-trip for L2).
-  const double dmax_key = geom::DistanceToKeyCutoff(dmax, options.metric);
+  const geom::KeyVal dmax_key =
+      geom::DistanceToKeyCutoff(dmax, options.metric);
   std::vector<PairEntry> stack;
   {
     PairEntry root = core::MakePair(RootRef(r), RootRef(s), options.metric);
@@ -42,15 +43,17 @@ Status SpatialJoin::Within(
       // pairs_produced is reserved for end results (SJ-SORT counts the
       // post-sort output); callers wanting the raw join cardinality can
       // count in `emit`.
-      AMDJ_RETURN_IF_ERROR(emit(
-          {geom::KeyToDistance(c.key, options.metric), c.r.id, c.s.id}));
+      AMDJ_RETURN_IF_ERROR(emit({geom::KeyToDistance(c.key, options.metric)
+                                     .raw(),
+                                 c.r.id, c.s.id}));
       continue;
     }
     ++stats->node_expansions;
     AMDJ_RETURN_IF_ERROR(ChildList(r, c.r, options.r_window, &left));
     AMDJ_RETURN_IF_ERROR(ChildList(s, c.s, options.s_window, &right));
     const core::SweepPlan plan =
-        core::ChooseSweepPlan(c.r.rect, c.s.rect, dmax, options.sweep);
+        core::ChooseSweepPlan(c.r.rect, c.s.rect, dmax,
+                              options.sweep);
     Status sweep_status;
     core::KeyedSweepSpec spec;
     spec.metric = options.metric;
@@ -58,7 +61,8 @@ Status SpatialJoin::Within(
     spec.dist_cutoff_key = &dmax_key;
     core::PlaneSweepKeyed(
         left, right, plan, spec, stats,
-        [&](const PairRef& lref, const PairRef& rref, double dist_key) {
+        [&](const PairRef& lref, const PairRef& rref,
+            geom::KeyVal dist_key) {
           if (!sweep_status.ok()) return;
           if (options.exclude_same_id && core::IsSelfPair(lref, rref)) {
             return;

@@ -6,6 +6,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "geom/units.h"
 #include "core/pair_entry.h"
 #include "rtree/rtree.h"
 
@@ -23,7 +24,7 @@ class SpatialJoin {
   /// honored), in traversal (unsorted) order. A non-OK status from `emit`
   /// aborts the join and is returned. `stats` may be null.
   static Status Within(
-      const rtree::RTree& r, const rtree::RTree& s, double dmax,
+      const rtree::RTree& r, const rtree::RTree& s, geom::DistVal dmax,
       const core::JoinOptions& options, JoinStats* stats,
       const std::function<Status(const core::ResultPair&)>& emit);
 };

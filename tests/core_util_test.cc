@@ -32,15 +32,15 @@ TEST(PairEntryTest, MakePairComputesMetricKey) {
   s.rect = Rect(4, 5, 6, 7);
   // L2 keys are squared distances (dx=3, dy=4 -> 25); L1/LInf keys are the
   // distances themselves.
-  EXPECT_DOUBLE_EQ(MakePair(r, s).key, 25.0);
-  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kL1).key, 7.0);
-  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kLInf).key, 4.0);
+  EXPECT_DOUBLE_EQ(MakePair(r, s).key.raw(), 25.0);
+  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kL1).key.raw(), 7.0);
+  EXPECT_DOUBLE_EQ(MakePair(r, s, geom::Metric::kLInf).key.raw(), 4.0);
 }
 
 TEST(PairEntryTest, CompareOrdersByKeyThenObjectness) {
   auto make = [](double d, bool objects, uint32_t rid) {
     PairEntry e;
-    e.key = d;
+    e.key = geom::KeyVal(d);
     e.r.kind = objects ? RefKind::kObject : RefKind::kNode;
     e.s.kind = e.r.kind;
     e.r.id = rid;
@@ -80,7 +80,7 @@ TEST(PairEntryTest, ToStringMentionsKindAndBookkeeping) {
   EXPECT_NE(e.ToString().find("node 3"), std::string::npos);
   EXPECT_NE(e.ToString().find("obj 9"), std::string::npos);
   EXPECT_EQ(e.ToString().find("prior_cutoff"), std::string::npos);
-  e.prior_cutoff = 5.0;
+  e.prior_cutoff = geom::KeyVal(5.0);
   EXPECT_NE(e.ToString().find("prior_cutoff"), std::string::npos);
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "geom/units.h"
 #include "core/distance_join.h"
 #include "test_util.h"
 #include "workload/generators.h"
@@ -13,44 +14,46 @@
 namespace amdj {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+using geom::KeyVal;
+
+constexpr KeyVal kInf = KeyVal::Infinity();
 
 TEST(TrackedDistanceQueueTest, CutoffInfinityUntilKAlive) {
   queue::TrackedDistanceQueue q(3);
-  q.Insert(1.0);
-  q.InsertRevocable(2.0);
-  EXPECT_EQ(q.CutoffDistance(), kInf);
-  q.Insert(3.0);
-  EXPECT_EQ(q.CutoffDistance(), 3.0);
+  q.Insert(KeyVal(1.0));
+  q.InsertRevocable(KeyVal(2.0));
+  EXPECT_EQ(q.CutoffKey(), kInf);
+  q.Insert(KeyVal(3.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(3.0));
 }
 
 TEST(TrackedDistanceQueueTest, RevokeRaisesTheCutoff) {
   queue::TrackedDistanceQueue q(2);
-  q.Insert(10.0);
-  q.InsertRevocable(1.0);
-  q.Insert(5.0);
-  EXPECT_EQ(q.CutoffDistance(), 5.0);  // alive: {1, 5, 10}
-  q.Revoke(1.0);
-  EXPECT_EQ(q.CutoffDistance(), 10.0);  // alive: {5, 10}
-  q.Revoke(5.0);  // revoking a permanent value is the caller's business;
+  q.Insert(KeyVal(10.0));
+  q.InsertRevocable(KeyVal(1.0));
+  q.Insert(KeyVal(5.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(5.0));  // alive: {1, 5, 10}
+  q.Revoke(KeyVal(1.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(10.0));  // alive: {5, 10}
+  q.Revoke(KeyVal(5.0));  // revoking a permanent value is the caller's business;
                   // the structure just removes one instance
-  EXPECT_EQ(q.CutoffDistance(), kInf);  // alive: {10}
+  EXPECT_EQ(q.CutoffKey(), kInf);  // alive: {10}
 }
 
 TEST(TrackedDistanceQueueTest, RevokeOfAbsentValueIsNoOp) {
   queue::TrackedDistanceQueue q(1);
-  q.Insert(2.0);
-  q.Revoke(99.0);
-  EXPECT_EQ(q.CutoffDistance(), 2.0);
+  q.Insert(KeyVal(2.0));
+  q.Revoke(KeyVal(99.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(2.0));
 }
 
 TEST(TrackedDistanceQueueTest, DuplicateValuesCountSeparately) {
   queue::TrackedDistanceQueue q(2);
-  q.InsertRevocable(4.0);
-  q.InsertRevocable(4.0);
-  EXPECT_EQ(q.CutoffDistance(), 4.0);
-  q.Revoke(4.0);
-  EXPECT_EQ(q.CutoffDistance(), kInf);  // one instance left
+  q.InsertRevocable(KeyVal(4.0));
+  q.InsertRevocable(KeyVal(4.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(4.0));
+  q.Revoke(KeyVal(4.0));
+  EXPECT_EQ(q.CutoffKey(), kInf);  // one instance left
   EXPECT_EQ(q.alive(), 1u);
 }
 
@@ -63,17 +66,18 @@ TEST(TrackedDistanceQueueTest, RandomizedAgainstMultisetReference) {
     for (int step = 0; step < 2000; ++step) {
       if (alive.empty() || rng.Bernoulli(0.65)) {
         const double v = rng.Uniform(0, 100);
-        q.InsertRevocable(v);
+        q.InsertRevocable(KeyVal(v));
         alive.push_back(v);
       } else {
         const size_t i = rng.UniformInt(alive.size());
-        q.Revoke(alive[i]);
+        q.Revoke(KeyVal(alive[i]));
         alive.erase(alive.begin() + i);
       }
       std::vector<double> sorted = alive;
       std::sort(sorted.begin(), sorted.end());
-      const double expected = sorted.size() >= k ? sorted[k - 1] : kInf;
-      ASSERT_EQ(q.CutoffDistance(), expected) << "step " << step;
+      const KeyVal expected =
+          sorted.size() >= k ? KeyVal(sorted[k - 1]) : kInf;
+      ASSERT_EQ(q.CutoffKey(), expected) << "step " << step;
       ASSERT_EQ(q.alive(), alive.size());
     }
   }

@@ -7,51 +7,54 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "geom/units.h"
 
 namespace amdj::queue {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+using geom::KeyVal;
+
+constexpr KeyVal kInf = KeyVal::Infinity();
 
 TEST(DistanceQueueTest, CutoffIsInfinityUntilFull) {
   DistanceQueue q(3);
-  EXPECT_EQ(q.CutoffDistance(), kInf);
-  q.Insert(5.0);
-  q.Insert(1.0);
-  EXPECT_EQ(q.CutoffDistance(), kInf);
-  q.Insert(3.0);
-  EXPECT_EQ(q.CutoffDistance(), 5.0);
+  EXPECT_EQ(q.CutoffKey(), kInf);
+  q.Insert(KeyVal(5.0));
+  q.Insert(KeyVal(1.0));
+  EXPECT_EQ(q.CutoffKey(), kInf);
+  q.Insert(KeyVal(3.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(5.0));
 }
 
 TEST(DistanceQueueTest, KeepsKSmallest) {
   DistanceQueue q(3);
-  for (double d : {9.0, 7.0, 5.0, 3.0, 1.0, 8.0}) q.Insert(d);
+  for (double d : {9.0, 7.0, 5.0, 3.0, 1.0, 8.0}) q.Insert(KeyVal(d));
   // Smallest three: 1, 3, 5 -> cutoff 5.
-  EXPECT_EQ(q.CutoffDistance(), 5.0);
+  EXPECT_EQ(q.CutoffKey(), KeyVal(5.0));
   EXPECT_EQ(q.size(), 3u);
 }
 
 TEST(DistanceQueueTest, IgnoresDistancesBeyondCutoff) {
   DistanceQueue q(2);
-  q.Insert(1.0);
-  q.Insert(2.0);
-  q.Insert(10.0);
-  EXPECT_EQ(q.CutoffDistance(), 2.0);
-  q.Insert(2.0);  // equal to cutoff: not an improvement
-  EXPECT_EQ(q.CutoffDistance(), 2.0);
-  q.Insert(1.5);
-  EXPECT_EQ(q.CutoffDistance(), 1.5);
+  q.Insert(KeyVal(1.0));
+  q.Insert(KeyVal(2.0));
+  q.Insert(KeyVal(10.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(2.0));
+  q.Insert(KeyVal(2.0));  // equal to cutoff: not an improvement
+  EXPECT_EQ(q.CutoffKey(), KeyVal(2.0));
+  q.Insert(KeyVal(1.5));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(1.5));
 }
 
 TEST(DistanceQueueTest, KOfOneTracksMinimum) {
   DistanceQueue q(1);
-  EXPECT_EQ(q.CutoffDistance(), kInf);
-  q.Insert(4.0);
-  EXPECT_EQ(q.CutoffDistance(), 4.0);
-  q.Insert(6.0);
-  EXPECT_EQ(q.CutoffDistance(), 4.0);
-  q.Insert(2.0);
-  EXPECT_EQ(q.CutoffDistance(), 2.0);
+  EXPECT_EQ(q.CutoffKey(), kInf);
+  q.Insert(KeyVal(4.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(4.0));
+  q.Insert(KeyVal(6.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(4.0));
+  q.Insert(KeyVal(2.0));
+  EXPECT_EQ(q.CutoffKey(), KeyVal(2.0));
 }
 
 TEST(DistanceQueueTest, ZeroKIsTreatedAsOne) {
@@ -62,10 +65,10 @@ TEST(DistanceQueueTest, ZeroKIsTreatedAsOne) {
 TEST(DistanceQueueTest, CountsInsertionsInStats) {
   JoinStats stats;
   DistanceQueue q(2, &stats);
-  q.Insert(5.0);
-  q.Insert(3.0);
-  q.Insert(10.0);  // rejected: no insertion counted
-  q.Insert(1.0);   // accepted
+  q.Insert(KeyVal(5.0));
+  q.Insert(KeyVal(3.0));
+  q.Insert(KeyVal(10.0));  // rejected: no insertion counted
+  q.Insert(KeyVal(1.0));   // accepted
   EXPECT_EQ(stats.distance_queue_insertions, 3u);
 }
 
@@ -79,11 +82,12 @@ TEST(DistanceQueueTest, MatchesSortReferenceRandomized) {
     for (size_t i = 0; i < n; ++i) {
       const double d = rng.Uniform(0, 1000);
       all.push_back(d);
-      q.Insert(d);
+      q.Insert(KeyVal(d));
     }
     std::sort(all.begin(), all.end());
-    const double expected = all.size() >= k ? all[k - 1] : kInf;
-    EXPECT_EQ(q.CutoffDistance(), expected) << "k=" << k << " n=" << n;
+    const KeyVal expected =
+        all.size() >= k ? KeyVal(all[k - 1]) : kInf;
+    EXPECT_EQ(q.CutoffKey(), expected) << "k=" << k << " n=" << n;
   }
 }
 

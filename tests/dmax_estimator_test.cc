@@ -21,9 +21,9 @@ TEST(DmaxEstimatorTest, RhoMatchesEquation3) {
 
 TEST(DmaxEstimatorTest, InitialEstimateScalesWithSqrtK) {
   DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
-  const double d1 = e.InitialEstimate(1);
-  const double d4 = e.InitialEstimate(4);
-  const double d100 = e.InitialEstimate(100);
+  const double d1 = e.InitialEstimate(1).raw();
+  const double d4 = e.InitialEstimate(4).raw();
+  const double d100 = e.InitialEstimate(100).raw();
   EXPECT_NEAR(d4, 2.0 * d1, 1e-9);
   EXPECT_NEAR(d100, 10.0 * d1, 1e-9);
   EXPECT_NEAR(d1, std::sqrt(e.rho()), 1e-12);
@@ -38,45 +38,50 @@ TEST(DmaxEstimatorTest, PartialOverlapUsesIntersectionArea) {
 TEST(DmaxEstimatorTest, DisjointBoundsAddTheGap) {
   // Gap of 300 between the two squares: no pair can be closer.
   DmaxEstimator e(Rect(0, 0, 100, 100), 10, Rect(400, 0, 500, 100), 10);
-  EXPECT_GE(e.InitialEstimate(1), 300.0);
+  EXPECT_GE(e.InitialEstimate(1).raw(), 300.0);
 }
 
 TEST(DmaxEstimatorTest, DegenerateInputsStayFinite) {
   // Both datasets a single point: area 0 fallback.
   DmaxEstimator e(Rect(5, 5, 5, 5), 1, Rect(5, 5, 5, 5), 1);
-  EXPECT_TRUE(std::isfinite(e.InitialEstimate(100)));
+  EXPECT_TRUE(std::isfinite(e.InitialEstimate(100).raw()));
   EXPECT_GT(e.rho(), 0.0);
 }
 
 TEST(DmaxEstimatorTest, ArithmeticCorrectionEquation4) {
   DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
-  const double d = e.ArithmeticCorrection(100, 40, 3.0);
+  const double d =
+      e.ArithmeticCorrection(100, 40, geom::DistVal(3.0)).raw();
   EXPECT_NEAR(d, std::sqrt(9.0 + 60 * e.rho()), 1e-12);
   // k0 >= k: nothing to extrapolate.
-  EXPECT_EQ(e.ArithmeticCorrection(100, 100, 3.0), 3.0);
+  EXPECT_EQ(e.ArithmeticCorrection(100, 100, geom::DistVal(3.0)),
+            geom::DistVal(3.0));
 }
 
 TEST(DmaxEstimatorTest, GeometricCorrectionEquation5) {
   DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
-  EXPECT_NEAR(e.GeometricCorrection(100, 25, 3.0), 3.0 * 2.0, 1e-12);
+  EXPECT_NEAR(e.GeometricCorrection(100, 25, geom::DistVal(3.0)).raw(),
+              3.0 * 2.0, 1e-12);
   // Zero observed distance falls back to the arithmetic form.
-  EXPECT_NEAR(e.GeometricCorrection(100, 25, 0.0),
-              e.ArithmeticCorrection(100, 25, 0.0), 1e-12);
+  EXPECT_NEAR(e.GeometricCorrection(100, 25, geom::DistVal(0.0)).raw(),
+              e.ArithmeticCorrection(100, 25, geom::DistVal(0.0)).raw(),
+              1e-12);
 }
 
 TEST(DmaxEstimatorTest, CombinedCorrectionPolicies) {
   DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
-  const double a = e.ArithmeticCorrection(1000, 10, 2.0);
-  const double g = e.GeometricCorrection(1000, 10, 2.0);
-  EXPECT_EQ(e.Correct(1000, 10, 2.0, /*aggressive=*/true), std::min(a, g));
-  EXPECT_EQ(e.Correct(1000, 10, 2.0, /*aggressive=*/false), std::max(a, g));
+  const geom::DistVal two(2.0);
+  const geom::DistVal a = e.ArithmeticCorrection(1000, 10, two);
+  const geom::DistVal g = e.GeometricCorrection(1000, 10, two);
+  EXPECT_EQ(e.Correct(1000, 10, two, /*aggressive=*/true), std::min(a, g));
+  EXPECT_EQ(e.Correct(1000, 10, two, /*aggressive=*/false), std::max(a, g));
 }
 
 TEST(DmaxEstimatorTest, BoundaryFnMatchesInitialEstimate) {
   DmaxEstimator e(Rect(0, 0, 100, 100), 50, Rect(0, 0, 100, 100), 20);
   const auto fn = e.BoundaryFn();
   for (uint64_t c : {1ull, 10ull, 1000ull}) {
-    EXPECT_NEAR(fn(c), e.InitialEstimate(c), 1e-12);
+    EXPECT_NEAR(fn(c).raw(), e.InitialEstimate(c).raw(), 1e-12);
   }
   // Monotone increasing.
   EXPECT_LT(fn(10), fn(20));
@@ -96,7 +101,7 @@ TEST(DmaxEstimatorTest, UniformDataEstimateIsAccurate) {
   DmaxEstimator e(r.Bounds(), r.objects.size(), s.Bounds(),
                   s.objects.size());
   for (uint64_t k : {100ull, 1000ull, 10000ull}) {
-    const double est = e.InitialEstimate(k);
+    const double est = e.InitialEstimate(k).raw();
     const double real = d[k - 1];
     EXPECT_GT(est, real * 0.5) << "k=" << k;
     EXPECT_LT(est, real * 2.0) << "k=" << k;
@@ -116,7 +121,7 @@ TEST(DmaxEstimatorTest, SkewedDataIsOverestimated) {
   std::sort(d.begin(), d.end());
   DmaxEstimator e(r.Bounds(), r.objects.size(), s.Bounds(),
                   s.objects.size());
-  EXPECT_GT(e.InitialEstimate(100), d[99]);
+  EXPECT_GT(e.InitialEstimate(100).raw(), d[99]);
 }
 
 }  // namespace

@@ -32,12 +32,12 @@ TEST(HistogramEstimatorTest, ExpectedPairsIsMonotone) {
   HistogramEstimator est(r.objects, s.objects);
   double prev = -1.0;
   for (double d : {0.0, 1.0, 5.0, 20.0, 100.0, 500.0, 2000.0}) {
-    const double k = est.ExpectedPairsWithin(d);
+    const double k = est.ExpectedPairsWithin(geom::DistVal(d));
     EXPECT_GE(k, prev);
     prev = k;
   }
   // Saturation: at the diameter every pair counts.
-  EXPECT_NEAR(est.ExpectedPairsWithin(2000.0), 500.0 * 500.0, 1.0);
+  EXPECT_NEAR(est.ExpectedPairsWithin(geom::DistVal(2000.0)), 500.0 * 500.0, 1.0);
 }
 
 TEST(HistogramEstimatorTest, EstimateIsWithinSmallFactorOnUniformData) {
@@ -47,7 +47,7 @@ TEST(HistogramEstimatorTest, EstimateIsWithinSmallFactorOnUniformData) {
   const auto truth = AllDistances(r.objects, s.objects);
   HistogramEstimator est(r.objects, s.objects);
   for (uint64_t k : {100ull, 1000ull, 10000ull}) {
-    const double estimate = est.EstimateDmax(k);
+    const double estimate = est.EstimateDmax(k).raw();
     EXPECT_GT(estimate, truth[k - 1] * 0.4) << "k=" << k;
     EXPECT_LT(estimate, truth[k - 1] * 2.5) << "k=" << k;
   }
@@ -74,8 +74,8 @@ TEST(HistogramEstimatorTest, BeatsUniformEstimatorOnSkewedData) {
                         Rect(0, 0, 10000, 10000), 600);
   for (uint64_t k : {100ull, 1000ull}) {
     const double real = truth[k - 1];
-    const double h = histogram.EstimateDmax(k);
-    const double u = uniform.InitialEstimate(k);
+    const double h = histogram.EstimateDmax(k).raw();
+    const double u = uniform.InitialEstimate(k).raw();
     // Histogram is closer to the truth than the uniform estimate (in
     // log-ratio terms, since both sides can over/under-shoot).
     const double h_err = std::abs(std::log(std::max(h, 1e-9) / real));
@@ -95,8 +95,9 @@ TEST(HistogramEstimatorTest, FromTreesMatchesFromObjects) {
   ASSERT_TRUE(from_trees.ok());
   HistogramEstimator from_objects(r.objects, s.objects);
   for (uint64_t k : {10ull, 1000ull}) {
-    EXPECT_NEAR(from_trees->EstimateDmax(k), from_objects.EstimateDmax(k),
-                1e-6 * from_objects.EstimateDmax(k) + 1e-9);
+    EXPECT_NEAR(from_trees->EstimateDmax(k).raw(),
+                from_objects.EstimateDmax(k).raw(),
+                1e-6 * from_objects.EstimateDmax(k).raw() + 1e-9);
   }
 }
 
@@ -109,24 +110,26 @@ TEST(HistogramEstimatorTest, CorrectionCalibratesToObservedTruth) {
   // Having seen 100 pairs end at the true d_100, the corrected estimate
   // for k=1000 should be closer to d_1000 than the raw estimate... and
   // never below the observed distance.
-  const double corrected = est.Correct(1000, 100, truth[99], false);
+  const double corrected =
+      est.Correct(1000, 100, geom::DistVal(truth[99]), false).raw();
   EXPECT_GE(corrected, truth[99]);
   const double raw_err =
-      std::abs(std::log(est.EstimateDmax(1000) / truth[999]));
+      std::abs(std::log(est.EstimateDmax(1000).raw() / truth[999]));
   const double corr_err = std::abs(std::log(corrected / truth[999]));
   EXPECT_LE(corr_err, raw_err + 0.7);  // never dramatically worse
   // Aggressive <= conservative.
-  EXPECT_LE(est.Correct(1000, 100, truth[99], true), corrected + 1e-12);
+  EXPECT_LE(est.Correct(1000, 100, geom::DistVal(truth[99]), true).raw(),
+            corrected + 1e-12);
 }
 
 TEST(HistogramEstimatorTest, DegenerateInputsStayFinite) {
   std::vector<Rect> single = {Rect(5, 5, 5, 5)};
   HistogramEstimator est(single, single);
-  EXPECT_GE(est.EstimateDmax(10), 0.0);
-  EXPECT_TRUE(std::isfinite(est.EstimateDmax(10)));
+  EXPECT_GE(est.EstimateDmax(10).raw(), 0.0);
+  EXPECT_TRUE(std::isfinite(est.EstimateDmax(10).raw()));
   std::vector<Rect> empty;
   HistogramEstimator est2(empty, single);
-  EXPECT_EQ(est2.ExpectedPairsWithin(100.0), 0.0);
+  EXPECT_EQ(est2.ExpectedPairsWithin(geom::DistVal(100.0)), 0.0);
 }
 
 TEST(HistogramEstimatorTest, BoundaryFnIsMonotone) {
@@ -145,13 +148,13 @@ TEST(HistogramEstimatorTest, BoundaryFnTracksEstimateDmax) {
   HistogramEstimator est(r.objects, s.objects);
   const auto fn = est.BoundaryFn();  // interpolation table
   for (uint64_t c : {50ull, 500ull, 5000ull, 50000ull}) {
-    const double exact = est.EstimateDmax(c);
-    const double interpolated = fn(c);
+    const double exact = est.EstimateDmax(c).raw();
+    const double interpolated = fn(c).raw();
     // Interpolation error should be small relative to the exact inverse.
     EXPECT_NEAR(interpolated, exact, 0.15 * exact + 1e-9) << "c=" << c;
   }
   // Beyond every pair: clamps at the data diameter, stays finite.
-  EXPECT_TRUE(std::isfinite(fn(1ull << 40)));
+  EXPECT_TRUE(std::isfinite(fn(1ull << 40).raw()));
 }
 
 // ---------------------------------------------------------------------------

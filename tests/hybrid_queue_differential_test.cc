@@ -23,15 +23,18 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "geom/units.h"
 #include "queue/hybrid_queue.h"
 #include "storage/disk_manager.h"
 
 namespace amdj::queue {
 namespace {
 
+using geom::KeyVal;
+
 struct Item {
-  double key;
-  uint64_t tag;
+  KeyVal key{0.0};
+  uint64_t tag = 0;
 };
 
 struct ItemCompare {
@@ -81,7 +84,7 @@ struct Scenario {
   const char* name;
   KeyDist dist;
   /// nullptr = no predetermined boundaries (pure adaptive refinement).
-  std::function<double(uint64_t)> boundary_fn;
+  std::function<KeyVal(uint64_t)> boundary_fn;
   bool async_io = false;
 };
 
@@ -108,7 +111,7 @@ void RunDifferential(const Scenario& scenario, uint64_t seed,
   for (size_t i = 0; i < steps; ++i) {
     const bool push = ref.empty() || (rng() % 10) < 6;
     if (push) {
-      const Item item{DrawKey(scenario.dist, &rng), tag++};
+      const Item item{KeyVal(DrawKey(scenario.dist, &rng)), tag++};
       ASSERT_TRUE(q.Push(item).ok());
       ref.push(item);
     } else {
@@ -139,16 +142,16 @@ void RunDifferential(const Scenario& scenario, uint64_t seed,
 
 /// A deliberately good Eq.-3-style boundary for uniform [0, 1e6) keys and
 /// ~60% of `steps` insertions.
-std::function<double(uint64_t)> UniformBoundary(size_t steps) {
+std::function<KeyVal(uint64_t)> UniformBoundary(size_t steps) {
   const double per = 1e6 / (0.6 * static_cast<double>(steps));
-  return [per](uint64_t c) { return per * static_cast<double>(c); };
+  return [per](uint64_t c) { return KeyVal(per * static_cast<double>(c)); };
 }
 
 /// A boundary that is wrong by orders of magnitude: the first segment
 /// starts far below any real key, so nearly everything routes to memory
 /// and overflow must refine adaptively — and swap-ins re-spill.
-std::function<double(uint64_t)> MisleadingLowBoundary() {
-  return [](uint64_t c) { return 1e-3 * static_cast<double>(c); };
+std::function<KeyVal(uint64_t)> MisleadingLowBoundary() {
+  return [](uint64_t c) { return KeyVal(1e-3 * static_cast<double>(c)); };
 }
 
 class HybridQueueDifferentialTest
@@ -213,7 +216,7 @@ TEST(HybridQueueFaultDifferentialTest, MidSplitWriteFaultHealsAndDrains) {
   // the middle of some split's AppendMany.
   disk.FailWritesAfter(3);
   for (size_t i = 0; i < 4000; ++i) {
-    const Item item{DrawKey(KeyDist::kUniform, &rng), tag++};
+    const Item item{KeyVal(DrawKey(KeyDist::kUniform, &rng)), tag++};
     attempted.push_back(item);
     const Status s = q.Push(item);
     if (s.ok()) {
@@ -288,7 +291,7 @@ TEST(HybridQueueFaultDifferentialTest, MidPrefetchReadFaultHealsAndDrains) {
   std::mt19937_64 rng(55);
   uint64_t tag = 0;
   for (size_t i = 0; i < 30000; ++i) {
-    const Item item{DrawKey(KeyDist::kUniform, &rng), tag++};
+    const Item item{KeyVal(DrawKey(KeyDist::kUniform, &rng)), tag++};
     ASSERT_TRUE(q.Push(item).ok());
     ref.push(item);
   }

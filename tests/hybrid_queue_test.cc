@@ -7,14 +7,17 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "geom/units.h"
 #include "storage/disk_manager.h"
 
 namespace amdj::queue {
 namespace {
 
+using geom::KeyVal;
+
 struct Item {
-  double key;
-  uint64_t tag;
+  KeyVal key{0.0};
+  uint64_t tag = 0;
 };
 
 struct ItemCompare {
@@ -37,12 +40,12 @@ TEST(HybridQueueTest, InMemoryBasicOrdering) {
   Queue q(Queue::Options{}, nullptr);  // no disk: unbounded memory
   EXPECT_TRUE(q.Empty());
   for (double d : {5.0, 1.0, 3.0, 2.0, 4.0}) {
-    ASSERT_TRUE(q.Push({d, 0}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(d), 0}).ok());
   }
   Item it;
   for (double expected : {1.0, 2.0, 3.0, 4.0, 5.0}) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    EXPECT_EQ(it.key, expected);
+    EXPECT_EQ(it.key.raw(), expected);
   }
   EXPECT_TRUE(q.Empty());
   EXPECT_EQ(q.Pop(&it).code(), StatusCode::kOutOfRange);
@@ -57,14 +60,14 @@ TEST(HybridQueueTest, SpillsAndRecoversInOrder) {
   for (int i = 0; i < 5000; ++i) {
     const double d = rng.Uniform(0, 1e6);
     inserted.push_back(d);
-    ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(i)}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(d), static_cast<uint64_t>(i)}).ok());
   }
   EXPECT_GT(q.split_count(), 0u);  // memory was 64 entries: must spill
   std::sort(inserted.begin(), inserted.end());
   Item it;
   for (size_t i = 0; i < inserted.size(); ++i) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    ASSERT_EQ(it.key, inserted[i]) << "at pop " << i;
+    ASSERT_EQ(it.key.raw(), inserted[i]) << "at pop " << i;
   }
   EXPECT_TRUE(q.Empty());
   EXPECT_GT(q.swapin_count(), 0u);
@@ -83,11 +86,11 @@ TEST(HybridQueueTest, InterleavedPushPopMatchesReference) {
     if (reference.empty() || rng.Bernoulli(0.6)) {
       const double d = rng.Uniform(0, 1000);
       reference.push_back(d);
-      ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(step)}).ok());
+      ASSERT_TRUE(q.Push({KeyVal(d), static_cast<uint64_t>(step)}).ok());
     } else {
       auto min_it = std::min_element(reference.begin(), reference.end());
       ASSERT_TRUE(q.Pop(&it).ok());
-      ASSERT_EQ(it.key, *min_it) << "step " << step;
+      ASSERT_EQ(it.key.raw(), *min_it) << "step " << step;
       reference.erase(min_it);
     }
   }
@@ -95,7 +98,7 @@ TEST(HybridQueueTest, InterleavedPushPopMatchesReference) {
   std::sort(reference.begin(), reference.end());
   for (double expected : reference) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    ASSERT_EQ(it.key, expected);
+    ASSERT_EQ(it.key.raw(), expected);
   }
 }
 
@@ -108,13 +111,13 @@ TEST(HybridQueueTest, PredeterminedBoundariesReduceSplits) {
     Queue::Options o = SmallMemory(&disk, 4096);  // 256 entries in memory
     if (with_boundaries) {
       o.boundary_fn = [](uint64_t c) {
-        return 1000.0 * static_cast<double>(c) / kN;
+        return KeyVal(1000.0 * static_cast<double>(c) / kN);
       };
     }
     Queue q(o, nullptr);
     Random rng(99);
     for (int i = 0; i < kN; ++i) {
-      EXPECT_TRUE(q.Push({rng.Uniform(0, 1000), uint64_t(i)}).ok());
+      EXPECT_TRUE(q.Push({KeyVal(rng.Uniform(0, 1000)), uint64_t(i)}).ok());
     }
     // Consume the closest 10% (the typical distance-join access pattern).
     Item it;
@@ -133,7 +136,9 @@ TEST(HybridQueueTest, PredeterminedBoundariesReduceSplits) {
 TEST(HybridQueueTest, PredeterminedBoundariesKeepOrder) {
   storage::InMemoryDiskManager disk;
   Queue::Options o = SmallMemory(&disk, 1024);
-  o.boundary_fn = [](uint64_t c) { return std::sqrt(static_cast<double>(c)); };
+  o.boundary_fn = [](uint64_t c) {
+    return KeyVal(std::sqrt(static_cast<double>(c)));
+  };
   Queue q(o, nullptr);
   Random rng(31);
   std::vector<double> inserted;
@@ -141,13 +146,13 @@ TEST(HybridQueueTest, PredeterminedBoundariesKeepOrder) {
     // Heavy-tailed distances stress multiple segments.
     const double d = std::pow(rng.Uniform(0, 40), 2.0);
     inserted.push_back(d);
-    ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(i)}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(d), static_cast<uint64_t>(i)}).ok());
   }
   std::sort(inserted.begin(), inserted.end());
   Item it;
   for (double expected : inserted) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    ASSERT_EQ(it.key, expected);
+    ASSERT_EQ(it.key.raw(), expected);
   }
 }
 
@@ -155,13 +160,13 @@ TEST(HybridQueueTest, TiesPreserveAllItems) {
   storage::InMemoryDiskManager disk;
   Queue q(SmallMemory(&disk), nullptr);
   for (int i = 0; i < 500; ++i) {
-    ASSERT_TRUE(q.Push({42.0, static_cast<uint64_t>(i)}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(42.0), static_cast<uint64_t>(i)}).ok());
   }
   std::vector<bool> seen(500, false);
   Item it;
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(q.Pop(&it).ok());
-    EXPECT_EQ(it.key, 42.0);
+    EXPECT_EQ(it.key.raw(), 42.0);
     EXPECT_FALSE(seen[it.tag]);
     seen[it.tag] = true;
   }
@@ -179,10 +184,10 @@ TEST(HybridQueueTest, TiePlateauPopOrderIsPushOrderIndependent) {
   // on the push order.
   std::vector<Item> items;
   for (int i = 0; i < 200; ++i) {
-    items.push_back({42.0, static_cast<uint64_t>(i)});
+    items.push_back({KeyVal(42.0), static_cast<uint64_t>(i)});
   }
   for (int i = 0; i < 200; ++i) {
-    items.push_back({1.0 + i * 0.5, static_cast<uint64_t>(1000 + i)});
+    items.push_back({KeyVal(1.0 + i * 0.5), static_cast<uint64_t>(1000 + i)});
   }
   std::vector<Item> reference = items;
   std::sort(reference.begin(), reference.end(), ItemCompare());
@@ -214,7 +219,7 @@ TEST(HybridQueueTest, TotalSizeTracksBothTiers) {
   storage::InMemoryDiskManager disk;
   Queue q(SmallMemory(&disk), nullptr);
   for (int i = 0; i < 200; ++i) {
-    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(static_cast<double>(i)), 0}).ok());
   }
   EXPECT_EQ(q.TotalSize(), 200u);
   Item it;
@@ -235,7 +240,7 @@ TEST(HybridQueueTest, PropagatesDiskWriteFailure) {
   // (records are buffered one page at a time) and hits the injected
   // failure.
   for (int i = 0; i < 5000 && status.ok(); ++i) {
-    status = q.Push({static_cast<double>(i), 0});
+    status = q.Push({KeyVal(static_cast<double>(i)), 0});
   }
   EXPECT_EQ(status.code(), StatusCode::kIOError);
 }
@@ -259,7 +264,7 @@ TEST(HybridQueueTest, FailedPushesAreNotCounted) {
   uint64_t accepted = 0;
   uint64_t rejected = 0;
   for (int i = 0; i < 5000; ++i) {
-    if (q.Push({static_cast<double>(i), 0}).ok()) {
+    if (q.Push({KeyVal(static_cast<double>(i)), 0}).ok()) {
       ++accepted;
     } else {
       ++rejected;
@@ -275,12 +280,12 @@ TEST(HybridQueueTest, PeakSizeStatIsTracked) {
   JoinStats stats;
   Queue q(Queue::Options{}, &stats);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(static_cast<double>(i)), 0}).ok());
   }
   Item it;
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Pop(&it).ok());
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(static_cast<double>(i)), 0}).ok());
   }
   EXPECT_EQ(stats.main_queue_peak_size, 10u);
 }
@@ -289,27 +294,27 @@ TEST(HybridQueueTest, PeekReturnsMinWithoutRemoving) {
   Queue q(Queue::Options{}, nullptr);
   Item it;
   EXPECT_EQ(q.Peek(&it).code(), StatusCode::kOutOfRange);
-  for (double d : {3.0, 1.0, 2.0}) ASSERT_TRUE(q.Push({d, 0}).ok());
+  for (double d : {3.0, 1.0, 2.0}) ASSERT_TRUE(q.Push({KeyVal(d), 0}).ok());
   ASSERT_TRUE(q.Peek(&it).ok());
-  EXPECT_EQ(it.key, 1.0);
+  EXPECT_EQ(it.key.raw(), 1.0);
   EXPECT_EQ(q.TotalSize(), 3u);
   ASSERT_TRUE(q.Pop(&it).ok());
-  EXPECT_EQ(it.key, 1.0);
+  EXPECT_EQ(it.key.raw(), 1.0);
   ASSERT_TRUE(q.Peek(&it).ok());
-  EXPECT_EQ(it.key, 2.0);
+  EXPECT_EQ(it.key.raw(), 2.0);
 }
 
 TEST(HybridQueueTest, PeekSwapsInSpilledSegments) {
   storage::InMemoryDiskManager disk;
   Queue q(SmallMemory(&disk), nullptr);  // 64-entry heap
   for (int i = 0; i < 500; ++i) {
-    ASSERT_TRUE(q.Push({static_cast<double>(500 - i), 0}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(static_cast<double>(500 - i)), 0}).ok());
   }
   Item it;
   // Drain the heap, leaving only disk segments; Peek must swap in.
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(q.Peek(&it).ok());
-    const double top = it.key;
+    const KeyVal top = it.key;
     ASSERT_TRUE(q.Pop(&it).ok());
     EXPECT_EQ(it.key, top) << "Peek/Pop disagree at " << i;
   }
@@ -319,30 +324,30 @@ TEST(HybridQueueTest, PeekSwapsInSpilledSegments) {
 TEST(HybridQueueTest, PopBatchStopsAtRejectedEntry) {
   Queue q(Queue::Options{}, nullptr);
   // tag 1 = "object pair", tag 0 = "node pair".
-  for (double d : {1.0, 2.0, 5.0}) ASSERT_TRUE(q.Push({d, 1}).ok());
-  for (double d : {3.0, 4.0}) ASSERT_TRUE(q.Push({d, 0}).ok());
+  for (double d : {1.0, 2.0, 5.0}) ASSERT_TRUE(q.Push({KeyVal(d), 1}).ok());
+  for (double d : {3.0, 4.0}) ASSERT_TRUE(q.Push({KeyVal(d), 0}).ok());
   std::vector<Item> out;
   // Take "objects" first: 1.0 and 2.0; 3.0 is a node and stays queued.
   ASSERT_TRUE(q.PopBatch(10, [](const Item& i) { return i.tag == 1; }, &out)
                   .ok());
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0].key, 1.0);
-  EXPECT_EQ(out[1].key, 2.0);
+  EXPECT_EQ(out[0].key.raw(), 1.0);
+  EXPECT_EQ(out[1].key.raw(), 2.0);
   EXPECT_EQ(q.TotalSize(), 3u);
   // Now take "nodes": 3.0 and 4.0; 5.0 stays.
   out.clear();
   ASSERT_TRUE(q.PopBatch(10, [](const Item& i) { return i.tag == 0; }, &out)
                   .ok());
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0].key, 3.0);
-  EXPECT_EQ(out[1].key, 4.0);
+  EXPECT_EQ(out[0].key.raw(), 3.0);
+  EXPECT_EQ(out[1].key.raw(), 4.0);
   EXPECT_EQ(q.TotalSize(), 1u);
 }
 
 TEST(HybridQueueTest, PopBatchHonorsMaxAndEmptyQueue) {
   Queue q(Queue::Options{}, nullptr);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(q.Push({static_cast<double>(i), 0}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(static_cast<double>(i)), 0}).ok());
   }
   std::vector<Item> out;
   ASSERT_TRUE(q.PopBatch(4, [](const Item&) { return true; }, &out).ok());
@@ -353,7 +358,7 @@ TEST(HybridQueueTest, PopBatchHonorsMaxAndEmptyQueue) {
   ASSERT_TRUE(q.PopBatch(5, [](const Item&) { return true; }, &out).ok());
   EXPECT_EQ(out.size(), 10u);  // empty queue: no-op, not an error
   for (size_t i = 0; i < out.size(); ++i) {
-    EXPECT_EQ(out[i].key, static_cast<double>(i));
+    EXPECT_EQ(out[i].key.raw(), static_cast<double>(i));
   }
 }
 
@@ -365,7 +370,7 @@ TEST(HybridQueueTest, PopBatchCrossesSegmentBoundaries) {
   for (int i = 0; i < 1000; ++i) {
     const double d = rng.Uniform(0, 1e5);
     inserted.push_back(d);
-    ASSERT_TRUE(q.Push({d, static_cast<uint64_t>(i)}).ok());
+    ASSERT_TRUE(q.Push({KeyVal(d), static_cast<uint64_t>(i)}).ok());
   }
   std::sort(inserted.begin(), inserted.end());
   std::vector<Item> out;
@@ -375,7 +380,7 @@ TEST(HybridQueueTest, PopBatchCrossesSegmentBoundaries) {
   }
   ASSERT_EQ(out.size(), inserted.size());
   for (size_t i = 0; i < out.size(); ++i) {
-    EXPECT_EQ(out[i].key, inserted[i]) << "rank " << i;
+    EXPECT_EQ(out[i].key.raw(), inserted[i]) << "rank " << i;
   }
 }
 

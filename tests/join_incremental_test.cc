@@ -143,7 +143,7 @@ TEST(AmIdjTest, ForcedStageEdmaxScheduleIsRespectedAndCorrect) {
   std::vector<ResultPair> all;
   for (int batch = 1; batch <= 5; ++batch) {
     const size_t target = batch * 200;
-    cursor.ForceNextStageEdmax(brute[target - 1]);
+    cursor.ForceNextStageEdmax(geom::DistVal(brute[target - 1]));
     const auto part = Drain(cursor, target - all.size());
     all.insert(all.end(), part.begin(), part.end());
     ASSERT_EQ(all.size(), target);
@@ -157,7 +157,7 @@ TEST(AmIdjTest, UnderestimatedForcedEdmaxStillCorrect) {
   JoinFixture f = ClusterFixture(100, 80);
   const auto brute = BruteForceDistances(f.r_objects, f.s_objects);
   JoinOptions options;
-  options.forced_edmax = brute[3] * 0.5;  // absurdly aggressive first stage
+  options.forced_edmax = geom::DistVal(brute[3] * 0.5);  // absurdly aggressive first stage
   options.idj_initial_k = 4;
   AmIdjCursor cursor(*f.r, *f.s, options, nullptr);
   const auto results = Drain(cursor, 500);

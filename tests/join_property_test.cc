@@ -39,7 +39,7 @@ TEST_P(ForcedEdmaxTest, AmKdjMatchesBKdjForAnyEstimate) {
   const auto dmax = ComputeTrueDmax(*f.r, *f.s, k, options);
   ASSERT_TRUE(dmax.ok());
 
-  options.forced_edmax = GetParam() * *dmax;
+  options.forced_edmax = geom::DistVal(GetParam() * *dmax);
   JoinStats stats;
   auto am = AmKdj::Run(*f.r, *f.s, k, options, &stats);
   ASSERT_TRUE(am.ok());
@@ -82,7 +82,7 @@ TEST_P(AdaptiveCorrectionTest, RuntimeCorrectedAmKdjMatchesBKdj) {
   ASSERT_TRUE(dmax.ok());
 
   options.kdj_adaptive_correction = true;
-  options.forced_edmax = GetParam() * *dmax;
+  options.forced_edmax = geom::DistVal(GetParam() * *dmax);
   for (const auto policy :
        {CorrectionPolicy::kAggressive, CorrectionPolicy::kConservative}) {
     options.correction = policy;
@@ -114,7 +114,7 @@ TEST(AdaptiveCorrectionTest, ExhaustsProductWhenKExceedsIt) {
                               workload::UniformPoints(30, 62, uni), 5);
   JoinOptions options;
   options.kdj_adaptive_correction = true;
-  options.forced_edmax = 1.0;  // massive underestimate
+  options.forced_edmax = geom::DistVal(1.0);  // massive underestimate
   auto result = AmKdj::Run(*f.r, *f.s, 100000, options, nullptr);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), 40u * 30u);
@@ -126,7 +126,7 @@ TEST(ForcedEdmaxTest, ZeroEstimateDegeneratesButStaysCorrect) {
                               workload::UniformPoints(80, 2, uni), 6);
   const auto brute = BruteForceDistances(f.r_objects, f.s_objects);
   JoinOptions options;
-  options.forced_edmax = 0.0;
+  options.forced_edmax = geom::DistVal(0.0);
   auto am = AmKdj::Run(*f.r, *f.s, 200, options, nullptr);
   ASSERT_TRUE(am.ok());
   ASSERT_EQ(am->size(), 200u);
@@ -218,7 +218,7 @@ TEST(CostOrderingTest, AmKdjPrunesAtLeastAsWellAsBKdjWhenOverestimated) {
   ASSERT_TRUE(BKdj::Run(*f.r, *f.s, 800, options, &b).ok());
   const auto dmax = ComputeTrueDmax(*f.r, *f.s, 800, options);
   ASSERT_TRUE(dmax.ok());
-  options.forced_edmax = 2.0 * *dmax;
+  options.forced_edmax = geom::DistVal(2.0 * *dmax);
   JoinStats am;
   ASSERT_TRUE(AmKdj::Run(*f.r, *f.s, 800, options, &am).ok());
   EXPECT_LE(am.real_distance_computations, b.real_distance_computations);
@@ -237,7 +237,7 @@ TEST(CostOrderingTest, UnderestimateCostBoundedByTwiceBKdj) {
   ASSERT_TRUE(BKdj::Run(*f.r, *f.s, 800, options, &b).ok());
   const auto dmax = ComputeTrueDmax(*f.r, *f.s, 800, options);
   ASSERT_TRUE(dmax.ok());
-  options.forced_edmax = 0.1 * *dmax;
+  options.forced_edmax = geom::DistVal(0.1 * *dmax);
   JoinStats am;
   ASSERT_TRUE(AmKdj::Run(*f.r, *f.s, 800, options, &am).ok());
   EXPECT_LE(am.real_distance_computations,
@@ -255,7 +255,8 @@ TEST(CostOrderingTest, CompensationQueueIsSmallerThanMainQueue) {
   JoinOptions options;
   const auto dmax = ComputeTrueDmax(*f.r, *f.s, 1000, options);
   ASSERT_TRUE(dmax.ok());
-  options.forced_edmax = 0.5 * *dmax;  // underestimate: Qc is exercised
+  options.forced_edmax =
+      geom::DistVal(0.5 * *dmax);  // underestimate: Qc is exercised
   JoinStats am;
   ASSERT_TRUE(AmKdj::Run(*f.r, *f.s, 1000, options, &am).ok());
   EXPECT_GT(am.compensation_queue_insertions, 0u);

@@ -235,7 +235,8 @@ TEST(KernelEquivalenceTest, MinDistSquaredEdgeCases) {
   // value the non-batched code paths compute and compare against.
   for (size_t i = 0; i < n; ++i) {
     const Rect r(batch.lo0[i], batch.lo1[i], batch.hi0[i], batch.hi1[i]);
-    EXPECT_EQ(ref[i], MinDistanceKey(r, q, Metric::kL2)) << "lane " << i;
+    EXPECT_EQ(ref[i], MinDistanceKey(r, q, Metric::kL2).raw())
+        << "lane " << i;
     EXPECT_FALSE(std::signbit(ref[i])) << "lane " << i << " produced -0.0";
   }
   for (KernelBackend b : AvailableBackends()) {
@@ -275,7 +276,8 @@ TEST(KernelEquivalenceTest, MinDistSquaredPointRandomizedAllSizes) {
                     ref.data());
     for (size_t i = 0; i < n; ++i) {
       const Rect p(px[i], py[i], px[i], py[i]);
-      EXPECT_EQ(ref[i], MinDistanceKey(p, q, Metric::kL2)) << "lane " << i;
+      EXPECT_EQ(ref[i], MinDistanceKey(p, q, Metric::kL2).raw())
+          << "lane " << i;
     }
     for (KernelBackend b : AvailableBackends()) {
       RunMinDistPoint(b, px.data(), py.data(), q, n, got.data());

@@ -37,7 +37,8 @@ struct KnnFixture {
                                                     Metric m) const {
     std::vector<std::pair<double, uint32_t>> d;
     for (uint32_t i = 0; i < objects.size(); ++i) {
-      d.push_back({geom::MinDistance(Rect::FromPoint(q), objects[i], m), i});
+      d.push_back(
+          {geom::MinDistance(Rect::FromPoint(q), objects[i], m).raw(), i});
     }
     std::sort(d.begin(), d.end());
     d.resize(std::min(d.size(), k));
@@ -71,8 +72,9 @@ TEST(KnnTest, WorksUnderEveryMetric) {
     ASSERT_TRUE(result.ok());
     const auto brute = f.BruteKnn(q, 25, m);
     for (size_t i = 0; i < brute.size(); ++i) {
-      ASSERT_NEAR(geom::MinDistance(Rect::FromPoint(q), (*result)[i].rect, m),
-                  brute[i].first, 1e-9)
+      ASSERT_NEAR(
+          geom::MinDistance(Rect::FromPoint(q), (*result)[i].rect, m).raw(),
+          brute[i].first, 1e-9)
           << geom::ToString(m) << " rank " << i;
     }
   }
@@ -98,14 +100,14 @@ TEST(KnnTest, CursorStreamsInNonDecreasingOrder) {
   KnnFixture f(600, 24);
   NearestNeighborCursor cursor(*f.tree, Point(500, 500));
   Entry entry;
-  double distance = 0.0;
-  double prev = -1.0;
+  geom::DistVal distance = geom::DistVal::Zero();
+  geom::DistVal prev{-1.0};
   bool done = false;
   size_t count = 0;
   while (true) {
     ASSERT_TRUE(cursor.Next(&entry, &distance, &done).ok());
     if (done) break;
-    EXPECT_GE(distance, prev);
+    EXPECT_GE(distance.raw(), prev.raw());
     prev = distance;
     ++count;
   }
@@ -119,12 +121,12 @@ TEST(KnnTest, CursorMatchesBatchApi) {
   ASSERT_TRUE(batch.ok());
   NearestNeighborCursor cursor(*f.tree, q);
   Entry entry;
-  double distance = 0.0;
+  geom::DistVal distance = geom::DistVal::Zero();
   bool done = false;
   for (size_t i = 0; i < 40; ++i) {
     ASSERT_TRUE(cursor.Next(&entry, &distance, &done).ok());
     ASSERT_FALSE(done);
-    EXPECT_NEAR(distance,
+    EXPECT_NEAR(distance.raw(),
                 geom::MinDistance(Rect::FromPoint(q), (*batch)[i].rect),
                 1e-9);
   }

@@ -16,16 +16,16 @@ using geom::Rect;
 TEST(MetricTest, MinDistanceKnownValues) {
   const Rect a(0, 0, 1, 1);
   const Rect b(4, 5, 6, 7);  // gaps: dx = 3, dy = 4
-  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kL2), 5.0);
-  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kL1), 7.0);
-  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kLInf), 4.0);
+  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kL2).raw(), 5.0);
+  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kL1).raw(), 7.0);
+  EXPECT_DOUBLE_EQ(geom::MinDistance(a, b, Metric::kLInf).raw(), 4.0);
 }
 
 TEST(MetricTest, IntersectingRectsAreZeroUnderEveryMetric) {
   const Rect a(0, 0, 5, 5);
   const Rect b(4, 4, 9, 9);
   for (const Metric m : {Metric::kL2, Metric::kL1, Metric::kLInf}) {
-    EXPECT_EQ(geom::MinDistance(a, b, m), 0.0);
+    EXPECT_EQ(geom::MinDistance(a, b, m), geom::DistVal::Zero());
   }
 }
 
@@ -40,9 +40,9 @@ TEST(MetricTest, NormOrderingHolds) {
     };
     const Rect a = rect();
     const Rect b = rect();
-    const double l1 = geom::MinDistance(a, b, Metric::kL1);
-    const double l2 = geom::MinDistance(a, b, Metric::kL2);
-    const double li = geom::MinDistance(a, b, Metric::kLInf);
+    const double l1 = geom::MinDistance(a, b, Metric::kL1).raw();
+    const double l2 = geom::MinDistance(a, b, Metric::kL2).raw();
+    const double li = geom::MinDistance(a, b, Metric::kLInf).raw();
     EXPECT_LE(li, l2 + 1e-12);
     EXPECT_LE(l2, l1 + 1e-12);
     // The per-axis separations lower-bound every metric (the plane-sweep
@@ -53,8 +53,8 @@ TEST(MetricTest, NormOrderingHolds) {
     }
     // And max distance dominates min distance per metric.
     for (const Metric m : {Metric::kL2, Metric::kL1, Metric::kLInf}) {
-      EXPECT_LE(geom::MinDistance(a, b, m),
-                geom::MaxDistance(a, b, m) + 1e-12);
+      EXPECT_LE(geom::MinDistance(a, b, m).raw(),
+                geom::MaxDistance(a, b, m).raw() + 1e-12);
     }
   }
 }
@@ -66,8 +66,10 @@ TEST(MetricTest, L2MatchesLegacyFunctions) {
                  rng.Uniform(50, 100), rng.Uniform(50, 100));
     const Rect b(rng.Uniform(0, 50), rng.Uniform(0, 50),
                  rng.Uniform(50, 100), rng.Uniform(50, 100));
-    EXPECT_EQ(geom::MinDistance(a, b, Metric::kL2), geom::MinDistance(a, b));
-    EXPECT_EQ(geom::MaxDistance(a, b, Metric::kL2), geom::MaxDistance(a, b));
+    EXPECT_EQ(geom::MinDistance(a, b, Metric::kL2).raw(),
+              geom::MinDistance(a, b));
+    EXPECT_EQ(geom::MaxDistance(a, b, Metric::kL2).raw(),
+              geom::MaxDistance(a, b));
   }
 }
 
@@ -85,7 +87,7 @@ std::vector<double> BruteMetric(const std::vector<Rect>& r,
                                 const std::vector<Rect>& s, Metric m) {
   std::vector<double> d;
   for (const auto& a : r) {
-    for (const auto& b : s) d.push_back(geom::MinDistance(a, b, m));
+    for (const auto& b : s) d.push_back(geom::MinDistance(a, b, m).raw());
   }
   std::sort(d.begin(), d.end());
   return d;

@@ -162,7 +162,7 @@ TEST(ParallelAmKdjTest, ForcedEdmaxUnderAndOverestimates) {
   ASSERT_TRUE(true_dmax.ok());
   for (const double factor : {0.05, 0.5, 1.0, 2.0, 10.0}) {
     JoinOptions options;
-    options.forced_edmax = *true_dmax * factor;
+    options.forced_edmax = geom::DistVal(*true_dmax * factor);
     const auto sequential =
         RunWith(f, KdjAlgorithm::kAmKdj, 1500, options, 1);
     for (const uint32_t threads : {2u, 4u, 8u}) {

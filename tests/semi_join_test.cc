@@ -26,7 +26,7 @@ std::vector<SemiJoinResult> BruteSemiJoin(const std::vector<Rect>& r,
     bool any = false;
     for (uint32_t j = 0; j < s.size(); ++j) {
       if (exclude_same_id && i == j) continue;
-      const double d = geom::MinDistance(r[i], s[j], metric);
+      const double d = geom::MinDistance(r[i], s[j], metric).raw();
       if (d < best) {
         best = d;
         best_j = j;

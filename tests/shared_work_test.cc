@@ -108,7 +108,7 @@ TEST(SharedWorkKeysTest, ObserverRequestsAreNeverShared) {
   reported.options.report = &report;
   EXPECT_FALSE(ComputeSharedWorkKeys(reported).exec_key.has_value());
 
-  std::atomic<double> cutoff{0.0};
+  std::atomic<geom::KeyVal> cutoff{geom::KeyVal::Zero()};
   JoinRequest wired;
   wired.options.shared_cutoff_publish = &cutoff;
   EXPECT_FALSE(ComputeSharedWorkKeys(wired).exec_key.has_value());
@@ -480,31 +480,33 @@ TEST(SharedWorkRegistryTest, SeedPrefersExactUpperBoundOverExtrapolation) {
 
   EXPECT_FALSE(registry.SeedFor(key, 100, estimator).has_value());
 
-  registry.RecordDmax(key, 500, 7.5, /*exhaustive=*/false);
+  registry.RecordDmax(key, 500, geom::DistVal(7.5), /*exhaustive=*/false);
   // k <= k0: dmax(k0) is an exact upper bound.
   auto seed = registry.SeedFor(key, 100, estimator);
   ASSERT_TRUE(seed.has_value());
-  EXPECT_DOUBLE_EQ(*seed, 7.5);
+  EXPECT_DOUBLE_EQ(seed->raw(), 7.5);
 
   // k > every observation: conservative Eq. 4/5 extrapolation from the
   // largest observed point — strictly above the observed dmax.
   seed = registry.SeedFor(key, 2000, estimator);
   ASSERT_TRUE(seed.has_value());
-  EXPECT_GT(*seed, 7.5);
-  EXPECT_DOUBLE_EQ(*seed,
-                   estimator.Correct(2000, 500, 7.5, /*aggressive=*/false));
+  EXPECT_GT(seed->raw(), 7.5);
+  EXPECT_DOUBLE_EQ(seed->raw(),
+                   estimator.Correct(2000, 500, geom::DistVal(7.5),
+                                     /*aggressive=*/false)
+                       .raw());
 
   // A closer (smaller) covering observation tightens the bound.
-  registry.RecordDmax(key, 150, 4.0, /*exhaustive=*/false);
+  registry.RecordDmax(key, 150, geom::DistVal(4.0), /*exhaustive=*/false);
   seed = registry.SeedFor(key, 100, estimator);
   ASSERT_TRUE(seed.has_value());
-  EXPECT_DOUBLE_EQ(*seed, 4.0);
+  EXPECT_DOUBLE_EQ(seed->raw(), 4.0);
 
   // An exhaustive run's Dmax upper-bounds every k.
-  registry.RecordDmax(key, 90, 3.0, /*exhaustive=*/true);
+  registry.RecordDmax(key, 90, geom::DistVal(3.0), /*exhaustive=*/true);
   seed = registry.SeedFor(key, 1000000, estimator);
   ASSERT_TRUE(seed.has_value());
-  EXPECT_DOUBLE_EQ(*seed, 3.0);
+  EXPECT_DOUBLE_EQ(seed->raw(), 3.0);
 }
 
 TEST(SharedWorkRegistryTest, CacheKeepsLargerKOnCollision) {

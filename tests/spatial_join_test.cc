@@ -30,7 +30,7 @@ StatusOr<std::set<std::pair<uint32_t, uint32_t>>> RunWithin(
     const JoinFixture& f, double dmax, JoinStats* stats = nullptr) {
   std::set<std::pair<uint32_t, uint32_t>> out;
   Status s = SpatialJoin::Within(
-      *f.r, *f.s, dmax, core::JoinOptions{}, stats,
+      *f.r, *f.s, geom::DistVal(dmax), core::JoinOptions{}, stats,
       [&](const ResultPair& p) -> Status {
         EXPECT_LE(p.distance, dmax);
         EXPECT_TRUE(out.insert({p.r_id, p.s_id}).second)
@@ -87,7 +87,7 @@ TEST(SpatialJoinTest, EmitErrorAbortsJoin) {
                               workload::UniformPoints(50, 66, uni), 8);
   int emitted = 0;
   const Status s = SpatialJoin::Within(
-      *f.r, *f.s, 1000.0, core::JoinOptions{}, nullptr,
+      *f.r, *f.s, geom::DistVal(1000.0), core::JoinOptions{}, nullptr,
       [&](const ResultPair&) -> Status {
         if (++emitted >= 5) return Status::Internal("stop");
         return Status::OK();

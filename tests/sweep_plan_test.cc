@@ -16,7 +16,7 @@ TEST(SweepPlanTest, FixedStrategyAlwaysXForward) {
   const Rect r(0, 0, 2, 100);
   const Rect s(3, 0, 5, 100);
   const SweepPlan plan =
-      ChooseSweepPlan(r, s, 4.0, SweepStrategy::kFixedXForward);
+      ChooseSweepPlan(r, s, geom::DistVal(4.0), SweepStrategy::kFixedXForward);
   EXPECT_EQ(plan.axis, 0);
   EXPECT_EQ(plan.dir, SweepDirection::kForward);
 }
@@ -25,28 +25,28 @@ TEST(SweepPlanTest, OptimizedPicksSpreadAxis) {
   // Figure 5: children spread along y -> sweep along y.
   const Rect r(0, 0, 2, 100);
   const Rect s(3, 0, 5, 100);
-  const SweepPlan plan = ChooseSweepPlan(r, s, 4.0, SweepStrategy::kOptimized);
+  const SweepPlan plan = ChooseSweepPlan(r, s, geom::DistVal(4.0), SweepStrategy::kOptimized);
   EXPECT_EQ(plan.axis, 1);
 }
 
 TEST(SweepPlanTest, OptimizedPicksXWhenSpreadAlongX) {
   const Rect r(0, 0, 100, 2);
   const Rect s(0, 3, 100, 5);
-  const SweepPlan plan = ChooseSweepPlan(r, s, 4.0, SweepStrategy::kOptimized);
+  const SweepPlan plan = ChooseSweepPlan(r, s, geom::DistVal(4.0), SweepStrategy::kOptimized);
   EXPECT_EQ(plan.axis, 0);
 }
 
 TEST(SweepPlanTest, InfiniteCutoffFallsBackToWiderExtent) {
   const Rect r(0, 0, 10, 500);
   const Rect s(5, 100, 15, 600);
-  const SweepPlan plan = ChooseSweepPlan(r, s, kInf, SweepStrategy::kOptimized);
+  const SweepPlan plan = ChooseSweepPlan(r, s, geom::DistVal(kInf), SweepStrategy::kOptimized);
   EXPECT_EQ(plan.axis, 1);  // union is 15 wide, 600 tall
 }
 
 TEST(SweepPlanTest, AxisOnlyKeepsForwardDirection) {
   const Rect r(0, 0, 2, 100);
   const Rect s(3, 0, 5, 100);
-  const SweepPlan plan = ChooseSweepPlan(r, s, 4.0, SweepStrategy::kAxisOnly);
+  const SweepPlan plan = ChooseSweepPlan(r, s, geom::DistVal(4.0), SweepStrategy::kAxisOnly);
   EXPECT_EQ(plan.axis, 1);
   EXPECT_EQ(plan.dir, SweepDirection::kForward);
 }
@@ -56,7 +56,7 @@ TEST(SweepPlanTest, DirectionOnlyKeepsXAxis) {
   const Rect r(0, 0, 10, 1);
   const Rect s(9, 0, 12, 1);
   const SweepPlan plan =
-      ChooseSweepPlan(r, s, 5.0, SweepStrategy::kDirectionOnly);
+      ChooseSweepPlan(r, s, geom::DistVal(5.0), SweepStrategy::kDirectionOnly);
   EXPECT_EQ(plan.axis, 0);
   EXPECT_EQ(plan.dir, SweepDirection::kBackward);
 }
@@ -66,15 +66,15 @@ TEST(SweepPlanTest, DirectionFollowsProjectedIntervals) {
   const Rect r(0, 0, 2, 1);
   const Rect s(1, 0, 10, 1);
   const SweepPlan forward =
-      ChooseSweepPlan(r, s, 3.0, SweepStrategy::kDirectionOnly);
+      ChooseSweepPlan(r, s, geom::DistVal(3.0), SweepStrategy::kDirectionOnly);
   EXPECT_EQ(forward.dir, SweepDirection::kForward);
 }
 
 TEST(SweepPlanTest, SymmetricArgumentsGiveSameAxis) {
   const Rect r(0, 0, 30, 4);
   const Rect s(10, 2, 50, 9);
-  const SweepPlan a = ChooseSweepPlan(r, s, 2.0, SweepStrategy::kOptimized);
-  const SweepPlan b = ChooseSweepPlan(s, r, 2.0, SweepStrategy::kOptimized);
+  const SweepPlan a = ChooseSweepPlan(r, s, geom::DistVal(2.0), SweepStrategy::kOptimized);
+  const SweepPlan b = ChooseSweepPlan(s, r, geom::DistVal(2.0), SweepStrategy::kOptimized);
   EXPECT_EQ(a.axis, b.axis);
 }
 

@@ -1,0 +1,19 @@
+// Negative-compile probe #2: implicit double -> KeyVal conversion. The
+// constructor is deliberately `explicit`: a raw double has no unit, so
+// letting one silently become a key would re-open every mix-up the type
+// exists to kill (e.g. passing a true distance straight into the queue).
+// This translation unit MUST fail to compile.
+
+#include "geom/units.h"
+
+namespace {
+void Consume(amdj::geom::KeyVal) {}
+}  // namespace
+
+int main() {
+  // BUG (deliberate): copy-initialization from a raw double.
+  amdj::geom::KeyVal key = 4.0;
+  Consume(2.5);  // and implicit conversion at a call boundary
+  (void)key;
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Negative-compile probe #3: passing a KeyVal where a DistVal is
+// expected. DistanceToKey is one of the three sanctioned conversion
+// fences and takes the *distance* side; feeding it a key would square an
+// already-squared value under L2. The two wrapper types are distinct
+// classes with no cross-conversion, so this translation unit MUST fail
+// to compile.
+
+#include "geom/metric.h"
+#include "geom/units.h"
+
+int main() {
+  const amdj::geom::KeyVal key(9.0);
+  // BUG (deliberate): a key handed to the distance-side fence.
+  const amdj::geom::KeyVal twice =
+      amdj::geom::DistanceToKey(key, amdj::geom::Metric::kL2);
+  return twice.raw() > 0.0 ? 0 : 1;
+}

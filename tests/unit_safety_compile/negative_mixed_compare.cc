@@ -1,0 +1,15 @@
+// Negative-compile probe #1: comparing a key-space value against a
+// distance-space value. This is the original bug class — both used to be
+// raw double, so `pair_key <= user_dmax` compiled and silently dropped or
+// duplicated results (key space is squared under L2). With the strong
+// types there is no operator<(KeyVal, DistVal); this translation unit
+// MUST fail to compile.
+
+#include "geom/units.h"
+
+int main() {
+  const amdj::geom::KeyVal key(4.0);
+  const amdj::geom::DistVal dmax(2.0);
+  // BUG (deliberate): cross-unit comparison.
+  return key <= dmax ? 0 : 1;
+}

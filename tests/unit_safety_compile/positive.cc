@@ -1,0 +1,48 @@
+// Control source for the unit-safety negative-compile harness: exercises
+// every operation the strong types are supposed to ALLOW. Must compile
+// cleanly — if it does not, the type layer itself regressed and the
+// harness fails the build, exactly like the thread-safety control.
+
+#include <algorithm>
+
+#include "geom/metric.h"
+#include "geom/units.h"
+
+namespace {
+
+using amdj::geom::DistanceToKey;
+using amdj::geom::DistanceToKeyCutoff;
+using amdj::geom::DistVal;
+using amdj::geom::KeyToDistance;
+using amdj::geom::KeyVal;
+using amdj::geom::Metric;
+
+// Same-unit comparison, min/max, and equality are the whole point.
+constexpr bool SameUnitOps() {
+  constexpr KeyVal a(1.0);
+  constexpr KeyVal b(2.0);
+  constexpr DistVal x(3.0);
+  constexpr DistVal y(4.0);
+  static_assert(a < b && b >= a && a != b);
+  static_assert(x < y && x == DistVal(3.0));
+  static_assert(KeyVal::Zero() < KeyVal::Infinity());
+  return true;
+}
+static_assert(SameUnitOps());
+
+// Cross-unit traffic goes through the three sanctioned fences only.
+double Fences() {
+  const DistVal d(5.0);
+  const KeyVal key = DistanceToKey(d, Metric::kL2);
+  const KeyVal cutoff = DistanceToKeyCutoff(d, Metric::kL2);
+  const DistVal back = KeyToDistance(key, Metric::kL2);
+  // std::min/std::max work within one unit via the relational operators.
+  const KeyVal lo = std::min(key, cutoff);
+  return back.raw() + lo.raw();  // raw-view escape hatch stays available
+}
+
+}  // namespace
+
+int main() {
+  return Fences() > 0.0 ? 0 : 1;
+}

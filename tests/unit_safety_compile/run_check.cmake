@@ -1,0 +1,30 @@
+# ctest driver for the unit-safety negative-compile harness: configures
+# the sibling mini-project (CMakeLists.txt here) into a scratch directory
+# with the same compiler as the main build. The configure step runs the
+# try_compile expectations; its failure fails this test. Inputs:
+#   -DCHECK_SOURCE_DIR=  this directory
+#   -DCHECK_BINARY_DIR=  scratch build directory (recreated every run)
+#   -DAMDJ_SOURCE_DIR=   repository root (for -Isrc)
+#   -DCXX_COMPILER=      CMAKE_CXX_COMPILER of the enclosing build
+
+file(REMOVE_RECURSE "${CHECK_BINARY_DIR}")
+file(MAKE_DIRECTORY "${CHECK_BINARY_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+          -S "${CHECK_SOURCE_DIR}"
+          -B "${CHECK_BINARY_DIR}"
+          -DAMDJ_SOURCE_DIR=${AMDJ_SOURCE_DIR}
+          -DCMAKE_CXX_COMPILER=${CXX_COMPILER}
+  RESULT_VARIABLE _result
+  OUTPUT_VARIABLE _output
+  ERROR_VARIABLE _errors)
+
+message("${_output}")
+if(_errors)
+  message("${_errors}")
+endif()
+
+if(NOT _result EQUAL 0)
+  message(FATAL_ERROR "unit-safety compile check failed (see above)")
+endif()

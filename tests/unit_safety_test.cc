@@ -1,0 +1,146 @@
+#include "geom/units.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/metric.h"
+
+namespace amdj::geom {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDenormMin = std::numeric_limits<double>::denorm_min();
+
+uint64_t Bits(double v) {
+  uint64_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+template <typename Wrapper>
+uint64_t WrapperBits(Wrapper w) {
+  static_assert(sizeof(Wrapper) == sizeof(uint64_t));
+  uint64_t out;
+  std::memcpy(&out, &w, sizeof(out));
+  return out;
+}
+
+// The zero-overhead contract, at runtime: the wrapper's object
+// representation IS the wrapped double's, so spill pages and SoA views
+// written before the migration read back unchanged.
+TEST(UnitSafetyTest, WrappersAreBitCompatibleWithDouble) {
+  const double probes[] = {0.0,       -0.0,     1.0,   5.0, 1e300,
+                           kDenormMin, 4.9e-310, kInf, std::nan("")};
+  for (const double v : probes) {
+    EXPECT_EQ(WrapperBits(KeyVal(v)), Bits(v));
+    EXPECT_EQ(WrapperBits(DistVal(v)), Bits(v));
+    EXPECT_EQ(Bits(KeyVal(v).raw()), Bits(v));
+    EXPECT_EQ(Bits(DistVal(v).raw()), Bits(v));
+  }
+  // std::atomic over the 8-byte trivially copyable wrapper stays lock-free
+  // exactly like std::atomic<double> (the shared-cutoff channel relies on
+  // this).
+  std::atomic<KeyVal> cutoff{KeyVal(3.0)};
+  EXPECT_TRUE(cutoff.is_lock_free());
+  EXPECT_EQ(cutoff.load().raw(), 3.0);
+}
+
+// Under L1/LInf key == distance, so the fences are exact identities for
+// every representable value including zero, infinity and denormals.
+TEST(UnitSafetyTest, IdentityMetricsRoundTripEveryValue) {
+  const double probes[] = {0.0, kDenormMin, 4.9e-310, 1e-300,
+                           1.0, 12345.678, 1e300,     kInf};
+  for (const Metric m : {Metric::kL1, Metric::kLInf}) {
+    for (const double v : probes) {
+      EXPECT_EQ(Bits(KeyToDistance(DistanceToKey(DistVal(v), m), m).raw()),
+                Bits(v));
+      EXPECT_EQ(Bits(DistanceToKey(KeyToDistance(KeyVal(v), m), m).raw()),
+                Bits(v));
+      EXPECT_EQ(DistanceToKeyCutoff(DistVal(v), m), KeyVal(v));
+    }
+  }
+}
+
+// Classical IEEE-754 result: sqrt(fl(d*d)) == d whenever d*d neither
+// overflows nor underflows. The L2 distance->key->distance round trip is
+// therefore bit-exact across the whole normal working range.
+TEST(UnitSafetyTest, L2RoundTripIsBitExactInNormalRange) {
+  const double probes[] = {0.0, 1.0, 2.0, 3.5, 1e-150, 1e150, kInf};
+  for (const double d : probes) {
+    EXPECT_EQ(
+        Bits(KeyToDistance(DistanceToKey(DistVal(d), Metric::kL2),
+                           Metric::kL2)
+                 .raw()),
+        Bits(d))
+        << "d=" << d;
+  }
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    // log-uniform over the square-safe exponent range
+    const double d = std::exp2(rng.Uniform(-500, 500));
+    EXPECT_EQ(
+        Bits(KeyToDistance(DistanceToKey(DistVal(d), Metric::kL2),
+                           Metric::kL2)
+                 .raw()),
+        Bits(d))
+        << "d=" << d;
+  }
+}
+
+// The cutoff fence's defining property, exhaustively at the boundary:
+//   key <= DistanceToKeyCutoff(d)  <=>  KeyToDistance(key) <= d
+// checked on the ulp neighborhood of the cutoff itself, where plain
+// DistanceToKey(d) = fl(d*d) can land one ulp off.
+void CheckCutoffBoundary(double d, Metric m) {
+  const KeyVal cutoff = DistanceToKeyCutoff(DistVal(d), m);
+  double probe = cutoff.raw();
+  for (int step = 0; step < 3; ++step) {
+    for (const double k :
+         {probe, std::nextafter(probe, kInf), std::nextafter(probe, 0.0)}) {
+      if (k < 0.0) continue;
+      const bool by_key = KeyVal(k) <= cutoff;
+      const bool by_distance = KeyToDistance(KeyVal(k), m) <= DistVal(d);
+      ASSERT_EQ(by_key, by_distance)
+          << "d=" << d << " key=" << k << " metric=" << ToString(m);
+    }
+    probe = std::nextafter(probe, step % 2 ? 0.0 : kInf);
+  }
+}
+
+TEST(UnitSafetyTest, CutoffBoundaryExactness) {
+  const double probes[] = {0.0,  kDenormMin, 1e-200, 0.1, 1.0,
+                           3.0, 1e10,       1e150,  kInf};
+  for (const Metric m : {Metric::kL2, Metric::kL1, Metric::kLInf}) {
+    for (const double d : probes) CheckCutoffBoundary(d, m);
+  }
+  Random rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    CheckCutoffBoundary(std::exp2(rng.Uniform(-1000, 1000)), Metric::kL2);
+  }
+}
+
+// Sanity on the sanctioned fences' monotonicity: a strictly smaller
+// distance can never map to a strictly larger key (the pipeline's ranked
+// order is defined by this).
+TEST(UnitSafetyTest, FencesAreMonotone) {
+  Random rng(13);
+  for (const Metric m : {Metric::kL2, Metric::kL1, Metric::kLInf}) {
+    for (int i = 0; i < 5000; ++i) {
+      const double a = std::exp2(rng.Uniform(-100, 100));
+      const double b = std::exp2(rng.Uniform(-100, 100));
+      const DistVal lo(std::min(a, b));
+      const DistVal hi(std::max(a, b));
+      EXPECT_LE(DistanceToKey(lo, m), DistanceToKey(hi, m));
+      EXPECT_LE(DistanceToKeyCutoff(lo, m), DistanceToKeyCutoff(hi, m));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amdj::geom

@@ -88,6 +88,7 @@
 #include "rtree/knn.h"
 #include "rtree/rtree.h"
 #include "service/join_service.h"
+#include "cli_request_parser.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "workload/generators.h"
@@ -481,7 +482,8 @@ int CmdKnn(const Args& args) {
     std::printf("%4zu  obj[%u] %s  dist=%.6f\n", i + 1, e.id,
                 e.rect.ToString().c_str(),
                 geom::MinDistance(geom::Rect::FromPoint(q), e.rect,
-                                  ParseMetric(args.GetString("metric"))));
+                                  ParseMetric(args.GetString("metric")))
+                    .raw());
   }
   return 0;
 }
@@ -499,60 +501,12 @@ int CmdEstimate(const Args& args) {
   std::printf("k = %" PRIu64 "\n", k);
   std::printf("true Dmax:           %.6f\n", *truth);
   std::printf("Eq. 3 (uniform):     %.6f (%.2fx)\n",
-              uniform.InitialEstimate(k),
-              uniform.InitialEstimate(k) / std::max(*truth, 1e-12));
+              uniform.InitialEstimate(k).raw(),
+              uniform.InitialEstimate(k).raw() / std::max(*truth, 1e-12));
   std::printf("grid histogram:      %.6f (%.2fx)\n",
-              histogram.EstimateDmax(k),
-              histogram.EstimateDmax(k) / std::max(*truth, 1e-12));
+              histogram.EstimateDmax(k).raw(),
+              histogram.EstimateDmax(k).raw() / std::max(*truth, 1e-12));
   return 0;
-}
-
-/// Parses one request line: `<kdj|idj> <hs|b|am|sj> <k>`. Non-fatal so the
-/// serve control channel can report a bad line and keep running; batch
-/// turns the error into a usage failure via CheckOk.
-StatusOr<service::JoinRequest> ParseRequestLine(const std::string& line,
-                                                size_t lineno) {
-  std::istringstream in(line);
-  std::string kind, algo;
-  uint64_t k = 0;
-  if (!(in >> kind >> algo >> k) || k == 0) {
-    return Status::InvalidArgument(
-        "bad request line " + std::to_string(lineno) + ": '" + line +
-        "' (want `<kdj|idj> <hs|b|am|sj> <k>`)");
-  }
-  service::JoinRequest request;
-  request.k = k;
-  if (kind == "kdj") {
-    request.kind = service::JoinRequest::Kind::kKdj;
-    if (algo == "hs") {
-      request.kdj_algorithm = core::KdjAlgorithm::kHsKdj;
-    } else if (algo == "b") {
-      request.kdj_algorithm = core::KdjAlgorithm::kBKdj;
-    } else if (algo == "am") {
-      request.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
-    } else if (algo == "sj") {
-      request.kdj_algorithm = core::KdjAlgorithm::kSjSort;
-    } else {
-      return Status::InvalidArgument(
-          "request line " + std::to_string(lineno) +
-          ": kdj algorithm must be hs|b|am|sj, got " + algo);
-    }
-  } else if (kind == "idj") {
-    request.kind = service::JoinRequest::Kind::kIdj;
-    if (algo == "hs") {
-      request.idj_algorithm = core::IdjAlgorithm::kHsIdj;
-    } else if (algo == "am") {
-      request.idj_algorithm = core::IdjAlgorithm::kAmIdj;
-    } else {
-      return Status::InvalidArgument(
-          "request line " + std::to_string(lineno) +
-          ": idj algorithm must be hs|am, got " + algo);
-    }
-  } else {
-    return Status::InvalidArgument("request line " + std::to_string(lineno) +
-                                   ": kind must be kdj|idj, got " + kind);
-  }
-  return request;
 }
 
 /// Shared service construction for batch/serve.

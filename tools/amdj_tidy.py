@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""AMDJ tidy: repo-invariant checks the compiler can't express (PR 10).
+
+The clang layer (thread-safety annotations, .clang-tidy) and the strong
+unit types (geom::KeyVal / geom::DistVal) each enforce their own slice of
+the repo's invariants. This suite covers the structural rules that sit
+between them — rules about *which* constructs may appear *where*. It is
+deliberately a portable line-level scanner (no clang dependency: the CI
+container builds with GCC) with the same suppression model as clang-tidy
+NOLINT: a greppable `amdj-tidy: <rule>-ok` comment with a rationale.
+
+Checks:
+
+  raw-mutex            std::mutex / std::lock_guard / std::unique_lock /
+                       std::scoped_lock / std::condition_variable anywhere
+                       outside src/common/mutex.h. Everything must go
+                       through the annotated amdj::Mutex layer so the
+                       Clang thread-safety analysis sees every lock.
+                       Suppress: `amdj-tidy: raw-mutex-ok — <why>`.
+
+  raw-priority-queue   std::priority_queue outside src/queue/. The main
+                       queue of every join is HybridQueue (spill-aware,
+                       tie-plateau-safe); a raw heap is allowed only with
+                       a documented rationale on the preceding lines.
+                       Suppress: `amdj-tidy: raw-priority-queue-ok — <why>`.
+
+  raw-double-key-param a function parameter of raw `double` with a
+                       key/distance-bearing name (key, dist, cutoff,
+                       dmax, bound, radius, epsilon) in the public APIs
+                       of src/queue/ and src/core/. These must take
+                       geom::KeyVal / geom::DistVal so unit mix-ups fail
+                       to compile. Suppress: `amdj-tidy: raw-double-ok`.
+
+  nondeterminism       std::random_device, rand()/srand(), system_clock
+                       or high_resolution_clock inside the deterministic
+                       pipeline (src/geom, src/queue, src/core,
+                       src/rtree, src/spatialjoin, src/storage). Join
+                       output is bit-reproducible by contract (the
+                       figure-counter guard diffs at 1.00x); wall-clock
+                       timing belongs in common/ (Timer, metrics) and
+                       seeded common/random.h Random is the only RNG.
+                       Suppress: `amdj-tidy: nondet-ok — <why>`.
+
+Usage:
+  tools/amdj_tidy.py [paths...]                 # default: src/ tools/
+  tools/amdj_tidy.py --compile-commands build/compile_commands.json
+  tools/amdj_tidy.py --self-test
+
+With --compile-commands the scanned set is the union of the default roots
+and every in-repo translation unit listed in the database, so a source
+added to the build but parked outside src//tools/ cannot dodge the suite.
+
+Exit status: 0 clean, 1 violations found (-Werror semantics), 2 usage
+error or broken self-test.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+SUPPRESS_FMT = "amdj-tidy: {rule}-ok"
+# How many preceding lines a suppression comment may sit above the
+# construct it exempts (block comments above a member declaration).
+SUPPRESS_LOOKBACK = 12
+
+RAW_MUTEX = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+RAW_PRIORITY_QUEUE = re.compile(r"\bstd::priority_queue\b")
+# `double name` in parameter position: preceded by `(` or `,`, followed by
+# `,` `)` or a default argument. Matches across the unit-bearing names only.
+RAW_DOUBLE_PARAM = re.compile(
+    r"[(,]\s*(?:const\s+)?double\s+(\w+)\s*[,)=]")
+KEY_BEARING = re.compile(
+    r"key|dist|cutoff|dmax|edmax|bound|radius|epsilon", re.IGNORECASE)
+NONDETERMINISM = re.compile(
+    r"\bstd::random_device\b|\b(?:std::)?s?rand\s*\(|"
+    r"\bsystem_clock\b|\bhigh_resolution_clock\b")
+
+DETERMINISTIC_DIRS = ("src/geom", "src/queue", "src/core", "src/rtree",
+                      "src/spatialjoin", "src/storage")
+KEY_API_DIRS = ("src/queue", "src/core")
+
+
+def _strip_strings(line: str) -> str:
+    """Blanks string/char literals so quoted text can't trip a check;
+    keeps comments (suppressions live there and are handled separately)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '/' and i + 1 < n and line[i + 1] == '/':
+            out.append(line[i:])
+            break
+        if c in ('"', "'"):
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == '\\' else 1
+            i += 1
+            out.append(quote + quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _in_dirs(relpath: str, dirs) -> bool:
+    return any(relpath == d or relpath.startswith(d + "/") for d in dirs)
+
+
+def _suppressed(lines, lineno, rule) -> bool:
+    token = SUPPRESS_FMT.format(rule=rule)
+    lo = max(0, lineno - 1 - SUPPRESS_LOOKBACK)
+    return any(token in lines[i] for i in range(lo, lineno))
+
+
+def check_text(relpath: str, text: str):
+    """Runs every check over one file; returns (lineno, rule, msg) tuples.
+
+    `relpath` is the path relative to the repo root with '/' separators —
+    the path-scoping rules key off it.
+    """
+    violations = []
+    lines = text.splitlines()
+    is_mutex_home = relpath == "src/common/mutex.h"
+    in_key_api = _in_dirs(relpath, KEY_API_DIRS)
+    in_det = _in_dirs(relpath, DETERMINISTIC_DIRS)
+
+    for lineno, raw_line in enumerate(lines, start=1):
+        line = _strip_strings(raw_line)
+
+        if not is_mutex_home and RAW_MUTEX.search(line):
+            if not _suppressed(lines, lineno, "raw-mutex"):
+                violations.append((
+                    lineno, "raw-mutex",
+                    "raw std:: lock primitive outside src/common/mutex.h; "
+                    "use amdj::Mutex/MutexLock/CondVar so the thread-safety "
+                    "analysis sees it"))
+
+        if RAW_PRIORITY_QUEUE.search(line) and \
+                not _in_dirs(relpath, ("src/queue",)):
+            if not _suppressed(lines, lineno, "raw-priority-queue"):
+                violations.append((
+                    lineno, "raw-priority-queue",
+                    "std::priority_queue outside src/queue/ needs an "
+                    "'amdj-tidy: raw-priority-queue-ok' rationale (is this "
+                    "really not HybridQueue's job?)"))
+
+        if in_key_api:
+            for m in RAW_DOUBLE_PARAM.finditer(line):
+                name = m.group(1)
+                if KEY_BEARING.search(name) and \
+                        not _suppressed(lines, lineno, "raw-double"):
+                    violations.append((
+                        lineno, "raw-double-key-param",
+                        f"parameter '{name}' carries a key/distance but is "
+                        f"raw double; take geom::KeyVal or geom::DistVal"))
+
+        if in_det and NONDETERMINISM.search(line):
+            if not _suppressed(lines, lineno, "nondet"):
+                violations.append((
+                    lineno, "nondeterminism",
+                    "nondeterministic primitive in the deterministic "
+                    "pipeline; join output must stay bit-reproducible "
+                    "(use seeded common/random.h Random, common/timer.h)"))
+    return violations
+
+
+def check_file(repo_root: Path, path: Path):
+    rel = path.resolve().relative_to(repo_root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return [(rel, lineno, rule, msg)
+            for lineno, rule, msg in check_text(rel, text)]
+
+
+def files_from_compile_commands(repo_root: Path, db_path: Path):
+    try:
+        entries = json.loads(db_path.read_text())
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {db_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = []
+    for entry in entries:
+        f = Path(entry.get("directory", ".")) / entry["file"] \
+            if not Path(entry["file"]).is_absolute() else Path(entry["file"])
+        try:
+            rel = f.resolve().relative_to(repo_root).as_posix()
+        except ValueError:
+            continue  # generated/out-of-tree TU (e.g. _deps)
+        # tests/ and bench/ are differential-oracle and harness territory
+        # (std::priority_queue references, raw-double fixtures); their
+        # residue is audited by scripts/check_key_space.py instead.
+        if rel.startswith(("build", "third_party", "tests", "bench",
+                           "examples")):
+            continue
+        if f.suffix in CPP_SUFFIXES:
+            out.append(f.resolve())
+    return out
+
+
+def self_test() -> int:
+    """Seeded-violation cases: every rule must fire where expected and
+    honor its suppression. Mirrors check_key_space.py --self-test."""
+    cases = [
+        # (relpath, text, expected rule IDs in order)
+        ("src/core/foo.h", "std::mutex mu_;", ["raw-mutex"]),
+        ("src/core/foo.h", "std::lock_guard<std::mutex> l(mu_);",
+         ["raw-mutex"]),
+        ("src/common/mutex.h", "std::mutex mu_;", []),
+        ("src/core/foo.h",
+         "// amdj-tidy: raw-mutex-ok — adapter under test\nstd::mutex m;",
+         []),
+        ("src/core/merge.h", "std::priority_queue<int> q;",
+         ["raw-priority-queue"]),
+        ("src/queue/hybrid_queue.h", "std::priority_queue<int> q;", []),
+        ("src/core/merge.h",
+         "// amdj-tidy: raw-priority-queue-ok — bounded head heap\n"
+         "std::priority_queue<int> q;", []),
+        ("src/core/api.h", "void Insert(double key);",
+         ["raw-double-key-param"]),
+        ("src/core/api.h", "void Force(uint64_t k, double edmax = 0.0);",
+         ["raw-double-key-param"]),
+        ("src/core/api.h", "void Insert(geom::KeyVal key);", []),
+        ("src/core/api.h", "void Scale(double factor);", []),
+        ("src/service/api.h", "void Insert(double key);", []),  # not key-API dir
+        ("src/core/api.h",
+         "void Emit(double distance);  // amdj-tidy: raw-double-ok — "
+         "serialization boundary", []),
+        ("src/core/join.cc", "std::random_device rd;", ["nondeterminism"]),
+        ("src/core/join.cc",
+         "auto t = std::chrono::system_clock::now();", ["nondeterminism"]),
+        ("src/common/metrics.cc",
+         "auto t = std::chrono::system_clock::now();", []),  # common/ exempt
+        ("src/core/join.cc",
+         "auto t = std::chrono::steady_clock::now();", []),
+        ("src/core/join.cc", "int operand(int x);", []),  # no \brand match
+        ("src/core/join.cc",
+         'AMDJ_LOG(INFO) << "std::mutex is banned";', []),  # string literal
+    ]
+    failures = 0
+    for relpath, text, expected in cases:
+        got = [rule for _, rule, _ in check_text(relpath, text)]
+        if got != expected:
+            failures += 1
+            print(f"self-test FAIL: {relpath}: {text!r}: expected "
+                  f"{expected or 'clean'}, got {got or 'clean'}")
+    if failures:
+        print(f"self-test: {failures}/{len(cases)} cases failed")
+        return 2
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main(argv) -> int:
+    if "--self-test" in argv:
+        return self_test()
+    db = None
+    paths = []
+    it = iter(argv)
+    for a in it:
+        if a == "--compile-commands":
+            db = next(it, None)
+            if db is None:
+                print("error: --compile-commands needs a path",
+                      file=sys.stderr)
+                return 2
+        elif a.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [Path(p) for p in paths] or [repo_root / "src",
+                                         repo_root / "tools"]
+    files = set()
+    for root in roots:
+        if root.is_file():
+            files.add(root.resolve())
+        elif root.is_dir():
+            files.update(p.resolve() for p in root.rglob("*")
+                         if p.suffix in CPP_SUFFIXES)
+        else:
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+    if db is not None:
+        files.update(files_from_compile_commands(repo_root, Path(db)))
+
+    all_violations = []
+    for f in sorted(files):
+        all_violations.extend(check_file(repo_root, f))
+    for rel, lineno, rule, msg in all_violations:
+        print(f"{rel}:{lineno}: error: [{rule}] {msg}")
+    if all_violations:
+        print(f"\namdj_tidy: {len(all_violations)} violation(s) in "
+              f"{len(files)} file(s); suppress deliberate uses with an "
+              f"'amdj-tidy: <rule>-ok — <rationale>' comment")
+        return 1
+    print(f"amdj_tidy: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,70 @@
+#ifndef AMDJ_TOOLS_CLI_REQUEST_PARSER_H_
+#define AMDJ_TOOLS_CLI_REQUEST_PARSER_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "service/join_service.h"
+
+/// \file
+/// The serve/batch stdin request-line parser, factored out of amdj_cli so
+/// the libFuzzer harness (fuzz/fuzz_request_parser.cc) can drive the
+/// exact production code path. The parser is the one place where
+/// untrusted bytes (a request file, the serve control channel) become a
+/// typed JoinRequest, so it is non-fatal by contract: every malformed
+/// line maps to Status::InvalidArgument, never to a crash or an abort.
+
+namespace amdj::cli {
+
+/// Parses one request line: `<kdj|idj> <hs|b|am|sj> <k>`. Non-fatal so the
+/// serve control channel can report a bad line and keep running; batch
+/// turns the error into a usage failure via CheckOk.
+inline StatusOr<service::JoinRequest> ParseRequestLine(
+    const std::string& line, size_t lineno) {
+  std::istringstream in(line);
+  std::string kind, algo;
+  uint64_t k = 0;
+  if (!(in >> kind >> algo >> k) || k == 0) {
+    return Status::InvalidArgument(
+        "bad request line " + std::to_string(lineno) + ": '" + line +
+        "' (want `<kdj|idj> <hs|b|am|sj> <k>`)");
+  }
+  service::JoinRequest request;
+  request.k = k;
+  if (kind == "kdj") {
+    request.kind = service::JoinRequest::Kind::kKdj;
+    if (algo == "hs") {
+      request.kdj_algorithm = core::KdjAlgorithm::kHsKdj;
+    } else if (algo == "b") {
+      request.kdj_algorithm = core::KdjAlgorithm::kBKdj;
+    } else if (algo == "am") {
+      request.kdj_algorithm = core::KdjAlgorithm::kAmKdj;
+    } else if (algo == "sj") {
+      request.kdj_algorithm = core::KdjAlgorithm::kSjSort;
+    } else {
+      return Status::InvalidArgument(
+          "request line " + std::to_string(lineno) +
+          ": kdj algorithm must be hs|b|am|sj, got " + algo);
+    }
+  } else if (kind == "idj") {
+    request.kind = service::JoinRequest::Kind::kIdj;
+    if (algo == "hs") {
+      request.idj_algorithm = core::IdjAlgorithm::kHsIdj;
+    } else if (algo == "am") {
+      request.idj_algorithm = core::IdjAlgorithm::kAmIdj;
+    } else {
+      return Status::InvalidArgument(
+          "request line " + std::to_string(lineno) +
+          ": idj algorithm must be hs|am, got " + algo);
+    }
+  } else {
+    return Status::InvalidArgument("request line " + std::to_string(lineno) +
+                                   ": kind must be kdj|idj, got " + kind);
+  }
+  return request;
+}
+
+}  // namespace amdj::cli
+
+#endif  // AMDJ_TOOLS_CLI_REQUEST_PARSER_H_
